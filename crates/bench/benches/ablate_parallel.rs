@@ -1,0 +1,55 @@
+//! Ablation A2: serial vs parallel kernels — mat-mul scaling and parallel
+//! ensemble generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hc_bench::dense_fixture;
+use hc_gen::ensemble::targeted_ensemble;
+use hc_gen::targeted::TargetSpec;
+use hc_linalg::matmul::{matmul_blocked, matmul_naive, matmul_parallel};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_parallel/matmul");
+    for n in [64usize, 128, 256] {
+        let a = dense_fixture(n, n);
+        let b_ = dense_fixture(n, n);
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul_naive(&a, &b_).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul_blocked(&a, &b_).unwrap()))
+        });
+        for t in [2usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("parallel_t{t}"), n),
+                &n,
+                |bch, _| bch.iter(|| black_box(matmul_parallel(&a, &b_, t).unwrap())),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_ensemble_generation(c: &mut Criterion) {
+    let spec = TargetSpec {
+        jitter: 0.5,
+        ..TargetSpec::exact(12, 5, 0.8, 0.8, 0.1)
+    };
+    let mut g = c.benchmark_group("ablate_parallel/targeted_ensemble_16");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                std::env::set_var("HC_THREADS", t.to_string());
+                let out = targeted_ensemble(&spec, 0, 16);
+                std::env::remove_var("HC_THREADS");
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablate_parallel, bench_matmul, bench_ensemble_generation);
+criterion_main!(ablate_parallel);

@@ -1,0 +1,76 @@
+//! Ablation A3: Sinkhorn sweep order and tolerance vs iteration count / cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_bench::dense_fixture;
+use hc_sinkhorn::balance::{standardize, BalanceOptions, SweepOrder};
+use hc_sinkhorn::regularized::regularized_standard_form;
+use hc_sinkhorn::structure::eq10_matrix;
+use std::hint::black_box;
+
+fn bench_sweep_order(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_sinkhorn/sweep_order");
+    for &(t, m) in &[(12usize, 5usize), (64, 64), (128, 64)] {
+        let a = dense_fixture(t, m);
+        for (name, order) in [
+            ("col_first", SweepOrder::ColumnFirst),
+            ("row_first", SweepOrder::RowFirst),
+        ] {
+            let opts = BalanceOptions {
+                order,
+                ..Default::default()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{t}x{m}")),
+                &a,
+                |b, a| b.iter(|| black_box(standardize(a, &opts).unwrap())),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_tolerance(c: &mut Criterion) {
+    let a = dense_fixture(17, 5);
+    let mut g = c.benchmark_group("ablate_sinkhorn/tolerance");
+    for tol_exp in [4i32, 8, 12] {
+        let opts = BalanceOptions {
+            tol: 10f64.powi(-tol_exp),
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("1e-{tol_exp}")),
+            &a,
+            |b, a| b.iter(|| black_box(standardize(a, &opts).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_regularized(c: &mut Criterion) {
+    let m = eq10_matrix();
+    let mut g = c.benchmark_group("ablate_sinkhorn/regularized_eq10");
+    g.sample_size(10);
+    for eps_exp in [1i32, 2, 3] {
+        let opts = BalanceOptions {
+            tol: 1e-7,
+            max_iters: 2_000_000,
+            stall_window: usize::MAX,
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps=1e-{eps_exp}")),
+            &m,
+            |b, m| {
+                b.iter(|| {
+                    black_box(
+                        regularized_standard_form(m, 10f64.powi(-eps_exp), &opts).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(ablate_sinkhorn, bench_sweep_order, bench_tolerance, bench_regularized);
+criterion_main!(ablate_sinkhorn);

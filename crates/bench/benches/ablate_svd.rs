@@ -1,0 +1,43 @@
+//! Ablation A1: one-sided Jacobi vs Golub–Reinsch vs parallel Jacobi across
+//! sizes (accuracy is asserted equal in tests; this measures cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_bench::{dense_fixture, ABLATION_SIZES};
+use hc_linalg::par::par_jacobi_svd;
+use hc_linalg::svd::{golub_reinsch_svd, jacobi_svd, singular_values};
+use hc_linalg::eigen::power_iteration_sigma_max;
+use std::hint::black_box;
+
+fn bench_svd_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_svd/algorithms");
+    for &(m, n) in &ABLATION_SIZES {
+        let a = dense_fixture(m, n);
+        g.bench_with_input(BenchmarkId::new("jacobi", format!("{m}x{n}")), &a, |b, a| {
+            b.iter(|| black_box(jacobi_svd(a).unwrap()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("golub_reinsch", format!("{m}x{n}")),
+            &a,
+            |b, a| b.iter(|| black_box(golub_reinsch_svd(a).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("par_jacobi_t4", format!("{m}x{n}")),
+            &a,
+            |b, a| b.iter(|| black_box(par_jacobi_svd(a, 4).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_sigma_only_paths(c: &mut Criterion) {
+    let a = dense_fixture(64, 64);
+    c.bench_function("ablate_svd/full_sigma_64", |b| {
+        b.iter(|| black_box(singular_values(&a).unwrap()))
+    });
+    c.bench_function("ablate_svd/power_iteration_sigma1_64", |b| {
+        b.iter(|| black_box(power_iteration_sigma_max(&a, 1000, 1e-10)))
+    });
+}
+
+criterion_group!(ablate_svd, bench_svd_algorithms, bench_sigma_only_paths);
+criterion_main!(ablate_svd);

@@ -1,0 +1,50 @@
+//! Benchmarks for the extension experiments: targeted generation (X2) and the
+//! heuristic suite (X3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_bench::ecs_fixture;
+use hc_gen::targeted::{synth2x2, targeted, TargetSpec};
+use hc_sched::ga::{ga, GaParams};
+use hc_sched::heuristics::all_heuristics;
+use hc_sched::problem::MappingProblem;
+use hc_sched::Heuristic;
+use std::hint::black_box;
+
+fn bench_targeted_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext/targeted_generation");
+    g.sample_size(20);
+    for &(t, m) in &[(8usize, 5usize), (16, 8), (32, 8)] {
+        let spec = TargetSpec::exact(t, m, 0.7, 0.6, 0.25);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{t}x{m}")),
+            &spec,
+            |b, spec| b.iter(|| black_box(targeted(spec, 0).unwrap())),
+        );
+    }
+    g.finish();
+    c.bench_function("ext/synth2x2", |b| {
+        b.iter(|| black_box(synth2x2(0.31, 0.16, 0.05).unwrap()))
+    });
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext/heuristics_64tasks_8machines");
+    let e = ecs_fixture(64, 8);
+    let p = MappingProblem::from_etc(&e.to_etc());
+    for h in all_heuristics() {
+        g.bench_with_input(BenchmarkId::from_parameter(h.name()), &p, |b, p| {
+            b.iter(|| black_box(h.map(p).unwrap()))
+        });
+    }
+    g.finish();
+    let mut g = c.benchmark_group("ext/ga");
+    g.sample_size(10);
+    let p = MappingProblem::from_etc(&ecs_fixture(32, 6).to_etc());
+    g.bench_function("32x6_300gen", |b| {
+        b.iter(|| black_box(ga(&p, &GaParams::default()).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(ext, bench_targeted_generation, bench_heuristics);
+criterion_main!(ext);

@@ -1,0 +1,100 @@
+//! One benchmark group per paper figure: the cost of regenerating each result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_core::extremes::{figure1_ecs, figure2_environments, figure3a, figure3b, FIG4_ALL};
+use hc_core::measures::{cov, geometric_mean_measure, mph, mph_from_performances, ratio_measure};
+use hc_core::report::characterize;
+use hc_core::standard::{standard_form, tma, TmaOptions};
+use hc_core::weights::Weights;
+use hc_spec::dataset::{cfp2006, cint2006};
+use hc_spec::fig8::{fig8a, fig8b};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let e = figure1_ecs();
+    let w = Weights::uniform(e.num_tasks(), e.num_machines());
+    c.bench_function("fig1/machine_performances", |b| {
+        b.iter(|| hc_core::measures::machine_performances(black_box(&e), &w).unwrap())
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let envs = figure2_environments();
+    c.bench_function("fig2/mph_vs_alternatives", |b| {
+        b.iter(|| {
+            for (_, perf) in &envs {
+                black_box(mph_from_performances(perf).unwrap());
+                black_box(ratio_measure(perf).unwrap());
+                black_box(geometric_mean_measure(perf).unwrap());
+                black_box(cov(perf).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let a = figure3a();
+    let bm = figure3b();
+    c.bench_function("fig3/tma_contrast", |b| {
+        b.iter(|| {
+            black_box(mph(&a).unwrap());
+            black_box(tma(&a).unwrap());
+            black_box(mph(&bm).unwrap());
+            black_box(tma(&bm).unwrap());
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4/extremes_full_characterization", |b| {
+        b.iter(|| {
+            for f in FIG4_ALL {
+                black_box(characterize(&f.matrix()).unwrap());
+            }
+        })
+    });
+    c.bench_function("fig4/limit_standard_form_A", |b| {
+        let a = FIG4_ALL[0].matrix();
+        b.iter(|| black_box(standard_form(&a, &TmaOptions::default()).unwrap()))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let d = cint2006();
+    let e = d.ecs();
+    c.bench_function("fig6/cint_characterize", |b| {
+        b.iter(|| black_box(characterize(&e).unwrap()))
+    });
+    c.bench_function("fig6/cint_dataset_calibration", |b| {
+        b.iter(|| black_box(cint2006()))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let d = cfp2006();
+    let e = d.ecs();
+    c.bench_function("fig7/cfp_characterize", |b| {
+        b.iter(|| black_box(characterize(&e).unwrap()))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8/pair_synthesis_and_measures", |b| {
+        b.iter(|| {
+            black_box(characterize(&fig8a().to_ecs()).unwrap());
+            black_box(characterize(&fig8b().to_ecs()).unwrap());
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8
+);
+criterion_main!(figures);

@@ -1,0 +1,68 @@
+//! Core measure-computation benchmarks: the cost of MPH/TDH/TMA and the derived
+//! analyses (canonical form, sensitivities, ensemble statistics) across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_bench::ecs_fixture;
+use hc_core::canonical::canonical_form;
+use hc_core::measures::{mph, tdh};
+use hc_core::report::characterize;
+use hc_core::sensitivity::sensitivities;
+use hc_core::standard::{tma, TmaOptions};
+use hc_core::stats::{characterize_ensemble, measure_summaries};
+use std::hint::black_box;
+
+fn bench_individual_measures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("measures/individual");
+    for &(t, m) in &[(12usize, 5usize), (64, 16), (128, 32)] {
+        let e = ecs_fixture(t, m);
+        g.bench_with_input(BenchmarkId::new("mph", format!("{t}x{m}")), &e, |b, e| {
+            b.iter(|| black_box(mph(e).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("tdh", format!("{t}x{m}")), &e, |b, e| {
+            b.iter(|| black_box(tdh(e).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("tma", format!("{t}x{m}")), &e, |b, e| {
+            b.iter(|| black_box(tma(e).unwrap()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("characterize", format!("{t}x{m}")),
+            &e,
+            |b, e| b.iter(|| black_box(characterize(e).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_derived_analyses(c: &mut Criterion) {
+    let e = ecs_fixture(12, 5);
+    c.bench_function("measures/canonical_form_12x5", |b| {
+        b.iter(|| black_box(canonical_form(&e).unwrap()))
+    });
+    let mut g = c.benchmark_group("measures/sensitivities_12x5");
+    g.sample_size(10);
+    g.bench_function("full_gradient", |b| {
+        b.iter(|| black_box(sensitivities(&e, &TmaOptions::default(), 1e-4).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_ensemble_stats(c: &mut Criterion) {
+    let envs: Vec<hc_core::Ecs> = (0..16).map(|k| ecs_fixture(10 + k % 3, 5)).collect();
+    let mut g = c.benchmark_group("measures/ensemble");
+    g.sample_size(20);
+    g.bench_function("characterize_16_envs", |b| {
+        b.iter(|| {
+            let reports = characterize_ensemble(black_box(&envs)).unwrap();
+            black_box(measure_summaries(&reports).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    measures,
+    bench_individual_measures,
+    bench_derived_analyses,
+    bench_ensemble_stats
+);
+criterion_main!(measures);

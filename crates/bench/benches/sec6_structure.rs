@@ -1,0 +1,67 @@
+//! Section VI benchmarks: zero-structure analysis and non-balanceable patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_bench::dense_fixture;
+use hc_linalg::Matrix;
+use hc_sinkhorn::balance::{balance_with, BalanceOptions};
+use hc_sinkhorn::graph::{hopcroft_karp, Bipartite};
+use hc_sinkhorn::structure::{analyze_square, dm_coarse, eq10_matrix, total_support_core};
+use std::hint::black_box;
+
+fn sparse_pattern(n: usize, band: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        if (j + n - i) % n <= band {
+            1.0 + ((i * 31 + j * 17) % 7) as f64
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_structure_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec6/analyze_square");
+    for n in [8usize, 32, 128] {
+        let m = sparse_pattern(n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(analyze_square(m)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec6/hopcroft_karp");
+    for n in [32usize, 128, 512] {
+        let m = sparse_pattern(n, 4);
+        let graph = Bipartite::from_pattern(n, n, |i, j| m[(i, j)] > 0.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| black_box(hopcroft_karp(graph).size))
+        });
+    }
+    g.finish();
+}
+
+fn bench_eq10(c: &mut Criterion) {
+    let m = eq10_matrix();
+    c.bench_function("sec6/eq10_balance_attempt_300iters", |b| {
+        let opts = BalanceOptions {
+            max_iters: 300,
+            stall_window: usize::MAX,
+            ..Default::default()
+        };
+        b.iter(|| black_box(balance_with(&m, &[1.0; 3], &[1.0; 3], &opts).unwrap()))
+    });
+    c.bench_function("sec6/eq10_total_support_core", |b| {
+        b.iter(|| black_box(total_support_core(&m)))
+    });
+}
+
+fn bench_dm(c: &mut Criterion) {
+    let m = dense_fixture(64, 48).map(|v| if v < 0.4 { 0.0 } else { v });
+    c.bench_function("sec6/dm_coarse_64x48", |b| {
+        b.iter(|| black_box(dm_coarse(&m)))
+    });
+}
+
+criterion_group!(sec6, bench_structure_analysis, bench_matching, bench_eq10, bench_dm);
+criterion_main!(sec6);

@@ -1,0 +1,46 @@
+//! Benchmarks of the discrete-event simulator (extension X8's engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_bench::dense_fixture;
+use hc_sim::policy::{BatchPolicy, OnlinePolicy, Policy};
+use hc_sim::sim::{simulate, SimConfig};
+use hc_sim::workload::{generate, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let etc = dense_fixture(12, 5).scaled(10.0);
+    let mut g = c.benchmark_group("sim/policies_2000_tasks");
+    g.sample_size(20);
+    let wl = generate(&WorkloadSpec::uniform(2_000, 1.0, 12, 7)).unwrap();
+    for policy in [
+        Policy::Immediate(OnlinePolicy::Olb),
+        Policy::Immediate(OnlinePolicy::Mct),
+        Policy::Immediate(OnlinePolicy::Kpb { percent: 40 }),
+        Policy::Batch {
+            policy: BatchPolicy::MinMin,
+            interval: 5.0,
+        },
+        Policy::Batch {
+            policy: BatchPolicy::Sufferage,
+            interval: 5.0,
+        },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, policy| {
+                b.iter(|| black_box(simulate(&etc, &wl, &SimConfig { policy: *policy }).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("sim/workload_generation_100k", |b| {
+        b.iter(|| black_box(generate(&WorkloadSpec::uniform(100_000, 2.0, 17, 3)).unwrap()))
+    });
+}
+
+criterion_group!(sim, bench_simulation, bench_workload_generation);
+criterion_main!(sim);

@@ -1,0 +1,147 @@
+//! A tiny flag parser: `--key value` and `--flag` switches plus positional
+//! arguments, with typed accessors. Hand-rolled so the tool stays dependency
+//! free and the error messages stay domain-specific.
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: positionals in order plus `--key [value]` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: BTreeMap<String, Option<String>>,
+}
+
+/// Parses a raw argument list. Every token starting with `--` becomes an option;
+/// it consumes the following token as its value unless that token also starts
+/// with `--` (then it is a bare switch). `--key=value` is also accepted.
+pub fn parse(raw: &[String]) -> Args {
+    let mut out = Args::default();
+    let mut i = 0;
+    while i < raw.len() {
+        let tok = &raw[i];
+        if let Some(stripped) = tok.strip_prefix("--") {
+            if let Some((k, v)) = stripped.split_once('=') {
+                out.options.insert(k.to_string(), Some(v.to_string()));
+            } else if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                out.options
+                    .insert(stripped.to_string(), Some(raw[i + 1].clone()));
+                i += 1;
+            } else {
+                out.options.insert(stripped.to_string(), None);
+            }
+        } else {
+            out.positionals.push(tok.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+impl Args {
+    /// Positional argument by index.
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.positionals.get(idx).map(String::as_str)
+    }
+
+    /// Number of positionals.
+    pub fn positional_count(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// `true` when `--name` appeared (with or without value).
+    pub fn has(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// String value of `--name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// Required typed value with a domain error message.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self
+            .get(name)
+            .ok_or_else(|| format!("missing required option --{name}"))?;
+        raw.parse::<T>()
+            .map_err(|_| format!("--{name}: cannot parse {raw:?}"))
+    }
+
+    /// Optional typed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| format!("--{name}: cannot parse {raw:?}")),
+        }
+    }
+
+    /// Names of all options present (for unknown-flag checks).
+    pub fn option_names(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
+
+    /// Rejects any option not in `allowed`.
+    pub fn check_allowed(&self, allowed: &[&str]) -> Result<(), String> {
+        for name in self.option_names() {
+            if !allowed.contains(&name) {
+                return Err(format!("unknown option --{name}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse(&s(&["measure", "file.csv", "--ecs", "--tol", "1e-8"]));
+        assert_eq!(a.positional(0), Some("measure"));
+        assert_eq!(a.positional(1), Some("file.csv"));
+        assert_eq!(a.positional_count(), 2);
+        assert!(a.has("ecs"));
+        assert_eq!(a.get("ecs"), None);
+        assert_eq!(a.get("tol"), Some("1e-8"));
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse(&s(&["--kpb=25", "--mph=0.5"]));
+        assert_eq!(a.get("kpb"), Some("25"));
+        let v: f64 = a.require("mph").unwrap();
+        assert_eq!(v, 0.5);
+    }
+
+    #[test]
+    fn switch_followed_by_option() {
+        let a = parse(&s(&["--ecs", "--seed", "7"]));
+        assert!(a.has("ecs"));
+        assert_eq!(a.get("ecs"), None);
+        let seed: u64 = a.require("seed").unwrap();
+        assert_eq!(seed, 7);
+    }
+
+    #[test]
+    fn typed_errors() {
+        let a = parse(&s(&["--seed", "abc"]));
+        assert!(a.require::<u64>("seed").is_err());
+        assert!(a.require::<u64>("missing").is_err());
+        assert_eq!(a.get_or("missing", 5u64).unwrap(), 5);
+        assert!(a.get_or::<f64>("seed", 0.0).is_err());
+    }
+
+    #[test]
+    fn allowed_check() {
+        let a = parse(&s(&["--good", "1", "--bad", "2"]));
+        assert!(a.check_allowed(&["good"]).is_err());
+        assert!(a.check_allowed(&["good", "bad"]).is_ok());
+    }
+}

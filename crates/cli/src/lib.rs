@@ -1,0 +1,46 @@
+//! # hc-cli — the `hcm` command-line tool
+//!
+//! A thin, dependency-free front-end over the library stack:
+//!
+//! ```text
+//! hcm measure   <etc.csv>                  # MPH / TDH / TMA report
+//! hcm structure <etc.csv>                  # zero-pattern & balanceability report
+//! hcm canonical <etc.csv>                  # canonical (sorted) ordering
+//! hcm generate  targeted --tasks 12 --machines 5 --mph 0.82 --tdh 0.9 --tma 0.07
+//! hcm generate  range    --tasks 12 --machines 5 --rtask 3000 --rmach 1000
+//! hcm generate  cvb      --tasks 12 --machines 5 --vtask 0.4 --vmach 0.6
+//! hcm schedule  <etc.csv> [--heuristic min-min]
+//! hcm whatif    <etc.csv> --remove-machine 2
+//! ```
+//!
+//! Every command is a pure function from `(arguments, input text)` to a report
+//! string, so the whole surface is unit-testable without touching the
+//! filesystem; `main.rs` only does I/O.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;
+
+pub use commands::dispatch;
+
+/// Top-level usage text.
+pub fn usage() -> &'static str {
+    "hcm — heterogeneity measures for task-machine ETC matrices (IPDPS 2011)\n\n\
+     USAGE:\n\
+    \x20 hcm measure   <etc.csv> [--ecs] [--zero-policy strict|limit|reg=<eps>]\n\
+    \x20 hcm structure <etc.csv> [--ecs]\n\
+    \x20 hcm canonical <etc.csv> [--ecs]\n\
+    \x20 hcm generate  targeted --tasks T --machines M --mph X --tdh Y --tma Z\n\
+    \x20                        [--seed N] [--jitter J]\n\
+    \x20 hcm generate  range    --tasks T --machines M [--rtask R] [--rmach R] [--seed N]\n\
+    \x20 hcm generate  cvb      --tasks T --machines M [--vtask V] [--vmach V] [--seed N]\n\
+    \x20 hcm schedule  <etc.csv> [--heuristic all|olb|met|mct|min-min|max-min|\n\
+    \x20                          sufferage|kpb=<pct>|duplex|ga|sa|tabu|optimal]\n\
+    \x20 hcm whatif    <etc.csv> (--remove-machine J | --remove-task I) [--ecs]\n\
+    \x20 hcm help\n\n\
+     Input files are CSV: header `task,<machine…>`, one row per task type, runtimes\n\
+     as numbers, `inf` for incompatible pairs. Pass --ecs when the file already\n\
+     holds speeds instead of runtimes.\n"
+}

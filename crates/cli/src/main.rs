@@ -1,0 +1,18 @@
+//! `hcm` — heterogeneity measures for task-machine ETC matrices.
+
+use hc_cli::commands::{dispatch, FsInput};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args, &FsInput) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hcm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

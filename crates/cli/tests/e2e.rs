@@ -1,0 +1,96 @@
+//! End-to-end tests driving the compiled `hcm` binary through real process
+//! invocations, pipes, and temp files.
+
+use std::process::Command;
+
+fn hcm(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hcm"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_and_errors() {
+    let (ok, stdout, _) = hcm(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    let (ok, _, stderr) = hcm(&["bogus-command"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (ok, _, stderr) = hcm(&["measure", "/nonexistent/file.csv"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn spec_measure_pipeline_via_files() {
+    let dir = std::env::temp_dir().join(format!("hcm-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("cint.csv");
+
+    // 1. Dump the built-in dataset.
+    let (ok, csv, _) = hcm(&["spec", "cint"]);
+    assert!(ok);
+    assert!(csv.starts_with("task,m1"));
+    std::fs::write(&csv_path, &csv).unwrap();
+
+    // 2. Measure it from disk: the paper's Fig. 6 values.
+    let (ok, report, _) = hcm(&["measure", csv_path.to_str().unwrap()]);
+    assert!(ok, "{report}");
+    assert!(report.contains("MPH = 0.82"), "{report}");
+    assert!(report.contains("TDH = 0.90"), "{report}");
+    assert!(report.contains("TMA = 0.07"), "{report}");
+
+    // 3. Structure and canonical reports run on the same file.
+    let (ok, s, _) = hcm(&["structure", csv_path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(s.contains("balanceability: Positive"));
+    let (ok, c, _) = hcm(&["canonical", csv_path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(c.contains("canonical machine order"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_schedule_simulate_pipeline() {
+    let dir = std::env::temp_dir().join(format!("hcm-e2e-gen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gen.csv");
+
+    let (ok, csv, _) = hcm(&[
+        "generate", "targeted", "--tasks", "8", "--machines", "4", "--mph", "0.7", "--tdh",
+        "0.6", "--tma", "0.2", "--seed", "5",
+    ]);
+    assert!(ok);
+    std::fs::write(&path, &csv).unwrap();
+
+    let (ok, sched, _) = hcm(&["schedule", path.to_str().unwrap()]);
+    assert!(ok, "{sched}");
+    assert!(sched.contains("Min-Min"));
+    assert!(sched.contains("Duplex"));
+    assert!(sched.contains("best:"));
+
+    let (ok, tabu, _) = hcm(&["schedule", path.to_str().unwrap(), "--heuristic", "tabu"]);
+    assert!(ok, "{tabu}");
+    assert!(tabu.contains("Tabu"));
+
+    let (ok, sim, _) = hcm(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--tasks",
+        "100",
+        "--policy",
+        "mct",
+    ]);
+    assert!(ok, "{sim}");
+    assert!(sim.contains("makespan"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

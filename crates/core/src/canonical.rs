@@ -1,0 +1,169 @@
+//! The canonical ECS matrix (paper Sec. III-B).
+//!
+//! The paper defines the **canonical form** as the ECS matrix with machines
+//! (columns) sorted in ascending order of performance `MP_j` and task types
+//! (rows) sorted in ascending order of difficulty `TD_i`:
+//!
+//! ```text
+//! MP_j ≤ MP_{j+1} for 0 < j < M, and TD_i ≤ TD_{i+1} for 0 < i < T.
+//! ```
+//!
+//! MPH and TDH (Eqs. 3 and 7) are defined over the canonical ordering; the
+//! implementations in [`crate::measures`] sort internally, and this module makes
+//! the ordering explicit and reusable: it returns the canonical environment plus
+//! the permutations that produced it, so downstream consumers (visualizations,
+//! the experiment harness, whatif-deltas on sorted indices) can map back to the
+//! original task/machine identities.
+
+use crate::ecs::Ecs;
+use crate::error::MeasureError;
+use crate::measures::{machine_performances, task_difficulties};
+use crate::weights::Weights;
+
+/// An environment in canonical order, with the permutations applied.
+#[derive(Debug, Clone)]
+pub struct CanonicalForm {
+    /// The reordered environment.
+    pub ecs: Ecs,
+    /// `task_perm[i]` = index in the original environment of canonical row `i`.
+    pub task_perm: Vec<usize>,
+    /// `machine_perm[j]` = original index of canonical column `j`.
+    pub machine_perm: Vec<usize>,
+    /// Task difficulties in canonical (ascending) order.
+    pub task_difficulties: Vec<f64>,
+    /// Machine performances in canonical (ascending) order.
+    pub machine_performances: Vec<f64>,
+}
+
+impl CanonicalForm {
+    /// `true` when the environment was already canonical (identity permutations).
+    pub fn was_canonical(&self) -> bool {
+        self.task_perm.iter().enumerate().all(|(k, &v)| k == v)
+            && self.machine_perm.iter().enumerate().all(|(k, &v)| k == v)
+    }
+}
+
+fn sorted_permutation(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    // Stable sort: equal aggregates keep their original relative order, making
+    // the canonical form deterministic.
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    idx
+}
+
+/// Computes the canonical form under uniform weights.
+pub fn canonical_form(ecs: &Ecs) -> Result<CanonicalForm, MeasureError> {
+    canonical_form_weighted(ecs, &Weights::uniform(ecs.num_tasks(), ecs.num_machines()))
+}
+
+/// Computes the canonical form under explicit weights (Eqs. 4 and 6 aggregates).
+pub fn canonical_form_weighted(
+    ecs: &Ecs,
+    weights: &Weights,
+) -> Result<CanonicalForm, MeasureError> {
+    let td = task_difficulties(ecs, weights)?;
+    let mp = machine_performances(ecs, weights)?;
+    let task_perm = sorted_permutation(&td);
+    let machine_perm = sorted_permutation(&mp);
+    let reordered = ecs.subenvironment(&task_perm, &machine_perm)?;
+    Ok(CanonicalForm {
+        ecs: reordered,
+        task_difficulties: task_perm.iter().map(|&i| td[i]).collect(),
+        machine_performances: machine_perm.iter().map(|&j| mp[j]).collect(),
+        task_perm,
+        machine_perm,
+    })
+}
+
+/// Checks the paper's canonical conditions directly on an environment.
+pub fn is_canonical(ecs: &Ecs) -> Result<bool, MeasureError> {
+    let w = Weights::uniform(ecs.num_tasks(), ecs.num_machines());
+    let td = task_difficulties(ecs, &w)?;
+    let mp = machine_performances(ecs, &w)?;
+    Ok(td.windows(2).all(|p| p[0] <= p[1]) && mp.windows(2).all(|p| p[0] <= p[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::{mph, tdh};
+    use crate::standard::tma;
+    use hc_linalg::Matrix;
+
+    fn env() -> Ecs {
+        Ecs::with_names(
+            Matrix::from_rows(&[
+                &[5.0, 1.0, 3.0],
+                &[1.0, 0.5, 0.5],
+                &[2.0, 2.0, 2.0],
+            ])
+            .unwrap(),
+            vec!["hard?".into(), "hardest".into(), "middling".into()],
+            vec!["fast".into(), "slow".into(), "mid".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sorts_ascending() {
+        let c = canonical_form(&env()).unwrap();
+        assert!(is_canonical(&c.ecs).unwrap());
+        for w in c.task_difficulties.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for w in c.machine_performances.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Row sums: t1 = 9, t2 = 2, t3 = 6 → order [1, 2, 0].
+        assert_eq!(c.task_perm, vec![1, 2, 0]);
+        // Col sums: m1 = 8, m2 = 3.5, m3 = 5.5 → order [1, 2, 0].
+        assert_eq!(c.machine_perm, vec![1, 2, 0]);
+        // Labels follow.
+        assert_eq!(c.ecs.task_names()[0], "hardest");
+        assert_eq!(c.ecs.machine_names()[0], "slow");
+        assert!(!c.was_canonical());
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let c1 = canonical_form(&env()).unwrap();
+        let c2 = canonical_form(&c1.ecs).unwrap();
+        assert!(c2.was_canonical());
+        assert_eq!(c1.ecs.matrix(), c2.ecs.matrix());
+    }
+
+    #[test]
+    fn measures_invariant_under_canonicalization() {
+        let e = env();
+        let c = canonical_form(&e).unwrap();
+        assert!((mph(&e).unwrap() - mph(&c.ecs).unwrap()).abs() < 1e-12);
+        assert!((tdh(&e).unwrap() - tdh(&c.ecs).unwrap()).abs() < 1e-12);
+        assert!((tma(&e).unwrap() - tma(&c.ecs).unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stable_on_ties() {
+        let e = Ecs::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let c = canonical_form(&e).unwrap();
+        assert!(c.was_canonical());
+        assert_eq!(c.task_perm, vec![0, 1]);
+    }
+
+    #[test]
+    fn weighted_canonical_can_differ() {
+        let e = env();
+        // Weight machine 2 (index 1) heavily: its performance jumps ahead.
+        let w = Weights::new(vec![1.0; 3], vec![1.0, 10.0, 1.0]).unwrap();
+        let cu = canonical_form(&e).unwrap();
+        let cw = canonical_form_weighted(&e, &w).unwrap();
+        assert_ne!(cu.machine_perm, cw.machine_perm);
+    }
+
+    #[test]
+    fn is_canonical_detects_order() {
+        let sorted = Ecs::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(is_canonical(&sorted).unwrap());
+        let unsorted = Ecs::from_rows(&[&[4.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(!is_canonical(&unsorted).unwrap());
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type for measure computations.
+
+use hc_linalg::LinAlgError;
+use std::fmt;
+
+/// Errors produced while constructing matrices or computing measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureError {
+    /// Underlying linear-algebra failure.
+    LinAlg(LinAlgError),
+    /// The ETC/ECS matrix is structurally invalid for the paper's model
+    /// (negative entries, all-zero row = task no machine can run, all-zero
+    /// column = machine that can run nothing, NaN, …).
+    InvalidEnvironment {
+        /// What is wrong.
+        reason: String,
+    },
+    /// TMA was requested on a matrix with zeros whose pattern admits no exact
+    /// standard form (paper Sec. VI), and the zero policy forbids fallbacks.
+    NotBalanceable {
+        /// Diagnostic from the structure analysis.
+        detail: String,
+    },
+    /// The balancing iteration did not reach the tolerance within its budget.
+    BalanceDidNotConverge {
+        /// Residual at stop.
+        residual: f64,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// A weights vector has the wrong length or non-positive entries.
+    InvalidWeights {
+        /// What is wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::LinAlg(e) => write!(f, "linear algebra error: {e}"),
+            MeasureError::InvalidEnvironment { reason } => {
+                write!(f, "invalid HC environment: {reason}")
+            }
+            MeasureError::NotBalanceable { detail } => {
+                write!(f, "no exact standard form exists: {detail}")
+            }
+            MeasureError::BalanceDidNotConverge {
+                residual,
+                iterations,
+            } => write!(
+                f,
+                "standard-form iteration did not converge ({iterations} iterations, residual {residual:.3e})"
+            ),
+            MeasureError::InvalidWeights { reason } => write!(f, "invalid weights: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MeasureError::LinAlg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinAlgError> for MeasureError {
+    fn from(e: LinAlgError) -> Self {
+        MeasureError::LinAlg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MeasureError::InvalidEnvironment {
+            reason: "all-zero row 3".into(),
+        };
+        assert!(e.to_string().contains("all-zero row 3"));
+        let e = MeasureError::NotBalanceable {
+            detail: "no total support".into(),
+        };
+        assert!(e.to_string().contains("no total support"));
+        let e = MeasureError::BalanceDidNotConverge {
+            residual: 1e-3,
+            iterations: 42,
+        };
+        assert!(e.to_string().contains("42"));
+        let e = MeasureError::InvalidWeights {
+            reason: "negative".into(),
+        };
+        assert!(e.to_string().contains("negative"));
+    }
+
+    #[test]
+    fn from_linalg() {
+        let e: MeasureError = LinAlgError::Empty { op: "svd" }.into();
+        assert!(matches!(e, MeasureError::LinAlg(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

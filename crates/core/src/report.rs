@@ -1,0 +1,160 @@
+//! One-call characterization of an HC environment.
+
+use crate::ecs::Ecs;
+use crate::error::MeasureError;
+use crate::measures::{machine_performances, mph_weighted, task_difficulties, tdh_weighted};
+use crate::standard::{standard_form, tma_from_standard_form, TmaOptions};
+use crate::weights::Weights;
+
+/// The three paper measures plus diagnostics, computed together.
+#[derive(Debug, Clone)]
+pub struct MeasureReport {
+    /// Machine performance homogeneity (Eq. 3), in `(0, 1]`.
+    pub mph: f64,
+    /// Task difficulty homogeneity (Eq. 7), in `(0, 1]`.
+    pub tdh: f64,
+    /// Task-machine affinity (Eq. 8), in `[0, 1]`.
+    pub tma: f64,
+    /// Machine performances `MP_j` in machine order.
+    pub machine_performances: Vec<f64>,
+    /// Task difficulties `TD_i` in task order.
+    pub task_difficulties: Vec<f64>,
+    /// Sinkhorn iterations the standard form took.
+    pub standardization_iterations: usize,
+    /// `true` when TMA was computed through ε-regularization.
+    pub regularized: bool,
+    /// `true` when TMA was computed on the total-support core (limit form).
+    pub reduced_to_core: bool,
+}
+
+impl MeasureReport {
+    /// Renders the report as a GitHub-flavored markdown table with per-machine
+    /// and per-task breakdowns.
+    pub fn to_markdown(&self, task_names: &[String], machine_names: &[String]) -> String {
+        let mut out = String::from("| measure | value |\n|---|---|\n");
+        out.push_str(&format!("| MPH | {:.4} |\n", self.mph));
+        out.push_str(&format!("| TDH | {:.4} |\n", self.tdh));
+        out.push_str(&format!("| TMA | {:.4} |\n", self.tma));
+        out.push_str(&format!(
+            "| standardization iterations | {} |\n\n",
+            self.standardization_iterations
+        ));
+        out.push_str("| machine | performance |\n|---|---|\n");
+        for (k, v) in self.machine_performances.iter().enumerate() {
+            let name = machine_names.get(k).map(String::as_str).unwrap_or("?");
+            out.push_str(&format!("| {name} | {v:.6} |\n"));
+        }
+        out.push_str("\n| task | difficulty |\n|---|---|\n");
+        for (k, v) in self.task_difficulties.iter().enumerate() {
+            let name = task_names.get(k).map(String::as_str).unwrap_or("?");
+            out.push_str(&format!("| {name} | {v:.6} |\n"));
+        }
+        out
+    }
+
+    /// Renders the report as a compact single-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "MPH = {:.2}, TDH = {:.2}, TMA = {:.2} ({} standardization iterations)",
+            self.mph, self.tdh, self.tma, self.standardization_iterations
+        )
+    }
+}
+
+/// Computes MPH, TDH, and TMA with default options and uniform weights.
+///
+/// ```
+/// use hc_core::ecs::Ecs;
+/// use hc_core::report::characterize;
+///
+/// // A rank-1 (proportional-column) environment: machines differ in speed only.
+/// let ecs = Ecs::from_rows(&[&[1.0, 2.0], &[3.0, 6.0]]).unwrap();
+/// let r = characterize(&ecs).unwrap();
+/// assert!(r.tma < 1e-7);           // no affinity
+/// assert!(r.mph > 0.0 && r.mph <= 1.0);
+/// ```
+pub fn characterize(ecs: &Ecs) -> Result<MeasureReport, MeasureError> {
+    characterize_with(
+        ecs,
+        &Weights::uniform(ecs.num_tasks(), ecs.num_machines()),
+        &TmaOptions::default(),
+    )
+}
+
+/// Computes MPH, TDH, and TMA with explicit weights and TMA options.
+///
+/// The weights are used for MPH/TDH per Eqs. 4 and 6; TMA sees the entrywise
+/// weighted matrix when `opts.weights` is set (note TMA is invariant under
+/// diagonal weighting by construction — the standard form quotients it out).
+pub fn characterize_with(
+    ecs: &Ecs,
+    weights: &Weights,
+    opts: &TmaOptions,
+) -> Result<MeasureReport, MeasureError> {
+    let mp = machine_performances(ecs, weights)?;
+    let td = task_difficulties(ecs, weights)?;
+    let mph = mph_weighted(ecs, weights)?;
+    let tdh = tdh_weighted(ecs, weights)?;
+    let sf = standard_form(ecs, opts)?;
+    let tma = tma_from_standard_form(&sf, opts.svd)?;
+    Ok(MeasureReport {
+        mph,
+        tdh,
+        tma,
+        machine_performances: mp,
+        task_difficulties: td,
+        standardization_iterations: sf.iterations,
+        regularized: sf.regularized,
+        reduced_to_core: sf.reduced_to_core,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterize_basic() {
+        let ecs = Ecs::from_rows(&[&[2.0, 1.0], &[5.0, 3.0], &[4.0, 2.0], &[6.0, 1.0]]).unwrap();
+        let r = characterize(&ecs).unwrap();
+        assert!(r.mph > 0.0 && r.mph <= 1.0);
+        assert!(r.tdh > 0.0 && r.tdh <= 1.0);
+        assert!((0.0..=1.0).contains(&r.tma));
+        assert_eq!(r.machine_performances, vec![17.0, 7.0]);
+        assert_eq!(r.task_difficulties, vec![3.0, 8.0, 6.0, 7.0]);
+        assert!(!r.regularized);
+        assert!(!r.reduced_to_core);
+        assert!(r.summary().contains("MPH"));
+    }
+
+    #[test]
+    fn report_matches_individual_measures() {
+        let ecs = Ecs::from_rows(&[&[3.0, 1.0, 0.5], &[1.0, 4.0, 2.0], &[0.5, 2.0, 5.0]]).unwrap();
+        let r = characterize(&ecs).unwrap();
+        assert!((r.mph - crate::measures::mph(&ecs).unwrap()).abs() < 1e-12);
+        assert!((r.tdh - crate::measures::tdh(&ecs).unwrap()).abs() < 1e-12);
+        assert!((r.tma - crate::standard::tma(&ecs).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let ecs = Ecs::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let r = characterize(&ecs).unwrap();
+        let md = r.to_markdown(ecs.task_names(), ecs.machine_names());
+        assert!(md.contains("| MPH |"));
+        assert!(md.contains("| t1 |"));
+        assert!(md.contains("| m2 |"));
+        // Missing names degrade gracefully.
+        let partial = r.to_markdown(&[], &[]);
+        assert!(partial.contains("| ? |"));
+    }
+
+    #[test]
+    fn core_reduction_reported() {
+        // Triangular pattern: limit policy reduces to the diagonal core.
+        let ecs = Ecs::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let r = characterize(&ecs).unwrap();
+        assert!(r.reduced_to_core);
+        assert!((r.tma - 1.0).abs() < 1e-7, "limit TMA should be 1");
+    }
+}

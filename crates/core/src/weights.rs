@@ -1,0 +1,129 @@
+//! Task and machine weighting factors (paper Eqs. 4 and 6).
+//!
+//! `w_t[i]` can encode a task type's importance, execution frequency, or execution
+//! probability; `w_m[j]` can encode machine attributes such as security level.
+//! Weighted machine performance and task difficulty are
+//!
+//! ```text
+//! MP_j = w_m[j] · Σ_i w_t[i] · ECS(i, j)        (Eq. 4)
+//! TD_i = w_t[i] · Σ_j w_m[j] · ECS(i, j)        (Eq. 6)
+//! ```
+
+use crate::ecs::Ecs;
+use crate::error::MeasureError;
+
+/// Weighting factors for the measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weights {
+    task: Vec<f64>,
+    machine: Vec<f64>,
+}
+
+impl Weights {
+    /// Uniform weights (all 1) — reduces Eqs. 4 and 6 to Eqs. 2 and the unweighted
+    /// row sums.
+    pub fn uniform(num_tasks: usize, num_machines: usize) -> Self {
+        Weights {
+            task: vec![1.0; num_tasks],
+            machine: vec![1.0; num_machines],
+        }
+    }
+
+    /// Explicit weights; every entry must be positive and finite.
+    pub fn new(task: Vec<f64>, machine: Vec<f64>) -> Result<Self, MeasureError> {
+        if task.iter().any(|&w| !w.is_finite() || w <= 0.0) {
+            return Err(MeasureError::InvalidWeights {
+                reason: "task weights must be positive and finite".into(),
+            });
+        }
+        if machine.iter().any(|&w| !w.is_finite() || w <= 0.0) {
+            return Err(MeasureError::InvalidWeights {
+                reason: "machine weights must be positive and finite".into(),
+            });
+        }
+        Ok(Weights { task, machine })
+    }
+
+    /// Validates the dimensions against an environment.
+    pub fn check(&self, ecs: &Ecs) -> Result<(), MeasureError> {
+        if self.task.len() != ecs.num_tasks() || self.machine.len() != ecs.num_machines() {
+            return Err(MeasureError::InvalidWeights {
+                reason: format!(
+                    "weights sized ({}, {}) but environment is {} tasks x {} machines",
+                    self.task.len(),
+                    self.machine.len(),
+                    ecs.num_tasks(),
+                    ecs.num_machines()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Task weight vector.
+    pub fn task(&self) -> &[f64] {
+        &self.task
+    }
+
+    /// Machine weight vector.
+    pub fn machine(&self) -> &[f64] {
+        &self.machine
+    }
+
+    /// `true` when every weight is exactly 1.
+    pub fn is_uniform(&self) -> bool {
+        self.task.iter().all(|&w| w == 1.0) && self.machine.iter().all(|&w| w == 1.0)
+    }
+
+    /// The entrywise-weighted matrix `W(i, j) = w_t[i] · w_m[j] · ECS(i, j)` used
+    /// when computing TMA under weights.
+    pub fn apply(&self, ecs: &Ecs) -> hc_linalg::Matrix {
+        let m = ecs.matrix();
+        hc_linalg::Matrix::from_fn(m.rows(), m.cols(), |i, j| {
+            self.task[i] * self.machine[j] * m[(i, j)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Ecs {
+        Ecs::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn uniform_is_uniform() {
+        let w = Weights::uniform(2, 2);
+        assert!(w.is_uniform());
+        w.check(&env()).unwrap();
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        assert!(Weights::new(vec![1.0, 0.0], vec![1.0]).is_err());
+        assert!(Weights::new(vec![1.0], vec![-2.0]).is_err());
+        assert!(Weights::new(vec![f64::NAN], vec![1.0]).is_err());
+        assert!(Weights::new(vec![f64::INFINITY], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn dimension_check() {
+        let w = Weights::new(vec![1.0, 2.0, 3.0], vec![1.0, 1.0]).unwrap();
+        assert!(w.check(&env()).is_err());
+        let ok = Weights::new(vec![1.0, 2.0], vec![1.0, 1.0]).unwrap();
+        assert!(ok.check(&env()).is_ok());
+        assert!(!ok.is_uniform());
+    }
+
+    #[test]
+    fn apply_scales_entries() {
+        let w = Weights::new(vec![2.0, 1.0], vec![1.0, 10.0]).unwrap();
+        let m = w.apply(&env());
+        assert_eq!(m[(0, 0)], 2.0); // 2 * 1 * 1
+        assert_eq!(m[(0, 1)], 40.0); // 2 * 10 * 2
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m[(1, 1)], 40.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! What-if studies: the effect of adding or removing task types or machines on
+//! the heterogeneity measures (one of the applications motivating the paper's
+//! Sec. I).
+
+use crate::ecs::Ecs;
+use crate::error::MeasureError;
+use crate::report::{characterize, MeasureReport};
+use hc_linalg::Matrix;
+
+/// A what-if scenario result: the measures before and after an environment edit.
+#[derive(Debug, Clone)]
+pub struct WhatIf {
+    /// Human-readable description of the edit.
+    pub description: String,
+    /// Measures of the original environment.
+    pub before: MeasureReport,
+    /// Measures of the edited environment.
+    pub after: MeasureReport,
+}
+
+impl WhatIf {
+    /// Change in MPH (after − before).
+    pub fn delta_mph(&self) -> f64 {
+        self.after.mph - self.before.mph
+    }
+
+    /// Change in TDH (after − before).
+    pub fn delta_tdh(&self) -> f64 {
+        self.after.tdh - self.before.tdh
+    }
+
+    /// Change in TMA (after − before).
+    pub fn delta_tma(&self) -> f64 {
+        self.after.tma - self.before.tma
+    }
+}
+
+/// Measures after removing task type `task` from the environment.
+pub fn remove_task(ecs: &Ecs, task: usize) -> Result<WhatIf, MeasureError> {
+    if task >= ecs.num_tasks() {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: format!("task index {task} out of range ({})", ecs.num_tasks()),
+        });
+    }
+    if ecs.num_tasks() == 1 {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: "cannot remove the only task type".into(),
+        });
+    }
+    let keep: Vec<usize> = (0..ecs.num_tasks()).filter(|&i| i != task).collect();
+    let all: Vec<usize> = (0..ecs.num_machines()).collect();
+    let after_env = ecs.subenvironment(&keep, &all)?;
+    Ok(WhatIf {
+        description: format!("remove task '{}'", ecs.task_names()[task]),
+        before: characterize(ecs)?,
+        after: characterize(&after_env)?,
+    })
+}
+
+/// Measures after removing machine `machine` from the environment.
+pub fn remove_machine(ecs: &Ecs, machine: usize) -> Result<WhatIf, MeasureError> {
+    if machine >= ecs.num_machines() {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: format!(
+                "machine index {machine} out of range ({})",
+                ecs.num_machines()
+            ),
+        });
+    }
+    if ecs.num_machines() == 1 {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: "cannot remove the only machine".into(),
+        });
+    }
+    let all: Vec<usize> = (0..ecs.num_tasks()).collect();
+    let keep: Vec<usize> = (0..ecs.num_machines()).filter(|&j| j != machine).collect();
+    let after_env = ecs.subenvironment(&all, &keep)?;
+    Ok(WhatIf {
+        description: format!("remove machine '{}'", ecs.machine_names()[machine]),
+        before: characterize(ecs)?,
+        after: characterize(&after_env)?,
+    })
+}
+
+/// Measures after adding a task type with the given per-machine ECS row.
+pub fn add_task(ecs: &Ecs, name: &str, ecs_row: &[f64]) -> Result<WhatIf, MeasureError> {
+    if ecs_row.len() != ecs.num_machines() {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: format!(
+                "new task row has {} entries; environment has {} machines",
+                ecs_row.len(),
+                ecs.num_machines()
+            ),
+        });
+    }
+    let old = ecs.matrix();
+    let m = Matrix::from_fn(old.rows() + 1, old.cols(), |i, j| {
+        if i < old.rows() {
+            old[(i, j)]
+        } else {
+            ecs_row[j]
+        }
+    });
+    let mut names = ecs.task_names().to_vec();
+    names.push(name.to_string());
+    let after_env = Ecs::with_names(m, names, ecs.machine_names().to_vec())?;
+    Ok(WhatIf {
+        description: format!("add task '{name}'"),
+        before: characterize(ecs)?,
+        after: characterize(&after_env)?,
+    })
+}
+
+/// Measures after adding a machine with the given per-task ECS column.
+pub fn add_machine(ecs: &Ecs, name: &str, ecs_col: &[f64]) -> Result<WhatIf, MeasureError> {
+    if ecs_col.len() != ecs.num_tasks() {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: format!(
+                "new machine column has {} entries; environment has {} tasks",
+                ecs_col.len(),
+                ecs.num_tasks()
+            ),
+        });
+    }
+    let old = ecs.matrix();
+    let m = Matrix::from_fn(old.rows(), old.cols() + 1, |i, j| {
+        if j < old.cols() {
+            old[(i, j)]
+        } else {
+            ecs_col[i]
+        }
+    });
+    let mut names = ecs.machine_names().to_vec();
+    names.push(name.to_string());
+    let after_env = Ecs::with_names(m, ecs.task_names().to_vec(), names)?;
+    Ok(WhatIf {
+        description: format!("add machine '{name}'"),
+        before: characterize(ecs)?,
+        after: characterize(&after_env)?,
+    })
+}
+
+/// Per-element sensitivity sweep: the measure deltas from removing each machine in
+/// turn (machines whose removal invalidates the environment are skipped).
+pub fn machine_sensitivities(ecs: &Ecs) -> Vec<(usize, WhatIf)> {
+    (0..ecs.num_machines())
+        .filter_map(|j| remove_machine(ecs, j).ok().map(|w| (j, w)))
+        .collect()
+}
+
+/// Per-element sensitivity sweep over task removals.
+pub fn task_sensitivities(ecs: &Ecs) -> Vec<(usize, WhatIf)> {
+    (0..ecs.num_tasks())
+        .filter_map(|i| remove_task(ecs, i).ok().map(|w| (i, w)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Ecs {
+        Ecs::from_rows(&[
+            &[3.0, 1.0, 0.5],
+            &[1.0, 4.0, 2.0],
+            &[0.5, 2.0, 5.0],
+            &[1.0, 1.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn remove_task_changes_shape() {
+        let w = remove_task(&env(), 3).unwrap();
+        assert_eq!(w.after.task_difficulties.len(), 3);
+        assert_eq!(w.before.task_difficulties.len(), 4);
+        assert!(w.description.contains("t4"));
+    }
+
+    #[test]
+    fn remove_only_specialized_machine_zeroes_tma() {
+        // Machines 1 and 2 are proportional; machine 3 is the only specialized
+        // one. Removing it leaves a rank-1 environment: TMA drops to 0.
+        let e = Ecs::from_rows(&[
+            &[1.0, 2.0, 9.0],
+            &[2.0, 4.0, 0.5],
+            &[3.0, 6.0, 0.5],
+        ])
+        .unwrap();
+        let w = remove_machine(&e, 2).unwrap();
+        assert!(w.before.tma > 0.05);
+        assert!(w.after.tma < 1e-7, "after TMA = {}", w.after.tma);
+        assert!(w.delta_tma() < 0.0);
+    }
+
+    #[test]
+    fn add_uniform_task_raises_nothing_dramatic() {
+        let w = add_task(&env(), "uniform", &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(w.after.task_difficulties.len(), 5);
+        assert!((0.0..=1.0).contains(&w.after.tma));
+    }
+
+    #[test]
+    fn add_proportional_machine_keeps_tma_low_for_rank1() {
+        // Start from a rank-1 (zero TMA) environment and add a proportional
+        // machine: TMA stays 0.
+        let base = Ecs::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let w = add_machine(&base, "m3", &[4.0, 8.0, 12.0]).unwrap();
+        assert!(w.before.tma < 1e-7);
+        assert!(w.after.tma < 1e-7);
+    }
+
+    #[test]
+    fn add_specialized_machine_raises_tma() {
+        let base = Ecs::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        // A machine great at task 1 only.
+        let w = add_machine(&base, "accelerator", &[50.0, 0.1, 0.1]).unwrap();
+        assert!(w.delta_tma() > 0.05, "delta TMA = {}", w.delta_tma());
+    }
+
+    #[test]
+    fn invalid_edits_rejected() {
+        let e = env();
+        assert!(remove_task(&e, 10).is_err());
+        assert!(remove_machine(&e, 10).is_err());
+        assert!(add_task(&e, "x", &[1.0]).is_err());
+        assert!(add_machine(&e, "x", &[1.0]).is_err());
+        let single_task = Ecs::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(remove_task(&single_task, 0).is_err());
+        let single_machine = Ecs::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert!(remove_machine(&single_machine, 0).is_err());
+    }
+
+    #[test]
+    fn sensitivity_sweeps_cover_all_indices() {
+        let e = env();
+        assert_eq!(machine_sensitivities(&e).len(), 3);
+        assert_eq!(task_sensitivities(&e).len(), 4);
+    }
+}

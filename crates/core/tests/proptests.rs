@@ -1,0 +1,110 @@
+//! Property-based tests for the measure definitions: ranges, scale invariance,
+//! and the independence property (the paper's third requirement for heterogeneity
+//! measures).
+
+use hc_core::ecs::Ecs;
+use hc_core::measures::{mph, tdh};
+use hc_core::standard::tma;
+use hc_linalg::Matrix;
+use proptest::prelude::*;
+
+fn arb_ecs() -> impl Strategy<Value = Ecs> {
+    (2usize..=7, 2usize..=7).prop_flat_map(|(t, m)| {
+        proptest::collection::vec(0.05_f64..20.0, t * m)
+            .prop_map(move |data| Ecs::new(Matrix::from_vec(t, m, data).unwrap()).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn measures_in_range(e in arb_ecs()) {
+        let mph_v = mph(&e).unwrap();
+        let tdh_v = tdh(&e).unwrap();
+        let tma_v = tma(&e).unwrap();
+        prop_assert!(mph_v > 0.0 && mph_v <= 1.0 + 1e-12, "MPH = {}", mph_v);
+        prop_assert!(tdh_v > 0.0 && tdh_v <= 1.0 + 1e-12, "TDH = {}", tdh_v);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&tma_v), "TMA = {}", tma_v);
+    }
+
+    #[test]
+    fn scale_invariance_second_property(e in arb_ecs(), k in 0.001_f64..1000.0) {
+        // The paper's second requirement: multiplying the ETC/ECS matrix by a
+        // scalar (a unit change) must not move any measure.
+        let scaled = Ecs::new(e.matrix().scaled(k)).unwrap();
+        prop_assert!((mph(&e).unwrap() - mph(&scaled).unwrap()).abs() < 1e-10);
+        prop_assert!((tdh(&e).unwrap() - tdh(&scaled).unwrap()).abs() < 1e-10);
+        prop_assert!((tma(&e).unwrap() - tma(&scaled).unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tma_invariant_under_row_scaling(e in arb_ecs(), f in 0.05_f64..20.0) {
+        // Independence (third property): changing TDH via a row scaling must leave
+        // TMA untouched.
+        let mut m = e.matrix().clone();
+        m.scale_row(0, f);
+        let scaled = Ecs::new(m).unwrap();
+        prop_assert!(
+            (tma(&e).unwrap() - tma(&scaled).unwrap()).abs() < 1e-5,
+            "TMA moved under row scaling"
+        );
+    }
+
+    #[test]
+    fn tma_invariant_under_col_scaling(e in arb_ecs(), f in 0.05_f64..20.0) {
+        // Changing MPH via a column scaling must leave TMA untouched.
+        let mut m = e.matrix().clone();
+        m.scale_col(0, f);
+        let scaled = Ecs::new(m).unwrap();
+        prop_assert!(
+            (tma(&e).unwrap() - tma(&scaled).unwrap()).abs() < 1e-5,
+            "TMA moved under column scaling"
+        );
+    }
+
+    #[test]
+    fn mph_permutation_invariant(e in arb_ecs()) {
+        let perm: Vec<usize> = (0..e.num_machines()).rev().collect();
+        let p = Ecs::new(e.matrix().permute_cols(&perm).unwrap()).unwrap();
+        prop_assert!((mph(&e).unwrap() - mph(&p).unwrap()).abs() < 1e-12);
+        prop_assert!((tma(&e).unwrap() - tma(&p).unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tdh_permutation_invariant(e in arb_ecs()) {
+        let perm: Vec<usize> = (0..e.num_tasks()).rev().collect();
+        let p = Ecs::new(e.matrix().permute_rows(&perm).unwrap()).unwrap();
+        prop_assert!((tdh(&e).unwrap() - tdh(&p).unwrap()).abs() < 1e-12);
+        prop_assert!((tma(&e).unwrap() - tma(&p).unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_one_always_zero_tma(
+        a in proptest::collection::vec(0.1_f64..10.0, 2..7),
+        b in proptest::collection::vec(0.1_f64..10.0, 2..7),
+    ) {
+        // ECS(i, j) = a_i · b_j has proportional columns → TMA = 0, for any
+        // MPH/TDH values — the constructive half of measure independence.
+        let m = Matrix::from_fn(a.len(), b.len(), |i, j| a[i] * b[j]);
+        let e = Ecs::new(m).unwrap();
+        prop_assert!(tma(&e).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_swaps_mph_tdh(e in arb_ecs()) {
+        // Transposing the ECS matrix exchanges tasks and machines, so MPH and TDH
+        // swap while TMA is symmetric.
+        let t = Ecs::new(e.matrix().transpose()).unwrap();
+        prop_assert!((mph(&e).unwrap() - tdh(&t).unwrap()).abs() < 1e-12);
+        prop_assert!((tdh(&e).unwrap() - mph(&t).unwrap()).abs() < 1e-12);
+        prop_assert!((tma(&e).unwrap() - tma(&t).unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn etc_ecs_round_trip_preserves_measures(e in arb_ecs()) {
+        let round = e.to_etc().to_ecs();
+        prop_assert!((mph(&e).unwrap() - mph(&round).unwrap()).abs() < 1e-9);
+        prop_assert!((tdh(&e).unwrap() - tdh(&round).unwrap()).abs() < 1e-9);
+    }
+}

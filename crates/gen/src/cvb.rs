@@ -1,0 +1,151 @@
+//! The coefficient-of-variation-based (CVB) ETC generation method
+//! (Ali et al. 2000): heterogeneity is specified by the COV of gamma
+//! distributions rather than by ranges, giving independent, interpretable knobs.
+//!
+//! Procedure: draw a per-task mean `q_i ~ Gamma(mean = μ_task, cov = V_task)`;
+//! each row is then filled with `ETC(i, j) ~ Gamma(mean = q_i, cov = V_mach)`.
+
+use crate::dist::gamma_mean_cov;
+use hc_core::ecs::Etc;
+use hc_core::error::MeasureError;
+use hc_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters for the CVB generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvbParams {
+    /// Number of task types (rows).
+    pub tasks: usize,
+    /// Number of machines (columns).
+    pub machines: usize,
+    /// Mean task execution time `μ_task`.
+    pub mean_task: f64,
+    /// Task heterogeneity: COV of the per-task means.
+    pub v_task: f64,
+    /// Machine heterogeneity: COV of the entries within a row.
+    pub v_mach: f64,
+}
+
+impl CvbParams {
+    /// A balanced default around the literature's common settings.
+    pub fn new(tasks: usize, machines: usize, v_task: f64, v_mach: f64) -> Self {
+        CvbParams {
+            tasks,
+            machines,
+            mean_task: 1000.0,
+            v_task,
+            v_mach,
+        }
+    }
+}
+
+/// Generates an ETC matrix with the CVB method, deterministically from `seed`.
+pub fn cvb(params: &CvbParams, seed: u64) -> Result<Etc, MeasureError> {
+    if params.tasks == 0 || params.machines == 0 {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: "cvb requires at least one task and one machine".into(),
+        });
+    }
+    if (params.mean_task <= 0.0 || params.mean_task.is_nan()) || (params.v_task <= 0.0 || params.v_task.is_nan()) || (params.v_mach <= 0.0 || params.v_mach.is_nan()) {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: "cvb parameters must be positive".into(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let q: Vec<f64> = (0..params.tasks)
+        .map(|_| gamma_mean_cov(&mut rng, params.mean_task, params.v_task))
+        .collect();
+    let m = Matrix::from_fn(params.tasks, params.machines, |i, _| {
+        gamma_mean_cov(&mut rng, q[i], params.v_mach)
+    });
+    Etc::new(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::measures::{mph, tdh};
+    use hc_core::standard::tma;
+
+    #[test]
+    fn shape_and_positivity() {
+        let etc = cvb(&CvbParams::new(12, 5, 0.3, 0.3), 3).unwrap();
+        assert_eq!(etc.num_tasks(), 12);
+        assert_eq!(etc.num_machines(), 5);
+        assert!(etc.matrix().is_positive());
+    }
+
+    #[test]
+    fn determinism() {
+        let a = cvb(&CvbParams::new(5, 4, 0.5, 0.2), 11).unwrap();
+        let b = cvb(&CvbParams::new(5, 4, 0.5, 0.2), 11).unwrap();
+        assert_eq!(a.matrix(), b.matrix());
+    }
+
+    #[test]
+    fn vtask_controls_task_heterogeneity() {
+        let n = 24;
+        let avg_tdh = |v_task: f64| -> f64 {
+            (0..n)
+                .map(|s| tdh(&cvb(&CvbParams::new(10, 6, v_task, 0.1), s).unwrap().to_ecs()).unwrap())
+                .sum::<f64>()
+                / n as f64
+        };
+        let low = avg_tdh(0.1);
+        let high = avg_tdh(1.0);
+        assert!(
+            high < low,
+            "higher V_task must lower TDH: {high} vs {low}"
+        );
+    }
+
+    #[test]
+    fn vmach_controls_affinity() {
+        // With V_mach → 0 rows are near-proportional (TMA → 0); raising V_mach
+        // decorrelates columns and raises TMA.
+        let n = 16;
+        let avg_tma = |v_mach: f64| -> f64 {
+            (0..n)
+                .map(|s| tma(&cvb(&CvbParams::new(8, 5, 0.3, v_mach), s).unwrap().to_ecs()).unwrap())
+                .sum::<f64>()
+                / n as f64
+        };
+        let low = avg_tma(0.05);
+        let high = avg_tma(1.0);
+        assert!(low < 0.1, "near-proportional rows: TMA = {low}");
+        assert!(high > low * 2.0, "V_mach must raise TMA: {high} vs {low}");
+    }
+
+    #[test]
+    fn vmach_controls_machine_heterogeneity() {
+        let n = 24;
+        let avg_mph = |v_mach: f64| -> f64 {
+            (0..n)
+                .map(|s| mph(&cvb(&CvbParams::new(10, 6, 0.2, v_mach), s).unwrap().to_ecs()).unwrap())
+                .sum::<f64>()
+                / n as f64
+        };
+        let low = avg_mph(0.05);
+        let high = avg_mph(1.2);
+        assert!(high < low, "higher V_mach must lower MPH: {high} vs {low}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(cvb(&CvbParams::new(0, 5, 0.3, 0.3), 0).is_err());
+        assert!(cvb(&CvbParams::new(5, 0, 0.3, 0.3), 0).is_err());
+        assert!(cvb(
+            &CvbParams {
+                tasks: 2,
+                machines: 2,
+                mean_task: -1.0,
+                v_task: 0.1,
+                v_mach: 0.1
+            },
+            0
+        )
+        .is_err());
+        assert!(cvb(&CvbParams::new(2, 2, 0.0, 0.3), 0).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Samplers used by the generators: standard normal (Box–Muller polar) and gamma
+//! (Marsaglia–Tsang), implemented over `rand::Rng` so the crate needs no
+//! distribution crate.
+
+use rand::Rng;
+
+/// Samples a standard normal variate (Marsaglia polar method).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Samples `Gamma(shape, scale)` with mean `shape·scale` using Marsaglia–Tsang
+/// (2000) for `shape ≥ 1` and the Johnk-style boost `Gamma(a) =
+/// Gamma(a+1)·U^{1/a}` for `shape < 1`.
+///
+/// # Panics
+/// Panics when `shape` or `scale` is not positive and finite.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(
+        shape > 0.0 && shape.is_finite(),
+        "gamma: shape must be positive"
+    );
+    assert!(
+        scale > 0.0 && scale.is_finite(),
+        "gamma: scale must be positive"
+    );
+    if shape < 1.0 {
+        // Boost: draw Gamma(shape + 1) and multiply by U^(1/shape).
+        let g = gamma_ge1(rng, shape + 1.0);
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return g * u.powf(1.0 / shape) * scale;
+    }
+    gamma_ge1(rng, shape) * scale
+}
+
+fn gamma_ge1<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            continue;
+        }
+        let v = t * t * t;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Gamma distribution parameterized by mean and coefficient of variation, the
+/// form used by the CVB ETC generator: `shape = 1/cov²`, `scale = mean·cov²`.
+pub fn gamma_mean_cov<R: Rng + ?Sized>(rng: &mut R, mean: f64, cov: f64) -> f64 {
+    assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+    assert!(cov > 0.0 && cov.is_finite(), "cov must be positive");
+    let shape = 1.0 / (cov * cov);
+    let scale = mean / shape;
+    gamma(rng, shape, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..40_000).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_ge_1() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (shape, scale) = (4.0, 0.5);
+        let samples: Vec<f64> = (0..40_000).map(|_| gamma(&mut rng, shape, scale)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - shape * scale).abs() < 0.03, "mean = {mean}");
+        assert!((var - shape * scale * scale).abs() < 0.05, "var = {var}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_moments_shape_lt_1() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (shape, scale) = (0.5, 2.0);
+        let samples: Vec<f64> = (0..60_000).map(|_| gamma(&mut rng, shape, scale)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 1.0).abs() < 0.04, "mean = {mean}");
+        assert!((var - 2.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn gamma_mean_cov_parameterization() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let samples: Vec<f64> = (0..60_000)
+            .map(|_| gamma_mean_cov(&mut rng, 10.0, 0.3))
+            .collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+        let cov = var.sqrt() / mean;
+        assert!((cov - 0.3).abs() < 0.01, "cov = {cov}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| gamma(&mut rng, 2.0, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| gamma(&mut rng, 2.0, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gamma_rejects_bad_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        gamma(&mut rng, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gamma_rejects_bad_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        gamma(&mut rng, 1.0, -1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Deterministic, seed-addressed parallel ensemble generation.
+//!
+//! Benchmark sweeps need hundreds of matrices; each item is generated from
+//! `base_seed + index`, so results are reproducible and independent of the thread
+//! count (the parallel map preserves index order).
+
+use crate::cvb::{cvb, CvbParams};
+use crate::range_based::{range_based, RangeParams};
+use crate::targeted::{targeted, TargetSpec};
+use hc_core::ecs::{Ecs, Etc};
+use hc_core::error::MeasureError;
+use hc_linalg::par;
+
+/// Generates `count` range-based ETC matrices in parallel (seeds
+/// `base_seed..base_seed+count`).
+pub fn range_based_ensemble(
+    params: &RangeParams,
+    base_seed: u64,
+    count: usize,
+) -> Vec<Result<Etc, MeasureError>> {
+    par::par_map_indexed(count, par::num_threads(), |i| {
+        range_based(params, base_seed + i as u64)
+    })
+}
+
+/// Generates `count` CVB ETC matrices in parallel.
+pub fn cvb_ensemble(
+    params: &CvbParams,
+    base_seed: u64,
+    count: usize,
+) -> Vec<Result<Etc, MeasureError>> {
+    par::par_map_indexed(count, par::num_threads(), |i| {
+        cvb(params, base_seed + i as u64)
+    })
+}
+
+/// Generates `count` measure-targeted ECS matrices in parallel.
+pub fn targeted_ensemble(
+    spec: &TargetSpec,
+    base_seed: u64,
+    count: usize,
+) -> Vec<Result<Ecs, MeasureError>> {
+    par::par_map_indexed(count, par::num_threads(), |i| {
+        targeted(spec, base_seed + i as u64)
+    })
+}
+
+/// A grid of targeted specs spanning the (MPH, TDH, TMA) cube with `steps`
+/// values per axis (endpoints included), for heterogeneity-sweep studies.
+pub fn measure_grid(
+    tasks: usize,
+    machines: usize,
+    steps: usize,
+    tma_max: f64,
+) -> Vec<TargetSpec> {
+    assert!(steps >= 2, "grid needs at least 2 steps per axis");
+    let axis = |lo: f64, hi: f64| -> Vec<f64> {
+        (0..steps)
+            .map(|k| lo + (hi - lo) * k as f64 / (steps - 1) as f64)
+            .collect()
+    };
+    let mut specs = Vec::with_capacity(steps * steps * steps);
+    for &mph in &axis(0.1, 1.0) {
+        for &tdh in &axis(0.1, 1.0) {
+            for &tma in &axis(0.0, tma_max) {
+                specs.push(TargetSpec::exact(tasks, machines, mph, tdh, tma));
+            }
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_ensemble_deterministic_and_ordered() {
+        let p = RangeParams::lo_lo(4, 3);
+        let a = range_based_ensemble(&p, 100, 8);
+        let b = range_based_ensemble(&p, 100, 8);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_ref().unwrap().matrix(), y.as_ref().unwrap().matrix());
+        }
+        // Ensemble members differ.
+        assert!(a[0]
+            .as_ref()
+            .unwrap()
+            .matrix()
+            .max_abs_diff(a[1].as_ref().unwrap().matrix())
+            > 0.0);
+    }
+
+    #[test]
+    fn cvb_ensemble_works() {
+        let p = CvbParams::new(5, 4, 0.3, 0.3);
+        let out = cvb_ensemble(&p, 7, 6);
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn targeted_ensemble_all_hit_targets() {
+        let spec = TargetSpec {
+            jitter: 0.4,
+            ..TargetSpec::exact(5, 4, 0.7, 0.6, 0.15)
+        };
+        let out = targeted_ensemble(&spec, 0, 4);
+        for r in &out {
+            let e = r.as_ref().unwrap();
+            assert!((hc_core::measures::mph(e).unwrap() - 0.7).abs() < 1e-5);
+            assert!((hc_core::measures::tdh(e).unwrap() - 0.6).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn grid_covers_cube() {
+        let g = measure_grid(4, 4, 3, 0.8);
+        assert_eq!(g.len(), 27);
+        assert!(g.iter().any(|s| s.mph == 0.1 && s.tdh == 0.1 && s.tma == 0.0));
+        assert!(g.iter().any(|s| s.mph == 1.0 && s.tdh == 1.0 && (s.tma - 0.8).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_needs_two_steps() {
+        measure_grid(4, 4, 1, 0.5);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the generators: target accuracy, consistency
+//! transforms, and distributional knobs.
+
+use hc_core::measures::{adjacent_ratio_homogeneity, mph, tdh};
+use hc_core::standard::tma;
+use hc_gen::consistency::{classify, consistency_degree, make_consistent, Consistency};
+use hc_gen::range_based::{range_based, RangeParams};
+use hc_gen::targeted::{synth2x2, targeted, TargetSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn targeted_hits_arbitrary_targets(
+        t in 3usize..7,
+        m in 3usize..6,
+        mph_t in 0.15f64..1.0,
+        tdh_t in 0.15f64..1.0,
+        tma_t in 0.0f64..0.5,
+        seed in 0u64..50,
+    ) {
+        let e = targeted(
+            &TargetSpec { tasks: t, machines: m, mph: mph_t, tdh: tdh_t, tma: tma_t, jitter: 0.4 },
+            seed,
+        ).unwrap();
+        prop_assert!((mph(&e).unwrap() - mph_t).abs() < 1e-5);
+        prop_assert!((tdh(&e).unwrap() - tdh_t).abs() < 1e-5);
+        prop_assert!((tma(&e).unwrap() - tma_t).abs() < 1e-4);
+    }
+
+    #[test]
+    fn synth2x2_exact_everywhere(
+        mph_t in 0.05f64..1.0,
+        tdh_t in 0.05f64..1.0,
+        tma_t in 0.0f64..0.95,
+    ) {
+        let e = synth2x2(mph_t, tdh_t, tma_t).unwrap();
+        prop_assert!((mph(&e).unwrap() - mph_t).abs() < 1e-7);
+        prop_assert!((tdh(&e).unwrap() - tdh_t).abs() < 1e-7);
+        prop_assert!((tma(&e).unwrap() - tma_t).abs() < 1e-5);
+    }
+
+    #[test]
+    fn make_consistent_properties(seed in 0u64..200) {
+        let etc = range_based(&RangeParams::hi_hi(8, 5), seed).unwrap();
+        let c = make_consistent(etc.matrix());
+        // Classified consistent, degree 1.
+        prop_assert_eq!(classify(&c), Consistency::Consistent);
+        prop_assert_eq!(consistency_degree(&c), 1.0);
+        // Row multisets preserved.
+        for i in 0..c.rows() {
+            let mut orig: Vec<f64> = etc.matrix().row(i).to_vec();
+            let mut sorted: Vec<f64> = c.row(i).to_vec();
+            orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert_eq!(orig, sorted);
+        }
+        // Idempotent.
+        prop_assert_eq!(make_consistent(&c), c);
+    }
+
+    #[test]
+    fn consistency_degree_bounded(seed in 0u64..200) {
+        let etc = range_based(&RangeParams::lo_lo(6, 4), seed).unwrap();
+        let d = consistency_degree(etc.matrix());
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn generated_marginal_homogeneities_are_valid(
+        n in 2usize..9,
+        h in 0.05f64..1.0,
+    ) {
+        // Internal invariant surfaced through the public API: a targeted matrix's
+        // sorted marginals have adjacent-ratio homogeneity equal to the target.
+        let e = targeted(&TargetSpec::exact(n.max(2), 3, 0.5, h, 0.1), 0).unwrap();
+        let rows = e.matrix().row_sums();
+        let got = adjacent_ratio_homogeneity(&rows).unwrap();
+        prop_assert!((got - h).abs() < 1e-9, "{} vs {}", got, h);
+    }
+
+    #[test]
+    fn range_based_entries_within_ranges(seed in 0u64..100) {
+        let p = RangeParams { tasks: 6, machines: 4, r_task: 50.0, r_mach: 20.0 };
+        let etc = range_based(&p, seed).unwrap();
+        let m = etc.matrix();
+        prop_assert!(m.min().unwrap() >= 1.0);
+        prop_assert!(m.max().unwrap() <= 50.0 * 20.0);
+    }
+}
+
+/// Non-proptest sanity: a rank-one check that the consistent transform cannot
+/// raise TMA on average (statistical, so outside the per-case harness).
+#[test]
+fn consistency_never_raises_mean_tma() {
+    let mut raw_sum = 0.0;
+    let mut cons_sum = 0.0;
+    for seed in 0..16 {
+        let etc = range_based(&RangeParams::hi_hi(9, 5), seed).unwrap();
+        let raw_ecs = hc_core::Ecs::new(etc.matrix().map(|v| 1.0 / v)).unwrap();
+        let cons = make_consistent(etc.matrix());
+        let cons_ecs = hc_core::Ecs::new(cons.map(|v| 1.0 / v)).unwrap();
+        raw_sum += tma(&raw_ecs).unwrap();
+        cons_sum += tma(&cons_ecs).unwrap();
+    }
+    assert!(
+        cons_sum < raw_sum,
+        "mean TMA must drop under consistency: {cons_sum} vs {raw_sum}"
+    );
+}

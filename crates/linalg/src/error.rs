@@ -1,0 +1,142 @@
+//! Error type shared by every fallible operation in the crate.
+
+use std::fmt;
+
+/// Errors produced by dense linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinAlgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix dimension was zero where a non-empty matrix is required.
+    Empty {
+        /// The operation that required a non-empty matrix.
+        op: &'static str,
+    },
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// The algorithm that failed to converge.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual/off-diagonal magnitude at the point of failure.
+        residual: f64,
+    },
+    /// The input contained a non-finite (`NaN` or `±∞`) value.
+    NonFinite {
+        /// The operation that rejected the value.
+        op: &'static str,
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+    },
+    /// A matrix was singular (or numerically rank-deficient) where full rank is required.
+    Singular {
+        /// The operation that required full rank.
+        op: &'static str,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The operation performing the access.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The (exclusive) bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for LinAlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinAlgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinAlgError::Empty { op } => write!(f, "{op} requires a non-empty matrix"),
+            LinAlgError::NoConvergence {
+                algorithm,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinAlgError::NonFinite { op, row, col } => {
+                write!(f, "{op}: non-finite entry at ({row}, {col})")
+            }
+            LinAlgError::Singular { op } => write!(f, "{op}: matrix is singular"),
+            LinAlgError::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "{op}: index {index} out of bounds (< {bound})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinAlgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinAlgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = LinAlgError::NoConvergence {
+            algorithm: "jacobi-svd",
+            iterations: 64,
+            residual: 1.5e-3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("jacobi-svd"));
+        assert!(s.contains("64"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&LinAlgError::Empty { op: "svd" });
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(LinAlgError::Empty { op: "qr" }.to_string().contains("qr"));
+        assert!(LinAlgError::NonFinite {
+            op: "svd",
+            row: 1,
+            col: 2
+        }
+        .to_string()
+        .contains("(1, 2)"));
+        assert!(LinAlgError::Singular { op: "solve" }
+            .to_string()
+            .contains("singular"));
+        assert!(LinAlgError::IndexOutOfBounds {
+            op: "row",
+            index: 9,
+            bound: 3
+        }
+        .to_string()
+        .contains("9"));
+    }
+}

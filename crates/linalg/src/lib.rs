@@ -1,0 +1,48 @@
+//! # hc-linalg — dense linear algebra substrate
+//!
+//! A self-contained dense linear-algebra library backing the heterogeneity-measure
+//! stack. It provides exactly what the reproduction of *Characterizing Task-Machine
+//! Affinity in Heterogeneous Computing Environments* (Al-Qawasmeh et al., IPDPS 2011)
+//! needs — and nothing that would pull in an external numeric crate:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the usual structural and
+//!   arithmetic operations.
+//! * Norms ([`norms`]) — Frobenius, induced 1/∞, max-abs.
+//! * Householder QR ([`qr`]) and Golub–Kahan bidiagonalization ([`bidiag`]).
+//! * Two independent SVD algorithms ([`svd`]): one-sided Jacobi (high relative
+//!   accuracy, the default for the small ECS matrices in the paper) and
+//!   Golub–Reinsch implicit-shift bidiagonal QR (for larger inputs). A
+//!   crossbeam-parallel Jacobi variant lives in [`par`].
+//! * Symmetric eigen-solver and power iteration ([`eigen`]) used to cross-check the
+//!   SVDs in tests.
+//! * Scoped data-parallel helpers ([`par`]) built on `crossbeam::scope` — no detached
+//!   threads, deterministic reductions.
+//!
+//! All algorithms are implemented from the standard literature (Golub & Van Loan,
+//! *Matrix Computations*) and cross-validated against each other in the test suite.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bidiag;
+pub mod eigen;
+pub mod error;
+pub mod lowrank;
+pub mod lu;
+pub mod matmul;
+pub mod matrix;
+pub mod norms;
+pub mod par;
+pub mod qr;
+pub mod svd;
+pub mod vecops;
+
+pub use error::LinAlgError;
+pub use matrix::Matrix;
+pub use svd::{Svd, SvdAlgorithm};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinAlgError>;
+
+/// Default tolerance used by convergence loops.
+pub const DEFAULT_TOL: f64 = 1e-12;

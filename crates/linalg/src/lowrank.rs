@@ -1,0 +1,161 @@
+//! Truncated-SVD low-rank approximation.
+//!
+//! Downstream use: a rank-1 ECS matrix is exactly a **zero-affinity** environment
+//! (proportional columns, TMA = 0), so the relative residual of the best rank-1
+//! approximation is a natural alternative affinity gauge. The experiment harness
+//! compares it against the paper's TMA (extension X6).
+
+use crate::matrix::Matrix;
+use crate::svd::{svd_with, Svd, SvdAlgorithm};
+use crate::Result;
+
+/// Best rank-`k` approximation in Frobenius/2-norm (Eckart–Young), from a
+/// precomputed SVD.
+pub fn truncate(svd: &Svd, k: usize) -> Matrix {
+    let k = k.min(svd.singular_values.len());
+    let (m, n) = (svd.u.rows(), svd.v.rows());
+    let mut out = Matrix::zeros(m, n);
+    for r in 0..k {
+        let s = svd.singular_values[r];
+        if s == 0.0 {
+            break;
+        }
+        for i in 0..m {
+            let uis = svd.u[(i, r)] * s;
+            for j in 0..n {
+                out[(i, j)] += uis * svd.v[(j, r)];
+            }
+        }
+    }
+    out
+}
+
+/// Best rank-`k` approximation of `a`.
+pub fn low_rank(a: &Matrix, k: usize) -> Result<Matrix> {
+    let s = svd_with(a, SvdAlgorithm::Auto)?;
+    Ok(truncate(&s, k))
+}
+
+/// Relative Frobenius residual of the best rank-`k` approximation:
+/// `‖A − A_k‖_F / ‖A‖_F = sqrt(Σ_{i>k} σᵢ²) / sqrt(Σ σᵢ²)`.
+///
+/// Computed directly from the spectrum (no reconstruction needed).
+pub fn rank_residual(a: &Matrix, k: usize) -> Result<f64> {
+    let s = svd_with(a, SvdAlgorithm::Auto)?;
+    let total: f64 = s.singular_values.iter().map(|v| v * v).sum();
+    if total == 0.0 {
+        return Ok(0.0);
+    }
+    let tail: f64 = s.singular_values.iter().skip(k).map(|v| v * v).sum();
+    Ok((tail / total).sqrt())
+}
+
+/// Moore–Penrose pseudoinverse via the SVD, with singular values below
+/// `tol · σ₁` treated as zero.
+pub fn pseudo_inverse(a: &Matrix, tol: f64) -> Result<Matrix> {
+    let s = svd_with(a, SvdAlgorithm::Auto)?;
+    let cutoff = tol * s.sigma_max();
+    let k = s.singular_values.len();
+    let (m, n) = a.shape();
+    // A⁺ = V Σ⁺ Uᵀ  (n × m).
+    let mut out = Matrix::zeros(n, m);
+    for r in 0..k {
+        let sv = s.singular_values[r];
+        if sv <= cutoff || sv == 0.0 {
+            continue;
+        }
+        let inv = 1.0 / sv;
+        for i in 0..n {
+            let vir = s.v[(i, r)] * inv;
+            for j in 0..m {
+                out[(i, j)] += vir * s.u[(j, r)];
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul_naive;
+    use crate::norms::frobenius;
+
+    #[test]
+    fn rank1_of_rank1_is_exact() {
+        let a = Matrix::from_fn(4, 3, |i, j| ((i + 1) * (j + 2)) as f64);
+        let r1 = low_rank(&a, 1).unwrap();
+        assert!(r1.max_abs_diff(&a) < 1e-9);
+        assert!(rank_residual(&a, 1).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn full_rank_truncation_is_identity_map() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 5.0]]).unwrap();
+        let full = low_rank(&a, 2).unwrap();
+        assert!(full.max_abs_diff(&a) < 1e-10);
+        assert!(rank_residual(&a, 2).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn eckart_young_optimality_spotcheck() {
+        // The rank-1 residual must beat any other rank-1 candidate we try.
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let best = low_rank(&a, 1).unwrap();
+        let best_err = frobenius(&(&a - &best));
+        // Candidate: outer product of the dominant row direction — worse or equal.
+        let cand = Matrix::from_fn(2, 2, |_i, j| a[(0, j)]);
+        let cand_err = frobenius(&(&a - &cand));
+        assert!(best_err <= cand_err + 1e-12);
+        // Known spectrum {4, 2}: residual = 2/√20.
+        assert!((rank_residual(&a, 1).unwrap() - 2.0 / 20.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_decreases_with_rank() {
+        let a = Matrix::from_fn(6, 5, |i, j| 1.0 / ((i + j + 1) as f64)); // Hilbert-ish
+        let mut prev = f64::INFINITY;
+        for k in 0..=5 {
+            let r = rank_residual(&a, k).unwrap();
+            assert!(r <= prev + 1e-12);
+            prev = r;
+        }
+        assert!(prev < 1e-9, "full rank residual must vanish");
+        assert!((rank_residual(&a, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pseudo_inverse_square_invertible() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let pinv = pseudo_inverse(&a, 1e-12).unwrap();
+        let prod = matmul_naive(&a, &pinv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(2)) < 1e-10);
+    }
+
+    #[test]
+    fn pseudo_inverse_rectangular_properties() {
+        // A A⁺ A = A (Moore–Penrose condition 1).
+        let a = Matrix::from_fn(5, 3, |i, j| ((i * 7 + j * 3 + 1) % 11) as f64 - 3.0);
+        let pinv = pseudo_inverse(&a, 1e-12).unwrap();
+        assert_eq!(pinv.shape(), (3, 5));
+        let apa = matmul_naive(&matmul_naive(&a, &pinv).unwrap(), &a).unwrap();
+        assert!(apa.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn pseudo_inverse_rank_deficient() {
+        // Rank-1 matrix: pinv has rank 1; A⁺ A A⁺ = A⁺.
+        let a = Matrix::from_fn(3, 3, |i, j| ((i + 1) * (j + 1)) as f64);
+        let pinv = pseudo_inverse(&a, 1e-10).unwrap();
+        let pap = matmul_naive(&matmul_naive(&pinv, &a).unwrap(), &pinv).unwrap();
+        assert!(pap.max_abs_diff(&pinv) < 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix_cases() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(rank_residual(&z, 1).unwrap(), 0.0);
+        let pz = pseudo_inverse(&z, 1e-12).unwrap();
+        assert!(pz.max_abs_diff(&Matrix::zeros(3, 2)) == 0.0);
+    }
+}

@@ -1,0 +1,847 @@
+//! Row-major dense `f64` matrix.
+//!
+//! [`Matrix`] is the single data type the rest of the stack builds on. It is
+//! deliberately simple: a `Vec<f64>` plus a shape, with contiguous row storage so
+//! that row slices are free and column operations are strided. All structural
+//! operations validate shapes and return [`crate::LinAlgError`] rather than
+//! panicking, except for the indexing operators which follow the standard library's
+//! panic-on-out-of-bounds convention.
+
+use crate::error::LinAlgError;
+use crate::Result;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use hc_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// assert_eq!(a[(1, 0)], 3.0);
+/// assert_eq!(a.col_sum(1), 6.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square matrix with `diag` on its main diagonal.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// Returns [`LinAlgError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinAlgError::ShapeMismatch {
+                op: "Matrix::from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from row slices; every row must have the same length.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinAlgError::Empty {
+                op: "Matrix::from_rows",
+            });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinAlgError::ShapeMismatch {
+                    op: "Matrix::from_rows",
+                    lhs: (i, cols),
+                    rhs: (i, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Immutable slice of row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable slice of row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        let c = self.cols;
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Copies column `j` into a fresh vector.
+    ///
+    /// # Panics
+    /// Panics when `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Sum of the entries of row `i`.
+    pub fn row_sum(&self, i: usize) -> f64 {
+        self.row(i).iter().sum()
+    }
+
+    /// Sum of the entries of column `j`.
+    pub fn col_sum(&self, j: usize) -> f64 {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).sum()
+    }
+
+    /// Vector of all row sums.
+    pub fn row_sums(&self) -> Vec<f64> {
+        self.row_iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Vector of all column sums.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for r in self.row_iter() {
+            for (s, &v) in sums.iter_mut().zip(r) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Sum of every entry.
+    pub fn total_sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Minimum entry; `None` for an empty matrix.
+    pub fn min(&self) -> Option<f64> {
+        self.data.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum entry; `None` for an empty matrix.
+    pub fn max(&self) -> Option<f64> {
+        self.data.iter().copied().reduce(f64::max)
+    }
+
+    /// `true` when every entry is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        !self.is_empty() && self.data.iter().all(|&v| v > 0.0)
+    }
+
+    /// `true` when every entry is `>= 0`.
+    pub fn is_nonnegative(&self) -> bool {
+        self.data.iter().all(|&v| v >= 0.0)
+    }
+
+    /// `true` when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Returns the indices of the first non-finite entry, if any.
+    pub fn first_non_finite(&self) -> Option<(usize, usize)> {
+        self.data
+            .iter()
+            .position(|v| !v.is_finite())
+            .map(|p| (p / self.cols, p % self.cols))
+    }
+
+    /// The transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Applies `f` to every entry, producing a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiplies every entry by `s` in place.
+    pub fn scale_inplace(&mut self, s: f64) {
+        self.map_inplace(|v| v * s);
+    }
+
+    /// Returns `self * s` (entrywise).
+    pub fn scaled(&self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Multiplies row `i` by `s` in place.
+    pub fn scale_row(&mut self, i: usize, s: f64) {
+        for v in self.row_mut(i) {
+            *v *= s;
+        }
+    }
+
+    /// Multiplies column `j` by `s` in place.
+    pub fn scale_col(&mut self, j: usize, s: f64) {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        for i in 0..self.rows {
+            self[(i, j)] *= s;
+        }
+    }
+
+    /// Extracts the submatrix of the given row and column indices (in order,
+    /// duplicates allowed).
+    pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> Result<Matrix> {
+        for &i in row_idx {
+            if i >= self.rows {
+                return Err(LinAlgError::IndexOutOfBounds {
+                    op: "submatrix(rows)",
+                    index: i,
+                    bound: self.rows,
+                });
+            }
+        }
+        for &j in col_idx {
+            if j >= self.cols {
+                return Err(LinAlgError::IndexOutOfBounds {
+                    op: "submatrix(cols)",
+                    index: j,
+                    bound: self.cols,
+                });
+            }
+        }
+        Ok(Matrix::from_fn(row_idx.len(), col_idx.len(), |i, j| {
+            self[(row_idx[i], col_idx[j])]
+        }))
+    }
+
+    /// Reorders rows by `perm` (`perm[i]` is the source row of new row `i`).
+    pub fn permute_rows(&self, perm: &[usize]) -> Result<Matrix> {
+        if perm.len() != self.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                op: "permute_rows",
+                lhs: (self.rows, self.cols),
+                rhs: (perm.len(), 1),
+            });
+        }
+        let all: Vec<usize> = (0..self.cols).collect();
+        self.submatrix(perm, &all)
+    }
+
+    /// Reorders columns by `perm` (`perm[j]` is the source column of new column `j`).
+    pub fn permute_cols(&self, perm: &[usize]) -> Result<Matrix> {
+        if perm.len() != self.cols {
+            return Err(LinAlgError::ShapeMismatch {
+                op: "permute_cols",
+                lhs: (self.rows, self.cols),
+                rhs: (1, perm.len()),
+            });
+        }
+        let all: Vec<usize> = (0..self.rows).collect();
+        self.submatrix(&all, perm)
+    }
+
+    /// Entrywise approximate equality within absolute tolerance `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Maximum absolute entrywise difference; `f64::INFINITY` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        if self.shape() != other.shape() {
+            return f64::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Matrix–vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinAlgError::ShapeMismatch {
+                op: "matvec",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok(self
+            .row_iter()
+            .map(|r| r.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Vector–matrix product `xᵀ * self`.
+    pub fn vecmat(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                op: "vecmat",
+                lhs: (1, x.len()),
+                rhs: (self.rows, self.cols),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, r) in self.row_iter().enumerate() {
+            let xi = x[i];
+            for (o, &v) in out.iter_mut().zip(r) {
+                *o += xi * v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(Matrix::from_fn(self.rows, self.cols + other.cols, |i, j| {
+            if j < self.cols {
+                self[(i, j)]
+            } else {
+                other[(i, j - self.cols)]
+            }
+        }))
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinAlgError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(Matrix::from_fn(self.rows + other.rows, self.cols, |i, j| {
+            if i < self.rows {
+                self[(i, j)]
+            } else {
+                other[(i - self.rows, j)]
+            }
+        }))
+    }
+
+    /// Kronecker product `self ⊗ other`.
+    ///
+    /// The Appendix-A block-replication of the paper is `kron(J_{M×T}, A)` for a
+    /// `T×M` matrix `A` (all-ones `J`), which is how the rectangular Sinkhorn
+    /// theorem reduces to the square case.
+    pub fn kron(&self, other: &Matrix) -> Matrix {
+        let (p, q) = self.shape();
+        let (m, n) = other.shape();
+        Matrix::from_fn(p * m, q * n, |i, j| {
+            self[(i / m, j / n)] * other[(i % m, j % n)]
+        })
+    }
+
+    /// Validates that every entry is finite, naming `op` in the error.
+    pub fn check_finite(&self, op: &'static str) -> Result<()> {
+        match self.first_non_finite() {
+            None => Ok(()),
+            Some((row, col)) => Err(LinAlgError::NonFinite { op, row, col }),
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in self.row_iter() {
+            write!(f, "  [")?;
+            for (j, v) in r.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:.6}")?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = f.precision().unwrap_or(4);
+        for r in self.row_iter() {
+            for (j, v) in r.iter().enumerate() {
+                if j > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{v:>10.width$}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn binary_op(a: &Matrix, b: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Matrix {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "{op}: shape mismatch {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    Matrix {
+        rows: a.rows,
+        cols: a.cols,
+        data: a.data.iter().zip(&b.data).map(|(&x, &y)| f(x, y)).collect(),
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        binary_op(self, rhs, "add", |a, b| a + b)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        binary_op(self, rhs, "sub", |a, b| a - b)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.map(|v| -v)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, s: f64) -> Matrix {
+        self.scaled(s)
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    /// Matrix product; panics on shape mismatch (use [`crate::matmul::matmul`] for a
+    /// fallible version).
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        crate::matmul::matmul(self, rhs).expect("matrix product shape mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+        assert!(!m.is_square());
+        assert!(Matrix::identity(3).is_square());
+    }
+
+    #[test]
+    fn from_vec_shape_checked() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 5]),
+            Err(LinAlgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_ragged_rejected() {
+        let r1 = [1.0, 2.0];
+        let r2 = [3.0];
+        assert!(matches!(
+            Matrix::from_rows(&[&r1, &r2]),
+            Err(LinAlgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Matrix::from_rows(&[]),
+            Err(LinAlgError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut m = sample();
+        assert_eq!(m[(0, 2)], 3.0);
+        m[(0, 2)] = 9.0;
+        assert_eq!(m[(0, 2)], 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn indexing_out_of_bounds_panics() {
+        let m = sample();
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn sums() {
+        let m = sample();
+        assert_eq!(m.row_sum(0), 6.0);
+        assert_eq!(m.row_sum(1), 15.0);
+        assert_eq!(m.col_sum(0), 5.0);
+        assert_eq!(m.row_sums(), vec![6.0, 15.0]);
+        assert_eq!(m.col_sums(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(m.total_sum(), 21.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn min_max_positivity() {
+        let m = sample();
+        assert_eq!(m.min(), Some(1.0));
+        assert_eq!(m.max(), Some(6.0));
+        assert!(m.is_positive());
+        assert!(m.is_nonnegative());
+        let z = Matrix::zeros(2, 2);
+        assert!(!z.is_positive());
+        assert!(z.is_nonnegative());
+        assert_eq!(Matrix::zeros(0, 0).min(), None);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let m = sample();
+        let d = m.map(|v| v * 2.0);
+        assert_eq!(d[(1, 2)], 12.0);
+        let mut s = sample();
+        s.scale_inplace(0.5);
+        assert_eq!(s[(1, 2)], 3.0);
+        let mut r = sample();
+        r.scale_row(0, 10.0);
+        assert_eq!(r[(0, 0)], 10.0);
+        assert_eq!(r[(1, 0)], 4.0);
+        let mut c = sample();
+        c.scale_col(1, 3.0);
+        assert_eq!(c[(0, 1)], 6.0);
+        assert_eq!(c[(1, 1)], 15.0);
+    }
+
+    #[test]
+    fn submatrix_and_permutation() {
+        let m = sample();
+        let s = m.submatrix(&[1], &[0, 2]).unwrap();
+        assert_eq!(s.shape(), (1, 2));
+        assert_eq!(s[(0, 1)], 6.0);
+        let p = m.permute_rows(&[1, 0]).unwrap();
+        assert_eq!(p[(0, 0)], 4.0);
+        let q = m.permute_cols(&[2, 1, 0]).unwrap();
+        assert_eq!(q[(0, 0)], 3.0);
+        assert!(m.submatrix(&[5], &[0]).is_err());
+        assert!(m.permute_rows(&[0]).is_err());
+        assert!(m.permute_cols(&[0]).is_err());
+    }
+
+    #[test]
+    fn matvec_vecmat() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 0.0, 1.0]).unwrap(), vec![4.0, 10.0]);
+        assert_eq!(m.vecmat(&[1.0, 1.0]).unwrap(), vec![5.0, 7.0, 9.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.vecmat(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = sample();
+        let b = sample();
+        let s = &a + &b;
+        assert_eq!(s[(1, 2)], 12.0);
+        let d = &s - &a;
+        assert_eq!(d, b);
+        let n = -&a;
+        assert_eq!(n[(0, 0)], -1.0);
+        let sc = &a * 3.0;
+        assert_eq!(sc[(0, 1)], 6.0);
+    }
+
+    #[test]
+    fn approx_eq_and_diff() {
+        let a = sample();
+        let mut b = sample();
+        b[(0, 0)] += 1e-12;
+        assert!(a.approx_eq(&b, 1e-10));
+        assert!(!a.approx_eq(&b, 1e-14));
+        assert!(a.max_abs_diff(&b) < 1e-11);
+        assert_eq!(a.max_abs_diff(&Matrix::zeros(1, 1)), f64::INFINITY);
+    }
+
+    #[test]
+    fn finiteness_checks() {
+        let mut m = sample();
+        assert!(m.is_finite());
+        assert!(m.check_finite("test").is_ok());
+        m[(1, 1)] = f64::NAN;
+        assert!(!m.is_finite());
+        assert_eq!(m.first_non_finite(), Some((1, 1)));
+        assert!(matches!(
+            m.check_finite("test"),
+            Err(LinAlgError::NonFinite { row: 1, col: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn diag_and_identity() {
+        let d = Matrix::from_diag(&[2.0, 3.0]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        let i = Matrix::identity(2);
+        assert_eq!(&d * &i, d);
+    }
+
+    #[test]
+    fn display_and_debug_render() {
+        let m = sample();
+        let s = format!("{m}");
+        assert!(s.contains("1.0000"));
+        let d = format!("{m:?}");
+        assert!(d.contains("Matrix 2x3"));
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0], &[6.0]]).unwrap();
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h[(0, 2)], 5.0);
+        assert_eq!(h[(1, 1)], 4.0);
+        let c = Matrix::from_rows(&[&[7.0, 8.0]]).unwrap();
+        let v = a.vstack(&c).unwrap();
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v[(2, 1)], 8.0);
+        assert!(a.hstack(&c).is_err());
+        assert!(a.vstack(&b).is_err());
+    }
+
+    #[test]
+    fn kronecker() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let k = a.kron(&b);
+        assert_eq!(k.shape(), (2, 4));
+        // [b | 2b]
+        assert_eq!(k[(0, 1)], 1.0);
+        assert_eq!(k[(0, 3)], 2.0);
+        assert_eq!(k[(1, 0)], 1.0);
+        assert_eq!(k[(1, 2)], 2.0);
+        // kron(J, A) reproduces the Appendix-A tiling.
+        let ones = Matrix::filled(3, 2, 1.0);
+        let t = ones.kron(&b);
+        assert_eq!(t.shape(), (6, 4));
+        for i in 0..6 {
+            for j in 0..4 {
+                assert_eq!(t[(i, j)], b[(i % 2, j % 2)]);
+            }
+        }
+        // Mixed-product spot check: (A ⊗ B)(x ⊗ y) = (Ax) ⊗ (By) for vectors.
+        let x = [2.0, -1.0];
+        let y = [1.0, 3.0];
+        let xy: Vec<f64> = x.iter().flat_map(|&xi| y.iter().map(move |&yi| xi * yi)).collect();
+        let lhs = k.matvec(&xy).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let by = b.matvec(&y).unwrap();
+        let rhs: Vec<f64> = ax.iter().flat_map(|&p| by.iter().map(move |&q| p * q)).collect();
+        for (l, r) in lhs.iter().zip(&rhs) {
+            assert!((l - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn row_col_access() {
+        let m = sample();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(2), vec![3.0, 6.0]);
+        let rows: Vec<&[f64]> = m.row_iter().collect();
+        assert_eq!(rows.len(), 2);
+    }
+}

@@ -1,0 +1,439 @@
+//! Scoped data-parallel helpers.
+//!
+//! Everything here follows the hpc guidance the project was built under:
+//!
+//! * **Scoped threads only** (`crossbeam::scope`) — no detached threads, every join
+//!   happens before the function returns, borrows of stack data are safe.
+//! * **Disjoint mutable splits** (`chunks_mut`) — data-race freedom by construction.
+//! * **Deterministic reductions** — per-chunk partial results are combined in index
+//!   order, so results are bit-identical regardless of thread count.
+//!
+//! The thread count defaults to the machine's available parallelism and can be pinned
+//! with the `HC_THREADS` environment variable (useful for the serial-vs-parallel
+//! ablation benchmarks).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used by the parallel kernels.
+///
+/// Resolution order: `HC_THREADS` environment variable (if a positive integer),
+/// then [`std::thread::available_parallelism`], then 1.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("HC_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `data` into at most `threads` contiguous chunks and runs `f(chunk_start,
+/// chunk)` on each from a scoped thread. Falls back to a plain call for one thread or
+/// tiny inputs.
+pub fn par_chunks_mut<T, F>(data: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for (ci, slice) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(ci * chunk, slice));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Maps `f` over `0..n` in parallel, returning results in index order.
+///
+/// Each worker fills a private vector for a contiguous index range; the ranges are
+/// concatenated in order, so the output is identical to the serial
+/// `(0..n).map(f).collect()` regardless of `threads`.
+pub fn par_map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(n)))
+        .collect();
+    let mut parts: Vec<Vec<R>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let f = &f;
+                s.spawn(move |_| (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+    .expect("parallel scope failed");
+    let mut out = Vec::with_capacity(n);
+    for p in parts.drain(..) {
+        out.extend(p);
+    }
+    out
+}
+
+/// Parallel fold: maps `f` over `0..n`, reduces with `combine` in index order.
+///
+/// `combine` must be associative for the result to match the serial fold; with the
+/// in-order reduction used here, associativity (not commutativity) is sufficient for
+/// determinism.
+pub fn par_fold<R, F, C>(n: usize, threads: usize, identity: R, f: F, combine: C) -> R
+where
+    R: Send + Clone,
+    F: Fn(usize) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    if n == 0 {
+        return identity;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).map(f).fold(identity, combine);
+    }
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(n)))
+        .collect();
+    let partials: Vec<R> = crossbeam::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let f = &f;
+                let combine = &combine;
+                let id = identity.clone();
+                s.spawn(move |_| (lo..hi).map(f).fold(id, combine))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+    .expect("parallel scope failed");
+    partials.into_iter().fold(identity, combine)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel one-sided Jacobi SVD
+// ---------------------------------------------------------------------------
+
+use crate::error::LinAlgError;
+use crate::matrix::Matrix;
+use crate::svd::{Svd, JACOBI_MAX_SWEEPS};
+use crate::vecops;
+use parking_lot::Mutex;
+
+/// Round-robin tournament pairing: for `n` players, `n−1` rounds (n even; a bye
+/// is inserted for odd `n`) in which every round's pairs are disjoint.
+fn tournament_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let m = if n.is_multiple_of(2) { n } else { n + 1 }; // m−1 = bye sentinel when odd
+    let bye = m - 1;
+    let mut ring: Vec<usize> = (0..m).collect();
+    let mut rounds = Vec::with_capacity(m - 1);
+    for _ in 0..m - 1 {
+        let mut pairs = Vec::with_capacity(m / 2);
+        for k in 0..m / 2 {
+            let (a, b) = (ring[k], ring[m - 1 - k]);
+            if n % 2 == 1 && (a == bye || b == bye) {
+                continue;
+            }
+            pairs.push((a.min(b), a.max(b)));
+        }
+        rounds.push(pairs);
+        // Rotate all but the first element.
+        ring[1..].rotate_right(1);
+    }
+    rounds
+}
+
+/// One-sided Jacobi SVD with the column-pair rotations of each tournament round
+/// executed in parallel (pairs within a round touch disjoint columns, so the
+/// round is embarrassingly parallel; columns live behind `parking_lot` mutexes
+/// that are never contended).
+///
+/// Produces the same singular values as [`crate::svd::jacobi_svd`] up to
+/// round-off; the rotation *order* differs, so factors can differ by sign or by
+/// rotation within degenerate subspaces.
+pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
+    if a.is_empty() {
+        return Err(LinAlgError::Empty { op: "par_jacobi_svd" });
+    }
+    a.check_finite("par_jacobi_svd")?;
+    if a.rows() < a.cols() {
+        let t = par_jacobi_svd(&a.transpose(), threads)?;
+        return Ok(Svd {
+            u: t.v,
+            singular_values: t.singular_values,
+            v: t.u,
+        });
+    }
+    let (m, n) = a.shape();
+    let eps = f64::EPSILON;
+    let fro = crate::norms::frobenius(a);
+    let zero_guard = (eps * fro) * (eps * fro);
+
+    // Column-major working storage behind per-column mutexes.
+    let w: Vec<Mutex<Vec<f64>>> = (0..n).map(|j| Mutex::new(a.col(j))).collect();
+    let v: Vec<Mutex<Vec<f64>>> = (0..n)
+        .map(|j| {
+            let mut col = vec![0.0; n];
+            col[j] = 1.0;
+            Mutex::new(col)
+        })
+        .collect();
+
+    let rounds = tournament_rounds(n);
+    let rotate_pair = |p: usize, q: usize| -> bool {
+        let mut wp = w[p].lock();
+        let mut wq = w[q].lock();
+        let mut app = 0.0;
+        let mut aqq = 0.0;
+        let mut apq = 0.0;
+        for i in 0..m {
+            app += wp[i] * wp[i];
+            aqq += wq[i] * wq[i];
+            apq += wp[i] * wq[i];
+        }
+        if app <= zero_guard
+            || aqq <= zero_guard
+            || apq.abs() <= eps * (app * aqq).sqrt()
+            || apq == 0.0
+        {
+            return false;
+        }
+        let tau = (aqq - app) / (2.0 * apq);
+        let t = if tau >= 0.0 {
+            1.0 / (tau + (1.0 + tau * tau).sqrt())
+        } else {
+            -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+        };
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        let s = c * t;
+        for i in 0..m {
+            let (x, y) = (wp[i], wq[i]);
+            wp[i] = c * x - s * y;
+            wq[i] = s * x + c * y;
+        }
+        drop((wp, wq));
+        let mut vp = v[p].lock();
+        let mut vq = v[q].lock();
+        for i in 0..n {
+            let (x, y) = (vp[i], vq[i]);
+            vp[i] = c * x - s * y;
+            vq[i] = s * x + c * y;
+        }
+        true
+    };
+
+    let mut converged = false;
+    for _sweep in 0..JACOBI_MAX_SWEEPS {
+        let mut any = false;
+        for round in &rounds {
+            if round.len() <= 1 || threads <= 1 {
+                for &(p, q) in round {
+                    any |= rotate_pair(p, q);
+                }
+            } else {
+                let flags: Vec<bool> =
+                    par_map_indexed(round.len(), threads.min(round.len()), |k| {
+                        let (p, q) = round[k];
+                        rotate_pair(p, q)
+                    });
+                any |= flags.iter().any(|&f| f);
+            }
+        }
+        if !any {
+            converged = true;
+            break;
+        }
+    }
+
+    // Assemble σ, U, V.
+    let mut sigma = Vec::with_capacity(n);
+    let mut u = Matrix::zeros(m, n);
+    let mut vm = Matrix::zeros(n, n);
+    for j in 0..n {
+        let col = w[j].lock();
+        let nrm = vecops::norm2(&col);
+        sigma.push(nrm);
+        if nrm > 0.0 {
+            for i in 0..m {
+                u[(i, j)] = col[i] / nrm;
+            }
+        }
+        let vcol = v[j].lock();
+        for i in 0..n {
+            vm[(i, j)] = vcol[i];
+        }
+    }
+    if !converged {
+        // Same tolerance audit as the serial variant.
+        let mut worst: f64 = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if sigma[p] > 0.0 && sigma[q] > 0.0 {
+                    let wp = w[p].lock();
+                    let wq = w[q].lock();
+                    let dot: f64 = wp.iter().zip(wq.iter()).map(|(a, b)| a * b).sum();
+                    worst = worst.max(dot.abs() / (sigma[p] * sigma[q]));
+                }
+            }
+        }
+        if worst > 1e-10 {
+            return Err(LinAlgError::NoConvergence {
+                algorithm: "par-jacobi-svd",
+                iterations: JACOBI_MAX_SWEEPS,
+                residual: worst,
+            });
+        }
+    }
+    Ok(crate::svd::finalize_svd(u, sigma, vm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element() {
+        for threads in [1, 2, 3, 8, 100] {
+            let mut data = vec![0usize; 57];
+            par_chunks_mut(&mut data, threads, |start, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = start + k;
+                }
+            });
+            let expect: Vec<usize> = (0..57).collect();
+            assert_eq!(data, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_ok() {
+        let mut data: Vec<u8> = vec![];
+        par_chunks_mut(&mut data, 4, |_, _| panic!("should not run"));
+    }
+
+    #[test]
+    fn par_map_indexed_matches_serial() {
+        for threads in [1, 2, 5, 16] {
+            let got = par_map_indexed(101, threads, |i| i * i);
+            let want: Vec<usize> = (0..101).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn par_fold_deterministic_sum() {
+        let want: u64 = (0..1000u64).sum();
+        for threads in [1, 2, 7, 32] {
+            let got = par_fold(1000, threads, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tournament_rounds_cover_all_pairs_disjointly() {
+        for n in [2usize, 3, 4, 5, 8, 9] {
+            let rounds = tournament_rounds(n);
+            let mut seen = std::collections::HashSet::new();
+            for round in &rounds {
+                let mut used = std::collections::HashSet::new();
+                for &(p, q) in round {
+                    assert!(p < q && q < n, "bad pair ({p},{q}) for n={n}");
+                    assert!(used.insert(p), "column {p} reused within a round");
+                    assert!(used.insert(q), "column {q} reused within a round");
+                    assert!(seen.insert((p, q)), "pair ({p},{q}) repeated");
+                }
+            }
+            assert_eq!(seen.len(), n * (n - 1) / 2, "n={n}: all pairs covered");
+        }
+        assert!(tournament_rounds(1).is_empty());
+    }
+
+    #[test]
+    fn par_jacobi_matches_serial_sigma() {
+        for (m, n) in [(6, 6), (9, 4), (4, 9), (17, 5)] {
+            let a = Matrix::from_fn(m, n, |i, j| {
+                0.05 + ((i * 131 + j * 31 + 7) % 97) as f64 / 97.0
+            });
+            let serial = crate::svd::jacobi_svd(&a).unwrap();
+            for threads in [1, 2, 4] {
+                let par = par_jacobi_svd(&a, threads).unwrap();
+                for (x, y) in par.singular_values.iter().zip(&serial.singular_values) {
+                    assert!(
+                        (x - y).abs() < 1e-9 * (1.0 + y),
+                        "{m}x{n} t={threads}: {x} vs {y}"
+                    );
+                }
+                // Valid factorization.
+                assert!(par.residual(&a) < 1e-9 * (1.0 + crate::norms::frobenius(&a)));
+            }
+        }
+    }
+
+    #[test]
+    fn par_jacobi_edge_cases() {
+        assert!(par_jacobi_svd(&Matrix::zeros(0, 0), 2).is_err());
+        let single = Matrix::from_rows(&[&[3.0], &[4.0]]).unwrap();
+        let s = par_jacobi_svd(&single, 2).unwrap();
+        assert!((s.singular_values[0] - 5.0).abs() < 1e-12);
+        let mut bad = Matrix::identity(2);
+        bad[(0, 0)] = f64::NAN;
+        assert!(par_jacobi_svd(&bad, 2).is_err());
+    }
+
+    #[test]
+    fn par_fold_in_order_for_nonconmutative_combine() {
+        // String concatenation is associative but not commutative: the in-order
+        // reduction must still produce the serial result.
+        let want: String = (0..26).map(|i| (b'a' + i as u8) as char).collect();
+        let got = par_fold(
+            26,
+            4,
+            String::new(),
+            |i| ((b'a' + i as u8) as char).to_string(),
+            |a, b| a + &b,
+        );
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,239 @@
+//! Householder QR factorization and least-squares solving.
+//!
+//! Used by the test suite to cross-check the SVD (via `R`'s singular values on
+//! square inputs) and by downstream crates for regression fits in the experiment
+//! harness. Standard Golub & Van Loan alg. 5.2.1 with explicit accumulation of the
+//! thin `Q`.
+
+use crate::error::LinAlgError;
+use crate::matrix::Matrix;
+use crate::vecops::{self, Householder};
+use crate::Result;
+
+/// A QR factorization `A = Q·R` with `Q` (m×k, orthonormal columns, k = min(m, n))
+/// and `R` (k×n, upper triangular).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal factor, `m × min(m, n)`.
+    pub q: Matrix,
+    /// Upper-triangular factor, `min(m, n) × n`.
+    pub r: Matrix,
+}
+
+/// Computes the thin Householder QR factorization of `a`.
+pub fn qr(a: &Matrix) -> Result<Qr> {
+    if a.is_empty() {
+        return Err(LinAlgError::Empty { op: "qr" });
+    }
+    a.check_finite("qr")?;
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let mut r_work = a.clone();
+    let mut reflectors: Vec<Householder> = Vec::with_capacity(k);
+
+    for col in 0..k {
+        // Build the reflector from the trailing part of column `col`.
+        let x: Vec<f64> = (col..m).map(|i| r_work[(i, col)]).collect();
+        let h = vecops::householder(&x);
+        // Apply H to the trailing submatrix of R (columns col..n).
+        if h.beta != 0.0 {
+            for j in col..n {
+                let mut y: Vec<f64> = (col..m).map(|i| r_work[(i, j)]).collect();
+                vecops::apply_householder(&h, &mut y);
+                for (offset, v) in y.into_iter().enumerate() {
+                    r_work[(col + offset, j)] = v;
+                }
+            }
+        }
+        // Zero the annihilated entries explicitly to keep R clean.
+        r_work[(col, col)] = h.alpha;
+        for i in (col + 1)..m {
+            r_work[(i, col)] = 0.0;
+        }
+        reflectors.push(h);
+    }
+
+    // Accumulate thin Q by applying the reflectors to the first k columns of I,
+    // in reverse order: Q = H₀ H₁ … H_{k−1} · I(:, 0..k).
+    let mut q = Matrix::zeros(m, k);
+    for j in 0..k {
+        q[(j, j)] = 1.0;
+    }
+    for col in (0..k).rev() {
+        let h = &reflectors[col];
+        if h.beta == 0.0 {
+            continue;
+        }
+        for j in 0..k {
+            let mut y: Vec<f64> = (col..m).map(|i| q[(i, j)]).collect();
+            vecops::apply_householder(h, &mut y);
+            for (offset, v) in y.into_iter().enumerate() {
+                q[(col + offset, j)] = v;
+            }
+        }
+    }
+
+    let mut r = Matrix::zeros(k, n);
+    for i in 0..k {
+        for j in 0..n {
+            r[(i, j)] = r_work[(i, j)];
+        }
+    }
+    Ok(Qr { q, r })
+}
+
+/// Solves the least-squares problem `min ‖A·x − b‖₂` for full-column-rank `A`
+/// (m ≥ n) via QR: `R x = Qᵀ b` by back substitution.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(LinAlgError::ShapeMismatch {
+            op: "lstsq",
+            lhs: (m, n),
+            rhs: (b.len(), 1),
+        });
+    }
+    if m < n {
+        return Err(LinAlgError::ShapeMismatch {
+            op: "lstsq (needs m >= n)",
+            lhs: (m, n),
+            rhs: (m, n),
+        });
+    }
+    let f = qr(a)?;
+    let qtb = f.q.vecmat(b)?; // q is m×n here (thin), qᵀb has length n
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = qtb[i];
+        for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+            s -= f.r[(i, j)] * xj;
+        }
+        let d = f.r[(i, i)];
+        if d.abs() < 1e-14 * crate::norms::max_abs(&f.r).max(1.0) {
+            return Err(LinAlgError::Singular { op: "lstsq" });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul_naive;
+
+    fn reconstruct(f: &Qr) -> Matrix {
+        matmul_naive(&f.q, &f.r).unwrap()
+    }
+
+    fn assert_orthonormal_cols(q: &Matrix, tol: f64) {
+        let g = matmul_naive(&q.transpose(), q).unwrap();
+        assert!(
+            g.max_abs_diff(&Matrix::identity(q.cols())) < tol,
+            "QᵀQ != I:\n{g:?}"
+        );
+    }
+
+    fn assert_upper_triangular(r: &Matrix, tol: f64) {
+        for i in 0..r.rows() {
+            for j in 0..i.min(r.cols()) {
+                assert!(r[(i, j)].abs() < tol, "R[{i},{j}] = {}", r[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn square_factorization() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 2.0], &[2.0, 3.0, -1.0], &[1.0, -2.0, 5.0]])
+            .unwrap();
+        let f = qr(&a).unwrap();
+        assert!(reconstruct(&f).max_abs_diff(&a) < 1e-12);
+        assert_orthonormal_cols(&f.q, 1e-12);
+        assert_upper_triangular(&f.r, 1e-12);
+    }
+
+    #[test]
+    fn tall_factorization() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]).unwrap();
+        let f = qr(&a).unwrap();
+        assert_eq!(f.q.shape(), (4, 2));
+        assert_eq!(f.r.shape(), (2, 2));
+        assert!(reconstruct(&f).max_abs_diff(&a) < 1e-12);
+        assert_orthonormal_cols(&f.q, 1e-12);
+    }
+
+    #[test]
+    fn wide_factorization() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 9.0]]).unwrap();
+        let f = qr(&a).unwrap();
+        assert_eq!(f.q.shape(), (2, 2));
+        assert_eq!(f.r.shape(), (2, 4));
+        assert!(reconstruct(&f).max_abs_diff(&a) < 1e-12);
+        assert_orthonormal_cols(&f.q, 1e-12);
+        assert_upper_triangular(&f.r, 1e-12);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            qr(&Matrix::zeros(0, 0)),
+            Err(LinAlgError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(qr(&a), Err(LinAlgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn lstsq_exact_system() {
+        // x = (1, 2): A x = b exactly.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_line_fit() {
+        // Fit y = 2t + 1 through noisy-free samples: exact recovery.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { ts[i] } else { 1.0 });
+        let b: Vec<f64> = ts.iter().map(|t| 2.0 * t + 1.0).collect();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonal_to_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0], &[1.0, 4.0]]).unwrap();
+        let b = [1.0, 0.5, 2.5, 2.0];
+        let x = lstsq(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, o)| o - p).collect();
+        let atr = a.vecmat(&resid).unwrap();
+        assert!(atr.iter().all(|v| v.abs() < 1e-10), "Aᵀr = {atr:?}");
+    }
+
+    #[test]
+    fn lstsq_singular_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(matches!(
+            lstsq(&a, &[1.0, 2.0, 3.0]),
+            Err(LinAlgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn lstsq_shape_checks() {
+        let a = Matrix::identity(2);
+        assert!(lstsq(&a, &[1.0]).is_err());
+        let wide = Matrix::zeros(1, 3);
+        assert!(lstsq(&wide, &[1.0]).is_err());
+    }
+}

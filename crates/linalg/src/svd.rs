@@ -1,0 +1,684 @@
+//! Singular value decomposition.
+//!
+//! Two independent algorithms with identical output contracts, cross-validated
+//! against each other in the test suite:
+//!
+//! * **One-sided Jacobi** ([`jacobi_svd`]) — orthogonalizes the columns of a working
+//!   copy with plane rotations. Simple, unconditionally convergent in practice, and
+//!   computes small singular values to high *relative* accuracy, which matters for
+//!   the TMA measure where non-maximum singular values are the signal. Default for
+//!   the paper-scale matrices.
+//! * **Golub–Reinsch** ([`golub_reinsch_svd`]) — Householder bidiagonalization
+//!   followed by implicit-shift QR on the bidiagonal (the classic LAPACK-style
+//!   dense SVD). Faster for large matrices.
+//!
+//! [`svd`] dispatches on size; [`Svd`] holds `U`, `σ`, `V` with singular values
+//! sorted descending and the factors' columns permuted to match.
+
+use crate::bidiag::bidiagonalize;
+use crate::error::LinAlgError;
+use crate::matrix::Matrix;
+use crate::vecops::{self, hypot};
+use crate::Result;
+
+/// Algorithm selector for [`svd_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvdAlgorithm {
+    /// One-sided Jacobi (default for small matrices; high relative accuracy).
+    Jacobi,
+    /// Golub–Reinsch bidiagonal QR (default for large matrices).
+    GolubReinsch,
+    /// Pick automatically by matrix size.
+    Auto,
+}
+
+/// Size (in entries) above which [`SvdAlgorithm::Auto`] switches to Golub–Reinsch.
+const AUTO_GR_THRESHOLD: usize = 64 * 64;
+
+/// A full thin SVD `A = U · diag(σ) · Vᵀ`.
+///
+/// `U` is `m × k`, `V` is `n × k`, `k = min(m, n)`, and `singular_values` is sorted
+/// in descending order. All σ are non-negative.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns), `m × k`.
+    pub u: Matrix,
+    /// Singular values, descending, length `k`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors (columns), `n × k`.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Largest singular value (0 for an empty spectrum).
+    pub fn sigma_max(&self) -> f64 {
+        self.singular_values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Smallest singular value (0 for an empty spectrum).
+    pub fn sigma_min(&self) -> f64 {
+        self.singular_values.last().copied().unwrap_or(0.0)
+    }
+
+    /// 2-norm condition number `σ₁/σₖ`; `∞` when `σₖ = 0`.
+    pub fn condition_number(&self) -> f64 {
+        let lo = self.sigma_min();
+        if lo == 0.0 {
+            f64::INFINITY
+        } else {
+            self.sigma_max() / lo
+        }
+    }
+
+    /// Numerical rank: number of σ above `tol * σ₁`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let cutoff = tol * self.sigma_max();
+        self.singular_values.iter().filter(|&&s| s > cutoff).count()
+    }
+
+    /// Reconstructs `U · diag(σ) · Vᵀ` (for testing and residual checks).
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.singular_values.len();
+        let mut us = self.u.clone();
+        for (j, &s) in self.singular_values.iter().enumerate().take(k) {
+            us.scale_col(j, s);
+        }
+        crate::matmul::matmul(&us, &self.v.transpose()).expect("shape")
+    }
+
+    /// Frobenius-norm reconstruction residual `‖A − UΣVᵀ‖_F`.
+    pub fn residual(&self, a: &Matrix) -> f64 {
+        crate::norms::frobenius(&(a - &self.reconstruct()))
+    }
+}
+
+/// Computes singular values only (descending), using the default dispatch.
+pub fn singular_values(a: &Matrix) -> Result<Vec<f64>> {
+    Ok(svd(a)?.singular_values)
+}
+
+/// Computes the SVD with automatic algorithm choice.
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    svd_with(a, SvdAlgorithm::Auto)
+}
+
+/// Computes the SVD with an explicit algorithm choice.
+pub fn svd_with(a: &Matrix, alg: SvdAlgorithm) -> Result<Svd> {
+    if a.is_empty() {
+        return Err(LinAlgError::Empty { op: "svd" });
+    }
+    a.check_finite("svd")?;
+    match alg {
+        SvdAlgorithm::Jacobi => jacobi_svd(a),
+        SvdAlgorithm::GolubReinsch => golub_reinsch_svd(a),
+        SvdAlgorithm::Auto => {
+            if a.len() <= AUTO_GR_THRESHOLD {
+                jacobi_svd(a)
+            } else {
+                golub_reinsch_svd(a)
+            }
+        }
+    }
+}
+
+/// Sorts the spectrum descending, permuting `u`/`v` columns to match, and fixes a
+/// deterministic sign convention (largest-magnitude entry of each `u` column is
+/// positive). Shared by every SVD variant in the crate.
+pub(crate) fn finalize_svd(u: Matrix, sigma: Vec<f64>, v: Matrix) -> Svd {
+    finalize(u, sigma, v)
+}
+
+fn finalize(mut u: Matrix, mut sigma: Vec<f64>, mut v: Matrix) -> Svd {
+    let k = sigma.len();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| sigma[b].partial_cmp(&sigma[a]).expect("NaN singular value"));
+    let sorted: Vec<f64> = order.iter().map(|&i| sigma[i]).collect();
+    sigma = sorted;
+    u = u.permute_cols(&order).expect("perm");
+    v = v.permute_cols(&order).expect("perm");
+    // Sign convention.
+    for j in 0..k {
+        let col = u.col(j);
+        let mut best = 0usize;
+        for (i, val) in col.iter().enumerate() {
+            if val.abs() > col[best].abs() {
+                best = i;
+            }
+        }
+        if col[best] < 0.0 {
+            u.scale_col(j, -1.0);
+            v.scale_col(j, -1.0);
+        }
+    }
+    Svd {
+        u,
+        singular_values: sigma,
+        v,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-sided Jacobi
+// ---------------------------------------------------------------------------
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence.
+pub const JACOBI_MAX_SWEEPS: usize = 60;
+
+/// One-sided Jacobi SVD (Hestenes method).
+///
+/// Works on `W = A` (or `Aᵀ` when `m < n`, swapping the factors afterwards),
+/// repeatedly applying plane rotations from the right until all column pairs are
+/// numerically orthogonal. Then `σⱼ = ‖wⱼ‖` and `uⱼ = wⱼ/σⱼ`.
+pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
+    if a.rows() < a.cols() {
+        let t = jacobi_svd(&a.transpose())?;
+        return Ok(Svd {
+            u: t.v,
+            singular_values: t.singular_values,
+            v: t.u,
+        });
+    }
+    let (m, n) = a.shape();
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let eps = f64::EPSILON;
+    // Columns whose norm falls below eps·‖A‖_F are numerically zero (rank
+    // deficiency); rotating against them only chases roundoff and stalls
+    // convergence.
+    let fro = crate::norms::frobenius(a);
+    let zero_guard = (eps * fro) * (eps * fro);
+
+    let mut converged = false;
+    let mut sweeps = 0;
+    while sweeps < JACOBI_MAX_SWEEPS {
+        sweeps += 1;
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries for the column pair.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    app += wp * wp;
+                    aqq += wq * wq;
+                    apq += wp * wq;
+                }
+                if app <= zero_guard
+                    || aqq <= zero_guard
+                    || apq.abs() <= eps * (app * aqq).sqrt()
+                    || apq == 0.0
+                {
+                    continue;
+                }
+                rotated = true;
+                // Two-sided symmetric Jacobi rotation for the 2×2 Gram block.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    w[(i, p)] = c * wp - s * wq;
+                    w[(i, q)] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if !rotated {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // One final orthogonality audit: accept if the worst residual is tiny.
+        let worst = worst_column_correlation(&w, zero_guard);
+        if worst > 1e-10 {
+            return Err(LinAlgError::NoConvergence {
+                algorithm: "jacobi-svd",
+                iterations: sweeps,
+                residual: worst,
+            });
+        }
+    }
+
+    let mut sigma = Vec::with_capacity(n);
+    let mut u = Matrix::zeros(m, n);
+    for j in 0..n {
+        let col = w.col(j);
+        let nrm = vecops::norm2(&col);
+        sigma.push(nrm);
+        if nrm > 0.0 {
+            for i in 0..m {
+                u[(i, j)] = col[i] / nrm;
+            }
+        }
+        // A zero column leaves a zero U column; callers treating rank-deficient
+        // inputs only consume σ and the leading columns.
+    }
+    Ok(finalize(u, sigma, v))
+}
+
+/// Worst normalized off-diagonal Gram entry |wpᵀwq|/(‖wp‖‖wq‖) over all column
+/// pairs, ignoring numerically-zero columns (norm² below `zero_guard`).
+fn worst_column_correlation(w: &Matrix, zero_guard: f64) -> f64 {
+    let (m, n) = w.shape();
+    let mut worst: f64 = 0.0;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let mut app = 0.0;
+            let mut aqq = 0.0;
+            let mut apq = 0.0;
+            for i in 0..m {
+                app += w[(i, p)] * w[(i, p)];
+                aqq += w[(i, q)] * w[(i, q)];
+                apq += w[(i, p)] * w[(i, q)];
+            }
+            if app > zero_guard && aqq > zero_guard {
+                worst = worst.max(apq.abs() / (app * aqq).sqrt());
+            }
+        }
+    }
+    worst
+}
+
+// ---------------------------------------------------------------------------
+// Golub–Reinsch
+// ---------------------------------------------------------------------------
+
+/// Maximum implicit-QR iterations per singular value.
+const GR_MAX_ITERS: usize = 75;
+
+/// Golub–Reinsch SVD: bidiagonalize, then implicit-shift QR on the bidiagonal.
+pub fn golub_reinsch_svd(a: &Matrix) -> Result<Svd> {
+    if a.rows() < a.cols() {
+        let t = golub_reinsch_svd(&a.transpose())?;
+        return Ok(Svd {
+            u: t.v,
+            singular_values: t.singular_values,
+            v: t.u,
+        });
+    }
+    let bd = bidiagonalize(a)?;
+    let n = bd.d.len();
+    let mut d = bd.d;
+    // rv1[i] is the superdiagonal entry coupling d[i-1] and d[i]; rv1[0] is unused
+    // and kept at zero (mirrors the classic svdcmp layout).
+    let mut rv1 = vec![0.0; n];
+    rv1[1..n].copy_from_slice(&bd.e);
+    let mut u = bd.u;
+    let mut v = bd.v;
+
+    let anorm = d
+        .iter()
+        .zip(&rv1)
+        .map(|(di, ei)| di.abs() + ei.abs())
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let eps = f64::EPSILON;
+    let negligible = |x: f64| x.abs() <= eps * anorm;
+
+    for k in (0..n).rev() {
+        let mut its = 0;
+        loop {
+            its += 1;
+            // Split test: find l such that rv1[l] is negligible (l == 0 always
+            // qualifies since rv1[0] == 0), or d[l-1] is negligible (cancellation).
+            let mut l = k;
+            let flag;
+            loop {
+                if negligible(rv1[l]) {
+                    flag = false;
+                    break;
+                }
+                // l >= 1 here because rv1[0] == 0 is always negligible.
+                if negligible(d[l - 1]) {
+                    flag = true;
+                    break;
+                }
+                l -= 1;
+            }
+
+            if flag {
+                // d[l-1] ≈ 0: chase rv1[l] away with left Givens rotations against
+                // row l-1, accumulating into U.
+                let mut c = 0.0;
+                let mut s = 1.0;
+                for i in l..=k {
+                    let f = s * rv1[i];
+                    rv1[i] *= c;
+                    if negligible(f) {
+                        break;
+                    }
+                    let g = d[i];
+                    let h = hypot(f, g);
+                    d[i] = h;
+                    let inv = 1.0 / h;
+                    c = g * inv;
+                    s = -f * inv;
+                    rotate_cols(&mut u, l - 1, i, c, s);
+                }
+            }
+
+            let z = d[k];
+            if l == k {
+                // Converged for this singular value.
+                if z < 0.0 {
+                    d[k] = -z;
+                    scale_col_neg(&mut v, k);
+                }
+                break;
+            }
+            if its > GR_MAX_ITERS {
+                return Err(LinAlgError::NoConvergence {
+                    algorithm: "golub-reinsch-svd",
+                    iterations: its,
+                    residual: rv1[k].abs(),
+                });
+            }
+
+            // Wilkinson-style shift from the trailing 2×2 of BᵀB.
+            let nm = k - 1;
+            let x = d[l];
+            let y = d[nm];
+            let g0 = rv1[nm];
+            let h0 = rv1[k];
+            let mut f = ((y - z) * (y + z) + (g0 - h0) * (g0 + h0)) / (2.0 * h0 * y);
+            let g1 = hypot(f, 1.0);
+            f = ((x - z) * (x + z) + h0 * ((y / (f + sign(g1, f))) - h0)) / x;
+
+            // Implicit QR sweep, chasing the bulge from the top.
+            let mut c = 1.0;
+            let mut s = 1.0;
+            let mut x = x;
+            let mut g;
+            for j in l..=nm {
+                let i = j + 1;
+                let mut gy = rv1[i];
+                let mut yy = d[i];
+                let mut h = s * gy;
+                gy *= c;
+                let mut zz = hypot(f, h);
+                rv1[j] = zz;
+                c = f / zz;
+                s = h / zz;
+                f = x * c + gy * s;
+                g = gy * c - x * s;
+                h = yy * s;
+                yy *= c;
+                rotate_cols(&mut v, j, i, c, s);
+                zz = hypot(f, h);
+                d[j] = zz;
+                if zz != 0.0 {
+                    let inv = 1.0 / zz;
+                    c = f * inv;
+                    s = h * inv;
+                }
+                f = c * g + s * yy;
+                x = c * yy - s * g;
+                rotate_cols(&mut u, j, i, c, s);
+            }
+            rv1[l] = 0.0;
+            rv1[k] = f;
+            d[k] = x;
+        }
+    }
+
+    Ok(finalize(u, d, v))
+}
+
+#[inline]
+fn sign(a: f64, b: f64) -> f64 {
+    if b >= 0.0 {
+        a.abs()
+    } else {
+        -a.abs()
+    }
+}
+
+#[inline]
+fn rotate_cols(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    for i in 0..m.rows() {
+        let mp = m[(i, p)];
+        let mq = m[(i, q)];
+        m[(i, p)] = mp * c + mq * s;
+        m[(i, q)] = mq * c - mp * s;
+    }
+}
+
+#[inline]
+fn scale_col_neg(m: &mut Matrix, j: usize) {
+    m.scale_col(j, -1.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul_naive;
+
+    fn assert_valid_svd(a: &Matrix, s: &Svd, tol: f64) {
+        let k = a.rows().min(a.cols());
+        assert_eq!(s.singular_values.len(), k);
+        assert_eq!(s.u.shape(), (a.rows(), k));
+        assert_eq!(s.v.shape(), (a.cols(), k));
+        // Descending, non-negative.
+        for w in s.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "not sorted: {:?}", s.singular_values);
+        }
+        assert!(s.singular_values.iter().all(|&x| x >= 0.0));
+        // Reconstruction.
+        assert!(
+            s.residual(a) < tol * (1.0 + crate::norms::frobenius(a)),
+            "residual too large: {}",
+            s.residual(a)
+        );
+        // Orthonormality (columns with nonzero sigma).
+        let ug = matmul_naive(&s.u.transpose(), &s.u).unwrap();
+        let vg = matmul_naive(&s.v.transpose(), &s.v).unwrap();
+        for j in 0..k {
+            if s.singular_values[j] > 1e-12 {
+                assert!((ug[(j, j)] - 1.0).abs() < 1e-9, "Uᵀu[{j}] = {}", ug[(j, j)]);
+                assert!((vg[(j, j)] - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    fn det2_sigma(a: f64, b: f64, c: f64, d: f64) -> (f64, f64) {
+        // Exact singular values of [[a, b], [c, d]].
+        let q1 = a * a + b * b + c * c + d * d;
+        let q2 = ((a * a + b * b - c * c - d * d).powi(2)
+            + 4.0 * (a * c + b * d).powi(2))
+        .sqrt();
+        (
+            ((q1 + q2) / 2.0).sqrt(),
+            (((q1 - q2) / 2.0).max(0.0)).sqrt(),
+        )
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        let (a, b, c, d) = (3.0, 1.0, 1.0, 3.0);
+        let m = Matrix::from_rows(&[&[a, b], &[c, d]]).unwrap();
+        let s = jacobi_svd(&m).unwrap();
+        let (s1, s2) = det2_sigma(a, b, c, d);
+        assert!((s.singular_values[0] - s1).abs() < 1e-12);
+        assert!((s.singular_values[1] - s2).abs() < 1e-12);
+        assert_valid_svd(&m, &s, 1e-12);
+    }
+
+    #[test]
+    fn gr_known_2x2() {
+        let (a, b, c, d) = (2.0, 0.5, -1.0, 1.5);
+        let m = Matrix::from_rows(&[&[a, b], &[c, d]]).unwrap();
+        let s = golub_reinsch_svd(&m).unwrap();
+        let (s1, s2) = det2_sigma(a, b, c, d);
+        assert!((s.singular_values[0] - s1).abs() < 1e-10);
+        assert!((s.singular_values[1] - s2).abs() < 1e-10);
+        assert_valid_svd(&m, &s, 1e-10);
+    }
+
+    #[test]
+    fn diagonal_matrix_exact() {
+        let m = Matrix::from_diag(&[5.0, 1.0, 3.0]);
+        for alg in [SvdAlgorithm::Jacobi, SvdAlgorithm::GolubReinsch] {
+            let s = svd_with(&m, alg).unwrap();
+            assert!((s.singular_values[0] - 5.0).abs() < 1e-12, "{alg:?}");
+            assert!((s.singular_values[1] - 3.0).abs() < 1e-12);
+            assert!((s.singular_values[2] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        // xyᵀ has a single nonzero singular value ‖x‖‖y‖.
+        let m = Matrix::from_fn(4, 3, |i, j| ((i + 1) * (j + 1)) as f64);
+        for alg in [SvdAlgorithm::Jacobi, SvdAlgorithm::GolubReinsch] {
+            let s = svd_with(&m, alg).unwrap();
+            let x: f64 = (1..=4).map(|v| (v * v) as f64).sum::<f64>().sqrt();
+            let y: f64 = (1..=3).map(|v| (v * v) as f64).sum::<f64>().sqrt();
+            assert!((s.singular_values[0] - x * y).abs() < 1e-10, "{alg:?}");
+            assert!(s.singular_values[1].abs() < 1e-10);
+            assert!(s.singular_values[2].abs() < 1e-10);
+            assert_eq!(s.rank(1e-9), 1);
+        }
+    }
+
+    #[test]
+    fn algorithms_agree_on_pseudorandom() {
+        for (m, n) in [(5, 5), (8, 3), (3, 8), (12, 5), (17, 5)] {
+            let a = Matrix::from_fn(m, n, |i, j| {
+                0.1 + ((i * 131 + j * 31 + 7) % 97) as f64 / 97.0
+            });
+            let sj = jacobi_svd(&a).unwrap();
+            let sg = golub_reinsch_svd(&a).unwrap();
+            assert_valid_svd(&a, &sj, 1e-10);
+            assert_valid_svd(&a, &sg, 1e-10);
+            for (x, y) in sj.singular_values.iter().zip(&sg.singular_values) {
+                assert!(
+                    (x - y).abs() < 1e-9 * (1.0 + x.abs()),
+                    "σ mismatch {m}x{n}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_matrix_transposition_path() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[0.5, -1.0, 2.0, 0.0]]).unwrap();
+        for alg in [SvdAlgorithm::Jacobi, SvdAlgorithm::GolubReinsch] {
+            let s = svd_with(&a, alg).unwrap();
+            assert_valid_svd(&a, &s, 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_values_sum_of_squares_is_frobenius() {
+        let a = Matrix::from_fn(6, 4, |i, j| (i as f64 - 2.5) * 0.7 + (j as f64) * 1.3);
+        let s = svd(&a).unwrap();
+        let ssq: f64 = s.singular_values.iter().map(|v| v * v).sum();
+        let f = crate::norms::frobenius(&a);
+        assert!((ssq - f * f).abs() < 1e-9 * f * f);
+    }
+
+    #[test]
+    fn orthogonal_matrix_all_sigma_one() {
+        // Rotation matrix: all singular values 1.
+        let th = 0.7_f64;
+        let m = Matrix::from_rows(&[&[th.cos(), -th.sin()], &[th.sin(), th.cos()]]).unwrap();
+        let s = svd(&m).unwrap();
+        assert!((s.singular_values[0] - 1.0).abs() < 1e-12);
+        assert!((s.singular_values[1] - 1.0).abs() < 1e-12);
+        assert!((s.condition_number() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let m = Matrix::zeros(3, 2);
+        for alg in [SvdAlgorithm::Jacobi, SvdAlgorithm::GolubReinsch] {
+            let s = svd_with(&m, alg).unwrap();
+            assert!(s.singular_values.iter().all(|&v| v == 0.0), "{alg:?}");
+            assert_eq!(s.rank(1e-12), 0);
+            assert_eq!(s.condition_number(), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn empty_and_nonfinite_rejected() {
+        assert!(matches!(
+            svd(&Matrix::zeros(0, 0)),
+            Err(LinAlgError::Empty { .. })
+        ));
+        let mut a = Matrix::identity(2);
+        a[(1, 1)] = f64::INFINITY;
+        assert!(matches!(svd(&a), Err(LinAlgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn graded_matrix_small_sigma_accuracy() {
+        // Diagonal grading over 12 orders of magnitude: Jacobi must keep relative
+        // accuracy on the tiny singular value.
+        let m = Matrix::from_diag(&[1.0, 1e-6, 1e-12]);
+        let s = jacobi_svd(&m).unwrap();
+        assert!((s.singular_values[2] - 1e-12).abs() / 1e-12 < 1e-8);
+    }
+
+    #[test]
+    fn ones_matrix_sigma() {
+        // J (all ones, m×n) has σ₁ = √(mn), rest 0.
+        let m = Matrix::filled(4, 6, 1.0);
+        let s = svd(&m).unwrap();
+        assert!((s.singular_values[0] - 24.0_f64.sqrt()).abs() < 1e-10);
+        for &v in &s.singular_values[1..] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_row_and_column() {
+        let r = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        let s = svd(&r).unwrap();
+        assert!((s.singular_values[0] - 5.0).abs() < 1e-12);
+        let c = Matrix::from_rows(&[&[3.0], &[4.0]]).unwrap();
+        let s = svd(&c).unwrap();
+        assert!((s.singular_values[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_gr_path_via_auto() {
+        let a = Matrix::from_fn(80, 70, |i, j| {
+            (((i * 7919 + j * 104729) % 1000) as f64) / 1000.0 - 0.5
+        });
+        let s = svd(&a).unwrap();
+        assert_valid_svd(&a, &s, 1e-8);
+        // Spot-check σ₁ against power iteration.
+        let p = crate::eigen::power_iteration_sigma_max(&a, 2000, 1e-12);
+        assert!(
+            (s.singular_values[0] - p).abs() < 1e-6 * p,
+            "σ₁ {} vs power {p}",
+            s.singular_values[0]
+        );
+    }
+
+    #[test]
+    fn svd_struct_helpers() {
+        let m = Matrix::from_diag(&[4.0, 2.0]);
+        let s = svd(&m).unwrap();
+        assert_eq!(s.sigma_max(), 4.0);
+        assert_eq!(s.sigma_min(), 2.0);
+        assert!((s.condition_number() - 2.0).abs() < 1e-12);
+        assert_eq!(s.rank(0.1), 2);
+        assert_eq!(s.rank(0.9), 1);
+    }
+}

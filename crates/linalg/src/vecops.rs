@@ -1,0 +1,248 @@
+//! Vector kernels: dot products, norms, axpy, Householder reflector construction.
+//!
+//! These free functions operate on plain `&[f64]` slices so they can be reused on
+//! matrix rows, copied columns, and scratch buffers alike.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm computed with overflow/underflow-safe scaling.
+pub fn norm2(x: &[f64]) -> f64 {
+    let scale = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    if scale == 0.0 || !scale.is_finite() {
+        return scale;
+    }
+    let ssq: f64 = x
+        .iter()
+        .map(|v| {
+            let t = v / scale;
+            t * t
+        })
+        .sum();
+    scale * ssq.sqrt()
+}
+
+/// 1-norm (sum of absolute values).
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// ∞-norm (maximum absolute value); `0` for an empty slice.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales `x` by `alpha` in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Normalizes `x` to unit Euclidean norm in place; returns the original norm.
+/// A zero vector is left untouched and `0.0` is returned.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Stable hypotenuse `sqrt(a² + b²)` without intermediate overflow.
+pub fn hypot(a: f64, b: f64) -> f64 {
+    let (a, b) = (a.abs(), b.abs());
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if hi == 0.0 {
+        return 0.0;
+    }
+    let r = lo / hi;
+    hi * (1.0 + r * r).sqrt()
+}
+
+/// A Householder reflector `H = I − β v vᵀ` that annihilates `x[1..]`.
+#[derive(Debug, Clone)]
+pub struct Householder {
+    /// Reflector direction with `v[0] == 1` by convention.
+    pub v: Vec<f64>,
+    /// Scaling `β = 2 / (vᵀv)`; zero when no reflection is needed.
+    pub beta: f64,
+    /// The value that replaces `x[0]` after applying the reflector (±‖x‖).
+    pub alpha: f64,
+}
+
+/// Builds the Householder reflector mapping `x` to `(α, 0, …, 0)ᵀ`
+/// (Golub & Van Loan alg. 5.1.1, sign chosen to avoid cancellation).
+pub fn householder(x: &[f64]) -> Householder {
+    let n = x.len();
+    assert!(n > 0, "householder: empty input");
+    let sigma = dot(&x[1..], &x[1..]);
+    let mut v = x.to_vec();
+    v[0] = 1.0;
+    if sigma == 0.0 {
+        // Already of the desired form; H = I (beta = 0).
+        return Householder {
+            v,
+            beta: 0.0,
+            alpha: x[0],
+        };
+    }
+    let mu = hypot(x[0], sigma.sqrt());
+    let v0 = if x[0] <= 0.0 {
+        x[0] - mu
+    } else {
+        -sigma / (x[0] + mu)
+    };
+    let v0sq = v0 * v0;
+    let beta = 2.0 * v0sq / (sigma + v0sq);
+    for (vi, xi) in v.iter_mut().zip(x).skip(1) {
+        *vi = xi / v0;
+    }
+    v[0] = 1.0;
+    // With this construction H·x = +μ·e₁ in both sign branches.
+    Householder { v, beta, alpha: mu }
+}
+
+/// Applies the reflector to a vector in place: `y ← (I − β v vᵀ) y`.
+pub fn apply_householder(h: &Householder, y: &mut [f64]) {
+    if h.beta == 0.0 {
+        return;
+    }
+    let w = h.beta * dot(&h.v, y);
+    axpy(-w, &h.v, y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm2_matches_definition() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < TOL);
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn norm2_avoids_overflow() {
+        let big = 1e200;
+        let n = norm2(&[big, big]);
+        assert!(n.is_finite());
+        assert!((n - big * 2.0_f64.sqrt()).abs() / n < 1e-12);
+    }
+
+    #[test]
+    fn norm2_avoids_underflow() {
+        let tiny = 1e-200;
+        let n = norm2(&[tiny, tiny]);
+        assert!(n > 0.0);
+        assert!((n - tiny * 2.0_f64.sqrt()).abs() / n < 1e-12);
+    }
+
+    #[test]
+    fn norm1_and_inf() {
+        assert_eq!(norm1(&[-1.0, 2.0, -3.0]), 6.0);
+        assert_eq!(norm_inf(&[-1.0, 2.0, -3.0]), 3.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_and_normalize() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert!((n - 5.0).abs() < TOL);
+        assert!((norm2(&x) - 1.0).abs() < TOL);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn hypot_stable() {
+        assert_eq!(hypot(0.0, 0.0), 0.0);
+        assert!((hypot(3.0, -4.0) - 5.0).abs() < TOL);
+        assert!(hypot(1e300, 1e300).is_finite());
+    }
+
+    #[test]
+    fn householder_annihilates_tail() {
+        let x = vec![2.0, -1.0, 2.0]; // norm 3
+        let h = householder(&x);
+        let mut y = x.clone();
+        apply_householder(&h, &mut y);
+        assert!((y[0].abs() - 3.0).abs() < TOL, "got {y:?}");
+        assert!(y[1].abs() < TOL);
+        assert!(y[2].abs() < TOL);
+        assert!((y[0] - h.alpha).abs() < 1e-10);
+    }
+
+    #[test]
+    fn householder_identity_when_tail_zero() {
+        let h = householder(&[5.0, 0.0, 0.0]);
+        assert_eq!(h.beta, 0.0);
+        let mut y = vec![1.0, 2.0, 3.0];
+        apply_householder(&h, &mut y);
+        assert_eq!(y, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn householder_preserves_norm() {
+        let x = vec![-0.3, 0.7, 1.1, -2.0];
+        let h = householder(&x);
+        let mut y = vec![0.4, -0.2, 0.9, 1.3];
+        let before = norm2(&y);
+        apply_householder(&h, &mut y);
+        assert!((norm2(&y) - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn householder_negative_leading_entry() {
+        let x = vec![-2.0, 1.0, 2.0];
+        let h = householder(&x);
+        let mut y = x.clone();
+        apply_householder(&h, &mut y);
+        assert!((y[0].abs() - 3.0).abs() < TOL);
+        assert!(y[1].abs() < TOL && y[2].abs() < TOL);
+    }
+}

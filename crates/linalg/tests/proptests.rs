@@ -1,0 +1,150 @@
+//! Property-based tests for the dense linear-algebra substrate.
+
+use hc_linalg::matmul::{gram, matmul_blocked, matmul_naive, matmul_parallel};
+use hc_linalg::norms;
+use hc_linalg::qr::qr;
+use hc_linalg::svd::{golub_reinsch_svd, jacobi_svd};
+use hc_linalg::vecops;
+use hc_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: an m×n matrix with entries in [-10, 10], shapes up to 9×9.
+fn arb_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=9, 1usize..=9).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0_f64..10.0, m * n)
+            .prop_map(move |data| Matrix::from_vec(m, n, data).unwrap())
+    })
+}
+
+/// Strategy: strictly positive matrices (the ECS domain).
+fn arb_positive_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(0.01_f64..100.0, m * n)
+            .prop_map(move |data| Matrix::from_vec(m, n, data).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(a in arb_matrix()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn row_sums_match_total(a in arb_matrix()) {
+        let rs: f64 = a.row_sums().iter().sum();
+        let cs: f64 = a.col_sums().iter().sum();
+        prop_assert!((rs - a.total_sum()).abs() < 1e-9);
+        prop_assert!((cs - a.total_sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_kernels_agree(a in arb_matrix(), b in arb_matrix()) {
+        // Make shapes compatible by multiplying a with bᵀ-shaped reshape of b if possible;
+        // simplest: multiply a by its own transpose.
+        let at = a.transpose();
+        let n = matmul_naive(&a, &at).unwrap();
+        let bl = matmul_blocked(&a, &at).unwrap();
+        let p = matmul_parallel(&a, &at, 3).unwrap();
+        prop_assert!(n.max_abs_diff(&bl) < 1e-9);
+        prop_assert!(n.max_abs_diff(&p) < 1e-9);
+        let _ = b;
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag(a in arb_matrix()) {
+        let g = gram(&a);
+        for i in 0..g.rows() {
+            prop_assert!(g[(i, i)] >= -1e-12);
+            for j in 0..g.cols() {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs(a in arb_matrix()) {
+        let f = qr(&a).unwrap();
+        let rec = matmul_naive(&f.q, &f.r).unwrap();
+        prop_assert!(rec.max_abs_diff(&a) < 1e-8,
+            "QR reconstruction error {}", rec.max_abs_diff(&a));
+        let g = matmul_naive(&f.q.transpose(), &f.q).unwrap();
+        prop_assert!(g.max_abs_diff(&Matrix::identity(f.q.cols())) < 1e-8);
+    }
+
+    #[test]
+    fn svd_reconstructs_and_sorted(a in arb_matrix()) {
+        let s = jacobi_svd(&a).unwrap();
+        prop_assert!(s.residual(&a) < 1e-8 * (1.0 + norms::frobenius(&a)));
+        for w in s.singular_values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(s.singular_values.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn svd_algorithms_agree(a in arb_positive_matrix()) {
+        let sj = jacobi_svd(&a).unwrap();
+        let sg = golub_reinsch_svd(&a).unwrap();
+        let f = norms::frobenius(&a);
+        for (x, y) in sj.singular_values.iter().zip(&sg.singular_values) {
+            prop_assert!((x - y).abs() < 1e-8 * (1.0 + f), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn sigma_squares_sum_to_frobenius(a in arb_matrix()) {
+        let s = jacobi_svd(&a).unwrap();
+        let ssq: f64 = s.singular_values.iter().map(|v| v * v).sum();
+        let f2 = norms::frobenius(&a).powi(2);
+        prop_assert!((ssq - f2).abs() < 1e-8 * (1.0 + f2));
+    }
+
+    #[test]
+    fn sigma_max_bounds_norms(a in arb_matrix()) {
+        // σ₁ ≤ √(‖A‖₁‖A‖∞) (Schur bound) and σ₁ ≥ max column 2-norm.
+        let s = jacobi_svd(&a).unwrap();
+        let s1 = s.singular_values[0];
+        let bound = (norms::one_norm(&a) * norms::inf_norm(&a)).sqrt();
+        prop_assert!(s1 <= bound + 1e-9 * (1.0 + bound));
+        for j in 0..a.cols() {
+            let cn = vecops::norm2(&a.col(j));
+            prop_assert!(s1 >= cn - 1e-9 * (1.0 + cn));
+        }
+    }
+
+    #[test]
+    fn scaling_scales_sigma(a in arb_positive_matrix(), k in 0.01_f64..50.0) {
+        // σᵢ(kA) = kσᵢ(A) — the scale-invariance property TMA relies on.
+        let s1 = jacobi_svd(&a).unwrap().singular_values;
+        let s2 = jacobi_svd(&a.scaled(k)).unwrap().singular_values;
+        for (x, y) in s1.iter().zip(&s2) {
+            prop_assert!((x * k - y).abs() < 1e-7 * (1.0 + y.abs()), "{} vs {}", x * k, y);
+        }
+    }
+
+    #[test]
+    fn householder_annihilates(x in proptest::collection::vec(-5.0_f64..5.0, 1..10)) {
+        let h = vecops::householder(&x);
+        let mut y = x.clone();
+        vecops::apply_householder(&h, &mut y);
+        let norm = vecops::norm2(&x);
+        prop_assert!((y[0] - h.alpha).abs() < 1e-9 * (1.0 + norm));
+        prop_assert!((y[0].abs() - norm).abs() < 1e-9 * (1.0 + norm));
+        for v in &y[1..] {
+            prop_assert!(v.abs() < 1e-9 * (1.0 + norm));
+        }
+    }
+
+    #[test]
+    fn permutations_preserve_multiset(a in arb_matrix()) {
+        let mut perm: Vec<usize> = (0..a.rows()).collect();
+        perm.reverse();
+        let p = a.permute_rows(&perm).unwrap();
+        let mut x = a.as_slice().to_vec();
+        let mut y = p.as_slice().to_vec();
+        x.sort_by(|u, v| u.partial_cmp(v).unwrap());
+        y.sort_by(|u, v| u.partial_cmp(v).unwrap());
+        prop_assert_eq!(x, y);
+    }
+}

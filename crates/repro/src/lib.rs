@@ -1,0 +1,49 @@
+//! # hc-repro — the experiment harness
+//!
+//! Regenerates every figure of the paper plus the extension experiments listed in
+//! DESIGN.md, as plain-text tables with paper-reported vs. measured values. The
+//! `repro` binary drives it:
+//!
+//! ```text
+//! repro --all            # everything
+//! repro --figure 4       # one figure (1–8)
+//! repro --section 6      # the Sec. VI zero-pattern cases
+//! repro --ext x1         # extension experiments (x1–x4)
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod extensions;
+pub mod figures;
+pub mod table;
+
+/// Runs every experiment, returning the concatenated report.
+pub fn run_all() -> String {
+    let mut out = String::new();
+    for f in 1..=8 {
+        out.push_str(&figures::figure(f));
+        out.push('\n');
+    }
+    out.push_str(&figures::section6());
+    out.push('\n');
+    for x in ["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"] {
+        out.push_str(&extensions::extension(x));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn run_all_mentions_every_experiment() {
+        let s = super::run_all();
+        for needle in [
+            "Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+            "Figure 7", "Figure 8", "Section VI", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9",
+        ] {
+            assert!(s.contains(needle), "report missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! `repro` — regenerate the paper's figures and the extension experiments.
+
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "repro — regenerate every figure of 'Characterizing Task-Machine Affinity in\n\
+     Heterogeneous Computing Environments' (IPDPS 2011)\n\n\
+     USAGE:\n\
+    \x20 repro --all               run everything\n\
+    \x20 repro --figure <1-8>      one figure\n\
+    \x20 repro --section 6         the Sec. VI zero-pattern cases\n\
+    \x20 repro --ext <x1-x9>       one extension experiment\n\
+    \x20 repro --help              this text\n"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print!("{}", hc_repro::run_all());
+        return ExitCode::SUCCESS;
+    }
+    let mut i = 0;
+    let mut printed = false;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                printed = true;
+            }
+            "--all" => {
+                print!("{}", hc_repro::run_all());
+                printed = true;
+            }
+            "--figure" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--figure needs a number 1-8\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                print!("{}", hc_repro::figures::figure(n));
+                printed = true;
+            }
+            "--section" => {
+                i += 1;
+                if args.get(i).map(String::as_str) != Some("6") {
+                    eprintln!("--section supports only 6\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                print!("{}", hc_repro::figures::section6());
+                printed = true;
+            }
+            "--ext" => {
+                i += 1;
+                let Some(id) = args.get(i) else {
+                    eprintln!("--ext needs x1..x9\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                print!("{}", hc_repro::extensions::extension(id));
+                printed = true;
+            }
+            other => {
+                eprintln!("unknown argument {other}\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if !printed {
+        print!("{}", usage());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,130 @@
+//! Minimal fixed-width text-table renderer for the experiment reports.
+
+/// A text table with a header row.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.chars().count());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut s = String::new();
+            for k in 0..cols {
+                if k > 0 {
+                    s.push_str("  ");
+                }
+                let cell = &cells[k];
+                s.push_str(cell);
+                for _ in cell.chars().count()..widths[k] {
+                    s.push(' ');
+                }
+            }
+            s.trim_end().to_string()
+        };
+        let mut out = line(&self.header);
+        out.push('\n');
+        let sep: String = widths
+            .iter()
+            .enumerate()
+            .map(|(k, w)| {
+                let dash = "-".repeat(*w);
+                if k > 0 {
+                    format!("  {dash}")
+                } else {
+                    dash
+                }
+            })
+            .collect();
+        out.push_str(&sep);
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&line(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float to 2–4 significant decimals for measure tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0.00".to_string()
+    } else if v.abs() < 0.01 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["short", "1"]);
+        t.row(vec!["much longer name", "2.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        // Columns align: "value" column starts at the same offset in all rows.
+        let off = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][off..off + 1], "1");
+    }
+
+    #[test]
+    fn pads_missing_cells() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0.00");
+        assert_eq!(fmt(0.5), "0.50");
+        assert_eq!(fmt(0.001234), "0.0012");
+        assert_eq!(fmt(17.0), "17.00");
+    }
+}

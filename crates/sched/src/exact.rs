@@ -1,0 +1,402 @@
+//! Exact (brute-force) makespan optimization for tiny instances, used as ground
+//! truth when validating the heuristics, plus a simulated-annealing mapper.
+
+use crate::heuristics::{Heuristic, HeuristicKind};
+use crate::problem::{MappingProblem, Schedule};
+use hc_core::error::MeasureError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exhaustive search over all `Mᵀ` assignments with branch-and-bound pruning.
+/// Intended for `Mᵀ ≲ 10⁷` (the `limit` guard rejects larger instances).
+pub fn optimal(p: &MappingProblem, limit: f64) -> Result<Schedule, MeasureError> {
+    let t = p.num_tasks();
+    let m = p.num_machines();
+    let space = (m as f64).powi(t as i32);
+    if space > limit {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: format!("search space {space:.1e} exceeds limit {limit:.1e}"),
+        });
+    }
+    // Order tasks by decreasing best time: failing early prunes more.
+    let mut order: Vec<usize> = (0..t).collect();
+    let best_time = |i: usize| -> f64 {
+        p.compatible_machines(i)
+            .map(|j| p.time(i, j))
+            .fold(f64::INFINITY, f64::min)
+    };
+    order.sort_by(|&a, &b| best_time(b).partial_cmp(&best_time(a)).expect("finite"));
+
+    // Start from a greedy incumbent (MCT) so pruning bites immediately.
+    let incumbent = HeuristicKind::Mct.map(p)?;
+    let mut best_makespan = incumbent.makespan(p)?;
+    let mut best = incumbent.assignment;
+
+    let mut loads = vec![0.0_f64; m];
+    let mut current = vec![usize::MAX; t];
+
+    fn dfs(
+        depth: usize,
+        order: &[usize],
+        p: &MappingProblem,
+        loads: &mut Vec<f64>,
+        current: &mut Vec<usize>,
+        best_makespan: &mut f64,
+        best: &mut Vec<usize>,
+    ) {
+        if depth == order.len() {
+            let mk = loads.iter().copied().fold(0.0_f64, f64::max);
+            if mk < *best_makespan {
+                *best_makespan = mk;
+                best.clone_from(current);
+            }
+            return;
+        }
+        let i = order[depth];
+        for j in 0..p.num_machines() {
+            let time = p.time(i, j);
+            if !time.is_finite() {
+                continue;
+            }
+            if loads[j] + time >= *best_makespan {
+                continue; // bound: this branch cannot improve
+            }
+            loads[j] += time;
+            current[i] = j;
+            dfs(depth + 1, order, p, loads, current, best_makespan, best);
+            loads[j] -= time;
+            current[i] = usize::MAX;
+        }
+    }
+    dfs(
+        0,
+        &order,
+        p,
+        &mut loads,
+        &mut current,
+        &mut best_makespan,
+        &mut best,
+    );
+    Ok(Schedule { assignment: best })
+}
+
+/// Simulated-annealing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SaParams {
+    /// Iterations.
+    pub iterations: usize,
+    /// Initial temperature as a fraction of the starting makespan.
+    pub initial_temp: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        SaParams {
+            iterations: 20_000,
+            initial_temp: 0.3,
+            cooling: 0.9995,
+            seed: 0,
+        }
+    }
+}
+
+/// Simulated annealing seeded with MCT: random single-task reassignment moves,
+/// Metropolis acceptance, returns the best state visited.
+pub fn simulated_annealing(p: &MappingProblem, params: &SaParams) -> Result<Schedule, MeasureError> {
+    let t = p.num_tasks();
+    let compat: Vec<Vec<usize>> = (0..t).map(|i| p.compatible_machines(i).collect()).collect();
+    for (i, c) in compat.iter().enumerate() {
+        if c.is_empty() {
+            return Err(MeasureError::InvalidEnvironment {
+                reason: format!("task {i} has no compatible machine"),
+            });
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let seedsched = HeuristicKind::Mct.map(p)?;
+    let mut current = seedsched.assignment;
+    let mut loads = vec![0.0_f64; p.num_machines()];
+    for (i, &j) in current.iter().enumerate() {
+        loads[j] += p.time(i, j);
+    }
+    let makespan = |loads: &[f64]| loads.iter().copied().fold(0.0_f64, f64::max);
+    let mut cur_mk = makespan(&loads);
+    let mut best = current.clone();
+    let mut best_mk = cur_mk;
+    let mut temp = params.initial_temp * cur_mk.max(f64::MIN_POSITIVE);
+
+    for _ in 0..params.iterations {
+        let i = rng.gen_range(0..t);
+        let to = compat[i][rng.gen_range(0..compat[i].len())];
+        let from = current[i];
+        if to == from {
+            temp *= params.cooling;
+            continue;
+        }
+        loads[from] -= p.time(i, from);
+        loads[to] += p.time(i, to);
+        let new_mk = makespan(&loads);
+        let accept = new_mk <= cur_mk
+            || (temp > 0.0 && rng.gen::<f64>() < ((cur_mk - new_mk) / temp).exp());
+        if accept {
+            current[i] = to;
+            cur_mk = new_mk;
+            if cur_mk < best_mk {
+                best_mk = cur_mk;
+                best.clone_from(&current);
+            }
+        } else {
+            loads[to] -= p.time(i, to);
+            loads[from] += p.time(i, from);
+        }
+        temp *= params.cooling;
+    }
+    Ok(Schedule { assignment: best })
+}
+
+/// Tabu-search parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TabuParams {
+    /// Total move evaluations.
+    pub iterations: usize,
+    /// Tabu tenure: how many iterations a reversed move stays forbidden.
+    pub tenure: usize,
+    /// RNG seed (used only to diversify when the neighbourhood is exhausted).
+    pub seed: u64,
+}
+
+impl Default for TabuParams {
+    fn default() -> Self {
+        TabuParams {
+            iterations: 5_000,
+            tenure: 12,
+            seed: 0,
+        }
+    }
+}
+
+/// Short-hop tabu search (Braun et al.'s Tabu entrant, simplified): start from
+/// MCT, explore single-task reassignment moves, always take the best
+/// non-tabu neighbour (even if worsening), keep the best schedule seen.
+/// Aspiration: a tabu move is allowed when it improves the global best.
+pub fn tabu(p: &MappingProblem, params: &TabuParams) -> Result<Schedule, MeasureError> {
+    let t = p.num_tasks();
+    let m = p.num_machines();
+    let compat: Vec<Vec<usize>> = (0..t).map(|i| p.compatible_machines(i).collect()).collect();
+    for (i, c) in compat.iter().enumerate() {
+        if c.is_empty() {
+            return Err(MeasureError::InvalidEnvironment {
+                reason: format!("task {i} has no compatible machine"),
+            });
+        }
+    }
+    let mut current = HeuristicKind::Mct.map(p)?.assignment;
+    let mut loads = vec![0.0_f64; m];
+    for (i, &j) in current.iter().enumerate() {
+        loads[j] += p.time(i, j);
+    }
+    let makespan = |loads: &[f64]| loads.iter().copied().fold(0.0_f64, f64::max);
+    let mut best = current.clone();
+    let mut best_mk = makespan(&loads);
+    // tabu_until[(task, machine)] = iteration until which moving `task` to
+    // `machine` is forbidden.
+    let mut tabu_until = vec![0usize; t * m];
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    for it in 1..=params.iterations {
+        // Best single-task move in the whole neighbourhood.
+        let mut chosen: Option<(usize, usize, f64)> = None; // (task, to, new_mk)
+        for i in 0..t {
+            let from = current[i];
+            for &to in &compat[i] {
+                if to == from {
+                    continue;
+                }
+                let l_from = loads[from] - p.time(i, from);
+                let l_to = loads[to] + p.time(i, to);
+                // New makespan: max over unchanged machines and the two edited.
+                let mut mk = l_from.max(l_to);
+                for (j, &l) in loads.iter().enumerate() {
+                    if j != from && j != to {
+                        mk = mk.max(l);
+                    }
+                }
+                let is_tabu = tabu_until[i * m + to] > it;
+                if is_tabu && mk >= best_mk {
+                    continue; // aspiration only for global improvements
+                }
+                if chosen.map(|(_, _, c)| mk < c).unwrap_or(true) {
+                    chosen = Some((i, to, mk));
+                }
+            }
+        }
+        let Some((i, to, _)) = chosen else {
+            // Fully tabu neighbourhood: random restart move.
+            let i = rng.gen_range(0..t);
+            let to = compat[i][rng.gen_range(0..compat[i].len())];
+            let from = current[i];
+            loads[from] -= p.time(i, from);
+            loads[to] += p.time(i, to);
+            current[i] = to;
+            continue;
+        };
+        let from = current[i];
+        loads[from] -= p.time(i, from);
+        loads[to] += p.time(i, to);
+        current[i] = to;
+        // Forbid moving the task straight back.
+        tabu_until[i * m + from] = it + params.tenure;
+        let mk = makespan(&loads);
+        if mk < best_mk {
+            best_mk = mk;
+            best.clone_from(&current);
+        }
+    }
+    Ok(Schedule { assignment: best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::all_heuristics;
+    use crate::problem::makespan_lower_bound;
+    use hc_linalg::Matrix;
+
+    fn problem(rows: &[&[f64]]) -> MappingProblem {
+        MappingProblem::new(Matrix::from_rows(rows).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn optimal_on_known_instance() {
+        // Optimum: t0→m0 (2), t1→m1 (2): makespan 2.
+        let p = problem(&[&[2.0, 5.0], &[5.0, 2.0]]);
+        let s = optimal(&p, 1e7).unwrap();
+        assert_eq!(s.makespan(&p).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn optimal_beats_or_matches_every_heuristic() {
+        let p = problem(&[
+            &[4.0, 1.0, 7.0],
+            &[2.0, 6.0, 3.0],
+            &[9.0, 2.0, 1.0],
+            &[1.0, 8.0, 5.0],
+            &[3.0, 3.0, 3.0],
+            &[5.0, 4.0, 2.0],
+            &[2.0, 7.0, 6.0],
+        ]);
+        let opt = optimal(&p, 1e7).unwrap().makespan(&p).unwrap();
+        assert!(opt >= makespan_lower_bound(&p) - 1e-9);
+        for h in all_heuristics() {
+            let mk = h.map(&p).unwrap().makespan(&p).unwrap();
+            assert!(mk >= opt - 1e-9, "{} beat the optimum?!", h.name());
+        }
+        // On this instance at least one heuristic is strictly suboptimal —
+        // otherwise the test is vacuous.
+        let worst = all_heuristics()
+            .iter()
+            .map(|h| h.map(&p).unwrap().makespan(&p).unwrap())
+            .fold(0.0_f64, f64::max);
+        assert!(worst > opt + 1e-9, "instance too easy");
+    }
+
+    #[test]
+    fn optimal_respects_incompatibility() {
+        let p = problem(&[&[f64::INFINITY, 3.0], &[2.0, f64::INFINITY]]);
+        let s = optimal(&p, 1e6).unwrap();
+        assert_eq!(s.assignment, vec![1, 0]);
+    }
+
+    #[test]
+    fn optimal_limit_guard() {
+        let p = problem(&[&[1.0; 4]; 20].iter().map(|r| &r[..]).collect::<Vec<_>>());
+        assert!(optimal(&p, 1e6).is_err());
+    }
+
+    #[test]
+    fn sa_never_worse_than_mct_seed() {
+        let p = problem(&[
+            &[4.0, 1.0, 7.0],
+            &[2.0, 6.0, 3.0],
+            &[9.0, 2.0, 1.0],
+            &[1.0, 8.0, 5.0],
+        ]);
+        let mct = HeuristicKind::Mct.map(&p).unwrap().makespan(&p).unwrap();
+        let sa = simulated_annealing(&p, &SaParams::default())
+            .unwrap()
+            .makespan(&p)
+            .unwrap();
+        assert!(sa <= mct + 1e-12, "SA {sa} vs MCT {mct}");
+    }
+
+    #[test]
+    fn sa_close_to_optimal_on_small_instance() {
+        let p = problem(&[
+            &[4.0, 1.0, 7.0],
+            &[2.0, 6.0, 3.0],
+            &[9.0, 2.0, 1.0],
+            &[1.0, 8.0, 5.0],
+            &[3.0, 3.0, 3.0],
+            &[5.0, 4.0, 2.0],
+        ]);
+        let opt = optimal(&p, 1e7).unwrap().makespan(&p).unwrap();
+        let sa = simulated_annealing(&p, &SaParams::default())
+            .unwrap()
+            .makespan(&p)
+            .unwrap();
+        assert!(sa <= opt * 1.15, "SA {sa} vs optimum {opt}");
+    }
+
+    #[test]
+    fn tabu_never_worse_than_mct_seed() {
+        let p = problem(&[
+            &[4.0, 1.0, 7.0],
+            &[2.0, 6.0, 3.0],
+            &[9.0, 2.0, 1.0],
+            &[1.0, 8.0, 5.0],
+            &[3.0, 3.0, 3.0],
+        ]);
+        let mct = HeuristicKind::Mct.map(&p).unwrap().makespan(&p).unwrap();
+        let t = tabu(&p, &TabuParams::default()).unwrap().makespan(&p).unwrap();
+        assert!(t <= mct + 1e-12, "Tabu {t} vs MCT {mct}");
+    }
+
+    #[test]
+    fn tabu_close_to_optimal() {
+        let p = problem(&[
+            &[4.0, 1.0, 7.0],
+            &[2.0, 6.0, 3.0],
+            &[9.0, 2.0, 1.0],
+            &[1.0, 8.0, 5.0],
+            &[3.0, 3.0, 3.0],
+            &[5.0, 4.0, 2.0],
+        ]);
+        let opt = optimal(&p, 1e7).unwrap().makespan(&p).unwrap();
+        let t = tabu(&p, &TabuParams::default()).unwrap().makespan(&p).unwrap();
+        assert!(t >= opt - 1e-9);
+        assert!(t <= opt * 1.1, "Tabu {t} vs optimum {opt}");
+    }
+
+    #[test]
+    fn tabu_respects_compatibility_and_determinism() {
+        let p = problem(&[&[f64::INFINITY, 2.0], &[1.0, f64::INFINITY]]);
+        let t = tabu(&p, &TabuParams::default()).unwrap();
+        assert_eq!(t.assignment, vec![1, 0]);
+        let p2 = problem(&[&[4.0, 1.0], &[2.0, 6.0], &[9.0, 2.0]]);
+        let a = tabu(&p2, &TabuParams::default()).unwrap();
+        let b = tabu(&p2, &TabuParams::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sa_deterministic_per_seed() {
+        let p = problem(&[&[4.0, 1.0], &[2.0, 6.0], &[9.0, 2.0]]);
+        let a = simulated_annealing(&p, &SaParams::default()).unwrap();
+        let b = simulated_annealing(&p, &SaParams::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,395 @@
+//! The classic static mapping heuristics (Braun et al. 2001 suite).
+//!
+//! All heuristics are deterministic given the problem (ties broken by lowest
+//! index) and run in the stated polynomial time:
+//!
+//! | heuristic | idea | complexity |
+//! |---|---|---|
+//! | OLB | next task → machine that becomes ready first | O(T·M) |
+//! | MET | next task → machine with minimum execution time, ignoring load | O(T·M) |
+//! | MCT | next task → machine with minimum completion time | O(T·M) |
+//! | Min-Min | repeatedly commit the task whose best completion time is smallest | O(T²·M) |
+//! | Max-Min | …whose best completion time is largest | O(T²·M) |
+//! | Sufferage | …that would suffer most if denied its best machine | O(T²·M) |
+//! | KPB | MCT restricted to the k% best-execution-time machines | O(T·M log M) |
+//! | Duplex | better of Min-Min and Max-Min | O(T²·M) |
+//!
+//! The iterative searches of the same benchmark suite (GA, SA, Tabu) live in
+//! [`crate::ga`] and [`crate::exact`].
+
+use crate::problem::{MappingProblem, Schedule};
+use hc_core::error::MeasureError;
+
+/// A static mapping heuristic.
+pub trait Heuristic {
+    /// Short display name.
+    fn name(&self) -> &'static str;
+    /// Maps every task to a machine.
+    fn map(&self, p: &MappingProblem) -> Result<Schedule, MeasureError>;
+}
+
+/// The built-in heuristic selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeuristicKind {
+    /// Opportunistic Load Balancing.
+    Olb,
+    /// Minimum Execution Time.
+    Met,
+    /// Minimum Completion Time.
+    Mct,
+    /// Min-Min.
+    MinMin,
+    /// Max-Min.
+    MaxMin,
+    /// Sufferage.
+    Sufferage,
+    /// K-percent best (with `k` as a fraction of machines, rounded up).
+    Kpb {
+        /// Fraction of machines considered, in `(0, 1]`.
+        percent: u8,
+    },
+    /// Duplex: run Min-Min and Max-Min, keep the better schedule (Braun et al.).
+    Duplex,
+}
+
+impl Heuristic for HeuristicKind {
+    fn name(&self) -> &'static str {
+        match self {
+            HeuristicKind::Olb => "OLB",
+            HeuristicKind::Met => "MET",
+            HeuristicKind::Mct => "MCT",
+            HeuristicKind::MinMin => "Min-Min",
+            HeuristicKind::MaxMin => "Max-Min",
+            HeuristicKind::Sufferage => "Sufferage",
+            HeuristicKind::Kpb { .. } => "KPB",
+            HeuristicKind::Duplex => "Duplex",
+        }
+    }
+
+    fn map(&self, p: &MappingProblem) -> Result<Schedule, MeasureError> {
+        match self {
+            HeuristicKind::Olb => olb(p),
+            HeuristicKind::Met => met(p),
+            HeuristicKind::Mct => mct(p),
+            HeuristicKind::MinMin => minmin_family(p, SelectRule::MinMin),
+            HeuristicKind::MaxMin => minmin_family(p, SelectRule::MaxMin),
+            HeuristicKind::Sufferage => minmin_family(p, SelectRule::Sufferage),
+            HeuristicKind::Kpb { percent } => kpb(p, *percent),
+            HeuristicKind::Duplex => {
+                let a = minmin_family(p, SelectRule::MinMin)?;
+                let b = minmin_family(p, SelectRule::MaxMin)?;
+                Ok(if a.makespan(p)? <= b.makespan(p)? { a } else { b })
+            }
+        }
+    }
+}
+
+/// All standard heuristics (KPB at 50%).
+pub fn all_heuristics() -> Vec<HeuristicKind> {
+    vec![
+        HeuristicKind::Olb,
+        HeuristicKind::Met,
+        HeuristicKind::Mct,
+        HeuristicKind::MinMin,
+        HeuristicKind::MaxMin,
+        HeuristicKind::Sufferage,
+        HeuristicKind::Kpb { percent: 50 },
+        HeuristicKind::Duplex,
+    ]
+}
+
+fn incompatible(task: usize) -> MeasureError {
+    MeasureError::InvalidEnvironment {
+        reason: format!("task {task} has no compatible machine"),
+    }
+}
+
+/// OLB: assign each task (arrival order) to the machine with the lowest current
+/// load among compatible machines, ignoring execution time.
+fn olb(p: &MappingProblem) -> Result<Schedule, MeasureError> {
+    let mut loads = vec![0.0_f64; p.num_machines()];
+    let mut assignment = Vec::with_capacity(p.num_tasks());
+    for i in 0..p.num_tasks() {
+        let j = p
+            .compatible_machines(i)
+            .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).expect("finite loads"))
+            .ok_or_else(|| incompatible(i))?;
+        loads[j] += p.time(i, j);
+        assignment.push(j);
+    }
+    Ok(Schedule { assignment })
+}
+
+/// MET: assign each task to its fastest machine, ignoring load.
+fn met(p: &MappingProblem) -> Result<Schedule, MeasureError> {
+    let mut assignment = Vec::with_capacity(p.num_tasks());
+    for i in 0..p.num_tasks() {
+        let j = p
+            .compatible_machines(i)
+            .min_by(|&a, &b| {
+                p.time(i, a)
+                    .partial_cmp(&p.time(i, b))
+                    .expect("finite times")
+            })
+            .ok_or_else(|| incompatible(i))?;
+        assignment.push(j);
+    }
+    Ok(Schedule { assignment })
+}
+
+/// MCT: assign each task (arrival order) to the machine minimizing its completion
+/// time `load_j + ETC(i, j)`.
+fn mct(p: &MappingProblem) -> Result<Schedule, MeasureError> {
+    let mut loads = vec![0.0_f64; p.num_machines()];
+    let mut assignment = Vec::with_capacity(p.num_tasks());
+    for i in 0..p.num_tasks() {
+        let j = p
+            .compatible_machines(i)
+            .min_by(|&a, &b| {
+                (loads[a] + p.time(i, a))
+                    .partial_cmp(&(loads[b] + p.time(i, b)))
+                    .expect("finite")
+            })
+            .ok_or_else(|| incompatible(i))?;
+        loads[j] += p.time(i, j);
+        assignment.push(j);
+    }
+    Ok(Schedule { assignment })
+}
+
+enum SelectRule {
+    MinMin,
+    MaxMin,
+    Sufferage,
+}
+
+/// The Min-Min / Max-Min / Sufferage family: repeatedly pick an unmapped task by
+/// the rule, commit it to its best-completion-time machine, update loads.
+fn minmin_family(p: &MappingProblem, rule: SelectRule) -> Result<Schedule, MeasureError> {
+    let t = p.num_tasks();
+    let mut loads = vec![0.0_f64; p.num_machines()];
+    let mut assignment = vec![usize::MAX; t];
+    let mut unmapped: Vec<usize> = (0..t).collect();
+
+    while !unmapped.is_empty() {
+        // For each unmapped task: best and second-best completion times.
+        let mut chosen: Option<(usize, usize, f64)> = None; // (pos, machine, key)
+        for (pos, &i) in unmapped.iter().enumerate() {
+            let mut best: Option<(usize, f64)> = None;
+            let mut second = f64::INFINITY;
+            for j in p.compatible_machines(i) {
+                let ct = loads[j] + p.time(i, j);
+                match best {
+                    None => best = Some((j, ct)),
+                    Some((_, b)) if ct < b => {
+                        second = b;
+                        best = Some((j, ct));
+                    }
+                    Some(_) => second = second.min(ct),
+                }
+            }
+            let (bj, bct) = best.ok_or_else(|| incompatible(i))?;
+            let key = match rule {
+                SelectRule::MinMin => -bct, // maximize -ct == minimize ct
+                SelectRule::MaxMin => bct,
+                SelectRule::Sufferage => {
+                    if second.is_finite() {
+                        second - bct
+                    } else {
+                        f64::INFINITY // sole-machine tasks suffer infinitely
+                    }
+                }
+            };
+            let better = match &chosen {
+                None => true,
+                Some((_, _, k)) => key > *k,
+            };
+            if better {
+                chosen = Some((pos, bj, key));
+            }
+        }
+        let (pos, j, _) = chosen.expect("unmapped non-empty");
+        let i = unmapped.swap_remove(pos);
+        loads[j] += p.time(i, j);
+        assignment[i] = j;
+    }
+    Ok(Schedule { assignment })
+}
+
+/// KPB: like MCT but each task only considers its `⌈percent% × M⌉` best
+/// execution-time machines.
+fn kpb(p: &MappingProblem, percent: u8) -> Result<Schedule, MeasureError> {
+    if percent == 0 || percent > 100 {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: format!("KPB percent must be in 1..=100, got {percent}"),
+        });
+    }
+    let m = p.num_machines();
+    let k = ((percent as usize * m).div_ceil(100)).max(1);
+    let mut loads = vec![0.0_f64; m];
+    let mut assignment = Vec::with_capacity(p.num_tasks());
+    for i in 0..p.num_tasks() {
+        let mut machines: Vec<usize> = p.compatible_machines(i).collect();
+        if machines.is_empty() {
+            return Err(incompatible(i));
+        }
+        machines.sort_by(|&a, &b| {
+            p.time(i, a)
+                .partial_cmp(&p.time(i, b))
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+        machines.truncate(k.min(machines.len()));
+        let j = machines
+            .into_iter()
+            .min_by(|&a, &b| {
+                (loads[a] + p.time(i, a))
+                    .partial_cmp(&(loads[b] + p.time(i, b)))
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        loads[j] += p.time(i, j);
+        assignment.push(j);
+    }
+    Ok(Schedule { assignment })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::makespan_lower_bound;
+    use hc_linalg::Matrix;
+
+    fn problem(rows: &[&[f64]]) -> MappingProblem {
+        MappingProblem::new(Matrix::from_rows(rows).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn met_picks_fastest_machine() {
+        let p = problem(&[&[5.0, 1.0], &[1.0, 5.0]]);
+        let s = HeuristicKind::Met.map(&p).unwrap();
+        assert_eq!(s.assignment, vec![1, 0]);
+        assert_eq!(s.makespan(&p).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn met_ignores_load_pathology() {
+        // All tasks fastest on machine 0: MET piles them up.
+        let p = problem(&[&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0]]);
+        let s = HeuristicKind::Met.map(&p).unwrap();
+        assert!(s.assignment.iter().all(|&j| j == 0));
+        assert_eq!(s.makespan(&p).unwrap(), 4.0);
+        // MCT balances.
+        let s = HeuristicKind::Mct.map(&p).unwrap();
+        assert!(s.makespan(&p).unwrap() < 4.0);
+    }
+
+    #[test]
+    fn mct_greedy_completion() {
+        let p = problem(&[&[2.0, 3.0], &[2.0, 3.0]]);
+        let s = HeuristicKind::Mct.map(&p).unwrap();
+        // Task 0 → m0 (2 < 3); task 1 → m1 (load 2+2=4 vs 3).
+        assert_eq!(s.assignment, vec![0, 1]);
+        assert_eq!(s.makespan(&p).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn olb_balances_loads_ignoring_times() {
+        let p = problem(&[&[1.0, 100.0], &[1.0, 100.0]]);
+        let s = HeuristicKind::Olb.map(&p).unwrap();
+        // Task 0 → m0 (load 0 tie, lowest index), task 1 → m1 (load 0 < 1).
+        assert_eq!(s.assignment, vec![0, 1]);
+        assert_eq!(s.makespan(&p).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn minmin_beats_maxmin_on_consistent_small_case() {
+        // Classic example where Min-Min commits cheap tasks first.
+        let p = problem(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let min = HeuristicKind::MinMin.map(&p).unwrap();
+        let max = HeuristicKind::MaxMin.map(&p).unwrap();
+        let lb = makespan_lower_bound(&p);
+        assert!(min.makespan(&p).unwrap() >= lb);
+        assert!(max.makespan(&p).unwrap() >= lb);
+    }
+
+    #[test]
+    fn sufferage_prioritizes_high_penalty_tasks() {
+        // Task 0 suffers hugely without machine 0; task 1 barely cares. With both
+        // contending for machine 0, sufferage gives it to task 0.
+        let p = problem(&[&[1.0, 100.0], &[1.0, 1.5]]);
+        let s = HeuristicKind::Sufferage.map(&p).unwrap();
+        assert_eq!(s.assignment[0], 0, "high-sufferage task gets its machine");
+        assert!(s.makespan(&p).unwrap() <= 1.5 + 1e-12);
+    }
+
+    #[test]
+    fn kpb_limits_choice() {
+        // percent=1 on 2 machines → k=1: degenerates to MET.
+        let p = problem(&[&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0]]);
+        let kpb1 = HeuristicKind::Kpb { percent: 1 }.map(&p).unwrap();
+        let met = HeuristicKind::Met.map(&p).unwrap();
+        assert_eq!(kpb1.assignment, met.assignment);
+        // percent=100 → full MCT behaviour.
+        let kpb100 = HeuristicKind::Kpb { percent: 100 }.map(&p).unwrap();
+        let mct = HeuristicKind::Mct.map(&p).unwrap();
+        assert_eq!(kpb100.assignment, mct.assignment);
+    }
+
+    #[test]
+    fn kpb_bad_percent_rejected() {
+        let p = problem(&[&[1.0, 2.0]]);
+        assert!(HeuristicKind::Kpb { percent: 0 }.map(&p).is_err());
+        assert!(HeuristicKind::Kpb { percent: 101 }.map(&p).is_err());
+    }
+
+    #[test]
+    fn incompatibility_respected_by_all() {
+        let p = problem(&[&[f64::INFINITY, 2.0], &[1.0, f64::INFINITY]]);
+        for h in all_heuristics() {
+            let s = h.map(&p).unwrap();
+            assert_eq!(s.assignment, vec![1, 0], "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn all_heuristics_produce_valid_schedules() {
+        let p = problem(&[
+            &[4.0, 1.0, 7.0],
+            &[2.0, 6.0, 3.0],
+            &[9.0, 2.0, 1.0],
+            &[1.0, 8.0, 5.0],
+            &[3.0, 3.0, 3.0],
+        ]);
+        let lb = makespan_lower_bound(&p);
+        for h in all_heuristics() {
+            let s = h.map(&p).unwrap();
+            let mk = s.makespan(&p).unwrap();
+            assert!(mk.is_finite() && mk >= lb - 1e-12, "{}: {mk} < {lb}", h.name());
+            assert_eq!(s.assignment.len(), 5);
+        }
+    }
+
+    #[test]
+    fn duplex_is_min_of_minmin_maxmin() {
+        let p = problem(&[
+            &[4.0, 1.0, 7.0],
+            &[2.0, 6.0, 3.0],
+            &[9.0, 2.0, 1.0],
+            &[1.0, 8.0, 5.0],
+        ]);
+        let d = HeuristicKind::Duplex.map(&p).unwrap().makespan(&p).unwrap();
+        let a = HeuristicKind::MinMin.map(&p).unwrap().makespan(&p).unwrap();
+        let b = HeuristicKind::MaxMin.map(&p).unwrap().makespan(&p).unwrap();
+        assert_eq!(d, a.min(b));
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: Vec<&str> = all_heuristics().iter().map(|h| h.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

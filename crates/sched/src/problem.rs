@@ -1,0 +1,218 @@
+//! The static mapping problem: assign each independent task to one machine,
+//! minimizing makespan.
+
+use hc_core::error::MeasureError;
+use hc_linalg::Matrix;
+
+/// A static mapping instance. `etc[(i, j)]` is task `i`'s runtime on machine `j`
+/// (`∞` = incompatible).
+#[derive(Debug, Clone)]
+pub struct MappingProblem {
+    etc: Matrix,
+}
+
+impl MappingProblem {
+    /// Builds a problem from an ETC matrix. Every task must be runnable on at
+    /// least one machine; entries must be positive or `∞`.
+    pub fn new(etc: Matrix) -> Result<Self, MeasureError> {
+        if etc.is_empty() {
+            return Err(MeasureError::InvalidEnvironment {
+                reason: "empty ETC matrix".into(),
+            });
+        }
+        for i in 0..etc.rows() {
+            let mut any = false;
+            for j in 0..etc.cols() {
+                let v = etc[(i, j)];
+                if v.is_nan() || v <= 0.0 {
+                    return Err(MeasureError::InvalidEnvironment {
+                        reason: format!("ETC({i}, {j}) = {v}; must be positive or +inf"),
+                    });
+                }
+                if v.is_finite() {
+                    any = true;
+                }
+            }
+            if !any {
+                return Err(MeasureError::InvalidEnvironment {
+                    reason: format!("task {i} cannot run on any machine"),
+                });
+            }
+        }
+        Ok(MappingProblem { etc })
+    }
+
+    /// From a labeled [`hc_core::ecs::Etc`] environment.
+    pub fn from_etc(etc: &hc_core::ecs::Etc) -> Self {
+        MappingProblem {
+            etc: etc.matrix().clone(),
+        }
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.etc.rows()
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.etc.cols()
+    }
+
+    /// Runtime of task `i` on machine `j`.
+    pub fn time(&self, task: usize, machine: usize) -> f64 {
+        self.etc[(task, machine)]
+    }
+
+    /// The raw ETC matrix.
+    pub fn etc(&self) -> &Matrix {
+        &self.etc
+    }
+
+    /// Machines able to run `task` (finite ETC).
+    pub fn compatible_machines(&self, task: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_machines()).filter(move |&j| self.etc[(task, j)].is_finite())
+    }
+}
+
+/// A complete assignment of tasks to machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// `assignment[i]` = machine executing task `i`.
+    pub assignment: Vec<usize>,
+}
+
+impl Schedule {
+    /// Validates against a problem and computes per-machine finish times.
+    pub fn machine_loads(&self, p: &MappingProblem) -> Result<Vec<f64>, MeasureError> {
+        if self.assignment.len() != p.num_tasks() {
+            return Err(MeasureError::InvalidEnvironment {
+                reason: format!(
+                    "schedule covers {} tasks; problem has {}",
+                    self.assignment.len(),
+                    p.num_tasks()
+                ),
+            });
+        }
+        let mut loads = vec![0.0; p.num_machines()];
+        for (i, &j) in self.assignment.iter().enumerate() {
+            if j >= p.num_machines() {
+                return Err(MeasureError::InvalidEnvironment {
+                    reason: format!("task {i} assigned to nonexistent machine {j}"),
+                });
+            }
+            let t = p.time(i, j);
+            if !t.is_finite() {
+                return Err(MeasureError::InvalidEnvironment {
+                    reason: format!("task {i} assigned to incompatible machine {j}"),
+                });
+            }
+            loads[j] += t;
+        }
+        Ok(loads)
+    }
+
+    /// Makespan: the maximum machine finish time.
+    pub fn makespan(&self, p: &MappingProblem) -> Result<f64, MeasureError> {
+        Ok(self
+            .machine_loads(p)?
+            .into_iter()
+            .fold(0.0_f64, f64::max))
+    }
+
+    /// Total accumulated machine time (flowtime of loads).
+    pub fn total_time(&self, p: &MappingProblem) -> Result<f64, MeasureError> {
+        Ok(self.machine_loads(p)?.into_iter().sum())
+    }
+}
+
+/// A trivial lower bound on the makespan: `max(max_i min_j ETC(i,j),
+/// Σ_i min_j ETC(i,j) / M)`. Used to sanity-check heuristic outputs in tests.
+pub fn makespan_lower_bound(p: &MappingProblem) -> f64 {
+    let mins: Vec<f64> = (0..p.num_tasks())
+        .map(|i| {
+            p.compatible_machines(i)
+                .map(|j| p.time(i, j))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let max_min = mins.iter().copied().fold(0.0_f64, f64::max);
+    let avg = mins.iter().sum::<f64>() / p.num_machines() as f64;
+    max_min.max(avg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p22() -> MappingProblem {
+        MappingProblem::new(Matrix::from_rows(&[&[1.0, 4.0], &[3.0, 2.0]]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(MappingProblem::new(Matrix::zeros(0, 0)).is_err());
+        assert!(MappingProblem::new(Matrix::from_rows(&[&[0.0, 1.0]]).unwrap()).is_err());
+        assert!(MappingProblem::new(Matrix::from_rows(&[&[-1.0, 1.0]]).unwrap()).is_err());
+        assert!(MappingProblem::new(
+            Matrix::from_rows(&[&[f64::INFINITY, f64::INFINITY]]).unwrap()
+        )
+        .is_err());
+        assert!(
+            MappingProblem::new(Matrix::from_rows(&[&[f64::INFINITY, 2.0]]).unwrap()).is_ok()
+        );
+    }
+
+    #[test]
+    fn makespan_computation() {
+        let p = p22();
+        let s = Schedule {
+            assignment: vec![0, 1],
+        };
+        assert_eq!(s.machine_loads(&p).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(s.makespan(&p).unwrap(), 2.0);
+        assert_eq!(s.total_time(&p).unwrap(), 3.0);
+        let both_on_0 = Schedule {
+            assignment: vec![0, 0],
+        };
+        assert_eq!(both_on_0.makespan(&p).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn schedule_validation() {
+        let p = p22();
+        assert!(Schedule { assignment: vec![0] }.makespan(&p).is_err());
+        assert!(Schedule {
+            assignment: vec![0, 5]
+        }
+        .makespan(&p)
+        .is_err());
+        let incompat =
+            MappingProblem::new(Matrix::from_rows(&[&[f64::INFINITY, 2.0]]).unwrap()).unwrap();
+        assert!(Schedule {
+            assignment: vec![0]
+        }
+        .makespan(&incompat)
+        .is_err());
+    }
+
+    #[test]
+    fn lower_bound_sane() {
+        let p = p22();
+        // mins = [1, 2]; max_min = 2; avg = 1.5 → bound 2.
+        assert_eq!(makespan_lower_bound(&p), 2.0);
+        // Optimal schedule achieves it here.
+        let opt = Schedule {
+            assignment: vec![0, 1],
+        };
+        assert!(opt.makespan(&p).unwrap() >= makespan_lower_bound(&p) - 1e-12);
+    }
+
+    #[test]
+    fn compatible_machines_iter() {
+        let p =
+            MappingProblem::new(Matrix::from_rows(&[&[f64::INFINITY, 2.0, 3.0]]).unwrap()).unwrap();
+        let c: Vec<usize> = p.compatible_machines(0).collect();
+        assert_eq!(c, vec![1, 2]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the mapping heuristics: validity, lower-bound
+//! respect, and optimality relations on random instances.
+
+use hc_linalg::Matrix;
+use hc_sched::exact::{optimal, simulated_annealing, SaParams};
+use hc_sched::ga::{ga, GaParams};
+use hc_sched::heuristics::{all_heuristics, Heuristic, HeuristicKind};
+use hc_sched::problem::{makespan_lower_bound, MappingProblem};
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = MappingProblem> {
+    (2usize..=6, 2usize..=4).prop_flat_map(|(t, m)| {
+        proptest::collection::vec(0.5_f64..20.0, t * m).prop_map(move |data| {
+            MappingProblem::new(Matrix::from_vec(t, m, data).unwrap()).unwrap()
+        })
+    })
+}
+
+/// A problem with some incompatibilities but every task runnable somewhere.
+fn arb_problem_with_incompat() -> impl Strategy<Value = MappingProblem> {
+    (2usize..=5, 2usize..=4)
+        .prop_flat_map(|(t, m)| {
+            (
+                proptest::collection::vec(0.5_f64..20.0, t * m),
+                proptest::collection::vec(proptest::bool::weighted(0.25), t * m),
+            )
+                .prop_map(move |(data, blocked)| {
+                    let mut mat = Matrix::from_vec(t, m, data).unwrap();
+                    for i in 0..t {
+                        for j in 0..m {
+                            if blocked[i * m + j] {
+                                mat[(i, j)] = f64::INFINITY;
+                            }
+                        }
+                        // Guarantee at least one compatible machine.
+                        if (0..m).all(|j| mat[(i, j)].is_infinite()) {
+                            mat[(i, 0)] = 1.0;
+                        }
+                    }
+                    MappingProblem::new(mat).unwrap()
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heuristics_valid_and_above_lower_bound(p in arb_problem()) {
+        let lb = makespan_lower_bound(&p);
+        for h in all_heuristics() {
+            let s = h.map(&p).unwrap();
+            prop_assert_eq!(s.assignment.len(), p.num_tasks());
+            let mk = s.makespan(&p).unwrap();
+            prop_assert!(mk.is_finite());
+            prop_assert!(mk >= lb - 1e-9, "{} below bound: {} < {}", h.name(), mk, lb);
+        }
+    }
+
+    #[test]
+    fn optimal_dominates_heuristics(p in arb_problem()) {
+        let opt = optimal(&p, 1e6).unwrap().makespan(&p).unwrap();
+        prop_assert!(opt >= makespan_lower_bound(&p) - 1e-9);
+        for h in all_heuristics() {
+            let mk = h.map(&p).unwrap().makespan(&p).unwrap();
+            prop_assert!(mk >= opt - 1e-9, "{} beats optimum: {} < {}", h.name(), mk, opt);
+        }
+    }
+
+    #[test]
+    fn ga_dominated_by_optimum_dominates_minmin(p in arb_problem()) {
+        let opt = optimal(&p, 1e6).unwrap().makespan(&p).unwrap();
+        let minmin = HeuristicKind::MinMin.map(&p).unwrap().makespan(&p).unwrap();
+        let g = ga(&p, &GaParams { generations: 150, ..Default::default() })
+            .unwrap()
+            .makespan(&p)
+            .unwrap();
+        prop_assert!(g >= opt - 1e-9);
+        prop_assert!(g <= minmin + 1e-9, "GA must not lose to its seed");
+    }
+
+    #[test]
+    fn sa_dominated_by_optimum_dominates_mct(p in arb_problem()) {
+        let opt = optimal(&p, 1e6).unwrap().makespan(&p).unwrap();
+        let mct = HeuristicKind::Mct.map(&p).unwrap().makespan(&p).unwrap();
+        let s = simulated_annealing(&p, &SaParams { iterations: 3000, ..Default::default() })
+            .unwrap()
+            .makespan(&p)
+            .unwrap();
+        prop_assert!(s >= opt - 1e-9);
+        prop_assert!(s <= mct + 1e-9, "SA must not lose to its seed");
+    }
+
+    #[test]
+    fn incompatibilities_always_respected(p in arb_problem_with_incompat()) {
+        for h in all_heuristics() {
+            let s = h.map(&p).unwrap();
+            for (i, &j) in s.assignment.iter().enumerate() {
+                prop_assert!(
+                    p.time(i, j).is_finite(),
+                    "{} assigned task {} to incompatible machine {}", h.name(), i, j
+                );
+            }
+        }
+        let g = ga(&p, &GaParams { generations: 60, ..Default::default() }).unwrap();
+        for (i, &j) in g.assignment.iter().enumerate() {
+            prop_assert!(p.time(i, j).is_finite());
+        }
+    }
+
+    #[test]
+    fn makespan_monotone_under_slowdown(p in arb_problem(), factor in 1.1_f64..3.0) {
+        // Uniformly slowing every machine scales all makespans by the factor.
+        let slow = MappingProblem::new(p.etc().scaled(factor)).unwrap();
+        for h in all_heuristics() {
+            let a = h.map(&p).unwrap().makespan(&p).unwrap();
+            let b = h.map(&slow).unwrap().makespan(&slow).unwrap();
+            prop_assert!((b - a * factor).abs() < 1e-6 * b.max(1.0),
+                "{}: {} vs {}", h.name(), b, a * factor);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Machine availability windows: planned downtime / failure intervals.
+//!
+//! Real HC environments lose machines to maintenance and failure; a mapping
+//! policy that is told a machine is down must route around it. The model here is
+//! deliberately simple and deterministic: each machine has a sorted list of
+//! `[start, end)` down intervals. During a down interval the machine accepts no
+//! new commitments (tasks already started are assumed checkpointed: a commitment
+//! whose execution would overlap a down window is pushed to the window's end).
+
+use hc_core::error::MeasureError;
+
+/// Downtime calendar for one machine: disjoint, sorted `[start, end)` intervals.
+#[derive(Debug, Clone, Default)]
+pub struct Downtime {
+    intervals: Vec<(f64, f64)>,
+}
+
+impl Downtime {
+    /// Always-up machine.
+    pub fn none() -> Self {
+        Downtime::default()
+    }
+
+    /// Builds a calendar from intervals; they are sorted and must be disjoint,
+    /// finite, and well-formed (`start < end`).
+    pub fn new(mut intervals: Vec<(f64, f64)>) -> Result<Self, MeasureError> {
+        for &(s, e) in &intervals {
+            if !s.is_finite() || !e.is_finite() || s >= e || s < 0.0 {
+                return Err(MeasureError::InvalidEnvironment {
+                    reason: format!("bad downtime interval [{s}, {e})"),
+                });
+            }
+        }
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        for w in intervals.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(MeasureError::InvalidEnvironment {
+                    reason: format!(
+                        "overlapping downtime intervals [{}, {}) and [{}, {})",
+                        w[0].0, w[0].1, w[1].0, w[1].1
+                    ),
+                });
+            }
+        }
+        Ok(Downtime { intervals })
+    }
+
+    /// Periodic maintenance: `down` time units every `period`, starting at
+    /// `offset`, over `[0, horizon)`.
+    pub fn periodic(offset: f64, period: f64, down: f64, horizon: f64) -> Result<Self, MeasureError> {
+        if period <= 0.0 || period.is_nan() || down <= 0.0 || down.is_nan() || down >= period || offset < 0.0
+        {
+            return Err(MeasureError::InvalidEnvironment {
+                reason: format!("bad periodic downtime: offset {offset}, period {period}, down {down}"),
+            });
+        }
+        let mut intervals = Vec::new();
+        let mut s = offset;
+        while s < horizon {
+            intervals.push((s, s + down));
+            s += period;
+        }
+        Downtime::new(intervals)
+    }
+
+    /// `true` when the machine is down at `t`.
+    pub fn is_down(&self, t: f64) -> bool {
+        self.intervals.iter().any(|&(s, e)| t >= s && t < e)
+    }
+
+    /// Earliest time ≥ `t` at which an execution of length `dur` fits entirely
+    /// between down windows.
+    pub fn next_fit(&self, t: f64, dur: f64) -> f64 {
+        let mut start = t;
+        loop {
+            let mut moved = false;
+            for &(s, e) in &self.intervals {
+                // The execution [start, start + dur) must not intersect [s, e).
+                if start < e && start + dur > s {
+                    start = e;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return start;
+            }
+        }
+    }
+
+    /// Total downtime within `[0, horizon)`.
+    pub fn total_down(&self, horizon: f64) -> f64 {
+        self.intervals
+            .iter()
+            .map(|&(s, e)| (e.min(horizon) - s.min(horizon)).max(0.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_queries() {
+        let d = Downtime::new(vec![(10.0, 12.0), (2.0, 4.0)]).unwrap();
+        assert!(!d.is_down(1.0));
+        assert!(d.is_down(2.0));
+        assert!(d.is_down(3.9));
+        assert!(!d.is_down(4.0));
+        assert!(d.is_down(11.0));
+        assert_eq!(d.total_down(100.0), 4.0);
+        assert_eq!(d.total_down(3.0), 1.0);
+        assert_eq!(Downtime::none().total_down(10.0), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Downtime::new(vec![(5.0, 5.0)]).is_err());
+        assert!(Downtime::new(vec![(5.0, 3.0)]).is_err());
+        assert!(Downtime::new(vec![(-1.0, 2.0)]).is_err());
+        assert!(Downtime::new(vec![(1.0, 3.0), (2.0, 4.0)]).is_err());
+        assert!(Downtime::new(vec![(1.0, f64::INFINITY)]).is_err());
+        // Touching intervals are fine.
+        assert!(Downtime::new(vec![(1.0, 2.0), (2.0, 3.0)]).is_ok());
+    }
+
+    #[test]
+    fn next_fit_skips_windows() {
+        let d = Downtime::new(vec![(5.0, 8.0), (10.0, 11.0)]).unwrap();
+        // Fits before the first window.
+        assert_eq!(d.next_fit(0.0, 5.0), 0.0);
+        // Too long to finish before 5, and too long for the [8, 10) gap:
+        // pushed past both windows.
+        assert_eq!(d.next_fit(0.0, 6.0), 11.0);
+        // Starting inside a window: pushed to its end.
+        assert_eq!(d.next_fit(6.0, 1.0), 8.0);
+        // Fits exactly in the [8, 10) gap.
+        assert_eq!(d.next_fit(8.0, 2.0), 8.0);
+        // Does not fit in the gap: pushed past the second window.
+        assert_eq!(d.next_fit(8.0, 2.5), 11.0);
+    }
+
+    #[test]
+    fn periodic_schedule() {
+        let d = Downtime::periodic(10.0, 20.0, 2.0, 100.0).unwrap();
+        assert!(d.is_down(10.5));
+        assert!(d.is_down(31.0));
+        assert!(!d.is_down(15.0));
+        assert_eq!(d.total_down(100.0), 10.0); // 5 windows of 2
+        assert!(Downtime::periodic(0.0, 5.0, 5.0, 10.0).is_err());
+        assert!(Downtime::periodic(0.0, 0.0, 1.0, 10.0).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Summary metrics over a simulation run.
+
+use crate::sim::SimResult;
+
+/// Aggregate metrics of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMetrics {
+    /// Number of tasks completed.
+    pub tasks: usize,
+    /// Completion time of the last task.
+    pub makespan: f64,
+    /// Mean flowtime (completion − arrival).
+    pub mean_flowtime: f64,
+    /// Maximum flowtime.
+    pub max_flowtime: f64,
+    /// Mean queueing wait (start − arrival).
+    pub mean_wait: f64,
+    /// Per-machine busy-time utilization over `[0, makespan]`.
+    pub utilization: Vec<f64>,
+    /// Number of tasks each machine executed.
+    pub tasks_per_machine: Vec<usize>,
+}
+
+/// Computes metrics from a result; `num_machines` sizes the per-machine vectors.
+pub fn metrics(result: &SimResult, num_machines: usize) -> SimMetrics {
+    let tasks = result.records.len();
+    let makespan = result.makespan();
+    let mut flow_sum = 0.0;
+    let mut flow_max = 0.0_f64;
+    let mut wait_sum = 0.0;
+    let mut busy = vec![0.0_f64; num_machines];
+    let mut counts = vec![0usize; num_machines];
+    for r in &result.records {
+        flow_sum += r.flowtime();
+        flow_max = flow_max.max(r.flowtime());
+        wait_sum += r.wait();
+        if r.machine < num_machines {
+            busy[r.machine] += r.finish - r.start;
+            counts[r.machine] += 1;
+        }
+    }
+    let n = tasks.max(1) as f64;
+    let util: Vec<f64> = busy
+        .iter()
+        .map(|&b| if makespan > 0.0 { b / makespan } else { 0.0 })
+        .collect();
+    SimMetrics {
+        tasks,
+        makespan,
+        mean_flowtime: flow_sum / n,
+        max_flowtime: flow_max,
+        mean_wait: wait_sum / n,
+        utilization: util,
+        tasks_per_machine: counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::TaskRecord;
+
+    fn record(machine: usize, arrival: f64, start: f64, finish: f64) -> TaskRecord {
+        TaskRecord {
+            task_type: 0,
+            machine,
+            arrival,
+            start,
+            finish,
+        }
+    }
+
+    #[test]
+    fn metrics_basic() {
+        let result = SimResult {
+            records: vec![record(0, 0.0, 0.0, 2.0), record(1, 0.0, 1.0, 4.0)],
+            machine_ready: vec![2.0, 4.0],
+        };
+        let m = metrics(&result, 2);
+        assert_eq!(m.tasks, 2);
+        assert_eq!(m.makespan, 4.0);
+        assert_eq!(m.mean_flowtime, 3.0); // (2 + 4)/2
+        assert_eq!(m.max_flowtime, 4.0);
+        assert_eq!(m.mean_wait, 0.5); // (0 + 1)/2
+        assert_eq!(m.tasks_per_machine, vec![1, 1]);
+        assert!((m.utilization[0] - 0.5).abs() < 1e-12); // busy 2 of 4
+        assert!((m.utilization[1] - 0.75).abs() < 1e-12); // busy 3 of 4
+    }
+
+    #[test]
+    fn empty_run() {
+        let result = SimResult {
+            records: vec![],
+            machine_ready: vec![0.0],
+        };
+        let m = metrics(&result, 1);
+        assert_eq!(m.tasks, 0);
+        assert_eq!(m.makespan, 0.0);
+        assert_eq!(m.mean_flowtime, 0.0);
+        assert_eq!(m.utilization, vec![0.0]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Dynamic workload generation: Poisson arrivals over the environment's task
+//! types.
+
+use hc_core::error::MeasureError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One task instance in the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival time.
+    pub time: f64,
+    /// Index of the task type being instantiated.
+    pub task_type: usize,
+}
+
+/// Parameters of the arrival process.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of task instances to generate.
+    pub count: usize,
+    /// Mean arrival rate λ (tasks per unit time); interarrivals are Exp(λ).
+    pub rate: f64,
+    /// Per-task-type selection weights (need not be normalized). The paper's
+    /// `w_t` weighting factor "the probability that a task type will be
+    /// executed" maps directly onto this.
+    pub type_weights: Vec<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Uniform type weights.
+    pub fn uniform(count: usize, rate: f64, num_types: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            count,
+            rate,
+            type_weights: vec![1.0; num_types],
+            seed,
+        }
+    }
+}
+
+/// A generated workload: arrivals sorted by time.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The arrival stream, non-decreasing in time.
+    pub arrivals: Vec<Arrival>,
+}
+
+/// Generates a workload from a spec.
+pub fn generate(spec: &WorkloadSpec) -> Result<Workload, MeasureError> {
+    if spec.type_weights.is_empty() {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: "workload needs at least one task type".into(),
+        });
+    }
+    if spec.type_weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: "type weights must be finite and nonnegative".into(),
+        });
+    }
+    let total: f64 = spec.type_weights.iter().sum();
+    if total <= 0.0 {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: "type weights must not all be zero".into(),
+        });
+    }
+    if !spec.rate.is_finite() || spec.rate <= 0.0 {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: format!("arrival rate must be positive, got {}", spec.rate),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut t = 0.0_f64;
+    let mut arrivals = Vec::with_capacity(spec.count);
+    for _ in 0..spec.count {
+        // Exponential interarrival via inverse CDF.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / spec.rate;
+        // Weighted type choice.
+        let mut pick = rng.gen_range(0.0..total);
+        let mut task_type = spec.type_weights.len() - 1;
+        for (k, &w) in spec.type_weights.iter().enumerate() {
+            if pick < w {
+                task_type = k;
+                break;
+            }
+            pick -= w;
+        }
+        arrivals.push(Arrival { time: t, task_type });
+    }
+    Ok(Workload { arrivals })
+}
+
+/// Derives the paper's task weighting factors `w_t` (Eqs. 4/6: "the number of
+/// times that a task type is executed") from an observed workload: the empirical
+/// execution count of each type, floored at a small positive value so types that
+/// happened not to arrive keep a valid (positive) weight. Machine weights are
+/// uniform.
+pub fn weights_from_workload(
+    workload: &Workload,
+    num_types: usize,
+    num_machines: usize,
+) -> Result<hc_core::weights::Weights, MeasureError> {
+    let mut counts = vec![0usize; num_types];
+    for a in &workload.arrivals {
+        if a.task_type >= num_types {
+            return Err(MeasureError::InvalidEnvironment {
+                reason: format!(
+                    "arrival references task type {} but num_types is {num_types}",
+                    a.task_type
+                ),
+            });
+        }
+        counts[a.task_type] += 1;
+    }
+    let task: Vec<f64> = counts
+        .iter()
+        .map(|&c| (c as f64).max(0.5)) // unseen types keep a small positive weight
+        .collect();
+    hc_core::weights::Weights::new(task, vec![1.0; num_machines])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_and_sized() {
+        let w = generate(&WorkloadSpec::uniform(500, 2.0, 4, 1)).unwrap();
+        assert_eq!(w.arrivals.len(), 500);
+        for pair in w.arrivals.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+        assert!(w.arrivals.iter().all(|a| a.task_type < 4));
+    }
+
+    #[test]
+    fn rate_controls_density() {
+        let slow = generate(&WorkloadSpec::uniform(1000, 0.5, 2, 3)).unwrap();
+        let fast = generate(&WorkloadSpec::uniform(1000, 5.0, 2, 3)).unwrap();
+        let span = |w: &Workload| w.arrivals.last().unwrap().time;
+        assert!(
+            span(&fast) < span(&slow) / 5.0,
+            "10x rate should compress the span ~10x: {} vs {}",
+            span(&fast),
+            span(&slow)
+        );
+    }
+
+    #[test]
+    fn mean_interarrival_matches_rate() {
+        let w = generate(&WorkloadSpec::uniform(20_000, 4.0, 2, 7)).unwrap();
+        let span = w.arrivals.last().unwrap().time;
+        let mean = span / 20_000.0;
+        assert!((mean - 0.25).abs() < 0.01, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn weights_bias_types() {
+        let spec = WorkloadSpec {
+            count: 10_000,
+            rate: 1.0,
+            type_weights: vec![9.0, 1.0],
+            seed: 11,
+        };
+        let w = generate(&spec).unwrap();
+        let zero = w.arrivals.iter().filter(|a| a.task_type == 0).count();
+        let frac = zero as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "type-0 fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&WorkloadSpec::uniform(50, 1.0, 3, 9)).unwrap();
+        let b = generate(&WorkloadSpec::uniform(50, 1.0, 3, 9)).unwrap();
+        assert_eq!(a.arrivals, b.arrivals);
+    }
+
+    #[test]
+    fn weights_from_workload_counts_types() {
+        let spec = WorkloadSpec {
+            count: 1000,
+            rate: 1.0,
+            type_weights: vec![3.0, 1.0],
+            seed: 4,
+        };
+        let wl = generate(&spec).unwrap();
+        let w = weights_from_workload(&wl, 2, 3).unwrap();
+        let t = w.task();
+        assert_eq!(t.len(), 2);
+        assert_eq!(w.machine().len(), 3);
+        assert!((t[0] + t[1] - 1000.0).abs() < 1e-9);
+        let ratio = t[0] / t[1];
+        assert!((ratio - 3.0).abs() < 0.4, "empirical ratio {ratio}");
+        // Unseen types keep a positive weight.
+        let w3 = weights_from_workload(&wl, 5, 2).unwrap();
+        assert!(w3.task()[4] > 0.0);
+        // Out-of-range type rejected.
+        assert!(weights_from_workload(&wl, 1, 2).is_err());
+    }
+
+    #[test]
+    fn invalid_specs() {
+        assert!(generate(&WorkloadSpec::uniform(5, 0.0, 2, 0)).is_err());
+        assert!(generate(&WorkloadSpec::uniform(5, -1.0, 2, 0)).is_err());
+        assert!(generate(&WorkloadSpec {
+            count: 5,
+            rate: 1.0,
+            type_weights: vec![],
+            seed: 0
+        })
+        .is_err());
+        assert!(generate(&WorkloadSpec {
+            count: 5,
+            rate: 1.0,
+            type_weights: vec![0.0, 0.0],
+            seed: 0
+        })
+        .is_err());
+        assert!(generate(&WorkloadSpec {
+            count: 5,
+            rate: 1.0,
+            type_weights: vec![1.0, f64::NAN],
+            seed: 0
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the discrete-event simulator: physical consistency
+//! invariants that must hold for every workload, environment, and policy.
+
+use hc_linalg::Matrix;
+use hc_sim::policy::{BatchPolicy, OnlinePolicy, Policy};
+use hc_sim::sim::{simulate, SimConfig};
+use hc_sim::workload::{generate, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_etc() -> impl Strategy<Value = Matrix> {
+    (2usize..=6, 2usize..=4).prop_flat_map(|(t, m)| {
+        proptest::collection::vec(0.5_f64..20.0, t * m)
+            .prop_map(move |data| Matrix::from_vec(t, m, data).unwrap())
+    })
+}
+
+fn policies() -> Vec<Policy> {
+    vec![
+        Policy::Immediate(OnlinePolicy::Olb),
+        Policy::Immediate(OnlinePolicy::Met),
+        Policy::Immediate(OnlinePolicy::Mct),
+        Policy::Immediate(OnlinePolicy::Kpb { percent: 50 }),
+        Policy::Batch {
+            policy: BatchPolicy::MinMin,
+            interval: 3.0,
+        },
+        Policy::Batch {
+            policy: BatchPolicy::Sufferage,
+            interval: 3.0,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn physical_consistency(etc in arb_etc(), seed in 0u64..1000, rate in 0.2f64..3.0) {
+        let wl = generate(&WorkloadSpec::uniform(60, rate, etc.rows(), seed)).unwrap();
+        for policy in policies() {
+            let r = simulate(&etc, &wl, &SimConfig { policy }).unwrap();
+            prop_assert_eq!(r.records.len(), 60, "{}", policy.name());
+            for rec in &r.records {
+                // No task starts before it arrives or finishes instantaneously.
+                prop_assert!(rec.start >= rec.arrival - 1e-9, "{}", policy.name());
+                prop_assert!(rec.finish > rec.start, "{}", policy.name());
+                // Execution time equals the ETC entry.
+                let expect = etc[(rec.task_type, rec.machine)];
+                prop_assert!((rec.finish - rec.start - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn no_machine_overlap(etc in arb_etc(), seed in 0u64..1000) {
+        // Tasks on one machine never overlap in time (FIFO queues).
+        let wl = generate(&WorkloadSpec::uniform(50, 1.0, etc.rows(), seed)).unwrap();
+        for policy in policies() {
+            let r = simulate(&etc, &wl, &SimConfig { policy }).unwrap();
+            for j in 0..etc.cols() {
+                let mut spans: Vec<(f64, f64)> = r
+                    .records
+                    .iter()
+                    .filter(|rec| rec.machine == j)
+                    .map(|rec| (rec.start, rec.finish))
+                    .collect();
+                spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for w in spans.windows(2) {
+                    prop_assert!(
+                        w[1].0 >= w[0].1 - 1e-9,
+                        "overlap on machine {} under {}: {:?}",
+                        j, policy.name(), w
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn busy_time_conservation(etc in arb_etc(), seed in 0u64..1000) {
+        // Total busy time equals the sum of the executed ETC entries.
+        let wl = generate(&WorkloadSpec::uniform(40, 1.0, etc.rows(), seed)).unwrap();
+        let r = simulate(
+            &etc,
+            &wl,
+            &SimConfig { policy: Policy::Immediate(OnlinePolicy::Mct) },
+        )
+        .unwrap();
+        let busy: f64 = r.records.iter().map(|rec| rec.finish - rec.start).sum();
+        let expect: f64 = r
+            .records
+            .iter()
+            .map(|rec| etc[(rec.task_type, rec.machine)])
+            .sum();
+        prop_assert!((busy - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path(etc in arb_etc(), seed in 0u64..1000) {
+        // The makespan can never beat the per-task best times: it is at least the
+        // last arrival plus that task's fastest runtime... weaker but universal:
+        // at least the maximum over tasks of (arrival + min_j etc).
+        let wl = generate(&WorkloadSpec::uniform(30, 1.5, etc.rows(), seed)).unwrap();
+        let bound = wl
+            .arrivals
+            .iter()
+            .map(|a| {
+                let best = (0..etc.cols())
+                    .map(|j| etc[(a.task_type, j)])
+                    .fold(f64::INFINITY, f64::min);
+                a.time + best
+            })
+            .fold(0.0_f64, f64::max);
+        for policy in policies() {
+            let r = simulate(&etc, &wl, &SimConfig { policy }).unwrap();
+            prop_assert!(
+                r.makespan() >= bound - 1e-9,
+                "{}: makespan {} below bound {}",
+                policy.name(), r.makespan(), bound
+            );
+        }
+    }
+}

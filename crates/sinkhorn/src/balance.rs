@@ -1,0 +1,647 @@
+//! Iterative row/column balancing (the paper's Eq. 9, generalized).
+//!
+//! Given a nonnegative `T × M` matrix and positive target marginals `r` (row sums)
+//! and `c` (column sums) with `Σr = Σc`, the iteration alternates
+//!
+//! ```text
+//! A ← diag(r ./ rowsums(A)) · A        (row sweep)
+//! A ← A · diag(c ./ colsums(A))        (column sweep)
+//! ```
+//!
+//! until every row and column sum is within tolerance of its target. For strictly
+//! positive matrices this converges to the unique (up to scalar) `D₁·A·D₂` of the
+//! paper's Theorem 1. For matrices with zeros, convergence depends on the zero
+//! pattern (Sec. VI; see [`crate::structure`]) and the outcome reports what happened
+//! instead of failing silently.
+
+use hc_linalg::{LinAlgError, Matrix};
+
+/// Which normalization runs first inside each iteration.
+///
+/// The paper's Sec. V counts "one column normalization followed by one row
+/// normalization" as one iteration; [`SweepOrder::ColumnFirst`] reproduces that and
+/// is the default. Row-first is provided for the sweep-order ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepOrder {
+    /// Column sweep, then row sweep (paper order).
+    #[default]
+    ColumnFirst,
+    /// Row sweep, then column sweep.
+    RowFirst,
+}
+
+/// Options controlling the balancing iteration.
+#[derive(Debug, Clone)]
+pub struct BalanceOptions {
+    /// Convergence tolerance on the maximum relative marginal deviation
+    /// `max(|sum − target| / target)`. The paper uses `1e-8`.
+    pub tol: f64,
+    /// Iteration budget (one iteration = one column + one row sweep).
+    pub max_iters: usize,
+    /// Sweep order within an iteration.
+    pub order: SweepOrder,
+    /// Record the residual after every iteration in [`BalanceOutcome::history`].
+    pub track_history: bool,
+    /// Declare a stall when the residual improves by less than this relative factor
+    /// over [`BalanceOptions::stall_window`] consecutive iterations.
+    pub stall_improvement: f64,
+    /// Window length for stall detection.
+    pub stall_window: usize,
+}
+
+impl Default for BalanceOptions {
+    fn default() -> Self {
+        BalanceOptions {
+            tol: 1e-8,
+            max_iters: 10_000,
+            order: SweepOrder::ColumnFirst,
+            track_history: false,
+            stall_improvement: 1e-3,
+            stall_window: 250,
+        }
+    }
+}
+
+/// Why the iteration stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BalanceStatus {
+    /// All marginals within tolerance.
+    Converged,
+    /// Iteration budget exhausted.
+    MaxIterations {
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+    /// Residual stopped improving (typical for zero patterns without support, where
+    /// the even/odd iterates oscillate — paper Sec. VI).
+    Stalled {
+        /// Residual at the point the stall was declared.
+        residual: f64,
+    },
+}
+
+impl BalanceStatus {
+    /// `true` for [`BalanceStatus::Converged`].
+    pub fn is_converged(&self) -> bool {
+        matches!(self, BalanceStatus::Converged)
+    }
+}
+
+/// Result of a balancing run.
+#[derive(Debug, Clone)]
+pub struct BalanceOutcome {
+    /// The (approximately) balanced matrix.
+    pub matrix: Matrix,
+    /// Accumulated row scalings: `matrix ≈ diag(row_scale) · input · diag(col_scale)`.
+    pub row_scale: Vec<f64>,
+    /// Accumulated column scalings.
+    pub col_scale: Vec<f64>,
+    /// Iterations performed (paper counting: column + row sweep = 1).
+    pub iterations: usize,
+    /// Why the iteration stopped.
+    pub status: BalanceStatus,
+    /// Final maximum relative marginal deviation.
+    pub residual: f64,
+    /// Per-iteration residuals (empty unless `track_history`).
+    pub history: Vec<f64>,
+    /// `true` when some positive entry decayed below `1e-12 ×` the matrix maximum —
+    /// the signature of a decomposable-but-limit-balanceable pattern such as a
+    /// triangular matrix, where the exact scaling does not exist but the iterates
+    /// converge to a matrix with *more* zeros (cf. the diagonal example in Sec. VI).
+    pub entries_decayed: bool,
+}
+
+impl BalanceOutcome {
+    /// `true` when the run converged.
+    pub fn is_converged(&self) -> bool {
+        self.status.is_converged()
+    }
+}
+
+fn validate(
+    m: &Matrix,
+    row_targets: &[f64],
+    col_targets: &[f64],
+) -> Result<(), LinAlgError> {
+    if m.is_empty() {
+        return Err(LinAlgError::Empty { op: "balance" });
+    }
+    m.check_finite("balance")?;
+    if !m.is_nonnegative() {
+        return Err(LinAlgError::NonFinite {
+            op: "balance (negative entry)",
+            row: 0,
+            col: 0,
+        });
+    }
+    if row_targets.len() != m.rows() || col_targets.len() != m.cols() {
+        return Err(LinAlgError::ShapeMismatch {
+            op: "balance (targets)",
+            lhs: m.shape(),
+            rhs: (row_targets.len(), col_targets.len()),
+        });
+    }
+    if row_targets.iter().any(|&t| !t.is_finite() || t <= 0.0)
+        || col_targets.iter().any(|&t| !t.is_finite() || t <= 0.0)
+    {
+        return Err(LinAlgError::Singular {
+            op: "balance (non-positive target)",
+        });
+    }
+    let rs: f64 = row_targets.iter().sum();
+    let cs: f64 = col_targets.iter().sum();
+    if (rs - cs).abs() > 1e-9 * rs.max(cs) {
+        return Err(LinAlgError::ShapeMismatch {
+            op: "balance (Σ row targets != Σ col targets)",
+            lhs: (m.rows(), m.cols()),
+            rhs: (m.rows(), m.cols()),
+        });
+    }
+    // No all-zero row or column (the paper excludes these: a machine that can run
+    // nothing / a task that runs nowhere).
+    for (i, s) in m.row_sums().iter().enumerate() {
+        if *s == 0.0 {
+            return Err(LinAlgError::IndexOutOfBounds {
+                op: "balance (all-zero row)",
+                index: i,
+                bound: m.rows(),
+            });
+        }
+    }
+    for (j, s) in m.col_sums().iter().enumerate() {
+        if *s == 0.0 {
+            return Err(LinAlgError::IndexOutOfBounds {
+                op: "balance (all-zero column)",
+                index: j,
+                bound: m.cols(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Maximum relative deviation of the marginals from their targets.
+fn marginal_residual(m: &Matrix, row_targets: &[f64], col_targets: &[f64]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (s, t) in m.row_sums().iter().zip(row_targets) {
+        worst = worst.max((s - t).abs() / t);
+    }
+    for (s, t) in m.col_sums().iter().zip(col_targets) {
+        worst = worst.max((s - t).abs() / t);
+    }
+    worst
+}
+
+/// Estimates the geometric convergence rate from a residual history: the median
+/// of consecutive residual ratios over the tail of the run (before hitting
+/// floating-point noise). Returns `None` when fewer than five informative
+/// iterations are available.
+///
+/// Theory check (tested): for a positive matrix the Sinkhorn iteration contracts
+/// at asymptotic rate `σ₂²` — the square of the *second* singular value of the
+/// balanced (standard-form) matrix when scaled so σ₁ = 1.
+pub fn estimate_rate(history: &[f64]) -> Option<f64> {
+    // Ignore residuals at double-precision noise level.
+    let informative: Vec<f64> = history
+        .iter()
+        .copied()
+        .take_while(|&r| r > 1e-13)
+        .collect();
+    if informative.len() < 5 {
+        return None;
+    }
+    let tail = &informative[informative.len() / 2..];
+    let mut ratios: Vec<f64> = tail
+        .windows(2)
+        .filter(|w| w[0] > 0.0)
+        .map(|w| w[1] / w[0])
+        .collect();
+    if ratios.len() < 3 {
+        return None;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Some(ratios[ratios.len() / 2])
+}
+
+/// Balances `m` to the given target marginals with explicit options.
+pub fn balance_with(
+    m: &Matrix,
+    row_targets: &[f64],
+    col_targets: &[f64],
+    opts: &BalanceOptions,
+) -> Result<BalanceOutcome, LinAlgError> {
+    validate(m, row_targets, col_targets)?;
+    let (t, mm) = m.shape();
+    let mut a = m.clone();
+    let mut row_scale = vec![1.0; t];
+    let mut col_scale = vec![1.0; mm];
+    let mut history = Vec::new();
+    let max_entry_initial = m.max().unwrap_or(0.0);
+
+    let row_sweep = |a: &mut Matrix, row_scale: &mut [f64]| {
+        for i in 0..t {
+            let s = a.row_sum(i);
+            // s > 0 is guaranteed: validation rejects all-zero rows and sweeps
+            // multiply by positive factors only.
+            let f = row_targets[i] / s;
+            a.scale_row(i, f);
+            row_scale[i] *= f;
+        }
+    };
+    let col_sweep = |a: &mut Matrix, col_scale: &mut [f64]| {
+        let sums = a.col_sums();
+        for (j, &s) in sums.iter().enumerate() {
+            let f = col_targets[j] / s;
+            a.scale_col(j, f);
+            col_scale[j] *= f;
+        }
+    };
+
+    let mut residual = marginal_residual(&a, row_targets, col_targets);
+    let mut status = BalanceStatus::MaxIterations { residual };
+    let mut iterations = 0;
+    let mut best_in_window = residual;
+    let mut window_count = 0usize;
+
+    if residual <= opts.tol {
+        status = BalanceStatus::Converged;
+    } else {
+        for it in 1..=opts.max_iters {
+            match opts.order {
+                SweepOrder::ColumnFirst => {
+                    col_sweep(&mut a, &mut col_scale);
+                    row_sweep(&mut a, &mut row_scale);
+                }
+                SweepOrder::RowFirst => {
+                    row_sweep(&mut a, &mut row_scale);
+                    col_sweep(&mut a, &mut col_scale);
+                }
+            }
+            iterations = it;
+            residual = marginal_residual(&a, row_targets, col_targets);
+            if opts.track_history {
+                history.push(residual);
+            }
+            if residual <= opts.tol {
+                status = BalanceStatus::Converged;
+                break;
+            }
+            // Stall detection over a sliding window.
+            window_count += 1;
+            if residual < best_in_window * (1.0 - opts.stall_improvement) {
+                best_in_window = residual;
+                window_count = 0;
+            } else if window_count >= opts.stall_window {
+                status = BalanceStatus::Stalled { residual };
+                break;
+            }
+            status = BalanceStatus::MaxIterations { residual };
+        }
+    }
+
+    let entries_decayed = {
+        let threshold = 1e-12 * max_entry_initial.max(f64::MIN_POSITIVE);
+        let mut decayed = false;
+        for i in 0..t {
+            for j in 0..mm {
+                if m[(i, j)] > 0.0 && a[(i, j)].abs() < threshold {
+                    decayed = true;
+                }
+            }
+        }
+        decayed
+    };
+
+    Ok(BalanceOutcome {
+        matrix: a,
+        row_scale,
+        col_scale,
+        iterations,
+        status,
+        residual,
+        history,
+        entries_decayed,
+    })
+}
+
+/// Balances `m` to the given marginals with default options.
+pub fn balance(
+    m: &Matrix,
+    row_targets: &[f64],
+    col_targets: &[f64],
+) -> Result<BalanceOutcome, LinAlgError> {
+    balance_with(m, row_targets, col_targets, &BalanceOptions::default())
+}
+
+/// The paper's standard-form targets for a `T × M` ECS matrix: every row sums to
+/// `√(M/T)` and every column to `√(T/M)`, so that σ₁ of the balanced matrix is 1
+/// (Theorem 2).
+pub fn standard_targets(t: usize, m: usize) -> (Vec<f64>, Vec<f64>) {
+    let r = (m as f64 / t as f64).sqrt();
+    let c = (t as f64 / m as f64).sqrt();
+    (vec![r; t], vec![c; m])
+}
+
+/// Balances `m` to the paper's standard form (Theorem 1 with `k = 1/√(TM)`).
+///
+/// ```
+/// use hc_linalg::Matrix;
+/// use hc_sinkhorn::balance::{standardize, BalanceOptions};
+///
+/// let m = Matrix::from_rows(&[&[1.0, 4.0], &[3.0, 2.0], &[2.0, 2.0]]).unwrap();
+/// let out = standardize(&m, &BalanceOptions::default()).unwrap();
+/// assert!(out.is_converged());
+/// // 3x2: every row sums to sqrt(2/3), every column to sqrt(3/2).
+/// for s in out.matrix.row_sums() {
+///     assert!((s - (2.0_f64 / 3.0).sqrt()).abs() < 1e-7);
+/// }
+/// ```
+pub fn standardize(m: &Matrix, opts: &BalanceOptions) -> Result<BalanceOutcome, LinAlgError> {
+    let (rt, ct) = standard_targets(m.rows(), m.cols());
+    balance_with(m, &rt, &ct, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_balanced(out: &BalanceOutcome, rt: &[f64], ct: &[f64], tol: f64) {
+        assert!(out.is_converged(), "status: {:?}", out.status);
+        for (s, t) in out.matrix.row_sums().iter().zip(rt) {
+            assert!((s - t).abs() / t <= tol * 10.0, "row sum {s} target {t}");
+        }
+        for (s, t) in out.matrix.col_sums().iter().zip(ct) {
+            assert!((s - t).abs() / t <= tol * 10.0, "col sum {s} target {t}");
+        }
+    }
+
+    #[test]
+    fn positive_square_doubly_stochastic() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let rt = vec![1.0, 1.0];
+        let ct = vec![1.0, 1.0];
+        let out = balance(&m, &rt, &ct).unwrap();
+        assert_balanced(&out, &rt, &ct, 1e-8);
+        assert!(!out.entries_decayed);
+    }
+
+    #[test]
+    fn scaling_consistency() {
+        // matrix ≈ diag(row_scale) · input · diag(col_scale)
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[3.0, 4.0, 2.0], &[0.2, 1.0, 5.0]])
+            .unwrap();
+        let (rt, ct) = standard_targets(3, 3);
+        let out = standardize(&m, &BalanceOptions::default()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = out.row_scale[i] * m[(i, j)] * out.col_scale[j];
+                assert!(
+                    (out.matrix[(i, j)] - expect).abs() < 1e-10,
+                    "scaling mismatch at ({i},{j})"
+                );
+            }
+        }
+        assert_balanced(&out, &rt, &ct, 1e-8);
+    }
+
+    #[test]
+    fn rectangular_standard_form_theorem1() {
+        // 4×2: rows must sum to √(2/4), cols to √(4/2).
+        let m = Matrix::from_fn(4, 2, |i, j| 1.0 + (i as f64) * 0.3 + (j as f64) * 0.7);
+        let out = standardize(&m, &BalanceOptions::default()).unwrap();
+        let r = (2.0_f64 / 4.0).sqrt();
+        let c = (4.0_f64 / 2.0).sqrt();
+        assert_balanced(&out, &[r; 4], &[c; 2], 1e-8);
+        // Total sum is √(TM) = √8.
+        assert!((out.matrix.total_sum() - 8.0_f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniqueness_up_to_scalar() {
+        // Theorem 1: D₁, D₂ unique up to scalar — two runs from differently
+        // pre-scaled inputs give the same balanced matrix.
+        let m = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, 0.5]]).unwrap();
+        let mut pre = m.clone();
+        pre.scale_row(0, 17.0);
+        pre.scale_col(1, 0.01);
+        let a = standardize(&m, &BalanceOptions::default()).unwrap();
+        let b = standardize(&pre, &BalanceOptions::default()).unwrap();
+        assert!(
+            a.matrix.max_abs_diff(&b.matrix) < 1e-6,
+            "diag-scaled inputs must balance to the same matrix"
+        );
+    }
+
+    #[test]
+    fn already_balanced_zero_iterations() {
+        let m = Matrix::identity(3);
+        let out = balance(&m, &[1.0; 3], &[1.0; 3]).unwrap();
+        assert_eq!(out.iterations, 0);
+        assert!(out.is_converged());
+    }
+
+    #[test]
+    fn generalized_targets() {
+        let m = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let rt = vec![1.0, 3.0];
+        let ct = vec![2.0, 2.0];
+        let out = balance(&m, &rt, &ct).unwrap();
+        assert_balanced(&out, &rt, &ct, 1e-8);
+    }
+
+    #[test]
+    fn column_first_matches_paper_iteration_counting() {
+        let m = Matrix::from_fn(5, 3, |i, j| 1.0 + ((i * 3 + j * 7) % 5) as f64);
+        let opts = BalanceOptions {
+            track_history: true,
+            ..Default::default()
+        };
+        let out = standardize(&m, &opts).unwrap();
+        assert!(out.is_converged());
+        assert_eq!(out.history.len(), out.iterations);
+        // Positive matrices converge fast (paper: 6–7 iterations at 1e-8).
+        assert!(out.iterations < 50, "iterations = {}", out.iterations);
+    }
+
+    #[test]
+    fn sweep_orders_converge_to_same_matrix() {
+        let m = Matrix::from_fn(4, 4, |i, j| 0.5 + ((i * 5 + j * 11) % 7) as f64);
+        let a = balance_with(
+            &m,
+            &[1.0; 4],
+            &[1.0; 4],
+            &BalanceOptions {
+                order: SweepOrder::ColumnFirst,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = balance_with(
+            &m,
+            &[1.0; 4],
+            &[1.0; 4],
+            &BalanceOptions {
+                order: SweepOrder::RowFirst,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(a.matrix.max_abs_diff(&b.matrix) < 1e-6);
+    }
+
+    #[test]
+    fn triangular_pattern_decays_entries() {
+        // [[1,0],[1,1]]: no exact scaling exists (no total support). The iterates
+        // converge toward the identity, but only sublinearly (the (2,1) entry
+        // decays like 1/k) — the practical signature of a LimitOnly pattern.
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let opts = BalanceOptions {
+            tol: 1e-4,
+            max_iters: 20_000,
+            ..Default::default()
+        };
+        let out = balance_with(&m, &[1.0, 1.0], &[1.0, 1.0], &opts).unwrap();
+        assert!(out.is_converged(), "status {:?}", out.status);
+        assert!((out.matrix[(0, 0)] - 1.0).abs() < 1e-3);
+        assert!((out.matrix[(1, 1)] - 1.0).abs() < 1e-3);
+        assert!(out.matrix[(1, 0)] < 1e-3, "off entry must decay toward 0");
+        // Sublinear convergence: a tight tolerance is unreachable in a practical
+        // budget, unlike the positive case which converges in a handful of sweeps.
+        let tight = BalanceOptions {
+            tol: 1e-8,
+            max_iters: 5_000,
+            stall_window: usize::MAX,
+            ..Default::default()
+        };
+        let slow = balance_with(&m, &[1.0, 1.0], &[1.0, 1.0], &tight).unwrap();
+        assert!(!slow.is_converged());
+    }
+
+    #[test]
+    fn diagonal_matrix_balances_immediately_structure() {
+        // Sec. VI: diagonal matrices are decomposable yet trivially balanceable.
+        let m = Matrix::from_diag(&[2.0, 5.0, 0.1]);
+        let out = balance(&m, &[1.0; 3], &[1.0; 3]).unwrap();
+        assert!(out.is_converged());
+        assert!(out.matrix.max_abs_diff(&Matrix::identity(3)) < 1e-8);
+        assert!(!out.entries_decayed);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        // Wrong target lengths.
+        assert!(balance(&m, &[1.0], &[1.0, 1.0]).is_err());
+        // Non-positive target.
+        assert!(balance(&m, &[1.0, 0.0], &[0.5, 0.5]).is_err());
+        // Mismatched totals.
+        assert!(balance(&m, &[1.0, 1.0], &[5.0, 5.0]).is_err());
+        // Negative entry.
+        let neg = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]).unwrap();
+        assert!(balance(&neg, &[1.0, 1.0], &[1.0, 1.0]).is_err());
+        // All-zero row.
+        let zr = Matrix::from_rows(&[&[0.0, 0.0], &[3.0, 4.0]]).unwrap();
+        assert!(balance(&zr, &[1.0, 1.0], &[1.0, 1.0]).is_err());
+        // All-zero column.
+        let zc = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 4.0]]).unwrap();
+        assert!(balance(&zc, &[1.0, 1.0], &[1.0, 1.0]).is_err());
+        // Empty.
+        assert!(balance(&Matrix::zeros(0, 0), &[], &[]).is_err());
+        // NaN.
+        let mut nan = m.clone();
+        nan[(0, 0)] = f64::NAN;
+        assert!(balance(&nan, &[1.0, 1.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn eq10_matrix_does_not_converge_to_balance_quickly() {
+        // The paper's Eq. 10 matrix: support but no total support. The exact
+        // scaling does not exist; the iterates limp toward a permutation limit,
+        // with the (2,3) entry decaying. With a modest budget we observe either
+        // slow convergence-with-decay or a stall — never a clean fast converge.
+        let m = Matrix::from_rows(&[
+            &[0.0, 0.0, 1.0],
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let opts = BalanceOptions {
+            max_iters: 200,
+            ..Default::default()
+        };
+        let out = balance_with(&m, &[1.0; 3], &[1.0; 3], &opts).unwrap();
+        // After 200 iterations the pattern either stalled, hit the budget, or
+        // "converged" only by killing the (1,2)-indexed entry.
+        assert!(
+            !out.is_converged() || out.entries_decayed,
+            "Eq. 10 matrix must not admit a genuine balanced form: {:?}",
+            out.status
+        );
+    }
+
+    #[test]
+    fn rate_matches_sigma2_squared() {
+        // Theory: the asymptotic Sinkhorn contraction rate on a positive matrix
+        // is σ₂² of the standard form (σ₁ = 1 scaling).
+        let m = Matrix::from_rows(&[
+            &[2.0, 0.7, 0.3],
+            &[0.5, 1.8, 0.6],
+            &[0.4, 0.9, 2.2],
+        ])
+        .unwrap();
+        let opts = BalanceOptions {
+            tol: 1e-14,
+            max_iters: 400,
+            track_history: true,
+            stall_window: usize::MAX,
+            ..Default::default()
+        };
+        let out = standardize(&m, &opts).unwrap();
+        let rate = estimate_rate(&out.history).expect("enough history");
+        let svd = hc_linalg::svd::svd(&out.matrix).unwrap();
+        let sigma2 = svd.singular_values[1] / svd.singular_values[0];
+        let predicted = sigma2 * sigma2;
+        assert!(
+            (rate - predicted).abs() < 0.05 * predicted.max(0.05),
+            "measured rate {rate} vs predicted sigma2^2 {predicted}"
+        );
+    }
+
+    #[test]
+    fn estimate_rate_edge_cases() {
+        assert!(estimate_rate(&[]).is_none());
+        assert!(estimate_rate(&[1e-3, 1e-4]).is_none());
+        // All at noise level: ignored.
+        assert!(estimate_rate(&[1e-16; 20]).is_none());
+        // A clean geometric sequence estimates its ratio.
+        let hist: Vec<f64> = (0..20).map(|k| 0.5_f64.powi(k)).collect();
+        let r = estimate_rate(&hist).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_targets_consistency() {
+        let (rt, ct) = standard_targets(12, 5);
+        let r: f64 = rt.iter().sum();
+        let c: f64 = ct.iter().sum();
+        assert!((r - c).abs() < 1e-12);
+        assert!((r - (12.0_f64 * 5.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn history_monotone_for_positive_input() {
+        let m = Matrix::from_fn(6, 4, |i, j| 0.1 + ((i * 7 + j * 3) % 13) as f64);
+        let opts = BalanceOptions {
+            track_history: true,
+            ..Default::default()
+        };
+        let out = standardize(&m, &opts).unwrap();
+        for w in out.history.windows(2) {
+            assert!(
+                w[1] <= w[0] * 1.001,
+                "residual should not grow for positive input: {:?}",
+                out.history
+            );
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Graph algorithms backing the zero-structure analysis: Hopcroft–Karp bipartite
+//! maximum matching and Tarjan's strongly-connected components.
+//!
+//! The bipartite graph of a nonnegative matrix has one left vertex per row, one
+//! right vertex per column, and an edge `(i, j)` for every positive entry. A
+//! *positive diagonal* of a square matrix is exactly a perfect matching of this
+//! graph (König/Frobenius), which is why matching decides support questions.
+
+/// Bipartite graph as left-vertex adjacency lists (right vertex indices).
+#[derive(Debug, Clone)]
+pub struct Bipartite {
+    /// Number of left vertices (matrix rows).
+    pub n_left: usize,
+    /// Number of right vertices (matrix columns).
+    pub n_right: usize,
+    /// `adj[i]` = right neighbours of left vertex `i`, strictly increasing.
+    pub adj: Vec<Vec<usize>>,
+}
+
+impl Bipartite {
+    /// Builds the bipartite graph of the positive entries of a matrix given as a
+    /// row-major closure.
+    pub fn from_pattern(
+        rows: usize,
+        cols: usize,
+        mut is_positive: impl FnMut(usize, usize) -> bool,
+    ) -> Self {
+        let adj = (0..rows)
+            .map(|i| (0..cols).filter(|&j| is_positive(i, j)).collect())
+            .collect();
+        Bipartite {
+            n_left: rows,
+            n_right: cols,
+            adj,
+        }
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when the undirected bipartite graph is connected (isolated vertices
+    /// make it disconnected; the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        let total = self.n_left + self.n_right;
+        if total == 0 {
+            return true;
+        }
+        // Right adjacency for the reverse direction.
+        let mut radj = vec![Vec::new(); self.n_right];
+        for (i, nbrs) in self.adj.iter().enumerate() {
+            for &j in nbrs {
+                radj[j].push(i);
+            }
+        }
+        let mut seen_l = vec![false; self.n_left];
+        let mut seen_r = vec![false; self.n_right];
+        let mut stack: Vec<(bool, usize)> = Vec::new();
+        if self.n_left > 0 {
+            stack.push((true, 0));
+            seen_l[0] = true;
+        } else {
+            stack.push((false, 0));
+            seen_r[0] = true;
+        }
+        while let Some((left, v)) = stack.pop() {
+            if left {
+                for &j in &self.adj[v] {
+                    if !seen_r[j] {
+                        seen_r[j] = true;
+                        stack.push((false, j));
+                    }
+                }
+            } else {
+                for &i in &radj[v] {
+                    if !seen_l[i] {
+                        seen_l[i] = true;
+                        stack.push((true, i));
+                    }
+                }
+            }
+        }
+        seen_l.iter().all(|&b| b) && seen_r.iter().all(|&b| b)
+    }
+}
+
+/// Result of a maximum matching: `left_match[i]` is the right vertex matched to
+/// left `i` (or `None`), and symmetrically for `right_match`.
+#[derive(Debug, Clone)]
+pub struct Matching {
+    /// Per-left-vertex partner.
+    pub left_match: Vec<Option<usize>>,
+    /// Per-right-vertex partner.
+    pub right_match: Vec<Option<usize>>,
+    /// Cardinality of the matching.
+    pub size: usize,
+}
+
+/// Hopcroft–Karp maximum bipartite matching, `O(E √V)`.
+pub fn hopcroft_karp(g: &Bipartite) -> Matching {
+    const INF: usize = usize::MAX;
+    let n = g.n_left;
+    let mut left_match: Vec<Option<usize>> = vec![None; n];
+    let mut right_match: Vec<Option<usize>> = vec![None; g.n_right];
+    let mut dist = vec![INF; n];
+    let mut size = 0usize;
+
+    loop {
+        // BFS phase: layer the free left vertices.
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for i in 0..n {
+            if left_match[i].is_none() {
+                dist[i] = 0;
+                queue.push_back(i);
+            } else {
+                dist[i] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(i) = queue.pop_front() {
+            for &j in &g.adj[i] {
+                match right_match[j] {
+                    None => found_augmenting = true,
+                    Some(i2) => {
+                        if dist[i2] == INF {
+                            dist[i2] = dist[i] + 1;
+                            queue.push_back(i2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: find vertex-disjoint augmenting paths along the layering.
+        fn try_augment(
+            i: usize,
+            g: &Bipartite,
+            dist: &mut [usize],
+            left_match: &mut [Option<usize>],
+            right_match: &mut [Option<usize>],
+        ) -> bool {
+            for &j in &g.adj[i] {
+                let ok = match right_match[j] {
+                    None => true,
+                    Some(i2) => {
+                        dist[i2] == dist[i] + 1
+                            && try_augment(i2, g, dist, left_match, right_match)
+                    }
+                };
+                if ok {
+                    left_match[i] = Some(j);
+                    right_match[j] = Some(i);
+                    return true;
+                }
+            }
+            dist[i] = usize::MAX;
+            false
+        }
+        for i in 0..n {
+            if left_match[i].is_none()
+                && try_augment(i, g, &mut dist, &mut left_match, &mut right_match)
+            {
+                size += 1;
+            }
+        }
+    }
+
+    Matching {
+        left_match,
+        right_match,
+        size,
+    }
+}
+
+/// Tarjan's strongly-connected components (iterative), returning for each vertex
+/// the id of its component. Component ids are in reverse topological order.
+pub fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut n_comp = 0usize;
+
+    // Explicit call stack: (vertex, next child position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        call.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(frame) = call.len().checked_sub(1) {
+            let (v, child) = call[frame];
+            if child < adj[v].len() {
+                let w = adj[v][child];
+                call[frame].1 += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("scc stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = n_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    n_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(rows: usize, cols: usize, edges: &[(usize, usize)]) -> Bipartite {
+        Bipartite::from_pattern(rows, cols, |i, j| edges.contains(&(i, j)))
+    }
+
+    #[test]
+    fn perfect_matching_identity() {
+        let g = graph(3, 3, &[(0, 0), (1, 1), (2, 2)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 3);
+        assert_eq!(m.left_match, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn matching_requires_augmenting_paths() {
+        // Classic case where greedy fails: 0-0, 0-1, 1-0.
+        let g = graph(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 2);
+    }
+
+    #[test]
+    fn deficient_matching() {
+        // Two rows share a single column: matching size 1 (Hall violation).
+        let g = graph(2, 2, &[(0, 0), (1, 0)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 1);
+    }
+
+    #[test]
+    fn rectangular_matching() {
+        let g = graph(2, 4, &[(0, 2), (1, 3)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 2);
+        assert_eq!(m.right_match[2], Some(0));
+        assert_eq!(m.right_match[3], Some(1));
+    }
+
+    #[test]
+    fn dense_graph_perfect() {
+        let g = Bipartite::from_pattern(6, 6, |_, _| true);
+        assert_eq!(hopcroft_karp(&g).size, 6);
+        assert_eq!(g.edge_count(), 36);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph(3, 3, &[]);
+        assert_eq!(hopcroft_karp(&g).size, 0);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(graph(2, 2, &[(0, 0), (0, 1), (1, 1)]).is_connected());
+        // Two disjoint edges: disconnected.
+        assert!(!graph(2, 2, &[(0, 0), (1, 1)]).is_connected());
+        // Isolated column.
+        assert!(!graph(2, 3, &[(0, 0), (0, 1), (1, 0), (1, 1)]).is_connected());
+        // Empty shape counts as connected.
+        assert!(Bipartite::from_pattern(0, 0, |_, _| false).is_connected());
+    }
+
+    #[test]
+    fn scc_simple_cycle() {
+        // 0 → 1 → 2 → 0 : one component.
+        let adj = vec![vec![1], vec![2], vec![0]];
+        let comp = tarjan_scc(&adj);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+    }
+
+    #[test]
+    fn scc_chain() {
+        // 0 → 1 → 2 : three components.
+        let adj = vec![vec![1], vec![2], vec![]];
+        let comp = tarjan_scc(&adj);
+        assert_ne!(comp[0], comp[1]);
+        assert_ne!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[2]);
+        // Reverse topological order: sinks get smaller ids.
+        assert!(comp[2] < comp[1] && comp[1] < comp[0]);
+    }
+
+    #[test]
+    fn scc_two_cycles_bridge() {
+        // (0↔1) → (2↔3)
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2]];
+        let comp = tarjan_scc(&adj);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn scc_self_loops_and_singletons() {
+        let adj = vec![vec![0], vec![]];
+        let comp = tarjan_scc(&adj);
+        assert_ne!(comp[0], comp[1]);
+    }
+
+    #[test]
+    fn scc_empty() {
+        assert!(tarjan_scc(&[]).is_empty());
+    }
+
+    #[test]
+    fn matching_larger_random_structure() {
+        // A 7×7 circulant-ish pattern with bandwidth 2 admits a perfect matching.
+        let g = Bipartite::from_pattern(7, 7, |i, j| (j + 7 - i) % 7 <= 1);
+        assert_eq!(hopcroft_karp(&g).size, 7);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests: Theorem 1 (existence/uniqueness of the standard form for
+//! positive matrices) and the structural theory of Sec. VI.
+
+use hc_linalg::Matrix;
+use hc_sinkhorn::balance::{balance_with, standard_targets, standardize, BalanceOptions};
+use hc_sinkhorn::structure::{analyze_square, fully_indecomposable_exhaustive};
+use hc_sinkhorn::Balanceability;
+use proptest::prelude::*;
+
+fn arb_positive_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(0.05_f64..50.0, m * n)
+            .prop_map(move |data| Matrix::from_vec(m, n, data).unwrap())
+    })
+}
+
+/// 0/1 square patterns without zero rows/columns (valid ECS zero patterns).
+fn arb_square_pattern() -> impl Strategy<Value = Matrix> {
+    (2usize..=5)
+        .prop_flat_map(|n| {
+            proptest::collection::vec(proptest::bool::weighted(0.7), n * n)
+                .prop_map(move |bits| {
+                    Matrix::from_vec(n, n, bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect())
+                        .unwrap()
+                })
+        })
+        .prop_filter("no zero rows/cols", |m| {
+            m.row_sums().iter().all(|&s| s > 0.0) && m.col_sums().iter().all(|&s| s > 0.0)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem1_positive_matrices_balance(m in arb_positive_matrix()) {
+        // Existence: every positive rectangular matrix converges to standard form.
+        let out = standardize(&m, &BalanceOptions::default()).unwrap();
+        prop_assert!(out.is_converged(), "status {:?}", out.status);
+        let (rt, ct) = standard_targets(m.rows(), m.cols());
+        for (s, t) in out.matrix.row_sums().iter().zip(&rt) {
+            prop_assert!((s - t).abs() / t < 1e-7);
+        }
+        for (s, t) in out.matrix.col_sums().iter().zip(&ct) {
+            prop_assert!((s - t).abs() / t < 1e-7);
+        }
+        // Positivity is preserved.
+        prop_assert!(out.matrix.is_positive());
+    }
+
+    #[test]
+    fn theorem1_uniqueness_under_diag_scaling(
+        m in arb_positive_matrix(),
+        rs in 0.1_f64..10.0,
+        cs in 0.1_f64..10.0,
+    ) {
+        // The standard form is invariant under pre-scaling rows/columns.
+        let mut pre = m.clone();
+        pre.scale_row(0, rs);
+        pre.scale_col(0, cs);
+        let a = standardize(&m, &BalanceOptions::default()).unwrap();
+        let b = standardize(&pre, &BalanceOptions::default()).unwrap();
+        prop_assert!(
+            a.matrix.max_abs_diff(&b.matrix) < 1e-5,
+            "delta {}",
+            a.matrix.max_abs_diff(&b.matrix)
+        );
+    }
+
+    #[test]
+    fn balance_preserves_zero_pattern(m in arb_square_pattern()) {
+        // Row/column scaling can never create or destroy zeros (Sec. VI).
+        let opts = BalanceOptions { tol: 1e-6, max_iters: 500, stall_window: usize::MAX, ..Default::default() };
+        let out = balance_with(&m, &vec![1.0; m.rows()], &vec![1.0; m.cols()], &opts).unwrap();
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                if m[(i, j)] == 0.0 {
+                    prop_assert_eq!(out.matrix[(i, j)], 0.0);
+                } else {
+                    prop_assert!(out.matrix[(i, j)] > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_support_patterns_balance_within_budget(m in arb_square_pattern()) {
+        let rep = analyze_square(&m);
+        if rep.balanceability == Balanceability::ExactlyBalanceable
+            || rep.balanceability == Balanceability::Positive {
+            let opts = BalanceOptions { tol: 1e-8, max_iters: 20_000, stall_window: usize::MAX, ..Default::default() };
+            let out = balance_with(&m, &vec![1.0; m.rows()], &vec![1.0; m.cols()], &opts).unwrap();
+            prop_assert!(out.is_converged(), "total-support pattern failed to balance: {m:?}");
+        }
+    }
+
+    #[test]
+    fn structure_flags_are_consistent(m in arb_square_pattern()) {
+        let rep = analyze_square(&m);
+        // total support ⇒ support; fully indecomposable ⇒ total support (n ≥ 2).
+        if rep.has_total_support { prop_assert!(rep.has_support); }
+        if rep.fully_indecomposable { prop_assert!(rep.has_total_support); }
+        // Exhaustive definitional check agrees.
+        let slow = fully_indecomposable_exhaustive(&m, 6).unwrap();
+        prop_assert_eq!(rep.fully_indecomposable, slow);
+    }
+
+    #[test]
+    fn permutation_invariance_of_structure(m in arb_square_pattern()) {
+        let n = m.rows();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let p = m.permute_rows(&perm).unwrap().permute_cols(&perm).unwrap();
+        let a = analyze_square(&m);
+        let b = analyze_square(&p);
+        prop_assert_eq!(a.has_support, b.has_support);
+        prop_assert_eq!(a.has_total_support, b.has_total_support);
+        prop_assert_eq!(a.fully_indecomposable, b.fully_indecomposable);
+    }
+
+    #[test]
+    fn iteration_counts_small_for_positive(m in arb_positive_matrix()) {
+        // Positive matrices converge geometrically; the paper saw 6–7 iterations
+        // on real data. Allow a loose multiple for adversarial random inputs.
+        let out = standardize(&m, &BalanceOptions::default()).unwrap();
+        prop_assert!(out.iterations <= 500, "iterations = {}", out.iterations);
+    }
+}

@@ -1,0 +1,183 @@
+//! Plain-CSV serialization for labeled ETC matrices.
+//!
+//! Format: first row `task,<machine labels…>`; each following row
+//! `<task label>,<runtime…>`, with `inf` for incompatible pairs. Hand-rolled on
+//! purpose — the artifact must be readable/writable with nothing but a text
+//! editor, and users with licensed SPEC data can drop their own tables in.
+
+use hc_core::ecs::Etc;
+use hc_core::error::MeasureError;
+use hc_linalg::Matrix;
+
+/// Serializes an ETC matrix to CSV.
+pub fn to_csv(etc: &Etc) -> String {
+    let mut out = String::from("task");
+    for m in etc.machine_names() {
+        out.push(',');
+        out.push_str(&escape(m));
+    }
+    out.push('\n');
+    for (i, t) in etc.task_names().iter().enumerate() {
+        out.push_str(&escape(t));
+        for j in 0..etc.num_machines() {
+            out.push(',');
+            let v = etc.matrix()[(i, j)];
+            if v.is_infinite() {
+                out.push_str("inf");
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Splits one CSV line honoring double-quoted fields.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Parses an ETC matrix from CSV (the format written by [`to_csv`]).
+pub fn from_csv(text: &str) -> Result<Etc, MeasureError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| MeasureError::InvalidEnvironment {
+        reason: "CSV is empty".into(),
+    })?;
+    let head_fields = split_line(header);
+    if head_fields.len() < 2 {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: "CSV header needs at least one machine column".into(),
+        });
+    }
+    let machine_names: Vec<String> = head_fields[1..].to_vec();
+    let mut task_names = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let fields = split_line(line);
+        if fields.len() != machine_names.len() + 1 {
+            return Err(MeasureError::InvalidEnvironment {
+                reason: format!(
+                    "CSV row {} has {} fields, expected {}",
+                    lineno + 2,
+                    fields.len(),
+                    machine_names.len() + 1
+                ),
+            });
+        }
+        task_names.push(fields[0].clone());
+        let mut row = Vec::with_capacity(machine_names.len());
+        for f in &fields[1..] {
+            let v = match f.trim() {
+                "inf" | "Inf" | "INF" | "+inf" => f64::INFINITY,
+                other => other.parse::<f64>().map_err(|_| {
+                    MeasureError::InvalidEnvironment {
+                        reason: format!("CSV row {}: bad number {other:?}", lineno + 2),
+                    }
+                })?,
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: "CSV has no data rows".into(),
+        });
+    }
+    let t = rows.len();
+    let m = machine_names.len();
+    let matrix = Matrix::from_fn(t, m, |i, j| rows[i][j]);
+    Etc::with_names(matrix, task_names, machine_names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::cint2006;
+
+    #[test]
+    fn round_trip_cint() {
+        let d = cint2006();
+        let text = to_csv(&d.etc);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.task_names(), d.etc.task_names());
+        assert_eq!(back.machine_names(), d.etc.machine_names());
+        assert!(back.matrix().max_abs_diff(d.etc.matrix()) < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_with_infinity() {
+        let etc = Etc::with_names(
+            Matrix::from_rows(&[&[1.5, f64::INFINITY], &[2.0, 3.0]]).unwrap(),
+            vec!["a".into(), "b".into()],
+            vec!["x".into(), "y".into()],
+        )
+        .unwrap();
+        let back = from_csv(&to_csv(&etc)).unwrap();
+        assert!(back.matrix()[(0, 1)].is_infinite());
+        assert_eq!(back.matrix()[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn quoted_labels() {
+        let etc = Etc::with_names(
+            Matrix::from_rows(&[&[1.0, 2.0]]).unwrap(),
+            vec!["task, with comma".into()],
+            vec!["machine \"A\"".into(), "m2".into()],
+        )
+        .unwrap();
+        let text = to_csv(&etc);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.task_names()[0], "task, with comma");
+        assert_eq!(back.machine_names()[0], "machine \"A\"");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("task\n").is_err());
+        assert!(from_csv("task,m1\n").is_err());
+        assert!(from_csv("task,m1\nt1,1.0,2.0\n").is_err());
+        assert!(from_csv("task,m1\nt1,abc\n").is_err());
+        // Structural validity enforced (zero runtime is invalid).
+        assert!(from_csv("task,m1\nt1,0.0\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let back = from_csv("task,m1,m2\n\nt1,1.0,2.0\n\n").unwrap();
+        assert_eq!(back.num_tasks(), 1);
+        assert_eq!(back.num_machines(), 2);
+    }
+}

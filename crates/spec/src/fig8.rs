@@ -1,0 +1,181 @@
+//! The paper's Figure 8: two 2×2 ETC matrices extracted from the SPEC data, with
+//! near-identical MPH but wildly different TMA.
+//!
+//! Reconstruction: we synthesize each 2×2 exactly from its reported measures with
+//! [`hc_gen::synth2x2`], then scale to runtime magnitudes and attach the paper's
+//! labels. Reported values:
+//!
+//! * (a) `{471.omnetpp, 436.cactusADM} × {m4, m5}`: TDH = 0.16, MPH = 0.31,
+//!   TMA = 0.05.
+//! * (b) `{436.cactusADM, 450.soplex} × {m1, m4}`: TMA = 0.60, MPH ≈ 0.31 ("the
+//!   two matrices are almost identical in terms of machine performance
+//!   homogeneity"); the printed TDH is illegible in our source and is set to 0.05
+//!   (strongly heterogeneous task difficulties, matching the prose).
+
+use hc_core::ecs::{Ecs, Etc};
+use hc_core::error::MeasureError;
+use hc_gen::targeted::synth2x2;
+
+/// Reported measures for a Fig. 8 pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8Targets {
+    /// Task difficulty homogeneity.
+    pub tdh: f64,
+    /// Machine performance homogeneity.
+    pub mph: f64,
+    /// Task-machine affinity.
+    pub tma: f64,
+}
+
+/// Reported values for Fig. 8(a).
+pub const FIG8A_TARGETS: Fig8Targets = Fig8Targets {
+    tdh: 0.16,
+    mph: 0.31,
+    tma: 0.05,
+};
+
+/// Values for Fig. 8(b) (TDH reconstructed; see module docs).
+pub const FIG8B_TARGETS: Fig8Targets = Fig8Targets {
+    tdh: 0.05,
+    mph: 0.31,
+    tma: 0.60,
+};
+
+fn build(
+    targets: Fig8Targets,
+    tasks: [&str; 2],
+    machines: [&str; 2],
+    scale_s: f64,
+) -> Result<Etc, MeasureError> {
+    let ecs: Ecs = synth2x2(targets.mph, targets.tdh, targets.tma)?;
+    let etc_raw = ecs.matrix().map(|v| 1.0 / v);
+    let mean = etc_raw.total_sum() / 4.0;
+    Etc::with_names(
+        etc_raw.scaled(scale_s / mean),
+        tasks.iter().map(|s| s.to_string()).collect(),
+        machines.iter().map(|s| s.to_string()).collect(),
+    )
+}
+
+/// Figure 8(a): `{471.omnetpp, 436.cactusADM} × {m4, m5}` with low affinity.
+pub fn fig8a() -> Etc {
+    build(
+        FIG8A_TARGETS,
+        ["471.omnetpp", "436.cactusADM"],
+        ["m4", "m5"],
+        600.0,
+    )
+    .expect("static construction")
+}
+
+/// Figure 8(b): `{436.cactusADM, 450.soplex} × {m1, m4}` with high affinity.
+pub fn fig8b() -> Etc {
+    build(
+        FIG8B_TARGETS,
+        ["436.cactusADM", "450.soplex"],
+        ["m1", "m4"],
+        600.0,
+    )
+    .expect("static construction")
+}
+
+/// The corresponding submatrices **of the synthetic full datasets** — an honesty
+/// check reported alongside the exact reconstructions: our calibration matches
+/// the paper's *full-matrix* measures, so these 2×2 cut-outs carry the synthetic
+/// noise realization, not the real data's local structure (see DESIGN.md §3).
+///
+/// Returns `((a_env, a_names), (b_env, b_names))` where each env is the 2×2 ECS
+/// cut from the synthetic CINT/CFP matrices at the paper's named cells.
+pub fn synthetic_submatrices() -> Result<(Ecs, Ecs), MeasureError> {
+    let cint = crate::dataset::cint2006();
+    let cfp = crate::dataset::cfp2006();
+    let find = |names: &[String], needle: &str| -> usize {
+        names
+            .iter()
+            .position(|n| n == needle)
+            .expect("benchmark names are fixed")
+    };
+    // (a): {omnetpp (CINT), cactusADM (CFP)} × {m4, m5}. The two tasks live in
+    // different suites; the paper evidently mixed rows across the two tables, so
+    // we do the same: build a 2×2 from the CINT omnetpp row and the CFP
+    // cactusADM row restricted to machines m4, m5.
+    let cint_ecs = cint.ecs();
+    let cfp_ecs = cfp.ecs();
+    let om = find(cint.etc.task_names(), "471.omnetpp");
+    let ca = find(cfp.etc.task_names(), "436.cactusADM");
+    let so = find(cfp.etc.task_names(), "450.soplex");
+    let a = Ecs::with_names(
+        hc_linalg::Matrix::from_rows(&[
+            &[cint_ecs.get(om, 3), cint_ecs.get(om, 4)],
+            &[cfp_ecs.get(ca, 3), cfp_ecs.get(ca, 4)],
+        ])?,
+        vec!["471.omnetpp".into(), "436.cactusADM".into()],
+        vec!["m4".into(), "m5".into()],
+    )?;
+    let b = Ecs::with_names(
+        hc_linalg::Matrix::from_rows(&[
+            &[cfp_ecs.get(ca, 0), cfp_ecs.get(ca, 3)],
+            &[cfp_ecs.get(so, 0), cfp_ecs.get(so, 3)],
+        ])?,
+        vec!["436.cactusADM".into(), "450.soplex".into()],
+        vec!["m1".into(), "m4".into()],
+    )?;
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::measures::{mph, tdh};
+    use hc_core::standard::tma;
+
+    #[test]
+    fn fig8a_measures() {
+        let e = fig8a().to_ecs();
+        assert!((tdh(&e).unwrap() - 0.16).abs() < 1e-6);
+        assert!((mph(&e).unwrap() - 0.31).abs() < 1e-6);
+        assert!((tma(&e).unwrap() - 0.05).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fig8b_measures() {
+        let e = fig8b().to_ecs();
+        assert!((mph(&e).unwrap() - 0.31).abs() < 1e-6);
+        assert!((tma(&e).unwrap() - 0.60).abs() < 1e-5);
+    }
+
+    #[test]
+    fn paper_comparison_holds() {
+        // Near-identical MPH, wildly different TMA — the figure's whole point.
+        let a = fig8a().to_ecs();
+        let b = fig8b().to_ecs();
+        assert!((mph(&a).unwrap() - mph(&b).unwrap()).abs() < 1e-6);
+        assert!(tma(&b).unwrap() > 10.0 * tma(&a).unwrap());
+    }
+
+    #[test]
+    fn synthetic_submatrices_are_valid_2x2_envs() {
+        let (a, b) = synthetic_submatrices().unwrap();
+        assert_eq!(a.num_tasks(), 2);
+        assert_eq!(a.num_machines(), 2);
+        assert_eq!(b.task_names()[1], "450.soplex");
+        // Measures compute and land in range (no claim they match Fig. 8 —
+        // the synthetic noise realization differs from the real data's).
+        for e in [&a, &b] {
+            let t = tma(e).unwrap();
+            assert!((0.0..=1.0).contains(&t));
+            assert!(mph(e).unwrap() > 0.0);
+            assert!(tdh(e).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let a = fig8a();
+        assert_eq!(a.task_names(), &["471.omnetpp", "436.cactusADM"]);
+        assert_eq!(a.machine_names(), &["m4", "m5"]);
+        let b = fig8b();
+        assert_eq!(b.task_names(), &["436.cactusADM", "450.soplex"]);
+        assert_eq!(b.machine_names(), &["m1", "m4"]);
+    }
+}

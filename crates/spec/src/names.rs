@@ -1,0 +1,86 @@
+//! Benchmark and machine names from the paper's Figures 5–7.
+
+/// The five machines of the paper's Figure 5.
+pub const MACHINES: [&str; 5] = [
+    "ASUS TS100-E6 (P7F-X) (Intel Xeon X3470)",
+    "Fujitsu SPARC Enterprise M3000",
+    "CELSIUS W280 (Intel Core i7-870)",
+    "ProLiant SL165z G7 (2.2 GHz AMD Opteron 6174)",
+    "IBM Power 750 Express (3.55 GHz, 32 core, SLES)",
+];
+
+/// Short machine labels (`m1`–`m5`) used in tables.
+pub const MACHINE_LABELS: [&str; 5] = ["m1", "m2", "m3", "m4", "m5"];
+
+/// The 12 SPEC CINT2006Rate task types (paper Fig. 6).
+pub const CINT_BENCHMARKS: [&str; 12] = [
+    "400.perlbench",
+    "401.bzip2",
+    "403.gcc",
+    "429.mcf",
+    "445.gobmk",
+    "456.hmmer",
+    "458.sjeng",
+    "462.libquantum",
+    "464.h264ref",
+    "471.omnetpp",
+    "473.astar",
+    "483.xalancbmk",
+];
+
+/// The 17 SPEC CFP2006Rate task types (paper Fig. 7).
+pub const CFP_BENCHMARKS: [&str; 17] = [
+    "410.bwaves",
+    "416.gamess",
+    "433.milc",
+    "434.zeusmp",
+    "435.gromacs",
+    "436.cactusADM",
+    "437.leslie3d",
+    "444.namd",
+    "447.dealII",
+    "450.soplex",
+    "453.povray",
+    "454.calculix",
+    "459.GemsFDTD",
+    "465.tonto",
+    "470.lbm",
+    "481.wrf",
+    "482.sphinx3",
+];
+
+/// Machine descriptors as `(label, full name)` pairs.
+pub fn machines() -> Vec<(String, String)> {
+    MACHINE_LABELS
+        .iter()
+        .zip(MACHINES.iter())
+        .map(|(l, n)| (l.to_string(), n.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper() {
+        assert_eq!(MACHINES.len(), 5);
+        assert_eq!(CINT_BENCHMARKS.len(), 12, "SPEC CINT2006Rate has 12 task types");
+        assert_eq!(CFP_BENCHMARKS.len(), 17, "SPEC CFP2006Rate has 17 task types");
+    }
+
+    #[test]
+    fn fig8_names_present() {
+        assert!(CINT_BENCHMARKS.contains(&"471.omnetpp"));
+        assert!(CFP_BENCHMARKS.contains(&"436.cactusADM"));
+        assert!(CFP_BENCHMARKS.contains(&"450.soplex"));
+    }
+
+    #[test]
+    fn machine_pairs() {
+        let m = machines();
+        assert_eq!(m.len(), 5);
+        assert_eq!(m[0].0, "m1");
+        assert!(m[4].1.contains("IBM Power 750"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Heuristic selection by heterogeneity: evaluate the classic mapping heuristics
+//! across environments with controlled TMA and watch the winner change (the
+//! paper's application [3]).
+//!
+//! Run with: `cargo run --release --example heuristic_selection`
+
+use hetero_measures::gen::targeted::TargetSpec;
+use hetero_measures::prelude::*;
+use hetero_measures::sched::eval::{study_ensemble, win_table, InstanceStudy};
+use hetero_measures::sched::heuristics::all_heuristics;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let heuristics = all_heuristics();
+    println!(
+        "heuristics: {}\n",
+        heuristics
+            .iter()
+            .map(|h| {
+                use hetero_measures::sched::Heuristic;
+                h.name()
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    println!("{:>10}  {:>8}  {:>8}  winners (count over 16 seeds)", "TMA", "MPH", "TDH");
+    for &tma_target in &[0.0, 0.1, 0.25, 0.4, 0.55] {
+        let envs: Vec<Ecs> = (0..16)
+            .map(|seed| {
+                targeted(
+                    &TargetSpec {
+                        jitter: 0.6,
+                        ..TargetSpec::exact(20, 6, 0.7, 0.7, tma_target)
+                    },
+                    seed,
+                )
+                .expect("reachable targets")
+            })
+            .collect();
+        let studies: Vec<InstanceStudy> = study_ensemble(&envs, &heuristics, false)
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        let wins = win_table(&studies);
+        let desc: Vec<String> = wins.iter().map(|(n, c)| format!("{n}:{c}")).collect();
+        println!(
+            "{:>10.2}  {:>8.2}  {:>8.2}  {}",
+            tma_target,
+            studies[0].mph,
+            studies[0].tdh,
+            desc.join("  ")
+        );
+    }
+
+    println!(
+        "\nReading: at low affinity the machines are interchangeable and load-aware\n\
+         greedy heuristics (MCT/Min-Min family) all tie; as TMA rises, matching\n\
+         tasks to their specialized machines dominates, and execution-time-aware\n\
+         heuristics pull ahead of load-only OLB. Measuring TMA before choosing a\n\
+         mapper is exactly the use the paper proposes."
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Dynamic simulation: a Poisson stream of task instances scheduled online on
+//! the (synthetic) SPEC CINT machines, comparing immediate and batch policies.
+//!
+//! Run with: `cargo run --release --example online_simulation`
+
+use hetero_measures::sim::metrics::metrics;
+use hetero_measures::sim::policy::{BatchPolicy, OnlinePolicy, Policy};
+use hetero_measures::sim::sim::{simulate, SimConfig};
+use hetero_measures::sim::workload::{generate, WorkloadSpec};
+use hetero_measures::spec::dataset::cint2006;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = cint2006();
+    let etc = dataset.etc.matrix();
+    let (t, m) = etc.shape();
+
+    // Offered load ≈ 75% of aggregate capacity.
+    let mean_etc = etc.total_sum() / etc.len() as f64;
+    let rate = 0.75 * m as f64 / mean_etc;
+    println!(
+        "environment: {} ({} task types x {} machines); arrival rate {:.4} tasks/s\n",
+        dataset.name, t, m, rate
+    );
+
+    let workload = generate(&WorkloadSpec::uniform(2_000, rate, t, 42))?;
+    println!(
+        "workload: {} task instances over {:.0} s\n",
+        workload.arrivals.len(),
+        workload.arrivals.last().unwrap().time
+    );
+
+    let policies = [
+        Policy::Immediate(OnlinePolicy::Olb),
+        Policy::Immediate(OnlinePolicy::Met),
+        Policy::Immediate(OnlinePolicy::Mct),
+        Policy::Immediate(OnlinePolicy::Kpb { percent: 40 }),
+        Policy::Batch {
+            policy: BatchPolicy::MinMin,
+            interval: 60.0,
+        },
+        Policy::Batch {
+            policy: BatchPolicy::Sufferage,
+            interval: 60.0,
+        },
+    ];
+
+    println!(
+        "{:16} {:>12} {:>12} {:>10} {:>24}",
+        "policy", "makespan", "mean flow", "mean wait", "utilization (m1..m5)"
+    );
+    for policy in policies {
+        let r = simulate(etc, &workload, &SimConfig { policy })?;
+        let s = metrics(&r, m);
+        let util: Vec<String> = s.utilization.iter().map(|u| format!("{u:.2}")).collect();
+        println!(
+            "{:16} {:>12.0} {:>12.1} {:>10.1} {:>24}",
+            policy.name(),
+            s.makespan,
+            s.mean_flowtime,
+            s.mean_wait,
+            util.join(" ")
+        );
+    }
+
+    println!(
+        "\nThe environment's TMA is {:.2} (low): machines mostly differ in speed, not\n\
+         specialization, so queue-aware policies (MCT/KPB/batch) dominate and MET's\n\
+         fastest-machine pile-up is visible in its flowtime.",
+        dataset.targets.tma
+    );
+    Ok(())
+}

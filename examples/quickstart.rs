@@ -1,0 +1,65 @@
+//! Quickstart: characterize a small heterogeneous computing environment.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hetero_measures::prelude::*;
+
+fn main() -> Result<(), MeasureError> {
+    // An ETC matrix: rows are task types, columns are machines, entries are
+    // estimated runtimes in seconds. Machine 3 is an accelerator-style device:
+    // dramatically fast on the third task type, mediocre elsewhere.
+    let etc = Etc::with_names(
+        Matrix::from_rows(&[
+            &[100.0, 120.0, 300.0],
+            &[200.0, 180.0, 500.0],
+            &[400.0, 460.0, 15.0],
+            &[150.0, 140.0, 350.0],
+        ])?,
+        vec![
+            "video-encode".into(),
+            "compile".into(),
+            "matrix-solve".into(),
+            "compress".into(),
+        ],
+        vec!["xeon".into(), "opteron".into(), "gpu-node".into()],
+    )?;
+
+    // Convert to the ECS (speed) representation the measures are defined on.
+    let ecs = etc.to_ecs();
+
+    // All three measures in one call.
+    let report = characterize(&ecs)?;
+    println!("environment: {} tasks x {} machines", ecs.num_tasks(), ecs.num_machines());
+    println!("  MPH (machine performance homogeneity) = {:.3}", report.mph);
+    println!("  TDH (task difficulty homogeneity)     = {:.3}", report.tdh);
+    println!("  TMA (task-machine affinity)           = {:.3}", report.tma);
+    println!(
+        "  standard form took {} Sinkhorn iterations",
+        report.standardization_iterations
+    );
+
+    // Individual machine performances (ECS column sums) and task difficulties.
+    println!("\nmachine performances:");
+    for (name, mp) in ecs.machine_names().iter().zip(&report.machine_performances) {
+        println!("  {name:10} {mp:.4}");
+    }
+    println!("task difficulties (higher = easier):");
+    for (name, td) in ecs.task_names().iter().zip(&report.task_difficulties) {
+        println!("  {name:14} {td:.4}");
+    }
+
+    // The accelerator gives this environment real task-machine affinity; compare
+    // with a proportional-machines environment where affinity vanishes.
+    let proportional = Ecs::from_rows(&[
+        &[1.0, 2.0, 4.0],
+        &[0.5, 1.0, 2.0],
+        &[2.0, 4.0, 8.0],
+        &[1.5, 3.0, 6.0],
+    ])?;
+    println!(
+        "\nTMA here = {:.3}; TMA of a proportional environment = {:.3}",
+        report.tma,
+        tma(&proportional)?
+    );
+    Ok(())
+}

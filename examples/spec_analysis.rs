@@ -1,0 +1,70 @@
+//! Reproduce the paper's Sec. V analysis on the (synthetic) SPEC datasets and
+//! export them to CSV.
+//!
+//! Run with: `cargo run --example spec_analysis`
+
+use hetero_measures::core::report::characterize;
+use hetero_measures::prelude::*;
+use hetero_measures::spec::csv::to_csv;
+use hetero_measures::spec::dataset::{cfp2006, cint2006};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for d in [cint2006(), cfp2006()] {
+        let ecs = d.ecs();
+        let r = characterize(&ecs)?;
+        println!("== {} ({} task types x {} machines) ==", d.name, ecs.num_tasks(), ecs.num_machines());
+        println!(
+            "  measured: TDH = {:.2}  MPH = {:.2}  TMA = {:.2}   ({} iterations)",
+            r.tdh, r.mph, r.tma, r.standardization_iterations
+        );
+        println!(
+            "  paper:    TDH = {:.2}  MPH = {:.2}  TMA = {:.2}   ({} iterations)",
+            d.targets.tdh, d.targets.mph, d.targets.tma, d.targets.iterations
+        );
+
+        // Which machine is fastest overall? Which tasks are hardest?
+        let mut perf: Vec<(usize, f64)> = r
+            .machine_performances
+            .iter()
+            .copied()
+            .enumerate()
+            .collect();
+        perf.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        println!(
+            "  fastest machine: {}   slowest: {}",
+            ecs.machine_names()[perf[0].0],
+            ecs.machine_names()[perf.last().unwrap().0]
+        );
+        let mut diff: Vec<(usize, f64)> = r
+            .task_difficulties
+            .iter()
+            .copied()
+            .enumerate()
+            .collect();
+        diff.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        println!(
+            "  hardest task: {}   easiest: {}",
+            ecs.task_names()[diff[0].0],
+            ecs.task_names()[diff.last().unwrap().0]
+        );
+
+        // Export the ETC table as CSV next to the target directory.
+        let path = std::env::temp_dir().join(format!(
+            "{}.csv",
+            d.name.to_lowercase().replace(' ', "_")
+        ));
+        std::fs::write(&path, to_csv(&d.etc))?;
+        println!("  ETC table written to {}\n", path.display());
+    }
+
+    // The paper's headline comparison.
+    let cint_tma = tma(&cint2006().ecs())?;
+    let cfp_tma = tma(&cfp2006().ecs())?;
+    println!(
+        "CFP task types have more affinity to machines than CINT: {:.2} > {:.2} -> {}",
+        cfp_tma,
+        cint_tma,
+        cfp_tma > cint_tma
+    );
+    Ok(())
+}

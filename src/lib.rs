@@ -1,0 +1,55 @@
+//! # hetero-measures
+//!
+//! A production-quality Rust implementation of the heterogeneity measures of
+//!
+//! > A. M. Al-Qawasmeh, A. A. Maciejewski, R. G. Roberts, H. J. Siegel,
+//! > *Characterizing Task-Machine Affinity in Heterogeneous Computing
+//! > Environments*, IEEE IPDPS 2011,
+//!
+//! together with every substrate the paper relies on: a dense linear-algebra
+//! stack with two SVD implementations ([`linalg`]), Sinkhorn matrix balancing and
+//! zero-structure analysis ([`sinkhorn`]), ETC/ECS generators ([`gen`]), a
+//! calibrated synthetic SPEC CPU2006 evaluation dataset ([`spec`]), and the
+//! classic independent-task mapping heuristics ([`sched`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hetero_measures::prelude::*;
+//!
+//! // An estimated-computation-speed matrix: entry (i, j) is how much of task
+//! // type i machine j completes per unit time.
+//! let ecs = Ecs::from_rows(&[
+//!     &[3.0, 1.0, 0.5],
+//!     &[1.0, 4.0, 2.0],
+//!     &[0.5, 2.0, 5.0],
+//! ]).unwrap();
+//!
+//! let report = characterize(&ecs).unwrap();
+//! assert!(report.mph > 0.0 && report.mph <= 1.0);   // machine performance homogeneity
+//! assert!(report.tdh > 0.0 && report.tdh <= 1.0);   // task difficulty homogeneity
+//! assert!(report.tma > 0.0 && report.tma <= 1.0);   // task-machine affinity
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use hc_core as core;
+pub use hc_gen as gen;
+pub use hc_linalg as linalg;
+pub use hc_sched as sched;
+pub use hc_sim as sim;
+pub use hc_sinkhorn as sinkhorn;
+pub use hc_spec as spec;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use hc_core::ecs::{Ecs, Etc};
+    pub use hc_core::error::MeasureError;
+    pub use hc_core::measures::{mph, tdh};
+    pub use hc_core::report::{characterize, characterize_with, MeasureReport};
+    pub use hc_core::standard::{standard_form, tma, tma_with, TmaOptions, ZeroPolicy};
+    pub use hc_core::weights::Weights;
+    pub use hc_gen::targeted::{synth2x2, targeted, TargetSpec};
+    pub use hc_linalg::Matrix;
+}

@@ -1,0 +1,218 @@
+//! Integration tests: every checkable claim the paper makes, end to end across
+//! all crates.
+
+use hetero_measures::core::extremes::{fig4_standard_form_of_c, FIG4_ALL};
+use hetero_measures::core::measures::{
+    cov, geometric_mean_measure, mph_from_performances, ratio_measure,
+};
+use hetero_measures::core::report::characterize;
+use hetero_measures::core::standard::standard_form;
+use hetero_measures::prelude::*;
+use hetero_measures::sinkhorn::balance::{standard_targets, standardize, BalanceOptions};
+use hetero_measures::sinkhorn::structure::{analyze_square, eq10_matrix, eq12_matrix};
+use hetero_measures::spec::dataset::{cfp2006, cint2006};
+use hetero_measures::spec::fig8::{fig8a, fig8b};
+
+/// Sec. I, property 2: measures are unaffected by multiplying the ETC matrix by a
+/// scaling factor (time-unit changes).
+#[test]
+fn property2_unit_invariance_end_to_end() {
+    let seconds = cint2006().etc;
+    let minutes = Etc::new(seconds.matrix().scaled(1.0 / 60.0)).unwrap();
+    let a = characterize(&seconds.to_ecs()).unwrap();
+    let b = characterize(&minutes.to_ecs()).unwrap();
+    assert!((a.mph - b.mph).abs() < 1e-9);
+    assert!((a.tdh - b.tdh).abs() < 1e-9);
+    assert!((a.tma - b.tma).abs() < 1e-6);
+}
+
+/// Sec. I, property 3: the three measures are independent — each can be moved
+/// without moving the others (via the targeted generator).
+#[test]
+fn property3_independence() {
+    let base = targeted(&TargetSpec::exact(8, 5, 0.7, 0.7, 0.2), 0).unwrap();
+    let move_mph = targeted(&TargetSpec::exact(8, 5, 0.3, 0.7, 0.2), 0).unwrap();
+    let move_tdh = targeted(&TargetSpec::exact(8, 5, 0.7, 0.3, 0.2), 0).unwrap();
+    let move_tma = targeted(&TargetSpec::exact(8, 5, 0.7, 0.7, 0.5), 0).unwrap();
+    let r0 = characterize(&base).unwrap();
+    let r1 = characterize(&move_mph).unwrap();
+    let r2 = characterize(&move_tdh).unwrap();
+    let r3 = characterize(&move_tma).unwrap();
+    // MPH moved alone.
+    assert!((r1.mph - 0.3).abs() < 1e-5 && (r1.tdh - r0.tdh).abs() < 1e-5);
+    assert!((r1.tma - r0.tma).abs() < 1e-4);
+    // TDH moved alone.
+    assert!((r2.tdh - 0.3).abs() < 1e-5 && (r2.mph - r0.mph).abs() < 1e-5);
+    assert!((r2.tma - r0.tma).abs() < 1e-4);
+    // TMA moved alone.
+    assert!((r3.tma - 0.5).abs() < 1e-4);
+    assert!((r3.mph - r0.mph).abs() < 1e-5 && (r3.tdh - r0.tdh).abs() < 1e-5);
+}
+
+/// Fig. 2: the exact printed values, and the intuition ordering that only MPH
+/// satisfies.
+#[test]
+fn figure2_values_and_ordering() {
+    let envs: [[f64; 5]; 4] = [
+        [1.0, 2.0, 4.0, 8.0, 16.0],
+        [1.0, 1.0, 1.0, 1.0, 16.0],
+        [1.0, 16.0, 16.0, 16.0, 16.0],
+        [1.0, 4.0, 4.0, 4.0, 16.0],
+    ];
+    let mph: Vec<f64> = envs.iter().map(|e| mph_from_performances(e).unwrap()).collect();
+    let expected = [0.5, 0.765625, 0.765625, 0.625];
+    for (got, want) in mph.iter().zip(expected) {
+        assert!((got - want).abs() < 1e-12);
+    }
+    // R and G cannot distinguish any of the environments.
+    for e in &envs {
+        assert!((ratio_measure(e).unwrap() - 0.0625).abs() < 1e-12);
+        assert!((geometric_mean_measure(e).unwrap() - 0.5).abs() < 1e-12);
+    }
+    // COV mis-orders environments 2 and 3 (equally heterogeneous by intuition).
+    assert!((cov(&envs[1]).unwrap() - cov(&envs[2]).unwrap()).abs() > 0.5);
+}
+
+/// Theorem 1: a positive rectangular ECS matrix has a standard form with row sums
+/// M·k and column sums T·k, unique up to scalars.
+#[test]
+fn theorem1_standard_form() {
+    let e = cfp2006().ecs();
+    let (t, m) = (e.num_tasks(), e.num_machines());
+    let out = standardize(e.matrix(), &BalanceOptions::default()).unwrap();
+    assert!(out.is_converged());
+    let (rt, ct) = standard_targets(t, m);
+    for (s, w) in out.matrix.row_sums().iter().zip(&rt) {
+        assert!((s - w).abs() < 1e-7);
+    }
+    for (s, w) in out.matrix.col_sums().iter().zip(&ct) {
+        assert!((s - w).abs() < 1e-7);
+    }
+}
+
+/// Theorem 2: with row sums √(M/T) and column sums √(T/M), σ₁ = 1 and the
+/// singular vectors are the normalized ones-vectors.
+#[test]
+fn theorem2_sigma1() {
+    let e = cint2006().ecs();
+    let sf = standard_form(&e, &TmaOptions::default()).unwrap();
+    let svd = hetero_measures::linalg::svd::svd(&sf.matrix).unwrap();
+    assert!((svd.singular_values[0] - 1.0).abs() < 1e-6);
+    let t = e.num_tasks() as f64;
+    for i in 0..e.num_tasks() {
+        assert!((svd.u[(i, 0)].abs() - 1.0 / t.sqrt()).abs() < 1e-5);
+    }
+}
+
+/// Fig. 4: the eight extreme matrices hit their corners, and A, B, D converge to
+/// the standard form of C under the Eq. 9 iteration semantics.
+#[test]
+fn figure4_cube_corners() {
+    for f in FIG4_ALL {
+        let e = f.matrix();
+        let r = characterize(&e).unwrap();
+        let (tma_high, mph_high, tdh_high) = f.expected();
+        assert_eq!(r.tma > 0.5, tma_high, "{f:?} TMA = {}", r.tma);
+        assert_eq!(r.mph > 0.5, mph_high, "{f:?} MPH = {}", r.mph);
+        assert_eq!(r.tdh > 0.5, tdh_high, "{f:?} TDH = {}", r.tdh);
+    }
+    let target = fig4_standard_form_of_c();
+    for f in FIG4_ALL {
+        if matches!(f.label(), 'A' | 'B' | 'D') {
+            let sf = standard_form(&f.matrix(), &TmaOptions::default()).unwrap();
+            assert!(sf.matrix.max_abs_diff(&target) < 1e-6, "{f:?}");
+        }
+    }
+}
+
+/// Sec. V: the SPEC headline numbers and comparisons.
+#[test]
+fn section5_spec_results() {
+    let cint = characterize(&cint2006().ecs()).unwrap();
+    let cfp = characterize(&cfp2006().ecs()).unwrap();
+    assert!((cint.tdh - 0.90).abs() < 5e-3);
+    assert!((cint.mph - 0.82).abs() < 5e-3);
+    assert!((cint.tma - 0.07).abs() < 5e-3);
+    assert!((cfp.tdh - 0.91).abs() < 5e-3);
+    assert!((cfp.mph - 0.83).abs() < 5e-3);
+    assert!(cfp.tma > cint.tma, "CFP must have more affinity");
+    // "almost identical" homogeneities across suites.
+    assert!((cint.mph - cfp.mph).abs() < 0.03);
+    assert!((cint.tdh - cfp.tdh).abs() < 0.03);
+    // Convergence in a handful of iterations at tol 1e-8 (paper: 6 and 7).
+    assert!(cint.standardization_iterations <= 15);
+    assert!(cfp.standardization_iterations <= 15);
+}
+
+/// Fig. 8: near-identical MPH, contrasting TMA.
+#[test]
+fn figure8_pairs() {
+    let a = characterize(&fig8a().to_ecs()).unwrap();
+    let b = characterize(&fig8b().to_ecs()).unwrap();
+    assert!((a.tdh - 0.16).abs() < 1e-6);
+    assert!((a.mph - 0.31).abs() < 1e-6);
+    assert!((a.tma - 0.05).abs() < 1e-5);
+    assert!((b.mph - 0.31).abs() < 1e-6);
+    assert!((b.tma - 0.60).abs() < 1e-5);
+    assert!((a.mph - b.mph).abs() < 1e-6, "almost identical MPH");
+}
+
+/// Sec. VI: the Eq. 10 matrix cannot be normalized; Eq. 12 is its block form;
+/// diagonal matrices are decomposable yet balanceable.
+#[test]
+fn section6_zero_patterns() {
+    let eq10 = eq10_matrix();
+    assert_eq!(eq10.row_sums(), vec![1.0, 2.0, 1.0]);
+    assert_eq!(eq10.col_sums(), vec![1.0, 1.0, 2.0]);
+    let rep = analyze_square(&eq10);
+    assert!(rep.has_support && !rep.has_total_support && !rep.fully_indecomposable);
+
+    let eq12 = eq12_matrix();
+    assert_eq!(eq12[(0, 1)], 0.0);
+    assert_eq!(eq12[(0, 2)], 0.0);
+
+    let diag = Matrix::from_diag(&[2.0, 5.0, 0.1]);
+    let drep = analyze_square(&diag);
+    assert!(!drep.fully_indecomposable, "diagonal is decomposable");
+    assert!(drep.has_total_support, "yet balanceable");
+
+    // Strict policy surfaces the failure as a typed error.
+    let e = Ecs::new(eq10).unwrap();
+    let strict = TmaOptions {
+        zero_policy: ZeroPolicy::Strict,
+        ..Default::default()
+    };
+    assert!(matches!(
+        tma_with(&e, &strict),
+        Err(MeasureError::NotBalanceable { .. })
+    ));
+}
+
+/// Eq. 1: ETC ↔ ECS reciprocal duality including incompatibility (∞ ↔ 0).
+#[test]
+fn eq1_reciprocal_duality() {
+    let etc = Etc::new(
+        Matrix::from_rows(&[&[2.0, f64::INFINITY], &[4.0, 8.0]]).unwrap(),
+    )
+    .unwrap();
+    let ecs = etc.to_ecs();
+    assert_eq!(ecs.get(0, 0), 0.5);
+    assert_eq!(ecs.get(0, 1), 0.0);
+    let back = ecs.to_etc();
+    assert_eq!(back.matrix()[(0, 1)], f64::INFINITY);
+}
+
+/// End-to-end: generated environments round-trip through CSV with measures
+/// preserved.
+#[test]
+fn csv_round_trip_preserves_measures() {
+    let e = targeted(&TargetSpec::exact(6, 4, 0.6, 0.8, 0.25), 3).unwrap();
+    let etc = e.to_etc();
+    let text = hetero_measures::spec::csv::to_csv(&etc);
+    let back = hetero_measures::spec::csv::from_csv(&text).unwrap();
+    let a = characterize(&e).unwrap();
+    let b = characterize(&back.to_ecs()).unwrap();
+    assert!((a.mph - b.mph).abs() < 1e-9);
+    assert!((a.tdh - b.tdh).abs() < 1e-9);
+    assert!((a.tma - b.tma).abs() < 1e-6);
+}
