@@ -57,6 +57,13 @@ pub fn dispatch(raw: &[String], input: &dyn InputSource) -> Result<String, Strin
         Some("whatif") => cmd_whatif(&args, input),
         Some("simulate") => cmd_simulate(&args, input),
         Some("spec") => cmd_spec(&args),
+        // `serve` blocks on a socket, so the binary handles it before
+        // dispatch; reaching it here means a programmatic caller.
+        Some("serve") => Err(
+            "serve starts a long-lived daemon and is handled by the hcm binary; \
+             use hc_serve::start directly from code"
+                .to_string(),
+        ),
         Some(other) => Err(format!("unknown command {other:?}\n\n{}", crate::usage())),
     }
 }
@@ -83,22 +90,7 @@ fn load_env(args: &Args, input: &dyn InputSource, pos: usize) -> Result<Ecs, Str
 fn tma_options(args: &Args) -> Result<TmaOptions, String> {
     let mut opts = TmaOptions::default();
     if let Some(p) = args.get("zero-policy") {
-        opts.zero_policy = match p {
-            "strict" => ZeroPolicy::Strict,
-            "limit" => ZeroPolicy::Limit,
-            other => match other.strip_prefix("reg=") {
-                Some(eps) => ZeroPolicy::Regularize {
-                    epsilon: eps
-                        .parse()
-                        .map_err(|_| format!("--zero-policy reg=<eps>: bad epsilon {eps:?}"))?,
-                },
-                None => {
-                    return Err(format!(
-                        "--zero-policy must be strict, limit, or reg=<eps>; got {other:?}"
-                    ))
-                }
-            },
-        };
+        opts.zero_policy = ZeroPolicy::parse(p).map_err(|e| format!("--{e}"))?;
     }
     Ok(opts)
 }
@@ -230,24 +222,11 @@ fn cmd_generate(args: &Args) -> Result<String, String> {
 }
 
 fn parse_heuristic(name: &str) -> Result<Option<HeuristicKind>, String> {
-    Ok(Some(match name {
-        "olb" => HeuristicKind::Olb,
-        "duplex" => HeuristicKind::Duplex,
-        "met" => HeuristicKind::Met,
-        "mct" => HeuristicKind::Mct,
-        "min-min" => HeuristicKind::MinMin,
-        "max-min" => HeuristicKind::MaxMin,
-        "sufferage" => HeuristicKind::Sufferage,
-        "all" | "ga" | "sa" | "tabu" | "optimal" => return Ok(None),
-        other => match other.strip_prefix("kpb=") {
-            Some(pct) => HeuristicKind::Kpb {
-                percent: pct
-                    .parse()
-                    .map_err(|_| format!("kpb=<pct>: bad percent {pct:?}"))?,
-            },
-            None => return Err(format!("unknown heuristic {other:?}")),
-        },
-    }))
+    match name {
+        // Meta-selectors handled by the caller, not direct heuristics.
+        "all" | "ga" | "sa" | "tabu" | "optimal" => Ok(None),
+        other => other.parse::<HeuristicKind>().map(Some),
+    }
 }
 
 fn cmd_schedule(args: &Args, input: &dyn InputSource) -> Result<String, String> {

@@ -11,6 +11,7 @@
 //! hcm generate  cvb      --tasks 12 --machines 5 --vtask 0.4 --vmach 0.6
 //! hcm schedule  <etc.csv> [--heuristic min-min]
 //! hcm whatif    <etc.csv> --remove-machine 2
+//! hcm serve     --addr 127.0.0.1:7878        # HTTP daemon (see hc-serve)
 //! ```
 //!
 //! Every command is a pure function from `(arguments, input text)` to a report
@@ -22,6 +23,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 
 pub use commands::dispatch;
 
@@ -39,7 +41,13 @@ pub fn usage() -> &'static str {
     \x20 hcm schedule  <etc.csv> [--heuristic all|olb|met|mct|min-min|max-min|\n\
     \x20                          sufferage|kpb=<pct>|duplex|ga|sa|tabu|optimal]\n\
     \x20 hcm whatif    <etc.csv> (--remove-machine J | --remove-task I) [--ecs]\n\
+    \x20 hcm serve     [--addr 127.0.0.1:7878] [--workers N] [--queue-depth Q]\n\
+    \x20               [--cache-entries C] [--dry-run]\n\
     \x20 hcm help\n\n\
+     `hcm serve` runs an HTTP daemon exposing the analyses as POST /measure,\n\
+     /structure, /generate, /schedule, and /batch (CSV bodies), with GET /metrics\n\
+     for counters and latency histograms; requests beyond --queue-depth receive\n\
+     503 + Retry-After, and SIGINT or GET /quitquitquit drains gracefully.\n\n\
      Input files are CSV: header `task,<machine…>`, one row per task type, runtimes\n\
      as numbers, `inf` for incompatible pairs. Pass --ecs when the file already\n\
      holds speeds instead of runtimes.\n"

@@ -5,9 +5,45 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `serve` blocks on a socket until shutdown, so it bypasses the pure
+    // dispatch path every other subcommand uses.
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve(&args);
+    }
     match dispatch(&args, &FsInput) {
         Ok(out) => {
             print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hcm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_serve(raw: &[String]) -> ExitCode {
+    let parsed = hc_cli::args::parse(raw);
+    let (config, dry_run) = match hc_cli::serve::parse_config(&parsed) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("hcm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if dry_run {
+        print!("{}", hc_cli::serve::describe(&config));
+        return ExitCode::SUCCESS;
+    }
+    match hc_serve::start(config) {
+        Ok(handle) => {
+            eprintln!("hcm serve: listening on http://{}", handle.local_addr());
+            eprintln!(
+                "hcm serve: POST /measure /structure /generate /schedule /batch; \
+                 GET /metrics /healthz; shutdown via SIGINT or GET /quitquitquit"
+            );
+            handle.join();
+            eprintln!("hcm serve: drained, exiting");
             ExitCode::SUCCESS
         }
         Err(e) => {

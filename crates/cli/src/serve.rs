@@ -1,0 +1,123 @@
+//! Argument parsing for `hcm serve`, kept separate from `commands` because
+//! serving is the one subcommand that is not a pure `(args, input) → report`
+//! function: it binds a socket and blocks. Parsing and validation stay pure
+//! (and unit-tested here); `main.rs` owns the blocking run.
+
+use std::net::ToSocketAddrs;
+
+use crate::args::Args;
+use hc_serve::Config;
+
+/// Parses `hcm serve` arguments into a server [`Config`].
+///
+/// Returns the config plus whether `--dry-run` was given (print the resolved
+/// configuration and exit instead of binding — this is what makes the flag
+/// surface end-to-end testable without occupying a port).
+pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
+    if args.positional(0) != Some("serve") {
+        return Err("serve::parse_config expects the serve subcommand".to_string());
+    }
+    if args.positional_count() > 1 {
+        return Err(format!(
+            "serve takes no positional arguments, got {:?}",
+            args.positional(1).unwrap_or_default()
+        ));
+    }
+    args.check_allowed(&["addr", "workers", "queue-depth", "cache-entries", "dry-run"])?;
+
+    let mut cfg = Config::default();
+    if let Some(addr) = args.get("addr") {
+        // Resolve eagerly so a typo fails at the flag, not at bind time.
+        let resolves = addr
+            .to_socket_addrs()
+            .map(|mut it| it.next().is_some())
+            .unwrap_or(false);
+        if !resolves {
+            return Err(format!(
+                "--addr {addr:?} is not a valid <host>:<port> address"
+            ));
+        }
+        cfg.addr = addr.to_string();
+    }
+    cfg.workers = args.get_or("workers", cfg.workers)?;
+    if cfg.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    cfg.queue_depth = args.get_or("queue-depth", cfg.queue_depth)?;
+    if cfg.queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".to_string());
+    }
+    cfg.cache_entries = args.get_or("cache-entries", cfg.cache_entries)?;
+    Ok((cfg, args.has("dry-run")))
+}
+
+/// Human-readable resolved configuration (the `--dry-run` output).
+pub fn describe(cfg: &Config) -> String {
+    format!(
+        "serve configuration:\n\
+        \x20 addr           {}\n\
+        \x20 workers        {}\n\
+        \x20 queue-depth    {}\n\
+        \x20 cache-entries  {}\n\
+        \x20 max-body-bytes {}\n",
+        cfg.addr, cfg.workers, cfg.queue_depth, cfg.cache_entries, cfg.max_body_bytes
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn cfg_of(argv: &[&str]) -> Result<(Config, bool), String> {
+        let raw: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        parse_config(&parse(&raw))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let (cfg, dry) = cfg_of(&["serve"]).unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:7878");
+        assert!(cfg.workers >= 1);
+        assert!(!dry);
+
+        let (cfg, dry) = cfg_of(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "5",
+            "--cache-entries",
+            "9",
+            "--dry-run",
+        ])
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.queue_depth, 5);
+        assert_eq!(cfg.cache_entries, 9);
+        assert!(dry);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(cfg_of(&["serve", "--workers", "0"]).is_err());
+        assert!(cfg_of(&["serve", "--queue-depth", "0"]).is_err());
+        assert!(cfg_of(&["serve", "--workers", "abc"]).is_err());
+        assert!(cfg_of(&["serve", "--addr", "not-an-address"]).is_err());
+        assert!(cfg_of(&["serve", "--frobnicate"]).is_err());
+        assert!(cfg_of(&["serve", "extra.csv"]).is_err());
+    }
+
+    #[test]
+    fn describe_lists_every_knob() {
+        let (cfg, _) = cfg_of(&["serve", "--workers", "3"]).unwrap();
+        let d = describe(&cfg);
+        assert!(d.contains("workers        3"), "{d}");
+        assert!(d.contains("addr"));
+        assert!(d.contains("queue-depth"));
+        assert!(d.contains("cache-entries"));
+    }
+}

@@ -59,6 +59,105 @@ fn spec_measure_pipeline_via_files() {
 }
 
 #[test]
+fn serve_usage_and_arg_parsing() {
+    // Usage text documents the daemon.
+    let (ok, stdout, _) = hcm(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("hcm serve"), "{stdout}");
+    assert!(stdout.contains("--queue-depth"), "{stdout}");
+    assert!(stdout.contains("Retry-After"), "{stdout}");
+
+    // --dry-run resolves and echoes the configuration without binding.
+    let (ok, stdout, _) = hcm(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "3",
+        "--queue-depth",
+        "7",
+        "--cache-entries",
+        "11",
+        "--dry-run",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("workers        3"), "{stdout}");
+    assert!(stdout.contains("queue-depth    7"), "{stdout}");
+    assert!(stdout.contains("cache-entries  11"), "{stdout}");
+
+    // Bad flag values fail loudly before any socket work.
+    let (ok, _, stderr) = hcm(&["serve", "--workers", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--workers"), "{stderr}");
+    let (ok, _, stderr) = hcm(&["serve", "--addr", "not-an-address"]);
+    assert!(!ok);
+    assert!(stderr.contains("--addr"), "{stderr}");
+    let (ok, _, stderr) = hcm(&["serve", "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+    let (ok, _, stderr) = hcm(&["serve", "stray-positional"]);
+    assert!(!ok);
+    assert!(stderr.contains("positional"), "{stderr}");
+}
+
+#[test]
+fn serve_smoke_over_real_process() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    // Start the daemon on an ephemeral port and learn the port from its
+    // startup banner on stderr.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hcm"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn hcm serve");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut lines = BufReader::new(stderr).lines();
+    let banner = lines
+        .next()
+        .expect("banner line")
+        .expect("banner readable");
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .expect("address in banner")
+        .trim()
+        .to_string();
+
+    let request = |verb: &str, target: &str, body: &str| -> String {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        s.write_all(
+            format!(
+                "{verb} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        String::from_utf8_lossy(&out).into_owned()
+    };
+
+    let csv = "task,m1,m2\nt1,2.0,8.0\nt2,6.0,3.0\n";
+    let measured = request("POST", "/measure", csv);
+    assert!(measured.starts_with("HTTP/1.1 200"), "{measured}");
+    assert!(measured.contains("\"mph\":"), "{measured}");
+
+    let metrics = request("GET", "/metrics", "");
+    assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+    assert!(metrics.contains("\"measure\""), "{metrics}");
+
+    // Graceful shutdown via the admin endpoint; the process must exit 0.
+    let quit = request("GET", "/quitquitquit", "");
+    assert!(quit.starts_with("HTTP/1.1 200"), "{quit}");
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "{status:?}");
+}
+
+#[test]
 fn generate_schedule_simulate_pipeline() {
     let dir = std::env::temp_dir().join(format!("hcm-e2e-gen-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -52,6 +52,47 @@ impl MeasureReport {
         out
     }
 
+    /// Renders the report as a JSON object, pairing each machine performance and
+    /// task difficulty with its name (missing names degrade to `"?"`).
+    ///
+    /// Non-finite values (which the measures cannot produce, but the raw
+    /// per-machine/per-task vectors could in degenerate inputs) serialize as
+    /// `null` so the output is always valid JSON.
+    pub fn to_json(&self, task_names: &[String], machine_names: &[String]) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        fn named_map(names: &[String], values: &[f64]) -> String {
+            let mut out = String::from("{");
+            for (k, v) in values.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let name = names.get(k).map(String::as_str).unwrap_or("?");
+                out.push_str(&format!("{}:{}", json_string(name), num(*v)));
+            }
+            out.push('}');
+            out
+        }
+        format!(
+            "{{\"mph\":{},\"tdh\":{},\"tma\":{},\
+             \"machine_performances\":{},\"task_difficulties\":{},\
+             \"standardization_iterations\":{},\"regularized\":{},\"reduced_to_core\":{}}}",
+            num(self.mph),
+            num(self.tdh),
+            num(self.tma),
+            named_map(machine_names, &self.machine_performances),
+            named_map(task_names, &self.task_difficulties),
+            self.standardization_iterations,
+            self.regularized,
+            self.reduced_to_core,
+        )
+    }
+
     /// Renders the report as a compact single-line summary.
     pub fn summary(&self) -> String {
         format!(
@@ -59,6 +100,28 @@ impl MeasureReport {
             self.mph, self.tdh, self.tma, self.standardization_iterations
         )
     }
+}
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes).
+///
+/// Shared by [`MeasureReport::to_json`] and downstream crates (the HTTP server)
+/// that hand-roll JSON without a serialization dependency.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Computes MPH, TDH, and TMA with default options and uniform weights.
@@ -147,6 +210,29 @@ mod tests {
         // Missing names degrade gracefully.
         let partial = r.to_markdown(&[], &[]);
         assert!(partial.contains("| ? |"));
+    }
+
+    #[test]
+    fn json_rendering() {
+        let ecs = Ecs::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let r = characterize(&ecs).unwrap();
+        let j = r.to_json(ecs.task_names(), ecs.machine_names());
+        assert!(j.starts_with("{\"mph\":"));
+        assert!(j.contains("\"tma\":"));
+        assert!(j.contains("\"machine_performances\":{\"m1\":"));
+        assert!(j.contains("\"task_difficulties\":{\"t1\":"));
+        assert!(j.contains("\"regularized\":false"));
+        assert!(j.ends_with('}'));
+        // Missing names degrade to "?", still valid JSON keys.
+        assert!(r.to_json(&[], &[]).contains("\"?\":"));
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 
     #[test]

@@ -42,6 +42,27 @@ pub enum ZeroPolicy {
     },
 }
 
+impl ZeroPolicy {
+    /// Parses the user-facing spelling shared by the CLI and the HTTP server:
+    /// `strict`, `limit`, or `reg=<eps>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "strict" => Ok(ZeroPolicy::Strict),
+            "limit" => Ok(ZeroPolicy::Limit),
+            other => match other.strip_prefix("reg=") {
+                Some(eps) => Ok(ZeroPolicy::Regularize {
+                    epsilon: eps
+                        .parse()
+                        .map_err(|_| format!("zero-policy reg=<eps>: bad epsilon {eps:?}"))?,
+                }),
+                None => Err(format!(
+                    "zero-policy must be strict, limit, or reg=<eps>; got {other:?}"
+                )),
+            },
+        }
+    }
+}
+
 /// Options for standard-form and TMA computation.
 #[derive(Debug, Clone)]
 pub struct TmaOptions {

@@ -16,8 +16,8 @@
 use hc_core::ecs::Etc;
 use hc_core::error::MeasureError;
 use hc_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::{Rng, StdRng};
 
 /// Classification of an ETC matrix's consistency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

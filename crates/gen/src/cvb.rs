@@ -9,8 +9,8 @@ use crate::dist::gamma_mean_cov;
 use hc_core::ecs::Etc;
 use hc_core::error::MeasureError;
 use hc_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+use crate::rng::StdRng;
 
 /// Parameters for the CVB generator.
 #[derive(Debug, Clone, Copy, PartialEq)]

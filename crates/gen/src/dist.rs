@@ -1,8 +1,8 @@
 //! Samplers used by the generators: standard normal (Box–Muller polar) and gamma
-//! (Marsaglia–Tsang), implemented over `rand::Rng` so the crate needs no
+//! (Marsaglia–Tsang), implemented over the in-tree [`crate::rng::Rng`] trait so the crate needs no
 //! distribution crate.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Samples a standard normal variate (Marsaglia polar method).
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
@@ -74,8 +74,7 @@ pub fn gamma_mean_cov<R: Rng + ?Sized>(rng: &mut R, mean: f64, cov: f64) -> f64 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     fn moments(samples: &[f64]) -> (f64, f64) {
         let n = samples.len() as f64;

@@ -34,6 +34,7 @@ pub mod cvb;
 pub mod dist;
 pub mod ensemble;
 pub mod range_based;
+pub mod rng;
 pub mod targeted;
 
 pub use consistency::{classify, consistency_degree, make_consistent, Consistency};

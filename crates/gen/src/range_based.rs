@@ -10,8 +10,8 @@
 use hc_core::ecs::Etc;
 use hc_core::error::MeasureError;
 use hc_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::{Rng, StdRng};
 
 /// Parameters for the range-based generator.
 #[derive(Debug, Clone, Copy, PartialEq)]

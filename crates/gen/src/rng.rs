@@ -1,0 +1,247 @@
+//! In-tree pseudo-random number generation: SplitMix64 and xoshiro256++.
+//!
+//! The workspace must build with **no registry access**, so instead of the
+//! `rand` crate this module provides the two small, well-studied generators the
+//! generators and schedulers actually need:
+//!
+//! * [`SplitMix64`] — Steele, Lea & Flood's 64-bit mixer. One multiply-xor
+//!   pipeline per output; used standalone for cheap seed-addressed streams and
+//!   as the state initializer for xoshiro (as its authors recommend, so that
+//!   low-entropy seeds like `0`, `1`, `2`… still yield well-mixed states).
+//! * [`Xoshiro256pp`] (alias [`StdRng`]) — Blackman & Vigna's xoshiro256++,
+//!   the general-purpose generator: 256-bit state, period 2²⁵⁶−1, passes
+//!   BigCrush. This is what every `seed_from_u64` call site gets.
+//!
+//! The API mirrors the subset of `rand` the workspace used — `seed_from_u64`,
+//! `gen_range` over half-open/inclusive ranges, `gen_bool` — so call sites only
+//! swap their imports. Determinism is part of the contract: a given seed must
+//! produce the same stream on every platform and in every thread interleaving.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The workspace's default seeded generator (xoshiro256++).
+pub type StdRng = Xoshiro256pp;
+
+/// Uniform sampling over a range type; the `gen_range` argument.
+pub trait UniformRange<T> {
+    /// Draws one uniform sample from `self` using `g`.
+    fn sample_from<G: Rng + ?Sized>(self, g: &mut G) -> T;
+}
+
+/// Minimal random-generator trait: one source method (`next_u64`) plus derived
+/// samplers, mirroring the `rand::Rng` surface the workspace uses.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Top 53 bits scaled by 2⁻⁵³: every value is exactly representable.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a half-open (`lo..hi`) or inclusive (`lo..=hi`) range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<T, R: UniformRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// SplitMix64: `z = (state += 0x9E3779B97F4A7C15)` pushed through two xor-shift
+/// multiplies. Stateless beyond one `u64`, so ideal for seed derivation.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ (Blackman & Vigna, 2019).
+#[derive(Debug, Clone)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the 256-bit state from four SplitMix64 outputs, per the xoshiro
+    /// reference implementation's seeding guidance.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::seed_from_u64(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // SplitMix64 is a bijection on u64, so the four words cannot all be
+        // zero unless the mixer maps four consecutive states to zero — it
+        // does not, for any seed.
+        Self { s }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl UniformRange<usize> for Range<usize> {
+    fn sample_from<G: Rng + ?Sized>(self, g: &mut G) -> usize {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = (self.end - self.start) as u64;
+        // Widening multiply maps 64 uniform bits onto [0, span) with bias
+        // < span/2⁶⁴ — immaterial for the spans used here (≤ a few thousand).
+        let hi = ((g.next_u64() as u128 * span as u128) >> 64) as u64;
+        self.start + hi as usize
+    }
+}
+
+impl UniformRange<u64> for Range<u64> {
+    fn sample_from<G: Rng + ?Sized>(self, g: &mut G) -> u64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = self.end - self.start;
+        let hi = ((g.next_u64() as u128 * span as u128) >> 64) as u64;
+        self.start + hi
+    }
+}
+
+impl UniformRange<f64> for Range<f64> {
+    fn sample_from<G: Rng + ?Sized>(self, g: &mut G) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        // next_f64 < 1, so the result stays strictly below `end` (up to the
+        // final rounding of the fused expression, which callers tolerate).
+        self.start + g.next_f64() * (self.end - self.start)
+    }
+}
+
+impl UniformRange<f64> for RangeInclusive<f64> {
+    fn sample_from<G: Rng + ?Sized>(self, g: &mut G) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        // Scale by 2⁻⁵³·(2⁵³−1)⁻¹-style denominator so `hi` is reachable.
+        let u = (g.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c reference implementation.
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+        assert_eq!(r.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_distinct_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn usize_range_bounds_and_coverage() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let k = r.gen_range(2..9usize);
+            assert!((2..9).contains(&k));
+            seen[k - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 7 values hit: {seen:?}");
+    }
+
+    #[test]
+    fn f64_ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let y = r.gen_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&y));
+            let z = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(z > 0.0 && z < 1.0);
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(99);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut r = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "p = {p}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = r.gen_range(5..5usize);
+    }
+}

@@ -23,8 +23,8 @@ use hc_core::error::MeasureError;
 use hc_linalg::svd::{svd_with, SvdAlgorithm};
 use hc_linalg::Matrix;
 use hc_sinkhorn::balance::{balance_with, standardize, BalanceOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::{Rng, StdRng};
 
 /// Target measure values for [`targeted`].
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -12,10 +12,10 @@
 //! * Two independent SVD algorithms ([`svd`]): one-sided Jacobi (high relative
 //!   accuracy, the default for the small ECS matrices in the paper) and
 //!   Golub–Reinsch implicit-shift bidiagonal QR (for larger inputs). A
-//!   crossbeam-parallel Jacobi variant lives in [`par`].
+//!   scoped-thread-parallel Jacobi variant lives in [`par`].
 //! * Symmetric eigen-solver and power iteration ([`eigen`]) used to cross-check the
 //!   SVDs in tests.
-//! * Scoped data-parallel helpers ([`par`]) built on `crossbeam::scope` — no detached
+//! * Scoped data-parallel helpers ([`par`]) built on `std::thread::scope` — no detached
 //!   threads, deterministic reductions.
 //!
 //! All algorithms are implemented from the standard literature (Golub & Van Loan,

@@ -104,15 +104,14 @@ pub fn matmul_parallel(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix>
     let threads = threads.clamp(1, m);
     let rows_per = m.div_ceil(threads);
     let a_data = a.as_slice();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (band_idx, c_band) in c.as_mut_slice().chunks_mut(rows_per * n).enumerate() {
             let row0 = band_idx * rows_per;
             let band_rows = c_band.len() / n;
             let a_band = &a_data[row0 * k..(row0 + band_rows) * k];
-            s.spawn(move |_| mul_band(a_band, k, b, c_band));
+            s.spawn(move || mul_band(a_band, k, b, c_band));
         }
-    })
-    .expect("matmul worker panicked");
+    });
     Ok(c)
 }
 

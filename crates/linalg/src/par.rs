@@ -2,7 +2,7 @@
 //!
 //! Everything here follows the hpc guidance the project was built under:
 //!
-//! * **Scoped threads only** (`crossbeam::scope`) — no detached threads, every join
+//! * **Scoped threads only** (`std::thread::scope`) — no detached threads, every join
 //!   happens before the function returns, borrows of stack data are safe.
 //! * **Disjoint mutable splits** (`chunks_mut`) — data-race freedom by construction.
 //! * **Deterministic reductions** — per-chunk partial results are combined in index
@@ -49,13 +49,12 @@ where
         return;
     }
     let chunk = n.div_ceil(threads);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (ci, slice) in data.chunks_mut(chunk).enumerate() {
             let f = &f;
-            s.spawn(move |_| f(ci * chunk, slice));
+            s.spawn(move || f(ci * chunk, slice));
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 /// Maps `f` over `0..n` in parallel, returning results in index order.
@@ -80,20 +79,19 @@ where
         .step_by(chunk)
         .map(|lo| (lo, (lo + chunk).min(n)))
         .collect();
-    let mut parts: Vec<Vec<R>> = crossbeam::scope(|s| {
+    let mut parts: Vec<Vec<R>> = std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|&(lo, hi)| {
                 let f = &f;
-                s.spawn(move |_| (lo..hi).map(f).collect::<Vec<R>>())
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
-    })
-    .expect("parallel scope failed");
+    });
     let mut out = Vec::with_capacity(n);
     for p in parts.drain(..) {
         out.extend(p);
@@ -124,22 +122,21 @@ where
         .step_by(chunk)
         .map(|lo| (lo, (lo + chunk).min(n)))
         .collect();
-    let partials: Vec<R> = crossbeam::scope(|s| {
+    let partials: Vec<R> = std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|&(lo, hi)| {
                 let f = &f;
                 let combine = &combine;
                 let id = identity.clone();
-                s.spawn(move |_| (lo..hi).map(f).fold(id, combine))
+                s.spawn(move || (lo..hi).map(f).fold(id, combine))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
-    })
-    .expect("parallel scope failed");
+    });
     partials.into_iter().fold(identity, combine)
 }
 
@@ -151,7 +148,7 @@ use crate::error::LinAlgError;
 use crate::matrix::Matrix;
 use crate::svd::{Svd, JACOBI_MAX_SWEEPS};
 use crate::vecops;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Round-robin tournament pairing: for `n` players, `n−1` rounds (n even; a bye
 /// is inserted for odd `n`) in which every round's pairs are disjoint.
@@ -181,7 +178,7 @@ fn tournament_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
 
 /// One-sided Jacobi SVD with the column-pair rotations of each tournament round
 /// executed in parallel (pairs within a round touch disjoint columns, so the
-/// round is embarrassingly parallel; columns live behind `parking_lot` mutexes
+/// round is embarrassingly parallel; columns live behind `std::sync` mutexes
 /// that are never contended).
 ///
 /// Produces the same singular values as [`crate::svd::jacobi_svd`] up to
@@ -217,8 +214,8 @@ pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
 
     let rounds = tournament_rounds(n);
     let rotate_pair = |p: usize, q: usize| -> bool {
-        let mut wp = w[p].lock();
-        let mut wq = w[q].lock();
+        let mut wp = w[p].lock().expect("column mutex poisoned");
+        let mut wq = w[q].lock().expect("column mutex poisoned");
         let mut app = 0.0;
         let mut aqq = 0.0;
         let mut apq = 0.0;
@@ -248,8 +245,8 @@ pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
             wq[i] = s * x + c * y;
         }
         drop((wp, wq));
-        let mut vp = v[p].lock();
-        let mut vq = v[q].lock();
+        let mut vp = v[p].lock().expect("column mutex poisoned");
+        let mut vq = v[q].lock().expect("column mutex poisoned");
         for i in 0..n {
             let (x, y) = (vp[i], vq[i]);
             vp[i] = c * x - s * y;
@@ -286,7 +283,7 @@ pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
     let mut u = Matrix::zeros(m, n);
     let mut vm = Matrix::zeros(n, n);
     for j in 0..n {
-        let col = w[j].lock();
+        let col = w[j].lock().expect("column mutex poisoned");
         let nrm = vecops::norm2(&col);
         sigma.push(nrm);
         if nrm > 0.0 {
@@ -294,7 +291,7 @@ pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
                 u[(i, j)] = col[i] / nrm;
             }
         }
-        let vcol = v[j].lock();
+        let vcol = v[j].lock().expect("column mutex poisoned");
         for i in 0..n {
             vm[(i, j)] = vcol[i];
         }
@@ -305,8 +302,8 @@ pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
         for p in 0..n {
             for q in (p + 1)..n {
                 if sigma[p] > 0.0 && sigma[q] > 0.0 {
-                    let wp = w[p].lock();
-                    let wq = w[q].lock();
+                    let wp = w[p].lock().expect("column mutex poisoned");
+                    let wq = w[q].lock().expect("column mutex poisoned");
                     let dot: f64 = wp.iter().zip(wq.iter()).map(|(a, b)| a * b).sum();
                     worst = worst.max(dot.abs() / (sigma[p] * sigma[q]));
                 }

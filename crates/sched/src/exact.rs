@@ -4,8 +4,7 @@
 use crate::heuristics::{Heuristic, HeuristicKind};
 use crate::problem::{MappingProblem, Schedule};
 use hc_core::error::MeasureError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hc_gen::rng::{Rng, StdRng};
 
 /// Exhaustive search over all `Mᵀ` assignments with branch-and-bound pruning.
 /// Intended for `Mᵀ ≲ 10⁷` (the `limit` guard rejects larger instances).
@@ -141,7 +140,7 @@ pub fn simulated_annealing(p: &MappingProblem, params: &SaParams) -> Result<Sche
         loads[to] += p.time(i, to);
         let new_mk = makespan(&loads);
         let accept = new_mk <= cur_mk
-            || (temp > 0.0 && rng.gen::<f64>() < ((cur_mk - new_mk) / temp).exp());
+            || (temp > 0.0 && rng.next_f64() < ((cur_mk - new_mk) / temp).exp());
         if accept {
             current[i] = to;
             cur_mk = new_mk;

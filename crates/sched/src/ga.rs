@@ -9,8 +9,7 @@
 use crate::heuristics::{Heuristic, HeuristicKind};
 use crate::problem::{MappingProblem, Schedule};
 use hc_core::error::MeasureError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hc_gen::rng::{Rng, StdRng};
 
 /// GA hyper-parameters.
 #[derive(Debug, Clone, Copy)]

@@ -84,6 +84,32 @@ impl Heuristic for HeuristicKind {
     }
 }
 
+impl std::str::FromStr for HeuristicKind {
+    type Err = String;
+
+    /// Parses the user-facing spelling shared by the CLI and the HTTP server:
+    /// `olb | met | mct | min-min | max-min | sufferage | duplex | kpb=<pct>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "olb" => HeuristicKind::Olb,
+            "duplex" => HeuristicKind::Duplex,
+            "met" => HeuristicKind::Met,
+            "mct" => HeuristicKind::Mct,
+            "min-min" => HeuristicKind::MinMin,
+            "max-min" => HeuristicKind::MaxMin,
+            "sufferage" => HeuristicKind::Sufferage,
+            other => match other.strip_prefix("kpb=") {
+                Some(pct) => HeuristicKind::Kpb {
+                    percent: pct
+                        .parse()
+                        .map_err(|_| format!("kpb=<pct>: bad percent {pct:?}"))?,
+                },
+                None => return Err(format!("unknown heuristic {other:?}")),
+            },
+        })
+    }
+}
+
 /// All standard heuristics (KPB at 50%).
 pub fn all_heuristics() -> Vec<HeuristicKind> {
     vec![
@@ -262,6 +288,23 @@ mod tests {
 
     fn problem(rows: &[&[f64]]) -> MappingProblem {
         MappingProblem::new(Matrix::from_rows(rows).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn heuristic_kind_from_str() {
+        assert_eq!("olb".parse::<HeuristicKind>().unwrap(), HeuristicKind::Olb);
+        assert_eq!(
+            "min-min".parse::<HeuristicKind>().unwrap(),
+            HeuristicKind::MinMin
+        );
+        assert_eq!(
+            "kpb=25".parse::<HeuristicKind>().unwrap(),
+            HeuristicKind::Kpb { percent: 25 }
+        );
+        assert!("kpb=abc".parse::<HeuristicKind>().is_err());
+        assert!("bogus".parse::<HeuristicKind>().is_err());
+        // Meta-selectors (all/ga/sa/tabu/optimal) are not heuristics.
+        assert!("all".parse::<HeuristicKind>().is_err());
     }
 
     #[test]

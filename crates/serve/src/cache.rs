@@ -1,0 +1,264 @@
+//! Content-addressed LRU result cache.
+//!
+//! Analysis endpoints are pure functions of `(endpoint, options, matrix
+//! bytes)`, so their responses are cached under a 64-bit FNV-1a hash of that
+//! content. Repeated Sinkhorn/SVD work — the expensive kernels — is then served
+//! from memory. Collisions (two distinct requests with equal hashes) would
+//! serve the wrong cached response; at 2⁻⁶⁴ per pair this is accepted for an
+//! analysis cache, and the keyed content includes a per-endpoint prefix so
+//! cross-endpoint collisions cannot happen by construction.
+//!
+//! The LRU list is intrusive over a slab (`Vec`) of entries with index links —
+//! no allocation per touch, O(1) get/put/evict.
+
+/// 64-bit FNV-1a over arbitrary bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Builds a cache key from the endpoint name, its canonicalized options, and
+/// the request body.
+pub fn cache_key(endpoint: &str, options: &str, body: &[u8]) -> u64 {
+    let mut content = Vec::with_capacity(endpoint.len() + options.len() + body.len() + 2);
+    content.extend_from_slice(endpoint.as_bytes());
+    content.push(0);
+    content.extend_from_slice(options.as_bytes());
+    content.push(0);
+    content.extend_from_slice(body);
+    fnv1a(&content)
+}
+
+/// A cached response: content type + body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedResponse {
+    /// `Content-Type` of the cached response.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry {
+    key: u64,
+    value: CachedResponse,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU map from key hash to cached response.
+#[derive(Debug)]
+pub struct LruCache {
+    map: std::collections::HashMap<u64, usize>,
+    slab: Vec<Entry>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Point-in-time cache statistics for `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Lookup hits since start.
+    pub hits: u64,
+    /// Lookup misses since start.
+    pub misses: u64,
+    /// Evictions since start.
+    pub evictions: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: std::collections::HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on hit.
+    pub fn get(&mut self, key: u64) -> Option<CachedResponse> {
+        match self.map.get(&key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                Some(self.slab[idx].value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used entry
+    /// when at capacity.
+    pub fn put(&mut self, key: u64, value: CachedResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(idx) = self.map.get(&key).copied() {
+            self.slab[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        let idx = if self.map.len() >= self.capacity {
+            // Reuse the LRU slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.evictions += 1;
+            self.slab[victim].key = key;
+            self.slab[victim].value = value;
+            victim
+        } else {
+            self.slab.push(Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.len(),
+            capacity: self.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(s: &str) -> CachedResponse {
+        CachedResponse {
+            content_type: "application/json",
+            body: s.to_string(),
+        }
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_separates_endpoint_options_body() {
+        let a = cache_key("measure", "ecs=1", b"body");
+        let b = cache_key("structure", "ecs=1", b"body");
+        let c = cache_key("measure", "", b"ecs=1body");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, cache_key("measure", "ecs=1", b"body"));
+    }
+
+    #[test]
+    fn hit_miss_and_refresh() {
+        let mut c = LruCache::new(2);
+        assert!(c.get(1).is_none());
+        c.put(1, resp("one"));
+        assert_eq!(c.get(1).unwrap().body, "one");
+        c.put(1, resp("one'"));
+        assert_eq!(c.get(1).unwrap().body, "one'");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = LruCache::new(2);
+        c.put(1, resp("1"));
+        c.put(2, resp("2"));
+        assert!(c.get(1).is_some()); // 1 is now MRU; 2 is LRU
+        c.put(3, resp("3")); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.put(1, resp("1"));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn many_entries_consistent() {
+        let mut c = LruCache::new(16);
+        for k in 0..100u64 {
+            c.put(k, resp(&k.to_string()));
+        }
+        // Last 16 keys resident, in LRU order 84..99.
+        for k in 0..84 {
+            assert!(c.get(k).is_none(), "{k}");
+        }
+        for k in 84..100 {
+            assert_eq!(c.get(k).unwrap().body, k.to_string());
+        }
+        assert_eq!(c.stats().evictions, 84);
+    }
+}

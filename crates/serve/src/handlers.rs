@@ -1,0 +1,360 @@
+//! Pure endpoint logic: each handler maps a parsed [`Request`] to a
+//! [`Response`] using the workspace's library crates, with no server state.
+//! Caching, batching, metrics, and dispatch live in the router; keeping the
+//! handlers pure makes them unit-testable without sockets.
+//!
+//! All analysis endpoints accept the same CSV ETC matrix format as the CLI
+//! (`task,m1,m2\nt1,2.0,8.0\n…`) as the POST body, and CLI flags become query
+//! parameters (`--ecs` → `?ecs=1`, `--zero-policy reg=1e-4` →
+//! `?zero-policy=reg%3D1e-4`).
+
+use std::str::FromStr;
+
+use hc_core::ecs::{Ecs, Etc};
+use hc_core::standard::{TmaOptions, ZeroPolicy};
+use hc_gen::cvb::{cvb, CvbParams};
+use hc_gen::range_based::{range_based, RangeParams};
+use hc_gen::targeted::{targeted, TargetSpec};
+use hc_sched::exact::{optimal, simulated_annealing, tabu, SaParams, TabuParams};
+use hc_sched::ga::{ga, GaParams};
+use hc_sched::heuristics::{all_heuristics, Heuristic, HeuristicKind};
+use hc_sched::problem::{makespan_lower_bound, MappingProblem};
+use hc_sinkhorn::structure::analyze_structure;
+use hc_spec::csv;
+
+use crate::http::{HttpError, Request, Response};
+use crate::json::JsonObject;
+
+/// Rejects query parameters outside `allowed` so malformed requests fail loudly
+/// and equivalent requests share one canonical cache key space.
+pub fn check_allowed(req: &Request, allowed: &[&str]) -> Result<(), HttpError> {
+    for key in req.query.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(HttpError::bad(format!(
+                "unknown query parameter {key:?} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn q_opt<T: FromStr>(req: &Request, name: &str) -> Result<Option<T>, HttpError> {
+    match req.param(name) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<T>().map(Some).map_err(|_| {
+            HttpError::bad(format!("query parameter {name}={raw:?} is malformed"))
+        }),
+    }
+}
+
+fn q_or<T: FromStr>(req: &Request, name: &str, default: T) -> Result<T, HttpError> {
+    Ok(q_opt(req, name)?.unwrap_or(default))
+}
+
+fn q_req<T: FromStr>(req: &Request, name: &str) -> Result<T, HttpError> {
+    q_opt(req, name)?
+        .ok_or_else(|| HttpError::bad(format!("missing required query parameter {name:?}")))
+}
+
+/// Parses the request body as a CSV matrix, honouring the `ecs` flag the same
+/// way the CLI does (`?ecs=1` reinterprets entries as speeds, not times).
+pub fn load_ecs(req: &Request) -> Result<Ecs, HttpError> {
+    let text = req.body_text()?;
+    if text.trim().is_empty() {
+        return Err(HttpError::bad("empty body: expected a CSV ETC matrix"));
+    }
+    let etc = csv::from_csv(text).map_err(|e| HttpError::bad(e.to_string()))?;
+    if req.has_param("ecs") {
+        Ecs::with_names(
+            etc.matrix().map(|v| if v.is_infinite() { 0.0 } else { v }),
+            etc.task_names().to_vec(),
+            etc.machine_names().to_vec(),
+        )
+        .map_err(|e| HttpError::bad(e.to_string()))
+    } else {
+        Ok(etc.to_ecs())
+    }
+}
+
+fn tma_options(req: &Request) -> Result<TmaOptions, HttpError> {
+    let mut opts = TmaOptions::default();
+    if let Some(p) = req.param("zero-policy") {
+        opts.zero_policy = ZeroPolicy::parse(p).map_err(HttpError::bad)?;
+    }
+    Ok(opts)
+}
+
+/// `POST /measure` — MPH/TDH/TMA plus per-machine and per-task factors.
+pub fn measure(req: &Request) -> Result<Response, HttpError> {
+    check_allowed(req, &["ecs", "zero-policy"])?;
+    let ecs = load_ecs(req)?;
+    let opts = tma_options(req)?;
+    let w = hc_core::weights::Weights::uniform(ecs.num_tasks(), ecs.num_machines());
+    let r = hc_core::report::characterize_with(&ecs, &w, &opts)
+        .map_err(|e| HttpError::bad(e.to_string()))?;
+    Ok(Response::json(
+        r.to_json(ecs.task_names(), ecs.machine_names()),
+    ))
+}
+
+/// `POST /structure` — zero-pattern / balanceability report.
+pub fn structure(req: &Request) -> Result<Response, HttpError> {
+    check_allowed(req, &["ecs"])?;
+    let ecs = load_ecs(req)?;
+    let rep = analyze_structure(ecs.matrix());
+    Ok(Response::json(
+        JsonObject::new()
+            .raw("shape", &format!("[{},{}]", rep.shape.0, rep.shape.1))
+            .u64("positive_entries", rep.positive_entries as u64)
+            .u64("total_entries", (rep.shape.0 * rep.shape.1) as u64)
+            .u64("matching_size", rep.matching_size as u64)
+            .bool("has_support", rep.has_support)
+            .bool("has_total_support", rep.has_total_support)
+            .bool("fully_indecomposable", rep.fully_indecomposable)
+            .bool("connected", rep.connected)
+            .str("balanceability", &format!("{:?}", rep.balanceability))
+            .finish(),
+    ))
+}
+
+/// `POST /generate` — synthesize an ETC matrix; returns `text/csv`.
+///
+/// `?mode=targeted|range|cvb` selects the generator; remaining parameters
+/// mirror the CLI flags of `hcm generate`.
+pub fn generate(req: &Request) -> Result<Response, HttpError> {
+    let mode: String = q_req(req, "mode")?;
+    let etc: Etc = match mode.as_str() {
+        "targeted" => {
+            check_allowed(
+                req,
+                &["mode", "tasks", "machines", "mph", "tdh", "tma", "seed", "jitter"],
+            )?;
+            let spec = TargetSpec {
+                tasks: q_req(req, "tasks")?,
+                machines: q_req(req, "machines")?,
+                mph: q_req(req, "mph")?,
+                tdh: q_req(req, "tdh")?,
+                tma: q_req(req, "tma")?,
+                jitter: q_or(req, "jitter", 0.5)?,
+            };
+            let seed: u64 = q_or(req, "seed", 0)?;
+            targeted(&spec, seed)
+                .map_err(|e| HttpError::bad(e.to_string()))?
+                .to_etc()
+        }
+        "range" => {
+            check_allowed(req, &["mode", "tasks", "machines", "rtask", "rmach", "seed"])?;
+            let params = RangeParams {
+                tasks: q_req(req, "tasks")?,
+                machines: q_req(req, "machines")?,
+                r_task: q_or(req, "rtask", 100.0)?,
+                r_mach: q_or(req, "rmach", 100.0)?,
+            };
+            range_based(&params, q_or(req, "seed", 0)?)
+                .map_err(|e| HttpError::bad(e.to_string()))?
+        }
+        "cvb" => {
+            check_allowed(req, &["mode", "tasks", "machines", "vtask", "vmach", "seed"])?;
+            let params = CvbParams::new(
+                q_req(req, "tasks")?,
+                q_req(req, "machines")?,
+                q_or(req, "vtask", 0.3)?,
+                q_or(req, "vmach", 0.3)?,
+            );
+            cvb(&params, q_or(req, "seed", 0)?).map_err(|e| HttpError::bad(e.to_string()))?
+        }
+        other => {
+            return Err(HttpError::bad(format!(
+                "unknown generate mode {other:?} (targeted | range | cvb)"
+            )))
+        }
+    };
+    Ok(Response::csv(csv::to_csv(&etc)))
+}
+
+/// `POST /schedule` — run mapping heuristics over the posted matrix.
+///
+/// `?heuristic=` accepts everything the CLI does: `all` (default), a named
+/// heuristic (`min-min`, `sufferage`, `kpb=25`, …), or `ga`/`sa`/`tabu`/
+/// `optimal`.
+pub fn schedule(req: &Request) -> Result<Response, HttpError> {
+    check_allowed(req, &["ecs", "heuristic"])?;
+    let ecs = load_ecs(req)?;
+    let etc = ecs.to_etc();
+    let p = MappingProblem::from_etc(&etc);
+    let which = req.param("heuristic").unwrap_or("all");
+
+    let lib_err = |e: hc_core::error::MeasureError| HttpError::bad(e.to_string());
+    let mut rows: Vec<(String, hc_sched::Schedule)> = Vec::new();
+    match which {
+        "all" => {
+            for h in all_heuristics() {
+                rows.push((h.name().to_string(), h.map(&p).map_err(lib_err)?));
+            }
+            rows.push(("GA".into(), ga(&p, &GaParams::default()).map_err(lib_err)?));
+            rows.push((
+                "SA".into(),
+                simulated_annealing(&p, &SaParams::default()).map_err(lib_err)?,
+            ));
+        }
+        "ga" => rows.push(("GA".into(), ga(&p, &GaParams::default()).map_err(lib_err)?)),
+        "sa" => rows.push((
+            "SA".into(),
+            simulated_annealing(&p, &SaParams::default()).map_err(lib_err)?,
+        )),
+        "tabu" => rows.push((
+            "Tabu".into(),
+            tabu(&p, &TabuParams::default()).map_err(lib_err)?,
+        )),
+        "optimal" => rows.push(("optimal".into(), optimal(&p, 1e7).map_err(lib_err)?)),
+        named => {
+            let h = named
+                .parse::<HeuristicKind>()
+                .map_err(HttpError::bad)?;
+            rows.push((h.name().to_string(), h.map(&p).map_err(lib_err)?));
+        }
+    }
+
+    let mut results = JsonObject::new();
+    let mut best: Option<(&str, f64, &hc_sched::Schedule)> = None;
+    for (name, s) in &rows {
+        let mk = s.makespan(&p).map_err(lib_err)?;
+        results = results.num(name, mk);
+        if best.is_none() || mk < best.expect("set").1 {
+            best = Some((name, mk, s));
+        }
+    }
+    let best_json = match best {
+        Some((name, mk, s)) => {
+            let mut assignment = JsonObject::new();
+            for (i, &j) in s.assignment.iter().enumerate() {
+                assignment = assignment.str(&etc.task_names()[i], &etc.machine_names()[j]);
+            }
+            JsonObject::new()
+                .str("name", name)
+                .num("makespan", mk)
+                .raw("assignment", &assignment.finish())
+                .finish()
+        }
+        None => "null".to_string(),
+    };
+    Ok(Response::json(
+        JsonObject::new()
+            .u64("tasks", p.num_tasks() as u64)
+            .u64("machines", p.num_machines() as u64)
+            .num("lower_bound", makespan_lower_bound(&p))
+            .raw("results", &results.finish())
+            .raw("best", &best_json)
+            .finish(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    const SAMPLE: &str = "task,m1,m2\nt1,2.0,8.0\nt2,6.0,3.0\n";
+
+    fn post(query: &[(&str, &str)], body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: "/x".into(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect::<BTreeMap<_, _>>(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn body_text(r: &Response) -> String {
+        String::from_utf8(r.body.clone()).unwrap()
+    }
+
+    #[test]
+    fn measure_returns_json_report() {
+        let r = measure(&post(&[], SAMPLE)).unwrap();
+        assert_eq!(r.status, 200);
+        let b = body_text(&r);
+        assert!(b.contains("\"mph\":"), "{b}");
+        assert!(b.contains("\"tma\":"));
+        assert!(b.contains("\"m2\":"));
+        assert!(b.contains("\"t1\":"));
+    }
+
+    #[test]
+    fn measure_zero_policy_and_errors() {
+        let hard = "task,m1,m2\nt1,1.0,inf\nt2,1.0,1.0\n";
+        let strict = measure(&post(&[("zero-policy", "strict")], hard));
+        assert!(strict.is_err());
+        let limit = measure(&post(&[("zero-policy", "limit")], hard)).unwrap();
+        assert!(body_text(&limit).contains("\"reduced_to_core\":true"));
+        assert!(measure(&post(&[("zero-policy", "bogus")], SAMPLE)).is_err());
+        assert!(measure(&post(&[], "")).is_err());
+        assert!(measure(&post(&[("frobnicate", "1")], SAMPLE)).is_err());
+    }
+
+    #[test]
+    fn structure_reports_pattern() {
+        let hard = "task,m1,m2\nt1,1.0,inf\nt2,1.0,1.0\n";
+        let r = structure(&post(&[], hard)).unwrap();
+        let b = body_text(&r);
+        assert!(b.contains("\"has_support\":true"), "{b}");
+        assert!(b.contains("\"has_total_support\":false"));
+        assert!(b.contains("LimitOnly"));
+    }
+
+    #[test]
+    fn generate_targeted_round_trips_through_measure() {
+        let q = [
+            ("mode", "targeted"),
+            ("tasks", "6"),
+            ("machines", "4"),
+            ("mph", "0.7"),
+            ("tdh", "0.6"),
+            ("tma", "0.2"),
+            ("seed", "3"),
+        ];
+        let gen_resp = generate(&post(&q, "")).unwrap();
+        assert_eq!(gen_resp.content_type, "text/csv");
+        let csv_text = body_text(&gen_resp);
+        let m = measure(&post(&[], &csv_text)).unwrap();
+        let b = body_text(&m);
+        assert!(b.contains("\"mph\":0.7"), "{b}");
+        assert!(b.contains("\"tma\":0.2"), "{b}");
+    }
+
+    #[test]
+    fn generate_validates() {
+        assert!(generate(&post(&[], "")).is_err());
+        assert!(generate(&post(&[("mode", "bogus")], "")).is_err());
+        assert!(generate(&post(&[("mode", "range"), ("tasks", "4")], "")).is_err());
+        assert!(generate(&post(
+            &[("mode", "range"), ("tasks", "x"), ("machines", "3")],
+            ""
+        ))
+        .is_err());
+        let ok = generate(&post(
+            &[("mode", "cvb"), ("tasks", "4"), ("machines", "3")],
+            "",
+        ))
+        .unwrap();
+        assert_eq!(body_text(&ok).lines().count(), 5);
+    }
+
+    #[test]
+    fn schedule_all_and_named() {
+        let r = schedule(&post(&[], SAMPLE)).unwrap();
+        let b = body_text(&r);
+        assert!(b.contains("\"Min-Min\":"), "{b}");
+        assert!(b.contains("\"GA\":"));
+        assert!(b.contains("\"best\":{\"name\":"));
+        assert!(b.contains("\"t1\":\"m1\""));
+        let one = schedule(&post(&[("heuristic", "optimal")], SAMPLE)).unwrap();
+        // Optimal on this 2x2: t1->m1 (2), t2->m2 (3) → makespan 3.
+        assert!(body_text(&one).contains("\"makespan\":3"), "{}", body_text(&one));
+        assert!(schedule(&post(&[("heuristic", "bogus")], SAMPLE)).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! A small, strict HTTP/1.1 subset over `std::net::TcpStream`.
+//!
+//! The server needs exactly: request line + headers + optional
+//! `Content-Length` body in; status line + headers + body out. No chunked
+//! transfer, no keep-alive (every response closes the connection), no TLS.
+//! Limits are enforced while reading so a slow or hostile peer cannot balloon
+//! memory: header block ≤ 16 KiB, body ≤ the server's configured maximum, and
+//! socket read/write timeouts are set by the connection handler before parsing.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+/// Maximum accepted size of the request line + headers.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string, percent-decoded.
+    pub path: String,
+    /// Query parameters (later duplicates win), percent-decoded.
+    pub query: BTreeMap<String, String>,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Query parameter by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    /// `true` when the query contains `name` (with any value, including empty).
+    pub fn has_param(&self, name: &str) -> bool {
+        self.query.contains_key(name)
+    }
+
+    /// Body as UTF-8 text.
+    pub fn body_text(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::bad("body is not valid UTF-8"))
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Additional headers (name, value).
+    pub headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A `200 OK` CSV response.
+    pub fn csv(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/csv",
+            body: body.into_bytes(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// An error response with a JSON `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: format!(
+                "{{\"error\":{}}}",
+                hc_core::report::json_string(message)
+            )
+            .into_bytes(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// The `503 Service Unavailable` load-shed response with `Retry-After`.
+    pub fn overloaded(retry_after_s: u32) -> Self {
+        let mut r = Self::error(503, "server overloaded, request queue full");
+        r.headers
+            .push(("Retry-After".to_string(), retry_after_s.to_string()));
+        r
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+}
+
+/// Errors from request parsing, each mapping to a client-facing status.
+#[derive(Debug, Clone)]
+pub struct HttpError {
+    /// Status code to answer with.
+    pub status: u16,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl HttpError {
+    /// A `400 Bad Request` error.
+    pub fn bad(msg: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: msg.into(),
+        }
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Percent-decodes a URL component; `+` becomes a space.
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| -> Option<u8> {
+                    match b {
+                        b'0'..=b'9' => Some(b - b'0'),
+                        b'a'..=b'f' => Some(b - b'a' + 10),
+                        b'A'..=b'F' => Some(b - b'A' + 10),
+                        _ => None,
+                    }
+                };
+                if let (Some(h), Some(l)) = (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    out.push(h << 4 | l);
+                    i += 2;
+                } else {
+                    out.push(b'%');
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses `k1=v1&k2=v2` into a decoded map.
+pub fn parse_query(q: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for pair in q.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some((k, v)) => out.insert(url_decode(k), url_decode(v)),
+            None => out.insert(url_decode(pair), String::new()),
+        };
+    }
+    out
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// `max_body` bounds the accepted `Content-Length`; larger requests get `413`.
+pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request, HttpError> {
+    // Read until the end of the header block, byte-capped.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(HttpError {
+                status: 413,
+                message: "header block too large".into(),
+            });
+        }
+        let n = stream.read(&mut chunk).map_err(|e| HttpError {
+            status: 408,
+            message: format!("read error or timeout: {e}"),
+        })?;
+        if n == 0 {
+            return Err(HttpError::bad("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| HttpError::bad("headers are not valid UTF-8"))?
+        .to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("missing request target"))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad("unsupported HTTP version"));
+    }
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::bad("bad Content-Length")
+                })?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError {
+            status: 413,
+            message: format!("body of {content_length} bytes exceeds limit of {max_body}"),
+        });
+    }
+
+    // Body: whatever followed the header block, then read the remainder.
+    let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| HttpError {
+            status: 408,
+            message: format!("read error or timeout: {e}"),
+        })?;
+        if n == 0 {
+            return Err(HttpError::bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(Request {
+        method,
+        path: url_decode(raw_path),
+        query: parse_query(raw_query),
+        body,
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Serializes `response` to `stream` (HTTP/1.1, `Connection: close`).
+pub fn write_response<S: Write>(stream: &mut S, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        read_request(&mut cursor, 1024 * 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /measure?ecs=1&zero-policy=reg%3D1e-4 HTTP/1.1\r\n\
+                    Host: x\r\nContent-Length: 9\r\n\r\ntask,m1\r\n";
+        let r = parse(raw).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/measure");
+        assert_eq!(r.param("ecs"), Some("1"));
+        assert_eq!(r.param("zero-policy"), Some("reg=1e-4"));
+        assert_eq!(r.body, b"task,m1\r\n");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/metrics");
+        assert!(r.body.is_empty());
+        assert!(!r.has_param("anything"));
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        let err = read_request(&mut cursor, 10).unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(b"\r\n\r\n").is_err());
+        assert!(parse(b"GET\r\n\r\n").is_err());
+        assert!(parse(b"GET / SPDY/3\r\n\r\n").is_err());
+        // Closed before the header terminator.
+        let mut cursor = std::io::Cursor::new(b"GET / HT".to_vec());
+        assert!(read_request(&mut cursor, 10).is_err());
+    }
+
+    #[test]
+    fn url_decoding() {
+        assert_eq!(url_decode("a%20b+c"), "a b c");
+        assert_eq!(url_decode("100%"), "100%");
+        assert_eq!(url_decode("%zz"), "%zz");
+        let q = parse_query("a=1&flag&b=x%3Dy");
+        assert_eq!(q.get("a").unwrap(), "1");
+        assert_eq!(q.get("flag").unwrap(), "");
+        assert_eq!(q.get("b").unwrap(), "x=y");
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut out = Vec::new();
+        let r = Response::json("{\"ok\":true}".into()).with_header("X-Cache", "hit");
+        write_response(&mut out, &r).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("X-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn overloaded_has_retry_after() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::overloaded(1)).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+    }
+}

@@ -1,0 +1,46 @@
+//! `hc-serve`: a dependency-free HTTP analysis daemon for heterogeneous
+//! computing matrices, exposed by the CLI as `hcm serve`.
+//!
+//! The server turns the workspace's pure analysis functions — MPH/TDH/TMA
+//! measurement, zero-pattern structure reports, ETC generation, and mapping
+//! heuristics — into network endpoints over plain `std::net`:
+//!
+//! | Endpoint             | Verb | Body            | Result |
+//! |----------------------|------|-----------------|--------|
+//! | `/measure`           | POST | CSV ETC matrix  | MPH/TDH/TMA JSON |
+//! | `/structure`         | POST | CSV ETC matrix  | balanceability JSON |
+//! | `/generate`          | POST | —               | synthesized CSV |
+//! | `/schedule`          | POST | CSV ETC matrix  | heuristic makespans JSON |
+//! | `/batch`             | POST | CSVs split by `---` | per-matrix measure JSON |
+//! | `/metrics`           | GET  | —               | counters + histograms |
+//! | `/healthz`           | GET  | —               | liveness |
+//! | `/sleepz?ms=`        | GET  | —               | debug: hold a worker |
+//! | `/quitquitquit`      | GET  | —               | graceful drain |
+//!
+//! Architecture, bottom-up:
+//!
+//! * [`threadpool`] — fixed worker pool; a **bounded** request queue sheds
+//!   load (`503` + `Retry-After`) instead of buffering, and a subtask lane
+//!   with work-helping lets `/batch` fan out without self-deadlock.
+//! * [`http`] — a strict HTTP/1.1 subset (Content-Length bodies, connection
+//!   close) with size caps and socket timeouts.
+//! * [`cache`] — content-addressed LRU keyed by FNV-1a over
+//!   `endpoint\0options\0body`; identical requests skip Sinkhorn/heuristic
+//!   work entirely (`X-Cache: hit`).
+//! * [`metrics`] — per-endpoint counters and log₂ latency histograms,
+//!   rendered by `GET /metrics` through the hand-rolled [`json`] builders.
+//! * [`handlers`] / [`router`] / [`server`] — pure endpoint logic, then
+//!   dispatch + caching + batching, then sockets and lifecycle.
+//! * [`signal`] — SIGINT/SIGTERM → atomic flag → graceful drain.
+
+pub mod cache;
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod router;
+pub mod server;
+pub mod signal;
+pub mod threadpool;
+
+pub use server::{start, Config, ServerHandle, ServerState};

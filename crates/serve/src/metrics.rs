@@ -1,0 +1,200 @@
+//! Observability: per-endpoint counters and latency histograms.
+//!
+//! Latencies land in log₂ microsecond buckets (`< 1 µs`, `< 2 µs`, … `< 2²³
+//! µs ≈ 8.4 s`, plus an overflow bucket), which keeps recording allocation-free
+//! and gives `/metrics` enough resolution to estimate p50/p95/p99 within a
+//! factor of two — plenty for spotting regressions and cache effects.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::json::JsonObject;
+
+/// Number of log₂ latency buckets (the last one is overflow).
+pub const BUCKETS: usize = 24;
+
+/// Counters for one endpoint.
+#[derive(Debug, Clone)]
+pub struct EndpointStats {
+    /// Requests handled (including errors).
+    pub count: u64,
+    /// Requests answered with status ≥ 400.
+    pub errors: u64,
+    /// Requests served from the result cache.
+    pub cache_hits: u64,
+    /// Log₂-bucketed latency histogram (microseconds).
+    pub latency_buckets: [u64; BUCKETS],
+    /// Total latency in microseconds.
+    pub total_us: u64,
+}
+
+impl EndpointStats {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            errors: 0,
+            cache_hits: 0,
+            latency_buckets: [0; BUCKETS],
+            total_us: 0,
+        }
+    }
+
+    fn record(&mut self, error: bool, cache_hit: bool, latency: Duration) {
+        self.count += 1;
+        if error {
+            self.errors += 1;
+        }
+        if cache_hit {
+            self.cache_hits += 1;
+        }
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.total_us += us;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.latency_buckets[bucket] += 1;
+    }
+
+    /// Smallest bucket upper bound (µs) below which at least `q` of samples fall.
+    fn quantile_upper_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count as f64 * q).ceil() as u64;
+        let mut seen = 0;
+        for (k, &n) in self.latency_buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << k;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    fn to_json(&self) -> String {
+        let mut hist = JsonObject::new();
+        for (k, &n) in self.latency_buckets.iter().enumerate() {
+            if n > 0 {
+                hist = hist.u64(&format!("le_{}us", 1u64 << k), n);
+            }
+        }
+        JsonObject::new()
+            .u64("count", self.count)
+            .u64("errors", self.errors)
+            .u64("cache_hits", self.cache_hits)
+            .u64("latency_total_us", self.total_us)
+            .u64("latency_p50_us_upper", self.quantile_upper_us(0.50))
+            .u64("latency_p95_us_upper", self.quantile_upper_us(0.95))
+            .u64("latency_p99_us_upper", self.quantile_upper_us(0.99))
+            .raw("latency_histogram_us", &hist.finish())
+            .finish()
+    }
+}
+
+/// The server-wide metrics registry.
+#[derive(Debug)]
+pub struct Registry {
+    endpoints: Mutex<BTreeMap<&'static str, EndpointStats>>,
+    started: Instant,
+}
+
+impl Registry {
+    /// Creates an empty registry with the uptime clock started now.
+    pub fn new() -> Self {
+        Self {
+            endpoints: Mutex::new(BTreeMap::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one handled request against `endpoint`.
+    pub fn record(&self, endpoint: &'static str, error: bool, cache_hit: bool, latency: Duration) {
+        self.endpoints
+            .lock()
+            .expect("metrics mutex poisoned")
+            .entry(endpoint)
+            .or_insert_with(EndpointStats::new)
+            .record(error, cache_hit, latency);
+    }
+
+    /// Point-in-time copy of one endpoint's stats (for tests).
+    pub fn snapshot(&self, endpoint: &str) -> Option<EndpointStats> {
+        self.endpoints
+            .lock()
+            .expect("metrics mutex poisoned")
+            .get(endpoint)
+            .cloned()
+    }
+
+    /// Renders the registry (plus externally-owned pool and cache gauges) as
+    /// the `/metrics` JSON document.
+    pub fn to_json(&self, pool: &str, cache: &str) -> String {
+        let endpoints = self.endpoints.lock().expect("metrics mutex poisoned");
+        let mut per_endpoint = JsonObject::new();
+        let mut total = 0u64;
+        for (name, stats) in endpoints.iter() {
+            per_endpoint = per_endpoint.raw(name, &stats.to_json());
+            total += stats.count;
+        }
+        JsonObject::new()
+            .u64("uptime_s", self.started.elapsed().as_secs())
+            .u64("requests_total", total)
+            .raw("endpoints", &per_endpoint.finish())
+            .raw("pool", pool)
+            .raw("cache", cache)
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let r = Registry::new();
+        r.record("measure", false, false, Duration::from_micros(130));
+        r.record("measure", false, true, Duration::from_micros(3));
+        r.record("measure", true, false, Duration::from_millis(9));
+        let s = r.snapshot("measure").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.latency_buckets.iter().sum::<u64>(), 3);
+
+        let j = r.to_json("{\"queued\":0}", "{\"entries\":0}");
+        assert!(j.contains("\"requests_total\":3"));
+        assert!(j.contains("\"measure\":{\"count\":3"));
+        assert!(j.contains("\"cache_hits\":1"));
+        assert!(j.contains("\"pool\":{\"queued\":0}"));
+        assert!(j.contains("le_"));
+    }
+
+    #[test]
+    fn quantiles_monotone() {
+        let r = Registry::new();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            r.record("e", false, false, Duration::from_micros(us));
+        }
+        let s = r.snapshot("e").unwrap();
+        let p50 = s.quantile_upper_us(0.50);
+        let p95 = s.quantile_upper_us(0.95);
+        let p99 = s.quantile_upper_us(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 >= 100, "median sample is 100us, upper bound {p50}");
+        assert_eq!(r.snapshot("absent").map(|s| s.count), None);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_first_bucket() {
+        let r = Registry::new();
+        r.record("e", false, false, Duration::from_nanos(1));
+        let s = r.snapshot("e").unwrap();
+        assert_eq!(s.latency_buckets[0], 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Dispatch, result caching, batch fan-out, and per-request metrics.
+//!
+//! The router owns every cross-cutting concern the pure handlers must not know
+//! about: method checks, the content-addressed cache (`X-Cache: hit|miss` on
+//! cacheable endpoints), `/batch` fan-out over the pool's subtask lane,
+//! `/metrics` assembly, and the admin endpoints (`/healthz`, `/sleepz`,
+//! `/quitquitquit`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::cache::{cache_key, CachedResponse};
+use crate::handlers;
+use crate::http::{HttpError, Request, Response};
+use crate::json::{JsonArray, JsonObject};
+use crate::server::ServerState;
+
+/// Most matrices accepted in one `/batch` request.
+pub const MAX_BATCH_PARTS: usize = 1024;
+
+/// Longest `/sleepz` nap in milliseconds (keeps the debug endpoint harmless).
+const MAX_SLEEP_MS: u64 = 10_000;
+
+/// Stable metric name for a request path.
+fn endpoint_name(req: &Request) -> &'static str {
+    match req.path.as_str() {
+        "/measure" => "measure",
+        "/structure" => "structure",
+        "/generate" => "generate",
+        "/schedule" => "schedule",
+        "/batch" => "batch",
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        "/sleepz" => "sleepz",
+        "/quitquitquit" => "quitquitquit",
+        _ => "other",
+    }
+}
+
+/// Canonical textual form of the query for cache keying. `Request::query` is a
+/// `BTreeMap`, so equivalent requests serialize identically regardless of the
+/// parameter order on the wire.
+fn canonical_options(req: &Request) -> String {
+    let mut out = String::new();
+    for (k, v) in &req.query {
+        if !out.is_empty() {
+            out.push('&');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out
+}
+
+/// Runs a cacheable handler through the result cache.
+///
+/// Responses other than `200` are never cached (errors must re-evaluate).
+/// Returns the response and whether it was a cache hit.
+fn cached(
+    state: &ServerState,
+    name: &'static str,
+    req: &Request,
+    handler: fn(&Request) -> Result<Response, HttpError>,
+) -> (Response, bool) {
+    let key = cache_key(name, &canonical_options(req), &req.body);
+    if let Some(hit) = state.cache.lock().expect("cache mutex poisoned").get(key) {
+        let resp = Response {
+            status: 200,
+            content_type: hit.content_type,
+            body: hit.body.into_bytes(),
+            headers: Vec::new(),
+        };
+        return (resp.with_header("X-Cache", "hit"), true);
+    }
+    match handler(req) {
+        Ok(resp) if resp.status == 200 => {
+            let entry = CachedResponse {
+                content_type: resp.content_type,
+                body: String::from_utf8_lossy(&resp.body).into_owned(),
+            };
+            state
+                .cache
+                .lock()
+                .expect("cache mutex poisoned")
+                .put(key, entry);
+            (resp.with_header("X-Cache", "miss"), false)
+        }
+        Ok(resp) => (resp, false),
+        Err(e) => (Response::error(e.status, &e.message), false),
+    }
+}
+
+/// `POST /batch` — many matrices in one request, fanned across the pool.
+///
+/// The body is a sequence of CSV matrices separated by lines containing only
+/// `---`. Each part is measured exactly as `POST /measure` would (same query
+/// parameters, same per-part cache), and the response carries one result
+/// object — or `{"error": …}` — per part, in input order.
+fn batch(state: &Arc<ServerState>, req: &Request) -> Result<Response, HttpError> {
+    handlers::check_allowed(req, &["ecs", "zero-policy"])?;
+    let text = req.body_text()?;
+    let parts: Vec<String> = split_batch(text);
+    if parts.is_empty() {
+        return Err(HttpError::bad(
+            "empty batch: body must hold CSV matrices separated by '---' lines",
+        ));
+    }
+    if parts.len() > MAX_BATCH_PARTS {
+        return Err(HttpError::bad(format!(
+            "batch of {} parts exceeds the limit of {MAX_BATCH_PARTS}",
+            parts.len()
+        )));
+    }
+
+    let n = parts.len();
+    let results: Arc<Mutex<Vec<Option<String>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let finished = Arc::new(AtomicUsize::new(0));
+    for (i, part) in parts.into_iter().enumerate() {
+        let sub = Request {
+            method: "POST".to_string(),
+            path: "/measure".to_string(),
+            query: req.query.clone(),
+            body: part.into_bytes(),
+        };
+        let (st, res, fin) = (Arc::clone(state), Arc::clone(&results), Arc::clone(&finished));
+        state.pool.spawn_subtask(Box::new(move || {
+            // Reuse the /measure cache so identical matrices — within this
+            // batch or across requests — are computed once.
+            let (resp, _hit) = cached(&st, "measure", &sub, handlers::measure);
+            let rendered = String::from_utf8_lossy(&resp.body).into_owned();
+            res.lock().expect("batch results mutex poisoned")[i] = Some(rendered);
+            fin.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    // Help drain the subtask lane so a busy pool (even one worker) completes.
+    let fin = Arc::clone(&finished);
+    state.pool.help_until(move || fin.load(Ordering::SeqCst) == n);
+
+    let collected = results.lock().expect("batch results mutex poisoned");
+    let mut arr = JsonArray::new();
+    for slot in collected.iter() {
+        arr.push_raw(slot.as_deref().unwrap_or("null"));
+    }
+    Ok(Response::json(
+        JsonObject::new()
+            .u64("count", n as u64)
+            .raw("results", &arr.finish())
+            .finish(),
+    ))
+}
+
+/// Splits a batch body into per-matrix CSV chunks on `---` separator lines.
+fn split_batch(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    for line in text.lines() {
+        if line.trim() == "---" {
+            if !current.trim().is_empty() {
+                parts.push(std::mem::take(&mut current));
+            }
+            current.clear();
+        } else {
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn metrics_document(state: &ServerState) -> String {
+    let cache_stats = state.cache.lock().expect("cache mutex poisoned").stats();
+    let cache_json = JsonObject::new()
+        .u64("entries", cache_stats.entries as u64)
+        .u64("capacity", cache_stats.capacity as u64)
+        .u64("hits", cache_stats.hits)
+        .u64("misses", cache_stats.misses)
+        .u64("evictions", cache_stats.evictions)
+        .finish();
+    state
+        .metrics
+        .to_json(&state.pool.stats_json(), &cache_json)
+}
+
+fn require_method(req: &Request, method: &str) -> Result<(), Response> {
+    if req.method == method {
+        Ok(())
+    } else {
+        Err(Response::error(
+            405,
+            &format!("{} requires {method}", req.path),
+        ))
+    }
+}
+
+/// Routes one request, records metrics, and returns the response to write.
+pub fn route(state: &Arc<ServerState>, req: &Request) -> Response {
+    let start = Instant::now();
+    let name = endpoint_name(req);
+    let (resp, cache_hit) = dispatch(state, name, req);
+    state
+        .metrics
+        .record(name, resp.status >= 400, cache_hit, start.elapsed());
+    resp
+}
+
+fn dispatch(state: &Arc<ServerState>, name: &'static str, req: &Request) -> (Response, bool) {
+    match name {
+        "measure" | "structure" | "generate" | "schedule" => {
+            if let Err(resp) = require_method(req, "POST") {
+                return (resp, false);
+            }
+            let handler = match name {
+                "measure" => handlers::measure,
+                "structure" => handlers::structure,
+                "generate" => handlers::generate,
+                _ => handlers::schedule,
+            };
+            cached(state, name, req, handler)
+        }
+        "batch" => {
+            if let Err(resp) = require_method(req, "POST") {
+                return (resp, false);
+            }
+            match batch(state, req) {
+                Ok(resp) => (resp, false),
+                Err(e) => (Response::error(e.status, &e.message), false),
+            }
+        }
+        "metrics" => match require_method(req, "GET") {
+            Ok(()) => (Response::json(metrics_document(state)), false),
+            Err(resp) => (resp, false),
+        },
+        "healthz" => (
+            Response::json(JsonObject::new().bool("ok", true).finish()),
+            false,
+        ),
+        "sleepz" => {
+            // Debug endpoint: occupy a worker for a bounded time, making
+            // load-shed behaviour deterministic in tests and drills.
+            let ms = req
+                .param("ms")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(100)
+                .min(MAX_SLEEP_MS);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            (
+                Response::json(JsonObject::new().u64("slept_ms", ms).finish()),
+                false,
+            )
+        }
+        "quitquitquit" => {
+            state
+                .shutdown
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+            (
+                Response::json(JsonObject::new().bool("shutting_down", true).finish()),
+                false,
+            )
+        }
+        _ => (
+            Response::error(404, &format!("no such endpoint {}", req.path)),
+            false,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_batches() {
+        let parts = split_batch("a,b\n1,2\n---\nc,d\n3,4\n---\n");
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], "a,b\n1,2\n");
+        assert_eq!(parts[1], "c,d\n3,4\n");
+        assert!(split_batch("---\n   \n---").is_empty());
+        assert_eq!(split_batch("just,one\n1,2").len(), 1);
+    }
+
+    #[test]
+    fn canonical_options_sorted_and_stable() {
+        let req = Request {
+            method: "POST".into(),
+            path: "/measure".into(),
+            query: [("zero-policy", "limit"), ("ecs", "1")]
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        };
+        assert_eq!(canonical_options(&req), "ecs=1&zero-policy=limit");
+    }
+}

@@ -1,0 +1,204 @@
+//! The TCP server: configuration, accept loop, and graceful shutdown.
+//!
+//! One accept thread owns the (nonblocking) listener and does no parsing: it
+//! either sheds the connection with `503 Retry-After` when the pool's request
+//! queue is full, or hands the socket to the worker pool, which reads the
+//! request, routes it, and writes the response. The accept thread polls the
+//! shutdown flag (set by SIGINT/SIGTERM or `GET /quitquitquit`) between
+//! accepts; on shutdown it stops accepting, drains everything already queued,
+//! and joins the workers.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::cache::LruCache;
+use crate::http::{read_request, write_response, Response};
+use crate::metrics::Registry;
+use crate::router;
+use crate::signal;
+use crate::threadpool::Pool;
+
+/// Server configuration; every `hcm serve` flag maps to one field.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded request-queue depth; beyond it connections get `503`.
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body_bytes: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16),
+            queue_depth: 64,
+            cache_entries: 256,
+            max_body_bytes: 8 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Shared server state: the pool, the result cache, and the metrics registry.
+pub struct ServerState {
+    /// Worker pool (requests + batch subtasks).
+    pub pool: Pool,
+    /// Content-addressed result cache.
+    pub cache: Mutex<LruCache>,
+    /// Per-endpoint counters and histograms.
+    pub metrics: Registry,
+    /// Active configuration.
+    pub config: Config,
+    /// Set to request a graceful drain.
+    pub shutdown: AtomicBool,
+}
+
+/// A running server; dropping it does NOT stop the server — call
+/// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared state (tests inspect metrics and cache through this).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Requests a graceful drain; returns immediately.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the accept loop (and therefore the drained pool) to finish.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().expect("accept thread panicked");
+        }
+    }
+}
+
+/// Binds the listener, spawns the pool and accept thread, and returns.
+pub fn start(config: Config) -> Result<ServerHandle, String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    signal::install();
+
+    let state = Arc::new(ServerState {
+        pool: Pool::new(config.workers, config.queue_depth),
+        cache: Mutex::new(LruCache::new(config.cache_entries)),
+        metrics: Registry::new(),
+        config,
+        shutdown: AtomicBool::new(false),
+    });
+    let accept_state = Arc::clone(&state);
+    let accept_thread = std::thread::Builder::new()
+        .name("hc-serve-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_state))
+        .map_err(|e| format!("spawn accept thread: {e}"))?;
+
+    Ok(ServerHandle {
+        local_addr,
+        state,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) || signal::triggered() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => handle_connection(stream, state),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Stop taking work, finish what's queued, join the workers.
+    state.pool.shutdown();
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    // The listener is nonblocking; the per-connection socket must not be, or
+    // the read/write timeouts below would not apply.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+
+    if state.pool.would_shed() {
+        // Shed from the accept thread without parsing the request: the
+        // queue is full and parsing would only add load.
+        state
+            .metrics
+            .record("_shed", true, false, Duration::from_micros(0));
+        let mut s = stream;
+        let _ = write_response(&mut s, &Response::overloaded(1));
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        // Drain whatever the client already sent before closing; closing a
+        // socket with unread data makes the kernel send RST, which would
+        // destroy the 503 still in flight. Tightly bounded so a slow client
+        // cannot pin the accept thread.
+        let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut sink = [0u8; 4096];
+        for _ in 0..64 {
+            match s.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        return;
+    }
+
+    let st = Arc::clone(state);
+    let mut s = stream;
+    let job = Box::new(move || {
+        let response = match read_request(&mut s, st.config.max_body_bytes) {
+            Ok(request) => router::route(&st, &request),
+            Err(e) => {
+                st.metrics
+                    .record("_http_error", true, false, Duration::from_micros(0));
+                Response::error(e.status, &e.message)
+            }
+        };
+        let _ = write_response(&mut s, &response);
+    });
+    if state.pool.try_execute(job).is_err() {
+        // Raced with shutdown after the would_shed check; the dropped job
+        // closes the connection, which is the best we can do mid-drain.
+    }
+}

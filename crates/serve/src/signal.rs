@@ -1,0 +1,73 @@
+//! SIGINT/SIGTERM handling without a libc dependency.
+//!
+//! The handler only flips an `AtomicBool` (the one operation that is
+//! async-signal-safe here); the accept loop polls [`triggered`] between
+//! accepts and starts a graceful drain when it turns true. On non-Unix
+//! targets installation is a no-op and `/quitquitquit` remains the only
+//! shutdown path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT or SIGTERM has been received.
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Resets the flag (tests only; real servers exit after triggering).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, TRIGGERED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX `signal(2)`: both the handler argument and the return value
+        // are `sighandler_t`, a pointer-sized function pointer; `usize`
+        // round-trips it without pulling in libc types.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the handlers (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip() {
+        install();
+        reset();
+        assert!(!triggered());
+        TRIGGERED.store(true, Ordering::SeqCst);
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+    }
+}

@@ -1,0 +1,359 @@
+//! Worker thread pool with a bounded request queue and a batch subtask lane.
+//!
+//! Two queues, one worker set:
+//!
+//! * **requests** — bounded at `queue_depth`. The accept loop calls
+//!   [`Pool::try_execute`]; when the queue is full the job is handed back so
+//!   the caller can shed load with `503 Retry-After` instead of buffering
+//!   unboundedly (backpressure, not OOM).
+//! * **subtasks** — an unbounded lane for `/batch` fan-out, drained in
+//!   *preference* to requests. It cannot grow without bound in practice: only
+//!   running batch handlers (≤ worker count) feed it, each bounded by its
+//!   request's matrix count.
+//!
+//! Deadlock freedom for nested fan-out: a batch handler running on a worker
+//! never blocks waiting for queue space. It pushes subtasks and then *helps* —
+//! popping subtask jobs (its own or another batch's) and running them inline
+//! until its results are complete ([`Pool::help_until`]). Even with one worker
+//! and a full request queue, batches make progress.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::json::JsonObject;
+
+/// A unit of work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Queues {
+    requests: VecDeque<Job>,
+    subtasks: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    queues: Mutex<Queues>,
+    /// Signaled when work arrives or shutdown begins.
+    work_ready: Condvar,
+    /// Signaled whenever a job finishes (batch handlers wait on this).
+    job_done: Condvar,
+    queue_depth: usize,
+    shed_total: AtomicU64,
+    completed_total: AtomicU64,
+}
+
+/// The pool handle. Dropping it without [`Pool::shutdown`] detaches workers;
+/// the server always shuts down explicitly. Shutdown takes `&self` so the pool
+/// can live inside a shared `Arc<ServerState>`.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl Pool {
+    /// Spawns `workers` threads sharing a request queue bounded at
+    /// `queue_depth` pending jobs.
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: Mutex::new(Queues::default()),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            queue_depth: queue_depth.max(1),
+            shed_total: AtomicU64::new(0),
+            completed_total: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(handles),
+            worker_count: workers,
+        }
+    }
+
+    /// Checks whether a new request would be shed right now (queue full or
+    /// shutting down), counting it as a shed when so. Lets the accept thread
+    /// answer `503` without constructing (and losing) the connection job.
+    pub fn would_shed(&self) -> bool {
+        let q = self.shared.queues.lock().expect("pool mutex poisoned");
+        let full = q.shutting_down || q.requests.len() >= self.shared.queue_depth;
+        drop(q);
+        if full {
+            self.shared.shed_total.fetch_add(1, Ordering::Relaxed);
+        }
+        full
+    }
+
+    /// Enqueues a request job, or returns it when the queue is full (the
+    /// caller sheds the load) or the pool is shutting down.
+    pub fn try_execute(&self, job: Job) -> Result<(), Job> {
+        let mut q = self.shared.queues.lock().expect("pool mutex poisoned");
+        if q.shutting_down || q.requests.len() >= self.shared.queue_depth {
+            drop(q);
+            self.shared.shed_total.fetch_add(1, Ordering::Relaxed);
+            return Err(job);
+        }
+        q.requests.push_back(job);
+        drop(q);
+        self.shared.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues a batch subtask (never shed; see module docs for the bound).
+    pub fn spawn_subtask(&self, job: Job) {
+        let mut q = self.shared.queues.lock().expect("pool mutex poisoned");
+        q.subtasks.push_back(job);
+        drop(q);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Runs subtask jobs inline until `done()` reports true.
+    ///
+    /// Called by batch handlers after fanning out: the calling worker helps
+    /// drain the subtask lane (running any batch's subtasks), and when the lane
+    /// is momentarily empty it waits on the job-completion condvar — another
+    /// worker may still be computing this batch's last subtask.
+    pub fn help_until<F: Fn() -> bool>(&self, done: F) {
+        loop {
+            if done() {
+                return;
+            }
+            let mut q = self.shared.queues.lock().expect("pool mutex poisoned");
+            if let Some(job) = q.subtasks.pop_front() {
+                drop(q);
+                job();
+                self.shared.completed_total.fetch_add(1, Ordering::Relaxed);
+                self.shared.job_done.notify_all();
+                continue;
+            }
+            if done() {
+                return;
+            }
+            // Re-check after a bounded wait: job_done wakes us when any worker
+            // finishes a job; the timeout guards against lost wakeups.
+            let (guard, _) = self
+                .shared
+                .job_done
+                .wait_timeout(q, Duration::from_millis(20))
+                .expect("pool mutex poisoned");
+            drop(guard);
+        }
+    }
+
+    /// Number of jobs shed because the queue was full.
+    pub fn shed_total(&self) -> u64 {
+        self.shared.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs completed.
+    pub fn completed_total(&self) -> u64 {
+        self.shared.completed_total.load(Ordering::Relaxed)
+    }
+
+    /// Currently queued (not yet started) request jobs.
+    pub fn queued(&self) -> usize {
+        self.shared
+            .queues
+            .lock()
+            .expect("pool mutex poisoned")
+            .requests
+            .len()
+    }
+
+    /// Pool gauges as a JSON object for `/metrics`.
+    pub fn stats_json(&self) -> String {
+        JsonObject::new()
+            .u64("workers", self.worker_count as u64)
+            .u64("queue_depth", self.shared.queue_depth as u64)
+            .u64("queued", self.queued() as u64)
+            .u64("completed_total", self.completed_total())
+            .u64("shed_total", self.shed_total())
+            .finish()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Graceful shutdown: stops accepting new requests, drains everything
+    /// already queued, and joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queues.lock().expect("pool mutex poisoned");
+            q.shutting_down = true;
+        }
+        self.shared.work_ready.notify_all();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("pool workers mutex poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queues.lock().expect("pool mutex poisoned");
+            loop {
+                // Subtasks first: they unblock an already-running batch request.
+                if let Some(job) = q.subtasks.pop_front() {
+                    break Some(job);
+                }
+                if let Some(job) = q.requests.pop_front() {
+                    break Some(job);
+                }
+                if q.shutting_down {
+                    break None;
+                }
+                q = shared
+                    .work_ready
+                    .wait(q)
+                    .expect("pool mutex poisoned");
+            }
+        };
+        match job {
+            Some(job) => {
+                job();
+                shared.completed_total.fetch_add(1, Ordering::Relaxed);
+                shared.job_done.notify_all();
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn executes_jobs() {
+        let pool = Pool::new(4, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.try_execute(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap_or_else(|_| panic!("queue should not fill"));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn sheds_when_full() {
+        let pool = Pool::new(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Block the single worker.
+        {
+            let g = Arc::clone(&gate);
+            pool.try_execute(Box::new(move || {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            }))
+            .map_err(|_| ())
+            .unwrap();
+        }
+        // Wait until the worker picked the blocker up, then fill the queue.
+        while pool.queued() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(pool.try_execute(Box::new(|| {})).is_ok());
+        assert!(pool.try_execute(Box::new(|| {})).is_ok());
+        // Queue (depth 2) now full: the next job must be handed back.
+        assert!(pool.try_execute(Box::new(|| {})).is_err());
+        assert_eq!(pool.shed_total(), 1);
+        // Release and drain.
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn batch_helping_makes_progress_with_one_worker() {
+        // One worker, tiny queue: the batch job itself occupies the only
+        // worker, and its subtasks still complete via helping.
+        let pool = Arc::new(Pool::new(1, 1));
+        let results = Arc::new(Mutex::new(vec![false; 16]));
+        let done = Arc::new(AtomicUsize::new(0));
+        let (p2, r2, d2) = (Arc::clone(&pool), Arc::clone(&results), Arc::clone(&done));
+        let outcome = Arc::new(Mutex::new(None::<bool>));
+        let o2 = Arc::clone(&outcome);
+        pool.try_execute(Box::new(move || {
+            for i in 0..16 {
+                let (r3, d3) = (Arc::clone(&r2), Arc::clone(&d2));
+                p2.spawn_subtask(Box::new(move || {
+                    r3.lock().unwrap()[i] = true;
+                    d3.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            let d4 = Arc::clone(&d2);
+            p2.help_until(move || d4.load(Ordering::SeqCst) == 16);
+            *o2.lock().unwrap() = Some(r2.lock().unwrap().iter().all(|&b| b));
+        }))
+        .map_err(|_| ())
+        .unwrap();
+        // Spin until the batch reports.
+        for _ in 0..1000 {
+            if outcome.lock().unwrap().is_some() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(*outcome.lock().unwrap(), Some(true));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = Pool::new(2, 128);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.try_execute(Box::new(move || {
+                std::thread::sleep(Duration::from_micros(100));
+                c.fetch_add(1, Ordering::SeqCst);
+            }))
+            .map_err(|_| ())
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn rejects_after_shutdown_flag() {
+        let pool = Pool::new(1, 4);
+        {
+            let mut q = pool.shared.queues.lock().unwrap();
+            q.shutting_down = true;
+        }
+        assert!(pool.try_execute(Box::new(|| {})).is_err());
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,271 @@
+//! End-to-end tests driving a real `hc-serve` server over TCP sockets from
+//! multiple client threads: correctness under concurrency, cache behaviour
+//! observable via `/metrics`, load shedding under a burst, batch fan-out, and
+//! graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use hc_serve::{start, Config};
+
+/// Minimal HTTP/1.1 client for one request/response exchange.
+fn raw_request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let req = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write request");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read response");
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let (head, resp_body) = text.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    (status, head.to_string(), resp_body.to_string())
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String, String) {
+    raw_request(addr, "POST", target, body)
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+    raw_request(addr, "GET", target, "")
+}
+
+fn test_config() -> Config {
+    Config {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_depth: 32,
+        cache_entries: 64,
+        ..Config::default()
+    }
+}
+
+/// A small family of distinct matrices with library-computed expected reports.
+fn matrix(i: usize) -> String {
+    format!(
+        "task,m1,m2,m3\nt1,{},8.0,4.0\nt2,6.0,{},5.0\nt3,4.0,4.0,{}\n",
+        2.0 + i as f64,
+        3.0 + i as f64 * 0.5,
+        4.0 + i as f64 * 0.25,
+    )
+}
+
+/// What the server must answer for `matrix(i)`, computed via the library.
+fn expected_measure_json(i: usize) -> String {
+    let etc = hc_spec::csv::from_csv(&matrix(i)).unwrap();
+    let ecs = etc.to_ecs();
+    let w = hc_core::weights::Weights::uniform(ecs.num_tasks(), ecs.num_machines());
+    let opts = hc_core::standard::TmaOptions::default();
+    let r = hc_core::report::characterize_with(&ecs, &w, &opts).unwrap();
+    r.to_json(ecs.task_names(), ecs.machine_names())
+}
+
+#[test]
+fn concurrent_clients_get_correct_reports() {
+    let handle = start(test_config()).expect("start server");
+    let addr = handle.local_addr();
+
+    const CLIENTS: usize = 10;
+    std::thread::scope(|s| {
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                s.spawn(move || {
+                    let (status, _head, body) = post(addr, "/measure", &matrix(i));
+                    (i, status, body)
+                })
+            })
+            .collect();
+        for t in threads {
+            let (i, status, body) = t.join().expect("client thread");
+            assert_eq!(status, 200, "client {i}: {body}");
+            assert_eq!(body, expected_measure_json(i), "client {i}");
+        }
+    });
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn repeated_request_hits_cache_observable_in_metrics() {
+    let handle = start(test_config()).expect("start server");
+    let addr = handle.local_addr();
+    let m = matrix(0);
+
+    let (s1, head1, body1) = post(addr, "/measure", &m);
+    assert_eq!(s1, 200);
+    assert!(head1.contains("X-Cache: miss"), "{head1}");
+
+    let (s2, head2, body2) = post(addr, "/measure", &m);
+    assert_eq!(s2, 200);
+    assert!(head2.contains("X-Cache: hit"), "{head2}");
+    assert_eq!(body1, body2);
+
+    // Different options must NOT share the cached entry.
+    let (s3, head3, _b3) = post(addr, "/measure?zero-policy=limit", &m);
+    assert_eq!(s3, 200);
+    assert!(head3.contains("X-Cache: miss"), "{head3}");
+
+    let (sm, _hm, metrics) = get(addr, "/metrics");
+    assert_eq!(sm, 200);
+    assert!(
+        metrics.contains("\"cache_hits\":1"),
+        "measure endpoint should record exactly one cache hit: {metrics}"
+    );
+    assert!(metrics.contains("\"hits\":1"), "{metrics}");
+    assert!(metrics.contains("\"entries\":2"), "{metrics}");
+    assert!(metrics.contains("\"requests_total\":"), "{metrics}");
+    assert!(metrics.contains("le_"), "histogram buckets: {metrics}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn overload_burst_sheds_503_with_retry_after_then_recovers() {
+    let cfg = Config {
+        workers: 1,
+        queue_depth: 1,
+        ..test_config()
+    };
+    let handle = start(cfg).expect("start server");
+    let addr = handle.local_addr();
+
+    // Occupy the only worker...
+    let blocker = std::thread::spawn(move || get(addr, "/sleepz?ms=1500"));
+    std::thread::sleep(Duration::from_millis(300));
+    // ...fill the queue (depth 1)...
+    let queued = std::thread::spawn(move || post(addr, "/measure", &matrix(1)));
+    std::thread::sleep(Duration::from_millis(300));
+
+    // ...now every further connection must be shed, not buffered or crashed.
+    for attempt in 0..3 {
+        let (status, head, body) = post(addr, "/measure", &matrix(2));
+        assert_eq!(status, 503, "attempt {attempt}: {body}");
+        assert!(head.contains("Retry-After:"), "attempt {attempt}: {head}");
+        assert!(body.contains("overloaded"), "{body}");
+    }
+
+    // Once the worker frees up, the queued request and new ones succeed.
+    let (bs, _, bb) = blocker.join().expect("blocker thread");
+    assert_eq!(bs, 200, "{bb}");
+    let (qs, _, qb) = queued.join().expect("queued thread");
+    assert_eq!(qs, 200, "{qb}");
+    let (rs, _, rb) = post(addr, "/measure", &matrix(2));
+    assert_eq!(rs, 200, "after recovery: {rb}");
+    assert_eq!(rb, expected_measure_json(2));
+
+    assert!(handle.state().pool.shed_total() >= 3);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn batch_fans_out_and_warms_the_measure_cache() {
+    let handle = start(test_config()).expect("start server");
+    let addr = handle.local_addr();
+
+    let body = format!("{}---\n{}---\n{}", matrix(3), matrix(4), matrix(3));
+    let (status, _head, resp) = post(addr, "/batch", &body);
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains("\"count\":3"), "{resp}");
+    for i in [3, 4] {
+        assert!(
+            resp.contains(&expected_measure_json(i)),
+            "batch must embed the exact measure report for matrix {i}: {resp}"
+        );
+    }
+
+    // The duplicated part and later /measure calls reuse the cache.
+    let (s2, head2, _b2) = post(addr, "/measure", &matrix(4));
+    assert_eq!(s2, 200);
+    assert!(head2.contains("X-Cache: hit"), "{head2}");
+
+    // A batch with a broken part still answers 200 with a per-part error.
+    let mixed = format!("{}---\nnot,a\nvalid_matrix\n", matrix(5));
+    let (s3, _h3, b3) = post(addr, "/batch", &mixed);
+    assert_eq!(s3, 200, "{b3}");
+    assert!(b3.contains("\"error\":"), "{b3}");
+    assert!(b3.contains(&expected_measure_json(5)), "{b3}");
+
+    // Empty batches are a client error.
+    let (s4, _h4, _b4) = post(addr, "/batch", "---\n");
+    assert_eq!(s4, 400);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn other_endpoints_and_error_mapping() {
+    let handle = start(test_config()).expect("start server");
+    let addr = handle.local_addr();
+
+    let (s, _h, b) = post(addr, "/structure", &matrix(0));
+    assert_eq!(s, 200);
+    assert!(b.contains("\"has_total_support\":true"), "{b}");
+
+    let (s, h, b) = post(
+        addr,
+        "/generate?mode=targeted&tasks=6&machines=4&mph=0.7&tdh=0.6&tma=0.2&seed=3",
+        "",
+    );
+    assert_eq!(s, 200, "{b}");
+    assert!(h.contains("Content-Type: text/csv"), "{h}");
+    let (sm, _hm, mb) = post(addr, "/measure", &b);
+    assert_eq!(sm, 200);
+    assert!(mb.contains("\"mph\":0.7"), "{mb}");
+
+    let (s, _h, b) = post(addr, "/schedule?heuristic=min-min", &matrix(0));
+    assert_eq!(s, 200);
+    assert!(b.contains("\"Min-Min\":"), "{b}");
+    assert!(b.contains("\"assignment\":{"), "{b}");
+
+    let (s, _h, _b) = get(addr, "/healthz");
+    assert_eq!(s, 200);
+    let (s, _h, _b) = get(addr, "/no-such-endpoint");
+    assert_eq!(s, 404);
+    let (s, _h, _b) = get(addr, "/measure");
+    assert_eq!(s, 405);
+    let (s, _h, _b) = post(addr, "/measure", "not a matrix");
+    assert_eq!(s, 400);
+    let (s, _h, _b) = post(addr, "/measure?frobnicate=1", &matrix(0));
+    assert_eq!(s, 400);
+    let (s, _h, b) = post(addr, "/measure", "");
+    assert_eq!(s, 400);
+    assert!(b.contains("empty body"), "{b}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn quitquitquit_drains_gracefully() {
+    let handle = start(test_config()).expect("start server");
+    let addr = handle.local_addr();
+
+    let (s, _h, _b) = post(addr, "/measure", &matrix(6));
+    assert_eq!(s, 200);
+
+    let (s, _h, b) = get(addr, "/quitquitquit");
+    assert_eq!(s, 200);
+    assert!(b.contains("\"shutting_down\":true"), "{b}");
+
+    // join() returns only after the accept loop exited and the pool drained.
+    handle.join();
+
+    // The listener is gone: new connections are refused (or time out).
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}

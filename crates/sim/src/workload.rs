@@ -2,8 +2,7 @@
 //! types.
 
 use hc_core::error::MeasureError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hc_gen::rng::{Rng, StdRng};
 
 /// One task instance in the stream.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -17,8 +17,7 @@ use crate::names::{CFP_BENCHMARKS, CINT_BENCHMARKS, MACHINE_LABELS};
 use hc_core::ecs::{Ecs, Etc};
 use hc_core::error::MeasureError;
 use hc_gen::targeted::{targeted_with_marginals, TargetSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hc_gen::rng::{Rng, StdRng};
 
 /// The paper-reported measure values a dataset is calibrated to.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline release build, full test suite, and a live
+# smoke test of the `hcm serve` daemon (start, POST /measure, GET /metrics,
+# graceful shutdown). Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== serve smoke test =="
+HCM=./target/release/hcm
+LOG=$(mktemp)
+"$HCM" serve --addr 127.0.0.1:0 --workers 2 2>"$LOG" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+# The startup banner on stderr carries the bound (ephemeral) port.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#.*listening on http://##p' "$LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never announced its address"; cat "$LOG"; exit 1; }
+echo "serving on $ADDR"
+
+CSV='task,m1,m2
+t1,2.0,8.0
+t2,6.0,3.0'
+
+MEASURE_CODE=$(printf '%s' "$CSV" | curl -sS -o /tmp/verify-measure.json -w '%{http_code}' \
+    -X POST --data-binary @- "http://$ADDR/measure")
+[ "$MEASURE_CODE" = "200" ] || { echo "POST /measure returned $MEASURE_CODE"; exit 1; }
+grep -q '"mph":' /tmp/verify-measure.json || { echo "measure response lacks mph"; exit 1; }
+echo "POST /measure 200: $(cat /tmp/verify-measure.json)"
+
+METRICS_CODE=$(curl -sS -o /tmp/verify-metrics.json -w '%{http_code}' "http://$ADDR/metrics")
+[ "$METRICS_CODE" = "200" ] || { echo "GET /metrics returned $METRICS_CODE"; exit 1; }
+grep -q '"requests_total":' /tmp/verify-metrics.json || { echo "metrics response malformed"; exit 1; }
+echo "GET /metrics 200"
+
+curl -sS "http://$ADDR/quitquitquit" >/dev/null
+wait "$SERVE_PID"
+trap - EXIT
+echo "graceful shutdown OK"
+
+echo "== verify: all green =="
