@@ -19,11 +19,9 @@ fn bench_sweep_order(c: &mut Criterion) {
                 order,
                 ..Default::default()
             };
-            g.bench_with_input(
-                BenchmarkId::new(name, format!("{t}x{m}")),
-                &a,
-                |b, a| b.iter(|| black_box(standardize(a, &opts).unwrap())),
-            );
+            g.bench_with_input(BenchmarkId::new(name, format!("{t}x{m}")), &a, |b, a| {
+                b.iter(|| black_box(standardize(a, &opts).unwrap()))
+            });
         }
     }
     g.finish();
@@ -62,9 +60,7 @@ fn bench_regularized(c: &mut Criterion) {
             &m,
             |b, m| {
                 b.iter(|| {
-                    black_box(
-                        regularized_standard_form(m, 10f64.powi(-eps_exp), &opts).unwrap(),
-                    )
+                    black_box(regularized_standard_form(m, 10f64.powi(-eps_exp), &opts).unwrap())
                 })
             },
         );
@@ -72,5 +68,10 @@ fn bench_regularized(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(ablate_sinkhorn, bench_sweep_order, bench_tolerance, bench_regularized);
+criterion_group!(
+    ablate_sinkhorn,
+    bench_sweep_order,
+    bench_tolerance,
+    bench_regularized
+);
 criterion_main!(ablate_sinkhorn);

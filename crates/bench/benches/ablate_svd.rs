@@ -3,18 +3,20 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hc_bench::{dense_fixture, ABLATION_SIZES};
+use hc_linalg::eigen::power_iteration_sigma_max;
 use hc_linalg::par::par_jacobi_svd;
 use hc_linalg::svd::{golub_reinsch_svd, jacobi_svd, singular_values};
-use hc_linalg::eigen::power_iteration_sigma_max;
 use std::hint::black_box;
 
 fn bench_svd_algorithms(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate_svd/algorithms");
     for &(m, n) in &ABLATION_SIZES {
         let a = dense_fixture(m, n);
-        g.bench_with_input(BenchmarkId::new("jacobi", format!("{m}x{n}")), &a, |b, a| {
-            b.iter(|| black_box(jacobi_svd(a).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("jacobi", format!("{m}x{n}")),
+            &a,
+            |b, a| b.iter(|| black_box(jacobi_svd(a).unwrap())),
+        );
         g.bench_with_input(
             BenchmarkId::new("golub_reinsch", format!("{m}x{n}")),
             &a,

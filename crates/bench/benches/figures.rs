@@ -88,13 +88,6 @@ fn bench_fig8(c: &mut Criterion) {
 }
 
 criterion_group!(
-    figures,
-    bench_fig1,
-    bench_fig2,
-    bench_fig3,
-    bench_fig4,
-    bench_fig6,
-    bench_fig7,
-    bench_fig8
+    figures, bench_fig1, bench_fig2, bench_fig3, bench_fig4, bench_fig6, bench_fig7, bench_fig8
 );
 criterion_main!(figures);

@@ -63,5 +63,11 @@ fn bench_dm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(sec6, bench_structure_analysis, bench_matching, bench_eq10, bench_dm);
+criterion_group!(
+    sec6,
+    bench_structure_analysis,
+    bench_matching,
+    bench_eq10,
+    bench_dm
+);
 criterion_main!(sec6);

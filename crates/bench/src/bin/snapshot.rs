@@ -1,0 +1,83 @@
+//! `bench-snapshot` — dependency-free benchmark snapshot for CI trending.
+//!
+//! The Criterion suite needs registry crates, so it cannot run in the offline
+//! build. This binary re-times the two ablation pillars that matter for
+//! regression tracking — the full `characterize` pipeline (measure) and the
+//! Sinkhorn standardization at its heart — over [`hc_bench::ABLATION_SIZES`]
+//! with nothing but `std::time`, and prints one JSON document to stdout.
+//! `scripts/bench_snapshot.sh` redirects it into a dated `BENCH_<date>.json`.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use hc_bench::{dense_fixture, ecs_fixture, ABLATION_SIZES};
+use hc_core::report::characterize_with;
+use hc_core::standard::TmaOptions;
+use hc_core::weights::Weights;
+use hc_sinkhorn::balance::{balance, standard_targets};
+
+/// Samples per benchmark point; the median is reported so one scheduler
+/// hiccup cannot skew a snapshot.
+const RUNS: usize = 7;
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time_ns<F: FnMut()>(mut f: F) -> Vec<u128> {
+    f(); // warm-up, not recorded
+    (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect()
+}
+
+fn result_json(bench: &str, tasks: usize, machines: usize, samples: Vec<u128>) -> String {
+    let min = samples.iter().min().copied().unwrap_or(0);
+    let max = samples.iter().max().copied().unwrap_or(0);
+    let median = median_ns(samples);
+    format!(
+        "{{\"bench\":\"{bench}\",\"tasks\":{tasks},\"machines\":{machines},\
+         \"runs\":{RUNS},\"median_ns\":{median},\"min_ns\":{min},\"max_ns\":{max}}}"
+    )
+}
+
+fn main() {
+    let mut results = Vec::new();
+    for &(t, m) in &ABLATION_SIZES {
+        let ecs = ecs_fixture(t, m);
+        let w = Weights::uniform(t, m);
+        let opts = TmaOptions::default();
+        let samples = time_ns(|| {
+            let r = characterize_with(&ecs, &w, &opts).expect("fixture characterizes");
+            assert!(r.tma.is_finite());
+        });
+        results.push(result_json("measure.characterize", t, m, samples));
+
+        let a = dense_fixture(t, m);
+        let (rows, cols) = standard_targets(t, m);
+        let samples = time_ns(|| {
+            let out = balance(&a, &rows, &cols).expect("fixture balances");
+            assert!(out.iterations > 0);
+        });
+        results.push(result_json("sinkhorn.balance", t, m, samples));
+    }
+
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    println!(
+        "{{\"schema\":\"hc-bench-snapshot/v1\",\"unix_time\":{ts},\
+         \"profile\":\"{profile}\",\"results\":[\n  {}\n]}}",
+        results.join(",\n  ")
+    );
+}

@@ -82,16 +82,21 @@ impl Args {
         self.options.keys().map(String::as_str)
     }
 
-    /// Rejects any option not in `allowed`.
+    /// Rejects any option not in `allowed` or in [`GLOBAL_OPTIONS`].
     pub fn check_allowed(&self, allowed: &[&str]) -> Result<(), String> {
         for name in self.option_names() {
-            if !allowed.contains(&name) {
+            if !allowed.contains(&name) && !GLOBAL_OPTIONS.contains(&name) {
                 return Err(format!("unknown option --{name}"));
             }
         }
         Ok(())
     }
 }
+
+/// Options accepted by every subcommand: the observability flags
+/// (`--log-json <path>`, `--trace`, `--log-level <level>`), applied once by
+/// the binary before dispatch (see [`crate::obs::init_observability`]).
+pub const GLOBAL_OPTIONS: &[&str] = &["log-json", "trace", "log-level"];
 
 #[cfg(test)]
 mod tests {
@@ -143,5 +148,19 @@ mod tests {
         let a = parse(&s(&["--good", "1", "--bad", "2"]));
         assert!(a.check_allowed(&["good"]).is_err());
         assert!(a.check_allowed(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn global_options_allowed_everywhere() {
+        let a = parse(&s(&[
+            "--trace",
+            "--log-level",
+            "debug",
+            "--log-json",
+            "out.jsonl",
+        ]));
+        assert!(a.check_allowed(&[]).is_ok());
+        let b = parse(&s(&["--trace", "--tracee"]));
+        assert!(b.check_allowed(&[]).is_err());
     }
 }

@@ -181,9 +181,7 @@ fn cmd_generate(args: &Args) -> Result<String, String> {
         .ok_or_else(|| "generate needs a mode: targeted | range | cvb".to_string())?;
     let etc: Etc = match kind {
         "targeted" => {
-            args.check_allowed(&[
-                "tasks", "machines", "mph", "tdh", "tma", "seed", "jitter",
-            ])?;
+            args.check_allowed(&["tasks", "machines", "mph", "tdh", "tma", "seed", "jitter"])?;
             let spec = TargetSpec {
                 tasks: args.require("tasks")?,
                 machines: args.require("machines")?,
@@ -285,15 +283,12 @@ fn cmd_schedule(args: &Args, input: &dyn InputSource) -> Result<String, String> 
         let mk = s.makespan(&p).map_err(|e| e.to_string())?;
         out.push_str(&format!("{name:10} makespan = {mk:.4}\n"));
     }
-    if let Some((name, s)) = rows
-        .iter()
-        .min_by(|a, b| {
-            a.1.makespan(&p)
-                .unwrap_or(f64::INFINITY)
-                .partial_cmp(&b.1.makespan(&p).unwrap_or(f64::INFINITY))
-                .expect("finite")
-        })
-    {
+    if let Some((name, s)) = rows.iter().min_by(|a, b| {
+        a.1.makespan(&p)
+            .unwrap_or(f64::INFINITY)
+            .partial_cmp(&b.1.makespan(&p).unwrap_or(f64::INFINITY))
+            .expect("finite")
+    }) {
         out.push_str(&format!("\nbest: {name}\nassignment (task -> machine):\n"));
         for (i, &j) in s.assignment.iter().enumerate() {
             out.push_str(&format!(
@@ -503,8 +498,20 @@ mod tests {
     fn generate_targeted_round_trips() {
         let out = run(
             &[
-                "generate", "targeted", "--tasks", "6", "--machines", "4", "--mph", "0.7",
-                "--tdh", "0.6", "--tma", "0.2", "--seed", "3",
+                "generate",
+                "targeted",
+                "--tasks",
+                "6",
+                "--machines",
+                "4",
+                "--mph",
+                "0.7",
+                "--tdh",
+                "0.6",
+                "--tma",
+                "0.2",
+                "--seed",
+                "3",
             ],
             &[],
         )
@@ -519,16 +526,21 @@ mod tests {
     #[test]
     fn generate_range_and_cvb() {
         let r = run(
-            &["generate", "range", "--tasks", "4", "--machines", "3", "--seed", "1"],
+            &[
+                "generate",
+                "range",
+                "--tasks",
+                "4",
+                "--machines",
+                "3",
+                "--seed",
+                "1",
+            ],
             &[],
         )
         .unwrap();
         assert!(r.starts_with("task,m1,m2,m3"));
-        let c = run(
-            &["generate", "cvb", "--tasks", "4", "--machines", "3"],
-            &[],
-        )
-        .unwrap();
+        let c = run(&["generate", "cvb", "--tasks", "4", "--machines", "3"], &[]).unwrap();
         assert_eq!(c.lines().count(), 5);
         assert!(run(&["generate", "bogus"], &[]).is_err());
         assert!(run(&["generate", "range", "--tasks", "4"], &[]).is_err());
@@ -597,7 +609,12 @@ mod tests {
         assert!(out.contains("utilization"));
         let batch = run(
             &[
-                "simulate", "in.csv", "--tasks", "50", "--policy", "batch-min-min",
+                "simulate",
+                "in.csv",
+                "--tasks",
+                "50",
+                "--policy",
+                "batch-min-min",
             ],
             &[("in.csv", SAMPLE)],
         )

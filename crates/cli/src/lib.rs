@@ -23,6 +23,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod obs;
 pub mod serve;
 
 pub use commands::dispatch;
@@ -42,12 +43,17 @@ pub fn usage() -> &'static str {
     \x20                          sufferage|kpb=<pct>|duplex|ga|sa|tabu|optimal]\n\
     \x20 hcm whatif    <etc.csv> (--remove-machine J | --remove-task I) [--ecs]\n\
     \x20 hcm serve     [--addr 127.0.0.1:7878] [--workers N] [--queue-depth Q]\n\
-    \x20               [--cache-entries C] [--dry-run]\n\
+    \x20               [--cache-entries C] [--slow-ms MS] [--dry-run]\n\
     \x20 hcm help\n\n\
+     Global flags (every subcommand, place after the input file):\n\
+    \x20 --log-json <path>   write spans/events as JSON lines to <path>\n\
+    \x20 --trace             print a human-readable span tree on stderr\n\
+    \x20 --log-level <lvl>   error|warn|info|debug|trace (default info)\n\n\
      `hcm serve` runs an HTTP daemon exposing the analyses as POST /measure,\n\
      /structure, /generate, /schedule, and /batch (CSV bodies), with GET /metrics\n\
      for counters and latency histograms; requests beyond --queue-depth receive\n\
-     503 + Retry-After, and SIGINT or GET /quitquitquit drains gracefully.\n\n\
+     503 + Retry-After, requests slower than --slow-ms are logged, and SIGINT or\n\
+     GET /quitquitquit drains gracefully. Every response carries X-Request-Id.\n\n\
      Input files are CSV: header `task,<machine…>`, one row per task type, runtimes\n\
      as numbers, `inf` for incompatible pairs. Pass --ecs when the file already\n\
      holds speeds instead of runtimes.\n"

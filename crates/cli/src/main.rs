@@ -5,6 +5,12 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The global observability flags apply to every subcommand and must be
+    // live before any library code runs.
+    if let Err(e) = hc_cli::obs::init_observability(&hc_cli::args::parse(&args)) {
+        eprintln!("hcm: {e}");
+        return ExitCode::FAILURE;
+    }
     // `serve` blocks on a socket until shutdown, so it bypasses the pure
     // dispatch path every other subcommand uses.
     if args.first().map(String::as_str) == Some("serve") {

@@ -1,0 +1,69 @@
+//! The global observability flags, applied once by the binary before any
+//! subcommand runs.
+//!
+//! Every subcommand accepts `--log-json <path>` (machine-readable JSON-lines
+//! spans/events to a file), `--trace` (human-readable span tree on stderr),
+//! and `--log-level <error|warn|info|debug|trace>`. With no sink installed the
+//! library's span instrumentation stays disarmed and effectively free, so
+//! these flags are strictly opt-in.
+
+use crate::args::Args;
+
+/// Applies `--log-json`, `--trace`, and `--log-level` from parsed arguments.
+///
+/// Flag parsing errors (bad level name, missing/uncreatable log path) are
+/// returned as CLI-style messages; with none of the flags present this is a
+/// no-op and no sink is installed.
+pub fn init_observability(args: &Args) -> Result<(), String> {
+    match args.get("log-level") {
+        Some(raw) => {
+            let level: hc_obs::Level = raw.parse().map_err(|e| format!("--log-level: {e}"))?;
+            hc_obs::set_level(level);
+        }
+        None if args.has("log-level") => {
+            return Err("--log-level needs a value: error|warn|info|debug|trace".to_string());
+        }
+        None => {}
+    }
+    if args.has("trace") {
+        hc_obs::install_trace_sink();
+    }
+    match args.get("log-json") {
+        Some(path) => {
+            hc_obs::install_json_sink(path).map_err(|e| format!("--log-json {path}: {e}"))?;
+        }
+        None if args.has("log-json") => {
+            return Err("--log-json needs a file path".to_string());
+        }
+        None => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn a(argv: &[&str]) -> Args {
+        parse(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn no_flags_is_a_noop() {
+        assert!(init_observability(&a(&["measure", "in.csv"])).is_ok());
+    }
+
+    #[test]
+    fn bad_values_reported_as_flag_errors() {
+        let err = init_observability(&a(&["--log-level", "shouting"])).unwrap_err();
+        assert!(err.contains("--log-level"), "{err}");
+        let err = init_observability(&a(&["--log-level"])).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let err = init_observability(&a(&["--log-json"])).unwrap_err();
+        assert!(err.contains("file path"), "{err}");
+        let err =
+            init_observability(&a(&["--log-json", "/nonexistent-dir/x/y.jsonl"])).unwrap_err();
+        assert!(err.contains("--log-json"), "{err}");
+    }
+}

@@ -23,7 +23,14 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
             args.positional(1).unwrap_or_default()
         ));
     }
-    args.check_allowed(&["addr", "workers", "queue-depth", "cache-entries", "dry-run"])?;
+    args.check_allowed(&[
+        "addr",
+        "workers",
+        "queue-depth",
+        "cache-entries",
+        "slow-ms",
+        "dry-run",
+    ])?;
 
     let mut cfg = Config::default();
     if let Some(addr) = args.get("addr") {
@@ -48,6 +55,7 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
         return Err("--queue-depth must be at least 1".to_string());
     }
     cfg.cache_entries = args.get_or("cache-entries", cfg.cache_entries)?;
+    cfg.slow_ms = args.get_or("slow-ms", cfg.slow_ms)?;
     Ok((cfg, args.has("dry-run")))
 }
 
@@ -59,8 +67,18 @@ pub fn describe(cfg: &Config) -> String {
         \x20 workers        {}\n\
         \x20 queue-depth    {}\n\
         \x20 cache-entries  {}\n\
-        \x20 max-body-bytes {}\n",
-        cfg.addr, cfg.workers, cfg.queue_depth, cfg.cache_entries, cfg.max_body_bytes
+        \x20 max-body-bytes {}\n\
+        \x20 slow-ms        {}\n",
+        cfg.addr,
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.cache_entries,
+        cfg.max_body_bytes,
+        if cfg.slow_ms == 0 {
+            "off".to_string()
+        } else {
+            cfg.slow_ms.to_string()
+        },
     )
 }
 
@@ -102,6 +120,15 @@ mod tests {
     }
 
     #[test]
+    fn slow_ms_flag() {
+        let (cfg, _) = cfg_of(&["serve"]).unwrap();
+        assert_eq!(cfg.slow_ms, 0);
+        let (cfg, _) = cfg_of(&["serve", "--slow-ms", "250"]).unwrap();
+        assert_eq!(cfg.slow_ms, 250);
+        assert!(cfg_of(&["serve", "--slow-ms", "soon"]).is_err());
+    }
+
+    #[test]
     fn rejects_bad_values() {
         assert!(cfg_of(&["serve", "--workers", "0"]).is_err());
         assert!(cfg_of(&["serve", "--queue-depth", "0"]).is_err());
@@ -119,5 +146,6 @@ mod tests {
         assert!(d.contains("addr"));
         assert!(d.contains("queue-depth"));
         assert!(d.contains("cache-entries"));
+        assert!(d.contains("slow-ms        off"), "{d}");
     }
 }

@@ -113,10 +113,7 @@ fn serve_smoke_over_real_process() {
         .expect("spawn hcm serve");
     let stderr = child.stderr.take().expect("stderr piped");
     let mut lines = BufReader::new(stderr).lines();
-    let banner = lines
-        .next()
-        .expect("banner line")
-        .expect("banner readable");
+    let banner = lines.next().expect("banner line").expect("banner readable");
     let addr = banner
         .split("http://")
         .nth(1)
@@ -164,8 +161,20 @@ fn generate_schedule_simulate_pipeline() {
     let path = dir.join("gen.csv");
 
     let (ok, csv, _) = hcm(&[
-        "generate", "targeted", "--tasks", "8", "--machines", "4", "--mph", "0.7", "--tdh",
-        "0.6", "--tma", "0.2", "--seed", "5",
+        "generate",
+        "targeted",
+        "--tasks",
+        "8",
+        "--machines",
+        "4",
+        "--mph",
+        "0.7",
+        "--tdh",
+        "0.6",
+        "--tma",
+        "0.2",
+        "--seed",
+        "5",
     ]);
     assert!(ok);
     std::fs::write(&path, &csv).unwrap();

@@ -92,12 +92,7 @@ mod tests {
 
     fn env() -> Ecs {
         Ecs::with_names(
-            Matrix::from_rows(&[
-                &[5.0, 1.0, 3.0],
-                &[1.0, 0.5, 0.5],
-                &[2.0, 2.0, 2.0],
-            ])
-            .unwrap(),
+            Matrix::from_rows(&[&[5.0, 1.0, 3.0], &[1.0, 0.5, 0.5], &[2.0, 2.0, 2.0]]).unwrap(),
             vec!["hard?".into(), "hardest".into(), "middling".into()],
             vec!["fast".into(), "slow".into(), "mid".into()],
         )

@@ -135,7 +135,9 @@ impl Etc {
 
     /// Converts to the ECS representation (Eq. 1): `ECS = 1/ETC`, `∞ ↦ 0`.
     pub fn to_ecs(&self) -> Ecs {
-        let m = self.matrix.map(|v| if v.is_infinite() { 0.0 } else { 1.0 / v });
+        let m = self
+            .matrix
+            .map(|v| if v.is_infinite() { 0.0 } else { 1.0 / v });
         Ecs {
             matrix: m,
             task_names: self.task_names.clone(),
@@ -250,11 +252,7 @@ impl Ecs {
 
     /// Returns a new environment restricted to the given task and machine indices
     /// (used by what-if studies and the Fig. 8 submatrix extraction).
-    pub fn subenvironment(
-        &self,
-        tasks: &[usize],
-        machines: &[usize],
-    ) -> Result<Ecs, MeasureError> {
+    pub fn subenvironment(&self, tasks: &[usize], machines: &[usize]) -> Result<Ecs, MeasureError> {
         let sub = self.matrix.submatrix(tasks, machines)?;
         let tn = tasks.iter().map(|&i| self.task_names[i].clone()).collect();
         let mn = machines
@@ -271,10 +269,8 @@ mod tests {
 
     #[test]
     fn etc_ecs_round_trip() {
-        let etc = Etc::new(
-            Matrix::from_rows(&[&[2.0, 4.0], &[0.5, f64::INFINITY]]).unwrap(),
-        )
-        .unwrap();
+        let etc =
+            Etc::new(Matrix::from_rows(&[&[2.0, 4.0], &[0.5, f64::INFINITY]]).unwrap()).unwrap();
         let ecs = etc.to_ecs();
         assert_eq!(ecs.get(0, 0), 0.5);
         assert_eq!(ecs.get(0, 1), 0.25);
@@ -329,8 +325,12 @@ mod tests {
     #[test]
     fn label_mismatch_rejected() {
         let m = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
-        assert!(Ecs::with_names(m, vec!["a".into(), "b".into()], vec!["x".into(), "y".into()])
-            .is_err());
+        assert!(Ecs::with_names(
+            m,
+            vec!["a".into(), "b".into()],
+            vec!["x".into(), "y".into()]
+        )
+        .is_err());
     }
 
     #[test]

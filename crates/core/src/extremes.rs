@@ -36,23 +36,13 @@ pub fn figure2_environments() -> [(&'static str, [f64; 5]); 4] {
 /// Figure 3(a): identical columns — completely homogeneous machines (MPH = 1) and
 /// no task-machine affinity (TMA = 0, all column angles 0).
 pub fn figure3a() -> Ecs {
-    Ecs::from_rows(&[
-        &[4.0, 4.0, 4.0],
-        &[2.0, 2.0, 2.0],
-        &[6.0, 6.0, 6.0],
-    ])
-    .expect("static matrix")
+    Ecs::from_rows(&[&[4.0, 4.0, 4.0], &[2.0, 2.0, 2.0], &[6.0, 6.0, 6.0]]).expect("static matrix")
 }
 
 /// Figure 3(b): equal column sums (MPH = 1) but cyclically shifted columns, so
 /// machines are specialized and TMA > 0.
 pub fn figure3b() -> Ecs {
-    Ecs::from_rows(&[
-        &[6.0, 2.0, 4.0],
-        &[2.0, 4.0, 6.0],
-        &[4.0, 6.0, 2.0],
-    ])
-    .expect("static matrix")
+    Ecs::from_rows(&[&[6.0, 2.0, 4.0], &[2.0, 4.0, 6.0], &[4.0, 6.0, 2.0]]).expect("static matrix")
 }
 
 /// Identifier for the Figure 4 example matrices.

@@ -154,12 +154,38 @@ pub fn characterize_with(
     weights: &Weights,
     opts: &TmaOptions,
 ) -> Result<MeasureReport, MeasureError> {
+    let mut obs = hc_obs::span("core.characterize");
     let mp = machine_performances(ecs, weights)?;
     let td = task_difficulties(ecs, weights)?;
     let mph = mph_weighted(ecs, weights)?;
     let tdh = tdh_weighted(ecs, weights)?;
-    let sf = standard_form(ecs, opts)?;
-    let tma = tma_from_standard_form(&sf, opts.svd)?;
+    let sf = {
+        let mut s = hc_obs::span("measure.standardize");
+        let sf = standard_form(ecs, opts)?;
+        if s.armed() {
+            s.field_u64("iterations", sf.iterations as u64);
+            s.field_f64("residual", sf.residual);
+            s.field_bool("regularized", sf.regularized);
+            s.field_bool("reduced_to_core", sf.reduced_to_core);
+        }
+        sf
+    };
+    let tma = {
+        let mut s = hc_obs::span("measure.svd");
+        let tma = tma_from_standard_form(&sf, opts.svd)?;
+        if s.armed() {
+            s.field_f64("tma", tma);
+        }
+        tma
+    };
+    hc_obs::obs_counter!("core_characterize_total").inc();
+    if obs.armed() {
+        obs.field_u64("tasks", ecs.num_tasks() as u64);
+        obs.field_u64("machines", ecs.num_machines() as u64);
+        obs.field_f64("mph", mph);
+        obs.field_f64("tdh", tdh);
+        obs.field_f64("tma", tma);
+    }
     Ok(MeasureReport {
         mph,
         tdh,

@@ -126,12 +126,7 @@ mod tests {
         // along "scale one whole row (or column) relatively" vanishes — i.e. the
         // per-entry elasticities sum to ~0 across every row and every column.
         // This is the sharp structural property the sensitivity report must obey.
-        let e = Ecs::from_rows(&[
-            &[1.0, 1.1, 0.2],
-            &[1.1, 1.0, 0.2],
-            &[0.3, 0.3, 9.0],
-        ])
-        .unwrap();
+        let e = Ecs::from_rows(&[&[1.0, 1.1, 0.2], &[1.1, 1.0, 0.2], &[0.3, 0.3, 9.0]]).unwrap();
         let s = sensitivities(&e, &TmaOptions::default(), 1e-4).unwrap();
         for i in 0..3 {
             let row_sum: f64 = (0..3).map(|j| s.tma[(i, j)]).sum();
@@ -157,7 +152,11 @@ mod tests {
         let e = Ecs::from_rows(&[&[1.0, 4.0], &[1.0, 4.0]]).unwrap();
         let s = sensitivities(&e, &TmaOptions::default(), 1e-4).unwrap();
         assert!(s.mph[(0, 0)] > 0.0, "weak machine entry: {}", s.mph[(0, 0)]);
-        assert!(s.mph[(0, 1)] < 0.0, "strong machine entry: {}", s.mph[(0, 1)]);
+        assert!(
+            s.mph[(0, 1)] < 0.0,
+            "strong machine entry: {}",
+            s.mph[(0, 1)]
+        );
     }
 
     #[test]

@@ -283,7 +283,12 @@ mod tests {
 
     #[test]
     fn theorem2_sigma1_is_one() {
-        let e = ecs(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0], &[2.0, 9.0, 1.0]]);
+        let e = ecs(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 10.0],
+            &[2.0, 9.0, 1.0],
+        ]);
         let sf = standard_form(&e, &TmaOptions::default()).unwrap();
         let s = svd_with(&sf.matrix, SvdAlgorithm::Jacobi).unwrap();
         assert!((s.singular_values[0] - 1.0).abs() < 1e-6);

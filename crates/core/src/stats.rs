@@ -234,13 +234,7 @@ mod tests {
     #[test]
     fn ensemble_summaries() {
         let envs: Vec<Ecs> = (0..4)
-            .map(|k| {
-                Ecs::from_rows(&[
-                    &[1.0 + k as f64, 2.0],
-                    &[3.0, 4.0 + k as f64],
-                ])
-                .unwrap()
-            })
+            .map(|k| Ecs::from_rows(&[&[1.0 + k as f64, 2.0], &[3.0, 4.0 + k as f64]]).unwrap())
             .collect();
         let reports = characterize_ensemble(&envs).unwrap();
         let (mph, tdh, tma) = measure_summaries(&reports).unwrap();

@@ -181,12 +181,7 @@ mod tests {
     fn remove_only_specialized_machine_zeroes_tma() {
         // Machines 1 and 2 are proportional; machine 3 is the only specialized
         // one. Removing it leaves a rank-1 environment: TMA drops to 0.
-        let e = Ecs::from_rows(&[
-            &[1.0, 2.0, 9.0],
-            &[2.0, 4.0, 0.5],
-            &[3.0, 6.0, 0.5],
-        ])
-        .unwrap();
+        let e = Ecs::from_rows(&[&[1.0, 2.0, 9.0], &[2.0, 4.0, 0.5], &[3.0, 6.0, 0.5]]).unwrap();
         let w = remove_machine(&e, 2).unwrap();
         assert!(w.before.tma > 0.05);
         assert!(w.after.tma < 1e-7, "after TMA = {}", w.after.tma);

@@ -94,7 +94,10 @@ pub fn make_consistent(etc: &Matrix) -> Matrix {
 
 /// Makes a **partially consistent** matrix: sorts each row only within the given
 /// column subset (the classic "consistent submatrix" construction).
-pub fn make_partially_consistent(etc: &Matrix, consistent_cols: &[usize]) -> Result<Matrix, MeasureError> {
+pub fn make_partially_consistent(
+    etc: &Matrix,
+    consistent_cols: &[usize],
+) -> Result<Matrix, MeasureError> {
     for &j in consistent_cols {
         if j >= etc.cols() {
             return Err(MeasureError::InvalidEnvironment {

@@ -47,7 +47,10 @@ pub fn cvb(params: &CvbParams, seed: u64) -> Result<Etc, MeasureError> {
             reason: "cvb requires at least one task and one machine".into(),
         });
     }
-    if (params.mean_task <= 0.0 || params.mean_task.is_nan()) || (params.v_task <= 0.0 || params.v_task.is_nan()) || (params.v_mach <= 0.0 || params.v_mach.is_nan()) {
+    if (params.mean_task <= 0.0 || params.mean_task.is_nan())
+        || (params.v_task <= 0.0 || params.v_task.is_nan())
+        || (params.v_mach <= 0.0 || params.v_mach.is_nan())
+    {
         return Err(MeasureError::InvalidEnvironment {
             reason: "cvb parameters must be positive".into(),
         });
@@ -88,16 +91,18 @@ mod tests {
         let n = 24;
         let avg_tdh = |v_task: f64| -> f64 {
             (0..n)
-                .map(|s| tdh(&cvb(&CvbParams::new(10, 6, v_task, 0.1), s).unwrap().to_ecs()).unwrap())
+                .map(|s| {
+                    tdh(&cvb(&CvbParams::new(10, 6, v_task, 0.1), s)
+                        .unwrap()
+                        .to_ecs())
+                    .unwrap()
+                })
                 .sum::<f64>()
                 / n as f64
         };
         let low = avg_tdh(0.1);
         let high = avg_tdh(1.0);
-        assert!(
-            high < low,
-            "higher V_task must lower TDH: {high} vs {low}"
-        );
+        assert!(high < low, "higher V_task must lower TDH: {high} vs {low}");
     }
 
     #[test]
@@ -107,7 +112,9 @@ mod tests {
         let n = 16;
         let avg_tma = |v_mach: f64| -> f64 {
             (0..n)
-                .map(|s| tma(&cvb(&CvbParams::new(8, 5, 0.3, v_mach), s).unwrap().to_ecs()).unwrap())
+                .map(|s| {
+                    tma(&cvb(&CvbParams::new(8, 5, 0.3, v_mach), s).unwrap().to_ecs()).unwrap()
+                })
                 .sum::<f64>()
                 / n as f64
         };
@@ -122,7 +129,12 @@ mod tests {
         let n = 24;
         let avg_mph = |v_mach: f64| -> f64 {
             (0..n)
-                .map(|s| mph(&cvb(&CvbParams::new(10, 6, 0.2, v_mach), s).unwrap().to_ecs()).unwrap())
+                .map(|s| {
+                    mph(&cvb(&CvbParams::new(10, 6, 0.2, v_mach), s)
+                        .unwrap()
+                        .to_ecs())
+                    .unwrap()
+                })
                 .sum::<f64>()
                 / n as f64
         };

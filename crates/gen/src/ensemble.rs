@@ -47,12 +47,7 @@ pub fn targeted_ensemble(
 
 /// A grid of targeted specs spanning the (MPH, TDH, TMA) cube with `steps`
 /// values per axis (endpoints included), for heterogeneity-sweep studies.
-pub fn measure_grid(
-    tasks: usize,
-    machines: usize,
-    steps: usize,
-    tma_max: f64,
-) -> Vec<TargetSpec> {
+pub fn measure_grid(tasks: usize, machines: usize, steps: usize, tma_max: f64) -> Vec<TargetSpec> {
     assert!(steps >= 2, "grid needs at least 2 steps per axis");
     let axis = |lo: f64, hi: f64| -> Vec<f64> {
         (0..steps)
@@ -84,12 +79,13 @@ mod tests {
             assert_eq!(x.as_ref().unwrap().matrix(), y.as_ref().unwrap().matrix());
         }
         // Ensemble members differ.
-        assert!(a[0]
-            .as_ref()
-            .unwrap()
-            .matrix()
-            .max_abs_diff(a[1].as_ref().unwrap().matrix())
-            > 0.0);
+        assert!(
+            a[0].as_ref()
+                .unwrap()
+                .matrix()
+                .max_abs_diff(a[1].as_ref().unwrap().matrix())
+                > 0.0
+        );
     }
 
     #[test]
@@ -118,8 +114,12 @@ mod tests {
     fn grid_covers_cube() {
         let g = measure_grid(4, 4, 3, 0.8);
         assert_eq!(g.len(), 27);
-        assert!(g.iter().any(|s| s.mph == 0.1 && s.tdh == 0.1 && s.tma == 0.0));
-        assert!(g.iter().any(|s| s.mph == 1.0 && s.tdh == 1.0 && (s.tma - 0.8).abs() < 1e-12));
+        assert!(g
+            .iter()
+            .any(|s| s.mph == 0.1 && s.tdh == 0.1 && s.tma == 0.0));
+        assert!(g
+            .iter()
+            .any(|s| s.mph == 1.0 && s.tdh == 1.0 && (s.tma - 0.8).abs() < 1e-12));
     }
 
     #[test]

@@ -117,12 +117,7 @@ fn random_anchor(t: usize, m: usize, seed: u64) -> Result<Matrix, MeasureError> 
 
 /// Bisects `t ∈ [0, 1]` on the segment `(1−t)·a + t·b` until the balanced blend's
 /// TMA is within `tol` of `target`. Requires `tma(a) ≤ target ≤ tma(b)`.
-fn bisect_blend(
-    a: &Matrix,
-    b: &Matrix,
-    target: f64,
-    tol: f64,
-) -> Result<Matrix, MeasureError> {
+fn bisect_blend(a: &Matrix, b: &Matrix, target: f64, tol: f64) -> Result<Matrix, MeasureError> {
     let blend = |t: f64| -> Matrix {
         Matrix::from_fn(a.rows(), a.cols(), |i, j| {
             (1.0 - t) * a[(i, j)] + t * b[(i, j)]
@@ -272,6 +267,15 @@ fn balanced_with_tma(spec: &TargetSpec, seed: u64) -> Result<Matrix, MeasureErro
 /// assert!((tdh(&e).unwrap() - 0.6).abs() < 1e-6);
 /// ```
 pub fn targeted(spec: &TargetSpec, seed: u64) -> Result<Ecs, MeasureError> {
+    let mut obs = hc_obs::span("gen.targeted");
+    hc_obs::obs_counter!("gen_targeted_total").inc();
+    if obs.armed() {
+        obs.field_u64("tasks", spec.tasks as u64);
+        obs.field_u64("machines", spec.machines as u64);
+        obs.field_f64("mph", spec.mph);
+        obs.field_f64("tdh", spec.tdh);
+        obs.field_f64("tma", spec.tma);
+    }
     let balanced = balanced_with_tma(spec, seed)?;
     // Impose the MPH/TDH marginals (TMA is invariant under this step).
     let total = ((spec.tasks * spec.machines) as f64).sqrt();
@@ -377,7 +381,10 @@ mod tests {
         };
         let a = targeted(&spec, 1).unwrap();
         let b = targeted(&spec, 2).unwrap();
-        assert!(a.matrix().max_abs_diff(b.matrix()) > 1e-6, "seeds must differ");
+        assert!(
+            a.matrix().max_abs_diff(b.matrix()) > 1e-6,
+            "seeds must differ"
+        );
         assert_targets(&a, 0.75, 0.65, 0.2, 1e-5);
         assert_targets(&b, 0.75, 0.65, 0.2, 1e-5);
         // Same seed → identical.

@@ -82,7 +82,9 @@ fn apply_right(a: &mut Matrix, h: &Householder, row0: usize, col0: usize) {
 pub fn bidiagonalize(a: &Matrix) -> Result<Bidiag> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
-        return Err(LinAlgError::Empty { op: "bidiagonalize" });
+        return Err(LinAlgError::Empty {
+            op: "bidiagonalize",
+        });
     }
     if m < n {
         return Err(LinAlgError::ShapeMismatch {
@@ -171,7 +173,9 @@ mod tests {
 
     #[test]
     fn square_3x3() {
-        check(&Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[2.0, 5.0, 3.0], &[-1.0, 2.0, 6.0]]).unwrap());
+        check(
+            &Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[2.0, 5.0, 3.0], &[-1.0, 2.0, 6.0]]).unwrap(),
+        );
     }
 
     #[test]

@@ -183,12 +183,8 @@ mod tests {
 
     #[test]
     fn reconstruction_and_orthogonality() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -1.0],
-            &[0.5, -1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.5, -1.0, 2.0]]).unwrap();
         let e = sym_eigen(&a, 0.0).unwrap();
         let qt = e.vectors.transpose();
         let lam = Matrix::from_diag(&e.values);
@@ -212,7 +208,9 @@ mod tests {
 
     #[test]
     fn power_iteration_matches_svd() {
-        let a = Matrix::from_fn(7, 4, |i, j| ((i * 13 + j * 29 + 1) % 17) as f64 / 17.0 + 0.1);
+        let a = Matrix::from_fn(7, 4, |i, j| {
+            ((i * 13 + j * 29 + 1) % 17) as f64 / 17.0 + 0.1
+        });
         let s = crate::svd::svd(&a).unwrap();
         let p = power_iteration_sigma_max(&a, 5000, 1e-13);
         assert!((s.singular_values[0] - p).abs() < 1e-8 * p);
@@ -220,7 +218,10 @@ mod tests {
 
     #[test]
     fn power_iteration_zero_matrix() {
-        assert_eq!(power_iteration_sigma_max(&Matrix::zeros(3, 3), 100, 1e-10), 0.0);
+        assert_eq!(
+            power_iteration_sigma_max(&Matrix::zeros(3, 3), 100, 1e-10),
+            0.0
+        );
     }
 
     #[test]

@@ -182,12 +182,8 @@ mod tests {
 
     #[test]
     fn inverse_round_trip() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 2.0],
-            &[2.0, 5.0, -1.0],
-            &[1.0, -2.0, 6.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, 2.0], &[2.0, 5.0, -1.0], &[1.0, -2.0, 6.0]]).unwrap();
         let inv = lu(&a).unwrap().inverse().unwrap();
         let prod = matmul_naive(&a, &inv).unwrap();
         assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-12);

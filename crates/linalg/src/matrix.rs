@@ -437,13 +437,17 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        Ok(Matrix::from_fn(self.rows, self.cols + other.cols, |i, j| {
-            if j < self.cols {
-                self[(i, j)]
-            } else {
-                other[(i, j - self.cols)]
-            }
-        }))
+        Ok(Matrix::from_fn(
+            self.rows,
+            self.cols + other.cols,
+            |i, j| {
+                if j < self.cols {
+                    self[(i, j)]
+                } else {
+                    other[(i, j - self.cols)]
+                }
+            },
+        ))
     }
 
     /// Vertical concatenation `[self; other]`.
@@ -455,13 +459,17 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        Ok(Matrix::from_fn(self.rows + other.rows, self.cols, |i, j| {
-            if i < self.rows {
-                self[(i, j)]
-            } else {
-                other[(i - self.rows, j)]
-            }
-        }))
+        Ok(Matrix::from_fn(
+            self.rows + other.rows,
+            self.cols,
+            |i, j| {
+                if i < self.rows {
+                    self[(i, j)]
+                } else {
+                    other[(i - self.rows, j)]
+                }
+            },
+        ))
     }
 
     /// Kronecker product `self ⊗ other`.
@@ -826,11 +834,17 @@ mod tests {
         // Mixed-product spot check: (A ⊗ B)(x ⊗ y) = (Ax) ⊗ (By) for vectors.
         let x = [2.0, -1.0];
         let y = [1.0, 3.0];
-        let xy: Vec<f64> = x.iter().flat_map(|&xi| y.iter().map(move |&yi| xi * yi)).collect();
+        let xy: Vec<f64> = x
+            .iter()
+            .flat_map(|&xi| y.iter().map(move |&yi| xi * yi))
+            .collect();
         let lhs = k.matvec(&xy).unwrap();
         let ax = a.matvec(&x).unwrap();
         let by = b.matvec(&y).unwrap();
-        let rhs: Vec<f64> = ax.iter().flat_map(|&p| by.iter().map(move |&q| p * q)).collect();
+        let rhs: Vec<f64> = ax
+            .iter()
+            .flat_map(|&p| by.iter().map(move |&q| p * q))
+            .collect();
         for (l, r) in lhs.iter().zip(&rhs) {
             assert!((l - r).abs() < 1e-12);
         }

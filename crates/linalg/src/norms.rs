@@ -17,9 +17,7 @@ pub fn one_norm(m: &Matrix) -> f64 {
 
 /// Induced ∞-norm: maximum absolute row sum.
 pub fn inf_norm(m: &Matrix) -> f64 {
-    m.row_iter()
-        .map(vecops::norm1)
-        .fold(0.0_f64, f64::max)
+    m.row_iter().map(vecops::norm1).fold(0.0_f64, f64::max)
 }
 
 /// Largest absolute entry (the max norm).

@@ -186,7 +186,9 @@ fn tournament_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
 /// rotation within degenerate subspaces.
 pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
     if a.is_empty() {
-        return Err(LinAlgError::Empty { op: "par_jacobi_svd" });
+        return Err(LinAlgError::Empty {
+            op: "par_jacobi_svd",
+        });
     }
     a.check_finite("par_jacobi_svd")?;
     if a.rows() < a.cols() {

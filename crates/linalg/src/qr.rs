@@ -144,8 +144,8 @@ mod tests {
 
     #[test]
     fn square_factorization() {
-        let a = Matrix::from_rows(&[&[4.0, 1.0, 2.0], &[2.0, 3.0, -1.0], &[1.0, -2.0, 5.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, 2.0], &[2.0, 3.0, -1.0], &[1.0, -2.0, 5.0]]).unwrap();
         let f = qr(&a).unwrap();
         assert!(reconstruct(&f).max_abs_diff(&a) < 1e-12);
         assert_orthonormal_cols(&f.q, 1e-12);

@@ -179,6 +179,7 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
         });
     }
     let (m, n) = a.shape();
+    let mut obs = hc_obs::span("linalg.svd.jacobi");
     let mut w = a.clone();
     let mut v = Matrix::identity(n);
     let eps = f64::EPSILON;
@@ -246,12 +247,24 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
         // One final orthogonality audit: accept if the worst residual is tiny.
         let worst = worst_column_correlation(&w, zero_guard);
         if worst > 1e-10 {
+            hc_obs::obs_counter!("linalg_svd_noconvergence_total").inc();
             return Err(LinAlgError::NoConvergence {
                 algorithm: "jacobi-svd",
                 iterations: sweeps,
                 residual: worst,
             });
         }
+    }
+    hc_obs::obs_counter!("linalg_svd_jacobi_total").inc();
+    hc_obs::obs_counter!("linalg_svd_jacobi_sweeps_total").add(sweeps as u64);
+    hc_obs::obs_histogram!("linalg_svd_jacobi_sweeps").observe(sweeps as u64);
+    if obs.armed() {
+        obs.field_u64("rows", m as u64);
+        obs.field_u64("cols", n as u64);
+        obs.field_u64("sweeps", sweeps as u64);
+        // The orthogonality residual that remains after the final sweep — the
+        // "how converged is it really" number. Only recomputed for the sink.
+        obs.field_f64("off_diag_worst", worst_column_correlation(&w, zero_guard));
     }
 
     let mut sigma = Vec::with_capacity(n);
@@ -311,6 +324,8 @@ pub fn golub_reinsch_svd(a: &Matrix) -> Result<Svd> {
             v: t.u,
         });
     }
+    let mut obs = hc_obs::span("linalg.svd.golub_reinsch");
+    let mut total_iters = 0usize;
     let bd = bidiagonalize(a)?;
     let n = bd.d.len();
     let mut d = bd.d;
@@ -334,6 +349,7 @@ pub fn golub_reinsch_svd(a: &Matrix) -> Result<Svd> {
         let mut its = 0;
         loop {
             its += 1;
+            total_iters += 1;
             // Split test: find l such that rv1[l] is negligible (l == 0 always
             // qualifies since rv1[0] == 0), or d[l-1] is negligible (cancellation).
             let mut l = k;
@@ -382,6 +398,7 @@ pub fn golub_reinsch_svd(a: &Matrix) -> Result<Svd> {
                 break;
             }
             if its > GR_MAX_ITERS {
+                hc_obs::obs_counter!("linalg_svd_noconvergence_total").inc();
                 return Err(LinAlgError::NoConvergence {
                     algorithm: "golub-reinsch-svd",
                     iterations: its,
@@ -434,6 +451,21 @@ pub fn golub_reinsch_svd(a: &Matrix) -> Result<Svd> {
             rv1[k] = f;
             d[k] = x;
         }
+    }
+
+    hc_obs::obs_counter!("linalg_svd_gr_total").inc();
+    hc_obs::obs_counter!("linalg_svd_gr_iterations_total").add(total_iters as u64);
+    hc_obs::obs_histogram!("linalg_svd_gr_iterations").observe(total_iters as u64);
+    if obs.armed() {
+        obs.field_u64("rows", a.rows() as u64);
+        obs.field_u64("cols", a.cols() as u64);
+        obs.field_u64("iterations", total_iters as u64);
+        // What is left of the superdiagonal after deflation: the bidiagonal
+        // off-diagonal norm at convergence.
+        obs.field_f64(
+            "off_diag_worst",
+            rv1.iter().fold(0.0f64, |acc, e| acc.max(e.abs())),
+        );
     }
 
     Ok(finalize(u, d, v))
@@ -498,9 +530,7 @@ mod tests {
     fn det2_sigma(a: f64, b: f64, c: f64, d: f64) -> (f64, f64) {
         // Exact singular values of [[a, b], [c, d]].
         let q1 = a * a + b * b + c * c + d * d;
-        let q2 = ((a * a + b * b - c * c - d * d).powi(2)
-            + 4.0 * (a * c + b * d).powi(2))
-        .sqrt();
+        let q2 = ((a * a + b * b - c * c - d * d).powi(2) + 4.0 * (a * c + b * d).powi(2)).sqrt();
         (
             ((q1 + q2) / 2.0).sqrt(),
             (((q1 - q2) / 2.0).max(0.0)).sqrt(),

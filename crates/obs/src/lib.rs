@@ -1,0 +1,44 @@
+//! `hc-obs` — zero-dependency observability for the hetero-measures workspace.
+//!
+//! Two independent facilities share this crate:
+//!
+//! 1. **Tracing** ([`span`], [`event`]): scoped timers with monotonic-clock
+//!    durations, thread-local parent/child nesting, and structured fields.
+//!    Nothing is emitted (and almost nothing is paid — one relaxed atomic
+//!    load) until a sink is installed via [`install_json_sink`],
+//!    [`install_trace_sink`], or [`install_capture_sink`].
+//! 2. **Metrics** ([`metrics`]): typed counters, gauges, and log₂-bucketed
+//!    histograms in a global sharded registry. These are always live — an
+//!    atomic add per record — and are exported as JSON by
+//!    [`metrics::export_json`], which `hc-serve` merges into `/metrics`.
+//!
+//! The crate is std-only by design: it sits below `hc-linalg` in the
+//! dependency graph so every other crate in the workspace can instrument
+//! itself without cycles, and the workspace builds fully offline.
+//!
+//! # Example
+//!
+//! ```
+//! // A scoped span with fields; emitted (if a sink is installed) on drop.
+//! {
+//!     let mut s = hc_obs::span("example.work");
+//!     s.field_u64("items", 42);
+//! }
+//!
+//! // A cached counter handle: one atomic add per call after the first.
+//! hc_obs::obs_counter!("example_calls_total").inc();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use sink::{
+    install_capture_sink, install_json_sink, install_trace_sink, set_level, sink_installed,
+    uninstall_all_sinks, CaptureHandle, Level,
+};
+pub use span::{event, span, FieldValue, SpanGuard};

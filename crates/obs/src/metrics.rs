@@ -1,0 +1,466 @@
+//! Typed process-wide metrics: counters, gauges, and log₂-bucketed
+//! histograms in a global sharded registry.
+//!
+//! Unlike spans, metrics are always live: recording is a single relaxed
+//! atomic RMW on an `Arc`'d cell. Name → handle resolution goes through a
+//! sharded `Mutex<BTreeMap>`, so call sites are expected to resolve once and
+//! cache the handle — the [`obs_counter!`](crate::obs_counter),
+//! [`obs_gauge!`](crate::obs_gauge), and
+//! [`obs_histogram!`](crate::obs_histogram) macros do this with a per-call-site
+//! `OnceLock`.
+//!
+//! [`export_json`] renders the whole registry; `hc-serve` merges it into its
+//! `/metrics` document under the `"library"` key.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json;
+
+/// Number of log₂ histogram buckets; bucket `i` covers values of bit-length
+/// `i` (`2^(i-1) ≤ v < 2^i`, with 0 in bucket 0), and the last bucket is
+/// unbounded. This is exactly the latency bucketing used by `hc-serve`'s
+/// endpoint metrics, so the two are comparable.
+pub const BUCKETS: usize = 24;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (e.g. requests currently in flight).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket index for value `v`: its bit-length (`64 - leading_zeros`), capped
+/// at `BUCKETS - 1`. Zero lands in bucket 0; bucket `i` holds `v < 2^i`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Exclusive upper bound of bucket `i` (`u64::MAX` for the overflow bucket).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// Log₂-bucketed histogram of unsigned values (iterations, microseconds, …).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) observation counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+const SHARDS: usize = 8;
+
+fn registry() -> &'static [Mutex<BTreeMap<&'static str, Metric>>; SHARDS] {
+    static REGISTRY: OnceLock<[Mutex<BTreeMap<&'static str, Metric>>; SHARDS]> = OnceLock::new();
+    REGISTRY.get_or_init(|| std::array::from_fn(|_| Mutex::new(BTreeMap::new())))
+}
+
+fn shard_of(name: &str) -> usize {
+    // FNV-1a over the name; only first-registration and export take this path.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
+
+/// Interns `name` so dynamically-built metric names (e.g. per-heuristic
+/// counters) can live in the `&'static str`-keyed registry. Only leaks on
+/// first registration, so the leak is bounded by the metric-name universe.
+fn intern(name: String) -> &'static str {
+    Box::leak(name.into_boxed_str())
+}
+
+/// Returns the counter registered under `name`, creating it if absent.
+///
+/// If `name` is already registered as a different metric kind, a detached
+/// (unregistered, never exported) handle is returned rather than panicking:
+/// observability must not take down the instrumented process.
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    let mut shard = registry()[shard_of(name)].lock().unwrap();
+    match shard
+        .entry(name)
+        .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => Arc::new(Counter::default()),
+    }
+}
+
+/// [`counter`] for a runtime-built name; the name is interned (leaked) on
+/// first registration.
+pub fn counter_owned(name: String) -> Arc<Counter> {
+    let mut shard = registry()[shard_of(&name)].lock().unwrap();
+    if let Some(existing) = shard.get(name.as_str()) {
+        return match existing {
+            Metric::Counter(c) => c.clone(),
+            _ => Arc::new(Counter::default()),
+        };
+    }
+    let c = Arc::new(Counter::default());
+    shard.insert(intern(name), Metric::Counter(c.clone()));
+    c
+}
+
+/// Returns the gauge registered under `name`, creating it if absent.
+/// Kind mismatches yield a detached handle (see [`counter`]).
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    let mut shard = registry()[shard_of(name)].lock().unwrap();
+    match shard
+        .entry(name)
+        .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => Arc::new(Gauge::default()),
+    }
+}
+
+/// Returns the histogram registered under `name`, creating it if absent.
+/// Kind mismatches yield a detached handle (see [`counter`]).
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    let mut shard = registry()[shard_of(name)].lock().unwrap();
+    match shard
+        .entry(name)
+        .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+    {
+        Metric::Histogram(h) => h.clone(),
+        _ => Arc::new(Histogram::default()),
+    }
+}
+
+/// Current value of the counter named `name`, if registered.
+pub fn counter_value(name: &str) -> Option<u64> {
+    let shard = registry()[shard_of(name)].lock().unwrap();
+    match shard.get(name) {
+        Some(Metric::Counter(c)) => Some(c.get()),
+        _ => None,
+    }
+}
+
+/// Current value of the gauge named `name`, if registered.
+pub fn gauge_value(name: &str) -> Option<i64> {
+    let shard = registry()[shard_of(name)].lock().unwrap();
+    match shard.get(name) {
+        Some(Metric::Gauge(g)) => Some(g.get()),
+        _ => None,
+    }
+}
+
+/// `(count, sum)` of the histogram named `name`, if registered.
+pub fn histogram_totals(name: &str) -> Option<(u64, u64)> {
+    let shard = registry()[shard_of(name)].lock().unwrap();
+    match shard.get(name) {
+        Some(Metric::Histogram(h)) => Some((h.count(), h.sum())),
+        _ => None,
+    }
+}
+
+/// Renders the entire registry as one JSON object:
+/// `{"counters":{..},"gauges":{..},"histograms":{name:{"count","sum","buckets":{"le_1":..}}}}`.
+/// Names are sorted; histogram buckets with zero observations are omitted.
+pub fn export_json() -> String {
+    let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<&'static str, i64> = BTreeMap::new();
+    let mut hists: BTreeMap<&'static str, (u64, u64, [u64; BUCKETS])> = BTreeMap::new();
+    for shard in registry() {
+        let guard = shard.lock().unwrap();
+        for (name, metric) in guard.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    counters.insert(name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    gauges.insert(name, g.get());
+                }
+                Metric::Histogram(h) => {
+                    hists.insert(name, (h.count(), h.sum(), h.bucket_counts()));
+                }
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"counters\":{");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(&mut out, name);
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(&mut out, name);
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, (count, sum, buckets))) in hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(&mut out, name);
+        out.push_str(":{\"count\":");
+        out.push_str(&count.to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&sum.to_string());
+        out.push_str(",\"buckets\":{");
+        let mut first = true;
+        for (b, n) in buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            if b >= BUCKETS - 1 {
+                out.push_str("\"le_inf\":");
+            } else {
+                out.push_str(&format!("\"le_{}\":", bucket_upper(b)));
+            }
+            out.push_str(&n.to_string());
+        }
+        out.push_str("}}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Resolves (once per call site) and returns a `&'static Arc<Counter>`.
+#[macro_export]
+macro_rules! obs_counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// Resolves (once per call site) and returns a `&'static Arc<Gauge>`.
+#[macro_export]
+macro_rules! obs_gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
+/// Resolves (once per call site) and returns a `&'static Arc<Histogram>`.
+#[macro_export]
+macro_rules! obs_histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_and_accumulate() {
+        let c = counter("test_counter_a");
+        c.inc();
+        c.add(4);
+        assert_eq!(counter_value("test_counter_a"), Some(5));
+        // Same name yields the same underlying cell.
+        counter("test_counter_a").inc();
+        assert_eq!(c.get(), 6);
+
+        let g = gauge("test_gauge_a");
+        g.set(7);
+        g.sub(2);
+        g.add(1);
+        assert_eq!(gauge_value("test_gauge_a"), Some(6));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket i holds values of bit-length i, i.e. v < 2^i — the same
+        // convention hc-serve uses for its latency buckets.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index((1 << 22) - 1), 22);
+        assert_eq!(bucket_index(1 << 22), BUCKETS - 1); // bit-length 23 = overflow
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(5), 32);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+
+        let h = histogram("test_hist_boundaries");
+        for v in [0, 1, 2, 3, 4, 1 << 23] {
+            h.observe(v);
+        }
+        let buckets = h.bucket_counts();
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 10 + (1 << 23));
+        assert_eq!(buckets[0], 1); // 0
+        assert_eq!(buckets[1], 1); // 1
+        assert_eq!(buckets[2], 2); // 2 and 3
+        assert_eq!(buckets[3], 1); // 4
+        assert_eq!(buckets[BUCKETS - 1], 1); // 2^23 overflows the last bound
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_handle() {
+        counter("test_kind_clash").inc();
+        let g = gauge("test_kind_clash");
+        g.set(99);
+        // The registered metric is still the counter; the gauge was detached.
+        assert_eq!(counter_value("test_kind_clash"), Some(1));
+        assert_eq!(gauge_value("test_kind_clash"), None);
+    }
+
+    #[test]
+    fn owned_names_are_interned_once() {
+        let a = counter_owned("test_owned_name".to_string());
+        let b = counter_owned("test_owned_name".to_string());
+        a.inc();
+        b.inc();
+        assert_eq!(counter_value("test_owned_name"), Some(2));
+    }
+
+    #[test]
+    fn export_json_is_well_formed_and_sorted() {
+        counter("test_export_b").add(2);
+        counter("test_export_a").add(1);
+        gauge("test_export_g").set(-3);
+        histogram("test_export_h").observe(5);
+        let out = export_json();
+        assert!(out.starts_with("{\"counters\":{"));
+        assert!(out.contains("\"test_export_a\":1"));
+        assert!(out.contains("\"test_export_b\":2"));
+        assert!(out.contains("\"test_export_g\":-3"));
+        assert!(out.contains("\"test_export_h\":{\"count\":1,\"sum\":5"));
+        assert!(out.contains("\"le_8\":1"));
+        assert!(
+            out.find("test_export_a").unwrap() < out.find("test_export_b").unwrap(),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn macros_cache_handles() {
+        for _ in 0..3 {
+            obs_counter!("test_macro_counter").inc();
+        }
+        assert_eq!(counter_value("test_macro_counter"), Some(3));
+        obs_gauge!("test_macro_gauge").set(4);
+        assert_eq!(gauge_value("test_macro_gauge"), Some(4));
+        obs_histogram!("test_macro_hist").observe(9);
+        assert_eq!(histogram_totals("test_macro_hist"), Some((1, 9)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Scoped trace spans with thread-local nesting, and point-in-time events.
+//!
+//! A span is opened with [`span`], annotated with `field_*` calls, and
+//! emitted when the guard drops — measuring wall time with the monotonic
+//! clock. Each thread keeps its own stack of open span names, so parent and
+//! depth are tracked without any cross-thread synchronization.
+//!
+//! When no sink is installed, [`span`] returns a disarmed guard without
+//! touching the thread-local stack or reading the clock: the total cost is
+//! one relaxed atomic load, which is what keeps always-on instrumentation in
+//! the numeric hot paths affordable (see DESIGN.md §8 for the budget).
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::sink::{self, Level, Record, RecordKind};
+
+pub use crate::sink::FieldValue;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for an open span; emits a [`RecordKind::Span`] record on drop.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+    depth: usize,
+    parent: Option<&'static str>,
+    fields: Vec<(&'static str, FieldValue)>,
+    armed: bool,
+}
+
+/// Opens a span named `name` on the current thread.
+///
+/// If no sink is installed (the common case), this is a no-op guard: no
+/// allocation, no clock read, no thread-local access.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !sink::enabled(Level::Info) {
+        return SpanGuard {
+            name,
+            start: None,
+            depth: 0,
+            parent: None,
+            fields: Vec::new(),
+            armed: false,
+        };
+    }
+    let (depth, parent) = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        let depth = s.len();
+        s.push(name);
+        (depth, parent)
+    });
+    SpanGuard {
+        name,
+        start: Some(Instant::now()),
+        depth,
+        parent,
+        fields: Vec::new(),
+        armed: true,
+    }
+}
+
+impl SpanGuard {
+    /// Attaches an unsigned-integer field (no-op when disarmed).
+    pub fn field_u64(&mut self, key: &'static str, value: u64) {
+        if self.armed {
+            self.fields.push((key, FieldValue::U64(value)));
+        }
+    }
+
+    /// Attaches a signed-integer field (no-op when disarmed).
+    pub fn field_i64(&mut self, key: &'static str, value: i64) {
+        if self.armed {
+            self.fields.push((key, FieldValue::I64(value)));
+        }
+    }
+
+    /// Attaches a float field (no-op when disarmed).
+    pub fn field_f64(&mut self, key: &'static str, value: f64) {
+        if self.armed {
+            self.fields.push((key, FieldValue::F64(value)));
+        }
+    }
+
+    /// Attaches a string field (no-op when disarmed; the string is only
+    /// materialized when the span is armed).
+    pub fn field_str(&mut self, key: &'static str, value: &str) {
+        if self.armed {
+            self.fields.push((key, FieldValue::Str(value.to_string())));
+        }
+    }
+
+    /// Attaches a boolean field (no-op when disarmed).
+    pub fn field_bool(&mut self, key: &'static str, value: bool) {
+        if self.armed {
+            self.fields.push((key, FieldValue::Bool(value)));
+        }
+    }
+
+    /// True if this span will emit on drop (a sink was installed when it
+    /// opened). Lets callers skip expensive field computation.
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let dur_us = self.start.map(|t| t.elapsed().as_micros() as u64);
+        sink::emit(&Record {
+            kind: RecordKind::Span,
+            level: Level::Info,
+            name: self.name,
+            parent: self.parent,
+            depth: self.depth,
+            dur_us,
+            fields: &self.fields,
+        });
+    }
+}
+
+/// Emits a point-in-time event at `level` with the given fields.
+///
+/// Events inherit the current thread's span context (depth and parent), so a
+/// slow-request warning emitted inside `serve.request` is attributed to it.
+pub fn event(level: Level, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+    if !sink::enabled(level) {
+        return;
+    }
+    let (depth, parent) = STACK.with(|s| {
+        let s = s.borrow();
+        (s.len(), s.last().copied())
+    });
+    sink::emit(&Record {
+        kind: RecordKind::Event,
+        level,
+        name,
+        parent,
+        depth,
+        dur_us: None,
+        fields,
+    });
+}

@@ -1,0 +1,179 @@
+//! End-to-end tests of the tracing side of `hc-obs`: span nesting (including
+//! across threads), JSON-lines rendering and escaping, level filtering, and
+//! the disabled fast path.
+//!
+//! Sinks are process-global, so every test serializes on one mutex and
+//! uninstalls on the way out.
+
+use std::sync::Mutex;
+
+use hc_obs::sink::RecordKind;
+use hc_obs::{
+    event, install_capture_sink, set_level, span, uninstall_all_sinks, CaptureHandle, FieldValue,
+    Level,
+};
+
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_capture<F: FnOnce(&CaptureHandle)>(f: F) {
+    let _guard = SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    uninstall_all_sinks();
+    let handle = install_capture_sink();
+    f(&handle);
+    uninstall_all_sinks();
+}
+
+#[test]
+fn spans_nest_and_emit_inner_first() {
+    with_capture(|cap| {
+        {
+            let mut outer = span("test.outer");
+            outer.field_u64("n", 1);
+            {
+                let mut inner = span("test.inner");
+                inner.field_str("which", "child");
+            }
+        }
+        let records = cap.records();
+        assert_eq!(records.len(), 2, "{records:?}");
+
+        let inner = &records[0];
+        assert_eq!(inner.name, "test.inner");
+        assert_eq!(inner.kind, RecordKind::Span);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.parent.as_deref(), Some("test.outer"));
+        assert!(inner.dur_us.is_some());
+
+        let outer = &records[1];
+        assert_eq!(outer.name, "test.outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.fields, vec![("n", FieldValue::U64(1))]);
+    });
+}
+
+#[test]
+fn span_stacks_are_per_thread() {
+    with_capture(|cap| {
+        let spawn = |tname: &str, root: &'static str, child: &'static str| {
+            std::thread::Builder::new()
+                .name(tname.to_string())
+                .spawn(move || {
+                    let _outer = span(root);
+                    for _ in 0..3 {
+                        let _inner = span(child);
+                    }
+                })
+                .expect("spawn")
+        };
+        let a = spawn("obs-thread-a", "test.root_a", "test.child_a");
+        let b = spawn("obs-thread-b", "test.root_b", "test.child_b");
+        a.join().unwrap();
+        b.join().unwrap();
+
+        let records = cap.records();
+        assert_eq!(records.len(), 8, "{records:?}");
+        for r in &records {
+            match r.name.as_str() {
+                // Each child's parent must be the root of ITS OWN thread,
+                // never the concurrently-open root of the other thread.
+                "test.child_a" => {
+                    assert_eq!(r.parent.as_deref(), Some("test.root_a"));
+                    assert_eq!(r.depth, 1);
+                    assert!(r.json_line.contains("\"thread\":\"obs-thread-a\""), "{r:?}");
+                }
+                "test.child_b" => {
+                    assert_eq!(r.parent.as_deref(), Some("test.root_b"));
+                    assert_eq!(r.depth, 1);
+                    assert!(r.json_line.contains("\"thread\":\"obs-thread-b\""), "{r:?}");
+                }
+                "test.root_a" | "test.root_b" => {
+                    assert_eq!(r.parent, None);
+                    assert_eq!(r.depth, 0);
+                }
+                other => panic!("unexpected record {other}"),
+            }
+        }
+    });
+}
+
+#[test]
+fn json_lines_escape_control_characters() {
+    with_capture(|cap| {
+        event(
+            Level::Info,
+            "test.escape",
+            &[
+                (
+                    "payload",
+                    FieldValue::Str("line1\nline2\t\"quoted\"\u{7}".to_string()),
+                ),
+                ("ratio", FieldValue::F64(f64::NAN)),
+            ],
+        );
+        let records = cap.records();
+        assert_eq!(records.len(), 1);
+        let line = &records[0].json_line;
+        assert!(
+            line.contains(r#""payload":"line1\nline2\t\"quoted\"\u0007""#),
+            "{line}"
+        );
+        // NaN must not leak an invalid JSON token.
+        assert!(line.contains("\"ratio\":null"), "{line}");
+        assert!(line.contains("\"kind\":\"event\""), "{line}");
+        assert!(line.contains("\"ts_us\":"), "{line}");
+        // The line itself must contain no raw control characters.
+        assert!(line.chars().all(|c| (c as u32) >= 0x20), "{line}");
+    });
+}
+
+#[test]
+fn events_attach_to_the_enclosing_span() {
+    with_capture(|cap| {
+        {
+            let _req = span("test.request");
+            event(
+                Level::Warn,
+                "test.slow",
+                &[("elapsed_ms", FieldValue::U64(250))],
+            );
+        }
+        let records = cap.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "test.slow");
+        assert_eq!(records[0].level, Level::Warn);
+        assert_eq!(records[0].parent.as_deref(), Some("test.request"));
+        assert_eq!(records[0].depth, 1);
+        assert_eq!(records[0].dur_us, None);
+    });
+}
+
+#[test]
+fn level_filter_suppresses_below_threshold() {
+    with_capture(|cap| {
+        set_level(Level::Error);
+        {
+            let _s = span("test.filtered_span"); // spans emit at Info
+        }
+        event(Level::Warn, "test.filtered_event", &[]);
+        event(Level::Error, "test.passing_event", &[]);
+        let records = cap.records();
+        assert_eq!(records.len(), 1, "{records:?}");
+        assert_eq!(records[0].name, "test.passing_event");
+    });
+}
+
+#[test]
+fn no_sink_means_disarmed_guards_and_no_records() {
+    let _guard = SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    uninstall_all_sinks();
+    assert!(!hc_obs::sink_installed());
+    let mut s = span("test.disabled");
+    assert!(!s.armed());
+    s.field_u64("ignored", 1); // must be a no-op, not a buffered record
+    drop(s);
+    // Installing a sink afterwards must not retroactively emit anything.
+    let cap = install_capture_sink();
+    assert!(cap.records().is_empty());
+    uninstall_all_sinks();
+}

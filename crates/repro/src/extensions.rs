@@ -132,7 +132,11 @@ pub fn x3_heuristic_selection() -> String {
         "MET mean relative makespan",
         "Min-Min mean relative makespan",
     ]);
-    for &(label, tma) in &[("low (0.02)", 0.02), ("mid (0.25)", 0.25), ("high (0.55)", 0.55)] {
+    for &(label, tma) in &[
+        ("low (0.02)", 0.02),
+        ("mid (0.25)", 0.25),
+        ("high (0.55)", 0.55),
+    ] {
         let envs: Vec<Ecs> = (0..12)
             .map(|s| {
                 targeted(
@@ -269,15 +273,19 @@ pub fn x5_consistency_vs_tma() -> String {
 pub fn x6_rank1_residual_vs_tma() -> String {
     use hc_linalg::lowrank::rank_residual;
 
-    let mut t = Table::new(vec!["target TMA", "measured TMA", "rank-1 residual of standard form"]);
+    let mut t = Table::new(vec![
+        "target TMA",
+        "measured TMA",
+        "rank-1 residual of standard form",
+    ]);
     let mut prev_resid = -1.0_f64;
     let mut monotone = true;
     for &tma_target in &[0.0, 0.1, 0.2, 0.35, 0.5, 0.65] {
-        let e = targeted(&TargetSpec::exact(10, 6, 0.8, 0.8, tma_target), 0)
-            .expect("reachable target");
+        let e =
+            targeted(&TargetSpec::exact(10, 6, 0.8, 0.8, tma_target), 0).expect("reachable target");
         let r = characterize(&e).expect("positive env");
-        let sf = hc_core::standard::standard_form(&e, &TmaOptions::default())
-            .expect("positive env");
+        let sf =
+            hc_core::standard::standard_form(&e, &TmaOptions::default()).expect("positive env");
         let resid = rank_residual(&sf.matrix, 1).expect("valid matrix");
         if resid < prev_resid {
             monotone = false;
@@ -514,13 +522,7 @@ mod tests {
         let rels: Vec<f64> = s
             .lines()
             .filter(|l| l.contains("online-OLB") && (l.starts_with("low") || l.starts_with("high")))
-            .map(|l| {
-                l.split_whitespace()
-                    .last()
-                    .unwrap()
-                    .parse::<f64>()
-                    .unwrap()
-            })
+            .map(|l| l.split_whitespace().last().unwrap().parse::<f64>().unwrap())
             .collect();
         assert_eq!(rels.len(), 2, "{s}");
         assert!(
@@ -562,7 +564,10 @@ mod tests {
     fn x5_consistency_collapses_tma() {
         let s = x5_consistency_vs_tma();
         // Extract the mean TMA column for fractions 0.0 and 1.0.
-        let rows: Vec<&str> = s.lines().filter(|l| l.starts_with("0.") || l.starts_with("1.")).collect();
+        let rows: Vec<&str> = s
+            .lines()
+            .filter(|l| l.starts_with("0.") || l.starts_with("1."))
+            .collect();
         let first: f64 = rows
             .first()
             .unwrap()

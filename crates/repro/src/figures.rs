@@ -19,6 +19,9 @@ use hc_spec::names::{machines, MACHINE_LABELS};
 
 /// Dispatches to one figure's report (1–8).
 pub fn figure(n: usize) -> String {
+    let mut obs = hc_obs::span("repro.figure");
+    obs.field_u64("figure", n as u64);
+    hc_obs::obs_counter!("repro_figures_total").inc();
     match n {
         1 => figure1(),
         2 => figure2(),
@@ -42,7 +45,11 @@ pub fn figure1() -> String {
         t.row(vec![
             format!("m{}", j + 1),
             fmt(*v),
-            if j == 0 { "17".to_string() } else { "-".to_string() },
+            if j == 0 {
+                "17".to_string()
+            } else {
+                "-".to_string()
+            },
         ]);
     }
     format!(
@@ -112,7 +119,12 @@ pub fn figure3() -> String {
 /// Figure 4: eight extreme 2×2 matrices spanning the measure cube corners.
 pub fn figure4() -> String {
     let mut t = Table::new(vec![
-        "matrix", "entries", "MPH", "TDH", "TMA", "expected (MPH, TDH, TMA)",
+        "matrix",
+        "entries",
+        "MPH",
+        "TDH",
+        "TMA",
+        "expected (MPH, TDH, TMA)",
     ]);
     for f in FIG4_ALL {
         let e = f.matrix();
@@ -131,7 +143,12 @@ pub fn figure4() -> String {
             fmt(mph(&e).expect("static")),
             fmt(tdh(&e).expect("static")),
             fmt(tma(&e).expect("static")),
-            format!("({}, {}, {})", lab(mph_high), lab(tdh_high), if tma_high { "1" } else { "0" }),
+            format!(
+                "({}, {}, {})",
+                lab(mph_high),
+                lab(tdh_high),
+                if tma_high { "1" } else { "0" }
+            ),
         ]);
     }
     // The convergence claim: A, B, D → standard form of C.
@@ -218,7 +235,12 @@ pub fn figure7() -> String {
 /// Figure 8: two 2×2 ETC submatrices with near-equal MPH, wildly different TMA.
 pub fn figure8() -> String {
     let mut t = Table::new(vec![
-        "matrix", "tasks x machines", "TDH", "MPH", "TMA", "paper (TDH, MPH, TMA)",
+        "matrix",
+        "tasks x machines",
+        "TDH",
+        "MPH",
+        "TMA",
+        "paper (TDH, MPH, TMA)",
     ]);
     for (name, etc, tg) in [
         ("(a)", fig8a(), FIG8A_TARGETS),
@@ -298,8 +320,8 @@ pub fn section6() -> String {
     // The diagonal counterexample: decomposable yet balanceable.
     let diag = hc_linalg::Matrix::from_diag(&[2.0, 5.0, 0.1]);
     let drep = analyze_square(&diag);
-    let dbal = balance_with(&diag, &[1.0; 3], &[1.0; 3], &BalanceOptions::default())
-        .expect("valid input");
+    let dbal =
+        balance_with(&diag, &[1.0; 3], &[1.0; 3], &BalanceOptions::default()).expect("valid input");
     out.push_str(&format!(
         "Diagonal counterexample diag(2, 5, 0.1): fully indecomposable: {} (decomposable), \
          yet balances to the identity in {} iterations (status {:?})\n",

@@ -40,8 +40,24 @@ mod tests {
     fn run_all_mentions_every_experiment() {
         let s = super::run_all();
         for needle in [
-            "Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
-            "Figure 7", "Figure 8", "Section VI", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9",
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Section VI",
+            "X1",
+            "X2",
+            "X3",
+            "X4",
+            "X5",
+            "X6",
+            "X7",
+            "X8",
+            "X9",
         ] {
             assert!(s.contains(needle), "report missing {needle}");
         }

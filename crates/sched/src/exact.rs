@@ -105,7 +105,10 @@ impl Default for SaParams {
 
 /// Simulated annealing seeded with MCT: random single-task reassignment moves,
 /// Metropolis acceptance, returns the best state visited.
-pub fn simulated_annealing(p: &MappingProblem, params: &SaParams) -> Result<Schedule, MeasureError> {
+pub fn simulated_annealing(
+    p: &MappingProblem,
+    params: &SaParams,
+) -> Result<Schedule, MeasureError> {
     let t = p.num_tasks();
     let compat: Vec<Vec<usize>> = (0..t).map(|i| p.compatible_machines(i).collect()).collect();
     for (i, c) in compat.iter().enumerate() {
@@ -139,8 +142,8 @@ pub fn simulated_annealing(p: &MappingProblem, params: &SaParams) -> Result<Sche
         loads[from] -= p.time(i, from);
         loads[to] += p.time(i, to);
         let new_mk = makespan(&loads);
-        let accept = new_mk <= cur_mk
-            || (temp > 0.0 && rng.next_f64() < ((cur_mk - new_mk) / temp).exp());
+        let accept =
+            new_mk <= cur_mk || (temp > 0.0 && rng.next_f64() < ((cur_mk - new_mk) / temp).exp());
         if accept {
             current[i] = to;
             cur_mk = new_mk;
@@ -360,7 +363,10 @@ mod tests {
             &[3.0, 3.0, 3.0],
         ]);
         let mct = HeuristicKind::Mct.map(&p).unwrap().makespan(&p).unwrap();
-        let t = tabu(&p, &TabuParams::default()).unwrap().makespan(&p).unwrap();
+        let t = tabu(&p, &TabuParams::default())
+            .unwrap()
+            .makespan(&p)
+            .unwrap();
         assert!(t <= mct + 1e-12, "Tabu {t} vs MCT {mct}");
     }
 
@@ -375,7 +381,10 @@ mod tests {
             &[5.0, 4.0, 2.0],
         ]);
         let opt = optimal(&p, 1e7).unwrap().makespan(&p).unwrap();
-        let t = tabu(&p, &TabuParams::default()).unwrap().makespan(&p).unwrap();
+        let t = tabu(&p, &TabuParams::default())
+            .unwrap()
+            .makespan(&p)
+            .unwrap();
         assert!(t >= opt - 1e-9);
         assert!(t <= opt * 1.1, "Tabu {t} vs optimum {opt}");
     }

@@ -48,6 +48,8 @@ pub fn ga(p: &MappingProblem, params: &GaParams) -> Result<Schedule, MeasureErro
             reason: "GA needs population >= 2 and tournament >= 1".into(),
         });
     }
+    let mut obs = hc_obs::span("sched.ga");
+    let evals_before = crate::problem::makespan_evals_on_thread();
     let t = p.num_tasks();
     let mut rng = StdRng::seed_from_u64(params.seed);
 
@@ -61,7 +63,9 @@ pub fn ga(p: &MappingProblem, params: &GaParams) -> Result<Schedule, MeasureErro
         }
     }
     let random_chrom = |rng: &mut StdRng| -> Vec<usize> {
-        (0..t).map(|i| compat[i][rng.gen_range(0..compat[i].len())]).collect()
+        (0..t)
+            .map(|i| compat[i][rng.gen_range(0..compat[i].len())])
+            .collect()
     };
 
     // Seed population: Min-Min + MCT + randoms.
@@ -123,6 +127,15 @@ pub fn ga(p: &MappingProblem, params: &GaParams) -> Result<Schedule, MeasureErro
     let best = (0..pop.len())
         .min_by(|&x, &y| fit[x].partial_cmp(&fit[y]).expect("finite"))
         .expect("non-empty");
+    let evals = crate::problem::makespan_evals_on_thread() - evals_before;
+    hc_obs::obs_counter!("sched_heuristic_runs_ga").inc();
+    hc_obs::obs_counter!("sched_makespan_evals_ga").add(evals);
+    if obs.armed() {
+        obs.field_u64("tasks", t as u64);
+        obs.field_u64("generations", params.generations as u64);
+        obs.field_u64("makespan_evals", evals);
+        obs.field_f64("best_makespan", fit[best]);
+    }
     Ok(Schedule {
         assignment: pop[best].clone(),
     })

@@ -67,7 +67,9 @@ impl Heuristic for HeuristicKind {
     }
 
     fn map(&self, p: &MappingProblem) -> Result<Schedule, MeasureError> {
-        match self {
+        let mut obs = hc_obs::span("sched.heuristic");
+        let evals_before = crate::problem::makespan_evals_on_thread();
+        let result = match self {
             HeuristicKind::Olb => olb(p),
             HeuristicKind::Met => met(p),
             HeuristicKind::Mct => mct(p),
@@ -78,9 +80,27 @@ impl Heuristic for HeuristicKind {
             HeuristicKind::Duplex => {
                 let a = minmin_family(p, SelectRule::MinMin)?;
                 let b = minmin_family(p, SelectRule::MaxMin)?;
-                Ok(if a.makespan(p)? <= b.makespan(p)? { a } else { b })
+                Ok(if a.makespan(p)? <= b.makespan(p)? {
+                    a
+                } else {
+                    b
+                })
             }
+        };
+        // Thread-local delta: exact even when ensembles run heuristics on
+        // many threads concurrently.
+        let evals = crate::problem::makespan_evals_on_thread() - evals_before;
+        let slug = self.name().to_ascii_lowercase().replace('-', "_");
+        hc_obs::metrics::counter_owned(format!("sched_heuristic_runs_{slug}")).inc();
+        hc_obs::metrics::counter_owned(format!("sched_makespan_evals_{slug}")).add(evals);
+        if obs.armed() {
+            obs.field_str("heuristic", self.name());
+            obs.field_u64("tasks", p.num_tasks() as u64);
+            obs.field_u64("machines", p.num_machines() as u64);
+            obs.field_u64("makespan_evals", evals);
+            obs.field_bool("ok", result.is_ok());
         }
+        result
     }
 }
 
@@ -408,7 +428,11 @@ mod tests {
         for h in all_heuristics() {
             let s = h.map(&p).unwrap();
             let mk = s.makespan(&p).unwrap();
-            assert!(mk.is_finite() && mk >= lb - 1e-12, "{}: {mk} < {lb}", h.name());
+            assert!(
+                mk.is_finite() && mk >= lb - 1e-12,
+                "{}: {mk} < {lb}",
+                h.name()
+            );
             assert_eq!(s.assignment.len(), 5);
         }
     }

@@ -113,17 +113,32 @@ impl Schedule {
     }
 
     /// Makespan: the maximum machine finish time.
+    ///
+    /// Every call is counted (globally and per thread, see
+    /// [`makespan_evals_on_thread`]) — this is the unit of work the mapping
+    /// heuristics and metaheuristics spend their time on.
     pub fn makespan(&self, p: &MappingProblem) -> Result<f64, MeasureError> {
-        Ok(self
-            .machine_loads(p)?
-            .into_iter()
-            .fold(0.0_f64, f64::max))
+        hc_obs::obs_counter!("sched_makespan_evals_total").inc();
+        MAKESPAN_EVALS.with(|c| c.set(c.get() + 1));
+        Ok(self.machine_loads(p)?.into_iter().fold(0.0_f64, f64::max))
     }
 
     /// Total accumulated machine time (flowtime of loads).
     pub fn total_time(&self, p: &MappingProblem) -> Result<f64, MeasureError> {
         Ok(self.machine_loads(p)?.into_iter().sum())
     }
+}
+
+thread_local! {
+    static MAKESPAN_EVALS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`Schedule::makespan`] evaluations performed by the current
+/// thread since it started. Callers (heuristic wrappers, the GA) snapshot
+/// this before/after a run to attribute evaluation counts race-free even when
+/// many instances are studied in parallel.
+pub fn makespan_evals_on_thread() -> u64 {
+    MAKESPAN_EVALS.with(|c| c.get())
 }
 
 /// A trivial lower bound on the makespan: `max(max_i min_j ETC(i,j),
@@ -158,9 +173,7 @@ mod tests {
             Matrix::from_rows(&[&[f64::INFINITY, f64::INFINITY]]).unwrap()
         )
         .is_err());
-        assert!(
-            MappingProblem::new(Matrix::from_rows(&[&[f64::INFINITY, 2.0]]).unwrap()).is_ok()
-        );
+        assert!(MappingProblem::new(Matrix::from_rows(&[&[f64::INFINITY, 2.0]]).unwrap()).is_ok());
     }
 
     #[test]
@@ -181,7 +194,11 @@ mod tests {
     #[test]
     fn schedule_validation() {
         let p = p22();
-        assert!(Schedule { assignment: vec![0] }.makespan(&p).is_err());
+        assert!(Schedule {
+            assignment: vec![0]
+        }
+        .makespan(&p)
+        .is_err());
         assert!(Schedule {
             assignment: vec![0, 5]
         }

@@ -195,10 +195,8 @@ mod tests {
         // Among schedules meeting the same τ, a lower-makespan schedule has a
         // radius at least as large on its critical machine when loads are
         // balanced. Verify with the optimal vs a skewed schedule.
-        let p = MappingProblem::new(
-            Matrix::from_rows(&[&[2.0, 2.0], &[2.0, 2.0]]).unwrap(),
-        )
-        .unwrap();
+        let p =
+            MappingProblem::new(Matrix::from_rows(&[&[2.0, 2.0], &[2.0, 2.0]]).unwrap()).unwrap();
         let balanced = Schedule {
             assignment: vec![0, 1],
         };

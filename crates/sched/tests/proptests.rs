@@ -18,28 +18,27 @@ fn arb_problem() -> impl Strategy<Value = MappingProblem> {
 
 /// A problem with some incompatibilities but every task runnable somewhere.
 fn arb_problem_with_incompat() -> impl Strategy<Value = MappingProblem> {
-    (2usize..=5, 2usize..=4)
-        .prop_flat_map(|(t, m)| {
-            (
-                proptest::collection::vec(0.5_f64..20.0, t * m),
-                proptest::collection::vec(proptest::bool::weighted(0.25), t * m),
-            )
-                .prop_map(move |(data, blocked)| {
-                    let mut mat = Matrix::from_vec(t, m, data).unwrap();
-                    for i in 0..t {
-                        for j in 0..m {
-                            if blocked[i * m + j] {
-                                mat[(i, j)] = f64::INFINITY;
-                            }
-                        }
-                        // Guarantee at least one compatible machine.
-                        if (0..m).all(|j| mat[(i, j)].is_infinite()) {
-                            mat[(i, 0)] = 1.0;
+    (2usize..=5, 2usize..=4).prop_flat_map(|(t, m)| {
+        (
+            proptest::collection::vec(0.5_f64..20.0, t * m),
+            proptest::collection::vec(proptest::bool::weighted(0.25), t * m),
+        )
+            .prop_map(move |(data, blocked)| {
+                let mut mat = Matrix::from_vec(t, m, data).unwrap();
+                for i in 0..t {
+                    for j in 0..m {
+                        if blocked[i * m + j] {
+                            mat[(i, j)] = f64::INFINITY;
                         }
                     }
-                    MappingProblem::new(mat).unwrap()
-                })
-        })
+                    // Guarantee at least one compatible machine.
+                    if (0..m).all(|j| mat[(i, j)].is_infinite()) {
+                        mat[(i, 0)] = 1.0;
+                    }
+                }
+                MappingProblem::new(mat).unwrap()
+            })
+    })
 }
 
 proptest! {

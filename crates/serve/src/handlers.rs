@@ -42,9 +42,10 @@ pub fn check_allowed(req: &Request, allowed: &[&str]) -> Result<(), HttpError> {
 fn q_opt<T: FromStr>(req: &Request, name: &str) -> Result<Option<T>, HttpError> {
     match req.param(name) {
         None => Ok(None),
-        Some(raw) => raw.parse::<T>().map(Some).map_err(|_| {
-            HttpError::bad(format!("query parameter {name}={raw:?} is malformed"))
-        }),
+        Some(raw) => raw
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| HttpError::bad(format!("query parameter {name}={raw:?} is malformed"))),
     }
 }
 
@@ -128,7 +129,9 @@ pub fn generate(req: &Request) -> Result<Response, HttpError> {
         "targeted" => {
             check_allowed(
                 req,
-                &["mode", "tasks", "machines", "mph", "tdh", "tma", "seed", "jitter"],
+                &[
+                    "mode", "tasks", "machines", "mph", "tdh", "tma", "seed", "jitter",
+                ],
             )?;
             let spec = TargetSpec {
                 tasks: q_req(req, "tasks")?,
@@ -144,7 +147,10 @@ pub fn generate(req: &Request) -> Result<Response, HttpError> {
                 .to_etc()
         }
         "range" => {
-            check_allowed(req, &["mode", "tasks", "machines", "rtask", "rmach", "seed"])?;
+            check_allowed(
+                req,
+                &["mode", "tasks", "machines", "rtask", "rmach", "seed"],
+            )?;
             let params = RangeParams {
                 tasks: q_req(req, "tasks")?,
                 machines: q_req(req, "machines")?,
@@ -155,7 +161,10 @@ pub fn generate(req: &Request) -> Result<Response, HttpError> {
                 .map_err(|e| HttpError::bad(e.to_string()))?
         }
         "cvb" => {
-            check_allowed(req, &["mode", "tasks", "machines", "vtask", "vmach", "seed"])?;
+            check_allowed(
+                req,
+                &["mode", "tasks", "machines", "vtask", "vmach", "seed"],
+            )?;
             let params = CvbParams::new(
                 q_req(req, "tasks")?,
                 q_req(req, "machines")?,
@@ -209,9 +218,7 @@ pub fn schedule(req: &Request) -> Result<Response, HttpError> {
         )),
         "optimal" => rows.push(("optimal".into(), optimal(&p, 1e7).map_err(lib_err)?)),
         named => {
-            let h = named
-                .parse::<HeuristicKind>()
-                .map_err(HttpError::bad)?;
+            let h = named.parse::<HeuristicKind>().map_err(HttpError::bad)?;
             rows.push((h.name().to_string(), h.map(&p).map_err(lib_err)?));
         }
     }
@@ -266,6 +273,7 @@ mod tests {
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect::<BTreeMap<_, _>>(),
             body: body.as_bytes().to_vec(),
+            request_id: None,
         }
     }
 
@@ -354,7 +362,11 @@ mod tests {
         assert!(b.contains("\"t1\":\"m1\""));
         let one = schedule(&post(&[("heuristic", "optimal")], SAMPLE)).unwrap();
         // Optimal on this 2x2: t1->m1 (2), t2->m2 (3) → makespan 3.
-        assert!(body_text(&one).contains("\"makespan\":3"), "{}", body_text(&one));
+        assert!(
+            body_text(&one).contains("\"makespan\":3"),
+            "{}",
+            body_text(&one)
+        );
         assert!(schedule(&post(&[("heuristic", "bogus")], SAMPLE)).is_err());
     }
 }

@@ -24,6 +24,10 @@ pub struct Request {
     pub query: BTreeMap<String, String>,
     /// Raw request body.
     pub body: Vec<u8>,
+    /// Client-supplied `X-Request-Id` header, if any. The server echoes it on
+    /// the response (generating one when absent) so a request can be chased
+    /// through client logs, traces, and slow-request reports.
+    pub request_id: Option<String>,
 }
 
 impl Request {
@@ -82,11 +86,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
-            body: format!(
-                "{{\"error\":{}}}",
-                hc_core::report::json_string(message)
-            )
-            .into_bytes(),
+            body: format!("{{\"error\":{}}}", hc_core::report::json_string(message)).into_bytes(),
             headers: Vec::new(),
         }
     }
@@ -227,12 +227,28 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
     }
 
     let mut content_length: usize = 0;
+    let mut request_id: Option<String> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    HttpError::bad("bad Content-Length")
-                })?;
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::bad("bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("x-request-id") {
+                // Bound and sanitize: the value is echoed into a response
+                // header and into logs, so strip anything a peer could use to
+                // inject header lines or control characters.
+                let id: String = value
+                    .trim()
+                    .chars()
+                    .filter(|c| c.is_ascii_graphic())
+                    .take(128)
+                    .collect();
+                if !id.is_empty() {
+                    request_id = Some(id);
+                }
             }
         }
     }
@@ -266,6 +282,7 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
         path: url_decode(raw_path),
         query: parse_query(raw_query),
         body,
+        request_id,
     })
 }
 
@@ -319,6 +336,24 @@ mod tests {
         assert_eq!(r.path, "/metrics");
         assert!(r.body.is_empty());
         assert!(!r.has_param("anything"));
+    }
+
+    #[test]
+    fn parses_request_id_header() {
+        let r = parse(b"GET /metrics HTTP/1.1\r\nX-Request-Id: abc-123\r\n\r\n").unwrap();
+        assert_eq!(r.request_id.as_deref(), Some("abc-123"));
+        // Case-insensitive name, sanitized value, bounded length.
+        let r = parse(b"GET / HTTP/1.1\r\nx-request-id:  id\rwith\x01junk  \r\n\r\n").unwrap();
+        assert_eq!(r.request_id.as_deref(), Some("idwithjunk"));
+        let long = format!(
+            "GET / HTTP/1.1\r\nX-Request-Id: {}\r\n\r\n",
+            "a".repeat(400)
+        );
+        let r = parse(long.as_bytes()).unwrap();
+        assert_eq!(r.request_id.unwrap().len(), 128);
+        // Absent or all-garbage values yield None.
+        let r = parse(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert!(r.request_id.is_none());
     }
 
     #[test]

@@ -61,6 +61,12 @@ impl JsonObject {
         self.raw(key, &v)
     }
 
+    /// Adds a signed integer field.
+    pub fn i64(self, key: &str, value: i64) -> Self {
+        let v = format!("{value}");
+        self.raw(key, &v)
+    }
+
     /// Adds a boolean field.
     pub fn bool(self, key: &str, value: bool) -> Self {
         self.raw(key, if value { "true" } else { "false" })

@@ -4,6 +4,14 @@
 //! µs ≈ 8.4 s`, plus an overflow bucket), which keeps recording allocation-free
 //! and gives `/metrics` enough resolution to estimate p50/p95/p99 within a
 //! factor of two — plenty for spotting regressions and cache effects.
+//!
+//! Two histograms are kept per endpoint:
+//!
+//! * `latency_*` — measured **from accept**, so queue wait under overload is
+//!   included and overload latency is not under-reported;
+//! * `service_*` — worker pickup to response, the pure handler cost.
+//!
+//! The gap between the two is time spent waiting in the bounded request queue.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -23,10 +31,20 @@ pub struct EndpointStats {
     pub errors: u64,
     /// Requests served from the result cache.
     pub cache_hits: u64,
-    /// Log₂-bucketed latency histogram (microseconds).
+    /// Log₂-bucketed accept-to-response latency histogram (microseconds),
+    /// queue wait included.
     pub latency_buckets: [u64; BUCKETS],
-    /// Total latency in microseconds.
+    /// Total accept-to-response latency in microseconds.
     pub total_us: u64,
+    /// Log₂-bucketed service-time histogram (microseconds): worker pickup to
+    /// response, excluding queue wait.
+    pub service_buckets: [u64; BUCKETS],
+    /// Total service time in microseconds.
+    pub service_total_us: u64,
+}
+
+fn bucket_of(us: u64) -> usize {
+    (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
 }
 
 impl EndpointStats {
@@ -37,10 +55,12 @@ impl EndpointStats {
             cache_hits: 0,
             latency_buckets: [0; BUCKETS],
             total_us: 0,
+            service_buckets: [0; BUCKETS],
+            service_total_us: 0,
         }
     }
 
-    fn record(&mut self, error: bool, cache_hit: bool, latency: Duration) {
+    fn record(&mut self, error: bool, cache_hit: bool, latency: Duration, service: Duration) {
         self.count += 1;
         if error {
             self.errors += 1;
@@ -50,8 +70,10 @@ impl EndpointStats {
         }
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
         self.total_us += us;
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.latency_buckets[bucket] += 1;
+        self.latency_buckets[bucket_of(us)] += 1;
+        let service_us = service.as_micros().min(u64::MAX as u128) as u64;
+        self.service_total_us += service_us;
+        self.service_buckets[bucket_of(service_us)] += 1;
     }
 
     /// Smallest bucket upper bound (µs) below which at least `q` of samples fall.
@@ -71,12 +93,15 @@ impl EndpointStats {
     }
 
     fn to_json(&self) -> String {
-        let mut hist = JsonObject::new();
-        for (k, &n) in self.latency_buckets.iter().enumerate() {
-            if n > 0 {
-                hist = hist.u64(&format!("le_{}us", 1u64 << k), n);
+        let render_hist = |buckets: &[u64; BUCKETS]| {
+            let mut hist = JsonObject::new();
+            for (k, &n) in buckets.iter().enumerate() {
+                if n > 0 {
+                    hist = hist.u64(&format!("le_{}us", 1u64 << k), n);
+                }
             }
-        }
+            hist.finish()
+        };
         JsonObject::new()
             .u64("count", self.count)
             .u64("errors", self.errors)
@@ -85,7 +110,9 @@ impl EndpointStats {
             .u64("latency_p50_us_upper", self.quantile_upper_us(0.50))
             .u64("latency_p95_us_upper", self.quantile_upper_us(0.95))
             .u64("latency_p99_us_upper", self.quantile_upper_us(0.99))
-            .raw("latency_histogram_us", &hist.finish())
+            .raw("latency_histogram_us", &render_hist(&self.latency_buckets))
+            .u64("service_total_us", self.service_total_us)
+            .raw("service_histogram_us", &render_hist(&self.service_buckets))
             .finish()
     }
 }
@@ -107,13 +134,29 @@ impl Registry {
     }
 
     /// Records one handled request against `endpoint`.
-    pub fn record(&self, endpoint: &'static str, error: bool, cache_hit: bool, latency: Duration) {
+    ///
+    /// `latency` is measured from accept (queue wait included); `service` is
+    /// the handler-only duration. Paths that never reach a worker (shedding,
+    /// unreadable requests) pass `Duration::ZERO` service time.
+    pub fn record(
+        &self,
+        endpoint: &'static str,
+        error: bool,
+        cache_hit: bool,
+        latency: Duration,
+        service: Duration,
+    ) {
         self.endpoints
             .lock()
             .expect("metrics mutex poisoned")
             .entry(endpoint)
             .or_insert_with(EndpointStats::new)
-            .record(error, cache_hit, latency);
+            .record(error, cache_hit, latency, service);
+    }
+
+    /// Time elapsed since the registry (i.e. the server) started.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// Point-in-time copy of one endpoint's stats (for tests).
@@ -127,7 +170,12 @@ impl Registry {
 
     /// Renders the registry (plus externally-owned pool and cache gauges) as
     /// the `/metrics` JSON document.
-    pub fn to_json(&self, pool: &str, cache: &str) -> String {
+    ///
+    /// `in_flight` is the number of accepted requests not yet answered, and
+    /// `library` is the merged [`hc_obs`] registry export
+    /// ([`hc_obs::metrics::export_json`]) so one scrape covers both server and
+    /// library counters.
+    pub fn to_json(&self, pool: &str, cache: &str, in_flight: i64, library: &str) -> String {
         let endpoints = self.endpoints.lock().expect("metrics mutex poisoned");
         let mut per_endpoint = JsonObject::new();
         let mut total = 0u64;
@@ -136,13 +184,30 @@ impl Registry {
             total += stats.count;
         }
         JsonObject::new()
-            .u64("uptime_s", self.started.elapsed().as_secs())
+            .u64("uptime_seconds", self.started.elapsed().as_secs())
+            .raw("build", &build_info_json())
             .u64("requests_total", total)
+            .i64("requests_in_flight", in_flight)
             .raw("endpoints", &per_endpoint.finish())
             .raw("pool", pool)
             .raw("cache", cache)
+            .raw("library", library)
             .finish()
     }
+}
+
+/// Build identity rendered into `/metrics` and `/healthz`: crate version plus
+/// the `git describe` output captured at compile time via the
+/// `HC_GIT_DESCRIBE` environment variable (absent in plain `cargo build`, so
+/// it degrades to `"unknown"`).
+pub fn build_info_json() -> String {
+    JsonObject::new()
+        .str("version", env!("CARGO_PKG_VERSION"))
+        .str(
+            "git_describe",
+            option_env!("HC_GIT_DESCRIBE").unwrap_or("unknown"),
+        )
+        .finish()
 }
 
 impl Default for Registry {
@@ -158,20 +223,44 @@ mod tests {
     #[test]
     fn records_and_renders() {
         let r = Registry::new();
-        r.record("measure", false, false, Duration::from_micros(130));
-        r.record("measure", false, true, Duration::from_micros(3));
-        r.record("measure", true, false, Duration::from_millis(9));
+        r.record(
+            "measure",
+            false,
+            false,
+            Duration::from_micros(130),
+            Duration::from_micros(120),
+        );
+        r.record(
+            "measure",
+            false,
+            true,
+            Duration::from_micros(3),
+            Duration::from_micros(2),
+        );
+        r.record(
+            "measure",
+            true,
+            false,
+            Duration::from_millis(9),
+            Duration::from_millis(8),
+        );
         let s = r.snapshot("measure").unwrap();
         assert_eq!(s.count, 3);
         assert_eq!(s.errors, 1);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.latency_buckets.iter().sum::<u64>(), 3);
+        assert_eq!(s.service_buckets.iter().sum::<u64>(), 3);
 
-        let j = r.to_json("{\"queued\":0}", "{\"entries\":0}");
+        let j = r.to_json("{\"queued\":0}", "{\"entries\":0}", 2, "{}");
+        assert!(j.contains("\"uptime_seconds\":"));
+        assert!(j.contains("\"build\":{\"version\":"));
         assert!(j.contains("\"requests_total\":3"));
+        assert!(j.contains("\"requests_in_flight\":2"));
         assert!(j.contains("\"measure\":{\"count\":3"));
         assert!(j.contains("\"cache_hits\":1"));
+        assert!(j.contains("\"service_histogram_us\""));
         assert!(j.contains("\"pool\":{\"queued\":0}"));
+        assert!(j.contains("\"library\":{}"));
         assert!(j.contains("le_"));
     }
 
@@ -179,7 +268,7 @@ mod tests {
     fn quantiles_monotone() {
         let r = Registry::new();
         for us in [1u64, 10, 100, 1000, 10_000] {
-            r.record("e", false, false, Duration::from_micros(us));
+            r.record("e", false, false, Duration::from_micros(us), Duration::ZERO);
         }
         let s = r.snapshot("e").unwrap();
         let p50 = s.quantile_upper_us(0.50);
@@ -193,8 +282,29 @@ mod tests {
     #[test]
     fn zero_latency_lands_in_first_bucket() {
         let r = Registry::new();
-        r.record("e", false, false, Duration::from_nanos(1));
+        r.record("e", false, false, Duration::from_nanos(1), Duration::ZERO);
         let s = r.snapshot("e").unwrap();
         assert_eq!(s.latency_buckets[0], 1);
+        assert_eq!(s.service_buckets[0], 1);
+    }
+
+    #[test]
+    fn queue_wait_separates_latency_from_service() {
+        let r = Registry::new();
+        // 5 ms from accept, but only 1 ms of handler time: the 4 ms gap is
+        // queue wait, which must show up in latency_* and not in service_*.
+        r.record(
+            "e",
+            false,
+            false,
+            Duration::from_millis(5),
+            Duration::from_millis(1),
+        );
+        let s = r.snapshot("e").unwrap();
+        assert_eq!(s.total_us, 5000);
+        assert_eq!(s.service_total_us, 1000);
+        assert_eq!(s.latency_buckets[bucket_of(5000)], 1);
+        assert_eq!(s.service_buckets[bucket_of(1000)], 1);
+        assert_ne!(bucket_of(5000), bucket_of(1000));
     }
 }

@@ -123,8 +123,13 @@ fn batch(state: &Arc<ServerState>, req: &Request) -> Result<Response, HttpError>
             path: "/measure".to_string(),
             query: req.query.clone(),
             body: part.into_bytes(),
+            request_id: None,
         };
-        let (st, res, fin) = (Arc::clone(state), Arc::clone(&results), Arc::clone(&finished));
+        let (st, res, fin) = (
+            Arc::clone(state),
+            Arc::clone(&results),
+            Arc::clone(&finished),
+        );
         state.pool.spawn_subtask(Box::new(move || {
             // Reuse the /measure cache so identical matrices — within this
             // batch or across requests — are computed once.
@@ -136,7 +141,9 @@ fn batch(state: &Arc<ServerState>, req: &Request) -> Result<Response, HttpError>
     }
     // Help drain the subtask lane so a busy pool (even one worker) completes.
     let fin = Arc::clone(&finished);
-    state.pool.help_until(move || fin.load(Ordering::SeqCst) == n);
+    state
+        .pool
+        .help_until(move || fin.load(Ordering::SeqCst) == n);
 
     let collected = results.lock().expect("batch results mutex poisoned");
     let mut arr = JsonArray::new();
@@ -181,9 +188,12 @@ fn metrics_document(state: &ServerState) -> String {
         .u64("misses", cache_stats.misses)
         .u64("evictions", cache_stats.evictions)
         .finish();
-    state
-        .metrics
-        .to_json(&state.pool.stats_json(), &cache_json)
+    state.metrics.to_json(
+        &state.pool.stats_json(),
+        &cache_json,
+        state.in_flight.load(std::sync::atomic::Ordering::Relaxed),
+        &hc_obs::metrics::export_json(),
+    )
 }
 
 fn require_method(req: &Request, method: &str) -> Result<(), Response> {
@@ -198,13 +208,73 @@ fn require_method(req: &Request, method: &str) -> Result<(), Response> {
 }
 
 /// Routes one request, records metrics, and returns the response to write.
-pub fn route(state: &Arc<ServerState>, req: &Request) -> Response {
-    let start = Instant::now();
+///
+/// `accepted` is the instant the connection was accepted (before queueing),
+/// so the recorded latency includes queue wait; the service time measured
+/// from here is recorded separately. `request_id` is the id the connection
+/// handler will echo as `X-Request-Id`.
+pub fn route(
+    state: &Arc<ServerState>,
+    req: &Request,
+    accepted: Instant,
+    request_id: &str,
+) -> Response {
+    let service_start = Instant::now();
+    let queue_wait = service_start.duration_since(accepted);
+    let mut obs = hc_obs::span("serve.request");
     let name = endpoint_name(req);
     let (resp, cache_hit) = dispatch(state, name, req);
+    let service = service_start.elapsed();
+    let latency = accepted.elapsed();
     state
         .metrics
-        .record(name, resp.status >= 400, cache_hit, start.elapsed());
+        .record(name, resp.status >= 400, cache_hit, latency, service);
+    if obs.armed() {
+        obs.field_str("request_id", request_id);
+        obs.field_str("endpoint", name);
+        obs.field_str("path", &req.path);
+        obs.field_u64("status", u64::from(resp.status));
+        obs.field_bool("cache_hit", cache_hit);
+        obs.field_u64("queue_us", queue_wait.as_micros() as u64);
+        obs.field_u64("service_us", service.as_micros() as u64);
+    }
+    let slow_ms = state.config.slow_ms;
+    if slow_ms > 0 && latency >= std::time::Duration::from_millis(slow_ms) {
+        let latency_ms = latency.as_millis() as u64;
+        if hc_obs::sink_installed() {
+            hc_obs::event(
+                hc_obs::Level::Warn,
+                "serve.slow_request",
+                &[
+                    (
+                        "request_id",
+                        hc_obs::FieldValue::Str(request_id.to_string()),
+                    ),
+                    ("endpoint", hc_obs::FieldValue::Str(name.to_string())),
+                    ("status", hc_obs::FieldValue::U64(u64::from(resp.status))),
+                    ("latency_ms", hc_obs::FieldValue::U64(latency_ms)),
+                    (
+                        "queue_us",
+                        hc_obs::FieldValue::U64(queue_wait.as_micros() as u64),
+                    ),
+                    (
+                        "service_us",
+                        hc_obs::FieldValue::U64(service.as_micros() as u64),
+                    ),
+                ],
+            );
+        } else {
+            eprintln!(
+                "hcm serve: slow request {request_id}: {} {} -> {} in {latency_ms} ms \
+                 (queue {} us, service {} us; threshold {slow_ms} ms)",
+                req.method,
+                req.path,
+                resp.status,
+                queue_wait.as_micros(),
+                service.as_micros(),
+            );
+        }
+    }
     resp
 }
 
@@ -236,7 +306,17 @@ fn dispatch(state: &Arc<ServerState>, name: &'static str, req: &Request) -> (Res
             Err(resp) => (resp, false),
         },
         "healthz" => (
-            Response::json(JsonObject::new().bool("ok", true).finish()),
+            Response::json(
+                JsonObject::new()
+                    .bool("ok", true)
+                    .u64("uptime_seconds", state.metrics.uptime().as_secs())
+                    .raw("build", &crate::metrics::build_info_json())
+                    .i64(
+                        "requests_in_flight",
+                        state.in_flight.load(std::sync::atomic::Ordering::Relaxed),
+                    )
+                    .finish(),
+            ),
             false,
         ),
         "sleepz" => {
@@ -293,6 +373,7 @@ mod tests {
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect(),
             body: Vec::new(),
+            request_id: None,
         };
         assert_eq!(canonical_options(&req), "ecs=1&zero-policy=limit");
     }

@@ -10,10 +10,10 @@
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use crate::cache::LruCache;
 use crate::http::{read_request, write_response, Response};
@@ -39,6 +39,9 @@ pub struct Config {
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
+    /// Log requests whose accept-to-response latency exceeds this many
+    /// milliseconds (0 disables slow-request logging).
+    pub slow_ms: u64,
 }
 
 impl Default for Config {
@@ -54,6 +57,7 @@ impl Default for Config {
             max_body_bytes: 8 * 1024 * 1024,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            slow_ms: 0,
         }
     }
 }
@@ -70,6 +74,8 @@ pub struct ServerState {
     pub config: Config,
     /// Set to request a graceful drain.
     pub shutdown: AtomicBool,
+    /// Accepted requests not yet answered (queued + executing).
+    pub in_flight: AtomicI64,
 }
 
 /// A running server; dropping it does NOT stop the server — call
@@ -122,6 +128,7 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
         metrics: Registry::new(),
         config,
         shutdown: AtomicBool::new(false),
+        in_flight: AtomicI64::new(0),
     });
     let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
@@ -153,7 +160,24 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     state.pool.shutdown();
 }
 
+/// Generates a process-unique request id: server start time (µs since the
+/// epoch, hex) plus a monotonically increasing sequence number.
+fn next_request_id() -> String {
+    static BOOT_US: OnceLock<u64> = OnceLock::new();
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let boot = BOOT_US.get_or_init(|| {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    });
+    format!("{boot:x}-{:x}", SEQ.fetch_add(1, Ordering::Relaxed))
+}
+
 fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    // Latency is measured from here — before queueing — so the `/metrics`
+    // latency histograms include queue wait and overload is not hidden.
+    let accepted = Instant::now();
     // The listener is nonblocking; the per-connection socket must not be, or
     // the read/write timeouts below would not apply.
     let _ = stream.set_nonblocking(false);
@@ -165,9 +189,10 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
         // queue is full and parsing would only add load.
         state
             .metrics
-            .record("_shed", true, false, Duration::from_micros(0));
+            .record("_shed", true, false, accepted.elapsed(), Duration::ZERO);
         let mut s = stream;
-        let _ = write_response(&mut s, &Response::overloaded(1));
+        let response = Response::overloaded(1).with_header("X-Request-Id", &next_request_id());
+        let _ = write_response(&mut s, &response);
         let _ = s.shutdown(std::net::Shutdown::Write);
         // Drain whatever the client already sent before closing; closing a
         // socket with unread data makes the kernel send RST, which would
@@ -186,19 +211,31 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
 
     let st = Arc::clone(state);
     let mut s = stream;
+    state.in_flight.fetch_add(1, Ordering::Relaxed);
     let job = Box::new(move || {
         let response = match read_request(&mut s, st.config.max_body_bytes) {
-            Ok(request) => router::route(&st, &request),
+            Ok(request) => {
+                let id = request.request_id.clone().unwrap_or_else(next_request_id);
+                router::route(&st, &request, accepted, &id).with_header("X-Request-Id", &id)
+            }
             Err(e) => {
-                st.metrics
-                    .record("_http_error", true, false, Duration::from_micros(0));
+                st.metrics.record(
+                    "_http_error",
+                    true,
+                    false,
+                    accepted.elapsed(),
+                    Duration::ZERO,
+                );
                 Response::error(e.status, &e.message)
+                    .with_header("X-Request-Id", &next_request_id())
             }
         };
         let _ = write_response(&mut s, &response);
+        st.in_flight.fetch_sub(1, Ordering::Relaxed);
     });
     if state.pool.try_execute(job).is_err() {
         // Raced with shutdown after the would_shed check; the dropped job
         // closes the connection, which is the best we can do mid-drain.
+        state.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }

@@ -224,10 +224,7 @@ fn worker_loop(shared: &Shared) {
                 if q.shutting_down {
                     break None;
                 }
-                q = shared
-                    .work_ready
-                    .wait(q)
-                    .expect("pool mutex poisoned");
+                q = shared.work_ready.wait(q).expect("pool mutex poisoned");
             }
         };
         match job {

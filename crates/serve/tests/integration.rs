@@ -269,3 +269,91 @@ fn quitquitquit_drains_gracefully() {
     std::thread::sleep(Duration::from_millis(50));
     assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
 }
+
+/// Extracts the `X-Request-Id` header value from a response head.
+fn request_id_of(head: &str) -> Option<String> {
+    head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("x-request-id")
+            .then(|| value.trim().to_string())
+    })
+}
+
+#[test]
+fn request_id_echoed_on_every_response() {
+    let handle = start(test_config()).expect("start server");
+    let addr = handle.local_addr();
+
+    // A client-supplied id comes back verbatim.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = matrix(90);
+    let req = format!(
+        "POST /measure HTTP/1.1\r\nHost: t\r\nX-Request-Id: trace-me-42\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    let head = text.split_once("\r\n\r\n").expect("head").0;
+    assert_eq!(request_id_of(head).as_deref(), Some("trace-me-42"));
+
+    // Without one, the server generates a unique id per response.
+    let (s1, h1, _) = get(addr, "/healthz");
+    let (s2, h2, _) = get(addr, "/healthz");
+    assert_eq!((s1, s2), (200, 200));
+    let id1 = request_id_of(&h1).expect("generated id");
+    let id2 = request_id_of(&h2).expect("generated id");
+    assert!(!id1.is_empty());
+    assert_ne!(id1, id2, "ids must be unique per request");
+
+    // Error responses carry an id too.
+    let (s, h, _) = get(addr, "/no-such-endpoint");
+    assert_eq!(s, 404);
+    assert!(request_id_of(&h).is_some());
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn metrics_merge_library_registry_and_report_build_info() {
+    let handle = start(test_config()).expect("start server");
+    let addr = handle.local_addr();
+
+    // One measurement drives the instrumented library paths (Sinkhorn, SVD).
+    let (s, _h, _b) = post(addr, "/measure", &matrix(91));
+    assert_eq!(s, 200);
+
+    let (s, _h, m) = get(addr, "/metrics");
+    assert_eq!(s, 200);
+    // Satellite fields: uptime, build identity, in-flight gauge, and the
+    // queue-wait-inclusive vs service-only histogram split.
+    assert!(m.contains("\"uptime_seconds\":"), "{m}");
+    assert!(m.contains("\"build\":{\"version\":"), "{m}");
+    assert!(m.contains("\"git_describe\":"), "{m}");
+    assert!(m.contains("\"requests_in_flight\":"), "{m}");
+    assert!(m.contains("\"latency_histogram_us\""), "{m}");
+    assert!(m.contains("\"service_histogram_us\""), "{m}");
+    // The hc-obs registry is merged in: library counters recorded while
+    // serving /measure must be visible in the same scrape.
+    assert!(m.contains("\"library\":{"), "{m}");
+    assert!(m.contains("\"sinkhorn_balance_total\":"), "{m}");
+    assert!(m.contains("\"core_characterize_total\":"), "{m}");
+    assert!(m.contains("\"sinkhorn_balance_iterations\":{"), "{m}");
+
+    // /healthz reports the same identity fields.
+    let (s, _h, hz) = get(addr, "/healthz");
+    assert_eq!(s, 200);
+    assert!(hz.contains("\"ok\":true"), "{hz}");
+    assert!(hz.contains("\"uptime_seconds\":"), "{hz}");
+    assert!(hz.contains("\"build\":{\"version\":"), "{hz}");
+    assert!(hz.contains("\"requests_in_flight\":"), "{hz}");
+
+    handle.shutdown();
+    handle.join();
+}

@@ -47,11 +47,23 @@ impl Downtime {
 
     /// Periodic maintenance: `down` time units every `period`, starting at
     /// `offset`, over `[0, horizon)`.
-    pub fn periodic(offset: f64, period: f64, down: f64, horizon: f64) -> Result<Self, MeasureError> {
-        if period <= 0.0 || period.is_nan() || down <= 0.0 || down.is_nan() || down >= period || offset < 0.0
+    pub fn periodic(
+        offset: f64,
+        period: f64,
+        down: f64,
+        horizon: f64,
+    ) -> Result<Self, MeasureError> {
+        if period <= 0.0
+            || period.is_nan()
+            || down <= 0.0
+            || down.is_nan()
+            || down >= period
+            || offset < 0.0
         {
             return Err(MeasureError::InvalidEnvironment {
-                reason: format!("bad periodic downtime: offset {offset}, period {period}, down {down}"),
+                reason: format!(
+                    "bad periodic downtime: offset {offset}, period {period}, down {down}"
+                ),
             });
         }
         let mut intervals = Vec::new();

@@ -82,14 +82,11 @@ pub fn pick_immediate(
     let compatible = || (0..m).filter(|&j| etc_row[j].is_finite());
     let start = |j: usize| ready[j].max(now);
     let chosen = match policy {
-        OnlinePolicy::Olb => compatible().min_by(|&a, &b| {
-            start(a)
-                .partial_cmp(&start(b))
-                .expect("finite ready times")
-        }),
-        OnlinePolicy::Met => compatible().min_by(|&a, &b| {
-            etc_row[a].partial_cmp(&etc_row[b]).expect("finite etc")
-        }),
+        OnlinePolicy::Olb => compatible()
+            .min_by(|&a, &b| start(a).partial_cmp(&start(b)).expect("finite ready times")),
+        OnlinePolicy::Met => {
+            compatible().min_by(|&a, &b| etc_row[a].partial_cmp(&etc_row[b]).expect("finite etc"))
+        }
         OnlinePolicy::Mct => compatible().min_by(|&a, &b| {
             (start(a) + etc_row[a])
                 .partial_cmp(&(start(b) + etc_row[b]))
@@ -110,13 +107,11 @@ pub fn pick_immediate(
             });
             let k = ((percent as usize * m).div_ceil(100)).max(1);
             machines.truncate(k.min(machines.len()));
-            machines
-                .into_iter()
-                .min_by(|&a, &b| {
-                    (start(a) + etc_row[a])
-                        .partial_cmp(&(start(b) + etc_row[b]))
-                        .expect("finite")
-                })
+            machines.into_iter().min_by(|&a, &b| {
+                (start(a) + etc_row[a])
+                    .partial_cmp(&(start(b) + etc_row[b]))
+                    .expect("finite")
+            })
         }
     };
     chosen.ok_or_else(|| MeasureError::InvalidEnvironment {
@@ -193,11 +188,20 @@ mod tests {
         // Machine 0 faster but busy; MCT picks machine 1.
         let row = [2.0, 3.0];
         let ready = [10.0, 0.0];
-        assert_eq!(pick_immediate(OnlinePolicy::Mct, &row, &ready, 0.0).unwrap(), 1);
+        assert_eq!(
+            pick_immediate(OnlinePolicy::Mct, &row, &ready, 0.0).unwrap(),
+            1
+        );
         // MET ignores the queue.
-        assert_eq!(pick_immediate(OnlinePolicy::Met, &row, &ready, 0.0).unwrap(), 0);
+        assert_eq!(
+            pick_immediate(OnlinePolicy::Met, &row, &ready, 0.0).unwrap(),
+            0
+        );
         // OLB ignores execution times.
-        assert_eq!(pick_immediate(OnlinePolicy::Olb, &row, &ready, 0.0).unwrap(), 1);
+        assert_eq!(
+            pick_immediate(OnlinePolicy::Olb, &row, &ready, 0.0).unwrap(),
+            1
+        );
     }
 
     #[test]

@@ -78,6 +78,13 @@ pub fn simulate(
             reason: "simulate needs a non-empty ETC matrix".into(),
         });
     }
+    let mut obs = hc_obs::span("sim.simulate");
+    hc_obs::obs_counter!("sim_runs_total").inc();
+    hc_obs::obs_counter!("sim_tasks_total").add(workload.arrivals.len() as u64);
+    if obs.armed() {
+        obs.field_u64("machines", m as u64);
+        obs.field_u64("arrivals", workload.arrivals.len() as u64);
+    }
     for a in &workload.arrivals {
         if a.task_type >= etc.rows() {
             return Err(MeasureError::InvalidEnvironment {
@@ -121,24 +128,26 @@ pub fn simulate(
             }
             let mut pending: Vec<(usize, f64)> = Vec::new(); // (task_type, arrival)
             let mut flush_at = interval;
-            let mut flush =
-                |pending: &mut Vec<(usize, f64)>, now: f64, ready: &mut [f64]| -> Result<(), MeasureError> {
-                    if pending.is_empty() {
-                        return Ok(());
-                    }
-                    let types: Vec<usize> = pending.iter().map(|p| p.0).collect();
-                    // map_batch updates ready internally; recompute starts for the
-                    // records by replaying commitments in its chosen order is not
-                    // needed — the machine totals are what matter, and the batch
-                    // semantics start every batch member no earlier than `now`.
-                    let mut shadow = ready.to_vec();
-                    let assignment = map_batch(policy, etc, &types, &mut shadow, now)?;
-                    for (k, &(tt, arr)) in pending.iter().enumerate() {
-                        commit(tt, arr.max(now), assignment[k], ready);
-                    }
-                    pending.clear();
-                    Ok(())
-                };
+            let mut flush = |pending: &mut Vec<(usize, f64)>,
+                             now: f64,
+                             ready: &mut [f64]|
+             -> Result<(), MeasureError> {
+                if pending.is_empty() {
+                    return Ok(());
+                }
+                let types: Vec<usize> = pending.iter().map(|p| p.0).collect();
+                // map_batch updates ready internally; recompute starts for the
+                // records by replaying commitments in its chosen order is not
+                // needed — the machine totals are what matter, and the batch
+                // semantics start every batch member no earlier than `now`.
+                let mut shadow = ready.to_vec();
+                let assignment = map_batch(policy, etc, &types, &mut shadow, now)?;
+                for (k, &(tt, arr)) in pending.iter().enumerate() {
+                    commit(tt, arr.max(now), assignment[k], ready);
+                }
+                pending.clear();
+                Ok(())
+            };
             for a in &workload.arrivals {
                 while a.time > flush_at {
                     flush(&mut pending, flush_at, &mut ready)?;
@@ -367,7 +376,10 @@ mod tests {
         assert_eq!(r.records.len(), 4);
         // Nothing starts before its batch boundary.
         for rec in &r.records[..3] {
-            assert!(rec.start >= 1.0 - 1e-12, "batched task started early: {rec:?}");
+            assert!(
+                rec.start >= 1.0 - 1e-12,
+                "batched task started early: {rec:?}"
+            );
         }
         // The t = 5.0 arrival lands exactly on a boundary and flushes there.
         assert!(r.records[3].start >= 5.0 - 1e-12);
@@ -485,7 +497,7 @@ mod tests {
         use crate::availability::Downtime;
 
         #[test]
-        fn matches_plain_simulate_when_always_up(){
+        fn matches_plain_simulate_when_always_up() {
             let wl = generate(&WorkloadSpec::uniform(60, 1.0, 2, 5)).unwrap();
             let plain = simulate(
                 &etc2(),
@@ -509,18 +521,12 @@ mod tests {
         fn downtime_delays_and_reroutes() {
             // Machine 0 is down [0, 100): everything must run on machine 1.
             let wl = manual_workload(&[(0.0, 0), (1.0, 0)]);
-            let down = [
-                Downtime::new(vec![(0.0, 100.0)]).unwrap(),
-                Downtime::none(),
-            ];
+            let down = [Downtime::new(vec![(0.0, 100.0)]).unwrap(), Downtime::none()];
             let r = simulate_available(&etc2(), &wl, OnlinePolicy::Mct, &down).unwrap();
             assert!(r.records.iter().all(|rec| rec.machine == 1));
             // With a short outage, execution is pushed past the window when it
             // cannot fit before it.
-            let down2 = [
-                Downtime::new(vec![(1.0, 5.0)]).unwrap(),
-                Downtime::none(),
-            ];
+            let down2 = [Downtime::new(vec![(1.0, 5.0)]).unwrap(), Downtime::none()];
             // Task type 0 takes 2.0 on m0: at t=0 it cannot finish before the
             // window (needs [0, 2) but window starts at 1), so MCT compares
             // m0 finishing at 5+2=7 against m1 finishing at 4 and picks m1.
@@ -536,19 +542,11 @@ mod tests {
         #[test]
         fn kpb_with_downtime() {
             let wl = manual_workload(&[(0.0, 0)]);
-            let down = [
-                Downtime::new(vec![(0.0, 50.0)]).unwrap(),
-                Downtime::none(),
-            ];
+            let down = [Downtime::new(vec![(0.0, 50.0)]).unwrap(), Downtime::none()];
             // KPB 50% on 2 machines = only the fastest (m0, which is down):
             // committed there anyway, starting after the window.
-            let r = simulate_available(
-                &etc2(),
-                &wl,
-                OnlinePolicy::Kpb { percent: 50 },
-                &down,
-            )
-            .unwrap();
+            let r =
+                simulate_available(&etc2(), &wl, OnlinePolicy::Kpb { percent: 50 }, &down).unwrap();
             assert_eq!(r.records[0].machine, 0);
             assert_eq!(r.records[0].start, 50.0);
         }

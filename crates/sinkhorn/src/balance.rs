@@ -118,11 +118,7 @@ impl BalanceOutcome {
     }
 }
 
-fn validate(
-    m: &Matrix,
-    row_targets: &[f64],
-    col_targets: &[f64],
-) -> Result<(), LinAlgError> {
+fn validate(m: &Matrix, row_targets: &[f64], col_targets: &[f64]) -> Result<(), LinAlgError> {
     if m.is_empty() {
         return Err(LinAlgError::Empty { op: "balance" });
     }
@@ -202,11 +198,7 @@ fn marginal_residual(m: &Matrix, row_targets: &[f64], col_targets: &[f64]) -> f6
 /// balanced (standard-form) matrix when scaled so σ₁ = 1.
 pub fn estimate_rate(history: &[f64]) -> Option<f64> {
     // Ignore residuals at double-precision noise level.
-    let informative: Vec<f64> = history
-        .iter()
-        .copied()
-        .take_while(|&r| r > 1e-13)
-        .collect();
+    let informative: Vec<f64> = history.iter().copied().take_while(|&r| r > 1e-13).collect();
     if informative.len() < 5 {
         return None;
     }
@@ -231,6 +223,7 @@ pub fn balance_with(
     opts: &BalanceOptions,
 ) -> Result<BalanceOutcome, LinAlgError> {
     validate(m, row_targets, col_targets)?;
+    let mut obs = hc_obs::span("sinkhorn.balance");
     let (t, mm) = m.shape();
     let mut a = m.clone();
     let mut row_scale = vec![1.0; t];
@@ -312,6 +305,48 @@ pub fn balance_with(
         decayed
     };
 
+    let status_name = match &status {
+        BalanceStatus::Converged => "converged",
+        BalanceStatus::MaxIterations { .. } => "max_iterations",
+        BalanceStatus::Stalled { .. } => "stalled",
+    };
+    hc_obs::obs_counter!("sinkhorn_balance_total").inc();
+    hc_obs::obs_counter!("sinkhorn_balance_iterations_total").add(iterations as u64);
+    match &status {
+        BalanceStatus::Converged => hc_obs::obs_counter!("sinkhorn_balance_converged_total").inc(),
+        BalanceStatus::MaxIterations { .. } => {
+            hc_obs::obs_counter!("sinkhorn_balance_max_iterations_total").inc()
+        }
+        BalanceStatus::Stalled { .. } => {
+            hc_obs::obs_counter!("sinkhorn_balance_stalled_total").inc()
+        }
+    }
+    hc_obs::obs_histogram!("sinkhorn_balance_iterations").observe(iterations as u64);
+    if obs.armed() {
+        // Final per-side residuals are only worth recomputing when a sink
+        // will actually see them.
+        let row_residual = a
+            .row_sums()
+            .iter()
+            .zip(row_targets)
+            .map(|(s, tgt)| (s - tgt).abs() / tgt)
+            .fold(0.0f64, f64::max);
+        let col_residual = a
+            .col_sums()
+            .iter()
+            .zip(col_targets)
+            .map(|(s, tgt)| (s - tgt).abs() / tgt)
+            .fold(0.0f64, f64::max);
+        obs.field_u64("rows", t as u64);
+        obs.field_u64("cols", mm as u64);
+        obs.field_u64("iterations", iterations as u64);
+        obs.field_f64("residual", residual);
+        obs.field_f64("row_residual", row_residual);
+        obs.field_f64("col_residual", col_residual);
+        obs.field_str("status", status_name);
+        obs.field_bool("entries_decayed", entries_decayed);
+    }
+
     Ok(BalanceOutcome {
         matrix: a,
         row_scale,
@@ -388,8 +423,7 @@ mod tests {
     #[test]
     fn scaling_consistency() {
         // matrix ≈ diag(row_scale) · input · diag(col_scale)
-        let m = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[3.0, 4.0, 2.0], &[0.2, 1.0, 5.0]])
-            .unwrap();
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[3.0, 4.0, 2.0], &[0.2, 1.0, 5.0]]).unwrap();
         let (rt, ct) = standard_targets(3, 3);
         let out = standardize(&m, &BalanceOptions::default()).unwrap();
         for i in 0..3 {
@@ -559,12 +593,7 @@ mod tests {
         // scaling does not exist; the iterates limp toward a permutation limit,
         // with the (2,3) entry decaying. With a modest budget we observe either
         // slow convergence-with-decay or a stall — never a clean fast converge.
-        let m = Matrix::from_rows(&[
-            &[0.0, 0.0, 1.0],
-            &[1.0, 0.0, 1.0],
-            &[0.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[&[0.0, 0.0, 1.0], &[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]).unwrap();
         let opts = BalanceOptions {
             max_iters: 200,
             ..Default::default()
@@ -583,12 +612,7 @@ mod tests {
     fn rate_matches_sigma2_squared() {
         // Theory: the asymptotic Sinkhorn contraction rate on a positive matrix
         // is σ₂² of the standard form (σ₁ = 1 scaling).
-        let m = Matrix::from_rows(&[
-            &[2.0, 0.7, 0.3],
-            &[0.5, 1.8, 0.6],
-            &[0.4, 0.9, 2.2],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[&[2.0, 0.7, 0.3], &[0.5, 1.8, 0.6], &[0.4, 0.9, 2.2]]).unwrap();
         let opts = BalanceOptions {
             tol: 1e-14,
             max_iters: 400,

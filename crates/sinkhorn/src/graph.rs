@@ -146,8 +146,7 @@ pub fn hopcroft_karp(g: &Bipartite) -> Matching {
                 let ok = match right_match[j] {
                     None => true,
                     Some(i2) => {
-                        dist[i2] == dist[i] + 1
-                            && try_augment(i2, g, dist, left_match, right_match)
+                        dist[i2] == dist[i] + 1 && try_augment(i2, g, dist, left_match, right_match)
                     }
                 };
                 if ok {

@@ -317,7 +317,9 @@ pub fn dm_coarse(m: &Matrix) -> DmCoarse {
     // (row --any edge--> col --matched edge--> row).
     let mut h_row = vec![false; nr];
     let mut h_col = vec![false; nc];
-    let mut stack: Vec<usize> = (0..nr).filter(|&i| matching.left_match[i].is_none()).collect();
+    let mut stack: Vec<usize> = (0..nr)
+        .filter(|&i| matching.left_match[i].is_none())
+        .collect();
     for &i in &stack {
         h_row[i] = true;
     }
@@ -339,7 +341,9 @@ pub fn dm_coarse(m: &Matrix) -> DmCoarse {
     // (col --any edge--> row --matched edge--> col).
     let mut v_row = vec![false; nr];
     let mut v_col = vec![false; nc];
-    let mut cstack: Vec<usize> = (0..nc).filter(|&j| matching.right_match[j].is_none()).collect();
+    let mut cstack: Vec<usize> = (0..nc)
+        .filter(|&j| matching.right_match[j].is_none())
+        .collect();
     for &j in &cstack {
         v_col[j] = true;
     }
@@ -375,7 +379,10 @@ pub fn dm_coarse(m: &Matrix) -> DmCoarse {
 /// perfect matching; a non-matched edge lies on a perfect matching iff its
 /// endpoints share an SCC of the contracted digraph.
 pub fn diagonal_support_mask(m: &Matrix) -> Option<Vec<Vec<bool>>> {
-    assert!(m.is_square(), "diagonal_support_mask requires a square matrix");
+    assert!(
+        m.is_square(),
+        "diagonal_support_mask requires a square matrix"
+    );
     let n = m.rows();
     let g = pattern_graph(m);
     let matching = hopcroft_karp(&g);
@@ -487,7 +494,9 @@ pub fn fine_blocks(m: &Matrix) -> Option<Vec<(Vec<usize>, Vec<usize>)>> {
     for (i, &c) in comp.iter().enumerate() {
         blocks[c].0.push(i);
         // The block's columns are the matched partners of its rows.
-        blocks[c].1.push(matching.left_match[i].expect("perfect matching"));
+        blocks[c]
+            .1
+            .push(matching.left_match[i].expect("perfect matching"));
     }
     for b in &mut blocks {
         b.0.sort_unstable();
@@ -601,8 +610,7 @@ mod tests {
         // 3×3 0/1 patterns with no zero row/column.
         for bits in 0u32..(1 << 9) {
             let m = Matrix::from_fn(3, 3, |i, j| ((bits >> (i * 3 + j)) & 1) as f64);
-            if m.row_sums().contains(&0.0) || m.col_sums().contains(&0.0)
-            {
+            if m.row_sums().contains(&0.0) || m.col_sums().contains(&0.0) {
                 continue;
             }
             let fast = analyze_square(&m).fully_indecomposable;
@@ -767,7 +775,11 @@ mod tests {
         let m = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 3.0]]).unwrap();
         let core = total_support_core(&m).unwrap();
         assert_eq!(core[(0, 0)], 1.0);
-        assert_eq!(core[(1, 0)], 0.0, "off-diagonal entry is on no positive diagonal");
+        assert_eq!(
+            core[(1, 0)],
+            0.0,
+            "off-diagonal entry is on no positive diagonal"
+        );
         assert_eq!(core[(1, 1)], 3.0);
     }
 

@@ -18,11 +18,14 @@ fn arb_positive_matrix() -> impl Strategy<Value = Matrix> {
 fn arb_square_pattern() -> impl Strategy<Value = Matrix> {
     (2usize..=5)
         .prop_flat_map(|n| {
-            proptest::collection::vec(proptest::bool::weighted(0.7), n * n)
-                .prop_map(move |bits| {
-                    Matrix::from_vec(n, n, bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect())
-                        .unwrap()
-                })
+            proptest::collection::vec(proptest::bool::weighted(0.7), n * n).prop_map(move |bits| {
+                Matrix::from_vec(
+                    n,
+                    n,
+                    bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+                )
+                .unwrap()
+            })
         })
         .prop_filter("no zero rows/cols", |m| {
             m.row_sums().iter().all(|&s| s > 0.0) && m.col_sums().iter().all(|&s| s > 0.0)

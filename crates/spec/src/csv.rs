@@ -70,10 +70,13 @@ fn split_line(line: &str) -> Vec<String> {
 
 /// Parses an ETC matrix from CSV (the format written by [`to_csv`]).
 pub fn from_csv(text: &str) -> Result<Etc, MeasureError> {
+    hc_obs::obs_counter!("spec_csv_parses_total").inc();
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines.next().ok_or_else(|| MeasureError::InvalidEnvironment {
-        reason: "CSV is empty".into(),
-    })?;
+    let header = lines
+        .next()
+        .ok_or_else(|| MeasureError::InvalidEnvironment {
+            reason: "CSV is empty".into(),
+        })?;
     let head_fields = split_line(header);
     if head_fields.len() < 2 {
         return Err(MeasureError::InvalidEnvironment {
@@ -100,11 +103,11 @@ pub fn from_csv(text: &str) -> Result<Etc, MeasureError> {
         for f in &fields[1..] {
             let v = match f.trim() {
                 "inf" | "Inf" | "INF" | "+inf" => f64::INFINITY,
-                other => other.parse::<f64>().map_err(|_| {
-                    MeasureError::InvalidEnvironment {
+                other => other
+                    .parse::<f64>()
+                    .map_err(|_| MeasureError::InvalidEnvironment {
                         reason: format!("CSV row {}: bad number {other:?}", lineno + 2),
-                    }
-                })?,
+                    })?,
             };
             row.push(v);
         }

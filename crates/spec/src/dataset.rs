@@ -16,8 +16,8 @@
 use crate::names::{CFP_BENCHMARKS, CINT_BENCHMARKS, MACHINE_LABELS};
 use hc_core::ecs::{Ecs, Etc};
 use hc_core::error::MeasureError;
-use hc_gen::targeted::{targeted_with_marginals, TargetSpec};
 use hc_gen::rng::{Rng, StdRng};
+use hc_gen::targeted::{targeted_with_marginals, TargetSpec};
 
 /// The paper-reported measure values a dataset is calibrated to.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -205,9 +205,21 @@ mod tests {
         let e = d.ecs();
         assert_eq!(d.etc.num_tasks(), 12);
         assert_eq!(d.etc.num_machines(), 5);
-        assert!((tdh(&e).unwrap() - 0.90).abs() < 5e-3, "TDH = {}", tdh(&e).unwrap());
-        assert!((mph(&e).unwrap() - 0.82).abs() < 5e-3, "MPH = {}", mph(&e).unwrap());
-        assert!((tma(&e).unwrap() - 0.07).abs() < 5e-3, "TMA = {}", tma(&e).unwrap());
+        assert!(
+            (tdh(&e).unwrap() - 0.90).abs() < 5e-3,
+            "TDH = {}",
+            tdh(&e).unwrap()
+        );
+        assert!(
+            (mph(&e).unwrap() - 0.82).abs() < 5e-3,
+            "MPH = {}",
+            mph(&e).unwrap()
+        );
+        assert!(
+            (tma(&e).unwrap() - 0.07).abs() < 5e-3,
+            "TMA = {}",
+            tma(&e).unwrap()
+        );
     }
 
     #[test]
@@ -262,7 +274,11 @@ mod tests {
         assert!(m.is_positive());
         let mean = m.total_sum() / m.len() as f64;
         assert!((mean - 420.0).abs() < 1.0, "mean runtime = {mean}");
-        assert!(m.min().unwrap() > 10.0, "min runtime = {}", m.min().unwrap());
+        assert!(
+            m.min().unwrap() > 10.0,
+            "min runtime = {}",
+            m.min().unwrap()
+        );
         assert!(m.max().unwrap() < 20_000.0, "max = {}", m.max().unwrap());
     }
 

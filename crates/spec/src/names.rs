@@ -65,8 +65,16 @@ mod tests {
     #[test]
     fn counts_match_paper() {
         assert_eq!(MACHINES.len(), 5);
-        assert_eq!(CINT_BENCHMARKS.len(), 12, "SPEC CINT2006Rate has 12 task types");
-        assert_eq!(CFP_BENCHMARKS.len(), 17, "SPEC CFP2006Rate has 17 task types");
+        assert_eq!(
+            CINT_BENCHMARKS.len(),
+            12,
+            "SPEC CINT2006Rate has 12 task types"
+        );
+        assert_eq!(
+            CFP_BENCHMARKS.len(),
+            17,
+            "SPEC CFP2006Rate has 17 task types"
+        );
     }
 
     #[test]

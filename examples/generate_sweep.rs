@@ -11,7 +11,10 @@ use hetero_measures::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The measure-targeted generator: exact (MPH, TDH, TMA) control.
     println!("targeted generation over a 3x3x3 grid (10 tasks x 5 machines):");
-    println!("{:>22}  {:>22}  {:>10}", "target (MPH,TDH,TMA)", "measured", "max|delta|");
+    println!(
+        "{:>22}  {:>22}  {:>10}",
+        "target (MPH,TDH,TMA)", "measured", "max|delta|"
+    );
     let mut worst: f64 = 0.0;
     for spec in measure_grid(10, 5, 3, 0.6) {
         let e = targeted(&spec, 7)?;

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .join(", ")
     );
 
-    println!("{:>10}  {:>8}  {:>8}  winners (count over 16 seeds)", "TMA", "MPH", "TDH");
+    println!(
+        "{:>10}  {:>8}  {:>8}  winners (count over 16 seeds)",
+        "TMA", "MPH", "TDH"
+    );
     for &tma_target in &[0.0, 0.1, 0.25, 0.4, 0.55] {
         let envs: Vec<Ecs> = (0..16)
             .map(|seed| {

@@ -29,10 +29,23 @@ fn main() -> Result<(), MeasureError> {
 
     // All three measures in one call.
     let report = characterize(&ecs)?;
-    println!("environment: {} tasks x {} machines", ecs.num_tasks(), ecs.num_machines());
-    println!("  MPH (machine performance homogeneity) = {:.3}", report.mph);
-    println!("  TDH (task difficulty homogeneity)     = {:.3}", report.tdh);
-    println!("  TMA (task-machine affinity)           = {:.3}", report.tma);
+    println!(
+        "environment: {} tasks x {} machines",
+        ecs.num_tasks(),
+        ecs.num_machines()
+    );
+    println!(
+        "  MPH (machine performance homogeneity) = {:.3}",
+        report.mph
+    );
+    println!(
+        "  TDH (task difficulty homogeneity)     = {:.3}",
+        report.tdh
+    );
+    println!(
+        "  TMA (task-machine affinity)           = {:.3}",
+        report.tma
+    );
     println!(
         "  standard form took {} Sinkhorn iterations",
         report.standardization_iterations

@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Schedule robustness: how much ETC error each heuristic's schedule absorbs
     //    before a 10%-slack makespan guarantee breaks.
     let p = MappingProblem::from_etc(&ecs.to_etc());
-    println!("{:12} {:>12} {:>14} {:>10}", "heuristic", "makespan", "tau (=1.1x)", "radius");
+    println!(
+        "{:12} {:>12} {:>14} {:>10}",
+        "heuristic", "makespan", "tau (=1.1x)", "radius"
+    );
     for h in all_heuristics() {
         let sched = h.map(&p)?;
         let mk = sched.makespan(&p)?;

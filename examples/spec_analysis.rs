@@ -12,7 +12,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for d in [cint2006(), cfp2006()] {
         let ecs = d.ecs();
         let r = characterize(&ecs)?;
-        println!("== {} ({} task types x {} machines) ==", d.name, ecs.num_tasks(), ecs.num_machines());
+        println!(
+            "== {} ({} task types x {} machines) ==",
+            d.name,
+            ecs.num_tasks(),
+            ecs.num_machines()
+        );
         println!(
             "  measured: TDH = {:.2}  MPH = {:.2}  TMA = {:.2}   ({} iterations)",
             r.tdh, r.mph, r.tma, r.standardization_iterations
@@ -23,24 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
 
         // Which machine is fastest overall? Which tasks are hardest?
-        let mut perf: Vec<(usize, f64)> = r
-            .machine_performances
-            .iter()
-            .copied()
-            .enumerate()
-            .collect();
+        let mut perf: Vec<(usize, f64)> =
+            r.machine_performances.iter().copied().enumerate().collect();
         perf.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         println!(
             "  fastest machine: {}   slowest: {}",
             ecs.machine_names()[perf[0].0],
             ecs.machine_names()[perf.last().unwrap().0]
         );
-        let mut diff: Vec<(usize, f64)> = r
-            .task_difficulties
-            .iter()
-            .copied()
-            .enumerate()
-            .collect();
+        let mut diff: Vec<(usize, f64)> = r.task_difficulties.iter().copied().enumerate().collect();
         diff.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         println!(
             "  hardest task: {}   easiest: {}",
@@ -49,10 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
 
         // Export the ETC table as CSV next to the target directory.
-        let path = std::env::temp_dir().join(format!(
-            "{}.csv",
-            d.name.to_lowercase().replace(' ', "_")
-        ));
+        let path =
+            std::env::temp_dir().join(format!("{}.csv", d.name.to_lowercase().replace(' ', "_")));
         std::fs::write(&path, to_csv(&d.etc))?;
         println!("  ETC table written to {}\n", path.display());
     }

@@ -5,7 +5,9 @@
 //! Run with: `cargo run --example zero_patterns`
 
 use hetero_measures::prelude::*;
-use hetero_measures::sinkhorn::structure::{analyze_square, eq10_matrix, fine_blocks, total_support_core};
+use hetero_measures::sinkhorn::structure::{
+    analyze_square, eq10_matrix, fine_blocks, total_support_core,
+};
 
 fn policy_demo(name: &str, ecs: &Ecs) {
     println!("{name}:");
@@ -56,8 +58,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &[0.0, 0.0, 9.0, 7.0],
             &[0.0, 0.0, 6.0, 8.0],
         ])?,
-        vec!["cpu-job-1".into(), "cpu-job-2".into(), "gpu-job-1".into(), "gpu-job-2".into()],
-        vec!["xeon-a".into(), "xeon-b".into(), "a100-a".into(), "a100-b".into()],
+        vec![
+            "cpu-job-1".into(),
+            "cpu-job-2".into(),
+            "gpu-job-1".into(),
+            "gpu-job-2".into(),
+        ],
+        vec![
+            "xeon-a".into(),
+            "xeon-b".into(),
+            "a100-a".into(),
+            "a100-b".into(),
+        ],
     )?;
     let crep = analyze_square(cluster.matrix());
     println!(
@@ -73,11 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     policy_demo("split cluster under each zero policy", &cluster);
 
     // 3. A pattern with no support at all: two tasks competing for one machine.
-    let starved = Ecs::from_rows(&[
-        &[1.0, 0.0, 0.0],
-        &[1.0, 0.0, 0.0],
-        &[0.0, 1.0, 1.0],
-    ])?;
+    let starved = Ecs::from_rows(&[&[1.0, 0.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 1.0]])?;
     println!("starved pattern (tasks 1–2 can only run on machine 1):");
     policy_demo("starved pattern", &starved);
     println!(

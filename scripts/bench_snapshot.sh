@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: runs the dependency-free measure/sinkhorn ablation
+# timings (see crates/bench/src/bin/snapshot.rs) in release mode and writes
+# them to BENCH_<date>.json at the repository root for trend tracking.
+#
+# Usage: scripts/bench_snapshot.sh [output-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_$(date +%Y%m%d).json}
+
+echo "== build (release) =="
+cargo build --release -q -p hc-bench --bin snapshot
+
+echo "== snapshot -> $OUT =="
+./target/release/snapshot > "$OUT"
+
+# Fail loudly on a truncated or malformed run rather than committing garbage.
+grep -q '"schema":"hc-bench-snapshot/v1"' "$OUT" || { echo "bad snapshot"; exit 1; }
+grep -q '"bench":"measure.characterize"' "$OUT" || { echo "missing measure results"; exit 1; }
+grep -q '"bench":"sinkhorn.balance"' "$OUT" || { echo "missing sinkhorn results"; exit 1; }
+echo "wrote $OUT"

@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 verification: offline release build, full test suite, and a live
-# smoke test of the `hcm serve` daemon (start, POST /measure, GET /metrics,
-# graceful shutdown). Exits non-zero on the first failure.
+# Tier-1 verification: formatting and lint gates, offline release build, full
+# test suite, and a live smoke test of the `hcm serve` daemon (start, POST
+# /measure, GET /metrics, graceful shutdown). Exits non-zero on the first
+# failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "== build (release) =="
 cargo build --release --workspace
@@ -32,16 +39,21 @@ CSV='task,m1,m2
 t1,2.0,8.0
 t2,6.0,3.0'
 
-MEASURE_CODE=$(printf '%s' "$CSV" | curl -sS -o /tmp/verify-measure.json -w '%{http_code}' \
+MEASURE_CODE=$(printf '%s' "$CSV" | curl -sS -D /tmp/verify-measure-headers.txt \
+    -o /tmp/verify-measure.json -w '%{http_code}' \
     -X POST --data-binary @- "http://$ADDR/measure")
 [ "$MEASURE_CODE" = "200" ] || { echo "POST /measure returned $MEASURE_CODE"; exit 1; }
 grep -q '"mph":' /tmp/verify-measure.json || { echo "measure response lacks mph"; exit 1; }
+grep -qi '^x-request-id:' /tmp/verify-measure-headers.txt \
+    || { echo "measure response lacks X-Request-Id"; exit 1; }
 echo "POST /measure 200: $(cat /tmp/verify-measure.json)"
 
 METRICS_CODE=$(curl -sS -o /tmp/verify-metrics.json -w '%{http_code}' "http://$ADDR/metrics")
 [ "$METRICS_CODE" = "200" ] || { echo "GET /metrics returned $METRICS_CODE"; exit 1; }
 grep -q '"requests_total":' /tmp/verify-metrics.json || { echo "metrics response malformed"; exit 1; }
-echo "GET /metrics 200"
+grep -q '"sinkhorn_balance_total":' /tmp/verify-metrics.json \
+    || { echo "metrics response lacks merged library counters"; exit 1; }
+echo "GET /metrics 200 (library counters merged)"
 
 curl -sS "http://$ADDR/quitquitquit" >/dev/null
 wait "$SERVE_PID"

@@ -37,6 +37,7 @@
 pub use hc_core as core;
 pub use hc_gen as gen;
 pub use hc_linalg as linalg;
+pub use hc_obs as obs;
 pub use hc_sched as sched;
 pub use hc_sim as sim;
 pub use hc_sinkhorn as sinkhorn;

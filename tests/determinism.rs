@@ -61,10 +61,7 @@ fn ensemble_generation_is_seed_addressed() {
     let a = targeted_ensemble(&spec, 100, 6);
     let b = targeted_ensemble(&spec, 100, 6);
     for (x, y) in a.iter().zip(&b) {
-        assert_eq!(
-            x.as_ref().unwrap().matrix(),
-            y.as_ref().unwrap().matrix()
-        );
+        assert_eq!(x.as_ref().unwrap().matrix(), y.as_ref().unwrap().matrix());
     }
     // Shifting the base seed shifts members accordingly.
     let c = targeted_ensemble(&spec, 102, 4);

@@ -8,8 +8,8 @@ use hetero_measures::gen::cvb::{cvb, CvbParams};
 use hetero_measures::gen::range_based::{range_based, RangeParams};
 use hetero_measures::linalg::svd::svd;
 use hetero_measures::prelude::*;
-use hetero_measures::sinkhorn::balance::{balance, standardize, BalanceOptions};
 use hetero_measures::sched::problem::MappingProblem;
+use hetero_measures::sinkhorn::balance::{balance, standardize, BalanceOptions};
 use hetero_measures::spec::csv::from_csv;
 
 fn nan_matrix() -> Matrix {
@@ -84,12 +84,9 @@ fn weights_reject_poison() {
     // Dimension mismatch caught at use.
     let e = Ecs::from_rows(&[&[1.0, 2.0]]).unwrap();
     let w = Weights::new(vec![1.0, 1.0], vec![1.0, 1.0]).unwrap();
-    assert!(hetero_measures::core::report::characterize_with(
-        &e,
-        &w,
-        &TmaOptions::default()
-    )
-    .is_err());
+    assert!(
+        hetero_measures::core::report::characterize_with(&e, &w, &TmaOptions::default()).is_err()
+    );
 }
 
 #[test]
@@ -142,12 +139,7 @@ fn whatif_rejects_degenerate_edits() {
 #[test]
 fn characterize_handles_hostile_but_legal_environments() {
     // 12 orders of magnitude of spread: no panic, finite outputs, valid ranges.
-    let e = Ecs::from_rows(&[
-        &[1e-6, 1.0, 1e6],
-        &[1e6, 1e-6, 1.0],
-        &[1.0, 1e6, 1e-6],
-    ])
-    .unwrap();
+    let e = Ecs::from_rows(&[&[1e-6, 1.0, 1e6], &[1e6, 1e-6, 1.0], &[1.0, 1e6, 1e-6]]).unwrap();
     let r = characterize(&e).unwrap();
     assert!(r.mph.is_finite() && r.mph > 0.0 && r.mph <= 1.0);
     assert!(r.tdh.is_finite() && r.tdh > 0.0 && r.tdh <= 1.0);

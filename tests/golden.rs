@@ -79,8 +79,7 @@ fn golden_synth2x2_closed_form() {
     // synth2x2(mph, tdh, tma) balances [[p, 1-p], [1-p, p]] with p = (1+tma)/2
     // to marginals (tdh, 1)/(mph, 1): verify the closed-form standard form.
     let e = synth2x2(0.31, 0.16, 0.05).unwrap();
-    let sf = hetero_measures::core::standard::standard_form(&e, &TmaOptions::default())
-        .unwrap();
+    let sf = hetero_measures::core::standard::standard_form(&e, &TmaOptions::default()).unwrap();
     let p = (1.0 + 0.05) / 2.0;
     assert_close(sf.matrix[(0, 0)], p, 1e-7, "standard form p");
     assert_close(sf.matrix[(0, 1)], 1.0 - p, 1e-7, "standard form 1-p");

@@ -59,7 +59,10 @@ fn figure2_values_and_ordering() {
         [1.0, 16.0, 16.0, 16.0, 16.0],
         [1.0, 4.0, 4.0, 4.0, 16.0],
     ];
-    let mph: Vec<f64> = envs.iter().map(|e| mph_from_performances(e).unwrap()).collect();
+    let mph: Vec<f64> = envs
+        .iter()
+        .map(|e| mph_from_performances(e).unwrap())
+        .collect();
     let expected = [0.5, 0.765625, 0.765625, 0.625];
     for (got, want) in mph.iter().zip(expected) {
         assert!((got - want).abs() < 1e-12);
@@ -191,10 +194,7 @@ fn section6_zero_patterns() {
 /// Eq. 1: ETC ↔ ECS reciprocal duality including incompatibility (∞ ↔ 0).
 #[test]
 fn eq1_reciprocal_duality() {
-    let etc = Etc::new(
-        Matrix::from_rows(&[&[2.0, f64::INFINITY], &[4.0, 8.0]]).unwrap(),
-    )
-    .unwrap();
+    let etc = Etc::new(Matrix::from_rows(&[&[2.0, f64::INFINITY], &[4.0, 8.0]]).unwrap()).unwrap();
     let ecs = etc.to_ecs();
     assert_eq!(ecs.get(0, 0), 0.5);
     assert_eq!(ecs.get(0, 1), 0.0);

@@ -16,7 +16,9 @@ use hetero_measures::sched::Heuristic;
 fn generators_produce_valid_environments() {
     for seed in 0..5 {
         let envs: Vec<Ecs> = vec![
-            range_based(&RangeParams::hi_hi(9, 4), seed).unwrap().to_ecs(),
+            range_based(&RangeParams::hi_hi(9, 4), seed)
+                .unwrap()
+                .to_ecs(),
             cvb(&CvbParams::new(9, 4, 0.4, 0.6), seed).unwrap().to_ecs(),
             targeted(&TargetSpec::exact(9, 4, 0.5, 0.5, 0.2), seed).unwrap(),
         ];
@@ -46,7 +48,12 @@ fn generate_measure_schedule_pipeline() {
     let p = MappingProblem::from_etc(&e.to_etc());
     let lb = makespan_lower_bound(&p);
     for r in &study.results {
-        let implied = r.relative * study.results.iter().map(|x| x.makespan).fold(f64::INFINITY, f64::min);
+        let implied = r.relative
+            * study
+                .results
+                .iter()
+                .map(|x| x.makespan)
+                .fold(f64::INFINITY, f64::min);
         assert!((implied - r.makespan).abs() < 1e-9);
         assert!(r.makespan >= lb - 1e-9, "{} below lower bound", r.name);
     }
@@ -57,7 +64,12 @@ fn generate_measure_schedule_pipeline() {
         .find(|r| r.name == "Min-Min")
         .unwrap()
         .makespan;
-    let ga_mk = study.results.iter().find(|r| r.name == "GA").unwrap().makespan;
+    let ga_mk = study
+        .results
+        .iter()
+        .find(|r| r.name == "GA")
+        .unwrap()
+        .makespan;
     assert!(ga_mk <= minmin + 1e-9);
 }
 
@@ -96,9 +108,11 @@ fn incompatibility_pipeline() {
 fn svd_cross_validation_on_generated_environments() {
     use hetero_measures::linalg::svd::{svd_with, SvdAlgorithm};
     for seed in 0..4 {
-        let e = cvb(&CvbParams::new(11, 5, 0.5, 0.5), seed).unwrap().to_ecs();
-        let sf = hetero_measures::core::standard::standard_form(&e, &TmaOptions::default())
-            .unwrap();
+        let e = cvb(&CvbParams::new(11, 5, 0.5, 0.5), seed)
+            .unwrap()
+            .to_ecs();
+        let sf =
+            hetero_measures::core::standard::standard_form(&e, &TmaOptions::default()).unwrap();
         let j = svd_with(&sf.matrix, SvdAlgorithm::Jacobi).unwrap();
         let g = svd_with(&sf.matrix, SvdAlgorithm::GolubReinsch).unwrap();
         for (a, b) in j.singular_values.iter().zip(&g.singular_values) {
@@ -114,11 +128,7 @@ fn svd_cross_validation_on_generated_environments() {
 fn weights_pipeline() {
     let e = targeted(&TargetSpec::exact(6, 4, 0.7, 0.7, 0.2), 5).unwrap();
     let uniform = characterize(&e).unwrap();
-    let w = Weights::new(
-        vec![8.0, 1.0, 1.0, 1.0, 1.0, 1.0],
-        vec![1.0; 4],
-    )
-    .unwrap();
+    let w = Weights::new(vec![8.0, 1.0, 1.0, 1.0, 1.0, 1.0], vec![1.0; 4]).unwrap();
     let weighted = characterize_with(&e, &w, &TmaOptions::default()).unwrap();
     assert!((uniform.tma - weighted.tma).abs() < 1e-6, "TMA invariant");
     assert!(
