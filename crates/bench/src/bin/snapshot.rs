@@ -6,14 +6,57 @@
 //! Sinkhorn standardization at its heart — over [`hc_bench::ABLATION_SIZES`]
 //! with nothing but `std::time`, and prints one JSON document to stdout.
 //! `scripts/bench_snapshot.sh` redirects it into a dated `BENCH_<date>.json`.
+//!
+//! A counting global allocator also records heap allocations per call, in two
+//! lanes: the one-shot `characterize_with` entry point (allocates its buffers
+//! every call) and a warm [`Analyzer`] (steady state of `hcm serve`, which
+//! reuses its workspace). `--alloc-check` runs only the allocation comparison
+//! and fails unless the warm lane eliminates at least 90% of the one-shot
+//! lane's allocations — the regression gate `scripts/verify.sh` runs.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use hc_bench::{dense_fixture, ecs_fixture, ABLATION_SIZES};
 use hc_core::report::characterize_with;
 use hc_core::standard::TmaOptions;
 use hc_core::weights::Weights;
+use hc_core::Analyzer;
 use hc_sinkhorn::balance::{balance, standard_targets};
+
+/// `System` wrapped with an allocation counter, so the snapshot can report
+/// allocs-per-call alongside wall time. Only allocation events are counted
+/// (alloc/realloc/alloc_zeroed); frees are not interesting here.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to `System`; the counter is a
+// relaxed atomic with no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Samples per benchmark point; the median is reported so one scheduler
 /// hiccup cannot skew a snapshot.
@@ -35,19 +78,103 @@ fn time_ns<F: FnMut()>(mut f: F) -> Vec<u128> {
         .collect()
 }
 
-fn result_json(bench: &str, tasks: usize, machines: usize, samples: Vec<u128>) -> String {
+/// Heap allocations performed by one invocation of `f` (after the caller has
+/// already warmed `f` so pools and caches are populated).
+fn allocs_during<F: FnMut()>(mut f: F) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn result_json(
+    bench: &str,
+    tasks: usize,
+    machines: usize,
+    samples: Vec<u128>,
+    allocs_per_call: u64,
+) -> String {
     let min = samples.iter().min().copied().unwrap_or(0);
     let max = samples.iter().max().copied().unwrap_or(0);
     let median = median_ns(samples);
     format!(
         "{{\"bench\":\"{bench}\",\"tasks\":{tasks},\"machines\":{machines},\
-         \"runs\":{RUNS},\"median_ns\":{median},\"min_ns\":{min},\"max_ns\":{max}}}"
+         \"runs\":{RUNS},\"median_ns\":{median},\"min_ns\":{min},\"max_ns\":{max},\
+         \"allocs_per_call\":{allocs_per_call}}}"
     )
 }
 
+/// One ablation point of the characterize alloc comparison.
+struct AllocPoint {
+    one_shot: u64,
+    warm: u64,
+}
+
+/// Measures allocations per `characterize` call at `(t, m)`: the one-shot
+/// entry point vs a warm `Analyzer` with a populated workspace.
+fn characterize_alloc_point(t: usize, m: usize) -> AllocPoint {
+    let ecs = ecs_fixture(t, m);
+    let opts = TmaOptions::default();
+
+    let w = Weights::uniform(t, m);
+    let mut one_shot_call = || {
+        let r = characterize_with(&ecs, &w, &opts).expect("fixture characterizes");
+        assert!(r.tma.is_finite());
+    };
+    one_shot_call(); // warm caches unrelated to the workspace
+    let one_shot = allocs_during(&mut one_shot_call);
+
+    let mut an = Analyzer::new();
+    let mut warm_call = || {
+        let r = an
+            .characterize_with(&ecs, None, &opts)
+            .expect("fixture characterizes");
+        assert!(r.tma.is_finite());
+        an.recycle_report(r);
+    };
+    warm_call(); // cold call populates the workspace pool
+    let warm = allocs_during(&mut warm_call);
+
+    AllocPoint { one_shot, warm }
+}
+
+/// `--alloc-check`: prints the per-size comparison and fails unless warm
+/// calls drop at least 90% of the one-shot lane's allocations at every size.
+fn alloc_check() -> ! {
+    let mut ok = true;
+    for &(t, m) in &ABLATION_SIZES {
+        let p = characterize_alloc_point(t, m);
+        let reduction = if p.one_shot == 0 {
+            100.0
+        } else {
+            100.0 * (1.0 - p.warm as f64 / p.one_shot as f64)
+        };
+        let pass = p.warm * 10 <= p.one_shot;
+        println!(
+            "characterize {t}x{m}: one-shot {} allocs/call, warm analyzer {} allocs/call \
+             ({reduction:.1}% reduction) {}",
+            p.one_shot,
+            p.warm,
+            if pass { "OK" } else { "FAIL" }
+        );
+        ok &= pass;
+    }
+    if !ok {
+        eprintln!("alloc-check FAILED: warm characterize must eliminate >= 90% of allocations");
+        std::process::exit(1);
+    }
+    println!("alloc-check OK");
+    std::process::exit(0);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--alloc-check") {
+        alloc_check();
+    }
+
     let mut results = Vec::new();
     for &(t, m) in &ABLATION_SIZES {
+        let alloc_point = characterize_alloc_point(t, m);
+
         let ecs = ecs_fixture(t, m);
         let w = Weights::uniform(t, m);
         let opts = TmaOptions::default();
@@ -55,15 +182,46 @@ fn main() {
             let r = characterize_with(&ecs, &w, &opts).expect("fixture characterizes");
             assert!(r.tma.is_finite());
         });
-        results.push(result_json("measure.characterize", t, m, samples));
+        results.push(result_json(
+            "measure.characterize",
+            t,
+            m,
+            samples,
+            alloc_point.one_shot,
+        ));
+
+        let mut an = Analyzer::new();
+        let samples = time_ns(|| {
+            let r = an
+                .characterize_with(&ecs, None, &opts)
+                .expect("fixture characterizes");
+            assert!(r.tma.is_finite());
+            an.recycle_report(r);
+        });
+        results.push(result_json(
+            "measure.characterize_warm",
+            t,
+            m,
+            samples,
+            alloc_point.warm,
+        ));
 
         let a = dense_fixture(t, m);
         let (rows, cols) = standard_targets(t, m);
-        let samples = time_ns(|| {
+        let mut balance_call = || {
             let out = balance(&a, &rows, &cols).expect("fixture balances");
             assert!(out.iterations > 0);
-        });
-        results.push(result_json("sinkhorn.balance", t, m, samples));
+        };
+        balance_call();
+        let balance_allocs = allocs_during(&mut balance_call);
+        let samples = time_ns(balance_call);
+        results.push(result_json(
+            "sinkhorn.balance",
+            t,
+            m,
+            samples,
+            balance_allocs,
+        ));
     }
 
     let ts = SystemTime::now()
@@ -76,7 +234,7 @@ fn main() {
         "release"
     };
     println!(
-        "{{\"schema\":\"hc-bench-snapshot/v1\",\"unix_time\":{ts},\
+        "{{\"schema\":\"hc-bench-snapshot/v2\",\"unix_time\":{ts},\
          \"profile\":\"{profile}\",\"results\":[\n  {}\n]}}",
         results.join(",\n  ")
     );

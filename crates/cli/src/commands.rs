@@ -99,8 +99,13 @@ fn cmd_measure(args: &Args, input: &dyn InputSource) -> Result<String, String> {
     args.check_allowed(&["ecs", "zero-policy"])?;
     let ecs = load_env(args, input, 1)?;
     let opts = tma_options(args)?;
-    let w = hc_core::weights::Weights::uniform(ecs.num_tasks(), ecs.num_machines());
-    let r = hc_core::report::characterize_with(&ecs, &w, &opts).map_err(|e| e.to_string())?;
+    // Analyzer owns the scratch workspace; one CLI invocation only runs one
+    // characterize, but routing through it keeps CLI and daemon on the same
+    // code path (uniform weights, identical results bit for bit).
+    let mut an = hc_core::Analyzer::new();
+    let r = an
+        .characterize_with(&ecs, None, &opts)
+        .map_err(|e| e.to_string())?;
     let mut out = format!(
         "environment: {} task types x {} machines\n\
          MPH = {:.4}\nTDH = {:.4}\nTMA = {:.4}\n\

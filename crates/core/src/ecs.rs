@@ -250,6 +250,13 @@ impl Ecs {
         self.matrix[(task, machine)]
     }
 
+    /// Crate-internal mutable access for in-place perturbation (sensitivity
+    /// analysis). Callers must keep the matrix a valid ECS — nonnegative with
+    /// no all-zero row or column.
+    pub(crate) fn matrix_mut(&mut self) -> &mut Matrix {
+        &mut self.matrix
+    }
+
     /// Returns a new environment restricted to the given task and machine indices
     /// (used by what-if studies and the Fig. 8 submatrix extraction).
     pub fn subenvironment(&self, tasks: &[usize], machines: &[usize]) -> Result<Ecs, MeasureError> {

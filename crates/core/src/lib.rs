@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod analyzer;
 pub mod canonical;
 pub mod ecs;
 pub mod error;
@@ -41,10 +42,14 @@ pub mod stats;
 pub mod weights;
 pub mod whatif;
 
+pub use analyzer::Analyzer;
 pub use canonical::{canonical_form, is_canonical, CanonicalForm};
 pub use ecs::{Ecs, Etc};
 pub use error::MeasureError;
 pub use measures::{machine_performances, mph, mph_from_performances, task_difficulties, tdh};
-pub use report::{characterize, characterize_with, MeasureReport};
-pub use standard::{standard_form, tma, tma_with, StandardForm, TmaOptions, ZeroPolicy};
+pub use report::{characterize, characterize_in, characterize_with, MeasureReport};
+pub use standard::{
+    standard_form, standard_form_in, tma, tma_with, tma_with_in, StandardForm, TmaOptions,
+    ZeroPolicy,
+};
 pub use weights::Weights;

@@ -15,6 +15,7 @@
 use crate::ecs::Ecs;
 use crate::error::MeasureError;
 use crate::weights::Weights;
+use hc_linalg::Workspace;
 
 /// Machine performances `MP_j` (Eq. 4; Eq. 2 under uniform weights): the weighted
 /// column sums of the ECS matrix, in machine order (not sorted).
@@ -22,6 +23,29 @@ pub fn machine_performances(ecs: &Ecs, weights: &Weights) -> Result<Vec<f64>, Me
     weights.check(ecs)?;
     let m = ecs.matrix();
     let mut out = vec![0.0; m.cols()];
+    for (i, row) in m.row_iter().enumerate() {
+        let wt = weights.task()[i];
+        for (j, &v) in row.iter().enumerate() {
+            out[j] += wt * v;
+        }
+    }
+    for (j, o) in out.iter_mut().enumerate() {
+        *o *= weights.machine()[j];
+    }
+    Ok(out)
+}
+
+/// [`machine_performances`] into a workspace-pooled vector. The accumulation
+/// order is identical, so the values are bit-for-bit the same; the caller may
+/// return the vector with [`Workspace::recycle_vec`].
+pub fn machine_performances_in(
+    ecs: &Ecs,
+    weights: &Weights,
+    ws: &mut Workspace,
+) -> Result<Vec<f64>, MeasureError> {
+    weights.check(ecs)?;
+    let m = ecs.matrix();
+    let mut out = ws.take_vec(m.cols(), 0.0);
     for (i, row) in m.row_iter().enumerate() {
         let wt = weights.task()[i];
         for (j, &v) in row.iter().enumerate() {
@@ -49,6 +73,55 @@ pub fn task_difficulties(ecs: &Ecs, weights: &Weights) -> Result<Vec<f64>, Measu
         out.push(weights.task()[i] * s);
     }
     Ok(out)
+}
+
+/// [`task_difficulties`] into a workspace-pooled vector (bit-identical values).
+pub fn task_difficulties_in(
+    ecs: &Ecs,
+    weights: &Weights,
+    ws: &mut Workspace,
+) -> Result<Vec<f64>, MeasureError> {
+    weights.check(ecs)?;
+    let m = ecs.matrix();
+    let mut out = ws.take_vec(m.rows(), 0.0);
+    for (i, row) in m.row_iter().enumerate() {
+        let s: f64 = row
+            .iter()
+            .zip(weights.machine())
+            .map(|(&v, &wm)| wm * v)
+            .sum();
+        out[i] = weights.task()[i] * s;
+    }
+    Ok(out)
+}
+
+/// [`adjacent_ratio_homogeneity`] with the sort scratch drawn from `ws`.
+///
+/// Uses an unstable in-place sort (no merge buffer); equal values are
+/// interchangeable in the adjacent-ratio sum, so the result is identical.
+pub fn adjacent_ratio_homogeneity_in(
+    values: &[f64],
+    ws: &mut Workspace,
+) -> Result<f64, MeasureError> {
+    if values.is_empty() {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: "homogeneity of an empty value set".into(),
+        });
+    }
+    if values.iter().any(|&v| !v.is_finite() || v <= 0.0) {
+        return Err(MeasureError::InvalidEnvironment {
+            reason: "homogeneity requires positive finite values".into(),
+        });
+    }
+    if values.len() == 1 {
+        return Ok(1.0);
+    }
+    let mut sorted = ws.take_vec_copy(values);
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    let sum: f64 = sorted.windows(2).map(|w| w[0] / w[1]).sum();
+    let h = sum / (sorted.len() - 1) as f64;
+    ws.recycle_vec(sorted);
+    Ok(h)
 }
 
 /// The shared adjacent-ratio homogeneity: sort ascending, average `v[k]/v[k+1]`.
@@ -284,6 +357,23 @@ mod tests {
         assert!(cov(&[1.0, -1.0]).is_err());
         assert!(geometric_mean_measure(&[0.0, 1.0]).is_err());
         assert_eq!(geometric_mean_measure(&[5.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn workspace_variants_match_owned() {
+        let ecs = Ecs::from_rows(&[&[2.0, 1.0], &[5.0, 3.0], &[4.0, 2.0]]).unwrap();
+        let w = Weights::new(vec![2.0, 1.0, 0.5], vec![1.0, 0.25]).unwrap();
+        let mut ws = Workspace::new();
+        let mp = machine_performances_in(&ecs, &w, &mut ws).unwrap();
+        assert_eq!(mp, machine_performances(&ecs, &w).unwrap());
+        let td = task_difficulties_in(&ecs, &w, &mut ws).unwrap();
+        assert_eq!(td, task_difficulties(&ecs, &w).unwrap());
+        assert_eq!(
+            adjacent_ratio_homogeneity_in(&mp, &mut ws).unwrap(),
+            adjacent_ratio_homogeneity(&mp).unwrap()
+        );
+        ws.recycle_vec(mp);
+        ws.recycle_vec(td);
     }
 
     #[test]

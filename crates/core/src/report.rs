@@ -2,9 +2,12 @@
 
 use crate::ecs::Ecs;
 use crate::error::MeasureError;
-use crate::measures::{machine_performances, mph_weighted, task_difficulties, tdh_weighted};
-use crate::standard::{standard_form, tma_from_standard_form, TmaOptions};
+use crate::measures::{
+    adjacent_ratio_homogeneity_in, machine_performances_in, task_difficulties_in,
+};
+use crate::standard::{standard_form_in, tma_from_standard_form_in, TmaOptions};
 use crate::weights::Weights;
+use hc_linalg::Workspace;
 
 /// The three paper measures plus diagnostics, computed together.
 #[derive(Debug, Clone)]
@@ -100,6 +103,13 @@ impl MeasureReport {
             self.mph, self.tdh, self.tma, self.standardization_iterations
         )
     }
+
+    /// Returns the per-machine/per-task vectors to `ws` so a later
+    /// [`characterize_in`] call on the same shape runs without allocations.
+    pub fn recycle(self, ws: &mut Workspace) {
+        ws.recycle_vec(self.machine_performances);
+        ws.recycle_vec(self.task_difficulties);
+    }
 }
 
 /// Escapes `s` as a JSON string literal (with surrounding quotes).
@@ -154,14 +164,30 @@ pub fn characterize_with(
     weights: &Weights,
     opts: &TmaOptions,
 ) -> Result<MeasureReport, MeasureError> {
+    let mut ws = Workspace::new();
+    characterize_in(ecs, weights, opts, &mut ws)
+}
+
+/// [`characterize_with`] in a caller-supplied workspace: every intermediate —
+/// performance vectors, homogeneity sort scratch, the standard form, and the
+/// SVD — is pooled. On a warm workspace (same shape as a previous, recycled
+/// report) the whole computation performs zero heap allocations. MPH/TDH are
+/// computed from the already-accumulated performance vectors, which is
+/// bit-identical to the owned path's separate recomputation.
+pub fn characterize_in(
+    ecs: &Ecs,
+    weights: &Weights,
+    opts: &TmaOptions,
+    ws: &mut Workspace,
+) -> Result<MeasureReport, MeasureError> {
     let mut obs = hc_obs::span("core.characterize");
-    let mp = machine_performances(ecs, weights)?;
-    let td = task_difficulties(ecs, weights)?;
-    let mph = mph_weighted(ecs, weights)?;
-    let tdh = tdh_weighted(ecs, weights)?;
+    let mp = machine_performances_in(ecs, weights, ws)?;
+    let td = task_difficulties_in(ecs, weights, ws)?;
+    let mph = adjacent_ratio_homogeneity_in(&mp, ws)?;
+    let tdh = adjacent_ratio_homogeneity_in(&td, ws)?;
     let sf = {
         let mut s = hc_obs::span("measure.standardize");
-        let sf = standard_form(ecs, opts)?;
+        let sf = standard_form_in(ecs, opts, ws)?;
         if s.armed() {
             s.field_u64("iterations", sf.iterations as u64);
             s.field_f64("residual", sf.residual);
@@ -172,7 +198,7 @@ pub fn characterize_with(
     };
     let tma = {
         let mut s = hc_obs::span("measure.svd");
-        let tma = tma_from_standard_form(&sf, opts.svd)?;
+        let tma = tma_from_standard_form_in(&sf, opts.svd, ws)?;
         if s.armed() {
             s.field_f64("tma", tma);
         }
@@ -186,7 +212,7 @@ pub fn characterize_with(
         obs.field_f64("tdh", tdh);
         obs.field_f64("tma", tma);
     }
-    Ok(MeasureReport {
+    let report = MeasureReport {
         mph,
         tdh,
         tma,
@@ -195,7 +221,9 @@ pub fn characterize_with(
         standardization_iterations: sf.iterations,
         regularized: sf.regularized,
         reduced_to_core: sf.reduced_to_core,
-    })
+    };
+    sf.recycle(ws);
+    Ok(report)
 }
 
 #[cfg(test)]

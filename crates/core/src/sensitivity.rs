@@ -8,9 +8,9 @@
 
 use crate::ecs::Ecs;
 use crate::error::MeasureError;
-use crate::measures::{mph, tdh};
-use crate::standard::{tma_with, TmaOptions};
-use hc_linalg::Matrix;
+use crate::measures::adjacent_ratio_homogeneity_in;
+use crate::standard::{tma_with_in, TmaOptions};
+use hc_linalg::{Matrix, Workspace};
 
 /// Per-entry gradients of the three measures.
 #[derive(Debug, Clone)]
@@ -60,6 +60,51 @@ pub fn sensitivities(
     opts: &TmaOptions,
     rel_step: f64,
 ) -> Result<SensitivityReport, MeasureError> {
+    let mut ws = Workspace::new();
+    sensitivities_in(ecs, opts, rel_step, &mut ws)
+}
+
+/// Uniform-weight MPH, TDH, and TMA of `e`, with all scratch drawn from `ws`.
+///
+/// Weighting by 1.0 is exact in IEEE arithmetic, so homogeneity of the raw
+/// row/column sums is bit-identical to `mph()`/`tdh()`.
+fn measures_of(
+    e: &Ecs,
+    opts: &TmaOptions,
+    ws: &mut Workspace,
+) -> Result<(f64, f64, f64), MeasureError> {
+    let m = e.matrix();
+    let mut cs = ws.take_vec(m.cols(), 0.0);
+    for r in m.row_iter() {
+        for (s, &v) in cs.iter_mut().zip(r) {
+            *s += v;
+        }
+    }
+    let mph_v = adjacent_ratio_homogeneity_in(&cs, ws)?;
+    ws.recycle_vec(cs);
+    let mut rs = ws.take_vec(m.rows(), 0.0);
+    for (i, r) in m.row_iter().enumerate() {
+        rs[i] = r.iter().sum();
+    }
+    let tdh_v = adjacent_ratio_homogeneity_in(&rs, ws)?;
+    ws.recycle_vec(rs);
+    let tma_v = tma_with_in(e, opts, ws)?;
+    Ok((mph_v, tdh_v, tma_v))
+}
+
+/// [`sensitivities`] in a caller-supplied workspace.
+///
+/// One scratch environment is reused across all probes: each probe writes the
+/// perturbed entry in place, evaluates the measures, and restores the original
+/// value — no per-entry matrix clone or revalidation. Perturbed entries stay
+/// strictly positive (`v > 0`, `rel_step < 0.5`), so the skipped `Ecs`
+/// validation could never have failed.
+pub fn sensitivities_in(
+    ecs: &Ecs,
+    opts: &TmaOptions,
+    rel_step: f64,
+    ws: &mut Workspace,
+) -> Result<SensitivityReport, MeasureError> {
     if !rel_step.is_finite() || rel_step <= 0.0 || rel_step >= 0.5 {
         return Err(MeasureError::InvalidEnvironment {
             reason: format!("rel_step must be in (0, 0.5), got {rel_step}"),
@@ -70,20 +115,18 @@ pub fn sensitivities(
     let mut d_tdh = Matrix::zeros(t, m);
     let mut d_tma = Matrix::zeros(t, m);
 
+    let mut probe = ecs.clone();
     for i in 0..t {
         for j in 0..m {
             let v = ecs.get(i, j);
             if v == 0.0 {
                 continue;
             }
-            let eval = |factor: f64| -> Result<(f64, f64, f64), MeasureError> {
-                let mut mat = ecs.matrix().clone();
-                mat[(i, j)] = v * factor;
-                let e = Ecs::new(mat)?;
-                Ok((mph(&e)?, tdh(&e)?, tma_with(&e, opts)?))
-            };
-            let (mp, tp, ap) = eval(1.0 + rel_step)?;
-            let (mm_, tm_, am_) = eval(1.0 - rel_step)?;
+            probe.matrix_mut()[(i, j)] = v * (1.0 + rel_step);
+            let (mp, tp, ap) = measures_of(&probe, opts, ws)?;
+            probe.matrix_mut()[(i, j)] = v * (1.0 - rel_step);
+            let (mm_, tm_, am_) = measures_of(&probe, opts, ws)?;
+            probe.matrix_mut()[(i, j)] = v;
             // Elasticity: d measure per 100% relative change of the entry.
             let denom = 2.0 * rel_step;
             d_mph[(i, j)] = (mp - mm_) / denom;
@@ -101,6 +144,39 @@ pub fn sensitivities(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::measures::{mph, tdh};
+    use crate::standard::tma_with;
+
+    #[test]
+    fn single_scratch_matches_clone_per_entry_reference() {
+        // The old implementation cloned (and revalidated) the matrix twice per
+        // probed entry; the in-place rewrite must reproduce it exactly.
+        let e = Ecs::from_rows(&[&[3.0, 1.0, 0.5], &[1.0, 4.0, 2.0], &[0.5, 2.0, 5.0]]).unwrap();
+        let opts = TmaOptions::default();
+        let h = 1e-4;
+        let s = sensitivities(&e, &opts, h).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let v = e.get(i, j);
+                let eval = |factor: f64| {
+                    let mut mat = e.matrix().clone();
+                    mat[(i, j)] = v * factor;
+                    let pe = Ecs::new(mat).unwrap();
+                    (
+                        mph(&pe).unwrap(),
+                        tdh(&pe).unwrap(),
+                        tma_with(&pe, &opts).unwrap(),
+                    )
+                };
+                let (mp, tp, ap) = eval(1.0 + h);
+                let (mm_, tm_, am_) = eval(1.0 - h);
+                let denom = 2.0 * h;
+                assert_eq!(s.mph[(i, j)], (mp - mm_) / denom, "mph ({i},{j})");
+                assert_eq!(s.tdh[(i, j)], (tp - tm_) / denom, "tdh ({i},{j})");
+                assert_eq!(s.tma[(i, j)], (ap - am_) / denom, "tma ({i},{j})");
+            }
+        }
+    }
 
     #[test]
     fn rank_one_has_zero_tma_gradient_structure() {

@@ -17,10 +17,10 @@
 use crate::ecs::Ecs;
 use crate::error::MeasureError;
 use crate::weights::Weights;
-use hc_linalg::svd::{svd_with, SvdAlgorithm};
-use hc_linalg::Matrix;
-use hc_sinkhorn::balance::{standardize, BalanceOptions};
-use hc_sinkhorn::regularized::regularized_standard_form;
+use hc_linalg::svd::{svd_with, svd_with_in, SvdAlgorithm};
+use hc_linalg::{Matrix, Workspace};
+use hc_sinkhorn::balance::{standardize_in, BalanceOptions, BalanceOutcome};
+use hc_sinkhorn::regularized::regularized_standard_form_in;
 use hc_sinkhorn::structure::{analyze_structure, total_support_core, Balanceability};
 
 /// How to treat ECS matrices containing zeros when computing the standard form.
@@ -110,27 +110,60 @@ pub struct StandardForm {
     pub reduced_to_core: bool,
 }
 
-fn effective_matrix(ecs: &Ecs, opts: &TmaOptions) -> Result<Matrix, MeasureError> {
-    match &opts.weights {
-        None => Ok(ecs.matrix().clone()),
-        Some(w) => {
-            w.check(ecs)?;
-            Ok(w.apply(ecs))
-        }
-    }
-}
-
 /// Computes the standard ECS matrix (Theorem 1 with `k = 1/√(TM)`).
 pub fn standard_form(ecs: &Ecs, opts: &TmaOptions) -> Result<StandardForm, MeasureError> {
-    let m = effective_matrix(ecs, opts)?;
+    let mut ws = Workspace::new();
+    standard_form_in(ecs, opts, &mut ws)
+}
+
+/// [`standard_form`] in a caller-supplied workspace.
+///
+/// The unweighted case borrows the ECS matrix directly (no effective-matrix
+/// clone); the weighted case builds the effective matrix in pooled scratch. The
+/// returned form's matrix is pooled-origin — hand it back via
+/// [`StandardForm::recycle`] when finished.
+pub fn standard_form_in(
+    ecs: &Ecs,
+    opts: &TmaOptions,
+    ws: &mut Workspace,
+) -> Result<StandardForm, MeasureError> {
+    let weighted = match &opts.weights {
+        None => None,
+        Some(w) => {
+            w.check(ecs)?;
+            let raw = ecs.matrix();
+            let (t, mm) = raw.shape();
+            let mut eff = ws.take_matrix(t, mm, 0.0);
+            for i in 0..t {
+                let wt = w.task()[i];
+                for (j, (d, &v)) in eff.row_mut(i).iter_mut().zip(raw.row(i)).enumerate() {
+                    *d = wt * w.machine()[j] * v;
+                }
+            }
+            Some(eff)
+        }
+    };
+    let m = weighted.as_ref().unwrap_or(ecs.matrix());
+    let result = standard_form_of(m, opts, ws);
+    if let Some(eff) = weighted {
+        ws.recycle_matrix(eff);
+    }
+    result
+}
+
+fn standard_form_of(
+    m: &Matrix,
+    opts: &TmaOptions,
+    ws: &mut Workspace,
+) -> Result<StandardForm, MeasureError> {
     let positive = m.is_positive();
-    let mut working = m.clone();
     let mut reduced_to_core = false;
+    let mut core_holder: Option<Matrix> = None;
 
     if !positive {
         match opts.zero_policy {
             ZeroPolicy::Strict => {
-                let rep = analyze_structure(&m);
+                let rep = analyze_structure(m);
                 match rep.balanceability {
                     Balanceability::Positive | Balanceability::ExactlyBalanceable => {}
                     Balanceability::LimitOnly => {
@@ -151,7 +184,7 @@ pub fn standard_form(ecs: &Ecs, opts: &TmaOptions) -> Result<StandardForm, Measu
                 // The Sinkhorn–Knopp matrix limit zeroes every entry off all
                 // positive diagonals; balancing that core directly converges
                 // geometrically instead of the sublinear direct iteration.
-                match total_support_core(&m) {
+                match total_support_core(m) {
                     None => {
                         return Err(MeasureError::NotBalanceable {
                             detail: "zero pattern has no support; the iteration \
@@ -160,33 +193,28 @@ pub fn standard_form(ecs: &Ecs, opts: &TmaOptions) -> Result<StandardForm, Measu
                         })
                     }
                     Some(core) => {
-                        if core != working {
+                        if core != *m {
                             reduced_to_core = true;
-                            working = core;
+                            core_holder = Some(core);
                         }
                     }
                 }
             }
             ZeroPolicy::Regularize { epsilon } => {
-                let out = regularized_standard_form(&m, epsilon, &opts.balance)?;
+                let out = regularized_standard_form_in(m.view(), epsilon, &opts.balance, ws)?;
                 if !out.is_converged() {
                     return Err(MeasureError::BalanceDidNotConverge {
                         residual: out.residual,
                         iterations: out.iterations,
                     });
                 }
-                return Ok(StandardForm {
-                    matrix: out.matrix,
-                    iterations: out.iterations,
-                    residual: out.residual,
-                    regularized: true,
-                    reduced_to_core: false,
-                });
+                return Ok(finish(out, true, false, ws));
             }
         }
     }
 
-    let out = standardize(&working, &opts.balance)?;
+    let working = core_holder.as_ref().unwrap_or(m);
+    let out = standardize_in(working.view(), &opts.balance, ws)?;
     if !out.is_converged() {
         return Err(MeasureError::BalanceDidNotConverge {
             residual: out.residual,
@@ -204,31 +232,83 @@ pub fn standard_form(ecs: &Ecs, opts: &TmaOptions) -> Result<StandardForm, Measu
             );
         }
     }
-    Ok(StandardForm {
-        matrix: out.matrix,
-        iterations: out.iterations,
-        residual: out.residual,
-        regularized: false,
+    Ok(finish(out, false, reduced_to_core, ws))
+}
+
+/// Converts a balance outcome into a [`StandardForm`], recycling the buffers
+/// the form does not keep.
+fn finish(
+    out: BalanceOutcome,
+    regularized: bool,
+    reduced_to_core: bool,
+    ws: &mut Workspace,
+) -> StandardForm {
+    let BalanceOutcome {
+        matrix,
+        row_scale,
+        col_scale,
+        iterations,
+        residual,
+        history,
+        ..
+    } = out;
+    ws.recycle_vec(row_scale);
+    ws.recycle_vec(col_scale);
+    ws.recycle_vec(history);
+    StandardForm {
+        matrix,
+        iterations,
+        residual,
+        regularized,
         reduced_to_core,
-    })
+    }
+}
+
+impl StandardForm {
+    /// Returns the standard-form matrix buffer to `ws` for reuse.
+    pub fn recycle(self, ws: &mut Workspace) {
+        ws.recycle_matrix(self.matrix);
+    }
 }
 
 /// TMA from an already-computed standard form (Eq. 8).
 pub fn tma_from_standard_form(sf: &StandardForm, alg: SvdAlgorithm) -> Result<f64, MeasureError> {
-    let s = svd_with(&sf.matrix, alg)?;
+    let mut ws = Workspace::new();
+    tma_from_standard_form_in(sf, alg, &mut ws)
+}
+
+/// [`tma_from_standard_form`] with the SVD run entirely in `ws`.
+pub fn tma_from_standard_form_in(
+    sf: &StandardForm,
+    alg: SvdAlgorithm,
+    ws: &mut Workspace,
+) -> Result<f64, MeasureError> {
+    let s = svd_with_in(sf.matrix.view(), alg, ws)?;
     let k = s.singular_values.len();
     if k <= 1 {
         // A 1×M or T×1 environment has no affinity structure.
+        s.recycle(ws);
         return Ok(0.0);
     }
     let sum: f64 = s.singular_values[1..].iter().sum();
+    s.recycle(ws);
     Ok((sum / (k - 1) as f64).clamp(0.0, 1.0))
 }
 
 /// Task-machine affinity (Eq. 8 on the standard form) with explicit options.
 pub fn tma_with(ecs: &Ecs, opts: &TmaOptions) -> Result<f64, MeasureError> {
-    let sf = standard_form(ecs, opts)?;
-    tma_from_standard_form(&sf, opts.svd)
+    let mut ws = Workspace::new();
+    tma_with_in(ecs, opts, &mut ws)
+}
+
+/// [`tma_with`] in a caller-supplied workspace: the standard form, the SVD,
+/// and every intermediate buffer are pooled, so repeated calls on the same
+/// shape allocate nothing.
+pub fn tma_with_in(ecs: &Ecs, opts: &TmaOptions, ws: &mut Workspace) -> Result<f64, MeasureError> {
+    let sf = standard_form_in(ecs, opts, ws)?;
+    let tma = tma_from_standard_form_in(&sf, opts.svd, ws);
+    sf.recycle(ws);
+    tma
 }
 
 /// Task-machine affinity with default options (limit policy for zeros).
@@ -456,6 +536,40 @@ mod tests {
         .abs();
         assert!(eq8_delta < 1e-6);
         assert!(eq5_delta > 1e-3, "Eq. 5 should move: delta = {eq5_delta}");
+    }
+
+    #[test]
+    fn workspace_kernel_matches_owned_path_bitwise() {
+        let cases = [
+            ecs(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]),
+            ecs(&[&[1.0, 0.0], &[1.0, 1.0]]), // limit-only: reduced to core
+            ecs(&[&[0.0, 1.0], &[1.0, 0.0]]), // zeros with total support
+        ];
+        let mut ws = Workspace::new();
+        for e in &cases {
+            let owned = standard_form(e, &TmaOptions::default()).unwrap();
+            let pooled = standard_form_in(e, &TmaOptions::default(), &mut ws).unwrap();
+            assert_eq!(pooled.matrix, owned.matrix);
+            assert_eq!(pooled.iterations, owned.iterations);
+            assert_eq!(pooled.residual.to_bits(), owned.residual.to_bits());
+            assert_eq!(pooled.reduced_to_core, owned.reduced_to_core);
+            let t_owned = tma_from_standard_form(&owned, SvdAlgorithm::Auto).unwrap();
+            let t_pooled = tma_from_standard_form_in(&pooled, SvdAlgorithm::Auto, &mut ws).unwrap();
+            assert_eq!(t_owned.to_bits(), t_pooled.to_bits());
+            pooled.recycle(&mut ws);
+        }
+    }
+
+    #[test]
+    fn warm_workspace_tma_is_allocation_free() {
+        let e = ecs(&[&[1.0, 5.0, 2.0], &[3.0, 1.0, 4.0], &[2.0, 2.0, 9.0]]);
+        let mut ws = Workspace::new();
+        let opts = TmaOptions::default();
+        let cold = tma_with_in(&e, &opts, &mut ws).unwrap();
+        ws.reset_stats();
+        let warm = tma_with_in(&e, &opts, &mut ws).unwrap();
+        assert_eq!(cold.to_bits(), warm.to_bits());
+        assert_eq!(ws.stats().fresh, 0, "stats: {:?}", ws.stats());
     }
 
     #[test]

@@ -4,10 +4,17 @@
 //! `A = U · B · Vᵀ`, where `U` is `m × n` with orthonormal columns, `V` is `n × n`
 //! orthogonal, and `B` is upper bidiagonal (diagonal `d`, superdiagonal `e`). This is
 //! stage one of the Golub–Reinsch SVD in [`crate::svd`].
+//!
+//! [`bidiagonalize_in`] is the workspace kernel: every reflector lives in a
+//! pooled flat buffer and Householder applications run directly on strided
+//! column data, so a warm [`Workspace`] makes the whole factorization
+//! allocation-free. [`bidiagonalize`] is the owned-API wrapper over it.
 
 use crate::error::LinAlgError;
 use crate::matrix::Matrix;
-use crate::vecops::{self, Householder};
+use crate::vecops;
+use crate::view::MatRef;
+use crate::workspace::Workspace;
 use crate::Result;
 
 /// Result of a bidiagonalization `A = U · B · Vᵀ`.
@@ -44,42 +51,48 @@ impl Bidiag {
     }
 }
 
-/// Applies a left Householder reflector (built from rows `row0..m` of column data)
-/// to columns `col0..cols` of `a`.
-fn apply_left(a: &mut Matrix, h: &Householder, row0: usize, col0: usize) {
-    if h.beta == 0.0 {
+/// Applies a left reflector `(v, β)` spanning rows `row0..row0 + v.len()` to
+/// columns `col0..cols` of `a`, walking each column through the row stride.
+fn apply_left_cols(a: &mut Matrix, v: &[f64], beta: f64, row0: usize, col0: usize) {
+    if beta == 0.0 {
         return;
     }
-    let m = a.rows();
     let n = a.cols();
     for j in col0..n {
-        let mut y: Vec<f64> = (row0..m).map(|i| a[(i, j)]).collect();
-        vecops::apply_householder(h, &mut y);
-        for (off, v) in y.into_iter().enumerate() {
-            a[(row0 + off, j)] = v;
+        let mut d = 0.0;
+        for (off, &vk) in v.iter().enumerate() {
+            d += vk * a[(row0 + off, j)];
+        }
+        let w = beta * d;
+        for (off, &vk) in v.iter().enumerate() {
+            a[(row0 + off, j)] -= w * vk;
         }
     }
 }
 
-/// Applies a right Householder reflector (built from columns `col0..n` of row data)
-/// to rows `row0..m` of `a`.
-fn apply_right(a: &mut Matrix, h: &Householder, row0: usize, col0: usize) {
-    if h.beta == 0.0 {
+/// Applies a right reflector `(v, β)` spanning columns `col0..col0 + v.len()`
+/// to rows `row0..rows` of `a` (each row segment is contiguous).
+fn apply_right_rows(a: &mut Matrix, v: &[f64], beta: f64, row0: usize, col0: usize) {
+    if beta == 0.0 {
         return;
     }
     let m = a.rows();
-    let n = a.cols();
     for i in row0..m {
-        let mut y: Vec<f64> = (col0..n).map(|j| a[(i, j)]).collect();
-        vecops::apply_householder(h, &mut y);
-        for (off, v) in y.into_iter().enumerate() {
-            a[(i, col0 + off)] = v;
-        }
+        vecops::apply_reflector(v, beta, &mut a.row_mut(i)[col0..col0 + v.len()]);
     }
 }
 
 /// Bidiagonalizes `a` (requires `m ≥ n ≥ 1`).
 pub fn bidiagonalize(a: &Matrix) -> Result<Bidiag> {
+    let mut ws = Workspace::new();
+    bidiagonalize_in(a.view(), &mut ws)
+}
+
+/// Workspace variant of [`bidiagonalize`]: all scratch (the working copy, the
+/// packed reflectors, and the accumulation targets) is checked out of `ws`,
+/// and the returned factors are built from pooled buffers the caller may hand
+/// back with [`Workspace::recycle_matrix`]/[`Workspace::recycle_vec`].
+pub fn bidiagonalize_in(a: MatRef<'_>, ws: &mut Workspace) -> Result<Bidiag> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Err(LinAlgError::Empty {
@@ -95,54 +108,106 @@ pub fn bidiagonalize(a: &Matrix) -> Result<Bidiag> {
     }
     a.check_finite("bidiagonalize")?;
 
-    let mut work = a.clone();
-    let mut lefts: Vec<Householder> = Vec::with_capacity(n);
-    let mut rights: Vec<Householder> = Vec::with_capacity(n.saturating_sub(2));
+    let mut work = ws.take_matrix(m, n, 0.0);
+    work.view_mut().copy_from(a);
 
+    // Reflector j's direction vector is packed flat: left reflectors span rows
+    // j..m (length m − j), right reflectors span columns j+1..n (length
+    // n − j − 1, present only while j + 2 < n).
+    let left_total: usize = (0..n).map(|j| m - j).sum();
+    let right_total: usize = (0..n.saturating_sub(2)).map(|j| n - j - 1).sum();
+    let mut lv = ws.take_vec(left_total, 0.0);
+    let mut rv = ws.take_vec(right_total, 0.0);
+    let mut lbeta = ws.take_vec(n, 0.0);
+    let mut rbeta = ws.take_vec(n, 0.0);
+    let mut loffs = ws.take_idx(n);
+    let mut roffs = ws.take_idx(n);
+
+    let mut loff = 0usize;
+    let mut roff = 0usize;
     for j in 0..n {
         // Left reflector: annihilate work[j+1.., j].
-        let x: Vec<f64> = (j..m).map(|i| work[(i, j)]).collect();
-        let hl = vecops::householder(&x);
-        apply_left(&mut work, &hl, j, j);
-        work[(j, j)] = hl.alpha;
+        let llen = m - j;
+        loffs[j] = loff;
+        let beta = {
+            let slot = &mut lv[loff..loff + llen];
+            for (off, s) in slot.iter_mut().enumerate() {
+                *s = work[(j + off, j)];
+            }
+            let (beta, alpha) = vecops::householder_in_place(slot);
+            work[(j, j)] = alpha;
+            beta
+        };
+        lbeta[j] = beta;
+        // The diagonal entry already holds α; the reflector must still see the
+        // untouched column, so apply to the columns right of it, then zero the
+        // annihilated tail. (Applying to column j itself and overwriting with α
+        // — what the owned path historically did — produces the same matrix.)
+        apply_left_cols(&mut work, &lv[loff..loff + llen], beta, j, j + 1);
         for i in (j + 1)..m {
             work[(i, j)] = 0.0;
         }
-        lefts.push(hl);
+        loff += llen;
 
         // Right reflector: annihilate work[j, j+2..].
         if j + 2 < n {
-            let x: Vec<f64> = ((j + 1)..n).map(|k| work[(j, k)]).collect();
-            let hr = vecops::householder(&x);
-            apply_right(&mut work, &hr, j, j + 1);
-            work[(j, j + 1)] = hr.alpha;
+            let rlen = n - j - 1;
+            roffs[j] = roff;
+            let beta = {
+                let slot = &mut rv[roff..roff + rlen];
+                slot.copy_from_slice(&work.row(j)[j + 1..]);
+                let (beta, alpha) = vecops::householder_in_place(slot);
+                work[(j, j + 1)] = alpha;
+                beta
+            };
+            rbeta[j] = beta;
+            apply_right_rows(&mut work, &rv[roff..roff + rlen], beta, j + 1, j + 1);
             for k in (j + 2)..n {
                 work[(j, k)] = 0.0;
             }
-            rights.push(hr);
+            roff += rlen;
         }
     }
 
     // Accumulate thin U: apply left reflectors in reverse to I(m×n).
-    let mut u = Matrix::zeros(m, n);
+    let mut u = ws.take_matrix(m, n, 0.0);
     for j in 0..n {
         u[(j, j)] = 1.0;
     }
     for j in (0..n).rev() {
-        apply_left(&mut u, &lefts[j], j, 0);
+        apply_left_cols(&mut u, &lv[loffs[j]..loffs[j] + (m - j)], lbeta[j], j, 0);
     }
 
     // Accumulate V: apply right reflectors in reverse to I(n×n).
-    // Right reflector j acts on rows/cols (j+1)..n of the V space.
-    let mut v = Matrix::identity(n);
-    for (j, hr) in rights.iter().enumerate().rev() {
-        // hr acts on index range (j+1)..n; applying from the left to V accumulates
-        // V = H_r0 · H_r1 · … (each H is symmetric).
-        apply_left(&mut v, hr, j + 1, 0);
+    // Right reflector j acts on rows/cols (j+1)..n of the V space; applying
+    // from the left accumulates V = H_r0 · H_r1 · … (each H is symmetric).
+    let mut v = ws.take_identity(n);
+    for j in (0..n.saturating_sub(2)).rev() {
+        apply_left_cols(
+            &mut v,
+            &rv[roffs[j]..roffs[j] + (n - j - 1)],
+            rbeta[j],
+            j + 1,
+            0,
+        );
     }
 
-    let d: Vec<f64> = (0..n).map(|j| work[(j, j)]).collect();
-    let e: Vec<f64> = (0..n - 1).map(|j| work[(j, j + 1)]).collect();
+    let mut d = ws.take_vec(n, 0.0);
+    for (j, dj) in d.iter_mut().enumerate() {
+        *dj = work[(j, j)];
+    }
+    let mut e = ws.take_vec(n - 1, 0.0);
+    for (j, ej) in e.iter_mut().enumerate() {
+        *ej = work[(j, j + 1)];
+    }
+
+    ws.recycle_matrix(work);
+    ws.recycle_vec(lv);
+    ws.recycle_vec(rv);
+    ws.recycle_vec(lbeta);
+    ws.recycle_vec(rbeta);
+    ws.recycle_idx(loffs);
+    ws.recycle_idx(roffs);
     Ok(Bidiag { u, v, d, e })
 }
 
@@ -236,6 +301,25 @@ mod tests {
         let bd = bidiagonalize(&a).unwrap();
         assert!(bd.d.iter().all(|&v| v == 0.0));
         check(&a);
+    }
+
+    #[test]
+    fn warm_workspace_reuses_buffers() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i * 5 + j * 3 + 1) % 13) as f64 - 6.0);
+        let mut ws = Workspace::new();
+        let cold = bidiagonalize_in(a.view(), &mut ws).unwrap();
+        ws.recycle_matrix(cold.u);
+        ws.recycle_matrix(cold.v);
+        ws.recycle_vec(cold.d);
+        ws.recycle_vec(cold.e);
+        ws.reset_stats();
+        let warm = bidiagonalize_in(a.view(), &mut ws).unwrap();
+        assert_eq!(ws.stats().fresh, 0, "warm run must not allocate");
+        let owned = bidiagonalize(&a).unwrap();
+        assert_eq!(warm.u, owned.u);
+        assert_eq!(warm.v, owned.v);
+        assert_eq!(warm.d, owned.d);
+        assert_eq!(warm.e, owned.e);
     }
 
     #[test]

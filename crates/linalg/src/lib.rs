@@ -17,6 +17,10 @@
 //!   SVDs in tests.
 //! * Scoped data-parallel helpers ([`par`]) built on `std::thread::scope` — no detached
 //!   threads, deterministic reductions.
+//! * Zero-copy views ([`view`]) and a recycling scratch arena ([`workspace`]) —
+//!   the `_in`/`_into` kernel variants take [`MatRef`] views plus a caller
+//!   [`Workspace`] and perform no heap allocation once the workspace is warm;
+//!   the owned-`Matrix` API is a thin wrapper over them.
 //!
 //! All algorithms are implemented from the standard literature (Golub & Van Loan,
 //! *Matrix Computations*) and cross-validated against each other in the test suite.
@@ -36,10 +40,14 @@ pub mod par;
 pub mod qr;
 pub mod svd;
 pub mod vecops;
+pub mod view;
+pub mod workspace;
 
 pub use error::LinAlgError;
 pub use matrix::Matrix;
 pub use svd::{Svd, SvdAlgorithm};
+pub use view::{MatMut, MatRef};
+pub use workspace::{Workspace, WorkspaceStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LinAlgError>;

@@ -15,6 +15,7 @@
 use crate::error::LinAlgError;
 use crate::matrix::Matrix;
 use crate::par;
+use crate::view::{MatMut, MatRef};
 use crate::Result;
 
 /// Tile edge for the blocked kernel (entries, not bytes); 64×64 f64 tiles ≈ 32 KiB,
@@ -113,6 +114,40 @@ pub fn matmul_parallel(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix>
         }
     });
     Ok(c)
+}
+
+/// `C ← A·B` written into a caller-supplied view — the allocation-free kernel
+/// behind the owned entry points. Accepts strided views; `c` is overwritten
+/// (not accumulated into) with the same `ikj` order as [`matmul_naive`], so the
+/// result is bit-identical to the owned path.
+pub fn matmul_into(a: MatRef<'_>, b: MatRef<'_>, c: &mut MatMut<'_>) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(LinAlgError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if c.shape() != (a.rows(), b.cols()) {
+        return Err(LinAlgError::ShapeMismatch {
+            op: "matmul_into (output shape)",
+            lhs: c.shape(),
+            rhs: (a.rows(), b.cols()),
+        });
+    }
+    let (m, k) = (a.rows(), a.cols());
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        crow.fill(0.0);
+        for (p, &aip) in arow.iter().enumerate().take(k) {
+            let brow = b.row(p);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aip * bv;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// `C = A·B`, dispatching between the blocked and parallel kernels by flop count.
@@ -216,6 +251,40 @@ mod tests {
         let p = matmul_parallel(&a, &b, 4).unwrap();
         assert!(n.max_abs_diff(&bl) < 1e-12);
         assert!(n.max_abs_diff(&p) < 1e-12);
+    }
+
+    #[test]
+    fn into_kernel_matches_naive_bitwise() {
+        let a = Matrix::from_fn(11, 7, |i, j| {
+            ((i * 131 + j * 31 + 7) % 97) as f64 / 97.0 - 0.3
+        });
+        let b = Matrix::from_fn(7, 9, |i, j| {
+            ((i * 17 + j * 59 + 3) % 89) as f64 / 89.0 - 0.4
+        });
+        let owned = matmul_naive(&a, &b).unwrap();
+        let mut c = Matrix::filled(11, 9, f64::NAN); // must be fully overwritten
+        matmul_into(a.view(), b.view(), &mut c.view_mut()).unwrap();
+        assert_eq!(c, owned);
+    }
+
+    #[test]
+    fn into_kernel_strided_views() {
+        let big = Matrix::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let a = big.view().submatrix(1, 1, 3, 2);
+        let b = big.view().submatrix(2, 3, 2, 2);
+        let mut c = Matrix::zeros(3, 2);
+        matmul_into(a, b, &mut c.view_mut()).unwrap();
+        let expected = matmul_naive(&a.to_matrix(), &b.to_matrix()).unwrap();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn into_kernel_shape_mismatch_rejected() {
+        let a = a23();
+        let b = b32();
+        let mut wrong = Matrix::zeros(3, 3);
+        assert!(matmul_into(a.view(), a.view(), &mut wrong.view_mut()).is_err());
+        assert!(matmul_into(a.view(), b.view(), &mut wrong.view_mut()).is_err());
     }
 
     #[test]

@@ -14,11 +14,21 @@
 //!
 //! [`svd`] dispatches on size; [`Svd`] holds `U`, `σ`, `V` with singular values
 //! sorted descending and the factors' columns permuted to match.
+//!
+//! Each algorithm is implemented once, as a workspace kernel ([`svd_with_in`],
+//! [`jacobi_svd_in`], [`golub_reinsch_svd_in`]) that takes a borrowed
+//! [`MatRef`] and checks every scratch buffer — working copy, rotation
+//! accumulators, the returned factors themselves — out of a caller-supplied
+//! [`Workspace`]. The owned-`Matrix` entry points are thin wrappers that spin
+//! up a throwaway workspace, so both paths compute identical floating-point
+//! results by construction.
 
-use crate::bidiag::bidiagonalize;
+use crate::bidiag::{bidiagonalize_in, Bidiag};
 use crate::error::LinAlgError;
 use crate::matrix::Matrix;
 use crate::vecops::{self, hypot};
+use crate::view::MatRef;
+use crate::workspace::Workspace;
 use crate::Result;
 
 /// Algorithm selector for [`svd_with`].
@@ -90,6 +100,14 @@ impl Svd {
     pub fn residual(&self, a: &Matrix) -> f64 {
         crate::norms::frobenius(&(a - &self.reconstruct()))
     }
+
+    /// Hands the decomposition's buffers back to a workspace for reuse —
+    /// for callers (like TMA) that only consume the spectrum.
+    pub fn recycle(self, ws: &mut Workspace) {
+        ws.recycle_matrix(self.u);
+        ws.recycle_matrix(self.v);
+        ws.recycle_vec(self.singular_values);
+    }
 }
 
 /// Computes singular values only (descending), using the default dispatch.
@@ -104,18 +122,31 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
 
 /// Computes the SVD with an explicit algorithm choice.
 pub fn svd_with(a: &Matrix, alg: SvdAlgorithm) -> Result<Svd> {
+    let mut ws = Workspace::new();
+    svd_with_in(a.view(), alg, &mut ws)
+}
+
+/// Workspace kernel behind [`svd`]: automatic algorithm choice, scratch from `ws`.
+pub fn svd_in(a: MatRef<'_>, ws: &mut Workspace) -> Result<Svd> {
+    svd_with_in(a, SvdAlgorithm::Auto, ws)
+}
+
+/// Workspace kernel behind [`svd_with`]: all scratch — including the returned
+/// factors — is checked out of `ws`; pass the factors back through
+/// [`Svd::recycle`] to make repeat calls on the same shape allocation-free.
+pub fn svd_with_in(a: MatRef<'_>, alg: SvdAlgorithm, ws: &mut Workspace) -> Result<Svd> {
     if a.is_empty() {
         return Err(LinAlgError::Empty { op: "svd" });
     }
     a.check_finite("svd")?;
     match alg {
-        SvdAlgorithm::Jacobi => jacobi_svd(a),
-        SvdAlgorithm::GolubReinsch => golub_reinsch_svd(a),
+        SvdAlgorithm::Jacobi => jacobi_svd_in(a, ws),
+        SvdAlgorithm::GolubReinsch => golub_reinsch_svd_in(a, ws),
         SvdAlgorithm::Auto => {
             if a.len() <= AUTO_GR_THRESHOLD {
-                jacobi_svd(a)
+                jacobi_svd_in(a, ws)
             } else {
-                golub_reinsch_svd(a)
+                golub_reinsch_svd_in(a, ws)
             }
         }
     }
@@ -125,36 +156,67 @@ pub fn svd_with(a: &Matrix, alg: SvdAlgorithm) -> Result<Svd> {
 /// deterministic sign convention (largest-magnitude entry of each `u` column is
 /// positive). Shared by every SVD variant in the crate.
 pub(crate) fn finalize_svd(u: Matrix, sigma: Vec<f64>, v: Matrix) -> Svd {
-    finalize(u, sigma, v)
+    let mut ws = Workspace::new();
+    finalize_in(u, sigma, v, &mut ws)
 }
 
-fn finalize(mut u: Matrix, mut sigma: Vec<f64>, mut v: Matrix) -> Svd {
+fn finalize_in(mut u: Matrix, mut sigma: Vec<f64>, mut v: Matrix, ws: &mut Workspace) -> Svd {
     let k = sigma.len();
-    let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&a, &b| sigma[b].partial_cmp(&sigma[a]).expect("NaN singular value"));
-    let sorted: Vec<f64> = order.iter().map(|&i| sigma[i]).collect();
-    sigma = sorted;
-    u = u.permute_cols(&order).expect("perm");
-    v = v.permute_cols(&order).expect("perm");
+    let mut order = ws.take_idx(k);
+    for (i, o) in order.iter_mut().enumerate() {
+        *o = i;
+    }
+    // Unstable sort: in-place, no merge buffer. Ties (equal σ) can land in
+    // either order; every consumer treats equal-σ columns as interchangeable.
+    order.sort_unstable_by(|&a, &b| sigma[b].partial_cmp(&sigma[a]).expect("NaN singular value"));
+    // Apply the permutation with one row-sized scratch buffer instead of
+    // rebuilding each factor.
+    let mut scratch = ws.take_vec(k, 0.0);
+    for (dst, &src) in scratch.iter_mut().zip(order.iter()) {
+        *dst = sigma[src];
+    }
+    sigma.copy_from_slice(&scratch);
+    for mat in [&mut u, &mut v] {
+        for i in 0..mat.rows() {
+            let row = mat.row_mut(i);
+            for (dst, &src) in scratch.iter_mut().zip(order.iter()) {
+                *dst = row[src];
+            }
+            row.copy_from_slice(&scratch);
+        }
+    }
     // Sign convention.
     for j in 0..k {
-        let col = u.col(j);
         let mut best = 0usize;
-        for (i, val) in col.iter().enumerate() {
-            if val.abs() > col[best].abs() {
+        for i in 0..u.rows() {
+            if u[(i, j)].abs() > u[(best, j)].abs() {
                 best = i;
             }
         }
-        if col[best] < 0.0 {
+        if u[(best, j)] < 0.0 {
             u.scale_col(j, -1.0);
             v.scale_col(j, -1.0);
         }
     }
+    ws.recycle_idx(order);
+    ws.recycle_vec(scratch);
     Svd {
         u,
         singular_values: sigma,
         v,
     }
+}
+
+/// Copies `aᵀ` into a pooled matrix (for the wide-input transposition paths).
+fn transpose_pooled(a: MatRef<'_>, ws: &mut Workspace) -> Matrix {
+    let (m, n) = a.shape();
+    let mut at = ws.take_matrix(n, m, 0.0);
+    for i in 0..m {
+        for (j, &v) in a.row(i).iter().enumerate() {
+            at[(j, i)] = v;
+        }
+    }
+    at
 }
 
 // ---------------------------------------------------------------------------
@@ -170,8 +232,17 @@ pub const JACOBI_MAX_SWEEPS: usize = 60;
 /// repeatedly applying plane rotations from the right until all column pairs are
 /// numerically orthogonal. Then `σⱼ = ‖wⱼ‖` and `uⱼ = wⱼ/σⱼ`.
 pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
+    let mut ws = Workspace::new();
+    jacobi_svd_in(a.view(), &mut ws)
+}
+
+/// Workspace kernel behind [`jacobi_svd`].
+pub fn jacobi_svd_in(a: MatRef<'_>, ws: &mut Workspace) -> Result<Svd> {
     if a.rows() < a.cols() {
-        let t = jacobi_svd(&a.transpose())?;
+        let at = transpose_pooled(a, ws);
+        let t = jacobi_svd_in(at.view(), ws);
+        ws.recycle_matrix(at);
+        let t = t?;
         return Ok(Svd {
             u: t.v,
             singular_values: t.singular_values,
@@ -180,13 +251,14 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
     }
     let (m, n) = a.shape();
     let mut obs = hc_obs::span("linalg.svd.jacobi");
-    let mut w = a.clone();
-    let mut v = Matrix::identity(n);
+    let mut w = ws.take_matrix(m, n, 0.0);
+    w.view_mut().copy_from(a);
+    let mut v = ws.take_identity(n);
     let eps = f64::EPSILON;
     // Columns whose norm falls below eps·‖A‖_F are numerically zero (rank
     // deficiency); rotating against them only chases roundoff and stalls
     // convergence.
-    let fro = crate::norms::frobenius(a);
+    let fro = crate::norms::frobenius(&w);
     let zero_guard = (eps * fro) * (eps * fro);
 
     let mut converged = false;
@@ -267,12 +339,15 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
         obs.field_f64("off_diag_worst", worst_column_correlation(&w, zero_guard));
     }
 
-    let mut sigma = Vec::with_capacity(n);
-    let mut u = Matrix::zeros(m, n);
+    let mut sigma = ws.take_vec(n, 0.0);
+    let mut u = ws.take_matrix(m, n, 0.0);
+    let mut col = ws.take_vec(m, 0.0);
     for j in 0..n {
-        let col = w.col(j);
+        for (i, c) in col.iter_mut().enumerate() {
+            *c = w[(i, j)];
+        }
         let nrm = vecops::norm2(&col);
-        sigma.push(nrm);
+        sigma[j] = nrm;
         if nrm > 0.0 {
             for i in 0..m {
                 u[(i, j)] = col[i] / nrm;
@@ -281,7 +356,9 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
         // A zero column leaves a zero U column; callers treating rank-deficient
         // inputs only consume σ and the leading columns.
     }
-    Ok(finalize(u, sigma, v))
+    ws.recycle_vec(col);
+    ws.recycle_matrix(w);
+    Ok(finalize_in(u, sigma, v, ws))
 }
 
 /// Worst normalized off-diagonal Gram entry |wpᵀwq|/(‖wp‖‖wq‖) over all column
@@ -316,8 +393,17 @@ const GR_MAX_ITERS: usize = 75;
 
 /// Golub–Reinsch SVD: bidiagonalize, then implicit-shift QR on the bidiagonal.
 pub fn golub_reinsch_svd(a: &Matrix) -> Result<Svd> {
+    let mut ws = Workspace::new();
+    golub_reinsch_svd_in(a.view(), &mut ws)
+}
+
+/// Workspace kernel behind [`golub_reinsch_svd`].
+pub fn golub_reinsch_svd_in(a: MatRef<'_>, ws: &mut Workspace) -> Result<Svd> {
     if a.rows() < a.cols() {
-        let t = golub_reinsch_svd(&a.transpose())?;
+        let at = transpose_pooled(a, ws);
+        let t = golub_reinsch_svd_in(at.view(), ws);
+        ws.recycle_matrix(at);
+        let t = t?;
         return Ok(Svd {
             u: t.v,
             singular_values: t.singular_values,
@@ -326,15 +412,16 @@ pub fn golub_reinsch_svd(a: &Matrix) -> Result<Svd> {
     }
     let mut obs = hc_obs::span("linalg.svd.golub_reinsch");
     let mut total_iters = 0usize;
-    let bd = bidiagonalize(a)?;
-    let n = bd.d.len();
-    let mut d = bd.d;
+    let Bidiag { u, v, d, e } = bidiagonalize_in(a, ws)?;
+    let n = d.len();
+    let mut d = d;
     // rv1[i] is the superdiagonal entry coupling d[i-1] and d[i]; rv1[0] is unused
     // and kept at zero (mirrors the classic svdcmp layout).
-    let mut rv1 = vec![0.0; n];
-    rv1[1..n].copy_from_slice(&bd.e);
-    let mut u = bd.u;
-    let mut v = bd.v;
+    let mut rv1 = ws.take_vec(n, 0.0);
+    rv1[1..n].copy_from_slice(&e);
+    ws.recycle_vec(e);
+    let mut u = u;
+    let mut v = v;
 
     let anorm = d
         .iter()
@@ -467,8 +554,9 @@ pub fn golub_reinsch_svd(a: &Matrix) -> Result<Svd> {
             rv1.iter().fold(0.0f64, |acc, e| acc.max(e.abs())),
         );
     }
+    ws.recycle_vec(rv1);
 
-    Ok(finalize(u, d, v))
+    Ok(finalize_in(u, d, v, ws))
 }
 
 #[inline]
@@ -601,6 +689,39 @@ mod tests {
                     "σ mismatch {m}x{n}: {x} vs {y}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn workspace_kernel_matches_owned_path_bitwise() {
+        let mut ws = Workspace::new();
+        for (m, n) in [(5, 5), (8, 3), (3, 8), (12, 5)] {
+            let a = Matrix::from_fn(m, n, |i, j| {
+                0.1 + ((i * 131 + j * 31 + 7) % 97) as f64 / 97.0
+            });
+            for alg in [SvdAlgorithm::Jacobi, SvdAlgorithm::GolubReinsch] {
+                let owned = svd_with(&a, alg).unwrap();
+                let pooled = svd_with_in(a.view(), alg, &mut ws).unwrap();
+                assert_eq!(owned.singular_values, pooled.singular_values);
+                assert_eq!(owned.u, pooled.u);
+                assert_eq!(owned.v, pooled.v);
+                pooled.recycle(&mut ws);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_workspace_svd_is_allocation_free() {
+        let a = Matrix::from_fn(9, 6, |i, j| 0.2 + ((i * 17 + j * 5) % 31) as f64 / 31.0);
+        let mut ws = Workspace::new();
+        for alg in [SvdAlgorithm::Jacobi, SvdAlgorithm::GolubReinsch] {
+            svd_with_in(a.view(), alg, &mut ws)
+                .unwrap()
+                .recycle(&mut ws);
+            ws.reset_stats();
+            let s = svd_with_in(a.view(), alg, &mut ws).unwrap();
+            assert_eq!(ws.stats().fresh, 0, "{alg:?} warm run allocated");
+            s.recycle(&mut ws);
         }
     }
 

@@ -94,42 +94,54 @@ pub struct Householder {
 /// Builds the Householder reflector mapping `x` to `(α, 0, …, 0)ᵀ`
 /// (Golub & Van Loan alg. 5.1.1, sign chosen to avoid cancellation).
 pub fn householder(x: &[f64]) -> Householder {
-    let n = x.len();
-    assert!(n > 0, "householder: empty input");
-    let sigma = dot(&x[1..], &x[1..]);
     let mut v = x.to_vec();
+    let (beta, alpha) = householder_in_place(&mut v);
+    Householder { v, beta, alpha }
+}
+
+/// Allocation-free Householder construction: `v` holds `x` on entry and the
+/// reflector direction (`v[0] == 1`) on exit; returns `(β, α)`.
+///
+/// # Panics
+/// Panics when `v` is empty.
+pub fn householder_in_place(v: &mut [f64]) -> (f64, f64) {
+    let n = v.len();
+    assert!(n > 0, "householder: empty input");
+    let sigma = dot(&v[1..], &v[1..]);
+    let x0 = v[0];
     v[0] = 1.0;
     if sigma == 0.0 {
         // Already of the desired form; H = I (beta = 0).
-        return Householder {
-            v,
-            beta: 0.0,
-            alpha: x[0],
-        };
+        return (0.0, x0);
     }
-    let mu = hypot(x[0], sigma.sqrt());
-    let v0 = if x[0] <= 0.0 {
-        x[0] - mu
+    let mu = hypot(x0, sigma.sqrt());
+    let v0 = if x0 <= 0.0 {
+        x0 - mu
     } else {
-        -sigma / (x[0] + mu)
+        -sigma / (x0 + mu)
     };
     let v0sq = v0 * v0;
     let beta = 2.0 * v0sq / (sigma + v0sq);
-    for (vi, xi) in v.iter_mut().zip(x).skip(1) {
-        *vi = xi / v0;
+    for vi in v.iter_mut().skip(1) {
+        *vi /= v0;
     }
     v[0] = 1.0;
     // With this construction H·x = +μ·e₁ in both sign branches.
-    Householder { v, beta, alpha: mu }
+    (beta, mu)
 }
 
 /// Applies the reflector to a vector in place: `y ← (I − β v vᵀ) y`.
 pub fn apply_householder(h: &Householder, y: &mut [f64]) {
-    if h.beta == 0.0 {
+    apply_reflector(&h.v, h.beta, y);
+}
+
+/// Applies a raw reflector `(v, β)` to a vector in place (no struct needed).
+pub fn apply_reflector(v: &[f64], beta: f64, y: &mut [f64]) {
+    if beta == 0.0 {
         return;
     }
-    let w = h.beta * dot(&h.v, y);
-    axpy(-w, &h.v, y);
+    let w = beta * dot(v, y);
+    axpy(-w, v, y);
 }
 
 #[cfg(test)]

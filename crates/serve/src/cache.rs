@@ -34,12 +34,16 @@ pub fn cache_key(endpoint: &str, options: &str, body: &[u8]) -> u64 {
 }
 
 /// A cached response: content type + body.
+///
+/// The body is a shared buffer: hits hand out `Arc` clones, so serving a
+/// cached response never copies the bytes, and storing one shares the
+/// response's own buffer (see `Body::share`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CachedResponse {
     /// `Content-Type` of the cached response.
     pub content_type: &'static str,
-    /// Response body.
-    pub body: String,
+    /// Response body, shared with every response serving this entry.
+    pub body: std::sync::Arc<[u8]>,
 }
 
 const NIL: usize = usize::MAX;
@@ -190,7 +194,7 @@ mod tests {
     fn resp(s: &str) -> CachedResponse {
         CachedResponse {
             content_type: "application/json",
-            body: s.to_string(),
+            body: s.as_bytes().into(),
         }
     }
 
@@ -217,11 +221,21 @@ mod tests {
         let mut c = LruCache::new(2);
         assert!(c.get(1).is_none());
         c.put(1, resp("one"));
-        assert_eq!(c.get(1).unwrap().body, "one");
+        assert_eq!(&*c.get(1).unwrap().body, b"one");
         c.put(1, resp("one'"));
-        assert_eq!(c.get(1).unwrap().body, "one'");
+        assert_eq!(&*c.get(1).unwrap().body, b"one'");
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn hits_hand_out_shared_buffers() {
+        let mut c = LruCache::new(2);
+        c.put(1, resp("payload"));
+        let a = c.get(1).unwrap().body;
+        let b = c.get(1).unwrap().body;
+        // Two hits alias the one resident buffer — no per-hit deep copy.
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -257,7 +271,7 @@ mod tests {
             assert!(c.get(k).is_none(), "{k}");
         }
         for k in 84..100 {
-            assert_eq!(c.get(k).unwrap().body, k.to_string());
+            assert_eq!(&*c.get(k).unwrap().body, k.to_string().as_bytes());
         }
         assert_eq!(c.stats().evictions, 84);
     }

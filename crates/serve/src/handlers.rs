@@ -8,10 +8,12 @@
 //! parameters (`--ecs` → `?ecs=1`, `--zero-policy reg=1e-4` →
 //! `?zero-policy=reg%3D1e-4`).
 
+use std::cell::RefCell;
 use std::str::FromStr;
 
 use hc_core::ecs::{Ecs, Etc};
 use hc_core::standard::{TmaOptions, ZeroPolicy};
+use hc_core::Analyzer;
 use hc_gen::cvb::{cvb, CvbParams};
 use hc_gen::range_based::{range_based, RangeParams};
 use hc_gen::targeted::{targeted, TargetSpec};
@@ -86,17 +88,28 @@ fn tma_options(req: &Request) -> Result<TmaOptions, HttpError> {
     Ok(opts)
 }
 
+thread_local! {
+    /// One long-lived [`Analyzer`] per thread. Pool worker threads run every
+    /// handler, so the scratch workspace and cached uniform weights persist
+    /// across requests: measuring a repeated matrix shape in steady state
+    /// performs zero numeric heap allocations.
+    static ANALYZER: RefCell<Analyzer> = RefCell::new(Analyzer::new());
+}
+
 /// `POST /measure` — MPH/TDH/TMA plus per-machine and per-task factors.
 pub fn measure(req: &Request) -> Result<Response, HttpError> {
     check_allowed(req, &["ecs", "zero-policy"])?;
     let ecs = load_ecs(req)?;
     let opts = tma_options(req)?;
-    let w = hc_core::weights::Weights::uniform(ecs.num_tasks(), ecs.num_machines());
-    let r = hc_core::report::characterize_with(&ecs, &w, &opts)
-        .map_err(|e| HttpError::bad(e.to_string()))?;
-    Ok(Response::json(
-        r.to_json(ecs.task_names(), ecs.machine_names()),
-    ))
+    ANALYZER.with(|cell| {
+        let mut an = cell.borrow_mut();
+        let r = an
+            .characterize_with(&ecs, None, &opts)
+            .map_err(|e| HttpError::bad(e.to_string()))?;
+        let json = r.to_json(ecs.task_names(), ecs.machine_names());
+        an.recycle_report(r);
+        Ok(Response::json(json))
+    })
 }
 
 /// `POST /structure` — zero-pattern / balanceability report.
@@ -278,7 +291,7 @@ mod tests {
     }
 
     fn body_text(r: &Response) -> String {
-        String::from_utf8(r.body.clone()).unwrap()
+        String::from_utf8(r.body.as_slice().to_vec()).unwrap()
     }
 
     #[test]
@@ -290,6 +303,23 @@ mod tests {
         assert!(b.contains("\"tma\":"));
         assert!(b.contains("\"m2\":"));
         assert!(b.contains("\"t1\":"));
+    }
+
+    #[test]
+    fn warm_measure_reuses_worker_analyzer() {
+        let req = post(&[], SAMPLE);
+        // Cold call populates this thread's analyzer pool.
+        measure(&req).unwrap();
+        ANALYZER.with(|c| c.borrow_mut().reset_stats());
+        let r = measure(&req).unwrap();
+        assert_eq!(r.status, 200);
+        ANALYZER.with(|c| {
+            let stats = c.borrow().stats();
+            assert_eq!(
+                stats.fresh, 0,
+                "warm /measure must draw every numeric buffer from the pool: {stats:?}"
+            );
+        });
     }
 
     #[test]

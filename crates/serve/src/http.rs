@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Maximum accepted size of the request line + headers.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -47,6 +48,72 @@ impl Request {
     }
 }
 
+/// Response body storage: bytes built by a handler, or a shared handle into
+/// the result cache.
+///
+/// Serving a cache hit clones an `Arc`, not the bytes: the response is written
+/// to the socket straight out of the cached buffer, and inserting into the
+/// cache shares the response's own buffer instead of deep-copying it.
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Bytes owned by this response alone.
+    Owned(Vec<u8>),
+    /// Bytes shared with the result cache (and any concurrent responses).
+    Shared(Arc<[u8]>),
+}
+
+impl Body {
+    /// The body bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a,
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` when the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Converts the body to shared storage in place and returns a second
+    /// handle to the same bytes (for the cache). An already-shared body just
+    /// clones the handle; nothing is copied in either case.
+    pub fn share(&mut self) -> Arc<[u8]> {
+        match self {
+            Body::Shared(a) => Arc::clone(a),
+            Body::Owned(v) => {
+                let a: Arc<[u8]> = Arc::from(std::mem::take(v).into_boxed_slice());
+                *self = Body::Shared(Arc::clone(&a));
+                a
+            }
+        }
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Self {
+        Body::Owned(v)
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Self {
+        Body::Owned(s.into_bytes())
+    }
+}
+
+impl From<Arc<[u8]>> for Body {
+    fn from(a: Arc<[u8]>) -> Self {
+        Body::Shared(a)
+    }
+}
+
 /// A response ready to serialize.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -55,7 +122,7 @@ pub struct Response {
     /// `Content-Type` header value.
     pub content_type: &'static str,
     /// Response body bytes.
-    pub body: Vec<u8>,
+    pub body: Body,
     /// Additional headers (name, value).
     pub headers: Vec<(String, String)>,
 }
@@ -66,7 +133,7 @@ impl Response {
         Self {
             status: 200,
             content_type: "application/json",
-            body: body.into_bytes(),
+            body: body.into(),
             headers: Vec::new(),
         }
     }
@@ -76,7 +143,7 @@ impl Response {
         Self {
             status: 200,
             content_type: "text/csv",
-            body: body.into_bytes(),
+            body: body.into(),
             headers: Vec::new(),
         }
     }
@@ -86,7 +153,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
-            body: format!("{{\"error\":{}}}", hc_core::report::json_string(message)).into_bytes(),
+            body: format!("{{\"error\":{}}}", hc_core::report::json_string(message)).into(),
             headers: Vec::new(),
         }
     }
@@ -304,7 +371,7 @@ pub fn write_response<S: Write>(stream: &mut S, response: &Response) -> std::io:
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
+    stream.write_all(response.body.as_slice())?;
     stream.flush()
 }
 
@@ -396,6 +463,29 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("X-Cache: hit\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn body_share_is_zero_copy() {
+        let mut b = Body::from(String::from("hello"));
+        assert_eq!(b.as_slice(), b"hello");
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        let first = b.share();
+        let second = b.share();
+        // Both handles and the body itself alias one buffer.
+        assert!(Arc::ptr_eq(&first, &second));
+        match &b {
+            Body::Shared(a) => assert!(Arc::ptr_eq(a, &first)),
+            Body::Owned(_) => panic!("share() must leave the body shared"),
+        }
+        assert_eq!(b.as_slice(), b"hello");
+        // A shared body serializes identically to an owned one.
+        let mut out = Vec::new();
+        let mut r = Response::json("{\"ok\":true}".into());
+        r.body = Body::Shared(first);
+        write_response(&mut out, &r).unwrap();
+        assert!(String::from_utf8(out).unwrap().ends_with("hello"));
     }
 
     #[test]

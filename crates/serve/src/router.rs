@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use crate::cache::{cache_key, CachedResponse};
 use crate::handlers;
-use crate::http::{HttpError, Request, Response};
+use crate::http::{Body, HttpError, Request, Response};
 use crate::json::{JsonArray, JsonObject};
 use crate::server::ServerState;
 
@@ -57,6 +57,9 @@ fn canonical_options(req: &Request) -> String {
 /// Runs a cacheable handler through the result cache.
 ///
 /// Responses other than `200` are never cached (errors must re-evaluate).
+/// Both directions are zero-copy: a hit answers with an `Arc` clone of the
+/// cached bytes, and a miss stores a shared handle to the response's own
+/// buffer rather than duplicating it.
 /// Returns the response and whether it was a cache hit.
 fn cached(
     state: &ServerState,
@@ -69,16 +72,16 @@ fn cached(
         let resp = Response {
             status: 200,
             content_type: hit.content_type,
-            body: hit.body.into_bytes(),
+            body: Body::Shared(hit.body),
             headers: Vec::new(),
         };
         return (resp.with_header("X-Cache", "hit"), true);
     }
     match handler(req) {
-        Ok(resp) if resp.status == 200 => {
+        Ok(mut resp) if resp.status == 200 => {
             let entry = CachedResponse {
                 content_type: resp.content_type,
-                body: String::from_utf8_lossy(&resp.body).into_owned(),
+                body: resp.body.share(),
             };
             state
                 .cache
@@ -134,7 +137,7 @@ fn batch(state: &Arc<ServerState>, req: &Request) -> Result<Response, HttpError>
             // Reuse the /measure cache so identical matrices — within this
             // batch or across requests — are computed once.
             let (resp, _hit) = cached(&st, "measure", &sub, handlers::measure);
-            let rendered = String::from_utf8_lossy(&resp.body).into_owned();
+            let rendered = String::from_utf8_lossy(resp.body.as_slice()).into_owned();
             res.lock().expect("batch results mutex poisoned")[i] = Some(rendered);
             fin.fetch_add(1, Ordering::SeqCst);
         }));

@@ -14,7 +14,7 @@
 //! pattern (Sec. VI; see [`crate::structure`]) and the outcome reports what happened
 //! instead of failing silently.
 
-use hc_linalg::{LinAlgError, Matrix};
+use hc_linalg::{LinAlgError, MatRef, Matrix, Workspace};
 
 /// Which normalization runs first inside each iteration.
 ///
@@ -116,14 +116,24 @@ impl BalanceOutcome {
     pub fn is_converged(&self) -> bool {
         self.status.is_converged()
     }
+
+    /// Returns the outcome's buffers to `ws` so a later [`balance_in`] call on
+    /// the same shapes runs without fresh allocations.
+    pub fn recycle(self, ws: &mut Workspace) {
+        ws.recycle_matrix(self.matrix);
+        ws.recycle_vec(self.row_scale);
+        ws.recycle_vec(self.col_scale);
+        ws.recycle_vec(self.history);
+    }
 }
 
-fn validate(m: &Matrix, row_targets: &[f64], col_targets: &[f64]) -> Result<(), LinAlgError> {
+fn validate(m: MatRef<'_>, row_targets: &[f64], col_targets: &[f64]) -> Result<(), LinAlgError> {
     if m.is_empty() {
         return Err(LinAlgError::Empty { op: "balance" });
     }
     m.check_finite("balance")?;
-    if !m.is_nonnegative() {
+    // Finiteness already checked, so `< 0` is the exact complement of `>= 0`.
+    if m.row_iter().any(|r| r.iter().any(|&v| v < 0.0)) {
         return Err(LinAlgError::NonFinite {
             op: "balance (negative entry)",
             row: 0,
@@ -155,8 +165,8 @@ fn validate(m: &Matrix, row_targets: &[f64], col_targets: &[f64]) -> Result<(), 
     }
     // No all-zero row or column (the paper excludes these: a machine that can run
     // nothing / a task that runs nowhere).
-    for (i, s) in m.row_sums().iter().enumerate() {
-        if *s == 0.0 {
+    for (i, r) in m.row_iter().enumerate() {
+        if r.iter().sum::<f64>() == 0.0 {
             return Err(LinAlgError::IndexOutOfBounds {
                 op: "balance (all-zero row)",
                 index: i,
@@ -164,8 +174,8 @@ fn validate(m: &Matrix, row_targets: &[f64], col_targets: &[f64]) -> Result<(), 
             });
         }
     }
-    for (j, s) in m.col_sums().iter().enumerate() {
-        if *s == 0.0 {
+    for j in 0..m.cols() {
+        if m.col_iter(j).sum::<f64>() == 0.0 {
             return Err(LinAlgError::IndexOutOfBounds {
                 op: "balance (all-zero column)",
                 index: j,
@@ -176,13 +186,32 @@ fn validate(m: &Matrix, row_targets: &[f64], col_targets: &[f64]) -> Result<(), 
     Ok(())
 }
 
-/// Maximum relative deviation of the marginals from their targets.
-fn marginal_residual(m: &Matrix, row_targets: &[f64], col_targets: &[f64]) -> f64 {
-    let mut worst: f64 = 0.0;
-    for (s, t) in m.row_sums().iter().zip(row_targets) {
-        worst = worst.max((s - t).abs() / t);
+/// Column sums of `a` accumulated into `buf`, walking the matrix row-major —
+/// the exact accumulation order of [`Matrix::col_sums`], so the results are
+/// bit-identical without the allocation.
+fn col_sums_into(a: &Matrix, buf: &mut [f64]) {
+    buf.fill(0.0);
+    for r in a.row_iter() {
+        for (s, &v) in buf.iter_mut().zip(r) {
+            *s += v;
+        }
     }
-    for (s, t) in m.col_sums().iter().zip(col_targets) {
+}
+
+/// Maximum relative deviation of the marginals from their targets, using
+/// `col_buf` as scratch for the column sums.
+fn marginal_residual_in(
+    a: &Matrix,
+    row_targets: &[f64],
+    col_targets: &[f64],
+    col_buf: &mut [f64],
+) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (i, t) in row_targets.iter().enumerate() {
+        worst = worst.max((a.row_sum(i) - t).abs() / t);
+    }
+    col_sums_into(a, col_buf);
+    for (s, t) in col_buf.iter().zip(col_targets) {
         worst = worst.max((s - t).abs() / t);
     }
     worst
@@ -215,21 +244,33 @@ pub fn estimate_rate(history: &[f64]) -> Option<f64> {
     Some(ratios[ratios.len() / 2])
 }
 
-/// Balances `m` to the given target marginals with explicit options.
-pub fn balance_with(
-    m: &Matrix,
+/// Balances `m` to the given target marginals, drawing every buffer — the
+/// working copy, the scale vectors, and the per-sweep column-sum scratch —
+/// from `ws`. On a warm workspace (same shapes as a previous, recycled run)
+/// the whole iteration performs zero heap allocations; the returned outcome is
+/// bit-identical to [`balance_with`].
+pub fn balance_in(
+    m: MatRef<'_>,
     row_targets: &[f64],
     col_targets: &[f64],
     opts: &BalanceOptions,
+    ws: &mut Workspace,
 ) -> Result<BalanceOutcome, LinAlgError> {
     validate(m, row_targets, col_targets)?;
     let mut obs = hc_obs::span("sinkhorn.balance");
     let (t, mm) = m.shape();
-    let mut a = m.clone();
-    let mut row_scale = vec![1.0; t];
-    let mut col_scale = vec![1.0; mm];
+    let mut a = ws.take_matrix(t, mm, 0.0);
+    a.view_mut().copy_from(m);
+    let mut row_scale = ws.take_vec(t, 1.0);
+    let mut col_scale = ws.take_vec(mm, 1.0);
+    let mut col_buf = ws.take_vec(mm, 0.0);
     let mut history = Vec::new();
-    let max_entry_initial = m.max().unwrap_or(0.0);
+    let max_entry_initial = m
+        .row_iter()
+        .flatten()
+        .copied()
+        .reduce(f64::max)
+        .unwrap_or(0.0);
 
     let row_sweep = |a: &mut Matrix, row_scale: &mut [f64]| {
         for i in 0..t {
@@ -241,16 +282,16 @@ pub fn balance_with(
             row_scale[i] *= f;
         }
     };
-    let col_sweep = |a: &mut Matrix, col_scale: &mut [f64]| {
-        let sums = a.col_sums();
-        for (j, &s) in sums.iter().enumerate() {
+    let col_sweep = |a: &mut Matrix, col_scale: &mut [f64], col_buf: &mut [f64]| {
+        col_sums_into(a, col_buf);
+        for (j, &s) in col_buf.iter().enumerate() {
             let f = col_targets[j] / s;
             a.scale_col(j, f);
             col_scale[j] *= f;
         }
     };
 
-    let mut residual = marginal_residual(&a, row_targets, col_targets);
+    let mut residual = marginal_residual_in(&a, row_targets, col_targets, &mut col_buf);
     let mut status = BalanceStatus::MaxIterations { residual };
     let mut iterations = 0;
     let mut best_in_window = residual;
@@ -262,16 +303,16 @@ pub fn balance_with(
         for it in 1..=opts.max_iters {
             match opts.order {
                 SweepOrder::ColumnFirst => {
-                    col_sweep(&mut a, &mut col_scale);
+                    col_sweep(&mut a, &mut col_scale, &mut col_buf);
                     row_sweep(&mut a, &mut row_scale);
                 }
                 SweepOrder::RowFirst => {
                     row_sweep(&mut a, &mut row_scale);
-                    col_sweep(&mut a, &mut col_scale);
+                    col_sweep(&mut a, &mut col_scale, &mut col_buf);
                 }
             }
             iterations = it;
-            residual = marginal_residual(&a, row_targets, col_targets);
+            residual = marginal_residual_in(&a, row_targets, col_targets, &mut col_buf);
             if opts.track_history {
                 history.push(residual);
             }
@@ -297,7 +338,7 @@ pub fn balance_with(
         let mut decayed = false;
         for i in 0..t {
             for j in 0..mm {
-                if m[(i, j)] > 0.0 && a[(i, j)].abs() < threshold {
+                if m.at(i, j) > 0.0 && a[(i, j)].abs() < threshold {
                     decayed = true;
                 }
             }
@@ -325,14 +366,11 @@ pub fn balance_with(
     if obs.armed() {
         // Final per-side residuals are only worth recomputing when a sink
         // will actually see them.
-        let row_residual = a
-            .row_sums()
-            .iter()
-            .zip(row_targets)
-            .map(|(s, tgt)| (s - tgt).abs() / tgt)
+        let row_residual = (0..t)
+            .map(|i| (a.row_sum(i) - row_targets[i]).abs() / row_targets[i])
             .fold(0.0f64, f64::max);
-        let col_residual = a
-            .col_sums()
+        col_sums_into(&a, &mut col_buf);
+        let col_residual = col_buf
             .iter()
             .zip(col_targets)
             .map(|(s, tgt)| (s - tgt).abs() / tgt)
@@ -346,6 +384,7 @@ pub fn balance_with(
         obs.field_str("status", status_name);
         obs.field_bool("entries_decayed", entries_decayed);
     }
+    ws.recycle_vec(col_buf);
 
     Ok(BalanceOutcome {
         matrix: a,
@@ -357,6 +396,17 @@ pub fn balance_with(
         history,
         entries_decayed,
     })
+}
+
+/// Balances `m` to the given target marginals with explicit options.
+pub fn balance_with(
+    m: &Matrix,
+    row_targets: &[f64],
+    col_targets: &[f64],
+    opts: &BalanceOptions,
+) -> Result<BalanceOutcome, LinAlgError> {
+    let mut ws = Workspace::new();
+    balance_in(m.view(), row_targets, col_targets, opts, &mut ws)
 }
 
 /// Balances `m` to the given marginals with default options.
@@ -392,8 +442,27 @@ pub fn standard_targets(t: usize, m: usize) -> (Vec<f64>, Vec<f64>) {
 /// }
 /// ```
 pub fn standardize(m: &Matrix, opts: &BalanceOptions) -> Result<BalanceOutcome, LinAlgError> {
-    let (rt, ct) = standard_targets(m.rows(), m.cols());
-    balance_with(m, &rt, &ct, opts)
+    let mut ws = Workspace::new();
+    standardize_in(m.view(), opts, &mut ws)
+}
+
+/// [`standardize`] in a caller-supplied workspace: the target vectors, the
+/// working copy, and all iteration scratch come from `ws`, so repeated calls
+/// on the same shape allocate nothing.
+pub fn standardize_in(
+    m: MatRef<'_>,
+    opts: &BalanceOptions,
+    ws: &mut Workspace,
+) -> Result<BalanceOutcome, LinAlgError> {
+    let (t, mm) = m.shape();
+    let r = (mm as f64 / t as f64).sqrt();
+    let c = (t as f64 / mm as f64).sqrt();
+    let rt = ws.take_vec(t, r);
+    let ct = ws.take_vec(mm, c);
+    let out = balance_in(m, &rt, &ct, opts, ws);
+    ws.recycle_vec(rt);
+    ws.recycle_vec(ct);
+    out
 }
 
 #[cfg(test)]
@@ -650,6 +719,99 @@ mod tests {
         let c: f64 = ct.iter().sum();
         assert!((r - c).abs() < 1e-12);
         assert!((r - (12.0_f64 * 5.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_kernel_matches_owned_path_bitwise() {
+        let mut ws = Workspace::new();
+        let cases = [
+            Matrix::from_fn(5, 3, |i, j| 1.0 + ((i * 3 + j * 7) % 5) as f64),
+            // Zero pattern without total support (stalls / decays).
+            Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]).unwrap(),
+            Matrix::from_fn(4, 7, |i, j| 0.2 + ((i * 11 + j * 5) % 9) as f64),
+        ];
+        for m in &cases {
+            for opts in [
+                BalanceOptions::default(),
+                BalanceOptions {
+                    track_history: true,
+                    max_iters: 300,
+                    ..Default::default()
+                },
+            ] {
+                let owned = standardize(m, &opts).unwrap();
+                let pooled = standardize_in(m.view(), &opts, &mut ws).unwrap();
+                assert_eq!(pooled.matrix, owned.matrix);
+                assert_eq!(pooled.row_scale, owned.row_scale);
+                assert_eq!(pooled.col_scale, owned.col_scale);
+                assert_eq!(pooled.iterations, owned.iterations);
+                assert_eq!(pooled.status, owned.status);
+                assert_eq!(pooled.residual.to_bits(), owned.residual.to_bits());
+                assert_eq!(pooled.history, owned.history);
+                assert_eq!(pooled.entries_decayed, owned.entries_decayed);
+                pooled.recycle(&mut ws);
+            }
+        }
+    }
+
+    #[test]
+    fn balance_in_matches_generalized_targets() {
+        let m = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let rt = [1.0, 3.0];
+        let ct = [2.0, 2.0];
+        let mut ws = Workspace::new();
+        let owned = balance(&m, &rt, &ct).unwrap();
+        let pooled = balance_in(m.view(), &rt, &ct, &BalanceOptions::default(), &mut ws).unwrap();
+        assert_eq!(pooled.matrix, owned.matrix);
+        assert_eq!(pooled.row_scale, owned.row_scale);
+        assert_eq!(pooled.col_scale, owned.col_scale);
+        assert_eq!(pooled.iterations, owned.iterations);
+    }
+
+    #[test]
+    fn warm_workspace_balance_is_allocation_free() {
+        let m = Matrix::from_fn(6, 4, |i, j| 0.1 + ((i * 7 + j * 3) % 13) as f64);
+        let mut ws = Workspace::new();
+        let owned = standardize(&m, &BalanceOptions::default()).unwrap();
+        let cold = standardize_in(m.view(), &BalanceOptions::default(), &mut ws).unwrap();
+        assert_eq!(cold.matrix, owned.matrix);
+        cold.recycle(&mut ws);
+        ws.reset_stats();
+        let warm = standardize_in(m.view(), &BalanceOptions::default(), &mut ws).unwrap();
+        assert_eq!(warm.matrix, owned.matrix);
+        assert_eq!(
+            ws.stats().fresh,
+            0,
+            "warm balance must draw every buffer from the pool"
+        );
+        warm.recycle(&mut ws);
+    }
+
+    #[test]
+    fn workspace_reuse_across_changing_shapes() {
+        // A workspace cycled through different shapes still produces results
+        // identical to the owned path for each shape.
+        let mut ws = Workspace::new();
+        for (t, m) in [(3usize, 5usize), (7, 2), (4, 4), (2, 9), (7, 2)] {
+            let mat = Matrix::from_fn(t, m, |i, j| 0.3 + ((i * 5 + j * 13) % 11) as f64);
+            let owned = standardize(&mat, &BalanceOptions::default()).unwrap();
+            let pooled = standardize_in(mat.view(), &BalanceOptions::default(), &mut ws).unwrap();
+            assert_eq!(pooled.matrix, owned.matrix, "shape {t}x{m}");
+            assert_eq!(pooled.iterations, owned.iterations, "shape {t}x{m}");
+            pooled.recycle(&mut ws);
+        }
+    }
+
+    #[test]
+    fn validation_errors_via_view_kernel() {
+        let mut ws = Workspace::new();
+        let opts = BalanceOptions::default();
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!(balance_in(m.view(), &[1.0], &[1.0, 1.0], &opts, &mut ws).is_err());
+        let zr = Matrix::from_rows(&[&[0.0, 0.0], &[3.0, 4.0]]).unwrap();
+        assert!(balance_in(zr.view(), &[1.0, 1.0], &[1.0, 1.0], &opts, &mut ws).is_err());
+        let zc = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 4.0]]).unwrap();
+        assert!(balance_in(zc.view(), &[1.0, 1.0], &[1.0, 1.0], &opts, &mut ws).is_err());
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! total support converge to the exact balanced form, patterns without it show
 //! entries collapsing toward zero at a rate proportional to ε.
 
-use crate::balance::{balance_with, standard_targets, BalanceOptions, BalanceOutcome};
-use hc_linalg::{LinAlgError, Matrix};
+use crate::balance::{balance_in, BalanceOptions, BalanceOutcome};
+use hc_linalg::{LinAlgError, MatRef, Matrix, Workspace};
 
 /// Replaces zero entries with `epsilon × max_entry`.
 pub fn regularize(m: &Matrix, epsilon: f64) -> Matrix {
@@ -28,14 +28,47 @@ pub fn regularized_standard_form(
     epsilon: f64,
     opts: &BalanceOptions,
 ) -> Result<BalanceOutcome, LinAlgError> {
+    let mut ws = Workspace::new();
+    regularized_standard_form_in(m.view(), epsilon, opts, &mut ws)
+}
+
+/// [`regularized_standard_form`] in a caller-supplied workspace: the
+/// regularized copy, the target vectors, and all balancing scratch come from
+/// `ws`, so repeated calls on the same shape allocate nothing.
+pub fn regularized_standard_form_in(
+    m: MatRef<'_>,
+    epsilon: f64,
+    opts: &BalanceOptions,
+    ws: &mut Workspace,
+) -> Result<BalanceOutcome, LinAlgError> {
     if !epsilon.is_finite() || epsilon <= 0.0 {
         return Err(LinAlgError::Singular {
             op: "regularized_standard_form (epsilon must be positive)",
         });
     }
-    let reg = regularize(m, epsilon);
-    let (rt, ct) = standard_targets(m.rows(), m.cols());
-    balance_with(&reg, &rt, &ct, opts)
+    let (t, mm) = m.shape();
+    let scale = m
+        .row_iter()
+        .flatten()
+        .copied()
+        .reduce(f64::max)
+        .unwrap_or(0.0)
+        .max(f64::MIN_POSITIVE);
+    let floor = epsilon * scale;
+    let mut reg = ws.take_matrix(t, mm, 0.0);
+    for i in 0..t {
+        for (d, &v) in reg.row_mut(i).iter_mut().zip(m.row(i)) {
+            *d = if v == 0.0 { floor } else { v };
+        }
+    }
+    let (r, c) = ((mm as f64 / t as f64).sqrt(), (t as f64 / mm as f64).sqrt());
+    let rt = ws.take_vec(t, r);
+    let ct = ws.take_vec(mm, c);
+    let out = balance_in(reg.view(), &rt, &ct, opts, ws);
+    ws.recycle_matrix(reg);
+    ws.recycle_vec(rt);
+    ws.recycle_vec(ct);
+    out
 }
 
 /// One step of an ε sweep.
@@ -155,6 +188,24 @@ mod tests {
         for w in steps.windows(2) {
             assert!(w[1].max_at_zero_positions <= w[0].max_at_zero_positions * 1.01);
         }
+    }
+
+    #[test]
+    fn workspace_kernel_matches_owned_path_bitwise() {
+        let m = eq10_matrix();
+        let opts = generous(1e-8);
+        let owned = regularized_standard_form(&m, 1e-3, &opts).unwrap();
+        let mut ws = Workspace::new();
+        let pooled = regularized_standard_form_in(m.view(), 1e-3, &opts, &mut ws).unwrap();
+        assert_eq!(pooled.matrix, owned.matrix);
+        assert_eq!(pooled.iterations, owned.iterations);
+        assert_eq!(pooled.status, owned.status);
+        // Warm repeat draws everything from the pool.
+        pooled.recycle(&mut ws);
+        ws.reset_stats();
+        let warm = regularized_standard_form_in(m.view(), 1e-3, &opts, &mut ws).unwrap();
+        assert_eq!(warm.matrix, owned.matrix);
+        assert_eq!(ws.stats().fresh, 0);
     }
 
     #[test]

@@ -16,7 +16,9 @@ echo "== snapshot -> $OUT =="
 ./target/release/snapshot > "$OUT"
 
 # Fail loudly on a truncated or malformed run rather than committing garbage.
-grep -q '"schema":"hc-bench-snapshot/v1"' "$OUT" || { echo "bad snapshot"; exit 1; }
+grep -q '"schema":"hc-bench-snapshot/v2"' "$OUT" || { echo "bad snapshot"; exit 1; }
 grep -q '"bench":"measure.characterize"' "$OUT" || { echo "missing measure results"; exit 1; }
+grep -q '"bench":"measure.characterize_warm"' "$OUT" || { echo "missing warm measure results"; exit 1; }
 grep -q '"bench":"sinkhorn.balance"' "$OUT" || { echo "missing sinkhorn results"; exit 1; }
+grep -q '"allocs_per_call":' "$OUT" || { echo "missing allocation counts"; exit 1; }
 echo "wrote $OUT"

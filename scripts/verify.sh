@@ -18,6 +18,11 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== steady-state allocation check =="
+# A warm Analyzer must serve repeated shapes with >= 90% fewer heap
+# allocations than the one-shot characterize path (see snapshot --alloc-check).
+./target/release/snapshot --alloc-check
+
 echo "== serve smoke test =="
 HCM=./target/release/hcm
 LOG=$(mktemp)
