@@ -224,6 +224,48 @@ fn main() {
         ));
     }
 
+    // Deadline-overhead lane: the same warm 512×512 characterize with and
+    // without a (generous, never-firing) Budget threaded through the kernels.
+    // The delta is the cost of per-iteration cancellation checks; it is
+    // reported, not gated, and is expected to stay under ~1%.
+    let deadline_overhead = {
+        const SIZE: usize = 512;
+        let ecs = ecs_fixture(SIZE, SIZE);
+        let opts = TmaOptions::default();
+        let budget = hc_linalg::Budget::with_deadline(std::time::Duration::from_secs(3600));
+        let mut an = Analyzer::new();
+        let mut timed = |budget: Option<&hc_linalg::Budget>| {
+            let t = Instant::now();
+            let r = an
+                .characterize_budgeted(&ecs, None, &opts, budget)
+                .expect("fixture characterizes");
+            assert!(r.tma.is_finite());
+            an.recycle_report(r);
+            t.elapsed().as_nanos()
+        };
+        timed(None); // warm-up, not recorded
+        let (mut plain, mut budgeted) = (Vec::new(), Vec::new());
+        // Interleave the lanes so clock/thermal drift cannot masquerade as
+        // cancellation-check overhead.
+        for _ in 0..3 {
+            plain.push(timed(None));
+            budgeted.push(timed(Some(&budget)));
+        }
+        let plain_ns = median_ns(plain);
+        let budgeted_ns = median_ns(budgeted);
+        let overhead_pct = if plain_ns == 0 {
+            0.0
+        } else {
+            100.0 * (budgeted_ns as f64 - plain_ns as f64) / plain_ns as f64
+        };
+        format!(
+            "{{\"bench\":\"deadline_overhead\",\"tasks\":{SIZE},\"machines\":{SIZE},\
+             \"plain_median_ns\":{plain_ns},\"budgeted_median_ns\":{budgeted_ns},\
+             \"overhead_pct\":{overhead_pct:.3}}}"
+        )
+    };
+    results.push(deadline_overhead);
+
     let ts = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())

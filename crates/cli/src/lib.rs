@@ -43,7 +43,8 @@ pub fn usage() -> &'static str {
     \x20                          sufferage|kpb=<pct>|duplex|ga|sa|tabu|optimal]\n\
     \x20 hcm whatif    <etc.csv> (--remove-machine J | --remove-task I) [--ecs]\n\
     \x20 hcm serve     [--addr 127.0.0.1:7878] [--workers N] [--queue-depth Q]\n\
-    \x20               [--cache-entries C] [--slow-ms MS] [--dry-run]\n\
+    \x20               [--cache-entries C] [--slow-ms MS] [--request-timeout-ms MS]\n\
+    \x20               [--max-cells N] [--dry-run]\n\
     \x20 hcm help\n\n\
      Global flags (every subcommand, place after the input file):\n\
     \x20 --log-json <path>   write spans/events as JSON lines to <path>\n\
@@ -53,7 +54,10 @@ pub fn usage() -> &'static str {
      /structure, /generate, /schedule, and /batch (CSV bodies), with GET /metrics\n\
      for counters and latency histograms; requests beyond --queue-depth receive\n\
      503 + Retry-After, requests slower than --slow-ms are logged, and SIGINT or\n\
-     GET /quitquitquit drains gracefully. Every response carries X-Request-Id.\n\n\
+     GET /quitquitquit drains gracefully. Every response carries X-Request-Id.\n\
+     --request-timeout-ms (or a per-request X-Timeout-Ms header, clamped to it)\n\
+     answers 504 with progress diagnostics when a deadline expires; matrices\n\
+     above --max-cells cells are rejected with 422 before any allocation.\n\n\
      Input files are CSV: header `task,<machine…>`, one row per task type, runtimes\n\
      as numbers, `inf` for incompatible pairs. Pass --ecs when the file already\n\
      holds speeds instead of runtimes.\n"

@@ -29,6 +29,8 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
         "queue-depth",
         "cache-entries",
         "slow-ms",
+        "request-timeout-ms",
+        "max-cells",
         "dry-run",
     ])?;
 
@@ -56,6 +58,11 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
     }
     cfg.cache_entries = args.get_or("cache-entries", cfg.cache_entries)?;
     cfg.slow_ms = args.get_or("slow-ms", cfg.slow_ms)?;
+    cfg.request_timeout_ms = args.get_or("request-timeout-ms", cfg.request_timeout_ms)?;
+    cfg.max_cells = args.get_or("max-cells", cfg.max_cells)?;
+    if cfg.max_cells == 0 {
+        return Err("--max-cells must be at least 1".to_string());
+    }
     Ok((cfg, args.has("dry-run")))
 }
 
@@ -68,16 +75,24 @@ pub fn describe(cfg: &Config) -> String {
         \x20 queue-depth    {}\n\
         \x20 cache-entries  {}\n\
         \x20 max-body-bytes {}\n\
-        \x20 slow-ms        {}\n",
+        \x20 max-cells      {}\n\
+        \x20 slow-ms        {}\n\
+        \x20 request-timeout-ms {}\n",
         cfg.addr,
         cfg.workers,
         cfg.queue_depth,
         cfg.cache_entries,
         cfg.max_body_bytes,
+        cfg.max_cells,
         if cfg.slow_ms == 0 {
             "off".to_string()
         } else {
             cfg.slow_ms.to_string()
+        },
+        if cfg.request_timeout_ms == 0 {
+            "off".to_string()
+        } else {
+            cfg.request_timeout_ms.to_string()
         },
     )
 }
@@ -129,6 +144,25 @@ mod tests {
     }
 
     #[test]
+    fn fault_containment_flags() {
+        let (cfg, _) = cfg_of(&["serve"]).unwrap();
+        assert_eq!(cfg.request_timeout_ms, 0);
+        assert_eq!(cfg.max_cells, 4_000_000);
+        let (cfg, _) = cfg_of(&[
+            "serve",
+            "--request-timeout-ms",
+            "2500",
+            "--max-cells",
+            "1000000",
+        ])
+        .unwrap();
+        assert_eq!(cfg.request_timeout_ms, 2500);
+        assert_eq!(cfg.max_cells, 1_000_000);
+        assert!(cfg_of(&["serve", "--max-cells", "0"]).is_err());
+        assert!(cfg_of(&["serve", "--request-timeout-ms", "soon"]).is_err());
+    }
+
+    #[test]
     fn rejects_bad_values() {
         assert!(cfg_of(&["serve", "--workers", "0"]).is_err());
         assert!(cfg_of(&["serve", "--queue-depth", "0"]).is_err());
@@ -147,5 +181,7 @@ mod tests {
         assert!(d.contains("queue-depth"));
         assert!(d.contains("cache-entries"));
         assert!(d.contains("slow-ms        off"), "{d}");
+        assert!(d.contains("request-timeout-ms off"), "{d}");
+        assert!(d.contains("max-cells      4000000"), "{d}");
     }
 }

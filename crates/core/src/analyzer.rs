@@ -10,11 +10,11 @@
 
 use crate::ecs::Ecs;
 use crate::error::MeasureError;
-use crate::report::{characterize_in, MeasureReport};
+use crate::report::{characterize_budgeted_in, MeasureReport};
 use crate::sensitivity::{sensitivities_in, SensitivityReport};
 use crate::standard::{standard_form_in, StandardForm, TmaOptions};
 use crate::weights::Weights;
-use hc_linalg::{Workspace, WorkspaceStats};
+use hc_linalg::{Budget, Workspace, WorkspaceStats};
 
 /// A long-lived analysis context owning its scratch workspace.
 ///
@@ -62,12 +62,26 @@ impl Analyzer {
         weights: Option<&Weights>,
         opts: &TmaOptions,
     ) -> Result<MeasureReport, MeasureError> {
+        self.characterize_budgeted(ecs, weights, opts, None)
+    }
+
+    /// [`Analyzer::characterize_with`] with a cooperative cancellation
+    /// [`Budget`] threaded through the standardization and SVD loops. Expiry
+    /// surfaces as [`MeasureError::DeadlineExceeded`] with iteration-progress
+    /// diagnostics; `budget: None` is exactly the unbudgeted path.
+    pub fn characterize_budgeted(
+        &mut self,
+        ecs: &Ecs,
+        weights: Option<&Weights>,
+        opts: &TmaOptions,
+        budget: Option<&Budget>,
+    ) -> Result<MeasureReport, MeasureError> {
         match weights {
-            Some(w) => characterize_in(ecs, w, opts, &mut self.ws),
+            Some(w) => characterize_budgeted_in(ecs, w, opts, budget, &mut self.ws),
             None => {
                 self.uniform_weights(ecs.num_tasks(), ecs.num_machines());
                 let (_, w) = self.uniform.as_ref().expect("just cached");
-                characterize_in(ecs, w, opts, &mut self.ws)
+                characterize_budgeted_in(ecs, w, opts, budget, &mut self.ws)
             }
         }
     }
@@ -184,6 +198,26 @@ mod tests {
             assert_eq!(r.tma.to_bits(), owned.tma.to_bits(), "shape {t}x{m}");
             an.recycle_report(r);
         }
+    }
+
+    #[test]
+    fn expired_budget_maps_to_measure_deadline_exceeded() {
+        let e = sample();
+        let mut an = Analyzer::new();
+        let expired = Budget::with_deadline(std::time::Duration::ZERO);
+        match an.characterize_budgeted(&e, None, &TmaOptions::default(), Some(&expired)) {
+            Err(MeasureError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // A generous budget produces bit-identical results to the plain path.
+        let generous = Budget::with_deadline(std::time::Duration::from_secs(600));
+        let plain = an.characterize(&e).unwrap();
+        let budgeted = an
+            .characterize_budgeted(&e, None, &TmaOptions::default(), Some(&generous))
+            .unwrap();
+        assert_eq!(plain.tma.to_bits(), budgeted.tma.to_bits());
+        an.recycle_report(plain);
+        an.recycle_report(budgeted);
     }
 
     #[test]

@@ -33,6 +33,17 @@ pub enum MeasureError {
         /// What is wrong.
         reason: String,
     },
+    /// A cooperative cancellation budget expired while an iterative kernel was
+    /// still running (see [`hc_linalg::Budget`]). Carries partial-progress
+    /// diagnostics for the caller's timeout report.
+    DeadlineExceeded {
+        /// The kernel that was cancelled.
+        op: &'static str,
+        /// Iterations completed before the budget tripped.
+        iterations: usize,
+        /// Residual at the point of cancellation (`NaN` when not tracked).
+        residual: f64,
+    },
 }
 
 impl fmt::Display for MeasureError {
@@ -53,6 +64,14 @@ impl fmt::Display for MeasureError {
                 "standard-form iteration did not converge ({iterations} iterations, residual {residual:.3e})"
             ),
             MeasureError::InvalidWeights { reason } => write!(f, "invalid weights: {reason}"),
+            MeasureError::DeadlineExceeded {
+                op,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "deadline exceeded in {op} after {iterations} iterations (residual {residual:.3e})"
+            ),
         }
     }
 }
@@ -68,7 +87,20 @@ impl std::error::Error for MeasureError {
 
 impl From<LinAlgError> for MeasureError {
     fn from(e: LinAlgError) -> Self {
-        MeasureError::LinAlg(e)
+        match e {
+            // Deadline expiry is a first-class outcome (it maps to a 504 with
+            // diagnostics in the serving layer), not a generic numeric failure.
+            LinAlgError::DeadlineExceeded {
+                op,
+                iterations,
+                residual,
+            } => MeasureError::DeadlineExceeded {
+                op,
+                iterations,
+                residual,
+            },
+            other => MeasureError::LinAlg(other),
+        }
     }
 }
 
@@ -103,5 +135,37 @@ mod tests {
         assert!(matches!(e, MeasureError::LinAlg(_)));
         use std::error::Error;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn from_linalg_deadline_is_first_class() {
+        let e: MeasureError = LinAlgError::DeadlineExceeded {
+            op: "sinkhorn-balance",
+            iterations: 9,
+            residual: 0.5,
+        }
+        .into();
+        match e {
+            MeasureError::DeadlineExceeded {
+                op,
+                iterations,
+                residual,
+            } => {
+                assert_eq!(op, "sinkhorn-balance");
+                assert_eq!(iterations, 9);
+                assert_eq!(residual, 0.5);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let display = MeasureError::DeadlineExceeded {
+            op: "jacobi-svd",
+            iterations: 3,
+            residual: 1e-2,
+        }
+        .to_string();
+        assert!(
+            display.contains("deadline exceeded in jacobi-svd"),
+            "{display}"
+        );
     }
 }

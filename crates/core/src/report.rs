@@ -5,9 +5,9 @@ use crate::error::MeasureError;
 use crate::measures::{
     adjacent_ratio_homogeneity_in, machine_performances_in, task_difficulties_in,
 };
-use crate::standard::{standard_form_in, tma_from_standard_form_in, TmaOptions};
+use crate::standard::{standard_form_budgeted_in, tma_from_standard_form_budgeted_in, TmaOptions};
 use crate::weights::Weights;
-use hc_linalg::Workspace;
+use hc_linalg::{Budget, Workspace};
 
 /// The three paper measures plus diagnostics, computed together.
 #[derive(Debug, Clone)]
@@ -180,14 +180,31 @@ pub fn characterize_in(
     opts: &TmaOptions,
     ws: &mut Workspace,
 ) -> Result<MeasureReport, MeasureError> {
+    characterize_budgeted_in(ecs, weights, opts, None, ws)
+}
+
+/// [`characterize_in`] with a cooperative cancellation [`Budget`] threaded
+/// through the standardization and SVD phases. Expiry surfaces as
+/// [`MeasureError::DeadlineExceeded`] with iteration-progress diagnostics.
+/// `None` is exactly the unbudgeted path (bit-identical results).
+pub fn characterize_budgeted_in(
+    ecs: &Ecs,
+    weights: &Weights,
+    opts: &TmaOptions,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<MeasureReport, MeasureError> {
     let mut obs = hc_obs::span("core.characterize");
+    if let Some(b) = budget {
+        b.check("characterize", 0, f64::NAN)?;
+    }
     let mp = machine_performances_in(ecs, weights, ws)?;
     let td = task_difficulties_in(ecs, weights, ws)?;
     let mph = adjacent_ratio_homogeneity_in(&mp, ws)?;
     let tdh = adjacent_ratio_homogeneity_in(&td, ws)?;
     let sf = {
         let mut s = hc_obs::span("measure.standardize");
-        let sf = standard_form_in(ecs, opts, ws)?;
+        let sf = standard_form_budgeted_in(ecs, opts, budget, ws)?;
         if s.armed() {
             s.field_u64("iterations", sf.iterations as u64);
             s.field_f64("residual", sf.residual);
@@ -198,7 +215,7 @@ pub fn characterize_in(
     };
     let tma = {
         let mut s = hc_obs::span("measure.svd");
-        let tma = tma_from_standard_form_in(&sf, opts.svd, ws)?;
+        let tma = tma_from_standard_form_budgeted_in(&sf, opts.svd, budget, ws)?;
         if s.armed() {
             s.field_f64("tma", tma);
         }

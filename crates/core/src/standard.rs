@@ -17,10 +17,10 @@
 use crate::ecs::Ecs;
 use crate::error::MeasureError;
 use crate::weights::Weights;
-use hc_linalg::svd::{svd_with, svd_with_in, SvdAlgorithm};
-use hc_linalg::{Matrix, Workspace};
-use hc_sinkhorn::balance::{standardize_in, BalanceOptions, BalanceOutcome};
-use hc_sinkhorn::regularized::regularized_standard_form_in;
+use hc_linalg::svd::{svd_with, svd_with_budgeted_in, SvdAlgorithm};
+use hc_linalg::{Budget, Matrix, Workspace};
+use hc_sinkhorn::balance::{standardize_budgeted_in, BalanceOptions, BalanceOutcome};
+use hc_sinkhorn::regularized::regularized_standard_form_budgeted_in;
 use hc_sinkhorn::structure::{analyze_structure, total_support_core, Balanceability};
 
 /// How to treat ECS matrices containing zeros when computing the standard form.
@@ -127,6 +127,19 @@ pub fn standard_form_in(
     opts: &TmaOptions,
     ws: &mut Workspace,
 ) -> Result<StandardForm, MeasureError> {
+    standard_form_budgeted_in(ecs, opts, None, ws)
+}
+
+/// [`standard_form_in`] with a cooperative cancellation [`Budget`] threaded
+/// into the balancing iteration. Expiry surfaces as
+/// [`MeasureError::DeadlineExceeded`] with partial-progress diagnostics.
+/// `None` is exactly the unbudgeted path (bit-identical results).
+pub fn standard_form_budgeted_in(
+    ecs: &Ecs,
+    opts: &TmaOptions,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<StandardForm, MeasureError> {
     let weighted = match &opts.weights {
         None => None,
         Some(w) => {
@@ -144,7 +157,7 @@ pub fn standard_form_in(
         }
     };
     let m = weighted.as_ref().unwrap_or(ecs.matrix());
-    let result = standard_form_of(m, opts, ws);
+    let result = standard_form_of(m, opts, budget, ws);
     if let Some(eff) = weighted {
         ws.recycle_matrix(eff);
     }
@@ -154,6 +167,7 @@ pub fn standard_form_in(
 fn standard_form_of(
     m: &Matrix,
     opts: &TmaOptions,
+    budget: Option<&Budget>,
     ws: &mut Workspace,
 ) -> Result<StandardForm, MeasureError> {
     let positive = m.is_positive();
@@ -201,7 +215,13 @@ fn standard_form_of(
                 }
             }
             ZeroPolicy::Regularize { epsilon } => {
-                let out = regularized_standard_form_in(m.view(), epsilon, &opts.balance, ws)?;
+                let out = regularized_standard_form_budgeted_in(
+                    m.view(),
+                    epsilon,
+                    &opts.balance,
+                    budget,
+                    ws,
+                )?;
                 if !out.is_converged() {
                     return Err(MeasureError::BalanceDidNotConverge {
                         residual: out.residual,
@@ -214,7 +234,7 @@ fn standard_form_of(
     }
 
     let working = core_holder.as_ref().unwrap_or(m);
-    let out = standardize_in(working.view(), &opts.balance, ws)?;
+    let out = standardize_budgeted_in(working.view(), &opts.balance, budget, ws)?;
     if !out.is_converged() {
         return Err(MeasureError::BalanceDidNotConverge {
             residual: out.residual,
@@ -283,7 +303,18 @@ pub fn tma_from_standard_form_in(
     alg: SvdAlgorithm,
     ws: &mut Workspace,
 ) -> Result<f64, MeasureError> {
-    let s = svd_with_in(sf.matrix.view(), alg, ws)?;
+    tma_from_standard_form_budgeted_in(sf, alg, None, ws)
+}
+
+/// [`tma_from_standard_form_in`] with a cooperative cancellation [`Budget`]
+/// threaded into the SVD loops.
+pub fn tma_from_standard_form_budgeted_in(
+    sf: &StandardForm,
+    alg: SvdAlgorithm,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<f64, MeasureError> {
+    let s = svd_with_budgeted_in(sf.matrix.view(), alg, budget, ws)?;
     let k = s.singular_values.len();
     if k <= 1 {
         // A 1×M or T×1 environment has no affinity structure.

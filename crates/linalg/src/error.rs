@@ -42,6 +42,16 @@ pub enum LinAlgError {
         /// The operation that required full rank.
         op: &'static str,
     },
+    /// A cooperative [`Budget`](crate::Budget) expired or was cancelled while
+    /// an iterative algorithm was still running.
+    DeadlineExceeded {
+        /// The operation that was cancelled.
+        op: &'static str,
+        /// Iterations completed before the budget tripped.
+        iterations: usize,
+        /// Residual at the point of cancellation (`NaN` when not tracked).
+        residual: f64,
+    },
     /// An index was out of bounds.
     IndexOutOfBounds {
         /// The operation performing the access.
@@ -73,6 +83,14 @@ impl fmt::Display for LinAlgError {
             LinAlgError::NonFinite { op, row, col } => {
                 write!(f, "{op}: non-finite entry at ({row}, {col})")
             }
+            LinAlgError::DeadlineExceeded {
+                op,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{op}: deadline exceeded after {iterations} iterations (residual {residual:.3e})"
+            ),
             LinAlgError::Singular { op } => write!(f, "{op}: matrix is singular"),
             LinAlgError::IndexOutOfBounds { op, index, bound } => {
                 write!(f, "{op}: index {index} out of bounds (< {bound})")
@@ -110,6 +128,19 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("jacobi-svd"));
         assert!(s.contains("64"));
+    }
+
+    #[test]
+    fn display_deadline_exceeded() {
+        let e = LinAlgError::DeadlineExceeded {
+            op: "sinkhorn-balance",
+            iterations: 17,
+            residual: 2.5e-2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadline exceeded"));
+        assert!(s.contains("17"));
+        assert!(s.contains("sinkhorn-balance"));
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   the `_in`/`_into` kernel variants take [`MatRef`] views plus a caller
 //!   [`Workspace`] and perform no heap allocation once the workspace is warm;
 //!   the owned-`Matrix` API is a thin wrapper over them.
+//! * Cooperative cancellation ([`budget`]) — a [`Budget`] (wall-clock deadline
+//!   plus [`CancelToken`]) polled by the iterative loops' `*_budgeted_in`
+//!   variants, so a serving layer can bound worst-case latency.
 //!
 //! All algorithms are implemented from the standard literature (Golub & Van Loan,
 //! *Matrix Computations*) and cross-validated against each other in the test suite.
@@ -29,6 +32,7 @@
 #![warn(clippy::all)]
 
 pub mod bidiag;
+pub mod budget;
 pub mod eigen;
 pub mod error;
 pub mod lowrank;
@@ -43,6 +47,7 @@ pub mod vecops;
 pub mod view;
 pub mod workspace;
 
+pub use budget::{Budget, CancelToken};
 pub use error::LinAlgError;
 pub use matrix::Matrix;
 pub use svd::{Svd, SvdAlgorithm};

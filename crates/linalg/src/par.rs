@@ -216,8 +216,8 @@ pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
 
     let rounds = tournament_rounds(n);
     let rotate_pair = |p: usize, q: usize| -> bool {
-        let mut wp = w[p].lock().expect("column mutex poisoned");
-        let mut wq = w[q].lock().expect("column mutex poisoned");
+        let mut wp = hc_obs::sync::lock_recover(&w[p]);
+        let mut wq = hc_obs::sync::lock_recover(&w[q]);
         let mut app = 0.0;
         let mut aqq = 0.0;
         let mut apq = 0.0;
@@ -247,8 +247,8 @@ pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
             wq[i] = s * x + c * y;
         }
         drop((wp, wq));
-        let mut vp = v[p].lock().expect("column mutex poisoned");
-        let mut vq = v[q].lock().expect("column mutex poisoned");
+        let mut vp = hc_obs::sync::lock_recover(&v[p]);
+        let mut vq = hc_obs::sync::lock_recover(&v[q]);
         for i in 0..n {
             let (x, y) = (vp[i], vq[i]);
             vp[i] = c * x - s * y;
@@ -285,7 +285,7 @@ pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
     let mut u = Matrix::zeros(m, n);
     let mut vm = Matrix::zeros(n, n);
     for j in 0..n {
-        let col = w[j].lock().expect("column mutex poisoned");
+        let col = hc_obs::sync::lock_recover(&w[j]);
         let nrm = vecops::norm2(&col);
         sigma.push(nrm);
         if nrm > 0.0 {
@@ -293,7 +293,7 @@ pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
                 u[(i, j)] = col[i] / nrm;
             }
         }
-        let vcol = v[j].lock().expect("column mutex poisoned");
+        let vcol = hc_obs::sync::lock_recover(&v[j]);
         for i in 0..n {
             vm[(i, j)] = vcol[i];
         }
@@ -304,8 +304,8 @@ pub fn par_jacobi_svd(a: &Matrix, threads: usize) -> crate::Result<Svd> {
         for p in 0..n {
             for q in (p + 1)..n {
                 if sigma[p] > 0.0 && sigma[q] > 0.0 {
-                    let wp = w[p].lock().expect("column mutex poisoned");
-                    let wq = w[q].lock().expect("column mutex poisoned");
+                    let wp = hc_obs::sync::lock_recover(&w[p]);
+                    let wq = hc_obs::sync::lock_recover(&w[q]);
                     let dot: f64 = wp.iter().zip(wq.iter()).map(|(a, b)| a * b).sum();
                     worst = worst.max(dot.abs() / (sigma[p] * sigma[q]));
                 }

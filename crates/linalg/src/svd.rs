@@ -24,6 +24,7 @@
 //! results by construction.
 
 use crate::bidiag::{bidiagonalize_in, Bidiag};
+use crate::budget::Budget;
 use crate::error::LinAlgError;
 use crate::matrix::Matrix;
 use crate::vecops::{self, hypot};
@@ -135,18 +136,31 @@ pub fn svd_in(a: MatRef<'_>, ws: &mut Workspace) -> Result<Svd> {
 /// factors — is checked out of `ws`; pass the factors back through
 /// [`Svd::recycle`] to make repeat calls on the same shape allocation-free.
 pub fn svd_with_in(a: MatRef<'_>, alg: SvdAlgorithm, ws: &mut Workspace) -> Result<Svd> {
+    svd_with_budgeted_in(a, alg, None, ws)
+}
+
+/// [`svd_with_in`] with a cooperative cancellation [`Budget`]: the sweep/QR
+/// loops poll the budget once per iteration and bail out with
+/// [`LinAlgError::DeadlineExceeded`] when it trips. `None` is exactly the
+/// unbudgeted path (bit-identical results, no polling cost).
+pub fn svd_with_budgeted_in(
+    a: MatRef<'_>,
+    alg: SvdAlgorithm,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<Svd> {
     if a.is_empty() {
         return Err(LinAlgError::Empty { op: "svd" });
     }
     a.check_finite("svd")?;
     match alg {
-        SvdAlgorithm::Jacobi => jacobi_svd_in(a, ws),
-        SvdAlgorithm::GolubReinsch => golub_reinsch_svd_in(a, ws),
+        SvdAlgorithm::Jacobi => jacobi_svd_budgeted_in(a, budget, ws),
+        SvdAlgorithm::GolubReinsch => golub_reinsch_svd_budgeted_in(a, budget, ws),
         SvdAlgorithm::Auto => {
             if a.len() <= AUTO_GR_THRESHOLD {
-                jacobi_svd_in(a, ws)
+                jacobi_svd_budgeted_in(a, budget, ws)
             } else {
-                golub_reinsch_svd_in(a, ws)
+                golub_reinsch_svd_budgeted_in(a, budget, ws)
             }
         }
     }
@@ -238,9 +252,18 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
 
 /// Workspace kernel behind [`jacobi_svd`].
 pub fn jacobi_svd_in(a: MatRef<'_>, ws: &mut Workspace) -> Result<Svd> {
+    jacobi_svd_budgeted_in(a, None, ws)
+}
+
+/// [`jacobi_svd_in`] polling `budget` once per sweep.
+pub fn jacobi_svd_budgeted_in(
+    a: MatRef<'_>,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<Svd> {
     if a.rows() < a.cols() {
         let at = transpose_pooled(a, ws);
-        let t = jacobi_svd_in(at.view(), ws);
+        let t = jacobi_svd_budgeted_in(at.view(), budget, ws);
         ws.recycle_matrix(at);
         let t = t?;
         return Ok(Svd {
@@ -263,9 +286,16 @@ pub fn jacobi_svd_in(a: MatRef<'_>, ws: &mut Workspace) -> Result<Svd> {
 
     let mut converged = false;
     let mut sweeps = 0;
+    // Residual carried into DeadlineExceeded diagnostics; only maintained when
+    // a budget is polling, so the unbudgeted path stays cost-identical.
+    let mut budget_worst = f64::NAN;
     while sweeps < JACOBI_MAX_SWEEPS {
+        if let Some(b) = budget {
+            b.check("jacobi-svd", sweeps, budget_worst)?;
+        }
         sweeps += 1;
         let mut rotated = false;
+        let mut sweep_worst = 0.0_f64;
         for p in 0..n {
             for q in (p + 1)..n {
                 // Gram entries for the column pair.
@@ -278,6 +308,9 @@ pub fn jacobi_svd_in(a: MatRef<'_>, ws: &mut Workspace) -> Result<Svd> {
                     app += wp * wp;
                     aqq += wq * wq;
                     apq += wp * wq;
+                }
+                if budget.is_some() && app > zero_guard && aqq > zero_guard {
+                    sweep_worst = sweep_worst.max(apq.abs() / (app * aqq).sqrt());
                 }
                 if app <= zero_guard
                     || aqq <= zero_guard
@@ -309,6 +342,9 @@ pub fn jacobi_svd_in(a: MatRef<'_>, ws: &mut Workspace) -> Result<Svd> {
                     v[(i, q)] = s * vp + c * vq;
                 }
             }
+        }
+        if budget.is_some() {
+            budget_worst = sweep_worst;
         }
         if !rotated {
             converged = true;
@@ -399,9 +435,18 @@ pub fn golub_reinsch_svd(a: &Matrix) -> Result<Svd> {
 
 /// Workspace kernel behind [`golub_reinsch_svd`].
 pub fn golub_reinsch_svd_in(a: MatRef<'_>, ws: &mut Workspace) -> Result<Svd> {
+    golub_reinsch_svd_budgeted_in(a, None, ws)
+}
+
+/// [`golub_reinsch_svd_in`] polling `budget` once per implicit-QR iteration.
+pub fn golub_reinsch_svd_budgeted_in(
+    a: MatRef<'_>,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<Svd> {
     if a.rows() < a.cols() {
         let at = transpose_pooled(a, ws);
-        let t = golub_reinsch_svd_in(at.view(), ws);
+        let t = golub_reinsch_svd_budgeted_in(at.view(), budget, ws);
         ws.recycle_matrix(at);
         let t = t?;
         return Ok(Svd {
@@ -435,6 +480,9 @@ pub fn golub_reinsch_svd_in(a: MatRef<'_>, ws: &mut Workspace) -> Result<Svd> {
     for k in (0..n).rev() {
         let mut its = 0;
         loop {
+            if let Some(b) = budget {
+                b.check("golub-reinsch-svd", total_iters, rv1[k].abs())?;
+            }
             its += 1;
             total_iters += 1;
             // Split test: find l such that rv1[l] is negligible (l == 0 always
@@ -820,6 +868,37 @@ mod tests {
             "σ₁ {} vs power {p}",
             s.singular_values[0]
         );
+    }
+
+    #[test]
+    fn budgeted_with_live_budget_matches_unbudgeted_bitwise() {
+        use crate::budget::Budget;
+        let a = Matrix::from_fn(9, 6, |i, j| 0.2 + ((i * 17 + j * 5) % 31) as f64 / 31.0);
+        let mut ws = Workspace::new();
+        let generous = Budget::with_deadline(std::time::Duration::from_secs(600));
+        for alg in [SvdAlgorithm::Jacobi, SvdAlgorithm::GolubReinsch] {
+            let plain = svd_with_in(a.view(), alg, &mut ws).unwrap();
+            let budgeted = svd_with_budgeted_in(a.view(), alg, Some(&generous), &mut ws).unwrap();
+            assert_eq!(plain.singular_values, budgeted.singular_values, "{alg:?}");
+            assert_eq!(plain.u, budgeted.u);
+            assert_eq!(plain.v, budgeted.v);
+            plain.recycle(&mut ws);
+            budgeted.recycle(&mut ws);
+        }
+    }
+
+    #[test]
+    fn expired_budget_returns_deadline_exceeded() {
+        use crate::budget::Budget;
+        let a = Matrix::from_fn(9, 6, |i, j| 0.2 + ((i * 17 + j * 5) % 31) as f64 / 31.0);
+        let mut ws = Workspace::new();
+        let expired = Budget::with_deadline(std::time::Duration::ZERO);
+        for alg in [SvdAlgorithm::Jacobi, SvdAlgorithm::GolubReinsch] {
+            match svd_with_budgeted_in(a.view(), alg, Some(&expired), &mut ws) {
+                Err(LinAlgError::DeadlineExceeded { .. }) => {}
+                other => panic!("{alg:?}: expected DeadlineExceeded, got {other:?}"),
+            }
+        }
     }
 
     #[test]

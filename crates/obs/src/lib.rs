@@ -12,6 +12,11 @@
 //!    atomic add per record — and are exported as JSON by
 //!    [`metrics::export_json`], which `hc-serve` merges into `/metrics`.
 //!
+//! Two fault-containment utilities also live here, at the bottom of the
+//! dependency graph so both the kernels and the daemon can share them:
+//! [`sync`] (poison-recovering lock helpers) and [`failpoints`] (the
+//! `HC_FAILPOINT` chaos-injection registry).
+//!
 //! The crate is std-only by design: it sits below `hc-linalg` in the
 //! dependency graph so every other crate in the workspace can instrument
 //! itself without cycles, and the workspace builds fully offline.
@@ -32,10 +37,12 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod failpoints;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 pub mod span;
+pub mod sync;
 
 pub use sink::{
     install_capture_sink, install_json_sink, install_trace_sink, set_level, sink_installed,

@@ -175,6 +175,16 @@ impl LruCache {
         self.push_front(idx);
     }
 
+    /// Drops every entry; the hit/miss/eviction counters are kept. Used after
+    /// lock-poison recovery, when a panicking holder may have left an
+    /// insertion half-applied — a cache is always safe to drop wholesale.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -250,6 +260,21 @@ mod tests {
         assert!(c.get(3).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let mut c = LruCache::new(4);
+        c.put(1, resp("1"));
+        c.put(2, resp("2"));
+        assert!(c.get(1).is_some());
+        c.clear();
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().hits, 1);
+        assert!(c.get(1).is_none());
+        // The cache keeps working after a clear.
+        c.put(3, resp("3"));
+        assert_eq!(&*c.get(3).unwrap().body, b"3");
     }
 
     #[test]

@@ -26,6 +26,58 @@ use hc_spec::csv;
 
 use crate::http::{HttpError, Request, Response};
 use crate::json::JsonObject;
+use hc_core::error::MeasureError;
+use hc_linalg::Budget;
+
+/// Per-request context threaded from the router into every handler: the
+/// cooperative cancellation budget (when a deadline applies) and the oversized
+/// input limit. Handlers stay pure — the context carries only request-scoped
+/// policy, never server state.
+#[derive(Debug, Clone, Copy)]
+pub struct ReqCtx<'a> {
+    /// Deadline/cancellation budget for iterative kernels; `None` = unlimited.
+    pub budget: Option<&'a Budget>,
+    /// Largest accepted matrix size in cells (tasks × machines).
+    pub max_cells: usize,
+}
+
+impl ReqCtx<'_> {
+    /// A context with no deadline and the default cell limit (tests, tools).
+    pub fn unlimited() -> Self {
+        ReqCtx {
+            budget: None,
+            max_cells: 4_000_000,
+        }
+    }
+}
+
+/// Maps a measurement failure to its HTTP error: deadline expiry becomes a
+/// typed `504` carrying partial-progress diagnostics, everything else `400`.
+fn measure_error(e: MeasureError) -> HttpError {
+    match e {
+        MeasureError::DeadlineExceeded {
+            op,
+            iterations,
+            residual,
+        } => {
+            let residual_json = if residual.is_finite() {
+                format!("{residual:e}")
+            } else {
+                "null".to_string()
+            };
+            HttpError::typed(
+                504,
+                "deadline_exceeded",
+                format!("deadline exceeded in {op} after {iterations} iterations"),
+            )
+            .with_details(format!(
+                "\"op\":{},\"iterations_completed\":{iterations},\"residual\":{residual_json}",
+                hc_core::report::json_string(op)
+            ))
+        }
+        other => HttpError::bad(other.to_string()),
+    }
+}
 
 /// Rejects query parameters outside `allowed` so malformed requests fail loudly
 /// and equivalent requests share one canonical cache key space.
@@ -60,12 +112,42 @@ fn q_req<T: FromStr>(req: &Request, name: &str) -> Result<T, HttpError> {
         .ok_or_else(|| HttpError::bad(format!("missing required query parameter {name:?}")))
 }
 
+/// Estimates the cell count of a CSV matrix body without parsing values: data
+/// lines × commas in the header line. Exact for well-formed input; close
+/// enough on malformed input, which the real parser rejects afterwards anyway.
+fn estimated_csv_cells(text: &str) -> usize {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let machines = lines.next().map_or(0, |header| header.matches(',').count());
+    lines.count().saturating_mul(machines)
+}
+
+/// Rejects matrices above `max_cells` with a typed `422` — before any matrix
+/// allocation, so an oversized request costs parsing-free line counting only.
+fn check_cells(cells: usize, max_cells: usize) -> Result<(), HttpError> {
+    if cells > max_cells {
+        return Err(HttpError::typed(
+            422,
+            "matrix_too_large",
+            format!("matrix of ~{cells} cells exceeds the limit of {max_cells} (--max-cells)"),
+        ));
+    }
+    Ok(())
+}
+
 /// Parses the request body as a CSV matrix, honouring the `ecs` flag the same
 /// way the CLI does (`?ecs=1` reinterprets entries as speeds, not times).
-pub fn load_ecs(req: &Request) -> Result<Ecs, HttpError> {
+pub fn load_ecs(req: &Request, ctx: &ReqCtx<'_>) -> Result<Ecs, HttpError> {
     let text = req.body_text()?;
     if text.trim().is_empty() {
         return Err(HttpError::bad("empty body: expected a CSV ETC matrix"));
+    }
+    check_cells(estimated_csv_cells(text), ctx.max_cells)?;
+    // Fail fast when the deadline already expired (e.g. spent in the request
+    // queue): answering 504 before the CSV parse keeps the bound on 504
+    // latency independent of body size.
+    if let Some(b) = ctx.budget {
+        b.check("parse", 0, f64::NAN)
+            .map_err(|e| measure_error(MeasureError::from(e)))?;
     }
     let etc = csv::from_csv(text).map_err(|e| HttpError::bad(e.to_string()))?;
     if req.has_param("ecs") {
@@ -97,15 +179,15 @@ thread_local! {
 }
 
 /// `POST /measure` — MPH/TDH/TMA plus per-machine and per-task factors.
-pub fn measure(req: &Request) -> Result<Response, HttpError> {
+pub fn measure(req: &Request, ctx: &ReqCtx<'_>) -> Result<Response, HttpError> {
     check_allowed(req, &["ecs", "zero-policy"])?;
-    let ecs = load_ecs(req)?;
+    let ecs = load_ecs(req, ctx)?;
     let opts = tma_options(req)?;
     ANALYZER.with(|cell| {
         let mut an = cell.borrow_mut();
         let r = an
-            .characterize_with(&ecs, None, &opts)
-            .map_err(|e| HttpError::bad(e.to_string()))?;
+            .characterize_budgeted(&ecs, None, &opts, ctx.budget)
+            .map_err(measure_error)?;
         let json = r.to_json(ecs.task_names(), ecs.machine_names());
         an.recycle_report(r);
         Ok(Response::json(json))
@@ -113,9 +195,9 @@ pub fn measure(req: &Request) -> Result<Response, HttpError> {
 }
 
 /// `POST /structure` — zero-pattern / balanceability report.
-pub fn structure(req: &Request) -> Result<Response, HttpError> {
+pub fn structure(req: &Request, ctx: &ReqCtx<'_>) -> Result<Response, HttpError> {
     check_allowed(req, &["ecs"])?;
-    let ecs = load_ecs(req)?;
+    let ecs = load_ecs(req, ctx)?;
     let rep = analyze_structure(ecs.matrix());
     Ok(Response::json(
         JsonObject::new()
@@ -136,8 +218,16 @@ pub fn structure(req: &Request) -> Result<Response, HttpError> {
 ///
 /// `?mode=targeted|range|cvb` selects the generator; remaining parameters
 /// mirror the CLI flags of `hcm generate`.
-pub fn generate(req: &Request) -> Result<Response, HttpError> {
+pub fn generate(req: &Request, ctx: &ReqCtx<'_>) -> Result<Response, HttpError> {
     let mode: String = q_req(req, "mode")?;
+    // The cell guard applies before any generator runs: tasks × machines is
+    // known from the query alone.
+    if let (Ok(Some(t)), Ok(Some(m))) = (
+        q_opt::<usize>(req, "tasks"),
+        q_opt::<usize>(req, "machines"),
+    ) {
+        check_cells(t.saturating_mul(m), ctx.max_cells)?;
+    }
     let etc: Etc = match mode.as_str() {
         "targeted" => {
             check_allowed(
@@ -200,9 +290,9 @@ pub fn generate(req: &Request) -> Result<Response, HttpError> {
 /// `?heuristic=` accepts everything the CLI does: `all` (default), a named
 /// heuristic (`min-min`, `sufferage`, `kpb=25`, …), or `ga`/`sa`/`tabu`/
 /// `optimal`.
-pub fn schedule(req: &Request) -> Result<Response, HttpError> {
+pub fn schedule(req: &Request, ctx: &ReqCtx<'_>) -> Result<Response, HttpError> {
     check_allowed(req, &["ecs", "heuristic"])?;
-    let ecs = load_ecs(req)?;
+    let ecs = load_ecs(req, ctx)?;
     let etc = ecs.to_etc();
     let p = MappingProblem::from_etc(&etc);
     let which = req.param("heuristic").unwrap_or("all");
@@ -287,7 +377,12 @@ mod tests {
                 .collect::<BTreeMap<_, _>>(),
             body: body.as_bytes().to_vec(),
             request_id: None,
+            timeout_ms: None,
         }
+    }
+
+    fn ctx() -> ReqCtx<'static> {
+        ReqCtx::unlimited()
     }
 
     fn body_text(r: &Response) -> String {
@@ -296,7 +391,7 @@ mod tests {
 
     #[test]
     fn measure_returns_json_report() {
-        let r = measure(&post(&[], SAMPLE)).unwrap();
+        let r = measure(&post(&[], SAMPLE), &ctx()).unwrap();
         assert_eq!(r.status, 200);
         let b = body_text(&r);
         assert!(b.contains("\"mph\":"), "{b}");
@@ -309,9 +404,9 @@ mod tests {
     fn warm_measure_reuses_worker_analyzer() {
         let req = post(&[], SAMPLE);
         // Cold call populates this thread's analyzer pool.
-        measure(&req).unwrap();
+        measure(&req, &ctx()).unwrap();
         ANALYZER.with(|c| c.borrow_mut().reset_stats());
-        let r = measure(&req).unwrap();
+        let r = measure(&req, &ctx()).unwrap();
         assert_eq!(r.status, 200);
         ANALYZER.with(|c| {
             let stats = c.borrow().stats();
@@ -325,19 +420,19 @@ mod tests {
     #[test]
     fn measure_zero_policy_and_errors() {
         let hard = "task,m1,m2\nt1,1.0,inf\nt2,1.0,1.0\n";
-        let strict = measure(&post(&[("zero-policy", "strict")], hard));
+        let strict = measure(&post(&[("zero-policy", "strict")], hard), &ctx());
         assert!(strict.is_err());
-        let limit = measure(&post(&[("zero-policy", "limit")], hard)).unwrap();
+        let limit = measure(&post(&[("zero-policy", "limit")], hard), &ctx()).unwrap();
         assert!(body_text(&limit).contains("\"reduced_to_core\":true"));
-        assert!(measure(&post(&[("zero-policy", "bogus")], SAMPLE)).is_err());
-        assert!(measure(&post(&[], "")).is_err());
-        assert!(measure(&post(&[("frobnicate", "1")], SAMPLE)).is_err());
+        assert!(measure(&post(&[("zero-policy", "bogus")], SAMPLE), &ctx()).is_err());
+        assert!(measure(&post(&[], ""), &ctx()).is_err());
+        assert!(measure(&post(&[("frobnicate", "1")], SAMPLE), &ctx()).is_err());
     }
 
     #[test]
     fn structure_reports_pattern() {
         let hard = "task,m1,m2\nt1,1.0,inf\nt2,1.0,1.0\n";
-        let r = structure(&post(&[], hard)).unwrap();
+        let r = structure(&post(&[], hard), &ctx()).unwrap();
         let b = body_text(&r);
         assert!(b.contains("\"has_support\":true"), "{b}");
         assert!(b.contains("\"has_total_support\":false"));
@@ -355,10 +450,10 @@ mod tests {
             ("tma", "0.2"),
             ("seed", "3"),
         ];
-        let gen_resp = generate(&post(&q, "")).unwrap();
+        let gen_resp = generate(&post(&q, ""), &ctx()).unwrap();
         assert_eq!(gen_resp.content_type, "text/csv");
         let csv_text = body_text(&gen_resp);
-        let m = measure(&post(&[], &csv_text)).unwrap();
+        let m = measure(&post(&[], &csv_text), &ctx()).unwrap();
         let b = body_text(&m);
         assert!(b.contains("\"mph\":0.7"), "{b}");
         assert!(b.contains("\"tma\":0.2"), "{b}");
@@ -366,37 +461,72 @@ mod tests {
 
     #[test]
     fn generate_validates() {
-        assert!(generate(&post(&[], "")).is_err());
-        assert!(generate(&post(&[("mode", "bogus")], "")).is_err());
-        assert!(generate(&post(&[("mode", "range"), ("tasks", "4")], "")).is_err());
-        assert!(generate(&post(
-            &[("mode", "range"), ("tasks", "x"), ("machines", "3")],
-            ""
-        ))
+        assert!(generate(&post(&[], ""), &ctx()).is_err());
+        assert!(generate(&post(&[("mode", "bogus")], ""), &ctx()).is_err());
+        assert!(generate(&post(&[("mode", "range"), ("tasks", "4")], ""), &ctx()).is_err());
+        assert!(generate(
+            &post(&[("mode", "range"), ("tasks", "x"), ("machines", "3")], ""),
+            &ctx()
+        )
         .is_err());
-        let ok = generate(&post(
-            &[("mode", "cvb"), ("tasks", "4"), ("machines", "3")],
-            "",
-        ))
+        let ok = generate(
+            &post(&[("mode", "cvb"), ("tasks", "4"), ("machines", "3")], ""),
+            &ctx(),
+        )
         .unwrap();
         assert_eq!(body_text(&ok).lines().count(), 5);
     }
 
     #[test]
+    fn oversized_matrix_rejected_before_parsing() {
+        assert_eq!(estimated_csv_cells(SAMPLE), 4);
+        assert_eq!(estimated_csv_cells(""), 0);
+        let small = ReqCtx {
+            budget: None,
+            max_cells: 3,
+        };
+        let err = measure(&post(&[], SAMPLE), &small).unwrap_err();
+        assert_eq!(err.status, 422);
+        assert_eq!(err.code, Some("matrix_too_large"));
+        // The same limit guards /generate from its query parameters alone.
+        let q = [("mode", "cvb"), ("tasks", "4"), ("machines", "3")];
+        let err = generate(&post(&q, ""), &small).unwrap_err();
+        assert_eq!(err.status, 422);
+        assert_eq!(err.code, Some("matrix_too_large"));
+        assert!(generate(&post(&q, ""), &ctx()).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_maps_to_typed_504() {
+        let expired = Budget::with_deadline(std::time::Duration::ZERO);
+        let c = ReqCtx {
+            budget: Some(&expired),
+            max_cells: 4_000_000,
+        };
+        let err = measure(&post(&[], SAMPLE), &c).unwrap_err();
+        assert_eq!(err.status, 504);
+        assert_eq!(err.code, Some("deadline_exceeded"));
+        let body = body_text(&err.to_response());
+        assert!(body.contains("\"iterations_completed\":"), "{body}");
+        assert!(body.contains("\"residual\":"), "{body}");
+        assert!(body.contains("\"op\":"), "{body}");
+    }
+
+    #[test]
     fn schedule_all_and_named() {
-        let r = schedule(&post(&[], SAMPLE)).unwrap();
+        let r = schedule(&post(&[], SAMPLE), &ctx()).unwrap();
         let b = body_text(&r);
         assert!(b.contains("\"Min-Min\":"), "{b}");
         assert!(b.contains("\"GA\":"));
         assert!(b.contains("\"best\":{\"name\":"));
         assert!(b.contains("\"t1\":\"m1\""));
-        let one = schedule(&post(&[("heuristic", "optimal")], SAMPLE)).unwrap();
+        let one = schedule(&post(&[("heuristic", "optimal")], SAMPLE), &ctx()).unwrap();
         // Optimal on this 2x2: t1->m1 (2), t2->m2 (3) → makespan 3.
         assert!(
             body_text(&one).contains("\"makespan\":3"),
             "{}",
             body_text(&one)
         );
-        assert!(schedule(&post(&[("heuristic", "bogus")], SAMPLE)).is_err());
+        assert!(schedule(&post(&[("heuristic", "bogus")], SAMPLE), &ctx()).is_err());
     }
 }

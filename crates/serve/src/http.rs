@@ -29,6 +29,10 @@ pub struct Request {
     /// the response (generating one when absent) so a request can be chased
     /// through client logs, traces, and slow-request reports.
     pub request_id: Option<String>,
+    /// Client-supplied `X-Timeout-Ms` header, if any: a per-request deadline
+    /// in milliseconds, clamped by the server's `--request-timeout-ms` before
+    /// use. Malformed values are ignored rather than rejected.
+    pub timeout_ms: Option<u64>,
 }
 
 impl Request {
@@ -150,12 +154,13 @@ impl Response {
 
     /// An error response with a JSON `{"error": ...}` body.
     pub fn error(status: u16, message: &str) -> Self {
-        Self {
+        HttpError {
             status,
-            content_type: "application/json",
-            body: format!("{{\"error\":{}}}", hc_core::report::json_string(message)).into(),
-            headers: Vec::new(),
+            message: message.to_string(),
+            code: None,
+            details: None,
         }
+        .to_response()
     }
 
     /// The `503 Service Unavailable` load-shed response with `Retry-After`.
@@ -173,13 +178,22 @@ impl Response {
     }
 }
 
-/// Errors from request parsing, each mapping to a client-facing status.
+/// Errors from request parsing and handling, each mapping to a client-facing
+/// status and a machine-readable JSON error body.
 #[derive(Debug, Clone)]
 pub struct HttpError {
     /// Status code to answer with.
     pub status: u16,
     /// Human-readable reason.
     pub message: String,
+    /// Stable machine-readable code (`"deadline_exceeded"`,
+    /// `"matrix_too_large"`, `"body_too_large"`, `"internal_panic"`, …) for
+    /// clients that must branch on the failure kind without parsing prose.
+    pub code: Option<&'static str>,
+    /// Extra top-level JSON fields (a raw `"key":value,…` fragment, no braces)
+    /// spliced into the error body — e.g. partial-progress diagnostics on a
+    /// deadline-exceeded response.
+    pub details: Option<String>,
 }
 
 impl HttpError {
@@ -188,6 +202,48 @@ impl HttpError {
         Self {
             status: 400,
             message: msg.into(),
+            code: None,
+            details: None,
+        }
+    }
+
+    /// An error with a stable machine-readable `code`.
+    pub fn typed(status: u16, code: &'static str, msg: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: msg.into(),
+            code: Some(code),
+            details: None,
+        }
+    }
+
+    /// Attaches extra top-level JSON fields (raw `"key":value,…` fragment).
+    pub fn with_details(mut self, raw_fields: impl Into<String>) -> Self {
+        self.details = Some(raw_fields.into());
+        self
+    }
+
+    /// Renders the error as its JSON response:
+    /// `{"error":…[,"code":…][,<details>]}`.
+    pub fn to_response(&self) -> Response {
+        let mut body = format!(
+            "{{\"error\":{}",
+            hc_core::report::json_string(&self.message)
+        );
+        if let Some(code) = self.code {
+            body.push_str(",\"code\":");
+            body.push_str(&hc_core::report::json_string(code));
+        }
+        if let Some(details) = &self.details {
+            body.push(',');
+            body.push_str(details);
+        }
+        body.push('}');
+        Response {
+            status: self.status,
+            content_type: "application/json",
+            body: body.into(),
+            headers: Vec::new(),
         }
     }
 }
@@ -200,8 +256,10 @@ fn status_text(code: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -261,14 +319,17 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
             break pos;
         }
         if buf.len() > MAX_HEADER_BYTES {
-            return Err(HttpError {
-                status: 413,
-                message: "header block too large".into(),
-            });
+            return Err(HttpError::typed(
+                413,
+                "body_too_large",
+                "header block too large",
+            ));
         }
         let n = stream.read(&mut chunk).map_err(|e| HttpError {
             status: 408,
             message: format!("read error or timeout: {e}"),
+            code: None,
+            details: None,
         })?;
         if n == 0 {
             return Err(HttpError::bad("connection closed mid-request"));
@@ -295,6 +356,7 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
 
     let mut content_length: usize = 0;
     let mut request_id: Option<String> = None;
+    let mut timeout_ms: Option<u64> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
@@ -316,14 +378,17 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
                 if !id.is_empty() {
                     request_id = Some(id);
                 }
+            } else if name.eq_ignore_ascii_case("x-timeout-ms") {
+                timeout_ms = value.trim().parse().ok();
             }
         }
     }
     if content_length > max_body {
-        return Err(HttpError {
-            status: 413,
-            message: format!("body of {content_length} bytes exceeds limit of {max_body}"),
-        });
+        return Err(HttpError::typed(
+            413,
+            "body_too_large",
+            format!("body of {content_length} bytes exceeds limit of {max_body}"),
+        ));
     }
 
     // Body: whatever followed the header block, then read the remainder.
@@ -332,6 +397,8 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
         let n = stream.read(&mut chunk).map_err(|e| HttpError {
             status: 408,
             message: format!("read error or timeout: {e}"),
+            code: None,
+            details: None,
         })?;
         if n == 0 {
             return Err(HttpError::bad("connection closed mid-body"));
@@ -350,6 +417,7 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
         query: parse_query(raw_query),
         body,
         request_id,
+        timeout_ms,
     })
 }
 
@@ -429,6 +497,49 @@ mod tests {
         let mut cursor = std::io::Cursor::new(raw.to_vec());
         let err = read_request(&mut cursor, 10).unwrap_err();
         assert_eq!(err.status, 413);
+        assert_eq!(err.code, Some("body_too_large"));
+        let body = String::from_utf8(err.to_response().body.as_slice().to_vec()).unwrap();
+        assert!(body.contains("\"code\":\"body_too_large\""), "{body}");
+    }
+
+    #[test]
+    fn parses_timeout_header() {
+        let r = parse(b"GET /metrics HTTP/1.1\r\nX-Timeout-Ms: 250\r\n\r\n").unwrap();
+        assert_eq!(r.timeout_ms, Some(250));
+        // Malformed values are ignored, not rejected.
+        let r = parse(b"GET /metrics HTTP/1.1\r\nX-Timeout-Ms: soon\r\n\r\n").unwrap();
+        assert_eq!(r.timeout_ms, None);
+        let r = parse(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.timeout_ms, None);
+    }
+
+    #[test]
+    fn typed_error_renders_code_and_details() {
+        let e = HttpError::typed(504, "deadline_exceeded", "out of time")
+            .with_details("\"iterations_completed\":12,\"residual\":1e-3");
+        let resp = e.to_response();
+        assert_eq!(resp.status, 504);
+        let body = String::from_utf8(resp.body.as_slice().to_vec()).unwrap();
+        assert_eq!(
+            body,
+            "{\"error\":\"out of time\",\"code\":\"deadline_exceeded\",\
+             \"iterations_completed\":12,\"residual\":1e-3}"
+        );
+        let mut out = Vec::new();
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 504 Gateway Timeout\r\n"),
+            "{text}"
+        );
+        // Untyped errors keep the legacy single-field shape.
+        let plain = Response::error(422, "too big");
+        assert_eq!(plain.body.as_slice(), b"{\"error\":\"too big\"}");
+        let mut out = Vec::new();
+        write_response(&mut out, &plain).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .starts_with("HTTP/1.1 422 Unprocessable Entity\r\n"));
     }
 
     #[test]

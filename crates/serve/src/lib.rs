@@ -32,6 +32,27 @@
 //! * [`handlers`] / [`router`] / [`server`] — pure endpoint logic, then
 //!   dispatch + caching + batching, then sockets and lifecycle.
 //! * [`signal`] — SIGINT/SIGTERM → atomic flag → graceful drain.
+//!
+//! Fault containment (DESIGN.md §10): every job runs under
+//! `catch_unwind`, so a panicking handler answers `500` with its request id
+//! instead of killing a worker; deliberately-crashed workers (chaos drills via
+//! [`failpoints`]) are respawned by a drop sentinel and counted in
+//! `/metrics` as `worker_respawns_total`. Shared locks use the
+//! poison-recovering helpers in [`sync`] so one panic never wedges the cache,
+//! metrics, or the pool. Requests carry an optional deadline
+//! (`--request-timeout-ms`, `X-Timeout-Ms`) threaded as an
+//! [`hc_linalg::Budget`] into the iterative kernels; expiry maps to `504` with
+//! iteration-progress diagnostics.
+
+/// Poison-recovering lock helpers shared across the workspace
+/// (re-export of [`hc_obs::sync`]).
+pub use hc_obs::sync;
+
+/// Chaos fault-injection sites (re-export of [`hc_obs::failpoints`]): arm with
+/// `HC_FAILPOINT=site:action` or programmatically in tests. Server sites:
+/// `handler`, `cache.insert`, `worker.idle`, plus `sinkhorn.iteration` in the
+/// balancing kernel.
+pub use hc_obs::failpoints;
 
 pub mod cache;
 pub mod handlers;

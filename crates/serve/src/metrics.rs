@@ -146,9 +146,7 @@ impl Registry {
         latency: Duration,
         service: Duration,
     ) {
-        self.endpoints
-            .lock()
-            .expect("metrics mutex poisoned")
+        hc_obs::sync::lock_recover(&self.endpoints)
             .entry(endpoint)
             .or_insert_with(EndpointStats::new)
             .record(error, cache_hit, latency, service);
@@ -161,9 +159,7 @@ impl Registry {
 
     /// Point-in-time copy of one endpoint's stats (for tests).
     pub fn snapshot(&self, endpoint: &str) -> Option<EndpointStats> {
-        self.endpoints
-            .lock()
-            .expect("metrics mutex poisoned")
+        hc_obs::sync::lock_recover(&self.endpoints)
             .get(endpoint)
             .cloned()
     }
@@ -171,12 +167,19 @@ impl Registry {
     /// Renders the registry (plus externally-owned pool and cache gauges) as
     /// the `/metrics` JSON document.
     ///
-    /// `in_flight` is the number of accepted requests not yet answered, and
-    /// `library` is the merged [`hc_obs`] registry export
-    /// ([`hc_obs::metrics::export_json`]) so one scrape covers both server and
-    /// library counters.
-    pub fn to_json(&self, pool: &str, cache: &str, in_flight: i64, library: &str) -> String {
-        let endpoints = self.endpoints.lock().expect("metrics mutex poisoned");
+    /// `in_flight` is the number of accepted requests not yet answered,
+    /// `faults` is the panic/deadline counter object, and `library` is the
+    /// merged [`hc_obs`] registry export ([`hc_obs::metrics::export_json`]) so
+    /// one scrape covers both server and library counters.
+    pub fn to_json(
+        &self,
+        pool: &str,
+        cache: &str,
+        faults: &str,
+        in_flight: i64,
+        library: &str,
+    ) -> String {
+        let endpoints = hc_obs::sync::lock_recover(&self.endpoints);
         let mut per_endpoint = JsonObject::new();
         let mut total = 0u64;
         for (name, stats) in endpoints.iter() {
@@ -191,6 +194,7 @@ impl Registry {
             .raw("endpoints", &per_endpoint.finish())
             .raw("pool", pool)
             .raw("cache", cache)
+            .raw("faults", faults)
             .raw("library", library)
             .finish()
     }
@@ -251,7 +255,13 @@ mod tests {
         assert_eq!(s.latency_buckets.iter().sum::<u64>(), 3);
         assert_eq!(s.service_buckets.iter().sum::<u64>(), 3);
 
-        let j = r.to_json("{\"queued\":0}", "{\"entries\":0}", 2, "{}");
+        let j = r.to_json(
+            "{\"queued\":0}",
+            "{\"entries\":0}",
+            "{\"panics_total\":0}",
+            2,
+            "{}",
+        );
         assert!(j.contains("\"uptime_seconds\":"));
         assert!(j.contains("\"build\":{\"version\":"));
         assert!(j.contains("\"requests_total\":3"));
@@ -260,8 +270,27 @@ mod tests {
         assert!(j.contains("\"cache_hits\":1"));
         assert!(j.contains("\"service_histogram_us\""));
         assert!(j.contains("\"pool\":{\"queued\":0}"));
+        assert!(j.contains("\"faults\":{\"panics_total\":0}"));
         assert!(j.contains("\"library\":{}"));
         assert!(j.contains("le_"));
+    }
+
+    #[test]
+    fn poisoned_registry_still_serves() {
+        use std::sync::Arc;
+        let r = Arc::new(Registry::new());
+        let r2 = Arc::clone(&r);
+        let _ = std::thread::spawn(move || {
+            let _g = r2.endpoints.lock().unwrap();
+            panic!("poison the metrics mutex");
+        })
+        .join();
+        assert!(r.endpoints.is_poisoned());
+        // Recording and rendering both recover instead of propagating.
+        r.record("e", false, false, Duration::from_micros(5), Duration::ZERO);
+        assert_eq!(r.snapshot("e").unwrap().count, 1);
+        let j = r.to_json("{}", "{}", "{}", 0, "{}");
+        assert!(j.contains("\"requests_total\":1"), "{j}");
     }
 
     #[test]

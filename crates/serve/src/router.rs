@@ -7,20 +7,45 @@
 //! `/quitquitquit`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-use crate::cache::{cache_key, CachedResponse};
-use crate::handlers;
+use hc_linalg::Budget;
+
+use crate::cache::{cache_key, CachedResponse, LruCache};
+use crate::handlers::{self, ReqCtx};
 use crate::http::{Body, HttpError, Request, Response};
 use crate::json::{JsonArray, JsonObject};
-use crate::server::ServerState;
+use crate::server::{Config, ServerState};
 
 /// Most matrices accepted in one `/batch` request.
 pub const MAX_BATCH_PARTS: usize = 1024;
 
 /// Longest `/sleepz` nap in milliseconds (keeps the debug endpoint harmless).
 const MAX_SLEEP_MS: u64 = 10_000;
+
+/// Largest honoured `X-Timeout-Ms` when the server sets no deadline of its
+/// own, so a header cannot schedule an effectively-unbounded budget.
+const MAX_HEADER_TIMEOUT_MS: u64 = 600_000;
+
+/// The per-request deadline in effect: the client's `X-Timeout-Ms` clamped to
+/// the server's `--request-timeout-ms` (or to [`MAX_HEADER_TIMEOUT_MS`] when
+/// the server sets none). `None` = no deadline.
+fn effective_timeout_ms(config: &Config, req: &Request) -> Option<u64> {
+    match (req.timeout_ms, config.request_timeout_ms) {
+        (None, 0) => None,
+        (None, server) => Some(server),
+        (Some(header), 0) => Some(header.min(MAX_HEADER_TIMEOUT_MS)),
+        (Some(header), server) => Some(header.min(server)),
+    }
+}
+
+/// Locks the result cache, clearing it after poison recovery: a panic while
+/// the lock was held (e.g. the `cache.insert` failpoint) may have interrupted
+/// an insertion mid-way, and a cache is always safe to drop wholesale.
+fn cache_lock(state: &ServerState) -> MutexGuard<'_, LruCache> {
+    hc_obs::sync::lock_recover_then(&state.cache, LruCache::clear)
+}
 
 /// Stable metric name for a request path.
 fn endpoint_name(req: &Request) -> &'static str {
@@ -65,10 +90,11 @@ fn cached(
     state: &ServerState,
     name: &'static str,
     req: &Request,
-    handler: fn(&Request) -> Result<Response, HttpError>,
+    ctx: &ReqCtx<'_>,
+    handler: fn(&Request, &ReqCtx<'_>) -> Result<Response, HttpError>,
 ) -> (Response, bool) {
     let key = cache_key(name, &canonical_options(req), &req.body);
-    if let Some(hit) = state.cache.lock().expect("cache mutex poisoned").get(key) {
+    if let Some(hit) = cache_lock(state).get(key) {
         let resp = Response {
             status: 200,
             content_type: hit.content_type,
@@ -77,21 +103,31 @@ fn cached(
         };
         return (resp.with_header("X-Cache", "hit"), true);
     }
-    match handler(req) {
+    match handler(req, ctx) {
         Ok(mut resp) if resp.status == 200 => {
             let entry = CachedResponse {
                 content_type: resp.content_type,
                 body: resp.body.share(),
             };
-            state
-                .cache
-                .lock()
-                .expect("cache mutex poisoned")
-                .put(key, entry);
+            {
+                let mut cache = cache_lock(state);
+                // Deliberate crash site: a panic here poisons the cache lock,
+                // exercising the clear-on-recovery path under chaos tests.
+                hc_obs::failpoints::fire("cache.insert");
+                cache.put(key, entry);
+            }
             (resp.with_header("X-Cache", "miss"), false)
         }
         Ok(resp) => (resp, false),
-        Err(e) => (Response::error(e.status, &e.message), false),
+        Err(e) => {
+            if e.status == 504 {
+                state
+                    .faults
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            (e.to_response(), false)
+        }
     }
 }
 
@@ -101,7 +137,11 @@ fn cached(
 /// `---`. Each part is measured exactly as `POST /measure` would (same query
 /// parameters, same per-part cache), and the response carries one result
 /// object — or `{"error": …}` — per part, in input order.
-fn batch(state: &Arc<ServerState>, req: &Request) -> Result<Response, HttpError> {
+///
+/// Items are fault-isolated: a panicking, malformed, oversized, or
+/// deadline-exceeded part yields a per-item error object (`"code"` set) while
+/// every other part completes normally — one bad matrix never fails the batch.
+fn batch(state: &Arc<ServerState>, req: &Request, ctx: &ReqCtx<'_>) -> Result<Response, HttpError> {
     handlers::check_allowed(req, &["ecs", "zero-policy"])?;
     let text = req.body_text()?;
     let parts: Vec<String> = split_batch(text);
@@ -127,18 +167,41 @@ fn batch(state: &Arc<ServerState>, req: &Request) -> Result<Response, HttpError>
             query: req.query.clone(),
             body: part.into_bytes(),
             request_id: None,
+            timeout_ms: None,
         };
         let (st, res, fin) = (
             Arc::clone(state),
             Arc::clone(&results),
             Arc::clone(&finished),
         );
+        // The whole batch shares one deadline; each subtask carries an owned
+        // clone because it may outlive this stack frame on another worker.
+        let budget = ctx.budget.cloned();
+        let max_cells = ctx.max_cells;
         state.pool.spawn_subtask(Box::new(move || {
-            // Reuse the /measure cache so identical matrices — within this
-            // batch or across requests — are computed once.
-            let (resp, _hit) = cached(&st, "measure", &sub, handlers::measure);
-            let rendered = String::from_utf8_lossy(resp.body.as_slice()).into_owned();
-            res.lock().expect("batch results mutex poisoned")[i] = Some(rendered);
+            let item_ctx = ReqCtx {
+                budget: budget.as_ref(),
+                max_cells,
+            };
+            // Per-item fault isolation: a panic in one part becomes that
+            // part's error object, never a whole-batch failure.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Reuse the /measure cache so identical matrices — within this
+                // batch or across requests — are computed once.
+                let (resp, _hit) = cached(&st, "measure", &sub, &item_ctx, handlers::measure);
+                String::from_utf8_lossy(resp.body.as_slice()).into_owned()
+            }));
+            let rendered = outcome.unwrap_or_else(|_| {
+                st.faults.panics.fetch_add(1, Ordering::Relaxed);
+                let resp = HttpError::typed(
+                    500,
+                    "internal_panic",
+                    "internal panic while measuring batch item",
+                )
+                .to_response();
+                String::from_utf8_lossy(resp.body.as_slice()).into_owned()
+            });
+            hc_obs::sync::lock_recover(&res)[i] = Some(rendered);
             fin.fetch_add(1, Ordering::SeqCst);
         }));
     }
@@ -148,7 +211,7 @@ fn batch(state: &Arc<ServerState>, req: &Request) -> Result<Response, HttpError>
         .pool
         .help_until(move || fin.load(Ordering::SeqCst) == n);
 
-    let collected = results.lock().expect("batch results mutex poisoned");
+    let collected = hc_obs::sync::lock_recover(&results);
     let mut arr = JsonArray::new();
     for slot in collected.iter() {
         arr.push_raw(slot.as_deref().unwrap_or("null"));
@@ -183,7 +246,7 @@ fn split_batch(text: &str) -> Vec<String> {
 }
 
 fn metrics_document(state: &ServerState) -> String {
-    let cache_stats = state.cache.lock().expect("cache mutex poisoned").stats();
+    let cache_stats = cache_lock(state).stats();
     let cache_json = JsonObject::new()
         .u64("entries", cache_stats.entries as u64)
         .u64("capacity", cache_stats.capacity as u64)
@@ -191,9 +254,17 @@ fn metrics_document(state: &ServerState) -> String {
         .u64("misses", cache_stats.misses)
         .u64("evictions", cache_stats.evictions)
         .finish();
+    let faults_json = JsonObject::new()
+        .u64("panics_total", state.faults.panics.load(Ordering::Relaxed))
+        .u64(
+            "deadline_exceeded_total",
+            state.faults.deadline_exceeded.load(Ordering::Relaxed),
+        )
+        .finish();
     state.metrics.to_json(
         &state.pool.stats_json(),
         &cache_json,
+        &faults_json,
         state.in_flight.load(std::sync::atomic::Ordering::Relaxed),
         &hc_obs::metrics::export_json(),
     )
@@ -226,7 +297,15 @@ pub fn route(
     let queue_wait = service_start.duration_since(accepted);
     let mut obs = hc_obs::span("serve.request");
     let name = endpoint_name(req);
-    let (resp, cache_hit) = dispatch(state, name, req);
+    // The deadline is measured from accept, so queue wait spends budget too:
+    // a request that waited out its deadline in the queue fails fast.
+    let budget = effective_timeout_ms(&state.config, req)
+        .map(|ms| Budget::with_deadline_at(accepted + Duration::from_millis(ms)));
+    let ctx = ReqCtx {
+        budget: budget.as_ref(),
+        max_cells: state.config.max_cells,
+    };
+    let (resp, cache_hit) = dispatch(state, name, req, &ctx);
     let service = service_start.elapsed();
     let latency = accepted.elapsed();
     state
@@ -281,7 +360,15 @@ pub fn route(
     resp
 }
 
-fn dispatch(state: &Arc<ServerState>, name: &'static str, req: &Request) -> (Response, bool) {
+fn dispatch(
+    state: &Arc<ServerState>,
+    name: &'static str,
+    req: &Request,
+    ctx: &ReqCtx<'_>,
+) -> (Response, bool) {
+    // Deliberate crash site at handler entry; the connection job's
+    // catch_unwind turns it into a 500 carrying the request id.
+    hc_obs::failpoints::fire("handler");
     match name {
         "measure" | "structure" | "generate" | "schedule" => {
             if let Err(resp) = require_method(req, "POST") {
@@ -293,15 +380,15 @@ fn dispatch(state: &Arc<ServerState>, name: &'static str, req: &Request) -> (Res
                 "generate" => handlers::generate,
                 _ => handlers::schedule,
             };
-            cached(state, name, req, handler)
+            cached(state, name, req, ctx, handler)
         }
         "batch" => {
             if let Err(resp) = require_method(req, "POST") {
                 return (resp, false);
             }
-            match batch(state, req) {
+            match batch(state, req, ctx) {
                 Ok(resp) => (resp, false),
-                Err(e) => (Response::error(e.status, &e.message), false),
+                Err(e) => (e.to_response(), false),
             }
         }
         "metrics" => match require_method(req, "GET") {
@@ -377,7 +464,34 @@ mod tests {
                 .collect(),
             body: Vec::new(),
             request_id: None,
+            timeout_ms: None,
         };
         assert_eq!(canonical_options(&req), "ecs=1&zero-policy=limit");
+    }
+
+    #[test]
+    fn timeout_header_clamped_by_server_config() {
+        let mut config = Config::default();
+        let req = |ms: Option<u64>| Request {
+            method: "POST".into(),
+            path: "/measure".into(),
+            query: Default::default(),
+            body: Vec::new(),
+            request_id: None,
+            timeout_ms: ms,
+        };
+        // Server timeout off: header honoured, but capped.
+        config.request_timeout_ms = 0;
+        assert_eq!(effective_timeout_ms(&config, &req(None)), None);
+        assert_eq!(effective_timeout_ms(&config, &req(Some(250))), Some(250));
+        assert_eq!(
+            effective_timeout_ms(&config, &req(Some(u64::MAX))),
+            Some(MAX_HEADER_TIMEOUT_MS)
+        );
+        // Server timeout on: default for headerless requests, clamp for the rest.
+        config.request_timeout_ms = 1000;
+        assert_eq!(effective_timeout_ms(&config, &req(None)), Some(1000));
+        assert_eq!(effective_timeout_ms(&config, &req(Some(250))), Some(250));
+        assert_eq!(effective_timeout_ms(&config, &req(Some(9999))), Some(1000));
     }
 }

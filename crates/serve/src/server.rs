@@ -42,6 +42,13 @@ pub struct Config {
     /// Log requests whose accept-to-response latency exceeds this many
     /// milliseconds (0 disables slow-request logging).
     pub slow_ms: u64,
+    /// Default per-request deadline in milliseconds (0 disables). A client's
+    /// `X-Timeout-Ms` header is clamped to this value when set; expiry answers
+    /// `504` with iteration-progress diagnostics.
+    pub request_timeout_ms: u64,
+    /// Largest accepted matrix size in cells (tasks × machines); larger inputs
+    /// are rejected with `422` before any matrix allocation.
+    pub max_cells: usize,
 }
 
 impl Default for Config {
@@ -58,8 +65,21 @@ impl Default for Config {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             slow_ms: 0,
+            request_timeout_ms: 0,
+            max_cells: 4_000_000,
         }
     }
+}
+
+/// Fault-containment counters, rendered as the `faults` object in `/metrics`.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    /// Handler panics caught and converted to `500` responses
+    /// (`panics_total`).
+    pub panics: AtomicU64,
+    /// Requests (or batch items) answered `504` because their deadline
+    /// expired (`deadline_exceeded_total`).
+    pub deadline_exceeded: AtomicU64,
 }
 
 /// Shared server state: the pool, the result cache, and the metrics registry.
@@ -76,6 +96,8 @@ pub struct ServerState {
     pub shutdown: AtomicBool,
     /// Accepted requests not yet answered (queued + executing).
     pub in_flight: AtomicI64,
+    /// Panic and deadline counters (see [`FaultCounters`]).
+    pub faults: FaultCounters,
 }
 
 /// A running server; dropping it does NOT stop the server — call
@@ -129,6 +151,7 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
         config,
         shutdown: AtomicBool::new(false),
         in_flight: AtomicI64::new(0),
+        faults: FaultCounters::default(),
     });
     let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
@@ -213,10 +236,39 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let mut s = stream;
     state.in_flight.fetch_add(1, Ordering::Relaxed);
     let job = Box::new(move || {
+        // Set when the request was answered without reading the full body
+        // (e.g. 413): the socket must be drained before closing, or the
+        // kernel's RST for the unread bytes destroys the response in flight.
+        let mut drain_unread = false;
         let response = match read_request(&mut s, st.config.max_body_bytes) {
             Ok(request) => {
                 let id = request.request_id.clone().unwrap_or_else(next_request_id);
-                router::route(&st, &request, accepted, &id).with_header("X-Request-Id", &id)
+                // Panic isolation: a handler panic (bug or armed failpoint)
+                // must cost this request a 500, not the worker its life or
+                // later requests their poisoned locks.
+                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    router::route(&st, &request, accepted, &id)
+                }));
+                let resp = match routed {
+                    Ok(resp) => resp,
+                    Err(_) => {
+                        st.faults.panics.fetch_add(1, Ordering::Relaxed);
+                        st.metrics.record(
+                            "_panic",
+                            true,
+                            false,
+                            accepted.elapsed(),
+                            Duration::ZERO,
+                        );
+                        crate::http::HttpError::typed(
+                            500,
+                            "internal_panic",
+                            format!("internal panic while handling request {id}"),
+                        )
+                        .to_response()
+                    }
+                };
+                resp.with_header("X-Request-Id", &id)
             }
             Err(e) => {
                 st.metrics.record(
@@ -226,11 +278,23 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                     accepted.elapsed(),
                     Duration::ZERO,
                 );
-                Response::error(e.status, &e.message)
+                drain_unread = true;
+                e.to_response()
                     .with_header("X-Request-Id", &next_request_id())
             }
         };
         let _ = write_response(&mut s, &response);
+        if drain_unread {
+            let _ = s.shutdown(std::net::Shutdown::Write);
+            let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+            let mut sink = [0u8; 4096];
+            for _ in 0..64 {
+                match s.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+        }
         st.in_flight.fetch_sub(1, Ordering::Relaxed);
     });
     if state.pool.try_execute(job).is_err() {

@@ -16,12 +16,21 @@
 //! popping subtask jobs (its own or another batch's) and running them inline
 //! until its results are complete ([`Pool::help_until`]). Even with one worker
 //! and a full request queue, batches make progress.
+//!
+//! Self-healing: jobs run under `catch_unwind` (a panicking job costs itself,
+//! not the worker), and a worker thread that dies anyway — e.g. the
+//! `worker.idle` chaos failpoint, which deliberately panics *outside* the
+//! catch — is detected by a drop sentinel and respawned, counted in
+//! `worker_respawns_total`. All pool locks recover from poisoning via
+//! [`hc_obs::sync`], so a dying worker can never wedge the queues.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use hc_obs::sync::{lock_recover, wait_recover, wait_timeout_recover};
 
 use crate::json::JsonObject;
 
@@ -41,9 +50,15 @@ struct Shared {
     work_ready: Condvar,
     /// Signaled whenever a job finishes (batch handlers wait on this).
     job_done: Condvar,
+    /// Worker thread handles; respawned workers push their own handle here.
+    workers: Mutex<Vec<JoinHandle<()>>>,
     queue_depth: usize,
     shed_total: AtomicU64,
     completed_total: AtomicU64,
+    /// Jobs that panicked (caught; the worker survived).
+    job_panics: AtomicU64,
+    /// Workers that died and were replaced by the respawn sentinel.
+    respawns: AtomicU64,
 }
 
 /// The pool handle. Dropping it without [`Pool::shutdown`] detaches workers;
@@ -51,7 +66,6 @@ struct Shared {
 /// can live inside a shared `Arc<ServerState>`.
 pub struct Pool {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
     worker_count: usize,
 }
 
@@ -64,22 +78,18 @@ impl Pool {
             queues: Mutex::new(Queues::default()),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
+            workers: Mutex::new(Vec::with_capacity(workers)),
             queue_depth: queue_depth.max(1),
             shed_total: AtomicU64::new(0),
             completed_total: AtomicU64::new(0),
+            job_panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("hc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        for i in 0..workers {
+            spawn_worker(&shared, i);
+        }
         Self {
             shared,
-            workers: Mutex::new(handles),
             worker_count: workers,
         }
     }
@@ -88,7 +98,7 @@ impl Pool {
     /// shutting down), counting it as a shed when so. Lets the accept thread
     /// answer `503` without constructing (and losing) the connection job.
     pub fn would_shed(&self) -> bool {
-        let q = self.shared.queues.lock().expect("pool mutex poisoned");
+        let q = lock_recover(&self.shared.queues);
         let full = q.shutting_down || q.requests.len() >= self.shared.queue_depth;
         drop(q);
         if full {
@@ -100,7 +110,7 @@ impl Pool {
     /// Enqueues a request job, or returns it when the queue is full (the
     /// caller sheds the load) or the pool is shutting down.
     pub fn try_execute(&self, job: Job) -> Result<(), Job> {
-        let mut q = self.shared.queues.lock().expect("pool mutex poisoned");
+        let mut q = lock_recover(&self.shared.queues);
         if q.shutting_down || q.requests.len() >= self.shared.queue_depth {
             drop(q);
             self.shared.shed_total.fetch_add(1, Ordering::Relaxed);
@@ -114,7 +124,7 @@ impl Pool {
 
     /// Enqueues a batch subtask (never shed; see module docs for the bound).
     pub fn spawn_subtask(&self, job: Job) {
-        let mut q = self.shared.queues.lock().expect("pool mutex poisoned");
+        let mut q = lock_recover(&self.shared.queues);
         q.subtasks.push_back(job);
         drop(q);
         self.shared.work_ready.notify_one();
@@ -131,7 +141,7 @@ impl Pool {
             if done() {
                 return;
             }
-            let mut q = self.shared.queues.lock().expect("pool mutex poisoned");
+            let mut q = lock_recover(&self.shared.queues);
             if let Some(job) = q.subtasks.pop_front() {
                 drop(q);
                 job();
@@ -144,11 +154,8 @@ impl Pool {
             }
             // Re-check after a bounded wait: job_done wakes us when any worker
             // finishes a job; the timeout guards against lost wakeups.
-            let (guard, _) = self
-                .shared
-                .job_done
-                .wait_timeout(q, Duration::from_millis(20))
-                .expect("pool mutex poisoned");
+            let (guard, _) =
+                wait_timeout_recover(&self.shared.job_done, q, Duration::from_millis(20));
             drop(guard);
         }
     }
@@ -165,12 +172,17 @@ impl Pool {
 
     /// Currently queued (not yet started) request jobs.
     pub fn queued(&self) -> usize {
-        self.shared
-            .queues
-            .lock()
-            .expect("pool mutex poisoned")
-            .requests
-            .len()
+        lock_recover(&self.shared.queues).requests.len()
+    }
+
+    /// Jobs that panicked under `catch_unwind` (the worker survived).
+    pub fn job_panics_total(&self) -> u64 {
+        self.shared.job_panics.load(Ordering::Relaxed)
+    }
+
+    /// Workers that died and were replaced by the respawn sentinel.
+    pub fn worker_respawns_total(&self) -> u64 {
+        self.shared.respawns.load(Ordering::Relaxed)
     }
 
     /// Pool gauges as a JSON object for `/metrics`.
@@ -181,6 +193,8 @@ impl Pool {
             .u64("queued", self.queued() as u64)
             .u64("completed_total", self.completed_total())
             .u64("shed_total", self.shed_total())
+            .u64("job_panics_total", self.job_panics_total())
+            .u64("worker_respawns_total", self.worker_respawns_total())
             .finish()
     }
 
@@ -193,26 +207,70 @@ impl Pool {
     /// already queued, and joins the workers. Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut q = self.shared.queues.lock().expect("pool mutex poisoned");
+            let mut q = lock_recover(&self.shared.queues);
             q.shutting_down = true;
         }
         self.shared.work_ready.notify_all();
-        let handles: Vec<_> = self
-            .workers
-            .lock()
-            .expect("pool workers mutex poisoned")
-            .drain(..)
-            .collect();
-        for handle in handles {
-            handle.join().expect("worker panicked");
+        // A dying worker's sentinel may push a replacement handle while we
+        // join the first batch; loop until the list stays empty. A handle
+        // joining with Err means that worker died panicking — its replacement
+        // (or the shutdown flag) has already handled it, so the Err is not
+        // propagated.
+        loop {
+            let handles: Vec<_> = lock_recover(&self.shared.workers).drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// Spawns one worker thread and registers its handle in `shared.workers`.
+fn spawn_worker(shared: &Arc<Shared>, index: usize) {
+    let for_thread = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("hc-serve-worker-{index}"))
+        .spawn(move || {
+            let mut sentinel = RespawnSentinel {
+                shared: Arc::clone(&for_thread),
+                index,
+                armed: true,
+            };
+            worker_loop(&for_thread);
+            // Clean exit (shutdown): the sentinel must not respawn.
+            sentinel.armed = false;
+        })
+        .expect("spawn worker thread");
+    lock_recover(&shared.workers).push(handle);
+}
+
+/// Armed for the lifetime of a worker thread: if the thread unwinds while the
+/// sentinel is armed (a panic escaped the per-job catch, e.g. the
+/// `worker.idle` failpoint), its drop spawns a replacement so the pool's
+/// capacity self-heals. Disarmed on clean shutdown exit.
+struct RespawnSentinel {
+    shared: Arc<Shared>,
+    index: usize,
+    armed: bool,
+}
+
+impl Drop for RespawnSentinel {
+    fn drop(&mut self) {
+        if !self.armed || lock_recover(&self.shared.queues).shutting_down {
+            return;
+        }
+        self.shared.respawns.fetch_add(1, Ordering::Relaxed);
+        spawn_worker(&self.shared, self.index);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
-            let mut q = shared.queues.lock().expect("pool mutex poisoned");
+            let mut q = lock_recover(&shared.queues);
             loop {
                 // Subtasks first: they unblock an already-running batch request.
                 if let Some(job) = q.subtasks.pop_front() {
@@ -224,14 +282,22 @@ fn worker_loop(shared: &Shared) {
                 if q.shutting_down {
                     break None;
                 }
-                q = shared.work_ready.wait(q).expect("pool mutex poisoned");
+                q = wait_recover(&shared.work_ready, q);
             }
         };
         match job {
             Some(job) => {
-                job();
+                // A panicking job is caught here so the worker survives; the
+                // connection-level catch has already answered the client 500.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                    shared.job_panics.fetch_add(1, Ordering::Relaxed);
+                }
                 shared.completed_total.fetch_add(1, Ordering::Relaxed);
                 shared.job_done.notify_all();
+                // Deliberate chaos crash site, *outside* the catch and *after*
+                // the job's response went out: a panic here kills this worker
+                // without losing a request, exercising the respawn sentinel.
+                hc_obs::failpoints::fire("worker.idle");
             }
             None => return,
         }
@@ -324,6 +390,28 @@ mod tests {
         }
         assert_eq!(*outcome.lock().unwrap(), Some(true));
         pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_is_caught_and_counted() {
+        let pool = Pool::new(2, 64);
+        pool.try_execute(Box::new(|| panic!("deliberate test panic: job bug")))
+            .map_err(|_| ())
+            .unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let c = Arc::clone(&counter);
+            pool.try_execute(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }))
+            .map_err(|_| ())
+            .unwrap();
+        }
+        pool.shutdown();
+        // Every later job still ran: the panic cost one job, not a worker.
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+        assert_eq!(pool.job_panics_total(), 1);
+        assert_eq!(pool.worker_respawns_total(), 0);
     }
 
     #[test]

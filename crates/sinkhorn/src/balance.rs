@@ -14,7 +14,7 @@
 //! pattern (Sec. VI; see [`crate::structure`]) and the outcome reports what happened
 //! instead of failing silently.
 
-use hc_linalg::{LinAlgError, MatRef, Matrix, Workspace};
+use hc_linalg::{Budget, LinAlgError, MatRef, Matrix, Workspace};
 
 /// Which normalization runs first inside each iteration.
 ///
@@ -256,6 +256,24 @@ pub fn balance_in(
     opts: &BalanceOptions,
     ws: &mut Workspace,
 ) -> Result<BalanceOutcome, LinAlgError> {
+    balance_budgeted_in(m, row_targets, col_targets, opts, None, ws)
+}
+
+/// [`balance_in`] with a cooperative cancellation [`Budget`], polled once per
+/// iteration. Expiry returns [`LinAlgError::DeadlineExceeded`] carrying the
+/// iterations completed and the residual at the point of cancellation. `None`
+/// is exactly the unbudgeted path (bit-identical results).
+///
+/// Each iteration also hits the `sinkhorn.iteration` failpoint (see
+/// [`hc_obs::failpoints`]) so chaos tests can inject deterministic slowness.
+pub fn balance_budgeted_in(
+    m: MatRef<'_>,
+    row_targets: &[f64],
+    col_targets: &[f64],
+    opts: &BalanceOptions,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<BalanceOutcome, LinAlgError> {
     validate(m, row_targets, col_targets)?;
     let mut obs = hc_obs::span("sinkhorn.balance");
     let (t, mm) = m.shape();
@@ -301,6 +319,10 @@ pub fn balance_in(
         status = BalanceStatus::Converged;
     } else {
         for it in 1..=opts.max_iters {
+            hc_obs::failpoints::fire("sinkhorn.iteration");
+            if let Some(b) = budget {
+                b.check("sinkhorn-balance", iterations, residual)?;
+            }
             match opts.order {
                 SweepOrder::ColumnFirst => {
                     col_sweep(&mut a, &mut col_scale, &mut col_buf);
@@ -454,12 +476,23 @@ pub fn standardize_in(
     opts: &BalanceOptions,
     ws: &mut Workspace,
 ) -> Result<BalanceOutcome, LinAlgError> {
+    standardize_budgeted_in(m, opts, None, ws)
+}
+
+/// [`standardize_in`] with a cooperative cancellation [`Budget`] (see
+/// [`balance_budgeted_in`]).
+pub fn standardize_budgeted_in(
+    m: MatRef<'_>,
+    opts: &BalanceOptions,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<BalanceOutcome, LinAlgError> {
     let (t, mm) = m.shape();
     let r = (mm as f64 / t as f64).sqrt();
     let c = (t as f64 / mm as f64).sqrt();
     let rt = ws.take_vec(t, r);
     let ct = ws.take_vec(mm, c);
-    let out = balance_in(m, &rt, &ct, opts, ws);
+    let out = balance_budgeted_in(m, &rt, &ct, opts, budget, ws);
     ws.recycle_vec(rt);
     ws.recycle_vec(ct);
     out
@@ -812,6 +845,47 @@ mod tests {
         assert!(balance_in(zr.view(), &[1.0, 1.0], &[1.0, 1.0], &opts, &mut ws).is_err());
         let zc = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 4.0]]).unwrap();
         assert!(balance_in(zc.view(), &[1.0, 1.0], &[1.0, 1.0], &opts, &mut ws).is_err());
+    }
+
+    #[test]
+    fn budgeted_matches_unbudgeted_bitwise_and_expired_budget_trips() {
+        let m = Matrix::from_fn(6, 4, |i, j| 0.1 + ((i * 7 + j * 3) % 13) as f64);
+        let mut ws = Workspace::new();
+        let opts = BalanceOptions::default();
+        let plain = standardize_in(m.view(), &opts, &mut ws).unwrap();
+        let generous = Budget::with_deadline(std::time::Duration::from_secs(600));
+        let budgeted = standardize_budgeted_in(m.view(), &opts, Some(&generous), &mut ws).unwrap();
+        assert_eq!(plain.matrix, budgeted.matrix);
+        assert_eq!(plain.iterations, budgeted.iterations);
+        assert_eq!(plain.residual.to_bits(), budgeted.residual.to_bits());
+
+        let expired = Budget::with_deadline(std::time::Duration::ZERO);
+        match standardize_budgeted_in(m.view(), &opts, Some(&expired), &mut ws) {
+            Err(LinAlgError::DeadlineExceeded {
+                op,
+                iterations,
+                residual,
+            }) => {
+                assert_eq!(op, "sinkhorn-balance");
+                assert_eq!(iterations, 0);
+                assert!(residual.is_finite());
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_token_stops_balance_mid_run() {
+        // An immediately-cancelled token must stop the loop before sweep 1.
+        let m = Matrix::from_fn(6, 4, |i, j| 0.1 + ((i * 7 + j * 3) % 13) as f64);
+        let tok = hc_linalg::CancelToken::new();
+        tok.cancel();
+        let budget = Budget::unlimited().with_cancel(tok);
+        let mut ws = Workspace::new();
+        let err =
+            standardize_budgeted_in(m.view(), &BalanceOptions::default(), Some(&budget), &mut ws)
+                .unwrap_err();
+        assert!(matches!(err, LinAlgError::DeadlineExceeded { .. }));
     }
 
     #[test]

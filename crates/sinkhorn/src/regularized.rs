@@ -12,8 +12,8 @@
 //! total support converge to the exact balanced form, patterns without it show
 //! entries collapsing toward zero at a rate proportional to ε.
 
-use crate::balance::{balance_in, BalanceOptions, BalanceOutcome};
-use hc_linalg::{LinAlgError, MatRef, Matrix, Workspace};
+use crate::balance::{balance_budgeted_in, BalanceOptions, BalanceOutcome};
+use hc_linalg::{Budget, LinAlgError, MatRef, Matrix, Workspace};
 
 /// Replaces zero entries with `epsilon × max_entry`.
 pub fn regularize(m: &Matrix, epsilon: f64) -> Matrix {
@@ -41,6 +41,19 @@ pub fn regularized_standard_form_in(
     opts: &BalanceOptions,
     ws: &mut Workspace,
 ) -> Result<BalanceOutcome, LinAlgError> {
+    regularized_standard_form_budgeted_in(m, epsilon, opts, None, ws)
+}
+
+/// [`regularized_standard_form_in`] with a cooperative cancellation [`Budget`]
+/// threaded into the balancing loop (see
+/// [`balance_budgeted_in`](crate::balance::balance_budgeted_in)).
+pub fn regularized_standard_form_budgeted_in(
+    m: MatRef<'_>,
+    epsilon: f64,
+    opts: &BalanceOptions,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<BalanceOutcome, LinAlgError> {
     if !epsilon.is_finite() || epsilon <= 0.0 {
         return Err(LinAlgError::Singular {
             op: "regularized_standard_form (epsilon must be positive)",
@@ -64,7 +77,7 @@ pub fn regularized_standard_form_in(
     let (r, c) = ((mm as f64 / t as f64).sqrt(), (t as f64 / mm as f64).sqrt());
     let rt = ws.take_vec(t, r);
     let ct = ws.take_vec(mm, c);
-    let out = balance_in(reg.view(), &rt, &ct, opts, ws);
+    let out = balance_budgeted_in(reg.view(), &rt, &ct, opts, budget, ws);
     ws.recycle_matrix(reg);
     ws.recycle_vec(rt);
     ws.recycle_vec(ct);

@@ -65,4 +65,58 @@ wait "$SERVE_PID"
 trap - EXIT
 echo "graceful shutdown OK"
 
+echo "== chaos smoke test =="
+# A server whose workers are killed after every 7th response must keep
+# answering every request (no connection resets), respawn the dead workers,
+# and account for it all in /metrics.
+CHAOS_LOG=$(mktemp)
+HC_FAILPOINT='worker.idle:panic:7' "$HCM" serve --addr 127.0.0.1:0 --workers 2 \
+    --request-timeout-ms 30000 2>"$CHAOS_LOG" &
+CHAOS_PID=$!
+trap 'kill "$CHAOS_PID" 2>/dev/null || true' EXIT
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#.*listening on http://##p' "$CHAOS_LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "chaos server never announced its address"; cat "$CHAOS_LOG"; exit 1; }
+echo "chaos server on $ADDR (worker.idle:panic:7 armed)"
+
+# 50 mixed requests: good matrices (varying) and malformed bodies. Every one
+# must get an HTTP status — curl fails (exit != 0) on a reset connection.
+for i in $(seq 1 50); do
+    if [ $((i % 5)) -eq 0 ]; then
+        BODY='definitely,not
+a_matrix'
+        WANT=400
+    else
+        BODY="task,m1,m2
+t1,$i.0,8.0
+t2,6.0,3.5"
+        WANT=200
+    fi
+    CODE=$(printf '%s' "$BODY" | curl -sS -o /dev/null -w '%{http_code}' \
+        -X POST --data-binary @- "http://$ADDR/measure") \
+        || { echo "chaos request $i: connection failed"; exit 1; }
+    [ "$CODE" = "$WANT" ] || { echo "chaos request $i: got $CODE, want $WANT"; exit 1; }
+done
+echo "50/50 chaos requests answered (0 connection resets)"
+
+curl -sS -o /tmp/verify-chaos-metrics.json "http://$ADDR/metrics"
+RESPAWNS=$(sed -n 's/.*"worker_respawns_total":\([0-9]*\).*/\1/p' /tmp/verify-chaos-metrics.json)
+[ -n "$RESPAWNS" ] && [ "$RESPAWNS" -ge 1 ] \
+    || { echo "expected worker_respawns_total >= 1, got '$RESPAWNS'"; exit 1; }
+grep -q '"panics_total":' /tmp/verify-chaos-metrics.json \
+    || { echo "metrics lack panics_total"; exit 1; }
+grep -q '"deadline_exceeded_total":' /tmp/verify-chaos-metrics.json \
+    || { echo "metrics lack deadline_exceeded_total"; exit 1; }
+echo "worker_respawns_total=$RESPAWNS; fault counters present"
+
+curl -sS "http://$ADDR/quitquitquit" >/dev/null
+wait "$CHAOS_PID"
+trap - EXIT
+echo "chaos smoke OK"
+
 echo "== verify: all green =="
