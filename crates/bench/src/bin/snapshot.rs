@@ -266,6 +266,65 @@ fn main() {
     };
     results.push(deadline_overhead);
 
+    // Recorder-overhead lane: the same warm 512×512 characterize with and
+    // without an active flight record (`--record-requests 0` vs the default).
+    // The delta is the cost of span capture + numeric notes on the armed
+    // path; reported, not gated (tests/overhead.rs gates the budget at <2%).
+    let recorder_overhead = {
+        const SIZE: usize = 512;
+        let ecs = ecs_fixture(SIZE, SIZE);
+        let opts = TmaOptions::default();
+        let recorder = hc_obs::recorder::FlightRecorder::new(256, 64);
+        let trace = hc_obs::trace::TraceContext::generate();
+        let mut an = Analyzer::new();
+        let run = |an: &mut Analyzer| {
+            let r = an
+                .characterize_with(&ecs, None, &opts)
+                .expect("fixture characterizes");
+            assert!(r.tma.is_finite());
+            an.recycle_report(r);
+        };
+        let timed_off = |an: &mut Analyzer| {
+            let t = Instant::now();
+            run(an);
+            t.elapsed().as_nanos()
+        };
+        let timed_on = |an: &mut Analyzer, i: usize| {
+            let id = format!("bench-{i}");
+            let t = Instant::now();
+            let guard = recorder.begin(&id, "POST", "/measure", &trace);
+            run(an);
+            guard.finish(hc_obs::recorder::Outcome {
+                status: 200,
+                latency_us: 0,
+                phases: hc_obs::recorder::PhaseTimings::default(),
+                slow: false,
+                panicked: false,
+            });
+            t.elapsed().as_nanos()
+        };
+        timed_off(&mut an); // warm-up, not recorded
+        let (mut off, mut on) = (Vec::new(), Vec::new());
+        // Interleaved for the same reason as the deadline lane.
+        for i in 0..3 {
+            off.push(timed_off(&mut an));
+            on.push(timed_on(&mut an, i));
+        }
+        let off_ns = median_ns(off);
+        let on_ns = median_ns(on);
+        let overhead_pct = if off_ns == 0 {
+            0.0
+        } else {
+            100.0 * (on_ns as f64 - off_ns as f64) / off_ns as f64
+        };
+        format!(
+            "{{\"bench\":\"recorder_overhead\",\"tasks\":{SIZE},\"machines\":{SIZE},\
+             \"recorder_off_median_ns\":{off_ns},\"recorder_on_median_ns\":{on_ns},\
+             \"overhead_pct\":{overhead_pct:.3}}}"
+        )
+    };
+    results.push(recorder_overhead);
+
     let ts = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())

@@ -44,7 +44,8 @@ pub fn usage() -> &'static str {
     \x20 hcm whatif    <etc.csv> (--remove-machine J | --remove-task I) [--ecs]\n\
     \x20 hcm serve     [--addr 127.0.0.1:7878] [--workers N] [--queue-depth Q]\n\
     \x20               [--cache-entries C] [--slow-ms MS] [--request-timeout-ms MS]\n\
-    \x20               [--max-cells N] [--dry-run]\n\
+    \x20               [--max-cells N] [--record-requests N] [--record-survivors N]\n\
+    \x20               [--dry-run]\n\
     \x20 hcm help\n\n\
      Global flags (every subcommand, place after the input file):\n\
     \x20 --log-json <path>   write spans/events as JSON lines to <path>\n\
@@ -57,7 +58,11 @@ pub fn usage() -> &'static str {
      GET /quitquitquit drains gracefully. Every response carries X-Request-Id.\n\
      --request-timeout-ms (or a per-request X-Timeout-Ms header, clamped to it)\n\
      answers 504 with progress diagnostics when a deadline expires; matrices\n\
-     above --max-cells cells are rejected with 422 before any allocation.\n\n\
+     above --max-cells cells are rejected with 422 before any allocation.\n\
+     A flight recorder keeps the last --record-requests requests (span tree,\n\
+     phase timings, kernel telemetry) browsable at GET /debug/requests, pinning\n\
+     slow/errored/panicked ones into a --record-survivors ring; traceparent is\n\
+     propagated and GET /metrics?format=prometheus emits text exposition.\n\n\
      Input files are CSV: header `task,<machine…>`, one row per task type, runtimes\n\
      as numbers, `inf` for incompatible pairs. Pass --ecs when the file already\n\
      holds speeds instead of runtimes.\n"

@@ -31,6 +31,8 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
         "slow-ms",
         "request-timeout-ms",
         "max-cells",
+        "record-requests",
+        "record-survivors",
         "dry-run",
     ])?;
 
@@ -63,6 +65,8 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
     if cfg.max_cells == 0 {
         return Err("--max-cells must be at least 1".to_string());
     }
+    cfg.record_requests = args.get_or("record-requests", cfg.record_requests)?;
+    cfg.record_survivors = args.get_or("record-survivors", cfg.record_survivors)?;
     Ok((cfg, args.has("dry-run")))
 }
 
@@ -77,7 +81,9 @@ pub fn describe(cfg: &Config) -> String {
         \x20 max-body-bytes {}\n\
         \x20 max-cells      {}\n\
         \x20 slow-ms        {}\n\
-        \x20 request-timeout-ms {}\n",
+        \x20 request-timeout-ms {}\n\
+        \x20 record-requests {}\n\
+        \x20 record-survivors {}\n",
         cfg.addr,
         cfg.workers,
         cfg.queue_depth,
@@ -94,6 +100,12 @@ pub fn describe(cfg: &Config) -> String {
         } else {
             cfg.request_timeout_ms.to_string()
         },
+        if cfg.record_requests == 0 {
+            "off".to_string()
+        } else {
+            cfg.record_requests.to_string()
+        },
+        cfg.record_survivors,
     )
 }
 
@@ -163,6 +175,27 @@ mod tests {
     }
 
     #[test]
+    fn flight_recorder_flags() {
+        let (cfg, _) = cfg_of(&["serve"]).unwrap();
+        assert_eq!(cfg.record_requests, 256);
+        assert_eq!(cfg.record_survivors, 64);
+        let (cfg, _) = cfg_of(&[
+            "serve",
+            "--record-requests",
+            "32",
+            "--record-survivors",
+            "8",
+        ])
+        .unwrap();
+        assert_eq!(cfg.record_requests, 32);
+        assert_eq!(cfg.record_survivors, 8);
+        // 0 disables recording entirely — a valid operating point.
+        let (cfg, _) = cfg_of(&["serve", "--record-requests", "0"]).unwrap();
+        assert_eq!(cfg.record_requests, 0);
+        assert!(cfg_of(&["serve", "--record-requests", "many"]).is_err());
+    }
+
+    #[test]
     fn rejects_bad_values() {
         assert!(cfg_of(&["serve", "--workers", "0"]).is_err());
         assert!(cfg_of(&["serve", "--queue-depth", "0"]).is_err());
@@ -183,5 +216,7 @@ mod tests {
         assert!(d.contains("slow-ms        off"), "{d}");
         assert!(d.contains("request-timeout-ms off"), "{d}");
         assert!(d.contains("max-cells      4000000"), "{d}");
+        assert!(d.contains("record-requests 256"), "{d}");
+        assert!(d.contains("record-survivors 64"), "{d}");
     }
 }

@@ -222,6 +222,7 @@ pub fn characterize_budgeted_in(
         tma
     };
     hc_obs::obs_counter!("core_characterize_total").inc();
+    hc_obs::recorder::note_u64("standardization_iterations", sf.iterations as u64);
     if obs.armed() {
         obs.field_u64("tasks", ecs.num_tasks() as u64);
         obs.field_u64("machines", ecs.num_machines() as u64);

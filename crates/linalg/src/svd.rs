@@ -366,6 +366,7 @@ pub fn jacobi_svd_budgeted_in(
     hc_obs::obs_counter!("linalg_svd_jacobi_total").inc();
     hc_obs::obs_counter!("linalg_svd_jacobi_sweeps_total").add(sweeps as u64);
     hc_obs::obs_histogram!("linalg_svd_jacobi_sweeps").observe(sweeps as u64);
+    hc_obs::recorder::note_u64("svd_jacobi_sweeps", sweeps as u64);
     if obs.armed() {
         obs.field_u64("rows", m as u64);
         obs.field_u64("cols", n as u64);
@@ -591,6 +592,7 @@ pub fn golub_reinsch_svd_budgeted_in(
     hc_obs::obs_counter!("linalg_svd_gr_total").inc();
     hc_obs::obs_counter!("linalg_svd_gr_iterations_total").add(total_iters as u64);
     hc_obs::obs_histogram!("linalg_svd_gr_iterations").observe(total_iters as u64);
+    hc_obs::recorder::note_u64("svd_gr_iterations", total_iters as u64);
     if obs.armed() {
         obs.field_u64("rows", a.rows() as u64);
         obs.field_u64("cols", a.cols() as u64);

@@ -12,6 +12,18 @@
 //!    atomic add per record — and are exported as JSON by
 //!    [`metrics::export_json`], which `hc-serve` merges into `/metrics`.
 //!
+//! Three further facilities build on those two:
+//!
+//! * [`recorder`] — the flight recorder: per-request span trees, events, and
+//!   numeric telemetry retained in a sharded ring buffer with tail-biased
+//!   (survivor-ring) retention, so any recent request can be explained after
+//!   the fact.
+//! * [`trace`] — W3C `traceparent` parse/generate/echo, so the daemon joins
+//!   distributed traces with zero dependencies.
+//! * [`prom`] — Prometheus text exposition (format 0.0.4) over the metrics
+//!   registry: counters, gauges, and log₂ histograms as cumulative
+//!   `_bucket{le=...}` series.
+//!
 //! Two fault-containment utilities also live here, at the bottom of the
 //! dependency graph so both the kernels and the daemon can share them:
 //! [`sync`] (poison-recovering lock helpers) and [`failpoints`] (the
@@ -40,9 +52,12 @@
 pub mod failpoints;
 pub mod json;
 pub mod metrics;
+pub mod prom;
+pub mod recorder;
 pub mod sink;
 pub mod span;
 pub mod sync;
+pub mod trace;
 
 pub use sink::{
     install_capture_sink, install_json_sink, install_trace_sink, set_level, sink_installed,

@@ -255,10 +255,16 @@ pub fn histogram_totals(name: &str) -> Option<(u64, u64)> {
     }
 }
 
-/// Renders the entire registry as one JSON object:
-/// `{"counters":{..},"gauges":{..},"histograms":{name:{"count","sum","buckets":{"le_1":..}}}}`.
-/// Names are sorted; histogram buckets with zero observations are omitted.
-pub fn export_json() -> String {
+/// Point-in-time snapshot of the whole registry as three sorted maps:
+/// counters, gauges, and histograms (`count`, `sum`, per-bucket counts).
+/// Shared by the JSON export and the Prometheus renderer so the two formats
+/// can never disagree about what exists.
+#[allow(clippy::type_complexity)]
+pub fn snapshot_all() -> (
+    BTreeMap<&'static str, u64>,
+    BTreeMap<&'static str, i64>,
+    BTreeMap<&'static str, (u64, u64, [u64; BUCKETS])>,
+) {
     let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut gauges: BTreeMap<&'static str, i64> = BTreeMap::new();
     let mut hists: BTreeMap<&'static str, (u64, u64, [u64; BUCKETS])> = BTreeMap::new();
@@ -278,6 +284,14 @@ pub fn export_json() -> String {
             }
         }
     }
+    (counters, gauges, hists)
+}
+
+/// Renders the entire registry as one JSON object:
+/// `{"counters":{..},"gauges":{..},"histograms":{name:{"count","sum","buckets":{"le_1":..}}}}`.
+/// Names are sorted; histogram buckets with zero observations are omitted.
+pub fn export_json() -> String {
+    let (counters, gauges, hists) = snapshot_all();
 
     let mut out = String::with_capacity(256);
     out.push_str("{\"counters\":{");

@@ -1,0 +1,220 @@
+//! Prometheus text-exposition rendering (format version 0.0.4), std-only.
+//!
+//! Turns the global metrics registry — and, via [`PromWriter`], any caller's
+//! own counters/gauges/histograms — into the plain-text format every stock
+//! scraper understands: `# TYPE` comments, `name{label="value"} 1234`
+//! samples, and log₂ histograms as **cumulative** `_bucket{le="..."}` series
+//! with `_sum` and `_count`.
+//!
+//! The registry's log₂ buckets are exclusive upper bounds (`v < 2^i`), so
+//! bucket `i` is emitted as `le="2^i"`; the overflow bucket becomes
+//! `le="+Inf"`. Boundaries are a factor of two apart, which is coarser than
+//! typical Prometheus buckets but monotone, cheap, and consistent with the
+//! JSON export.
+
+use crate::metrics::{self, BUCKETS};
+
+/// Rewrites `name` into the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); every invalid byte becomes `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double quote,
+/// and newline must be escaped; everything else passes through.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// An exposition-text builder. Callers emit one [`type_line`] per metric
+/// name, then any number of labelled samples for it; [`histogram_series`]
+/// expands one log₂ histogram into its cumulative bucket/sum/count triplet.
+///
+/// [`type_line`]: PromWriter::type_line
+/// [`histogram_series`]: PromWriter::histogram_series
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits `# TYPE <name> <kind>`. Call once per metric name, before its
+    /// samples; `kind` is `counter`, `gauge`, or `histogram`.
+    pub fn type_line(&mut self, name: &str, kind: &str) {
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emits one sample line: `name{labels} value`.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Emits one log₂ histogram as cumulative `name_bucket{...,le="..."}`
+    /// lines plus `name_sum` and `name_count`. `buckets` are the registry's
+    /// non-cumulative per-bucket counts; `labels` (e.g. the endpoint) are
+    /// attached to every line.
+    pub fn histogram_series(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: &[u64; BUCKETS],
+        count: u64,
+        sum: u64,
+    ) {
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (i, n) in buckets.iter().enumerate() {
+            cumulative += n;
+            let le = if i >= BUCKETS - 1 {
+                "+Inf".to_string()
+            } else {
+                metrics::bucket_upper(i).to_string()
+            };
+            let mut with_le: Vec<(&str, &str)> = Vec::with_capacity(labels.len() + 1);
+            with_le.extend(labels.iter().copied());
+            with_le.push(("le", le.as_str()));
+            self.sample(&bucket_name, &with_le, &cumulative.to_string());
+        }
+        self.sample(&format!("{name}_sum"), labels, &sum.to_string());
+        self.sample(&format!("{name}_count"), labels, &count.to_string());
+    }
+
+    /// The accumulated exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders the entire global [`crate::metrics`] registry as exposition text:
+/// every counter, gauge, and histogram, names sanitized and sorted.
+pub fn render_registry() -> String {
+    let (counters, gauges, hists) = metrics::snapshot_all();
+    let mut w = PromWriter::new();
+    for (name, v) in &counters {
+        let n = sanitize_name(name);
+        w.type_line(&n, "counter");
+        w.sample(&n, &[], &v.to_string());
+    }
+    for (name, v) in &gauges {
+        let n = sanitize_name(name);
+        w.type_line(&n, "gauge");
+        w.sample(&n, &[], &v.to_string());
+    }
+    for (name, (count, sum, buckets)) in &hists {
+        let n = sanitize_name(name);
+        w.type_line(&n, "histogram");
+        w.histogram_series(&n, &[], buckets, *count, *sum);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("ok_name:total"), "ok_name:total");
+        assert_eq!(sanitize_name("bad.name-1"), "bad_name_1");
+        assert_eq!(sanitize_name("9starts_digit"), "_starts_digit");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn writes_samples_and_types() {
+        let mut w = PromWriter::new();
+        w.type_line("x_total", "counter");
+        w.sample("x_total", &[("endpoint", "me\"asure")], "7");
+        w.sample("x_total", &[], "9");
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "# TYPE x_total counter\nx_total{endpoint=\"me\\\"asure\"} 7\nx_total 9\n"
+        );
+    }
+
+    #[test]
+    fn histogram_series_is_cumulative_and_consistent() {
+        let mut buckets = [0u64; BUCKETS];
+        buckets[0] = 2; // v = 0
+        buckets[3] = 1; // v in [4, 8)
+        buckets[BUCKETS - 1] = 1; // overflow
+        let mut w = PromWriter::new();
+        w.type_line("h_us", "histogram");
+        w.histogram_series("h_us", &[("endpoint", "e")], &buckets, 4, 123);
+        let text = w.finish();
+        // Cumulative counts: le=1 → 2, le=8 → 3, +Inf → 4 == count.
+        assert!(
+            text.contains("h_us_bucket{endpoint=\"e\",le=\"1\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("h_us_bucket{endpoint=\"e\",le=\"8\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("h_us_bucket{endpoint=\"e\",le=\"+Inf\"} 4\n"),
+            "{text}"
+        );
+        assert!(text.contains("h_us_sum{endpoint=\"e\"} 123\n"));
+        assert!(text.contains("h_us_count{endpoint=\"e\"} 4\n"));
+        // le values strictly increase and cumulative counts never decrease.
+        let mut last_cum = 0u64;
+        let mut seen = 0;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(cum >= last_cum, "{line}");
+            last_cum = cum;
+            seen += 1;
+        }
+        assert_eq!(seen, BUCKETS);
+    }
+}

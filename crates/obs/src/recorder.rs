@@ -1,0 +1,586 @@
+//! The flight recorder: per-request span trees retained for post-hoc
+//! debugging.
+//!
+//! Metrics answer "how is the fleet doing"; span sinks answer "what is
+//! happening right now". Neither answers the on-call question "why was
+//! request `17ab…-3f` slow five minutes ago?". The flight recorder does: a
+//! fixed-capacity, sharded ring buffer holding the complete span tree,
+//! events, phase timings, and numeric-quality telemetry (Sinkhorn iterations,
+//! residuals, SVD sweeps) for the last N completed requests.
+//!
+//! Retention is **tail-biased**: every completed request enters the main
+//! ring, but *interesting* ones — slow, errored (status ≥ 400), panicked, or
+//! deadline-exceeded — are additionally pinned into a separate survivor ring,
+//! so a burst of healthy traffic can never evict the request you actually
+//! need to explain.
+//!
+//! # Threading model
+//!
+//! Recording is thread-local: [`FlightRecorder::begin`] installs an active
+//! record on the current thread, and every span or event that completes on
+//! that thread while it is active is appended (spans also arm automatically —
+//! see [`crate::span`]). Work fanned out to *other* threads attaches to their
+//! records, if any; work a request's own thread executes inline (including
+//! batch subtasks it helps drain) is captured. Kernels attach scalar
+//! telemetry with [`note_u64`] / [`note_f64`] without threading any handle
+//! through their signatures.
+//!
+//! When no record is active (the common case for library users), every probe
+//! degrades to one thread-local flag read.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json;
+use crate::sink::{FieldValue, Level, Record, RecordKind};
+use crate::trace::TraceContext;
+
+/// Most spans/events retained per request; later ones are counted in
+/// `dropped_spans` instead of growing without bound.
+pub const MAX_SPANS_PER_RECORD: usize = 256;
+
+const SHARDS: usize = 8;
+
+/// Phase breakdown of one request, in microseconds. Mirrors the
+/// `Server-Timing` response header `hc-serve` emits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Accept to worker pickup (time spent in the bounded request queue).
+    pub queue_us: u64,
+    /// Reading and parsing the request off the socket.
+    pub parse_us: u64,
+    /// Routing and handler execution.
+    pub compute_us: u64,
+    /// Response assembly after the handler returned.
+    pub serialize_us: u64,
+}
+
+/// One span or event captured into a request record.
+#[derive(Debug, Clone)]
+pub struct RecordedSpan {
+    /// Span or event.
+    pub kind: RecordKind,
+    /// Severity.
+    pub level: Level,
+    /// Record name (`"sinkhorn.balance"`, `"serve.slow_request"`, …).
+    pub name: String,
+    /// Enclosing span on the recording thread, if any.
+    pub parent: Option<String>,
+    /// Nesting depth on the recording thread.
+    pub depth: usize,
+    /// Duration in microseconds (spans only).
+    pub dur_us: Option<u64>,
+    /// Structured fields in insertion order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// How a recorded request ended; passed to [`RecordingGuard::finish`].
+#[derive(Debug, Clone, Copy)]
+pub struct Outcome {
+    /// Final HTTP status.
+    pub status: u16,
+    /// Accept-to-response latency in microseconds.
+    pub latency_us: u64,
+    /// Phase breakdown.
+    pub phases: PhaseTimings,
+    /// Latency exceeded the server's `--slow-ms` threshold.
+    pub slow: bool,
+    /// The handler panicked (the response is a synthesized 500).
+    pub panicked: bool,
+}
+
+/// A completed, immutable request record.
+#[derive(Debug)]
+pub struct RequestRecord {
+    /// Global insertion sequence number (newest = highest).
+    pub seq: u64,
+    /// The request id echoed as `X-Request-Id`.
+    pub request_id: String,
+    /// W3C trace id (32 hex chars).
+    pub trace_id: String,
+    /// The server's own span id within the trace (16 hex chars).
+    pub span_id: String,
+    /// The caller's span id, when a valid `traceparent` arrived.
+    pub parent_span_id: Option<String>,
+    /// Request method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Final HTTP status.
+    pub status: u16,
+    /// Wall-clock start (µs since the Unix epoch).
+    pub started_unix_us: u64,
+    /// Accept-to-response latency in microseconds.
+    pub latency_us: u64,
+    /// Phase breakdown.
+    pub phases: PhaseTimings,
+    /// Latency exceeded `--slow-ms`.
+    pub slow: bool,
+    /// The handler panicked.
+    pub panicked: bool,
+    /// The request was answered `504 deadline_exceeded`.
+    pub deadline_exceeded: bool,
+    /// Status ≥ 400.
+    pub error: bool,
+    /// Pinned into the survivor ring (slow, error, panic, or deadline).
+    pub survivor: bool,
+    /// Captured span tree + events, in completion order.
+    pub spans: Vec<RecordedSpan>,
+    /// Spans/events discarded past [`MAX_SPANS_PER_RECORD`].
+    pub dropped_spans: u64,
+    /// Scalar numeric telemetry attached via [`note_u64`] / [`note_f64`].
+    pub numerics: Vec<(&'static str, FieldValue)>,
+}
+
+struct Builder {
+    request_id: String,
+    trace_id: String,
+    span_id: String,
+    parent_span_id: Option<String>,
+    method: String,
+    path: String,
+    started_unix_us: u64,
+    spans: Vec<RecordedSpan>,
+    dropped_spans: u64,
+    numerics: Vec<(&'static str, FieldValue)>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Box<Builder>>> = const { RefCell::new(None) };
+    static ACTIVE_FLAG: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when a flight record is active on this thread. One thread-local flag
+/// read: this is the disabled-path cost added to every span and note probe.
+#[inline]
+pub fn recording() -> bool {
+    ACTIVE_FLAG.with(Cell::get)
+}
+
+/// Appends a completed span/event record to the active flight record, if any.
+/// Called by the span machinery on drop/emit; bounded per request.
+pub(crate) fn capture(record: &Record<'_>) {
+    if !recording() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(b) = a.borrow_mut().as_mut() {
+            if b.spans.len() >= MAX_SPANS_PER_RECORD {
+                b.dropped_spans += 1;
+                return;
+            }
+            b.spans.push(RecordedSpan {
+                kind: record.kind,
+                level: record.level,
+                name: record.name.to_string(),
+                parent: record.parent.map(str::to_string),
+                depth: record.depth,
+                dur_us: record.dur_us,
+                fields: record.fields.to_vec(),
+            });
+        }
+    });
+}
+
+fn with_builder(f: impl FnOnce(&mut Builder)) {
+    ACTIVE.with(|a| {
+        if let Some(b) = a.borrow_mut().as_mut() {
+            f(b);
+        }
+    });
+}
+
+/// Attaches (or accumulates into) an unsigned scalar on the active record.
+///
+/// Repeated notes under the same key **add** (saturating), so per-call
+/// iteration counts from kernels invoked several times per request sum to a
+/// per-request total. No-op when no record is active on this thread.
+pub fn note_u64(key: &'static str, v: u64) {
+    if !recording() {
+        return;
+    }
+    with_builder(|b| {
+        for (k, existing) in b.numerics.iter_mut() {
+            if *k == key {
+                if let FieldValue::U64(cur) = existing {
+                    *existing = FieldValue::U64(cur.saturating_add(v));
+                } else {
+                    *existing = FieldValue::U64(v);
+                }
+                return;
+            }
+        }
+        b.numerics.push((key, FieldValue::U64(v)));
+    });
+}
+
+/// Attaches a float scalar on the active record; repeated notes under the
+/// same key **overwrite** (last wins — the final residual is the one that
+/// matters). No-op when no record is active on this thread.
+pub fn note_f64(key: &'static str, v: f64) {
+    if !recording() {
+        return;
+    }
+    with_builder(|b| {
+        for (k, existing) in b.numerics.iter_mut() {
+            if *k == key {
+                *existing = FieldValue::F64(v);
+                return;
+            }
+        }
+        b.numerics.push((key, FieldValue::F64(v)));
+    });
+}
+
+/// RAII handle for an in-progress recording; see [`FlightRecorder::begin`].
+///
+/// Call [`finish`](RecordingGuard::finish) with the request outcome to commit
+/// the record. Dropping the guard without finishing abandons the recording
+/// (nothing is retained) but always clears the thread-local state.
+pub struct RecordingGuard<'a> {
+    rec: Option<&'a FlightRecorder>,
+}
+
+impl RecordingGuard<'_> {
+    /// True when this guard actually records (the recorder is enabled).
+    pub fn active(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Commits the record with its outcome, pinning interesting requests
+    /// (slow / error / panic / deadline) into the survivor ring.
+    pub fn finish(mut self, outcome: Outcome) {
+        let Some(recorder) = self.rec.take() else {
+            return;
+        };
+        ACTIVE_FLAG.with(|f| f.set(false));
+        let builder = ACTIVE.with(|a| a.borrow_mut().take());
+        let Some(b) = builder else { return };
+        let error = outcome.status >= 400;
+        let deadline_exceeded = outcome.status == 504;
+        let survivor = error || outcome.slow || outcome.panicked;
+        recorder.insert(RequestRecord {
+            seq: recorder.seq.fetch_add(1, Ordering::Relaxed),
+            request_id: b.request_id,
+            trace_id: b.trace_id,
+            span_id: b.span_id,
+            parent_span_id: b.parent_span_id,
+            method: b.method,
+            path: b.path,
+            status: outcome.status,
+            started_unix_us: b.started_unix_us,
+            latency_us: outcome.latency_us,
+            phases: outcome.phases,
+            slow: outcome.slow,
+            panicked: outcome.panicked,
+            deadline_exceeded,
+            error,
+            survivor,
+            spans: b.spans,
+            dropped_spans: b.dropped_spans,
+            numerics: b.numerics,
+        });
+    }
+}
+
+impl Drop for RecordingGuard<'_> {
+    fn drop(&mut self) {
+        if self.rec.take().is_some() {
+            ACTIVE_FLAG.with(|f| f.set(false));
+            ACTIVE.with(|a| a.borrow_mut().take());
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    ring: VecDeque<Arc<RequestRecord>>,
+    survivors: VecDeque<Arc<RequestRecord>>,
+}
+
+/// The fixed-capacity request store: a main ring of the last N completed
+/// requests plus a survivor ring of pinned interesting ones, sharded by
+/// request id (lock-per-shard, like the metrics registry).
+pub struct FlightRecorder {
+    shards: [Mutex<Shard>; SHARDS],
+    per_shard: usize,
+    survivors_per_shard: usize,
+    capacity: usize,
+    survivor_capacity: usize,
+    seq: AtomicU64,
+    recorded: AtomicU64,
+    pinned: AtomicU64,
+}
+
+fn shard_of(id: &str) -> usize {
+    // FNV-1a, as in the metrics registry.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining about `capacity` recent requests plus
+    /// about `survivor_capacity` pinned interesting ones. `capacity == 0`
+    /// disables recording entirely: [`begin`](FlightRecorder::begin) hands
+    /// out inert guards and no per-request cost is paid beyond one branch.
+    pub fn new(capacity: usize, survivor_capacity: usize) -> Self {
+        FlightRecorder {
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            per_shard: capacity.div_ceil(SHARDS),
+            survivors_per_shard: survivor_capacity.div_ceil(SHARDS),
+            capacity,
+            survivor_capacity,
+            seq: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            pinned: AtomicU64::new(0),
+        }
+    }
+
+    /// True when recording is enabled (`capacity > 0`).
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Total requests ever committed to the recorder.
+    pub fn recorded_total(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Total requests ever pinned into the survivor ring.
+    pub fn survivors_pinned_total(&self) -> u64 {
+        self.pinned.load(Ordering::Relaxed)
+    }
+
+    /// Configured main-ring capacity (as requested, before shard rounding).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Configured survivor-ring capacity.
+    pub fn survivor_capacity(&self) -> usize {
+        self.survivor_capacity
+    }
+
+    /// Starts recording the current thread's request. Spans, events, and
+    /// `note_*` calls on this thread attach to the record until the returned
+    /// guard is [finished](RecordingGuard::finish) or dropped.
+    pub fn begin(
+        &self,
+        request_id: &str,
+        method: &str,
+        path: &str,
+        trace: &TraceContext,
+    ) -> RecordingGuard<'_> {
+        if !self.enabled() {
+            return RecordingGuard { rec: None };
+        }
+        let started_unix_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let builder = Box::new(Builder {
+            request_id: request_id.to_string(),
+            trace_id: trace.trace_id.clone(),
+            span_id: trace.span_id.clone(),
+            parent_span_id: trace.parent_span_id.clone(),
+            method: method.to_string(),
+            path: path.to_string(),
+            started_unix_us,
+            spans: Vec::new(),
+            dropped_spans: 0,
+            numerics: Vec::new(),
+        });
+        ACTIVE.with(|a| *a.borrow_mut() = Some(builder));
+        ACTIVE_FLAG.with(|f| f.set(true));
+        RecordingGuard { rec: Some(self) }
+    }
+
+    fn insert(&self, record: RequestRecord) {
+        let survivor = record.survivor;
+        let shard = shard_of(&record.request_id);
+        let record = Arc::new(record);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut s = crate::sync::lock_recover(&self.shards[shard]);
+        s.ring.push_back(Arc::clone(&record));
+        while s.ring.len() > self.per_shard.max(1) {
+            s.ring.pop_front();
+        }
+        if survivor && self.survivors_per_shard > 0 {
+            self.pinned.fetch_add(1, Ordering::Relaxed);
+            s.survivors.push_back(record);
+            while s.survivors.len() > self.survivors_per_shard {
+                s.survivors.pop_front();
+            }
+        }
+    }
+
+    /// Finds a record by request id (survivor ring searched too, so pinned
+    /// records stay retrievable after the main ring evicted them).
+    pub fn lookup(&self, request_id: &str) -> Option<Arc<RequestRecord>> {
+        let s = crate::sync::lock_recover(&self.shards[shard_of(request_id)]);
+        s.ring
+            .iter()
+            .rev()
+            .chain(s.survivors.iter().rev())
+            .find(|r| r.request_id == request_id)
+            .cloned()
+    }
+
+    /// All retained records (main + survivor rings, deduplicated), newest
+    /// first.
+    pub fn snapshot(&self) -> Vec<Arc<RequestRecord>> {
+        let mut all: Vec<Arc<RequestRecord>> = Vec::new();
+        for shard in &self.shards {
+            let s = crate::sync::lock_recover(shard);
+            all.extend(s.ring.iter().cloned());
+            all.extend(s.survivors.iter().cloned());
+        }
+        all.sort_by_key(|r| std::cmp::Reverse(r.seq));
+        all.dedup_by(|a, b| a.seq == b.seq);
+        all
+    }
+
+    /// The `/debug/requests` document: recorder configuration, lifetime
+    /// counters, and a newest-first summary of every retained record.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"capacity\":");
+        out.push_str(&self.capacity.to_string());
+        out.push_str(",\"survivor_capacity\":");
+        out.push_str(&self.survivor_capacity.to_string());
+        out.push_str(",\"recorded_total\":");
+        out.push_str(&self.recorded_total().to_string());
+        out.push_str(",\"survivors_pinned_total\":");
+        out.push_str(&self.survivors_pinned_total().to_string());
+        out.push_str(",\"requests\":[");
+        for (i, r) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            r.summary_json_into(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl RequestRecord {
+    fn flags_json_into(&self, out: &mut String) {
+        out.push_str(",\"status\":");
+        out.push_str(&self.status.to_string());
+        out.push_str(",\"latency_us\":");
+        out.push_str(&self.latency_us.to_string());
+        out.push_str(",\"slow\":");
+        out.push_str(if self.slow { "true" } else { "false" });
+        out.push_str(",\"error\":");
+        out.push_str(if self.error { "true" } else { "false" });
+        out.push_str(",\"panicked\":");
+        out.push_str(if self.panicked { "true" } else { "false" });
+        out.push_str(",\"deadline_exceeded\":");
+        out.push_str(if self.deadline_exceeded {
+            "true"
+        } else {
+            "false"
+        });
+        out.push_str(",\"survivor\":");
+        out.push_str(if self.survivor { "true" } else { "false" });
+    }
+
+    fn head_json_into(&self, out: &mut String) {
+        out.push_str("{\"request_id\":");
+        json::escape_into(out, &self.request_id);
+        out.push_str(",\"trace_id\":");
+        json::escape_into(out, &self.trace_id);
+        out.push_str(",\"span_id\":");
+        json::escape_into(out, &self.span_id);
+        if let Some(parent) = &self.parent_span_id {
+            out.push_str(",\"parent_span_id\":");
+            json::escape_into(out, parent);
+        }
+        out.push_str(",\"method\":");
+        json::escape_into(out, &self.method);
+        out.push_str(",\"path\":");
+        json::escape_into(out, &self.path);
+        out.push_str(",\"started_unix_us\":");
+        out.push_str(&self.started_unix_us.to_string());
+        self.flags_json_into(out);
+    }
+
+    /// One-line summary object (used by the `/debug/requests` listing).
+    pub fn summary_json_into(&self, out: &mut String) {
+        self.head_json_into(out);
+        out.push_str(",\"spans\":");
+        out.push_str(&self.spans.len().to_string());
+        out.push('}');
+    }
+
+    /// The full record: identity, flags, phase timings, numeric telemetry,
+    /// and the complete captured span tree.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        self.head_json_into(&mut out);
+        out.push_str(",\"phases_us\":{\"queue\":");
+        out.push_str(&self.phases.queue_us.to_string());
+        out.push_str(",\"parse\":");
+        out.push_str(&self.phases.parse_us.to_string());
+        out.push_str(",\"compute\":");
+        out.push_str(&self.phases.compute_us.to_string());
+        out.push_str(",\"serialize\":");
+        out.push_str(&self.phases.serialize_us.to_string());
+        out.push_str("},\"numerics\":{");
+        for (i, (k, v)) in self.numerics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(&mut out, k);
+            out.push(':');
+            v.render_json(&mut out);
+        }
+        out.push_str("},\"dropped_spans\":");
+        out.push_str(&self.dropped_spans.to_string());
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"kind\":");
+            out.push_str(match s.kind {
+                RecordKind::Span => "\"span\"",
+                RecordKind::Event => "\"event\"",
+            });
+            out.push_str(",\"level\":\"");
+            out.push_str(s.level.as_str());
+            out.push_str("\",\"name\":");
+            json::escape_into(&mut out, &s.name);
+            if let Some(parent) = &s.parent {
+                out.push_str(",\"parent\":");
+                json::escape_into(&mut out, parent);
+            }
+            out.push_str(",\"depth\":");
+            out.push_str(&s.depth.to_string());
+            if let Some(dur) = s.dur_us {
+                out.push_str(",\"dur_us\":");
+                out.push_str(&dur.to_string());
+            }
+            out.push_str(",\"fields\":{");
+            for (j, (k, v)) in s.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json::escape_into(&mut out, k);
+                out.push(':');
+                v.render_json(&mut out);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}

@@ -85,7 +85,7 @@ pub enum FieldValue {
 }
 
 impl FieldValue {
-    fn render_json(&self, out: &mut String) {
+    pub(crate) fn render_json(&self, out: &mut String) {
         match self {
             FieldValue::U64(v) => out.push_str(&v.to_string()),
             FieldValue::I64(v) => out.push_str(&v.to_string()),

@@ -5,14 +5,20 @@
 //! clock. Each thread keeps its own stack of open span names, so parent and
 //! depth are tracked without any cross-thread synchronization.
 //!
-//! When no sink is installed, [`span`] returns a disarmed guard without
-//! touching the thread-local stack or reading the clock: the total cost is
-//! one relaxed atomic load, which is what keeps always-on instrumentation in
-//! the numeric hot paths affordable (see DESIGN.md §8 for the budget).
+//! When no sink is installed and no flight record is active on the thread,
+//! [`span`] returns a disarmed guard without touching the thread-local stack
+//! or reading the clock: the total cost is one relaxed atomic load plus one
+//! thread-local flag read, which is what keeps always-on instrumentation in
+//! the numeric hot paths affordable (see DESIGN.md §8 and §11 for budgets).
+//!
+//! Armed spans fan out twice on drop: to the installed sinks (if any) and to
+//! the current thread's active flight record (if any) — so the recorder
+//! captures full span trees even in processes that log nothing.
 
 use std::cell::RefCell;
 use std::time::Instant;
 
+use crate::recorder;
 use crate::sink::{self, Level, Record, RecordKind};
 
 pub use crate::sink::FieldValue;
@@ -33,10 +39,10 @@ pub struct SpanGuard {
 
 /// Opens a span named `name` on the current thread.
 ///
-/// If no sink is installed (the common case), this is a no-op guard: no
-/// allocation, no clock read, no thread-local access.
+/// If no sink is installed and no flight record is active (the common case),
+/// this is a no-op guard: no allocation, no clock read, no span-stack access.
 pub fn span(name: &'static str) -> SpanGuard {
-    if !sink::enabled(Level::Info) {
+    if !sink::enabled(Level::Info) && !recorder::recording() {
         return SpanGuard {
             name,
             start: None,
@@ -100,8 +106,9 @@ impl SpanGuard {
         }
     }
 
-    /// True if this span will emit on drop (a sink was installed when it
-    /// opened). Lets callers skip expensive field computation.
+    /// True if this span will emit on drop (a sink was installed or a flight
+    /// record was active when it opened). Lets callers skip expensive field
+    /// computation.
     pub fn armed(&self) -> bool {
         self.armed
     }
@@ -116,7 +123,7 @@ impl Drop for SpanGuard {
             s.borrow_mut().pop();
         });
         let dur_us = self.start.map(|t| t.elapsed().as_micros() as u64);
-        sink::emit(&Record {
+        let record = Record {
             kind: RecordKind::Span,
             level: Level::Info,
             name: self.name,
@@ -124,7 +131,9 @@ impl Drop for SpanGuard {
             depth: self.depth,
             dur_us,
             fields: &self.fields,
-        });
+        };
+        recorder::capture(&record);
+        sink::emit(&record);
     }
 }
 
@@ -133,14 +142,14 @@ impl Drop for SpanGuard {
 /// Events inherit the current thread's span context (depth and parent), so a
 /// slow-request warning emitted inside `serve.request` is attributed to it.
 pub fn event(level: Level, name: &'static str, fields: &[(&'static str, FieldValue)]) {
-    if !sink::enabled(level) {
+    if !sink::enabled(level) && !recorder::recording() {
         return;
     }
     let (depth, parent) = STACK.with(|s| {
         let s = s.borrow();
         (s.len(), s.last().copied())
     });
-    sink::emit(&Record {
+    let record = Record {
         kind: RecordKind::Event,
         level,
         name,
@@ -148,5 +157,7 @@ pub fn event(level: Level, name: &'static str, fields: &[(&'static str, FieldVal
         depth,
         dur_us: None,
         fields,
-    });
+    };
+    recorder::capture(&record);
+    sink::emit(&record);
 }

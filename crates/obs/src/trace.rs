@@ -1,0 +1,203 @@
+//! W3C Trace Context (`traceparent`) parsing and generation, std-only.
+//!
+//! The daemon participates in distributed traces without any tracing SDK: a
+//! valid incoming `traceparent` header keeps the caller's trace id and
+//! records the caller's span id as the parent; the server then generates a
+//! fresh span id for itself and echoes the resulting header on the response.
+//! Requests without (or with a malformed) header start a new trace.
+//!
+//! Header format (version 00):
+//! `traceparent: 00-{32 hex trace-id}-{16 hex span-id}-{2 hex flags}`
+//!
+//! Id generation needs no `rand` crate: a SplitMix64 mix over a process seed
+//! (wall clock ⊕ pid) and a global counter yields unique, well-distributed
+//! ids — these are correlation handles, not security tokens.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A resolved trace context for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 32 lowercase hex chars identifying the whole trace.
+    pub trace_id: String,
+    /// 16 lowercase hex chars: the server's own span within the trace.
+    pub span_id: String,
+    /// The caller's span id (16 hex chars) when a valid header arrived.
+    pub parent_span_id: Option<String>,
+    /// Trace flags byte (bit 0 = sampled); preserved from the caller,
+    /// `0x01` for server-started traces.
+    pub flags: u8,
+    /// True when the server started this trace (no valid incoming header).
+    pub generated: bool,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn rand64() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5bd1_e995_9e37_79b9);
+        splitmix64(nanos ^ (u64::from(std::process::id()) << 32))
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    // 0 is invalid for both trace and span ids per the W3C spec.
+    splitmix64(seed ^ splitmix64(n)).max(1)
+}
+
+fn is_lower_hex(s: &str) -> bool {
+    s.bytes()
+        .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+fn all_zero(s: &str) -> bool {
+    s.bytes().all(|b| b == b'0')
+}
+
+impl TraceContext {
+    /// Starts a new trace: fresh trace id, fresh span id, no parent,
+    /// sampled flag set.
+    pub fn generate() -> TraceContext {
+        TraceContext {
+            trace_id: format!("{:016x}{:016x}", rand64(), rand64()),
+            span_id: format!("{:016x}", rand64()),
+            parent_span_id: None,
+            flags: 0x01,
+            generated: true,
+        }
+    }
+
+    /// Parses an incoming `traceparent` header. On success the caller's
+    /// trace id and flags are kept, the caller's span id becomes
+    /// `parent_span_id`, and a fresh server span id is generated.
+    ///
+    /// Validation follows W3C Trace Context level 1: version `00` shape
+    /// (four `-`-separated lowercase-hex segments of lengths 2/32/16/2),
+    /// version `ff` rejected, all-zero trace or span ids rejected. Unknown
+    /// forward-compatible versions are accepted if their first four segments
+    /// parse.
+    pub fn parse(header: &str) -> Result<TraceContext, String> {
+        let header = header.trim();
+        let mut parts = header.splitn(4, '-');
+        let (version, trace_id, parent_id, rest) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(v), Some(t), Some(p), Some(r)) => (v, t, p, r),
+                _ => {
+                    return Err(format!(
+                        "traceparent {header:?}: expected 4 '-'-separated fields"
+                    ))
+                }
+            };
+        // Future versions may append `-extra` after the flags; take the
+        // leading 2 hex chars of the remainder as flags.
+        let flags = match rest.split('-').next() {
+            Some(f) => f,
+            None => return Err(format!("traceparent {header:?}: missing flags")),
+        };
+        if version.len() != 2 || !is_lower_hex(version) {
+            return Err(format!("traceparent {header:?}: bad version {version:?}"));
+        }
+        if version == "ff" {
+            return Err(format!("traceparent {header:?}: version ff is forbidden"));
+        }
+        if trace_id.len() != 32 || !is_lower_hex(trace_id) || all_zero(trace_id) {
+            return Err(format!("traceparent {header:?}: bad trace-id"));
+        }
+        if parent_id.len() != 16 || !is_lower_hex(parent_id) || all_zero(parent_id) {
+            return Err(format!("traceparent {header:?}: bad parent-id"));
+        }
+        if flags.len() != 2 || !is_lower_hex(flags) {
+            return Err(format!("traceparent {header:?}: bad flags"));
+        }
+        let flags = u8::from_str_radix(flags, 16).map_err(|e| e.to_string())?;
+        Ok(TraceContext {
+            trace_id: trace_id.to_string(),
+            span_id: format!("{:016x}", rand64()),
+            parent_span_id: Some(parent_id.to_string()),
+            flags,
+            generated: false,
+        })
+    }
+
+    /// Renders the outgoing `traceparent` header value for this context
+    /// (always version 00, carrying the server's own span id).
+    pub fn header_value(&self) -> String {
+        format!("00-{}-{}-{:02x}", self.trace_id, self.span_id, self.flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_well_formed_unique_contexts() {
+        let a = TraceContext::generate();
+        let b = TraceContext::generate();
+        assert_eq!(a.trace_id.len(), 32);
+        assert_eq!(a.span_id.len(), 16);
+        assert!(is_lower_hex(&a.trace_id) && is_lower_hex(&a.span_id));
+        assert!(a.generated && a.parent_span_id.is_none());
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_ne!(a.span_id, b.span_id);
+        let h = a.header_value();
+        assert_eq!(h.len(), 55);
+        assert!(h.starts_with("00-"));
+        assert!(h.ends_with("-01"));
+        // The echoed header must itself round-trip through the parser.
+        let parsed = TraceContext::parse(&h).unwrap();
+        assert_eq!(parsed.trace_id, a.trace_id);
+        assert_eq!(parsed.parent_span_id.as_deref(), Some(a.span_id.as_str()));
+    }
+
+    #[test]
+    fn parses_valid_headers() {
+        let t =
+            TraceContext::parse("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01").unwrap();
+        assert_eq!(t.trace_id, "0af7651916cd43dd8448eb211c80319c");
+        assert_eq!(t.parent_span_id.as_deref(), Some("b7ad6b7169203331"));
+        assert_eq!(t.flags, 0x01);
+        assert!(!t.generated);
+        // The server's span id is fresh, not the caller's.
+        assert_ne!(t.span_id, "b7ad6b7169203331");
+        assert_eq!(t.span_id.len(), 16);
+        // Unsampled flag preserved; surrounding whitespace tolerated.
+        let t = TraceContext::parse(" 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00 ")
+            .unwrap();
+        assert_eq!(t.flags, 0x00);
+        // Forward-compat: a future version with extra tail data parses.
+        let t =
+            TraceContext::parse("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra")
+                .unwrap();
+        assert_eq!(t.flags, 0x01);
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        for bad in [
+            "",
+            "garbage",
+            "00-short-b7ad6b7169203331-01",
+            "00-0af7651916cd43dd8448eb211c80319c-short-01",
+            "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+            "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+            "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+            "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz",
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",
+            "0-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+        ] {
+            assert!(TraceContext::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

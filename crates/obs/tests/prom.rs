@@ -1,0 +1,162 @@
+//! Golden tests for the Prometheus text-exposition renderer: exact line
+//! shapes, label escaping, `le` monotonicity, and agreement between the
+//! Prometheus document and the JSON export over the same registry snapshot.
+//!
+//! The metrics registry is process-global and cumulative, so every metric
+//! here uses a `promtest_`-prefixed name no other test touches.
+
+use hc_obs::metrics::{self, BUCKETS};
+use hc_obs::prom::{self, PromWriter};
+
+#[test]
+fn golden_registry_rendering() {
+    metrics::counter("promtest_requests_total").add(7);
+    metrics::gauge("promtest_in_flight").set(-2);
+    let h = metrics::histogram("promtest_latency_us");
+    h.observe(0); // bucket 0: le="1"
+    h.observe(3); // bucket 2: le="4"
+    h.observe(900); // bucket 10: le="1024"
+
+    let text = prom::render_registry();
+
+    // Exact golden lines: TYPE before samples, cumulative buckets, sum/count.
+    for line in [
+        "# TYPE promtest_requests_total counter",
+        "promtest_requests_total 7",
+        "# TYPE promtest_in_flight gauge",
+        "promtest_in_flight -2",
+        "# TYPE promtest_latency_us histogram",
+        "promtest_latency_us_bucket{le=\"1\"} 1",
+        "promtest_latency_us_bucket{le=\"4\"} 2",
+        "promtest_latency_us_bucket{le=\"1024\"} 3",
+        "promtest_latency_us_bucket{le=\"+Inf\"} 3",
+        "promtest_latency_us_sum 903",
+        "promtest_latency_us_count 3",
+    ] {
+        assert!(
+            text.lines().any(|l| l == line),
+            "missing golden line {line:?} in:\n{text}"
+        );
+    }
+
+    // A TYPE line appears exactly once per name, before every sample of it.
+    let type_pos = text.find("# TYPE promtest_latency_us histogram").unwrap();
+    let first_sample = text.find("promtest_latency_us_bucket").unwrap();
+    assert!(type_pos < first_sample);
+    assert_eq!(
+        text.matches("# TYPE promtest_latency_us histogram").count(),
+        1
+    );
+}
+
+#[test]
+fn bucket_les_increase_and_counts_are_monotone() {
+    let h = metrics::histogram("promtest_monotone_us");
+    for v in [0, 1, 5, 5, 300, 70_000, u64::MAX] {
+        h.observe(v);
+    }
+    let text = prom::render_registry();
+    let mut last_le = 0u64;
+    let mut last_cum = 0u64;
+    let mut lines = 0;
+    for line in text
+        .lines()
+        .filter(|l| l.starts_with("promtest_monotone_us_bucket{"))
+    {
+        let le = line
+            .split("le=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap();
+        let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(cum >= last_cum, "cumulative count decreased: {line}");
+        last_cum = cum;
+        if le != "+Inf" {
+            let le: u64 = le.parse().unwrap();
+            assert!(le > last_le, "le not strictly increasing: {line}");
+            last_le = le;
+        }
+        lines += 1;
+    }
+    assert_eq!(lines, BUCKETS, "every bucket must be emitted:\n{text}");
+    assert_eq!(last_cum, 7, "+Inf bucket must equal the observation count");
+}
+
+#[test]
+fn prometheus_and_json_exports_agree() {
+    let h = metrics::histogram("promtest_agree_us");
+    for v in [2, 9, 1_000_000] {
+        h.observe(v);
+    }
+    metrics::counter("promtest_agree_total").add(11);
+
+    let text = prom::render_registry();
+    let json = metrics::export_json();
+
+    // Counter value matches.
+    assert!(
+        text.lines().any(|l| l == "promtest_agree_total 11"),
+        "{text}"
+    );
+    assert!(json.contains("\"promtest_agree_total\":11"), "{json}");
+
+    // Histogram count and sum match between the two documents.
+    assert!(
+        text.lines().any(|l| l == "promtest_agree_us_count 3"),
+        "{text}"
+    );
+    assert!(
+        text.lines().any(|l| l == "promtest_agree_us_sum 1000011"),
+        "{text}"
+    );
+    assert!(
+        json.contains("\"promtest_agree_us\":{\"count\":3,\"sum\":1000011"),
+        "{json}"
+    );
+
+    // Per-bucket: the JSON `le_N` keys and the cumulative prometheus buckets
+    // describe the same distribution. v=2 → le_4, v=9 → le_16, 1e6 → le_2^20.
+    assert!(json.contains("\"le_4\":1"), "{json}");
+    assert!(json.contains("\"le_16\":1"), "{json}");
+    assert!(json.contains("\"le_1048576\":1"), "{json}");
+    assert!(
+        text.lines()
+            .any(|l| l == "promtest_agree_us_bucket{le=\"4\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.lines()
+            .any(|l| l == "promtest_agree_us_bucket{le=\"16\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.lines()
+            .any(|l| l == "promtest_agree_us_bucket{le=\"1048576\"} 3"),
+        "{text}"
+    );
+}
+
+#[test]
+fn labels_escape_and_names_sanitize() {
+    let mut w = PromWriter::new();
+    w.type_line("promtest_escaped_total", "counter");
+    w.sample(
+        "promtest_escaped_total",
+        &[("path", "/a\"b\\c\nd"), ("endpoint", "measure")],
+        "1",
+    );
+    let text = w.finish();
+    assert!(
+        text.contains("promtest_escaped_total{path=\"/a\\\"b\\\\c\\nd\",endpoint=\"measure\"} 1"),
+        "{text}"
+    );
+    assert!(
+        !text.contains('\u{a}') || text.lines().count() == 2,
+        "{text}"
+    );
+
+    assert_eq!(prom::sanitize_name("serve.latency-us"), "serve_latency_us");
+    assert_eq!(prom::sanitize_name("0bad"), "_bad");
+}

@@ -378,6 +378,8 @@ mod tests {
             body: body.as_bytes().to_vec(),
             request_id: None,
             timeout_ms: None,
+            traceparent: None,
+            malformed_headers: Vec::new(),
         }
     }
 

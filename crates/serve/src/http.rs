@@ -31,8 +31,17 @@ pub struct Request {
     pub request_id: Option<String>,
     /// Client-supplied `X-Timeout-Ms` header, if any: a per-request deadline
     /// in milliseconds, clamped by the server's `--request-timeout-ms` before
-    /// use. Malformed values are ignored rather than rejected.
+    /// use. Malformed values fall back to `None` and are noted in
+    /// [`Request::malformed_headers`].
     pub timeout_ms: Option<u64>,
+    /// Raw client-supplied W3C `traceparent` header, if any (sanitized and
+    /// bounded like `X-Request-Id`); validated by the connection handler.
+    pub traceparent: Option<String>,
+    /// Headers that were present but unusable (`(header name, raw value)`),
+    /// collected during parsing so the connection handler can emit one
+    /// structured warn event per entry once the request id is known —
+    /// malformed optional headers degrade loudly, not silently.
+    pub malformed_headers: Vec<(&'static str, String)>,
 }
 
 impl Request {
@@ -147,6 +156,16 @@ impl Response {
         Self {
             status: 200,
             content_type: "text/csv",
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A `200 OK` Prometheus text-exposition response (format 0.0.4).
+    pub fn prometheus(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
             body: body.into(),
             headers: Vec::new(),
         }
@@ -354,9 +373,22 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
         return Err(HttpError::bad("unsupported HTTP version"));
     }
 
+    // Bound and sanitize a header value that will be echoed into response
+    // headers and logs: strip anything a peer could use to inject header
+    // lines or control characters.
+    let sanitize = |value: &str| -> String {
+        value
+            .trim()
+            .chars()
+            .filter(|c| c.is_ascii_graphic())
+            .take(128)
+            .collect()
+    };
     let mut content_length: usize = 0;
     let mut request_id: Option<String> = None;
     let mut timeout_ms: Option<u64> = None;
+    let mut traceparent: Option<String> = None;
+    let mut malformed_headers: Vec<(&'static str, String)> = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
@@ -366,20 +398,19 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
                     .parse()
                     .map_err(|_| HttpError::bad("bad Content-Length"))?;
             } else if name.eq_ignore_ascii_case("x-request-id") {
-                // Bound and sanitize: the value is echoed into a response
-                // header and into logs, so strip anything a peer could use to
-                // inject header lines or control characters.
-                let id: String = value
-                    .trim()
-                    .chars()
-                    .filter(|c| c.is_ascii_graphic())
-                    .take(128)
-                    .collect();
+                let id = sanitize(value);
                 if !id.is_empty() {
                     request_id = Some(id);
                 }
             } else if name.eq_ignore_ascii_case("x-timeout-ms") {
-                timeout_ms = value.trim().parse().ok();
+                match value.trim().parse() {
+                    Ok(ms) => timeout_ms = Some(ms),
+                    // Fall back to no header-supplied deadline, but note the
+                    // malformed value for a structured warning.
+                    Err(_) => malformed_headers.push(("X-Timeout-Ms", sanitize(value))),
+                }
+            } else if name.eq_ignore_ascii_case("traceparent") {
+                traceparent = Some(sanitize(value));
             }
         }
     }
@@ -418,6 +449,8 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
         body,
         request_id,
         timeout_ms,
+        traceparent,
+        malformed_headers,
     })
 }
 
@@ -506,11 +539,36 @@ mod tests {
     fn parses_timeout_header() {
         let r = parse(b"GET /metrics HTTP/1.1\r\nX-Timeout-Ms: 250\r\n\r\n").unwrap();
         assert_eq!(r.timeout_ms, Some(250));
-        // Malformed values are ignored, not rejected.
+        assert!(r.malformed_headers.is_empty());
+        // Malformed values fall back to None — but are noted for a warning,
+        // not silently swallowed.
         let r = parse(b"GET /metrics HTTP/1.1\r\nX-Timeout-Ms: soon\r\n\r\n").unwrap();
         assert_eq!(r.timeout_ms, None);
+        assert_eq!(
+            r.malformed_headers,
+            vec![("X-Timeout-Ms", "soon".to_string())]
+        );
         let r = parse(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         assert_eq!(r.timeout_ms, None);
+        assert!(r.malformed_headers.is_empty());
+    }
+
+    #[test]
+    fn parses_traceparent_header() {
+        let r = parse(
+            b"GET / HTTP/1.1\r\ntraceparent: 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(
+            r.traceparent.as_deref(),
+            Some("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+        );
+        // Validation happens in the connection handler; parsing only
+        // sanitizes and bounds the raw value.
+        let r = parse(b"GET / HTTP/1.1\r\nTraceparent: junk\x01here\r\n\r\n").unwrap();
+        assert_eq!(r.traceparent.as_deref(), Some("junkhere"));
+        let r = parse(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert!(r.traceparent.is_none());
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! | `/generate`          | POST | —               | synthesized CSV |
 //! | `/schedule`          | POST | CSV ETC matrix  | heuristic makespans JSON |
 //! | `/batch`             | POST | CSVs split by `---` | per-matrix measure JSON |
-//! | `/metrics`           | GET  | —               | counters + histograms |
+//! | `/metrics`           | GET  | —               | counters + histograms (JSON; `?format=prometheus` for text exposition) |
 //! | `/healthz`           | GET  | —               | liveness |
+//! | `/debug/requests`    | GET  | —               | flight-recorder summary (recent + survivor requests) |
+//! | `/debug/requests/{id}` | GET | —              | full span tree + telemetry for one recorded request |
 //! | `/sleepz?ms=`        | GET  | —               | debug: hold a worker |
 //! | `/quitquitquit`      | GET  | —               | graceful drain |
 //!
@@ -43,6 +45,16 @@
 //! (`--request-timeout-ms`, `X-Timeout-Ms`) threaded as an
 //! [`hc_linalg::Budget`] into the iterative kernels; expiry maps to `504` with
 //! iteration-progress diagnostics.
+//!
+//! Observability (DESIGN.md §11): every request is recorded into the
+//! [`hc_obs::recorder`] flight recorder — span tree, phase timings
+//! (`Server-Timing` response header), and kernel telemetry (Sinkhorn
+//! iterations, SVD sweeps) — retrievable after the fact from
+//! `/debug/requests/{id}`. Slow, errored, and panicked requests are pinned
+//! into a survivor ring so a flood of healthy traffic cannot evict the one
+//! request worth debugging. W3C `traceparent` is parsed (or generated) and
+//! echoed alongside `X-Request-Id`, and `/metrics?format=prometheus` renders
+//! the same counters and histograms in Prometheus text exposition format.
 
 /// Poison-recovering lock helpers shared across the workspace
 /// (re-export of [`hc_obs::sync`]).

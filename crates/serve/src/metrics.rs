@@ -164,18 +164,30 @@ impl Registry {
             .cloned()
     }
 
+    /// Point-in-time copy of every endpoint's stats, sorted by name. Feeds
+    /// the Prometheus renderer, which needs all series of one metric name
+    /// (e.g. `hc_serve_requests_total{endpoint=...}`) emitted together.
+    pub fn endpoints_snapshot(&self) -> Vec<(&'static str, EndpointStats)> {
+        hc_obs::sync::lock_recover(&self.endpoints)
+            .iter()
+            .map(|(name, stats)| (*name, stats.clone()))
+            .collect()
+    }
+
     /// Renders the registry (plus externally-owned pool and cache gauges) as
     /// the `/metrics` JSON document.
     ///
     /// `in_flight` is the number of accepted requests not yet answered,
-    /// `faults` is the panic/deadline counter object, and `library` is the
-    /// merged [`hc_obs`] registry export ([`hc_obs::metrics::export_json`]) so
-    /// one scrape covers both server and library counters.
+    /// `faults` is the panic/deadline counter object, `recorder` is the
+    /// flight-recorder stats object, and `library` is the merged [`hc_obs`]
+    /// registry export ([`hc_obs::metrics::export_json`]) so one scrape
+    /// covers both server and library counters.
     pub fn to_json(
         &self,
         pool: &str,
         cache: &str,
         faults: &str,
+        recorder: &str,
         in_flight: i64,
         library: &str,
     ) -> String {
@@ -195,9 +207,153 @@ impl Registry {
             .raw("pool", pool)
             .raw("cache", cache)
             .raw("faults", faults)
+            .raw("recorder", recorder)
             .raw("library", library)
             .finish()
     }
+}
+
+/// Renders the whole `/metrics?format=prometheus` document: per-endpoint
+/// counters and latency/service histograms (as cumulative `_bucket{le=...}`
+/// series), pool/cache/fault/recorder gauges and counters, and the merged
+/// `hc_obs` library registry — one scrape covers everything a stock
+/// Prometheus server needs.
+pub fn prometheus_document(state: &crate::server::ServerState) -> String {
+    use hc_obs::prom::PromWriter;
+
+    let mut w = PromWriter::new();
+    let endpoints = state.metrics.endpoints_snapshot();
+
+    w.type_line("hc_serve_requests_total", "counter");
+    for (name, s) in &endpoints {
+        w.sample(
+            "hc_serve_requests_total",
+            &[("endpoint", name)],
+            &s.count.to_string(),
+        );
+    }
+    w.type_line("hc_serve_errors_total", "counter");
+    for (name, s) in &endpoints {
+        w.sample(
+            "hc_serve_errors_total",
+            &[("endpoint", name)],
+            &s.errors.to_string(),
+        );
+    }
+    w.type_line("hc_serve_cache_hits_total", "counter");
+    for (name, s) in &endpoints {
+        w.sample(
+            "hc_serve_cache_hits_total",
+            &[("endpoint", name)],
+            &s.cache_hits.to_string(),
+        );
+    }
+    w.type_line("hc_serve_latency_us", "histogram");
+    for (name, s) in &endpoints {
+        w.histogram_series(
+            "hc_serve_latency_us",
+            &[("endpoint", name)],
+            &s.latency_buckets,
+            s.count,
+            s.total_us,
+        );
+    }
+    w.type_line("hc_serve_service_us", "histogram");
+    for (name, s) in &endpoints {
+        w.histogram_series(
+            "hc_serve_service_us",
+            &[("endpoint", name)],
+            &s.service_buckets,
+            s.count,
+            s.service_total_us,
+        );
+    }
+
+    let gauge = |w: &mut PromWriter, name: &str, v: i64| {
+        w.type_line(name, "gauge");
+        w.sample(name, &[], &v.to_string());
+    };
+    let counter = |w: &mut PromWriter, name: &str, v: u64| {
+        w.type_line(name, "counter");
+        w.sample(name, &[], &v.to_string());
+    };
+    gauge(
+        &mut w,
+        "hc_serve_uptime_seconds",
+        state.metrics.uptime().as_secs() as i64,
+    );
+    gauge(
+        &mut w,
+        "hc_serve_requests_in_flight",
+        state.in_flight.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    gauge(
+        &mut w,
+        "hc_serve_pool_workers",
+        state.pool.worker_count() as i64,
+    );
+    gauge(&mut w, "hc_serve_pool_queued", state.pool.queued() as i64);
+    counter(
+        &mut w,
+        "hc_serve_pool_completed_total",
+        state.pool.completed_total(),
+    );
+    counter(&mut w, "hc_serve_pool_shed_total", state.pool.shed_total());
+    counter(
+        &mut w,
+        "hc_serve_pool_job_panics_total",
+        state.pool.job_panics_total(),
+    );
+    counter(
+        &mut w,
+        "hc_serve_pool_worker_respawns_total",
+        state.pool.worker_respawns_total(),
+    );
+    let cache = crate::router::cache_lock(state).stats();
+    gauge(
+        &mut w,
+        "hc_serve_result_cache_entries",
+        cache.entries as i64,
+    );
+    counter(&mut w, "hc_serve_result_cache_hits_total", cache.hits);
+    counter(&mut w, "hc_serve_result_cache_misses_total", cache.misses);
+    counter(
+        &mut w,
+        "hc_serve_result_cache_evictions_total",
+        cache.evictions,
+    );
+    counter(
+        &mut w,
+        "hc_serve_panics_total",
+        state
+            .faults
+            .panics
+            .load(std::sync::atomic::Ordering::Relaxed),
+    );
+    counter(
+        &mut w,
+        "hc_serve_deadline_exceeded_total",
+        state
+            .faults
+            .deadline_exceeded
+            .load(std::sync::atomic::Ordering::Relaxed),
+    );
+    counter(
+        &mut w,
+        "hc_serve_recorder_recorded_total",
+        state.recorder.recorded_total(),
+    );
+    counter(
+        &mut w,
+        "hc_serve_recorder_survivors_pinned_total",
+        state.recorder.survivors_pinned_total(),
+    );
+
+    // The merged hc-obs library registry (sinkhorn/SVD/core counters and
+    // iteration histograms), so kernels and daemon share one scrape.
+    let mut out = w.finish();
+    out.push_str(&hc_obs::prom::render_registry());
+    out
 }
 
 /// Build identity rendered into `/metrics` and `/healthz`: crate version plus
@@ -259,6 +415,7 @@ mod tests {
             "{\"queued\":0}",
             "{\"entries\":0}",
             "{\"panics_total\":0}",
+            "{\"recorded_total\":0}",
             2,
             "{}",
         );
@@ -289,7 +446,7 @@ mod tests {
         // Recording and rendering both recover instead of propagating.
         r.record("e", false, false, Duration::from_micros(5), Duration::ZERO);
         assert_eq!(r.snapshot("e").unwrap().count, 1);
-        let j = r.to_json("{}", "{}", "{}", 0, "{}");
+        let j = r.to_json("{}", "{}", "{}", "{}", 0, "{}");
         assert!(j.contains("\"requests_total\":1"), "{j}");
     }
 

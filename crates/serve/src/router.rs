@@ -43,12 +43,15 @@ fn effective_timeout_ms(config: &Config, req: &Request) -> Option<u64> {
 /// Locks the result cache, clearing it after poison recovery: a panic while
 /// the lock was held (e.g. the `cache.insert` failpoint) may have interrupted
 /// an insertion mid-way, and a cache is always safe to drop wholesale.
-fn cache_lock(state: &ServerState) -> MutexGuard<'_, LruCache> {
+pub(crate) fn cache_lock(state: &ServerState) -> MutexGuard<'_, LruCache> {
     hc_obs::sync::lock_recover_then(&state.cache, LruCache::clear)
 }
 
 /// Stable metric name for a request path.
 fn endpoint_name(req: &Request) -> &'static str {
+    if req.path.starts_with("/debug/requests/") {
+        return "debug_request";
+    }
     match req.path.as_str() {
         "/measure" => "measure",
         "/structure" => "structure",
@@ -57,6 +60,7 @@ fn endpoint_name(req: &Request) -> &'static str {
         "/batch" => "batch",
         "/metrics" => "metrics",
         "/healthz" => "healthz",
+        "/debug/requests" => "debug_requests",
         "/sleepz" => "sleepz",
         "/quitquitquit" => "quitquitquit",
         _ => "other",
@@ -168,6 +172,8 @@ fn batch(state: &Arc<ServerState>, req: &Request, ctx: &ReqCtx<'_>) -> Result<Re
             body: part.into_bytes(),
             request_id: None,
             timeout_ms: None,
+            traceparent: None,
+            malformed_headers: Vec::new(),
         };
         let (st, res, fin) = (
             Arc::clone(state),
@@ -246,6 +252,18 @@ fn split_batch(text: &str) -> Vec<String> {
 }
 
 fn metrics_document(state: &ServerState) -> String {
+    let recorder_json = JsonObject::new()
+        .u64("capacity", state.recorder.capacity() as u64)
+        .u64(
+            "survivor_capacity",
+            state.recorder.survivor_capacity() as u64,
+        )
+        .u64("recorded_total", state.recorder.recorded_total())
+        .u64(
+            "survivors_pinned_total",
+            state.recorder.survivors_pinned_total(),
+        )
+        .finish();
     let cache_stats = cache_lock(state).stats();
     let cache_json = JsonObject::new()
         .u64("entries", cache_stats.entries as u64)
@@ -265,6 +283,7 @@ fn metrics_document(state: &ServerState) -> String {
         &state.pool.stats_json(),
         &cache_json,
         &faults_json,
+        &recorder_json,
         state.in_flight.load(std::sync::atomic::Ordering::Relaxed),
         &hc_obs::metrics::export_json(),
     )
@@ -299,8 +318,12 @@ pub fn route(
     let name = endpoint_name(req);
     // The deadline is measured from accept, so queue wait spends budget too:
     // a request that waited out its deadline in the queue fails fast.
-    let budget = effective_timeout_ms(&state.config, req)
-        .map(|ms| Budget::with_deadline_at(accepted + Duration::from_millis(ms)));
+    let deadline_ms = effective_timeout_ms(&state.config, req);
+    if let Some(ms) = deadline_ms {
+        hc_obs::recorder::note_u64("deadline_ms", ms);
+    }
+    let budget =
+        deadline_ms.map(|ms| Budget::with_deadline_at(accepted + Duration::from_millis(ms)));
     let ctx = ReqCtx {
         budget: budget.as_ref(),
         max_cells: state.config.max_cells,
@@ -308,6 +331,10 @@ pub fn route(
     let (resp, cache_hit) = dispatch(state, name, req, &ctx);
     let service = service_start.elapsed();
     let latency = accepted.elapsed();
+    if budget.is_some() {
+        // How much of the request's deadline the handler actually spent.
+        hc_obs::recorder::note_u64("budget_consumed_us", service.as_micros() as u64);
+    }
     state
         .metrics
         .record(name, resp.status >= 400, cache_hit, latency, service);
@@ -392,7 +419,27 @@ fn dispatch(
             }
         }
         "metrics" => match require_method(req, "GET") {
-            Ok(()) => (Response::json(metrics_document(state)), false),
+            // Live-state endpoints carry `Cache-Control: no-store` so an
+            // intermediary can never serve stale metrics or health.
+            Ok(()) => match req.param("format") {
+                None | Some("json") => (
+                    Response::json(metrics_document(state))
+                        .with_header("Cache-Control", "no-store"),
+                    false,
+                ),
+                Some("prometheus") => (
+                    Response::prometheus(crate::metrics::prometheus_document(state))
+                        .with_header("Cache-Control", "no-store"),
+                    false,
+                ),
+                Some(other) => (
+                    Response::error(
+                        400,
+                        &format!("unknown format {other:?} (expected json or prometheus)"),
+                    ),
+                    false,
+                ),
+            },
             Err(resp) => (resp, false),
         },
         "healthz" => (
@@ -406,9 +453,39 @@ fn dispatch(
                         state.in_flight.load(std::sync::atomic::Ordering::Relaxed),
                     )
                     .finish(),
-            ),
+            )
+            .with_header("Cache-Control", "no-store"),
             false,
         ),
+        "debug_requests" => match require_method(req, "GET") {
+            Ok(()) => (
+                Response::json(state.recorder.summary_json())
+                    .with_header("Cache-Control", "no-store"),
+                false,
+            ),
+            Err(resp) => (resp, false),
+        },
+        "debug_request" => match require_method(req, "GET") {
+            Ok(()) => {
+                let id = req.path.trim_start_matches("/debug/requests/");
+                match state.recorder.lookup(id) {
+                    Some(record) => (
+                        Response::json(record.to_json()).with_header("Cache-Control", "no-store"),
+                        false,
+                    ),
+                    None => (
+                        HttpError::typed(
+                            404,
+                            "not_recorded",
+                            format!("request {id} is not in the flight recorder"),
+                        )
+                        .to_response(),
+                        false,
+                    ),
+                }
+            }
+            Err(resp) => (resp, false),
+        },
         "sleepz" => {
             // Debug endpoint: occupy a worker for a bounded time, making
             // load-shed behaviour deterministic in tests and drills.
@@ -465,6 +542,8 @@ mod tests {
             body: Vec::new(),
             request_id: None,
             timeout_ms: None,
+            traceparent: None,
+            malformed_headers: Vec::new(),
         };
         assert_eq!(canonical_options(&req), "ecs=1&zero-policy=limit");
     }
@@ -479,6 +558,8 @@ mod tests {
             body: Vec::new(),
             request_id: None,
             timeout_ms: ms,
+            traceparent: None,
+            malformed_headers: Vec::new(),
         };
         // Server timeout off: header honoured, but capped.
         config.request_timeout_ms = 0;

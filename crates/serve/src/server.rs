@@ -15,8 +15,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use hc_obs::recorder::{FlightRecorder, Outcome, PhaseTimings};
+use hc_obs::trace::TraceContext;
+
 use crate::cache::LruCache;
-use crate::http::{read_request, write_response, Response};
+use crate::http::{read_request, write_response, Request, Response};
 use crate::metrics::Registry;
 use crate::router;
 use crate::signal;
@@ -49,6 +52,13 @@ pub struct Config {
     /// Largest accepted matrix size in cells (tasks × machines); larger inputs
     /// are rejected with `422` before any matrix allocation.
     pub max_cells: usize,
+    /// Flight-recorder main-ring capacity: completed requests retained for
+    /// `/debug/requests` (0 disables recording entirely).
+    pub record_requests: usize,
+    /// Flight-recorder survivor-ring capacity: slow, errored, panicked, and
+    /// deadline-exceeded requests pinned separately so healthy floods cannot
+    /// evict them.
+    pub record_survivors: usize,
 }
 
 impl Default for Config {
@@ -67,6 +77,8 @@ impl Default for Config {
             slow_ms: 0,
             request_timeout_ms: 0,
             max_cells: 4_000_000,
+            record_requests: 256,
+            record_survivors: 64,
         }
     }
 }
@@ -98,6 +110,8 @@ pub struct ServerState {
     pub in_flight: AtomicI64,
     /// Panic and deadline counters (see [`FaultCounters`]).
     pub faults: FaultCounters,
+    /// The flight recorder behind `/debug/requests`.
+    pub recorder: FlightRecorder,
 }
 
 /// A running server; dropping it does NOT stop the server — call
@@ -148,6 +162,7 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
         pool: Pool::new(config.workers, config.queue_depth),
         cache: Mutex::new(LruCache::new(config.cache_entries)),
         metrics: Registry::new(),
+        recorder: FlightRecorder::new(config.record_requests, config.record_survivors),
         config,
         shutdown: AtomicBool::new(false),
         in_flight: AtomicI64::new(0),
@@ -197,6 +212,59 @@ fn next_request_id() -> String {
     format!("{boot:x}-{:x}", SEQ.fetch_add(1, Ordering::Relaxed))
 }
 
+/// The single code path for every unusable optional header: one structured
+/// warn event (and one counter tick) per malformed value, carrying the
+/// request id so the warning is attributable. Called after the request id is
+/// resolved and recording has begun, so the warning also lands in the
+/// request's flight record.
+fn warn_malformed_headers(request_id: &str, malformed: &[(&'static str, String)]) {
+    for (header, value) in malformed {
+        hc_obs::obs_counter!("serve_malformed_header_total").inc();
+        hc_obs::event(
+            hc_obs::Level::Warn,
+            "serve.malformed_header",
+            &[
+                (
+                    "request_id",
+                    hc_obs::FieldValue::Str(request_id.to_string()),
+                ),
+                ("header", hc_obs::FieldValue::Str((*header).to_string())),
+                ("value", hc_obs::FieldValue::Str(value.clone())),
+            ],
+        );
+    }
+}
+
+/// Resolves the request's trace context: a valid incoming `traceparent`
+/// joins the caller's trace (its span id becomes our parent); an absent
+/// header starts a fresh trace; a malformed one starts a fresh trace *and*
+/// is appended to the request's malformed-header notes.
+fn resolve_trace(request: &mut Request) -> TraceContext {
+    match request.traceparent.take() {
+        None => TraceContext::generate(),
+        Some(raw) => match TraceContext::parse(&raw) {
+            Ok(trace) => trace,
+            Err(_) => {
+                request.malformed_headers.push(("traceparent", raw));
+                TraceContext::generate()
+            }
+        },
+    }
+}
+
+/// Renders the `Server-Timing` response header value: the four request
+/// phases, each as `name;dur=<milliseconds>` in wire order.
+fn server_timing_value(phases: &PhaseTimings) -> String {
+    let ms = |us: u64| us as f64 / 1000.0;
+    format!(
+        "queue;dur={:.3}, parse;dur={:.3}, compute;dur={:.3}, serialize;dur={:.3}",
+        ms(phases.queue_us),
+        ms(phases.parse_us),
+        ms(phases.compute_us),
+        ms(phases.serialize_us)
+    )
+}
+
 fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     // Latency is measured from here — before queueing — so the `/metrics`
     // latency histograms include queue wait and overload is not hidden.
@@ -236,19 +304,38 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let mut s = stream;
     state.in_flight.fetch_add(1, Ordering::Relaxed);
     let job = Box::new(move || {
+        // Phase clock: queue = accept → worker pickup, parse = reading the
+        // request, compute = routing + handler, serialize = response assembly.
+        // The breakdown goes out as `Server-Timing` and into the flight record.
+        let picked_up = Instant::now();
+        let queue_us = picked_up.duration_since(accepted).as_micros() as u64;
         // Set when the request was answered without reading the full body
         // (e.g. 413): the socket must be drained before closing, or the
         // kernel's RST for the unread bytes destroys the response in flight.
         let mut drain_unread = false;
-        let response = match read_request(&mut s, st.config.max_body_bytes) {
-            Ok(request) => {
+        let parsed = read_request(&mut s, st.config.max_body_bytes);
+        let parse_us = picked_up.elapsed().as_micros() as u64;
+        let response = match parsed {
+            Ok(mut request) => {
                 let id = request.request_id.clone().unwrap_or_else(next_request_id);
+                let trace = resolve_trace(&mut request);
+                // Recording starts before the handler so every span, event,
+                // and numeric note the request produces on this thread —
+                // including those emitted while unwinding from a panic —
+                // attaches to its record.
+                let recording = st
+                    .recorder
+                    .begin(&id, &request.method, &request.path, &trace);
+                warn_malformed_headers(&id, &request.malformed_headers);
                 // Panic isolation: a handler panic (bug or armed failpoint)
                 // must cost this request a 500, not the worker its life or
                 // later requests their poisoned locks.
+                let compute_start = Instant::now();
                 let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     router::route(&st, &request, accepted, &id)
                 }));
+                let compute_us = compute_start.elapsed().as_micros() as u64;
+                let panicked = routed.is_err();
                 let resp = match routed {
                     Ok(resp) => resp,
                     Err(_) => {
@@ -268,7 +355,28 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                         .to_response()
                     }
                 };
-                resp.with_header("X-Request-Id", &id)
+                let serialize_start = Instant::now();
+                let resp = resp
+                    .with_header("X-Request-Id", &id)
+                    .with_header("traceparent", &trace.header_value());
+                let latency = accepted.elapsed();
+                let phases = PhaseTimings {
+                    queue_us,
+                    parse_us,
+                    compute_us,
+                    serialize_us: serialize_start.elapsed().as_micros() as u64,
+                };
+                let resp = resp.with_header("Server-Timing", &server_timing_value(&phases));
+                let slow =
+                    st.config.slow_ms > 0 && latency >= Duration::from_millis(st.config.slow_ms);
+                recording.finish(Outcome {
+                    status: resp.status,
+                    latency_us: latency.as_micros() as u64,
+                    phases,
+                    slow,
+                    panicked,
+                });
+                resp
             }
             Err(e) => {
                 st.metrics.record(

@@ -385,6 +385,8 @@ pub fn balance_budgeted_in(
         }
     }
     hc_obs::obs_histogram!("sinkhorn_balance_iterations").observe(iterations as u64);
+    hc_obs::recorder::note_u64("sinkhorn_iterations", iterations as u64);
+    hc_obs::recorder::note_f64("sinkhorn_residual", residual);
     if obs.armed() {
         // Final per-side residuals are only worth recomputing when a sink
         // will actually see them.

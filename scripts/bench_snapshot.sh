@@ -20,5 +20,7 @@ grep -q '"schema":"hc-bench-snapshot/v2"' "$OUT" || { echo "bad snapshot"; exit 
 grep -q '"bench":"measure.characterize"' "$OUT" || { echo "missing measure results"; exit 1; }
 grep -q '"bench":"measure.characterize_warm"' "$OUT" || { echo "missing warm measure results"; exit 1; }
 grep -q '"bench":"sinkhorn.balance"' "$OUT" || { echo "missing sinkhorn results"; exit 1; }
+grep -q '"bench":"deadline_overhead"' "$OUT" || { echo "missing deadline overhead lane"; exit 1; }
+grep -q '"bench":"recorder_overhead"' "$OUT" || { echo "missing recorder overhead lane"; exit 1; }
 grep -q '"allocs_per_call":' "$OUT" || { echo "missing allocation counts"; exit 1; }
 echo "wrote $OUT"

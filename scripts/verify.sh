@@ -60,6 +60,25 @@ grep -q '"sinkhorn_balance_total":' /tmp/verify-metrics.json \
     || { echo "metrics response lacks merged library counters"; exit 1; }
 echo "GET /metrics 200 (library counters merged)"
 
+PROM_CODE=$(curl -sS -D /tmp/verify-prom-headers.txt -o /tmp/verify-metrics.prom \
+    -w '%{http_code}' "http://$ADDR/metrics?format=prometheus")
+[ "$PROM_CODE" = "200" ] || { echo "GET /metrics?format=prometheus returned $PROM_CODE"; exit 1; }
+grep -qi '^content-type: text/plain; version=0.0.4' /tmp/verify-prom-headers.txt \
+    || { echo "prometheus scrape has wrong content type"; exit 1; }
+grep -q '^hc_serve_requests_total{endpoint="measure"}' /tmp/verify-metrics.prom \
+    || { echo "prometheus scrape lacks hc_serve_requests_total"; exit 1; }
+grep -q '_bucket{' /tmp/verify-metrics.prom \
+    || { echo "prometheus scrape lacks histogram buckets"; exit 1; }
+echo "GET /metrics?format=prometheus 200 (exposition format OK)"
+
+DEBUG_CODE=$(curl -sS -o /tmp/verify-debug.json -w '%{http_code}' "http://$ADDR/debug/requests")
+[ "$DEBUG_CODE" = "200" ] || { echo "GET /debug/requests returned $DEBUG_CODE"; exit 1; }
+REQ_ID=$(sed -n 's/.*"request_id":"\([^"]*\)".*/\1/p' /tmp/verify-debug.json | head -n1)
+[ -n "$REQ_ID" ] || { echo "flight recorder holds no requests"; exit 1; }
+curl -sS "http://$ADDR/debug/requests/$REQ_ID" | grep -q '"phases_us":' \
+    || { echo "GET /debug/requests/$REQ_ID lacks phase timings"; exit 1; }
+echo "GET /debug/requests/$REQ_ID 200 (flight record retrievable)"
+
 curl -sS "http://$ADDR/quitquitquit" >/dev/null
 wait "$SERVE_PID"
 trap - EXIT

@@ -10,6 +10,10 @@
 //! `characterize` itself on a paper-scale matrix (512×512 in release builds;
 //! scaled down under debug profiles, where absolute runtimes are inflated but
 //! the ratio argument is unchanged).
+//!
+//! The same argument gates the flight recorder (DESIGN.md §11): its armed
+//! per-capture cost, times the hard per-request capture cap, must also stay
+//! under 2% of a `characterize` run.
 
 use std::time::Instant;
 
@@ -62,6 +66,37 @@ fn per_probe_ns() -> f64 {
     samples[samples.len() / 2] as f64 / f64::from(OPS)
 }
 
+/// Median per-capture cost of the flight recorder's *armed* path, in
+/// nanoseconds: one event captured into an active record plus one numeric
+/// note, with the per-request `begin`/`finish` bookkeeping amortized in.
+fn recorded_probe_ns(rec: &hc_obs::recorder::FlightRecorder) -> f64 {
+    const REQUESTS: u32 = 50;
+    const EVENTS_PER_REQUEST: u32 = 200; // below MAX_SPANS_PER_RECORD: every one is captured
+    let trace = hc_obs::trace::TraceContext::generate();
+    let mut samples: Vec<u128> = (0..7)
+        .map(|_| {
+            let t = Instant::now();
+            for r in 0..REQUESTS {
+                let guard = rec.begin(&format!("overhead-{r}"), "POST", "/measure", &trace);
+                for _ in 0..EVENTS_PER_REQUEST {
+                    hc_obs::event(hc_obs::Level::Info, "overhead.recorded", &[]);
+                    hc_obs::recorder::note_u64("overhead_iterations", 1);
+                }
+                guard.finish(hc_obs::recorder::Outcome {
+                    status: 200,
+                    latency_us: 1,
+                    phases: hc_obs::recorder::PhaseTimings::default(),
+                    slow: false,
+                    panicked: false,
+                });
+            }
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64 / f64::from(REQUESTS * EVENTS_PER_REQUEST)
+}
+
 #[test]
 fn disabled_instrumentation_stays_under_two_percent_budget() {
     assert!(
@@ -93,6 +128,42 @@ fn disabled_instrumentation_stays_under_two_percent_budget() {
         "disabled-path instrumentation exceeds budget: {SITES_PER_RUN} sites x \
          {probe_ns:.1} ns = {overhead:.0} ns against {work_ns:.0} ns of work \
          ({:.3}% >= 2%)",
+        ratio * 100.0
+    );
+}
+
+/// The flight recorder's own budget (DESIGN.md §11): with a record *active*,
+/// the worst case the recorder can add to a request — every one of its
+/// [`hc_obs::recorder::MAX_SPANS_PER_RECORD`] capture slots filled, each
+/// capture paired with a numeric note, plus the begin/finish bookkeeping —
+/// must still cost less than 2% of one `characterize` run. Checked from
+/// first principles like the test above: measured per-capture cost times the
+/// hard per-request capture cap, against measured analysis time.
+#[test]
+fn recorder_overhead_stays_under_two_percent_budget() {
+    let (n, runs) = if cfg!(debug_assertions) {
+        (64, 5)
+    } else {
+        (512, 3)
+    };
+    let ecs = fixture(n, n);
+    characterize_ns(&ecs, 1); // warm-up
+    let work_ns = characterize_ns(&ecs, runs) as f64;
+
+    let rec = hc_obs::recorder::FlightRecorder::new(256, 64);
+    let probe_ns = recorded_probe_ns(&rec);
+
+    // A request cannot capture more than MAX_SPANS_PER_RECORD spans/events;
+    // everything past the cap is a counter bump, strictly cheaper than the
+    // capture cost measured above. So cap x per-capture bounds the
+    // recorder's worst-case per-request cost from above.
+    let sites = hc_obs::recorder::MAX_SPANS_PER_RECORD as f64;
+    let overhead = sites * probe_ns;
+    let ratio = overhead / work_ns;
+    assert!(
+        ratio < 0.02,
+        "armed flight recorder exceeds budget: {sites} captures x {probe_ns:.1} ns \
+         = {overhead:.0} ns against {work_ns:.0} ns of work ({:.3}% >= 2%)",
         ratio * 100.0
     );
 }
