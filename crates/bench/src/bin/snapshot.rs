@@ -325,6 +325,77 @@ fn main() {
     };
     results.push(recorder_overhead);
 
+    // Session warm-vs-cold lane: a live session absorbing single-cell edits.
+    // Two engines over the same fixture — one warm-starting Sinkhorn/SVD from
+    // the previous solve (the `hc-session` default), one forced cold — each
+    // timed over the same edit stream. Combined solver iterations are also
+    // reported; the >= 5x reduction at 512x512 is asserted here because it is
+    // the subsystem's reason to exist (DESIGN.md §12).
+    for &n in &[64usize, 256, 512] {
+        let ecs = ecs_fixture(n, n);
+        let mut warm_eng = hc_session::SessionEngine::new(ecs.clone());
+        let mut cold_eng = hc_session::SessionEngine::new(ecs).with_force_cold(true);
+        let (r, cold_first) = warm_eng.recompute(None).expect("fixture characterizes");
+        warm_eng.recycle_report(r);
+        let (r, _) = cold_eng.recompute(None).expect("fixture characterizes");
+        cold_eng.recycle_report(r);
+        let cold_iterations = cold_first.total_iterations();
+
+        let mut edit_step = 0usize;
+        let mut patch = |eng: &mut hc_session::SessionEngine| {
+            // Walk the diagonal, nudging one cell +/-1% so every recompute
+            // absorbs a real (but small) perturbation, as a PATCH would.
+            let t = edit_step % n;
+            edit_step += 1;
+            let factor = if edit_step.is_multiple_of(2) {
+                1.01
+            } else {
+                0.99
+            };
+            let v = eng.ecs().get(t, t) * factor;
+            eng.set(t, t, v).expect("diagonal edit stays positive");
+            eng.recompute(None).expect("fixture characterizes")
+        };
+
+        let (report, warm_stats) = patch(&mut warm_eng);
+        assert!(
+            warm_stats.warm && !warm_stats.fallback,
+            "warm path must hold"
+        );
+        warm_eng.recycle_report(report);
+        let warm_iterations = warm_stats.total_iterations();
+        if n == 512 {
+            assert!(
+                cold_iterations >= 5 * warm_iterations,
+                "warm 512x512 single-cell patch must save >= 5x combined \
+                 iterations (cold {cold_iterations}, warm {warm_iterations})"
+            );
+        }
+
+        let warm_samples = time_ns(|| {
+            let (report, stats) = patch(&mut warm_eng);
+            assert!(stats.warm, "session stays warm across the stream");
+            warm_eng.recycle_report(report);
+        });
+        let cold_samples = time_ns(|| {
+            let (report, _) = patch(&mut cold_eng);
+            cold_eng.recycle_report(report);
+        });
+        let warm_ns = median_ns(warm_samples);
+        let cold_ns = median_ns(cold_samples);
+        let ratio = if warm_iterations == 0 {
+            0.0
+        } else {
+            cold_iterations as f64 / warm_iterations as f64
+        };
+        results.push(format!(
+            "{{\"bench\":\"session_warm_vs_cold\",\"tasks\":{n},\"machines\":{n},\
+             \"runs\":{RUNS},\"cold_median_ns\":{cold_ns},\"warm_median_ns\":{warm_ns},\
+             \"cold_iterations\":{cold_iterations},\"warm_iterations\":{warm_iterations},\
+             \"iteration_ratio\":{ratio:.1}}}"
+        ));
+    }
+
     let ts = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())

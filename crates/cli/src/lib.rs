@@ -11,6 +11,7 @@
 //! hcm generate  cvb      --tasks 12 --machines 5 --vtask 0.4 --vmach 0.6
 //! hcm schedule  <etc.csv> [--heuristic min-min]
 //! hcm whatif    <etc.csv> --remove-machine 2
+//! hcm session   <etc.csv> [--edits edits.txt]  # warm-started incremental demo
 //! hcm serve     --addr 127.0.0.1:7878        # HTTP daemon (see hc-serve)
 //! ```
 //!
@@ -42,10 +43,11 @@ pub fn usage() -> &'static str {
     \x20 hcm schedule  <etc.csv> [--heuristic all|olb|met|mct|min-min|max-min|\n\
     \x20                          sufferage|kpb=<pct>|duplex|ga|sa|tabu|optimal]\n\
     \x20 hcm whatif    <etc.csv> (--remove-machine J | --remove-task I) [--ecs]\n\
+    \x20 hcm session   <etc.csv> [--edits <edits.txt>] [--ecs]\n\
     \x20 hcm serve     [--addr 127.0.0.1:7878] [--workers N] [--queue-depth Q]\n\
     \x20               [--cache-entries C] [--slow-ms MS] [--request-timeout-ms MS]\n\
     \x20               [--max-cells N] [--record-requests N] [--record-survivors N]\n\
-    \x20               [--dry-run]\n\
+    \x20               [--max-sessions N] [--session-ttl-s S] [--dry-run]\n\
     \x20 hcm help\n\n\
      Global flags (every subcommand, place after the input file):\n\
     \x20 --log-json <path>   write spans/events as JSON lines to <path>\n\
@@ -63,6 +65,13 @@ pub fn usage() -> &'static str {
      phase timings, kernel telemetry) browsable at GET /debug/requests, pinning\n\
      slow/errored/panicked ones into a --record-survivors ring; traceparent is\n\
      propagated and GET /metrics?format=prometheus emits text exposition.\n\n\
+     `hcm session` demos the live-session engine offline: it registers the\n\
+     matrix, then replays edit lines (cell,<task>,<machine>,<value> |\n\
+     row,<task>,v1,.. | col,<machine>,v1,..) one version at a time, printing\n\
+     measure deltas and warm vs cold solver iteration counts. The daemon\n\
+     exposes the same engine as POST /session, PATCH /session/{id}/etc,\n\
+     GET /session/{id}[/watch?version=N], DELETE /session/{id}, bounded by\n\
+     --max-sessions (LRU) and --session-ttl-s (idle expiry).\n\n\
      Input files are CSV: header `task,<machine…>`, one row per task type, runtimes\n\
      as numbers, `inf` for incompatible pairs. Pass --ecs when the file already\n\
      holds speeds instead of runtimes.\n"

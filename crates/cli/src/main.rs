@@ -45,7 +45,7 @@ fn run_serve(raw: &[String]) -> ExitCode {
         Ok(handle) => {
             eprintln!("hcm serve: listening on http://{}", handle.local_addr());
             eprintln!(
-                "hcm serve: POST /measure /structure /generate /schedule /batch; \
+                "hcm serve: POST /measure /structure /generate /schedule /batch /session; \
                  GET /metrics /healthz; shutdown via SIGINT or GET /quitquitquit"
             );
             handle.join();

@@ -33,6 +33,8 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
         "max-cells",
         "record-requests",
         "record-survivors",
+        "max-sessions",
+        "session-ttl-s",
         "dry-run",
     ])?;
 
@@ -67,6 +69,14 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
     }
     cfg.record_requests = args.get_or("record-requests", cfg.record_requests)?;
     cfg.record_survivors = args.get_or("record-survivors", cfg.record_survivors)?;
+    cfg.max_sessions = args.get_or("max-sessions", cfg.max_sessions)?;
+    if cfg.max_sessions == 0 {
+        return Err("--max-sessions must be at least 1".to_string());
+    }
+    cfg.session_ttl_s = args.get_or("session-ttl-s", cfg.session_ttl_s)?;
+    if cfg.session_ttl_s == 0 {
+        return Err("--session-ttl-s must be at least 1".to_string());
+    }
     Ok((cfg, args.has("dry-run")))
 }
 
@@ -83,7 +93,9 @@ pub fn describe(cfg: &Config) -> String {
         \x20 slow-ms        {}\n\
         \x20 request-timeout-ms {}\n\
         \x20 record-requests {}\n\
-        \x20 record-survivors {}\n",
+        \x20 record-survivors {}\n\
+        \x20 max-sessions   {}\n\
+        \x20 session-ttl-s  {}\n",
         cfg.addr,
         cfg.workers,
         cfg.queue_depth,
@@ -106,6 +118,8 @@ pub fn describe(cfg: &Config) -> String {
             cfg.record_requests.to_string()
         },
         cfg.record_survivors,
+        cfg.max_sessions,
+        cfg.session_ttl_s,
     )
 }
 
@@ -196,6 +210,19 @@ mod tests {
     }
 
     #[test]
+    fn session_flags() {
+        let (cfg, _) = cfg_of(&["serve"]).unwrap();
+        assert_eq!(cfg.max_sessions, 64);
+        assert_eq!(cfg.session_ttl_s, 900);
+        let (cfg, _) = cfg_of(&["serve", "--max-sessions", "8", "--session-ttl-s", "60"]).unwrap();
+        assert_eq!(cfg.max_sessions, 8);
+        assert_eq!(cfg.session_ttl_s, 60);
+        assert!(cfg_of(&["serve", "--max-sessions", "0"]).is_err());
+        assert!(cfg_of(&["serve", "--session-ttl-s", "0"]).is_err());
+        assert!(cfg_of(&["serve", "--session-ttl-s", "forever"]).is_err());
+    }
+
+    #[test]
     fn rejects_bad_values() {
         assert!(cfg_of(&["serve", "--workers", "0"]).is_err());
         assert!(cfg_of(&["serve", "--queue-depth", "0"]).is_err());
@@ -218,5 +245,7 @@ mod tests {
         assert!(d.contains("max-cells      4000000"), "{d}");
         assert!(d.contains("record-requests 256"), "{d}");
         assert!(d.contains("record-survivors 64"), "{d}");
+        assert!(d.contains("max-sessions   64"), "{d}");
+        assert!(d.contains("session-ttl-s  900"), "{d}");
     }
 }

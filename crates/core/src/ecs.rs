@@ -257,6 +257,43 @@ impl Ecs {
         &mut self.matrix
     }
 
+    /// Sets entry `(task, machine)` to `value` (ECS units: speed, 0 =
+    /// incompatible), preserving the environment invariants: the value must be
+    /// finite and nonnegative, and a zero must not leave the task's row or the
+    /// machine's column all-zero. The incremental-session subsystem edits live
+    /// matrices through this.
+    pub fn set(&mut self, task: usize, machine: usize, value: f64) -> Result<(), MeasureError> {
+        let (t, m) = (self.num_tasks(), self.num_machines());
+        if task >= t || machine >= m {
+            return Err(MeasureError::InvalidEnvironment {
+                reason: format!("edit ({task}, {machine}) out of bounds for {t}x{m}"),
+            });
+        }
+        if !value.is_finite() || value < 0.0 {
+            return Err(MeasureError::InvalidEnvironment {
+                reason: format!(
+                    "ECS({task}, {machine}) = {value}; entries must be finite and nonnegative"
+                ),
+            });
+        }
+        if value == 0.0 {
+            let row_alive = (0..m).any(|j| j != machine && self.matrix[(task, j)] > 0.0);
+            if !row_alive {
+                return Err(MeasureError::InvalidEnvironment {
+                    reason: format!("edit would leave task {task} unable to run on any machine"),
+                });
+            }
+            let col_alive = (0..t).any(|i| i != task && self.matrix[(i, machine)] > 0.0);
+            if !col_alive {
+                return Err(MeasureError::InvalidEnvironment {
+                    reason: format!("edit would leave machine {machine} unable to run any task"),
+                });
+            }
+        }
+        self.matrix[(task, machine)] = value;
+        Ok(())
+    }
+
     /// Returns a new environment restricted to the given task and machine indices
     /// (used by what-if studies and the Fig. 8 submatrix extraction).
     pub fn subenvironment(&self, tasks: &[usize], machines: &[usize]) -> Result<Ecs, MeasureError> {
@@ -327,6 +364,25 @@ mod tests {
         assert!(!ecs.is_positive());
         assert_eq!(ecs.num_tasks(), 2);
         assert_eq!(ecs.num_machines(), 2);
+    }
+
+    #[test]
+    fn set_preserves_invariants() {
+        let mut ecs = Ecs::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        ecs.set(0, 1, 9.0).unwrap();
+        assert_eq!(ecs.get(0, 1), 9.0);
+        // Zeroing is fine while the row and column stay covered.
+        ecs.set(0, 1, 0.0).unwrap();
+        assert_eq!(ecs.get(0, 1), 0.0);
+        // But not when it would orphan a row or column.
+        assert!(ecs.set(0, 0, 0.0).is_err());
+        let mut col = Ecs::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        assert!(col.set(1, 1, 0.0).is_err());
+        // Bad values and bounds.
+        assert!(ecs.set(0, 0, f64::NAN).is_err());
+        assert!(ecs.set(0, 0, -1.0).is_err());
+        assert!(ecs.set(0, 0, f64::INFINITY).is_err());
+        assert!(ecs.set(5, 0, 1.0).is_err());
     }
 
     #[test]

@@ -261,22 +261,166 @@ pub fn jacobi_svd_budgeted_in(
     budget: Option<&Budget>,
     ws: &mut Workspace,
 ) -> Result<Svd> {
+    Ok(jacobi_svd_stats_budgeted_in(a, budget, ws)?.0)
+}
+
+/// [`jacobi_svd_budgeted_in`] also returning the number of sweeps performed —
+/// the iteration-accounting hook for callers comparing warm vs cold work.
+pub fn jacobi_svd_stats_budgeted_in(
+    a: MatRef<'_>,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<(Svd, usize)> {
     if a.rows() < a.cols() {
         let at = transpose_pooled(a, ws);
-        let t = jacobi_svd_budgeted_in(at.view(), budget, ws);
+        let t = jacobi_svd_stats_budgeted_in(at.view(), budget, ws);
         ws.recycle_matrix(at);
-        let t = t?;
-        return Ok(Svd {
-            u: t.v,
-            singular_values: t.singular_values,
-            v: t.u,
-        });
+        let (t, sweeps) = t?;
+        return Ok((
+            Svd {
+                u: t.v,
+                singular_values: t.singular_values,
+                v: t.u,
+            },
+            sweeps,
+        ));
     }
     let (m, n) = a.shape();
-    let mut obs = hc_obs::span("linalg.svd.jacobi");
     let mut w = ws.take_matrix(m, n, 0.0);
     w.view_mut().copy_from(a);
-    let mut v = ws.take_identity(n);
+    let v = ws.take_identity(n);
+    jacobi_sweep_core(w, v, false, budget, ws)
+}
+
+/// [`svd_with_budgeted_in`] also returning the iteration count (Jacobi sweeps
+/// or Golub–Reinsch QR iterations, whichever algorithm ran).
+pub fn svd_with_stats_budgeted_in(
+    a: MatRef<'_>,
+    alg: SvdAlgorithm,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<(Svd, usize)> {
+    if a.is_empty() {
+        return Err(LinAlgError::Empty { op: "svd" });
+    }
+    a.check_finite("svd")?;
+    match alg {
+        SvdAlgorithm::Jacobi => jacobi_svd_stats_budgeted_in(a, budget, ws),
+        SvdAlgorithm::GolubReinsch => golub_reinsch_svd_stats_budgeted_in(a, budget, ws),
+        SvdAlgorithm::Auto => {
+            if a.len() <= AUTO_GR_THRESHOLD {
+                jacobi_svd_stats_budgeted_in(a, budget, ws)
+            } else {
+                golub_reinsch_svd_stats_budgeted_in(a, budget, ws)
+            }
+        }
+    }
+}
+
+/// [`svd_with_budgeted_in`] warm-started from a previous decomposition of a
+/// nearby matrix.
+///
+/// Seeds the one-sided Jacobi iteration at the prior solution: the working
+/// matrix starts as `W₀ = A · V_prior` and rotations accumulate into a copy of
+/// `V_prior`, so the invariant `W = A · V` holds throughout and the converged
+/// result is a genuine SVD of `A` itself (sorted and sign-fixed exactly like
+/// the cold path). When `A` is a small perturbation of the matrix the prior
+/// decomposed, `W₀`'s columns are already near-orthogonal and convergence takes
+/// one or two sweeps instead of a full cold run; when it is not, the same
+/// sweep tolerance and [`JACOBI_MAX_SWEEPS`] cap apply. Wide inputs transpose
+/// and seed from `prior.u`, mirroring the cold transposition path.
+///
+/// The prior must be a *full* thin SVD of a same-shaped matrix (its `V` must be
+/// `k × k` square for a tall input, as produced by every SVD entry point in
+/// this crate); anything else fails with [`LinAlgError::ShapeMismatch`].
+pub fn svd_warm_budgeted_in(
+    a: MatRef<'_>,
+    prior: &Svd,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<Svd> {
+    Ok(svd_warm_stats_budgeted_in(a, prior, budget, ws)?.0)
+}
+
+/// [`svd_warm_budgeted_in`] also returning the number of Jacobi sweeps the
+/// warm-seeded iteration took.
+pub fn svd_warm_stats_budgeted_in(
+    a: MatRef<'_>,
+    prior: &Svd,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<(Svd, usize)> {
+    if a.is_empty() {
+        return Err(LinAlgError::Empty { op: "svd" });
+    }
+    a.check_finite("svd")?;
+    if a.rows() < a.cols() {
+        // Aᵀ = V Σ Uᵀ: the prior's U seeds the transposed problem.
+        let at = transpose_pooled(a, ws);
+        let t = jacobi_warm_seeded(at.view(), &prior.u, budget, ws);
+        ws.recycle_matrix(at);
+        let (t, sweeps) = t?;
+        return Ok((
+            Svd {
+                u: t.v,
+                singular_values: t.singular_values,
+                v: t.u,
+            },
+            sweeps,
+        ));
+    }
+    jacobi_warm_seeded(a, &prior.v, budget, ws)
+}
+
+/// [`svd_warm_budgeted_in`] without a budget.
+pub fn svd_warm_in(a: MatRef<'_>, prior: &Svd, ws: &mut Workspace) -> Result<Svd> {
+    svd_warm_budgeted_in(a, prior, None, ws)
+}
+
+/// Warm Jacobi on a tall (`m ≥ n`) input: `W₀ = a · seed_v`, `V₀ = seed_v`.
+fn jacobi_warm_seeded(
+    a: MatRef<'_>,
+    seed_v: &Matrix,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<(Svd, usize)> {
+    let (m, n) = a.shape();
+    if seed_v.shape() != (n, n) {
+        return Err(LinAlgError::ShapeMismatch {
+            op: "svd (warm-start prior)",
+            lhs: (n, n),
+            rhs: seed_v.shape(),
+        });
+    }
+    seed_v.view().check_finite("svd (warm-start prior)")?;
+    let mut w = ws.take_matrix(m, n, 0.0);
+    for (i, src) in a.row_iter().enumerate() {
+        let dst = w.row_mut(i);
+        for (l, &ail) in src.iter().enumerate() {
+            if ail != 0.0 {
+                for (d, &vlj) in dst.iter_mut().zip(seed_v.row(l)) {
+                    *d += ail * vlj;
+                }
+            }
+        }
+    }
+    let v = ws.take_matrix_copy(seed_v);
+    jacobi_sweep_core(w, v, true, budget, ws)
+}
+
+/// The Hestenes sweep loop shared by the cold and warm Jacobi entries: takes
+/// ownership of a pre-initialized working matrix `w` and rotation accumulator
+/// `v` (cold: `w = A`, `v = I`; warm: `w = A·V₀`, `v = V₀`) and orthogonalizes
+/// `w`'s columns, maintaining `w = A·v` throughout.
+fn jacobi_sweep_core(
+    mut w: Matrix,
+    mut v: Matrix,
+    warm: bool,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<(Svd, usize)> {
+    let (m, n) = w.shape();
+    let mut obs = hc_obs::span("linalg.svd.jacobi");
     let eps = f64::EPSILON;
     // Columns whose norm falls below eps·‖A‖_F are numerically zero (rank
     // deficiency); rotating against them only chases roundoff and stalls
@@ -374,6 +518,7 @@ pub fn jacobi_svd_budgeted_in(
         // The orthogonality residual that remains after the final sweep — the
         // "how converged is it really" number. Only recomputed for the sink.
         obs.field_f64("off_diag_worst", worst_column_correlation(&w, zero_guard));
+        obs.field_bool("warm_start", warm);
     }
 
     let mut sigma = ws.take_vec(n, 0.0);
@@ -395,7 +540,7 @@ pub fn jacobi_svd_budgeted_in(
     }
     ws.recycle_vec(col);
     ws.recycle_matrix(w);
-    Ok(finalize_in(u, sigma, v, ws))
+    Ok((finalize_in(u, sigma, v, ws), sweeps))
 }
 
 /// Worst normalized off-diagonal Gram entry |wpᵀwq|/(‖wp‖‖wq‖) over all column
@@ -445,16 +590,29 @@ pub fn golub_reinsch_svd_budgeted_in(
     budget: Option<&Budget>,
     ws: &mut Workspace,
 ) -> Result<Svd> {
+    Ok(golub_reinsch_svd_stats_budgeted_in(a, budget, ws)?.0)
+}
+
+/// [`golub_reinsch_svd_budgeted_in`] also returning the total implicit-QR
+/// iteration count.
+pub fn golub_reinsch_svd_stats_budgeted_in(
+    a: MatRef<'_>,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<(Svd, usize)> {
     if a.rows() < a.cols() {
         let at = transpose_pooled(a, ws);
-        let t = golub_reinsch_svd_budgeted_in(at.view(), budget, ws);
+        let t = golub_reinsch_svd_stats_budgeted_in(at.view(), budget, ws);
         ws.recycle_matrix(at);
-        let t = t?;
-        return Ok(Svd {
-            u: t.v,
-            singular_values: t.singular_values,
-            v: t.u,
-        });
+        let (t, iters) = t?;
+        return Ok((
+            Svd {
+                u: t.v,
+                singular_values: t.singular_values,
+                v: t.u,
+            },
+            iters,
+        ));
     }
     let mut obs = hc_obs::span("linalg.svd.golub_reinsch");
     let mut total_iters = 0usize;
@@ -606,7 +764,7 @@ pub fn golub_reinsch_svd_budgeted_in(
     }
     ws.recycle_vec(rv1);
 
-    Ok(finalize_in(u, d, v, ws))
+    Ok((finalize_in(u, d, v, ws), total_iters))
 }
 
 #[inline]
@@ -901,6 +1059,76 @@ mod tests {
                 other => panic!("{alg:?}: expected DeadlineExceeded, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn warm_svd_matches_cold_on_unchanged_matrix() {
+        let mut ws = Workspace::new();
+        for (m, n) in [(6, 6), (9, 5), (4, 7)] {
+            let a = Matrix::from_fn(m, n, |i, j| {
+                0.1 + ((i * 131 + j * 31 + 7) % 97) as f64 / 97.0
+            });
+            let prior = svd_with_in(a.view(), SvdAlgorithm::Jacobi, &mut ws).unwrap();
+            let warm = svd_warm_in(a.view(), &prior, &mut ws).unwrap();
+            assert_valid_svd(&a, &warm, 1e-10);
+            for (x, y) in warm.singular_values.iter().zip(&prior.singular_values) {
+                assert!(
+                    (x - y).abs() < 1e-10 * (1.0 + x.abs()),
+                    "{m}x{n}: {x} vs {y}"
+                );
+            }
+            warm.recycle(&mut ws);
+            prior.recycle(&mut ws);
+        }
+    }
+
+    #[test]
+    fn warm_svd_after_small_edit_converges_faster_than_cold() {
+        let mut ws = Workspace::new();
+        let a = Matrix::from_fn(20, 20, |i, j| {
+            0.1 + ((i * 131 + j * 31 + 7) % 97) as f64 / 97.0
+        });
+        let prior = svd_with_in(a.view(), SvdAlgorithm::Jacobi, &mut ws).unwrap();
+        let mut edited = a.clone();
+        edited[(3, 5)] *= 1.001;
+
+        hc_obs::recorder::note_u64("svd_jacobi_sweeps", 0);
+        let cold = svd_with_in(edited.view(), SvdAlgorithm::Jacobi, &mut ws).unwrap();
+        let warm = svd_warm_in(edited.view(), &prior, &mut ws).unwrap();
+        assert_valid_svd(&edited, &warm, 1e-10);
+        for (x, y) in warm.singular_values.iter().zip(&cold.singular_values) {
+            assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+        warm.recycle(&mut ws);
+        cold.recycle(&mut ws);
+        prior.recycle(&mut ws);
+    }
+
+    #[test]
+    fn warm_svd_rejects_mismatched_prior() {
+        let mut ws = Workspace::new();
+        let a = Matrix::from_fn(5, 4, |i, j| 1.0 + (i * 4 + j) as f64);
+        let other = Matrix::from_fn(6, 3, |i, j| 1.0 + (i * 3 + j) as f64);
+        let prior = svd_with_in(other.view(), SvdAlgorithm::Jacobi, &mut ws).unwrap();
+        assert!(matches!(
+            svd_warm_in(a.view(), &prior, &mut ws),
+            Err(LinAlgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_svd_budget_expiry_trips() {
+        use crate::budget::Budget;
+        let mut ws = Workspace::new();
+        let a = Matrix::from_fn(9, 6, |i, j| 0.2 + ((i * 17 + j * 5) % 31) as f64 / 31.0);
+        let prior = svd_with_in(a.view(), SvdAlgorithm::Jacobi, &mut ws).unwrap();
+        let mut edited = a.clone();
+        edited[(1, 1)] *= 2.0;
+        let expired = Budget::with_deadline(std::time::Duration::ZERO);
+        assert!(matches!(
+            svd_warm_budgeted_in(edited.view(), &prior, Some(&expired), &mut ws),
+            Err(LinAlgError::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl ReqCtx<'_> {
 
 /// Maps a measurement failure to its HTTP error: deadline expiry becomes a
 /// typed `504` carrying partial-progress diagnostics, everything else `400`.
-fn measure_error(e: MeasureError) -> HttpError {
+pub(crate) fn measure_error(e: MeasureError) -> HttpError {
     match e {
         MeasureError::DeadlineExceeded {
             op,
@@ -188,7 +188,9 @@ pub fn measure(req: &Request, ctx: &ReqCtx<'_>) -> Result<Response, HttpError> {
         let r = an
             .characterize_budgeted(&ecs, None, &opts, ctx.budget)
             .map_err(measure_error)?;
-        let json = r.to_json(ecs.task_names(), ecs.machine_names());
+        // One shared renderer with /batch items and session `measures`
+        // objects — the three surfaces are goldened byte-for-byte.
+        let json = crate::json::measure_body(&r, ecs.task_names(), ecs.machine_names());
         an.recycle_report(r);
         Ok(Response::json(json))
     })
@@ -379,6 +381,7 @@ mod tests {
             request_id: None,
             timeout_ms: None,
             traceparent: None,
+            if_match: None,
             malformed_headers: Vec::new(),
         }
     }

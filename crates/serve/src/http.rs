@@ -37,6 +37,11 @@ pub struct Request {
     /// Raw client-supplied W3C `traceparent` header, if any (sanitized and
     /// bounded like `X-Request-Id`); validated by the connection handler.
     pub traceparent: Option<String>,
+    /// Client-supplied `If-Match` header, if any: the session version the
+    /// client believes is current, for optimistic concurrency on
+    /// `PATCH /session/{id}/etc` (mismatch answers `409`). Malformed values
+    /// fall back to `None` and are noted in [`Request::malformed_headers`].
+    pub if_match: Option<u64>,
     /// Headers that were present but unusable (`(header name, raw value)`),
     /// collected during parsing so the connection handler can emit one
     /// structured warn event per entry once the request id is known —
@@ -274,6 +279,7 @@ fn status_text(code: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
@@ -388,6 +394,7 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
     let mut request_id: Option<String> = None;
     let mut timeout_ms: Option<u64> = None;
     let mut traceparent: Option<String> = None;
+    let mut if_match: Option<u64> = None;
     let mut malformed_headers: Vec<(&'static str, String)> = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
@@ -411,6 +418,16 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
                 }
             } else if name.eq_ignore_ascii_case("traceparent") {
                 traceparent = Some(sanitize(value));
+            } else if name.eq_ignore_ascii_case("if-match") {
+                // Session versions, optionally ETag-style quoted; `*` means
+                // "any version" and imposes no precondition.
+                let raw = value.trim().trim_matches('"');
+                if raw != "*" {
+                    match raw.parse() {
+                        Ok(v) => if_match = Some(v),
+                        Err(_) => malformed_headers.push(("If-Match", sanitize(value))),
+                    }
+                }
             }
         }
     }
@@ -450,6 +467,7 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
         request_id,
         timeout_ms,
         traceparent,
+        if_match,
         malformed_headers,
     })
 }
@@ -551,6 +569,25 @@ mod tests {
         let r = parse(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         assert_eq!(r.timeout_ms, None);
         assert!(r.malformed_headers.is_empty());
+    }
+
+    #[test]
+    fn parses_if_match_header() {
+        let r = parse(b"PATCH /session/x/etc HTTP/1.1\r\nIf-Match: 7\r\n\r\n").unwrap();
+        assert_eq!(r.if_match, Some(7));
+        assert!(r.malformed_headers.is_empty());
+        // ETag-style quoting is tolerated; `*` imposes no precondition.
+        let r = parse(b"PATCH /x HTTP/1.1\r\nif-match: \"12\"\r\n\r\n").unwrap();
+        assert_eq!(r.if_match, Some(12));
+        let r = parse(b"PATCH /x HTTP/1.1\r\nIf-Match: *\r\n\r\n").unwrap();
+        assert_eq!(r.if_match, None);
+        assert!(r.malformed_headers.is_empty());
+        // Malformed values degrade loudly, like X-Timeout-Ms.
+        let r = parse(b"PATCH /x HTTP/1.1\r\nIf-Match: seven\r\n\r\n").unwrap();
+        assert_eq!(r.if_match, None);
+        assert_eq!(r.malformed_headers, vec![("If-Match", "seven".to_string())]);
+        let r = parse(b"PATCH /x HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.if_match, None);
     }
 
     #[test]

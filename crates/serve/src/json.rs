@@ -7,6 +7,18 @@
 
 pub use hc_core::report::json_string;
 
+/// The one measure-document renderer shared by `POST /measure`, every
+/// `/batch` item, and the `measures` object in session responses. All three
+/// surfaces must stay byte-for-byte identical (goldened in the session tests)
+/// so clients can parse one shape everywhere.
+pub fn measure_body(
+    report: &hc_core::report::MeasureReport,
+    task_names: &[String],
+    machine_names: &[String],
+) -> String {
+    report.to_json(task_names, machine_names)
+}
+
 /// Builder for a JSON object: `{"k":v,...}`.
 #[derive(Debug)]
 pub struct JsonObject {

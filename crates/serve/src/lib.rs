@@ -12,6 +12,10 @@
 //! | `/generate`          | POST | —               | synthesized CSV |
 //! | `/schedule`          | POST | CSV ETC matrix  | heuristic makespans JSON |
 //! | `/batch`             | POST | CSVs split by `---` | per-matrix measure JSON |
+//! | `/session`           | POST | CSV ETC matrix  | new live session (id + measures) |
+//! | `/session/{id}`      | GET / DELETE | —       | session state / removal |
+//! | `/session/{id}/etc`  | PATCH | edit lines     | warm-started incremental re-measure |
+//! | `/session/{id}/watch?version=N` | GET | —     | long-poll for measure deltas past version N |
 //! | `/metrics`           | GET  | —               | counters + histograms (JSON; `?format=prometheus` for text exposition) |
 //! | `/healthz`           | GET  | —               | liveness |
 //! | `/debug/requests`    | GET  | —               | flight-recorder summary (recent + survivor requests) |
@@ -56,6 +60,15 @@
 //! echoed alongside `X-Request-Id`, and `/metrics?format=prometheus` renders
 //! the same counters and histograms in Prometheus text exposition format.
 
+//! Live sessions (DESIGN.md §12): `/session/*` endpoints keep per-client
+//! state in the sharded, TTL'd, LRU-bounded [`hc_session::SessionStore`]
+//! (`--max-sessions`, `--session-ttl-s`). Edits recompute incrementally with
+//! warm-started Sinkhorn/SVD solvers (silent cold fallback counted in
+//! `session_warm_fallback_total`), `If-Match` versions give optimistic
+//! concurrency (`409` on mismatch), and `GET /session/{id}/watch` long-polls
+//! for measure deltas under the same deadline machinery — graceful drain
+//! flushes parked watchers with a typed `503 draining`.
+
 /// Poison-recovering lock helpers shared across the workspace
 /// (re-export of [`hc_obs::sync`]).
 pub use hc_obs::sync;
@@ -73,6 +86,7 @@ pub mod json;
 pub mod metrics;
 pub mod router;
 pub mod server;
+pub mod session;
 pub mod signal;
 pub mod threadpool;
 

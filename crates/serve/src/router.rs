@@ -52,7 +52,17 @@ fn endpoint_name(req: &Request) -> &'static str {
     if req.path.starts_with("/debug/requests/") {
         return "debug_request";
     }
+    if let Some(rest) = req.path.strip_prefix("/session/") {
+        return if rest.ends_with("/etc") {
+            "session_etc"
+        } else if rest.ends_with("/watch") {
+            "session_watch"
+        } else {
+            "session_id"
+        };
+    }
     match req.path.as_str() {
+        "/session" => "session",
         "/measure" => "measure",
         "/structure" => "structure",
         "/generate" => "generate",
@@ -173,6 +183,7 @@ fn batch(state: &Arc<ServerState>, req: &Request, ctx: &ReqCtx<'_>) -> Result<Re
             request_id: None,
             timeout_ms: None,
             traceparent: None,
+            if_match: None,
             malformed_headers: Vec::new(),
         };
         let (st, res, fin) = (
@@ -287,6 +298,24 @@ fn metrics_document(state: &ServerState) -> String {
         state.in_flight.load(std::sync::atomic::Ordering::Relaxed),
         &hc_obs::metrics::export_json(),
     )
+}
+
+/// Folds a session handler result into the dispatch shape, keeping the
+/// deadline-exceeded fault counter accurate (session endpoints bypass the
+/// cache path that normally counts 504s).
+fn session_result(state: &ServerState, result: Result<Response, HttpError>) -> (Response, bool) {
+    match result {
+        Ok(resp) => (resp, false),
+        Err(e) => {
+            if e.status == 504 {
+                state
+                    .faults
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            (e.to_response(), false)
+        }
+    }
 }
 
 fn require_method(req: &Request, method: &str) -> Result<(), Response> {
@@ -418,6 +447,43 @@ fn dispatch(
                 Err(e) => (e.to_response(), false),
             }
         }
+        "session" => {
+            if let Err(resp) = require_method(req, "POST") {
+                return (resp, false);
+            }
+            session_result(state, crate::session::create(state, req, ctx))
+        }
+        "session_id" => {
+            let id = req.path.trim_start_matches("/session/");
+            match req.method.as_str() {
+                "GET" => session_result(state, crate::session::get(state, id)),
+                "DELETE" => session_result(state, crate::session::delete(state, id)),
+                _ => (
+                    Response::error(405, &format!("{} requires GET or DELETE", req.path)),
+                    false,
+                ),
+            }
+        }
+        "session_etc" => {
+            if let Err(resp) = require_method(req, "PATCH") {
+                return (resp, false);
+            }
+            let id = req
+                .path
+                .trim_start_matches("/session/")
+                .trim_end_matches("/etc");
+            session_result(state, crate::session::patch(state, req, id, ctx))
+        }
+        "session_watch" => {
+            if let Err(resp) = require_method(req, "GET") {
+                return (resp, false);
+            }
+            let id = req
+                .path
+                .trim_start_matches("/session/")
+                .trim_end_matches("/watch");
+            session_result(state, crate::session::watch(state, req, id, ctx))
+        }
         "metrics" => match require_method(req, "GET") {
             // Live-state endpoints carry `Cache-Control: no-store` so an
             // intermediary can never serve stale metrics or health.
@@ -504,6 +570,10 @@ fn dispatch(
             state
                 .shutdown
                 .store(true, std::sync::atomic::Ordering::SeqCst);
+            // Flush session watchers immediately (the accept loop also drains
+            // as a backstop for the SIGINT path): parked long-polls answer a
+            // typed 503 instead of holding workers to their deadlines.
+            state.sessions.drain();
             (
                 Response::json(JsonObject::new().bool("shutting_down", true).finish()),
                 false,
@@ -543,6 +613,7 @@ mod tests {
             request_id: None,
             timeout_ms: None,
             traceparent: None,
+            if_match: None,
             malformed_headers: Vec::new(),
         };
         assert_eq!(canonical_options(&req), "ecs=1&zero-policy=limit");
@@ -559,6 +630,7 @@ mod tests {
             request_id: None,
             timeout_ms: ms,
             traceparent: None,
+            if_match: None,
             malformed_headers: Vec::new(),
         };
         // Server timeout off: header honoured, but capped.

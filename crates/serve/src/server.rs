@@ -59,6 +59,11 @@ pub struct Config {
     /// deadline-exceeded requests pinned separately so healthy floods cannot
     /// evict them.
     pub record_survivors: usize,
+    /// Most live sessions held at once; creating beyond this evicts the
+    /// least-recently-used session.
+    pub max_sessions: usize,
+    /// Idle time in seconds after which a session expires.
+    pub session_ttl_s: u64,
 }
 
 impl Default for Config {
@@ -79,6 +84,8 @@ impl Default for Config {
             max_cells: 4_000_000,
             record_requests: 256,
             record_survivors: 64,
+            max_sessions: 64,
+            session_ttl_s: 900,
         }
     }
 }
@@ -112,6 +119,8 @@ pub struct ServerState {
     pub faults: FaultCounters,
     /// The flight recorder behind `/debug/requests`.
     pub recorder: FlightRecorder,
+    /// Live analysis sessions (`/session/*`), shared across workers.
+    pub sessions: hc_session::SessionStore,
 }
 
 /// A running server; dropping it does NOT stop the server — call
@@ -163,6 +172,10 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
         cache: Mutex::new(LruCache::new(config.cache_entries)),
         metrics: Registry::new(),
         recorder: FlightRecorder::new(config.record_requests, config.record_survivors),
+        sessions: hc_session::SessionStore::new(hc_session::SessionConfig {
+            max_sessions: config.max_sessions,
+            ttl: Duration::from_secs(config.session_ttl_s),
+        }),
         config,
         shutdown: AtomicBool::new(false),
         in_flight: AtomicI64::new(0),
@@ -194,6 +207,10 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     }
+    // Flush session watchers first: parked long-polls answer a typed 503
+    // `draining` immediately instead of holding workers until their
+    // long-poll deadlines, so the pool drain below stays fast.
+    state.sessions.drain();
     // Stop taking work, finish what's queued, join the workers.
     state.pool.shutdown();
 }

@@ -274,13 +274,93 @@ pub fn balance_budgeted_in(
     budget: Option<&Budget>,
     ws: &mut Workspace,
 ) -> Result<BalanceOutcome, LinAlgError> {
+    balance_core(m, row_targets, col_targets, opts, budget, None, ws)
+}
+
+/// [`balance_budgeted_in`] warm-started from a previous run's scaling vectors.
+///
+/// The iteration is seeded at the point the prior run ended: the working copy
+/// starts as `diag(prior_row) · m · diag(prior_col)` and the accumulated scale
+/// vectors start as copies of the priors, so the invariant
+/// `matrix ≈ diag(row_scale) · input · diag(col_scale)` holds throughout and the
+/// converged result is a genuine balancing of `m` itself. When `m` is a small
+/// perturbation of the matrix the priors balanced, the seed is already near the
+/// fixed point and convergence takes a fraction of the cold iteration count;
+/// when it is not, the same tolerance applies and the caller can compare
+/// against a cold run (see `hc-session`'s fallback).
+///
+/// Priors must have matching lengths and strictly positive finite entries;
+/// otherwise the call fails with the same validation errors as targets.
+#[allow(clippy::too_many_arguments)]
+pub fn balance_warm_budgeted_in(
+    m: MatRef<'_>,
+    row_targets: &[f64],
+    col_targets: &[f64],
+    prior_row_scale: &[f64],
+    prior_col_scale: &[f64],
+    opts: &BalanceOptions,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<BalanceOutcome, LinAlgError> {
+    balance_core(
+        m,
+        row_targets,
+        col_targets,
+        opts,
+        budget,
+        Some((prior_row_scale, prior_col_scale)),
+        ws,
+    )
+}
+
+fn validate_prior(m: MatRef<'_>, prior_row: &[f64], prior_col: &[f64]) -> Result<(), LinAlgError> {
+    if prior_row.len() != m.rows() || prior_col.len() != m.cols() {
+        return Err(LinAlgError::ShapeMismatch {
+            op: "balance (warm-start priors)",
+            lhs: m.shape(),
+            rhs: (prior_row.len(), prior_col.len()),
+        });
+    }
+    if prior_row.iter().any(|&v| !v.is_finite() || v <= 0.0)
+        || prior_col.iter().any(|&v| !v.is_finite() || v <= 0.0)
+    {
+        return Err(LinAlgError::Singular {
+            op: "balance (non-positive warm-start prior)",
+        });
+    }
+    Ok(())
+}
+
+fn balance_core(
+    m: MatRef<'_>,
+    row_targets: &[f64],
+    col_targets: &[f64],
+    opts: &BalanceOptions,
+    budget: Option<&Budget>,
+    prior: Option<(&[f64], &[f64])>,
+    ws: &mut Workspace,
+) -> Result<BalanceOutcome, LinAlgError> {
     validate(m, row_targets, col_targets)?;
+    if let Some((pr, pc)) = prior {
+        validate_prior(m, pr, pc)?;
+    }
     let mut obs = hc_obs::span("sinkhorn.balance");
     let (t, mm) = m.shape();
     let mut a = ws.take_matrix(t, mm, 0.0);
-    a.view_mut().copy_from(m);
-    let mut row_scale = ws.take_vec(t, 1.0);
-    let mut col_scale = ws.take_vec(mm, 1.0);
+    let (mut row_scale, mut col_scale) = match prior {
+        None => {
+            a.view_mut().copy_from(m);
+            (ws.take_vec(t, 1.0), ws.take_vec(mm, 1.0))
+        }
+        Some((pr, pc)) => {
+            for (i, src) in m.row_iter().enumerate() {
+                for (j, (d, &v)) in a.row_mut(i).iter_mut().zip(src).enumerate() {
+                    *d = pr[i] * v * pc[j];
+                }
+            }
+            (ws.take_vec_copy(pr), ws.take_vec_copy(pc))
+        }
+    };
     let mut col_buf = ws.take_vec(mm, 0.0);
     let mut history = Vec::new();
     let max_entry_initial = m
@@ -407,6 +487,7 @@ pub fn balance_budgeted_in(
         obs.field_f64("col_residual", col_residual);
         obs.field_str("status", status_name);
         obs.field_bool("entries_decayed", entries_decayed);
+        obs.field_bool("warm_start", prior.is_some());
     }
     ws.recycle_vec(col_buf);
 
@@ -495,6 +576,36 @@ pub fn standardize_budgeted_in(
     let rt = ws.take_vec(t, r);
     let ct = ws.take_vec(mm, c);
     let out = balance_budgeted_in(m, &rt, &ct, opts, budget, ws);
+    ws.recycle_vec(rt);
+    ws.recycle_vec(ct);
+    out
+}
+
+/// [`standardize_budgeted_in`] warm-started from a previous standardization's
+/// scaling vectors (see [`balance_warm_budgeted_in`]).
+pub fn standardize_warm_budgeted_in(
+    m: MatRef<'_>,
+    prior_row_scale: &[f64],
+    prior_col_scale: &[f64],
+    opts: &BalanceOptions,
+    budget: Option<&Budget>,
+    ws: &mut Workspace,
+) -> Result<BalanceOutcome, LinAlgError> {
+    let (t, mm) = m.shape();
+    let r = (mm as f64 / t as f64).sqrt();
+    let c = (t as f64 / mm as f64).sqrt();
+    let rt = ws.take_vec(t, r);
+    let ct = ws.take_vec(mm, c);
+    let out = balance_warm_budgeted_in(
+        m,
+        &rt,
+        &ct,
+        prior_row_scale,
+        prior_col_scale,
+        opts,
+        budget,
+        ws,
+    );
     ws.recycle_vec(rt);
     ws.recycle_vec(ct);
     out
@@ -888,6 +999,120 @@ mod tests {
             standardize_budgeted_in(m.view(), &BalanceOptions::default(), Some(&budget), &mut ws)
                 .unwrap_err();
         assert!(matches!(err, LinAlgError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn warm_start_on_unchanged_matrix_converges_immediately() {
+        let m = Matrix::from_fn(6, 4, |i, j| 0.1 + ((i * 7 + j * 3) % 13) as f64);
+        let mut ws = Workspace::new();
+        let opts = BalanceOptions::default();
+        let cold = standardize_in(m.view(), &opts, &mut ws).unwrap();
+        assert!(cold.is_converged());
+        let warm = standardize_warm_budgeted_in(
+            m.view(),
+            &cold.row_scale,
+            &cold.col_scale,
+            &opts,
+            None,
+            &mut ws,
+        )
+        .unwrap();
+        assert!(warm.is_converged());
+        assert_eq!(warm.iterations, 0, "seed is already the fixed point");
+        assert!(warm.matrix.max_abs_diff(&cold.matrix) < 1e-12);
+        warm.recycle(&mut ws);
+        cold.recycle(&mut ws);
+    }
+
+    #[test]
+    fn warm_start_after_small_edit_matches_cold_with_fewer_iterations() {
+        let m = Matrix::from_fn(24, 16, |i, j| 0.2 + ((i * 7 + j * 3) % 13) as f64);
+        let mut ws = Workspace::new();
+        let opts = BalanceOptions::default();
+        let prior = standardize_in(m.view(), &opts, &mut ws).unwrap();
+
+        let mut edited = m.clone();
+        edited[(3, 5)] *= 1.01;
+        let cold = standardize_in(edited.view(), &opts, &mut ws).unwrap();
+        let warm = standardize_warm_budgeted_in(
+            edited.view(),
+            &prior.row_scale,
+            &prior.col_scale,
+            &opts,
+            None,
+            &mut ws,
+        )
+        .unwrap();
+        assert!(warm.is_converged());
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        // Same fixed point within tolerance (uniqueness up to scalar, but the
+        // standard-form marginals pin the scalar).
+        assert!(warm.matrix.max_abs_diff(&cold.matrix) < 1e-6);
+        // The scaling invariant holds for the warm path too.
+        for i in 0..edited.rows() {
+            for j in 0..edited.cols() {
+                let expect = warm.row_scale[i] * edited[(i, j)] * warm.col_scale[j];
+                assert!((warm.matrix[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+        warm.recycle(&mut ws);
+        cold.recycle(&mut ws);
+        prior.recycle(&mut ws);
+    }
+
+    #[test]
+    fn warm_start_prior_validation() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let mut ws = Workspace::new();
+        let opts = BalanceOptions::default();
+        // Wrong prior lengths.
+        assert!(
+            standardize_warm_budgeted_in(m.view(), &[1.0], &[1.0, 1.0], &opts, None, &mut ws)
+                .is_err()
+        );
+        // Non-positive prior entry.
+        assert!(standardize_warm_budgeted_in(
+            m.view(),
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &opts,
+            None,
+            &mut ws
+        )
+        .is_err());
+        // NaN prior entry.
+        assert!(standardize_warm_budgeted_in(
+            m.view(),
+            &[1.0, f64::NAN],
+            &[1.0, 1.0],
+            &opts,
+            None,
+            &mut ws
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn warm_start_far_prior_still_converges_to_same_balance() {
+        // A wildly wrong prior is just a diagonal pre-scaling: the iteration
+        // still converges, to the same balanced matrix (Theorem 1 uniqueness).
+        let m = Matrix::from_fn(5, 5, |i, j| 0.5 + ((i * 3 + j * 7) % 11) as f64);
+        let mut ws = Workspace::new();
+        let opts = BalanceOptions::default();
+        let cold = standardize_in(m.view(), &opts, &mut ws).unwrap();
+        let bad_r: Vec<f64> = (0..5).map(|i| 10.0_f64.powi(i - 2)).collect();
+        let bad_c: Vec<f64> = (0..5).map(|i| 3.0_f64.powi(2 - i)).collect();
+        let warm =
+            standardize_warm_budgeted_in(m.view(), &bad_r, &bad_c, &opts, None, &mut ws).unwrap();
+        assert!(warm.is_converged());
+        assert!(warm.matrix.max_abs_diff(&cold.matrix) < 1e-6);
+        warm.recycle(&mut ws);
+        cold.recycle(&mut ws);
     }
 
     #[test]

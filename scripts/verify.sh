@@ -79,6 +79,31 @@ curl -sS "http://$ADDR/debug/requests/$REQ_ID" | grep -q '"phases_us":' \
     || { echo "GET /debug/requests/$REQ_ID lacks phase timings"; exit 1; }
 echo "GET /debug/requests/$REQ_ID 200 (flight record retrievable)"
 
+# Live-session smoke: create -> 3 patches -> watch sees all 3 versions -> delete.
+SESSION_CODE=$(printf '%s' "$CSV" | curl -sS -o /tmp/verify-session.json -w '%{http_code}' \
+    -X POST --data-binary @- "http://$ADDR/session")
+[ "$SESSION_CODE" = "200" ] || { echo "POST /session returned $SESSION_CODE"; exit 1; }
+grep -q '"version":1' /tmp/verify-session.json || { echo "new session not at version 1"; exit 1; }
+SID=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' /tmp/verify-session.json)
+[ -n "$SID" ] || { echo "session response lacks id"; exit 1; }
+for i in 1 2 3; do
+    CODE=$(printf 'cell,t1,m2,%s.5\n' "$i" | curl -sS -o /tmp/verify-patch.json \
+        -w '%{http_code}' -X PATCH --data-binary @- "http://$ADDR/session/$SID/etc")
+    [ "$CODE" = "200" ] || { echo "PATCH $i returned $CODE"; cat /tmp/verify-patch.json; exit 1; }
+done
+grep -q '"version":4' /tmp/verify-patch.json || { echo "3 patches did not reach version 4"; exit 1; }
+grep -q '"warm":true' /tmp/verify-patch.json || { echo "patch did not recompute warm"; exit 1; }
+WATCH_CODE=$(curl -sS -o /tmp/verify-watch.json -w '%{http_code}' \
+    "http://$ADDR/session/$SID/watch?version=1")
+[ "$WATCH_CODE" = "200" ] || { echo "watch returned $WATCH_CODE"; exit 1; }
+DELTAS=$(grep -o '{"version":[0-9]*' /tmp/verify-watch.json | wc -l)
+[ "$DELTAS" -eq 3 ] || { echo "watch saw $DELTAS deltas, want 3"; cat /tmp/verify-watch.json; exit 1; }
+DELETE_CODE=$(curl -sS -o /dev/null -w '%{http_code}' -X DELETE "http://$ADDR/session/$SID")
+[ "$DELETE_CODE" = "200" ] || { echo "DELETE returned $DELETE_CODE"; exit 1; }
+GONE_CODE=$(curl -sS -o /dev/null -w '%{http_code}' "http://$ADDR/session/$SID")
+[ "$GONE_CODE" = "404" ] || { echo "deleted session still answers $GONE_CODE"; exit 1; }
+echo "session smoke OK (create -> 3 warm patches -> watch 3 deltas -> delete)"
+
 curl -sS "http://$ADDR/quitquitquit" >/dev/null
 wait "$SERVE_PID"
 trap - EXIT
@@ -137,5 +162,54 @@ curl -sS "http://$ADDR/quitquitquit" >/dev/null
 wait "$CHAOS_PID"
 trap - EXIT
 echo "chaos smoke OK"
+
+echo "== session warm-fallback chaos =="
+# A panic injected into every 200th Sinkhorn iteration must be contained by
+# the session engine as a silent cold fallback: every PATCH still answers
+# 200 and session_warm_fallback_total ticks. (The cold create stays well
+# under 200 iterations; warm patches fire a few per request, so hit 200 is
+# guaranteed to land inside some warm attempt.)
+FB_LOG=$(mktemp)
+HC_FAILPOINT='sinkhorn.iteration:panic:200' "$HCM" serve --addr 127.0.0.1:0 \
+    --workers 2 2>"$FB_LOG" &
+FB_PID=$!
+trap 'kill "$FB_PID" 2>/dev/null || true' EXIT
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#.*listening on http://##p' "$FB_LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "fallback server never announced its address"; cat "$FB_LOG"; exit 1; }
+echo "fallback server on $ADDR (sinkhorn.iteration:panic:200 armed)"
+
+printf '%s' "$CSV" | curl -sS -o /tmp/verify-fb-session.json \
+    -X POST --data-binary @- "http://$ADDR/session"
+SID=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' /tmp/verify-fb-session.json)
+[ -n "$SID" ] || { echo "fallback session create failed"; cat /tmp/verify-fb-session.json; exit 1; }
+FELL_BACK=0
+for i in $(seq 1 250); do
+    CODE=$(printf 'cell,t1,m1,%s.5\n' "$((2 + i % 6))" | curl -sS \
+        -o /tmp/verify-fb-patch.json -w '%{http_code}' \
+        -X PATCH --data-binary @- "http://$ADDR/session/$SID/etc") \
+        || { echo "fallback patch $i: connection failed"; exit 1; }
+    [ "$CODE" = "200" ] || { echo "fallback patch $i returned $CODE"; cat /tmp/verify-fb-patch.json; exit 1; }
+    if grep -q '"fallback":true' /tmp/verify-fb-patch.json; then
+        FELL_BACK=1
+        break
+    fi
+done
+[ "$FELL_BACK" = "1" ] || { echo "armed failpoint never produced a warm fallback"; exit 1; }
+curl -sS -o /tmp/verify-fb-metrics.json "http://$ADDR/metrics"
+FALLBACKS=$(sed -n 's/.*"session_warm_fallback_total":\([0-9]*\).*/\1/p' /tmp/verify-fb-metrics.json)
+[ -n "$FALLBACKS" ] && [ "$FALLBACKS" -ge 1 ] \
+    || { echo "expected session_warm_fallback_total >= 1, got '$FALLBACKS'"; exit 1; }
+echo "warm fallback contained after $i patches (session_warm_fallback_total=$FALLBACKS)"
+
+curl -sS "http://$ADDR/quitquitquit" >/dev/null
+wait "$FB_PID"
+trap - EXIT
+echo "session fallback chaos OK"
 
 echo "== verify: all green =="
