@@ -325,6 +325,50 @@ fn main() {
     };
     results.push(recorder_overhead);
 
+    // Profiler-overhead lane: the same warm 512×512 characterize with the
+    // sampling profiler stopped vs running at the default 99 Hz. The delta is
+    // the cost of seqlock frame pushes on every span plus sampler contention;
+    // reported, not gated (tests/overhead.rs gates the budget at <3%).
+    let profiler_overhead = {
+        const SIZE: usize = 512;
+        let ecs = ecs_fixture(SIZE, SIZE);
+        let opts = TmaOptions::default();
+        let mut an = Analyzer::new();
+        let timed = |an: &mut Analyzer| {
+            let t = Instant::now();
+            let r = an
+                .characterize_with(&ecs, None, &opts)
+                .expect("fixture characterizes");
+            assert!(r.tma.is_finite());
+            an.recycle_report(r);
+            t.elapsed().as_nanos()
+        };
+        timed(&mut an); // warm-up, not recorded
+        let (mut off, mut on) = (Vec::new(), Vec::new());
+        // Interleaved for the same reason as the deadline lane; the sampler
+        // thread is started/stopped outside the timed regions.
+        for _ in 0..3 {
+            assert!(!hc_obs::profile::running(), "profiler must start stopped");
+            off.push(timed(&mut an));
+            assert!(hc_obs::profile::start(99), "profiler starts for on-lane");
+            on.push(timed(&mut an));
+            hc_obs::profile::stop();
+        }
+        let off_ns = median_ns(off);
+        let on_ns = median_ns(on);
+        let overhead_pct = if off_ns == 0 {
+            0.0
+        } else {
+            100.0 * (on_ns as f64 - off_ns as f64) / off_ns as f64
+        };
+        format!(
+            "{{\"bench\":\"profiler_overhead\",\"tasks\":{SIZE},\"machines\":{SIZE},\
+             \"profiler_off_median_ns\":{off_ns},\"profiler_on_median_ns\":{on_ns},\
+             \"overhead_pct\":{overhead_pct:.3}}}"
+        )
+    };
+    results.push(profiler_overhead);
+
     // Session warm-vs-cold lane: a live session absorbing single-cell edits.
     // Two engines over the same fixture — one warm-starting Sinkhorn/SVD from
     // the previous solve (the `hc-session` default), one forced cold — each

@@ -1,0 +1,268 @@
+//! `trend` — compares the newest two `BENCH_<date>.json` snapshots and fails
+//! on a timing regression, so `scripts/verify.sh` can gate performance the
+//! same way it gates tests.
+//!
+//! Snapshots are produced by `scripts/bench_snapshot.sh` (one JSON result per
+//! line, see `snapshot.rs`). This binary discovers `BENCH_*.json` in a
+//! directory (argument, default `.`), sorts by file name — the names embed the
+//! date, so lexical order is chronological — and diffs the newest two.
+//!
+//! Machine noise between snapshots is large (cross-machine swings over ±40%
+//! have been observed on the same commit), so the gate is deliberately
+//! conservative: a lane regresses only when the *best* new sample is more than
+//! 20% slower than the *worst* old sample (`new_min_ns > 1.2 × old_max_ns`).
+//! Only lanes carrying `median_ns`/`min_ns`/`max_ns` in both files are gated;
+//! overhead lanes report percentages and are trended by eye instead.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Multiplier applied to the old lane's worst sample; the new lane's best
+/// sample must stay at or below it.
+const TOLERANCE: f64 = 1.2;
+
+/// One gateable lane: the three timing fields every `result_json` lane emits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Lane {
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+/// Lanes keyed by `(bench, tasks, machines)`; `BTreeMap` keeps the report
+/// ordering stable across runs.
+type Lanes = BTreeMap<(String, u64, u64), Lane>;
+
+/// Extracts the value of a `"key":<digits>` numeric field from one JSON line.
+/// Returns `None` when the field is absent (overhead lanes lack `min_ns`).
+fn num_field(line: &str, key: &str) -> Option<u128> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the value of a `"key":"<string>"` field from one JSON line.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Parses a snapshot document into its gateable lanes. The snapshot writer
+/// emits one result object per line, so a line scan is exact, not heuristic.
+fn parse_lanes(doc: &str) -> Lanes {
+    let mut lanes = Lanes::new();
+    for line in doc.lines() {
+        let Some(bench) = str_field(line, "bench") else {
+            continue;
+        };
+        let (Some(tasks), Some(machines)) = (num_field(line, "tasks"), num_field(line, "machines"))
+        else {
+            continue;
+        };
+        let (Some(median_ns), Some(min_ns), Some(max_ns)) = (
+            num_field(line, "median_ns"),
+            num_field(line, "min_ns"),
+            num_field(line, "max_ns"),
+        ) else {
+            continue; // overhead lane: percentages only, not gated
+        };
+        lanes.insert(
+            (bench.to_string(), tasks as u64, machines as u64),
+            Lane {
+                median_ns,
+                min_ns,
+                max_ns,
+            },
+        );
+    }
+    lanes
+}
+
+/// The regression rule: the new lane's best sample exceeds the old lane's
+/// worst sample by more than [`TOLERANCE`].
+fn regressed(old: Lane, new: Lane) -> bool {
+    new.min_ns as f64 > TOLERANCE * old.max_ns as f64
+}
+
+/// `BENCH_*.json` files under `dir`, sorted by file name (i.e. by date).
+fn snapshot_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let files = match snapshot_files(Path::new(&dir)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("trend: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if files.len() < 2 {
+        println!(
+            "trend: {} snapshot(s) in {dir}; need two to diff — nothing to gate",
+            files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let (old_path, new_path) = (&files[files.len() - 2], &files[files.len() - 1]);
+    let read = |p: &PathBuf| std::fs::read_to_string(p);
+    let (old_doc, new_doc) = match (read(old_path), read(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("trend: read failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (old, new) = (parse_lanes(&old_doc), parse_lanes(&new_doc));
+    println!("trend: {} -> {}", old_path.display(), new_path.display());
+    println!(
+        "{:<28} {:>5}x{:<5} {:>14} {:>14} {:>9}  verdict",
+        "bench", "tasks", "mach", "old median_ns", "new median_ns", "change"
+    );
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (key, new_lane) in &new {
+        let Some(old_lane) = old.get(key) else {
+            println!(
+                "{:<28} {:>5}x{:<5} {:>14} {:>14} {:>9}  new lane (not gated)",
+                key.0, key.1, key.2, "-", new_lane.median_ns, "-"
+            );
+            continue;
+        };
+        compared += 1;
+        let change = if old_lane.median_ns == 0 {
+            0.0
+        } else {
+            100.0 * (new_lane.median_ns as f64 - old_lane.median_ns as f64)
+                / old_lane.median_ns as f64
+        };
+        let bad = regressed(*old_lane, *new_lane);
+        if bad {
+            regressions += 1;
+        }
+        println!(
+            "{:<28} {:>5}x{:<5} {:>14} {:>14} {:>+8.1}%  {}",
+            key.0,
+            key.1,
+            key.2,
+            old_lane.median_ns,
+            new_lane.median_ns,
+            change,
+            if bad { "REGRESSED" } else { "ok" }
+        );
+    }
+    for key in old.keys().filter(|k| !new.contains_key(*k)) {
+        println!(
+            "{:<28} {:>5}x{:<5} {:>14} {:>14} {:>9}  dropped lane (not gated)",
+            key.0, key.1, key.2, "-", "-", "-"
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "trend: {regressions} lane(s) regressed (best new sample > \
+             {TOLERANCE}x worst old sample)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("trend: {compared} lane(s) compared, no regressions");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "  {\"bench\":\"sinkhorn.balance\",\"tasks\":17,\"machines\":5,\
+         \"runs\":7,\"median_ns\":7411,\"min_ns\":6424,\"max_ns\":11368,\
+         \"allocs_per_call\":5},";
+
+    #[test]
+    fn extracts_numeric_and_string_fields() {
+        assert_eq!(str_field(LINE, "bench"), Some("sinkhorn.balance"));
+        assert_eq!(num_field(LINE, "tasks"), Some(17));
+        assert_eq!(num_field(LINE, "median_ns"), Some(7411));
+        assert_eq!(num_field(LINE, "min_ns"), Some(6424));
+        assert_eq!(num_field(LINE, "max_ns"), Some(11368));
+        assert_eq!(num_field(LINE, "absent"), None);
+        assert_eq!(str_field(LINE, "absent"), None);
+    }
+
+    #[test]
+    fn parse_skips_lanes_without_full_timing_triplet() {
+        let doc = format!(
+            "{LINE}\n  {{\"bench\":\"profiler_overhead\",\"tasks\":512,\
+             \"machines\":512,\"profiler_off_median_ns\":1,\
+             \"profiler_on_median_ns\":2,\"overhead_pct\":0.1}}\n"
+        );
+        let lanes = parse_lanes(&doc);
+        assert_eq!(lanes.len(), 1);
+        assert!(lanes.contains_key(&("sinkhorn.balance".to_string(), 17, 5)));
+    }
+
+    #[test]
+    fn regression_rule_is_min_vs_tolerated_max() {
+        let old = Lane {
+            median_ns: 100,
+            min_ns: 80,
+            max_ns: 120,
+        };
+        // Best new sample exactly at 1.2x worst old sample: not a regression.
+        let borderline = Lane {
+            median_ns: 200,
+            min_ns: 144,
+            max_ns: 400,
+        };
+        assert!(!regressed(old, borderline));
+        // One nanosecond past the tolerated envelope: regression.
+        let over = Lane {
+            min_ns: 145,
+            ..borderline
+        };
+        assert!(regressed(old, over));
+        // A huge median swing is tolerated as long as min stays inside.
+        let noisy = Lane {
+            median_ns: 5000,
+            min_ns: 90,
+            max_ns: 9000,
+        };
+        assert!(!regressed(old, noisy));
+    }
+
+    #[test]
+    fn snapshot_files_filters_and_sorts_by_name() {
+        let dir = std::env::temp_dir().join(format!(
+            "hc-trend-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["BENCH_20260809.json", "BENCH_20260807.json", "other.json"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        let files = snapshot_files(&dir).unwrap();
+        let names: Vec<_> = files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, ["BENCH_20260807.json", "BENCH_20260809.json"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

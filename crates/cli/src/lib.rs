@@ -47,7 +47,9 @@ pub fn usage() -> &'static str {
     \x20 hcm serve     [--addr 127.0.0.1:7878] [--workers N] [--queue-depth Q]\n\
     \x20               [--cache-entries C] [--slow-ms MS] [--request-timeout-ms MS]\n\
     \x20               [--max-cells N] [--record-requests N] [--record-survivors N]\n\
-    \x20               [--max-sessions N] [--session-ttl-s S] [--dry-run]\n\
+    \x20               [--max-sessions N] [--session-ttl-s S] [--profile-hz HZ]\n\
+    \x20               [--slo-availability F] [--slo-latency-ms MS]\n\
+    \x20               [--slo-window-s S] [--dry-run]\n\
     \x20 hcm help\n\n\
      Global flags (every subcommand, place after the input file):\n\
     \x20 --log-json <path>   write spans/events as JSON lines to <path>\n\
@@ -64,7 +66,12 @@ pub fn usage() -> &'static str {
      A flight recorder keeps the last --record-requests requests (span tree,\n\
      phase timings, kernel telemetry) browsable at GET /debug/requests, pinning\n\
      slow/errored/panicked ones into a --record-survivors ring; traceparent is\n\
-     propagated and GET /metrics?format=prometheus emits text exposition.\n\n\
+     propagated and GET /metrics?format=prometheus emits text exposition.\n\
+     A sampling profiler runs at --profile-hz (0 disables) and serves folded\n\
+     stacks from GET /debug/profile?seconds=N&format=folded|json; the SLO\n\
+     engine tracks --slo-availability (and optionally --slo-latency-ms) over\n\
+     1m/5m/1h-style windows scaled from --slo-window-s, exposing burn rates in\n\
+     /metrics and flipping /healthz to \"degraded\" while an alert fires.\n\n\
      `hcm session` demos the live-session engine offline: it registers the\n\
      matrix, then replays edit lines (cell,<task>,<machine>,<value> |\n\
      row,<task>,v1,.. | col,<machine>,v1,..) one version at a time, printing\n\

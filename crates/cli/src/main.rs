@@ -46,7 +46,7 @@ fn run_serve(raw: &[String]) -> ExitCode {
             eprintln!("hcm serve: listening on http://{}", handle.local_addr());
             eprintln!(
                 "hcm serve: POST /measure /structure /generate /schedule /batch /session; \
-                 GET /metrics /healthz; shutdown via SIGINT or GET /quitquitquit"
+                 GET /metrics /healthz /debug/profile; shutdown via SIGINT or GET /quitquitquit"
             );
             handle.join();
             eprintln!("hcm serve: drained, exiting");

@@ -35,6 +35,10 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
         "record-survivors",
         "max-sessions",
         "session-ttl-s",
+        "profile-hz",
+        "slo-availability",
+        "slo-latency-ms",
+        "slo-window-s",
         "dry-run",
     ])?;
 
@@ -77,6 +81,21 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
     if cfg.session_ttl_s == 0 {
         return Err("--session-ttl-s must be at least 1".to_string());
     }
+    // 0 is valid: it disables profiling (and GET /debug/profile).
+    cfg.profile_hz = args.get_or("profile-hz", cfg.profile_hz)?;
+    cfg.slo_availability = args.get_or("slo-availability", cfg.slo_availability)?;
+    if !(cfg.slo_availability > 0.0 && cfg.slo_availability < 1.0) {
+        return Err(format!(
+            "--slo-availability must be strictly between 0 and 1, got {}",
+            cfg.slo_availability
+        ));
+    }
+    // 0 is valid: it disables the latency objective.
+    cfg.slo_latency_ms = args.get_or("slo-latency-ms", cfg.slo_latency_ms)?;
+    cfg.slo_window_s = args.get_or("slo-window-s", cfg.slo_window_s)?;
+    if cfg.slo_window_s == 0 {
+        return Err("--slo-window-s must be at least 1".to_string());
+    }
     Ok((cfg, args.has("dry-run")))
 }
 
@@ -95,7 +114,11 @@ pub fn describe(cfg: &Config) -> String {
         \x20 record-requests {}\n\
         \x20 record-survivors {}\n\
         \x20 max-sessions   {}\n\
-        \x20 session-ttl-s  {}\n",
+        \x20 session-ttl-s  {}\n\
+        \x20 profile-hz     {}\n\
+        \x20 slo-availability {}\n\
+        \x20 slo-latency-ms {}\n\
+        \x20 slo-window-s   {}\n",
         cfg.addr,
         cfg.workers,
         cfg.queue_depth,
@@ -120,6 +143,18 @@ pub fn describe(cfg: &Config) -> String {
         cfg.record_survivors,
         cfg.max_sessions,
         cfg.session_ttl_s,
+        if cfg.profile_hz == 0 {
+            "off".to_string()
+        } else {
+            cfg.profile_hz.to_string()
+        },
+        cfg.slo_availability,
+        if cfg.slo_latency_ms == 0 {
+            "off".to_string()
+        } else {
+            cfg.slo_latency_ms.to_string()
+        },
+        cfg.slo_window_s,
     )
 }
 
@@ -223,6 +258,39 @@ mod tests {
     }
 
     #[test]
+    fn profiler_and_slo_flags() {
+        let (cfg, _) = cfg_of(&["serve"]).unwrap();
+        assert_eq!(cfg.profile_hz, 99);
+        assert_eq!(cfg.slo_availability, 0.999);
+        assert_eq!(cfg.slo_latency_ms, 0);
+        assert_eq!(cfg.slo_window_s, 60);
+        let (cfg, _) = cfg_of(&[
+            "serve",
+            "--profile-hz",
+            "199",
+            "--slo-availability",
+            "0.99",
+            "--slo-latency-ms",
+            "250",
+            "--slo-window-s",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(cfg.profile_hz, 199);
+        assert_eq!(cfg.slo_availability, 0.99);
+        assert_eq!(cfg.slo_latency_ms, 250);
+        assert_eq!(cfg.slo_window_s, 5);
+        // 0 disables profiling (and /debug/profile) — a valid operating point.
+        let (cfg, _) = cfg_of(&["serve", "--profile-hz", "0"]).unwrap();
+        assert_eq!(cfg.profile_hz, 0);
+        assert!(cfg_of(&["serve", "--slo-availability", "0"]).is_err());
+        assert!(cfg_of(&["serve", "--slo-availability", "1"]).is_err());
+        assert!(cfg_of(&["serve", "--slo-availability", "nine-nines"]).is_err());
+        assert!(cfg_of(&["serve", "--slo-window-s", "0"]).is_err());
+        assert!(cfg_of(&["serve", "--profile-hz", "fast"]).is_err());
+    }
+
+    #[test]
     fn rejects_bad_values() {
         assert!(cfg_of(&["serve", "--workers", "0"]).is_err());
         assert!(cfg_of(&["serve", "--queue-depth", "0"]).is_err());
@@ -247,5 +315,9 @@ mod tests {
         assert!(d.contains("record-survivors 64"), "{d}");
         assert!(d.contains("max-sessions   64"), "{d}");
         assert!(d.contains("session-ttl-s  900"), "{d}");
+        assert!(d.contains("profile-hz     99"), "{d}");
+        assert!(d.contains("slo-availability 0.999"), "{d}");
+        assert!(d.contains("slo-latency-ms off"), "{d}");
+        assert!(d.contains("slo-window-s   60"), "{d}");
     }
 }

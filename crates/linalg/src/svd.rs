@@ -438,6 +438,7 @@ fn jacobi_sweep_core(
             b.check("jacobi-svd", sweeps, budget_worst)?;
         }
         sweeps += 1;
+        let _sweep = hc_obs::span("linalg.svd.jacobi.sweep");
         let mut rotated = false;
         let mut sweep_worst = 0.0_f64;
         for p in 0..n {
@@ -616,7 +617,10 @@ pub fn golub_reinsch_svd_stats_budgeted_in(
     }
     let mut obs = hc_obs::span("linalg.svd.golub_reinsch");
     let mut total_iters = 0usize;
-    let Bidiag { u, v, d, e } = bidiagonalize_in(a, ws)?;
+    let Bidiag { u, v, d, e } = {
+        let _phase = hc_obs::span("linalg.svd.bidiag");
+        bidiagonalize_in(a, ws)?
+    };
     let n = d.len();
     let mut d = d;
     // rv1[i] is the superdiagonal entry coupling d[i-1] and d[i]; rv1[0] is unused
@@ -636,6 +640,7 @@ pub fn golub_reinsch_svd_stats_budgeted_in(
     let eps = f64::EPSILON;
     let negligible = |x: f64| x.abs() <= eps * anorm;
 
+    let qr_phase = hc_obs::span("linalg.svd.qr");
     for k in (0..n).rev() {
         let mut its = 0;
         loop {
@@ -746,6 +751,7 @@ pub fn golub_reinsch_svd_stats_budgeted_in(
             d[k] = x;
         }
     }
+    drop(qr_phase);
 
     hc_obs::obs_counter!("linalg_svd_gr_total").inc();
     hc_obs::obs_counter!("linalg_svd_gr_iterations_total").add(total_iters as u64);

@@ -23,6 +23,13 @@
 //! * [`prom`] — Prometheus text exposition (format 0.0.4) over the metrics
 //!   registry: counters, gauges, and log₂ histograms as cumulative
 //!   `_bucket{le=...}` series.
+//! * [`profile`] — an always-on continuous sampling profiler: a sampler
+//!   thread snapshots every registered thread's live span stack through a
+//!   lock-free seqlock path and folds the samples into epoch ring buffers,
+//!   rendered as collapsed-stack text or a JSON top table.
+//! * [`slo`] — rolling multi-window availability/latency objectives with
+//!   Google-SRE fast/slow burn-rate alerting, feeding `/metrics` and the
+//!   `degraded` state on `/healthz`.
 //!
 //! Two fault-containment utilities also live here, at the bottom of the
 //! dependency graph so both the kernels and the daemon can share them:
@@ -52,9 +59,11 @@
 pub mod failpoints;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod prom;
 pub mod recorder;
 pub mod sink;
+pub mod slo;
 pub mod span;
 pub mod sync;
 pub mod trace;

@@ -1,0 +1,408 @@
+//! Rolling multi-window SLO tracking with Google-SRE burn-rate alerts.
+//!
+//! An [`SloEngine`] is fed one `(status, latency)` observation per finished
+//! request and answers, at any moment, "how fast are we burning error
+//! budget?" over three nested windows (short / mid / long — by default
+//! 1 m / 5 m / 1 h). Two objectives are tracked:
+//!
+//! * **Availability** — a request is *bad* when its status is ≥ 500 (client
+//!   errors spend no budget: a 4xx means the daemon worked).
+//! * **Latency** — optional; a request is *bad* when it took longer than the
+//!   configured threshold, regardless of status.
+//!
+//! # Window math
+//!
+//! Each objective keeps one fixed ring of per-second slots (`long_secs`
+//! slots; slot *i* holds the second `now ≡ i (mod len)` and is lazily reset
+//! when written or read under a stale second stamp). A window of `w` seconds
+//! sums the newest `w` slots — so the three windows share one ring, one
+//! mutex, and O(long_secs) memory, and reads are exact rather than decayed
+//! approximations.
+//!
+//! The **burn rate** of a window is `error_rate / (1 − objective)`: 1.0
+//! means the error budget is being spent exactly as fast as the objective
+//! allows; 14.4 means a 30-day budget dies in ~2 days. Following the SRE
+//! workbook, an alert requires *two* windows to burn simultaneously so a
+//! single bad second cannot page and a long-resolved incident cannot page
+//! either:
+//!
+//! * **fast** (page) — short *and* mid windows both ≥ `fast_burn_threshold`
+//!   (default 14.4).
+//! * **slow** (ticket) — mid *and* long windows both ≥ `slow_burn_threshold`
+//!   (default 6.0).
+//!
+//! Windows with zero traffic burn nothing. The engine is pure bookkeeping —
+//! JSON/Prometheus rendering lives in the daemon, which also maps the alert
+//! state onto `/healthz` (`degraded` while any alert fires).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::sync::lock_recover;
+
+/// Configuration for an [`SloEngine`]; see the module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Availability objective in (0, 1), e.g. `0.999`.
+    pub availability_objective: f64,
+    /// Latency objective in (0, 1) (share of requests that must beat the
+    /// threshold), e.g. `0.999`.
+    pub latency_objective: f64,
+    /// Latency threshold in milliseconds; `0` disables the latency SLO.
+    pub latency_threshold_ms: u64,
+    /// Short (paging) window length in seconds.
+    pub short_secs: u64,
+    /// Mid window length in seconds.
+    pub mid_secs: u64,
+    /// Long (ticketing) window length in seconds; also the ring length.
+    pub long_secs: u64,
+    /// Burn rate at which the short+mid pair fires the fast alert.
+    pub fast_burn_threshold: f64,
+    /// Burn rate at which the mid+long pair fires the slow alert.
+    pub slow_burn_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            availability_objective: 0.999,
+            latency_objective: 0.999,
+            latency_threshold_ms: 0,
+            short_secs: 60,
+            mid_secs: 300,
+            long_secs: 3600,
+            fast_burn_threshold: 14.4,
+            slow_burn_threshold: 6.0,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Scales the default 1 m / 5 m / 1 h windows by `short_secs / 60`,
+    /// keeping the 1:5:60 ratio (used by `--slo-window-s`, and by tests that
+    /// cannot wait out real windows).
+    pub fn with_short_window(mut self, short_secs: u64) -> Self {
+        let s = short_secs.max(1);
+        self.short_secs = s;
+        self.mid_secs = s * 5;
+        self.long_secs = s * 60;
+        self
+    }
+}
+
+/// One per-second accumulator slot in the ring.
+#[derive(Clone, Copy, Default)]
+struct Slot {
+    /// Absolute second (since engine start) this slot currently holds.
+    second: u64,
+    good: u64,
+    bad: u64,
+}
+
+/// Fixed ring of per-second slots; `slots[s % len]` holds second `s`.
+struct Ring {
+    slots: Vec<Slot>,
+}
+
+impl Ring {
+    fn new(len: u64) -> Self {
+        Ring {
+            slots: vec![Slot::default(); len.max(1) as usize],
+        }
+    }
+
+    fn record(&mut self, second: u64, bad: bool) {
+        let len = self.slots.len() as u64;
+        let slot = &mut self.slots[(second % len) as usize];
+        if slot.second != second {
+            *slot = Slot {
+                second,
+                good: 0,
+                bad: 0,
+            };
+        }
+        if bad {
+            slot.bad += 1;
+        } else {
+            slot.good += 1;
+        }
+    }
+
+    /// Sums the `window` seconds ending at `second` (inclusive), skipping
+    /// slots whose stamp shows they hold an older lap of the ring.
+    fn window(&self, second: u64, window: u64) -> (u64, u64) {
+        let len = self.slots.len() as u64;
+        let window = window.min(len);
+        let (mut good, mut bad) = (0u64, 0u64);
+        let oldest = second.saturating_sub(window - 1);
+        for s in oldest..=second {
+            let slot = &self.slots[(s % len) as usize];
+            if slot.second == s {
+                good += slot.good;
+                bad += slot.bad;
+            }
+        }
+        (good, bad)
+    }
+}
+
+/// Error-rate and burn-rate readings for one window of one objective.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowStats {
+    /// Window length in seconds.
+    pub seconds: u64,
+    /// Requests observed in the window.
+    pub total: u64,
+    /// Bad requests observed in the window.
+    pub bad: u64,
+    /// `bad / total`, or 0 with no traffic.
+    pub error_rate: f64,
+    /// `error_rate / (1 − objective)`, or 0 with no traffic.
+    pub burn_rate: f64,
+}
+
+/// Point-in-time reading of one objective across its three windows.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectiveSnapshot {
+    /// The configured objective (e.g. 0.999).
+    pub objective: f64,
+    /// Short (paging) window reading.
+    pub short: WindowStats,
+    /// Mid window reading.
+    pub mid: WindowStats,
+    /// Long (ticketing) window reading.
+    pub long: WindowStats,
+    /// True while the short+mid fast-burn alert fires.
+    pub fast_alert: bool,
+    /// True while the mid+long slow-burn alert fires.
+    pub slow_alert: bool,
+}
+
+/// Point-in-time reading of the whole engine.
+#[derive(Debug, Clone, Copy)]
+pub struct SloSnapshot {
+    /// Availability objective reading.
+    pub availability: ObjectiveSnapshot,
+    /// Latency objective reading (threshold in ms, reading), when enabled.
+    pub latency: Option<(u64, ObjectiveSnapshot)>,
+    /// True while any burn-rate alert on any objective fires; surfaces as
+    /// `"degraded"` on `/healthz`.
+    pub degraded: bool,
+}
+
+struct Rings {
+    availability: Ring,
+    latency: Ring,
+}
+
+/// Thread-safe rolling SLO tracker; see the module docs.
+pub struct SloEngine {
+    config: SloConfig,
+    start: Instant,
+    inner: Mutex<Rings>,
+}
+
+impl SloEngine {
+    /// Creates an engine; time starts now.
+    pub fn new(config: SloConfig) -> Self {
+        let rings = Rings {
+            availability: Ring::new(config.long_secs),
+            latency: Ring::new(if config.latency_threshold_ms > 0 {
+                config.long_secs
+            } else {
+                1
+            }),
+        };
+        SloEngine {
+            config,
+            start: Instant::now(),
+            inner: Mutex::new(rings),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Feeds one finished request: `status` is the HTTP status sent,
+    /// `latency` the accept-to-response wall time.
+    pub fn record(&self, status: u16, latency: Duration) {
+        let second = self.start.elapsed().as_secs();
+        let mut rings = lock_recover(&self.inner);
+        rings.availability.record(second, status >= 500);
+        if self.config.latency_threshold_ms > 0 {
+            let slow = latency > Duration::from_millis(self.config.latency_threshold_ms);
+            rings.latency.record(second, slow);
+        }
+    }
+
+    fn stats(ring: &Ring, second: u64, seconds: u64, objective: f64) -> WindowStats {
+        let (good, bad) = ring.window(second, seconds);
+        let total = good + bad;
+        let error_rate = if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        };
+        let budget = (1.0 - objective).max(f64::EPSILON);
+        WindowStats {
+            seconds,
+            total,
+            bad,
+            error_rate,
+            burn_rate: error_rate / budget,
+        }
+    }
+
+    fn objective_snapshot(&self, ring: &Ring, second: u64, objective: f64) -> ObjectiveSnapshot {
+        let short = Self::stats(ring, second, self.config.short_secs, objective);
+        let mid = Self::stats(ring, second, self.config.mid_secs, objective);
+        let long = Self::stats(ring, second, self.config.long_secs, objective);
+        let fast = self.config.fast_burn_threshold;
+        let slow = self.config.slow_burn_threshold;
+        ObjectiveSnapshot {
+            objective,
+            short,
+            mid,
+            long,
+            fast_alert: short.burn_rate >= fast && mid.burn_rate >= fast,
+            slow_alert: mid.burn_rate >= slow && long.burn_rate >= slow,
+        }
+    }
+
+    /// Reads the current multi-window state of every objective.
+    pub fn snapshot(&self) -> SloSnapshot {
+        let second = self.start.elapsed().as_secs();
+        let rings = lock_recover(&self.inner);
+        let availability = self.objective_snapshot(
+            &rings.availability,
+            second,
+            self.config.availability_objective,
+        );
+        let latency = if self.config.latency_threshold_ms > 0 {
+            Some((
+                self.config.latency_threshold_ms,
+                self.objective_snapshot(&rings.latency, second, self.config.latency_objective),
+            ))
+        } else {
+            None
+        };
+        let mut degraded = availability.fast_alert || availability.slow_alert;
+        if let Some((_, l)) = &latency {
+            degraded = degraded || l.fast_alert || l.slow_alert;
+        }
+        SloSnapshot {
+            availability,
+            latency,
+            degraded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig::default().with_short_window(60)
+    }
+
+    #[test]
+    fn with_short_window_keeps_ratio() {
+        let c = SloConfig::default().with_short_window(2);
+        assert_eq!((c.short_secs, c.mid_secs, c.long_secs), (2, 10, 120));
+    }
+
+    #[test]
+    fn clean_traffic_does_not_alert() {
+        let e = SloEngine::new(cfg());
+        for _ in 0..100 {
+            e.record(200, Duration::from_millis(1));
+        }
+        let s = e.snapshot();
+        assert!(!s.degraded);
+        assert_eq!(s.availability.short.total, 100);
+        assert_eq!(s.availability.short.bad, 0);
+        assert_eq!(s.availability.short.burn_rate, 0.0);
+        assert!(s.latency.is_none(), "latency SLO off by default");
+    }
+
+    #[test]
+    fn client_errors_spend_no_availability_budget() {
+        let e = SloEngine::new(cfg());
+        for _ in 0..50 {
+            e.record(400, Duration::from_millis(1));
+            e.record(404, Duration::from_millis(1));
+        }
+        let s = e.snapshot();
+        assert_eq!(s.availability.short.bad, 0);
+        assert!(!s.degraded);
+    }
+
+    #[test]
+    fn sustained_5xx_fires_fast_alert() {
+        let e = SloEngine::new(cfg());
+        for _ in 0..20 {
+            e.record(504, Duration::from_millis(1));
+        }
+        let s = e.snapshot();
+        // 100% errors against a 0.1% budget: burn rate 1000 on every window
+        // that has traffic.
+        assert!(s.availability.short.burn_rate > 14.4);
+        assert!(s.availability.fast_alert, "fast alert must fire");
+        assert!(s.degraded);
+    }
+
+    #[test]
+    fn empty_windows_burn_nothing() {
+        let e = SloEngine::new(cfg());
+        let s = e.snapshot();
+        assert_eq!(s.availability.short.total, 0);
+        assert_eq!(s.availability.short.burn_rate, 0.0);
+        assert!(!s.degraded);
+    }
+
+    #[test]
+    fn latency_slo_counts_slow_requests_of_any_status() {
+        let mut c = cfg();
+        c.latency_threshold_ms = 10;
+        let e = SloEngine::new(c);
+        for _ in 0..10 {
+            e.record(200, Duration::from_millis(50));
+        }
+        let s = e.snapshot();
+        let (threshold, l) = s.latency.expect("latency SLO enabled");
+        assert_eq!(threshold, 10);
+        assert_eq!(l.short.bad, 10);
+        assert!(l.fast_alert);
+        assert!(s.degraded);
+        // Availability stayed clean: all 200s.
+        assert_eq!(s.availability.short.bad, 0);
+        assert!(!s.availability.fast_alert);
+    }
+
+    #[test]
+    fn ring_laps_do_not_leak_old_seconds() {
+        let mut ring = Ring::new(4);
+        ring.record(0, true);
+        ring.record(1, true);
+        // Seconds 4 and 5 overwrite the slots of seconds 0 and 1.
+        ring.record(4, false);
+        ring.record(5, false);
+        let (good, bad) = ring.window(5, 4);
+        assert_eq!((good, bad), (2, 0), "old-lap bads must not be counted");
+    }
+
+    #[test]
+    fn window_sum_is_exact_over_recent_seconds() {
+        let mut ring = Ring::new(10);
+        for s in 0..10u64 {
+            ring.record(s, s % 2 == 0);
+        }
+        let (good, bad) = ring.window(9, 3); // seconds 7, 8, 9
+        assert_eq!((good, bad), (2, 1));
+        let (good, bad) = ring.window(9, 10);
+        assert_eq!((good, bad), (5, 5));
+    }
+}

@@ -7,9 +7,15 @@
 //!
 //! When no sink is installed and no flight record is active on the thread,
 //! [`span`] returns a disarmed guard without touching the thread-local stack
-//! or reading the clock: the total cost is one relaxed atomic load plus one
-//! thread-local flag read, which is what keeps always-on instrumentation in
-//! the numeric hot paths affordable (see DESIGN.md §8 and §11 for budgets).
+//! or reading the clock: the total cost is two relaxed atomic loads (sink
+//! level + profiler gate) plus one thread-local flag read, which is what
+//! keeps always-on instrumentation in the numeric hot paths affordable (see
+//! DESIGN.md §8, §11, and §13 for budgets).
+//!
+//! Every span — armed or not — additionally mirrors itself onto the
+//! continuous profiler's per-thread frame stack when the sampler is running
+//! (see [`crate::profile`]); that path is a seqlock'd pair of atomic stores
+//! and never blocks.
 //!
 //! Armed spans fan out twice on drop: to the installed sinks (if any) and to
 //! the current thread's active flight record (if any) — so the recorder
@@ -35,13 +41,21 @@ pub struct SpanGuard {
     parent: Option<&'static str>,
     fields: Vec<(&'static str, FieldValue)>,
     armed: bool,
+    /// True when this span was pushed onto the continuous profiler's frame
+    /// stack and owes a pop on drop (kept separate from `armed` so the
+    /// profiler can run with no sink installed, and so an enable/disable
+    /// race mid-span never unbalances the frame stack).
+    profiled: bool,
 }
 
 /// Opens a span named `name` on the current thread.
 ///
 /// If no sink is installed and no flight record is active (the common case),
 /// this is a no-op guard: no allocation, no clock read, no span-stack access.
+/// When the continuous profiler is sampling, the span is also mirrored onto
+/// the per-thread profile frame stack regardless of arming.
 pub fn span(name: &'static str) -> SpanGuard {
+    let profiled = crate::profile::frame_push(name);
     if !sink::enabled(Level::Info) && !recorder::recording() {
         return SpanGuard {
             name,
@@ -50,6 +64,7 @@ pub fn span(name: &'static str) -> SpanGuard {
             parent: None,
             fields: Vec::new(),
             armed: false,
+            profiled,
         };
     }
     let (depth, parent) = STACK.with(|s| {
@@ -66,6 +81,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         parent,
         fields: Vec::new(),
         armed: true,
+        profiled,
     }
 }
 
@@ -116,6 +132,9 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.profiled {
+            crate::profile::frame_pop();
+        }
         if !self.armed {
             return;
         }

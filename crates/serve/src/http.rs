@@ -166,6 +166,16 @@ impl Response {
         }
     }
 
+    /// A `200 OK` plain-text response (e.g. collapsed profile stacks).
+    pub fn text(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
     /// A `200 OK` Prometheus text-exposition response (format 0.0.4).
     pub fn prometheus(body: String) -> Self {
         Self {

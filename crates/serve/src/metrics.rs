@@ -182,12 +182,17 @@ impl Registry {
     /// flight-recorder stats object, and `library` is the merged [`hc_obs`]
     /// registry export ([`hc_obs::metrics::export_json`]) so one scrape
     /// covers both server and library counters.
+    /// `sessions` is the live-session counter object
+    /// ([`sessions_json`]) and `slo` the burn-rate snapshot ([`slo_json`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn to_json(
         &self,
         pool: &str,
         cache: &str,
         faults: &str,
         recorder: &str,
+        sessions: &str,
+        slo: &str,
         in_flight: i64,
         library: &str,
     ) -> String {
@@ -208,9 +213,118 @@ impl Registry {
             .raw("cache", cache)
             .raw("faults", faults)
             .raw("recorder", recorder)
+            .raw("sessions", sessions)
+            .raw("slo", slo)
             .raw("library", library)
             .finish()
     }
+}
+
+/// Live-session counters, read once per scrape from the shared [`hc_obs`]
+/// registry so the JSON `sessions` object and the Prometheus
+/// `hc_serve_sessions_*` series agree by construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionCounters {
+    /// Sessions currently alive (`session_active` gauge).
+    pub active: i64,
+    /// Sessions ever created.
+    pub created: u64,
+    /// Sessions removed by explicit `DELETE`.
+    pub deleted: u64,
+    /// Sessions removed by TTL expiry.
+    pub expired: u64,
+    /// Sessions removed by LRU eviction at `--max-sessions`.
+    pub evicted: u64,
+    /// `PATCH /session/{id}/etc` requests applied.
+    pub patches: u64,
+    /// `GET /session/{id}/watch` long-polls started.
+    pub watches: u64,
+    /// Long-polls answered with deltas (woken by a version change).
+    pub watch_wakes: u64,
+    /// `If-Match` version conflicts answered `409`.
+    pub conflicts: u64,
+    /// Watchers flushed by a drain.
+    pub drains: u64,
+    /// Warm recomputes that silently fell back to a cold solve.
+    pub warm_fallbacks: u64,
+    /// Total recomputes (cold creates included).
+    pub recomputes: u64,
+    /// Recomputes served by the warm path.
+    pub recomputes_warm: u64,
+}
+
+/// Reads the current [`SessionCounters`] from the global metrics registry.
+pub fn session_counters() -> SessionCounters {
+    let c = |name: &str| hc_obs::metrics::counter_value(name).unwrap_or(0);
+    SessionCounters {
+        active: hc_obs::metrics::gauge_value("session_active").unwrap_or(0),
+        created: c("session_created_total"),
+        deleted: c("session_deleted_total"),
+        expired: c("session_expired_total"),
+        evicted: c("session_evicted_total"),
+        patches: c("session_patch_total"),
+        watches: c("session_watch_total"),
+        watch_wakes: c("session_watch_wake_total"),
+        conflicts: c("session_conflict_total"),
+        drains: c("session_drain_total"),
+        warm_fallbacks: c("session_warm_fallback_total"),
+        recomputes: c("session_recompute_total"),
+        recomputes_warm: c("session_recompute_warm_total"),
+    }
+}
+
+/// Renders the `/metrics` JSON `sessions` object.
+pub fn sessions_json(s: &SessionCounters) -> String {
+    JsonObject::new()
+        .i64("active", s.active)
+        .u64("created_total", s.created)
+        .u64("deleted_total", s.deleted)
+        .u64("expired_total", s.expired)
+        .u64("evicted_total", s.evicted)
+        .u64("patches_total", s.patches)
+        .u64("watches_total", s.watches)
+        .u64("watch_wakes_total", s.watch_wakes)
+        .u64("conflicts_total", s.conflicts)
+        .u64("drains_total", s.drains)
+        .u64("warm_fallbacks_total", s.warm_fallbacks)
+        .u64("recomputes_total", s.recomputes)
+        .u64("recomputes_warm_total", s.recomputes_warm)
+        .finish()
+}
+
+fn window_json(w: &hc_obs::slo::WindowStats) -> String {
+    JsonObject::new()
+        .u64("seconds", w.seconds)
+        .u64("total", w.total)
+        .u64("bad", w.bad)
+        .num("error_rate", w.error_rate)
+        .num("burn_rate", w.burn_rate)
+        .finish()
+}
+
+fn objective_fields(obj: JsonObject, o: &hc_obs::slo::ObjectiveSnapshot) -> JsonObject {
+    obj.num("objective", o.objective)
+        .raw("short", &window_json(&o.short))
+        .raw("mid", &window_json(&o.mid))
+        .raw("long", &window_json(&o.long))
+        .bool("fast_alert", o.fast_alert)
+        .bool("slow_alert", o.slow_alert)
+}
+
+/// Renders the `/metrics` JSON `slo` object from one engine snapshot.
+pub fn slo_json(s: &hc_obs::slo::SloSnapshot) -> String {
+    let availability = objective_fields(JsonObject::new(), &s.availability).finish();
+    let mut obj = JsonObject::new()
+        .bool("degraded", s.degraded)
+        .raw("availability", &availability);
+    obj = match &s.latency {
+        Some((threshold_ms, o)) => {
+            let lat = objective_fields(JsonObject::new().u64("threshold_ms", *threshold_ms), o);
+            obj.raw("latency", &lat.finish())
+        }
+        None => obj.raw("latency", "null"),
+    };
+    obj.finish()
 }
 
 /// Renders the whole `/metrics?format=prometheus` document: per-endpoint
@@ -349,11 +463,96 @@ pub fn prometheus_document(state: &crate::server::ServerState) -> String {
         state.recorder.survivors_pinned_total(),
     );
 
+    // Live-session series, read from the same registry snapshot helper as
+    // the JSON `sessions` object (goldened for agreement in the tests).
+    let s = session_counters();
+    gauge(&mut w, "hc_serve_sessions_active", s.active);
+    counter(&mut w, "hc_serve_sessions_created_total", s.created);
+    counter(&mut w, "hc_serve_sessions_deleted_total", s.deleted);
+    counter(&mut w, "hc_serve_sessions_expired_total", s.expired);
+    counter(&mut w, "hc_serve_sessions_evicted_total", s.evicted);
+    counter(&mut w, "hc_serve_sessions_patches_total", s.patches);
+    counter(&mut w, "hc_serve_sessions_watches_total", s.watches);
+    counter(&mut w, "hc_serve_sessions_watch_wakes_total", s.watch_wakes);
+    counter(&mut w, "hc_serve_sessions_conflicts_total", s.conflicts);
+    counter(&mut w, "hc_serve_sessions_drains_total", s.drains);
+    counter(
+        &mut w,
+        "hc_serve_sessions_warm_fallbacks_total",
+        s.warm_fallbacks,
+    );
+    counter(&mut w, "hc_serve_sessions_recomputes_total", s.recomputes);
+    counter(
+        &mut w,
+        "hc_serve_sessions_recomputes_warm_total",
+        s.recomputes_warm,
+    );
+
+    write_slo_series(&mut w, &state.slo.snapshot());
+
     // The merged hc-obs library registry (sinkhorn/SVD/core counters and
     // iteration histograms), so kernels and daemon share one scrape.
     let mut out = w.finish();
     out.push_str(&hc_obs::prom::render_registry());
     out
+}
+
+/// Writes the SLO gauge series for one engine snapshot: per-objective
+/// objectives, per-window error/burn rates, per-alert firing flags, and the
+/// overall `degraded` flag — mirroring the JSON `slo` object.
+fn write_slo_series(w: &mut hc_obs::prom::PromWriter, s: &hc_obs::slo::SloSnapshot) {
+    let mut objectives: Vec<(&str, &hc_obs::slo::ObjectiveSnapshot)> =
+        vec![("availability", &s.availability)];
+    if let Some((_, o)) = &s.latency {
+        objectives.push(("latency", o));
+    }
+
+    w.type_line("hc_serve_slo_objective", "gauge");
+    for (slo, o) in &objectives {
+        w.sample(
+            "hc_serve_slo_objective",
+            &[("slo", slo)],
+            &format!("{}", o.objective),
+        );
+    }
+    let windows =
+        |o: &hc_obs::slo::ObjectiveSnapshot| [("short", o.short), ("mid", o.mid), ("long", o.long)];
+    w.type_line("hc_serve_slo_error_rate", "gauge");
+    for (slo, o) in &objectives {
+        for (window, stats) in windows(o) {
+            w.sample(
+                "hc_serve_slo_error_rate",
+                &[("slo", slo), ("window", window)],
+                &format!("{}", stats.error_rate),
+            );
+        }
+    }
+    w.type_line("hc_serve_slo_burn_rate", "gauge");
+    for (slo, o) in &objectives {
+        for (window, stats) in windows(o) {
+            w.sample(
+                "hc_serve_slo_burn_rate",
+                &[("slo", slo), ("window", window)],
+                &format!("{}", stats.burn_rate),
+            );
+        }
+    }
+    w.type_line("hc_serve_slo_alert_firing", "gauge");
+    for (slo, o) in &objectives {
+        for (alert, firing) in [("fast", o.fast_alert), ("slow", o.slow_alert)] {
+            w.sample(
+                "hc_serve_slo_alert_firing",
+                &[("slo", slo), ("alert", alert)],
+                if firing { "1" } else { "0" },
+            );
+        }
+    }
+    w.type_line("hc_serve_slo_degraded", "gauge");
+    w.sample(
+        "hc_serve_slo_degraded",
+        &[],
+        if s.degraded { "1" } else { "0" },
+    );
 }
 
 /// Build identity rendered into `/metrics` and `/healthz`: crate version plus
@@ -416,6 +615,8 @@ mod tests {
             "{\"entries\":0}",
             "{\"panics_total\":0}",
             "{\"recorded_total\":0}",
+            "{\"active\":0}",
+            "{\"degraded\":false}",
             2,
             "{}",
         );
@@ -428,6 +629,8 @@ mod tests {
         assert!(j.contains("\"service_histogram_us\""));
         assert!(j.contains("\"pool\":{\"queued\":0}"));
         assert!(j.contains("\"faults\":{\"panics_total\":0}"));
+        assert!(j.contains("\"sessions\":{\"active\":0}"));
+        assert!(j.contains("\"slo\":{\"degraded\":false}"));
         assert!(j.contains("\"library\":{}"));
         assert!(j.contains("le_"));
     }
@@ -446,7 +649,7 @@ mod tests {
         // Recording and rendering both recover instead of propagating.
         r.record("e", false, false, Duration::from_micros(5), Duration::ZERO);
         assert_eq!(r.snapshot("e").unwrap().count, 1);
-        let j = r.to_json("{}", "{}", "{}", "{}", 0, "{}");
+        let j = r.to_json("{}", "{}", "{}", "{}", "{}", "{}", 0, "{}");
         assert!(j.contains("\"requests_total\":1"), "{j}");
     }
 

@@ -28,6 +28,22 @@ const MAX_SLEEP_MS: u64 = 10_000;
 /// own, so a header cannot schedule an effectively-unbounded budget.
 const MAX_HEADER_TIMEOUT_MS: u64 = 600_000;
 
+/// Endpoints whose responses describe live server state and must never be
+/// served stale by an intermediary: every one gets `Cache-Control: no-store`
+/// centrally in [`route`] (one list instead of per-handler headers, so a new
+/// live endpoint cannot silently miss it).
+const NO_STORE_ENDPOINTS: &[&str] = &[
+    "metrics",
+    "healthz",
+    "debug_requests",
+    "debug_request",
+    "debug_profile",
+    "session",
+    "session_id",
+    "session_etc",
+    "session_watch",
+];
+
 /// The per-request deadline in effect: the client's `X-Timeout-Ms` clamped to
 /// the server's `--request-timeout-ms` (or to [`MAX_HEADER_TIMEOUT_MS`] when
 /// the server sets none). `None` = no deadline.
@@ -51,6 +67,9 @@ pub(crate) fn cache_lock(state: &ServerState) -> MutexGuard<'_, LruCache> {
 fn endpoint_name(req: &Request) -> &'static str {
     if req.path.starts_with("/debug/requests/") {
         return "debug_request";
+    }
+    if req.path == "/debug/profile" {
+        return "debug_profile";
     }
     if let Some(rest) = req.path.strip_prefix("/session/") {
         return if rest.ends_with("/etc") {
@@ -290,14 +309,51 @@ fn metrics_document(state: &ServerState) -> String {
             state.faults.deadline_exceeded.load(Ordering::Relaxed),
         )
         .finish();
+    let sessions_json = crate::metrics::sessions_json(&crate::metrics::session_counters());
+    let slo_json = crate::metrics::slo_json(&state.slo.snapshot());
     state.metrics.to_json(
         &state.pool.stats_json(),
         &cache_json,
         &faults_json,
         &recorder_json,
+        &sessions_json,
+        &slo_json,
         state.in_flight.load(std::sync::atomic::Ordering::Relaxed),
         &hc_obs::metrics::export_json(),
     )
+}
+
+/// `GET /debug/profile?seconds=N&format=folded|json` — the continuous
+/// profiler's folded-stack render (default) or JSON top table. `seconds`
+/// restricts the profile to the epochs overlapping the last N seconds;
+/// absent means since boot. Answers a typed 404 while profiling is disabled
+/// (`--profile-hz 0`).
+fn debug_profile(req: &Request) -> Result<Response, HttpError> {
+    if !hc_obs::profile::running() {
+        return Err(HttpError::typed(
+            404,
+            "profiler_disabled",
+            "continuous profiling is disabled (start the server with --profile-hz > 0)",
+        ));
+    }
+    let window = match req.param("seconds") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(s) if s > 0 => Some(Duration::from_secs(s)),
+            _ => {
+                return Err(HttpError::bad(format!(
+                    "seconds must be a positive integer, got {raw:?}"
+                )))
+            }
+        },
+    };
+    match req.param("format") {
+        None | Some("folded") => Ok(Response::text(hc_obs::profile::render_folded(window))),
+        Some("json") => Ok(Response::json(hc_obs::profile::top_json(window, 50))),
+        Some(other) => Err(HttpError::bad(format!(
+            "unknown format {other:?} (expected folded or json)"
+        ))),
+    }
 }
 
 /// Folds a session handler result into the dispatch shape, keeping the
@@ -358,6 +414,11 @@ pub fn route(
         max_cells: state.config.max_cells,
     };
     let (resp, cache_hit) = dispatch(state, name, req, &ctx);
+    let resp = if NO_STORE_ENDPOINTS.contains(&name) {
+        resp.with_header("Cache-Control", "no-store")
+    } else {
+        resp
+    };
     let service = service_start.elapsed();
     let latency = accepted.elapsed();
     if budget.is_some() {
@@ -485,17 +546,10 @@ fn dispatch(
             session_result(state, crate::session::watch(state, req, id, ctx))
         }
         "metrics" => match require_method(req, "GET") {
-            // Live-state endpoints carry `Cache-Control: no-store` so an
-            // intermediary can never serve stale metrics or health.
             Ok(()) => match req.param("format") {
-                None | Some("json") => (
-                    Response::json(metrics_document(state))
-                        .with_header("Cache-Control", "no-store"),
-                    false,
-                ),
+                None | Some("json") => (Response::json(metrics_document(state)), false),
                 Some("prometheus") => (
-                    Response::prometheus(crate::metrics::prometheus_document(state))
-                        .with_header("Cache-Control", "no-store"),
+                    Response::prometheus(crate::metrics::prometheus_document(state)),
                     false,
                 ),
                 Some(other) => (
@@ -508,37 +562,44 @@ fn dispatch(
             },
             Err(resp) => (resp, false),
         },
-        "healthz" => (
-            Response::json(
-                JsonObject::new()
-                    .bool("ok", true)
-                    .u64("uptime_seconds", state.metrics.uptime().as_secs())
-                    .raw("build", &crate::metrics::build_info_json())
-                    .i64(
-                        "requests_in_flight",
-                        state.in_flight.load(std::sync::atomic::Ordering::Relaxed),
-                    )
-                    .finish(),
-            )
-            .with_header("Cache-Control", "no-store"),
-            false,
-        ),
-        "debug_requests" => match require_method(req, "GET") {
-            Ok(()) => (
-                Response::json(state.recorder.summary_json())
-                    .with_header("Cache-Control", "no-store"),
+        "healthz" => {
+            // `ok` stays for backwards compatibility: the process is up and
+            // answering. `status` degrades to "degraded" while an SLO
+            // burn-rate alert fires, so orchestration can act before the
+            // budget is gone.
+            let degraded = state.slo.snapshot().degraded;
+            (
+                Response::json(
+                    JsonObject::new()
+                        .bool("ok", true)
+                        .str("status", if degraded { "degraded" } else { "ok" })
+                        .u64("uptime_seconds", state.metrics.uptime().as_secs())
+                        .raw("build", &crate::metrics::build_info_json())
+                        .i64(
+                            "requests_in_flight",
+                            state.in_flight.load(std::sync::atomic::Ordering::Relaxed),
+                        )
+                        .finish(),
+                ),
                 false,
-            ),
+            )
+        }
+        "debug_requests" => match require_method(req, "GET") {
+            Ok(()) => (Response::json(state.recorder.summary_json()), false),
+            Err(resp) => (resp, false),
+        },
+        "debug_profile" => match require_method(req, "GET") {
+            Ok(()) => match debug_profile(req) {
+                Ok(resp) => (resp, false),
+                Err(e) => (e.to_response(), false),
+            },
             Err(resp) => (resp, false),
         },
         "debug_request" => match require_method(req, "GET") {
             Ok(()) => {
                 let id = req.path.trim_start_matches("/debug/requests/");
                 match state.recorder.lookup(id) {
-                    Some(record) => (
-                        Response::json(record.to_json()).with_header("Cache-Control", "no-store"),
-                        false,
-                    ),
+                    Some(record) => (Response::json(record.to_json()), false),
                     None => (
                         HttpError::typed(
                             404,

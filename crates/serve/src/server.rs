@@ -64,6 +64,20 @@ pub struct Config {
     pub max_sessions: usize,
     /// Idle time in seconds after which a session expires.
     pub session_ttl_s: u64,
+    /// Continuous-profiler sampling rate in Hz (0 disables profiling and
+    /// `GET /debug/profile`). The profiler is process-global: the first
+    /// server to start wins, and it is never stopped on shutdown.
+    pub profile_hz: u32,
+    /// Availability SLO objective in (0, 1); requests answering ≥ 500 spend
+    /// error budget.
+    pub slo_availability: f64,
+    /// Latency SLO threshold in milliseconds (0 disables the latency
+    /// objective); requests slower than this spend latency budget regardless
+    /// of status.
+    pub slo_latency_ms: u64,
+    /// Short SLO window length in seconds; the mid and long windows scale
+    /// with it at the fixed 1:5:60 ratio (60 → 1 m / 5 m / 1 h).
+    pub slo_window_s: u64,
 }
 
 impl Default for Config {
@@ -86,6 +100,10 @@ impl Default for Config {
             record_survivors: 64,
             max_sessions: 64,
             session_ttl_s: 900,
+            profile_hz: 99,
+            slo_availability: 0.999,
+            slo_latency_ms: 0,
+            slo_window_s: 60,
         }
     }
 }
@@ -121,6 +139,10 @@ pub struct ServerState {
     pub recorder: FlightRecorder,
     /// Live analysis sessions (`/session/*`), shared across workers.
     pub sessions: hc_session::SessionStore,
+    /// Rolling multi-window SLO tracker fed once per finished request;
+    /// surfaces in `/metrics` (`slo` object + Prometheus series) and flips
+    /// `/healthz` to `degraded` while a burn-rate alert fires.
+    pub slo: hc_obs::slo::SloEngine,
 }
 
 /// A running server; dropping it does NOT stop the server — call
@@ -166,6 +188,20 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
     signal::install();
+    // The continuous profiler is process-global and idempotent: the first
+    // server to start it wins, and shutdown leaves it running so profiles
+    // stay cumulative across in-process restarts (tests, embedding).
+    if config.profile_hz > 0 {
+        hc_obs::profile::start(config.profile_hz);
+    }
+
+    let slo_config = hc_obs::slo::SloConfig {
+        availability_objective: config.slo_availability,
+        latency_objective: config.slo_availability,
+        latency_threshold_ms: config.slo_latency_ms,
+        ..hc_obs::slo::SloConfig::default()
+    }
+    .with_short_window(config.slo_window_s);
 
     let state = Arc::new(ServerState {
         pool: Pool::new(config.workers, config.queue_depth),
@@ -176,6 +212,7 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
             max_sessions: config.max_sessions,
             ttl: Duration::from_secs(config.session_ttl_s),
         }),
+        slo: hc_obs::slo::SloEngine::new(slo_config),
         config,
         shutdown: AtomicBool::new(false),
         in_flight: AtomicI64::new(0),
@@ -300,6 +337,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
             .record("_shed", true, false, accepted.elapsed(), Duration::ZERO);
         let mut s = stream;
         let response = Response::overloaded(1).with_header("X-Request-Id", &next_request_id());
+        state.slo.record(response.status, accepted.elapsed());
         let _ = write_response(&mut s, &response);
         let _ = s.shutdown(std::net::Shutdown::Write);
         // Drain whatever the client already sent before closing; closing a
@@ -408,6 +446,10 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                     .with_header("X-Request-Id", &next_request_id())
             }
         };
+        // One SLO observation per answered request, on every path — normal,
+        // parse error, and panic alike (shed connections are recorded by the
+        // accept thread).
+        st.slo.record(response.status, accepted.elapsed());
         let _ = write_response(&mut s, &response);
         if drain_unread {
             let _ = s.shutdown(std::net::Shutdown::Write);

@@ -522,3 +522,116 @@ fn drain_flushes_watchers_with_typed_503() {
 
     handle.join();
 }
+
+/// Extracts `"key":<integer>` from within the `"sessions":{…}` object of the
+/// JSON `/metrics` document.
+fn sessions_field(metrics_json: &str, key: &str) -> i64 {
+    let at = metrics_json
+        .find("\"sessions\":{")
+        .expect("sessions object");
+    let obj = &metrics_json[at..];
+    let needle = format!("\"{key}\":");
+    let start = obj
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{key} in {obj}"))
+        + needle.len();
+    obj[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '-')
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} numeric in {obj}"))
+}
+
+/// Extracts the value of an unlabelled Prometheus series.
+fn prom_value(exposition: &str, series: &str) -> i64 {
+    let prefix = format!("{series} ");
+    exposition
+        .lines()
+        .find(|l| l.starts_with(&prefix))
+        .unwrap_or_else(|| panic!("{series} in exposition"))[prefix.len()..]
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("{series} numeric"))
+}
+
+/// Golden agreement test: every sessions counter must carry the same value
+/// through the JSON `/metrics` document and the Prometheus exposition —
+/// both read the same registry through `session_counters()`, and this pins
+/// that neither surface drops or renames a field.
+#[test]
+fn sessions_metrics_agree_between_json_and_prometheus() {
+    let _serial = serial();
+    let handle = start(test_config()).expect("start server");
+    let addr = handle.local_addr();
+
+    // Exercise the lifecycle so the interesting counters move: two creates,
+    // a patch, an immediately-answered watch (a wakeup), a version conflict,
+    // and one delete.
+    let (_s, _h, a) = post(addr, "/session", SAMPLE);
+    let a_id = session_id(&a);
+    let (_s, _h, b) = post(addr, "/session", SAMPLE);
+    let b_id = session_id(&b);
+    let (ps, _ph, pb) = patch(addr, &format!("/session/{a_id}/etc"), "cell,t1,m1,2.5\n");
+    assert_eq!(ps, 200, "{pb}");
+    let (ws, _wh, wb) = get(addr, &format!("/session/{a_id}/watch?version=1"));
+    assert_eq!(ws, 200, "{wb}");
+    let (cs, _ch, cb) = request_with_headers(
+        addr,
+        "PATCH",
+        &format!("/session/{a_id}/etc"),
+        &[("If-Match", "\"1\"")],
+        "cell,t1,m1,3.5\n",
+    );
+    assert_eq!(cs, 409, "{cb}");
+    let (ds, _dh, db) = request_with_headers(addr, "DELETE", &format!("/session/{b_id}"), &[], "");
+    assert_eq!(ds, 200, "{db}");
+
+    // Scrape both surfaces back-to-back; the serial lock guarantees no other
+    // session traffic moves the registry between the two reads.
+    let (ms, _mh, mb) = get(addr, "/metrics");
+    assert_eq!(ms, 200);
+    let (xs, _xh, xb) = get(addr, "/metrics?format=prometheus");
+    assert_eq!(xs, 200);
+
+    let fields = [
+        ("active", "hc_serve_sessions_active"),
+        ("created_total", "hc_serve_sessions_created_total"),
+        ("deleted_total", "hc_serve_sessions_deleted_total"),
+        ("expired_total", "hc_serve_sessions_expired_total"),
+        ("evicted_total", "hc_serve_sessions_evicted_total"),
+        ("patches_total", "hc_serve_sessions_patches_total"),
+        ("watches_total", "hc_serve_sessions_watches_total"),
+        ("watch_wakes_total", "hc_serve_sessions_watch_wakes_total"),
+        ("conflicts_total", "hc_serve_sessions_conflicts_total"),
+        ("drains_total", "hc_serve_sessions_drains_total"),
+        (
+            "warm_fallbacks_total",
+            "hc_serve_sessions_warm_fallbacks_total",
+        ),
+        ("recomputes_total", "hc_serve_sessions_recomputes_total"),
+        (
+            "recomputes_warm_total",
+            "hc_serve_sessions_recomputes_warm_total",
+        ),
+    ];
+    for (json_key, prom_series) in fields {
+        assert_eq!(
+            sessions_field(&mb, json_key),
+            prom_value(&xb, prom_series),
+            "{json_key} disagrees between JSON and Prometheus"
+        );
+    }
+
+    // Sanity on the values this test just generated (counters are global to
+    // the registry, so lower bounds rather than exact values).
+    assert!(sessions_field(&mb, "active") >= 1, "{mb}");
+    assert!(sessions_field(&mb, "created_total") >= 2, "{mb}");
+    assert!(sessions_field(&mb, "deleted_total") >= 1, "{mb}");
+    assert!(sessions_field(&mb, "patches_total") >= 1, "{mb}");
+    assert!(sessions_field(&mb, "watch_wakes_total") >= 1, "{mb}");
+    assert!(sessions_field(&mb, "conflicts_total") >= 1, "{mb}");
+
+    handle.shutdown();
+    handle.join();
+}

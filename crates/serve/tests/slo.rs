@@ -1,0 +1,213 @@
+//! Socket-level tests of the SLO burn-rate engine: sustained 504s (deadline
+//! expiries forced through a failpoint) must trip the fast-burn alert and
+//! flip `/healthz` to `degraded` in the JSON and Prometheus expositions, and
+//! recovery must clear all three surfaces once the bad seconds roll out of
+//! the short and mid windows.
+//!
+//! Failpoints are process-global, so this suite lives in its own binary and
+//! serializes internally.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hc_serve::{failpoints, start, Config};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let req = format!(
+        "{method} {target} HTTP/1.1\r\nHost: slo\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write request");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read response");
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let (head, resp_body) = text.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    (status, head.to_string(), resp_body.to_string())
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+    request(addr, "GET", target, "")
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String, String) {
+    request(addr, "POST", target, body)
+}
+
+/// Varies the matrix per request so the result cache cannot absorb traffic
+/// before it reaches the (failpointed) Sinkhorn kernel.
+fn matrix(i: usize) -> String {
+    format!(
+        "task,m1,m2,m3\nt1,{},8.0,4.0\nt2,6.0,{},5.0\nt3,4.0,4.0,{}\n",
+        2.0 + i as f64,
+        3.0 + i as f64 * 0.5,
+        4.0 + i as f64 * 0.25,
+    )
+}
+
+/// Sustained deadline expiries trip the fast-burn alert; recovery clears it.
+/// All three surfaces are asserted in both directions: `/healthz` status,
+/// the `slo` object in JSON `/metrics`, and the Prometheus series.
+#[test]
+fn sustained_504s_flip_degraded_and_recovery_clears_it() {
+    let _serial = serial();
+    let cfg = Config {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 32,
+        cache_entries: 64,
+        request_timeout_ms: 40,
+        slo_window_s: 1, // short 1 s, mid 5 s, long 60 s: test-sized burn windows
+        slo_latency_ms: 10_000, // latency objective on, generous enough to never trip
+        ..Config::default()
+    };
+    let handle = start(cfg).expect("start server");
+    let addr = handle.local_addr();
+
+    // Baseline: a healthy request, healthz reports ok and the slo object is
+    // present with both objectives and no alerts.
+    let (s, _h, _b) = post(addr, "/measure", &matrix(0));
+    assert_eq!(s, 200);
+    let (hs, _hh, hb) = get(addr, "/healthz");
+    assert_eq!(hs, 200);
+    assert!(hb.contains("\"status\":\"ok\""), "{hb}");
+    let (_ms, _mh, mb) = get(addr, "/metrics");
+    assert!(mb.contains("\"slo\":{"), "{mb}");
+    assert!(mb.contains("\"availability\":{"), "{mb}");
+    assert!(mb.contains("\"threshold_ms\":10000"), "{mb}");
+
+    // Every Sinkhorn iteration now sleeps past the 40 ms request deadline:
+    // all /measure traffic answers 504 until the failpoint is reset.
+    failpoints::arm("sinkhorn.iteration:delay:100");
+    let mut degraded_seen = false;
+    let burn_start = Instant::now();
+    // Starts past the baseline request's matrix so the result cache cannot
+    // answer before the failpointed kernel runs.
+    let mut i = 1usize;
+    while burn_start.elapsed() < Duration::from_secs(20) {
+        let (s, _h, b) = post(addr, "/measure", &matrix(i));
+        i += 1;
+        assert_eq!(s, 504, "failpointed measure must expire its deadline: {b}");
+        // Scrape right after recording so the burst is inside the 1 s short
+        // window; the alert needs the 5 s mid window saturated too, so the
+        // loop keeps burning until both fire.
+        let (hs, _hh, hb) = get(addr, "/healthz");
+        assert_eq!(hs, 200, "healthz stays reachable while degraded");
+        if hb.contains("\"status\":\"degraded\"") {
+            degraded_seen = true;
+            break;
+        }
+    }
+    assert!(
+        degraded_seen,
+        "sustained 504s must flip healthz to degraded"
+    );
+
+    // JSON exposition: fast alert firing on availability, engine degraded.
+    let (_ms, _mh, mb) = get(addr, "/metrics");
+    assert!(mb.contains("\"degraded\":true"), "{mb}");
+    let avail_at = mb.find("\"availability\":{").expect("availability object");
+    let avail = &mb[avail_at..mb[avail_at..].find('}').map_or(mb.len(), |_| mb.len())];
+    assert!(avail.contains("\"fast_alert\":true"), "{mb}");
+
+    // Prometheus exposition: the alert series and the degraded gauge.
+    let (_ps, _ph, pb) = get(addr, "/metrics?format=prometheus");
+    assert!(
+        pb.lines()
+            .any(|l| l == "hc_serve_slo_alert_firing{slo=\"availability\",alert=\"fast\"} 1"),
+        "{pb}"
+    );
+    assert!(pb.lines().any(|l| l == "hc_serve_slo_degraded 1"), "{pb}");
+    assert!(
+        pb.lines()
+            .any(|l| l.starts_with("hc_serve_slo_burn_rate{slo=\"availability\",window=\"short\"}")),
+        "{pb}"
+    );
+    assert!(
+        pb.lines()
+            .any(|l| l.starts_with("hc_serve_slo_objective{slo=\"latency\"}")),
+        "{pb}"
+    );
+
+    // Recovery: heal the kernel, keep healthy traffic flowing, and wait for
+    // the bad seconds to roll out of the short and mid windows (≈ 5 s).
+    failpoints::reset();
+    let recover_start = Instant::now();
+    let mut cleared = false;
+    while recover_start.elapsed() < Duration::from_secs(30) {
+        let (s, _h, _b) = post(addr, "/measure", &matrix(1000 + i));
+        i += 1;
+        assert_eq!(s, 200, "healed kernel must serve again");
+        let (_hs, _hh, hb) = get(addr, "/healthz");
+        if hb.contains("\"status\":\"ok\"") {
+            cleared = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    assert!(
+        cleared,
+        "recovery must clear the degraded state within 30 s"
+    );
+
+    // Both metric surfaces agree the alert is resolved.
+    let (_ms, _mh, mb) = get(addr, "/metrics");
+    assert!(mb.contains("\"degraded\":false"), "{mb}");
+    assert!(!mb.contains("\"fast_alert\":true"), "{mb}");
+    let (_ps, _ph, pb) = get(addr, "/metrics?format=prometheus");
+    assert!(
+        pb.lines()
+            .any(|l| l == "hc_serve_slo_alert_firing{slo=\"availability\",alert=\"fast\"} 0"),
+        "{pb}"
+    );
+    assert!(pb.lines().any(|l| l == "hc_serve_slo_degraded 0"), "{pb}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// 4xx responses are the client's fault and must not spend error budget:
+/// a burst of malformed bodies leaves the engine clean.
+#[test]
+fn client_errors_spend_no_budget() {
+    let _serial = serial();
+    let cfg = Config {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 32,
+        cache_entries: 64,
+        slo_window_s: 1,
+        ..Config::default()
+    };
+    let handle = start(cfg).expect("start server");
+    let addr = handle.local_addr();
+
+    for _ in 0..30 {
+        let (s, _h, _b) = post(addr, "/measure", "not,a\nvalid,matrix\n");
+        assert_eq!(s, 400);
+    }
+    let (_hs, _hh, hb) = get(addr, "/healthz");
+    assert!(hb.contains("\"status\":\"ok\""), "{hb}");
+    let (_ms, _mh, mb) = get(addr, "/metrics");
+    assert!(mb.contains("\"degraded\":false"), "{mb}");
+
+    handle.shutdown();
+    handle.join();
+}

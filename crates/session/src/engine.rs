@@ -176,6 +176,7 @@ impl SessionEngine {
         &mut self,
         budget: Option<&Budget>,
     ) -> Result<Option<(MeasureReport, RecomputeStats)>, MeasureError> {
+        let _phase = hc_obs::span("session.warm_solve");
         let prior = self.warm.as_ref().expect("warm_eligible checked");
         let out = match standardize_warm_budgeted_in(
             self.ecs.matrix().view(),
@@ -243,6 +244,7 @@ impl SessionEngine {
         &mut self,
         budget: Option<&Budget>,
     ) -> Result<(MeasureReport, RecomputeStats), MeasureError> {
+        let _phase = hc_obs::span("session.cold_solve");
         if !self.ecs.is_positive() {
             self.clear_warm();
             let report = characterize_budgeted_in(

@@ -384,6 +384,7 @@ impl SessionStore {
                 // older than its head is gone.
                 let oldest_retained = state.deltas.front().map_or(state.version, |d| d.version);
                 let truncated = since + 1 < oldest_retained;
+                hc_obs::obs_counter!("session_watch_wake_total").inc();
                 return Ok(WatchOutcome::Changed {
                     snapshot: Box::new(snapshot_of(&slot.id, &state)),
                     deltas,

@@ -398,7 +398,17 @@ fn balance_core(
     if residual <= opts.tol {
         status = BalanceStatus::Converged;
     } else {
+        // Profiler-visible phase marker, re-opened every 32 iterations so
+        // long balances show up as `sinkhorn.balance.batch` frames without
+        // paying a span per iteration. The old guard must be dropped (popped)
+        // before the replacement is opened (pushed) or the profile stack
+        // would interleave.
+        let mut batch: Option<hc_obs::SpanGuard> = None;
         for it in 1..=opts.max_iters {
+            if (it - 1) % 32 == 0 {
+                drop(batch.take());
+                batch = Some(hc_obs::span("sinkhorn.balance.batch"));
+            }
             hc_obs::failpoints::fire("sinkhorn.iteration");
             if let Some(b) = budget {
                 b.check("sinkhorn-balance", iterations, residual)?;

@@ -22,6 +22,7 @@ grep -q '"bench":"measure.characterize_warm"' "$OUT" || { echo "missing warm mea
 grep -q '"bench":"sinkhorn.balance"' "$OUT" || { echo "missing sinkhorn results"; exit 1; }
 grep -q '"bench":"deadline_overhead"' "$OUT" || { echo "missing deadline overhead lane"; exit 1; }
 grep -q '"bench":"recorder_overhead"' "$OUT" || { echo "missing recorder overhead lane"; exit 1; }
+grep -q '"bench":"profiler_overhead"' "$OUT" || { echo "missing profiler overhead lane"; exit 1; }
 grep -q '"bench":"session_warm_vs_cold"' "$OUT" || { echo "missing session warm-vs-cold lane"; exit 1; }
 grep -q '"allocs_per_call":' "$OUT" || { echo "missing allocation counts"; exit 1; }
 echo "wrote $OUT"

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Benchmark trend gate: diffs the newest two BENCH_<date>.json snapshots at
+# the repository root (see crates/bench/src/bin/trend.rs) and fails when any
+# lane's best new sample is more than 20% slower than its worst old sample.
+# With fewer than two snapshots present it prints a note and passes.
+#
+# Usage: scripts/bench_trend.sh [snapshot-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIR=${1:-.}
+
+cargo run --release -q -p hc-bench --bin trend -- "$DIR"

@@ -23,6 +23,11 @@ echo "== steady-state allocation check =="
 # allocations than the one-shot characterize path (see snapshot --alloc-check).
 ./target/release/snapshot --alloc-check
 
+echo "== bench trend gate =="
+# Diffs the newest two committed BENCH_<date>.json snapshots; fails when any
+# lane's best new sample is >20% over the old lane's worst (bench_trend.sh).
+scripts/bench_trend.sh
+
 echo "== serve smoke test =="
 HCM=./target/release/hcm
 LOG=$(mktemp)
@@ -211,5 +216,121 @@ curl -sS "http://$ADDR/quitquitquit" >/dev/null
 wait "$FB_PID"
 trap - EXIT
 echo "session fallback chaos OK"
+
+echo "== profiling smoke test =="
+# A profiling server under mixed load must serve a folded profile that
+# resolves into the Sinkhorn and SVD kernel phases, and stay healthy.
+PROF_LOG=$(mktemp)
+"$HCM" serve --addr 127.0.0.1:0 --workers 2 --profile-hz 997 2>"$PROF_LOG" &
+PROF_PID=$!
+trap 'kill "$PROF_PID" 2>/dev/null || true' EXIT
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#.*listening on http://##p' "$PROF_LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "profiling server never announced its address"; cat "$PROF_LOG"; exit 1; }
+echo "profiling server on $ADDR (--profile-hz 997)"
+
+# Generates a matrix big enough that the kernels hold spans across sampler
+# ticks; the salt varies the cells so the result cache cannot absorb the load.
+gen_csv() { # gen_csv TASKS MACHINES SALT
+    awk -v n="$1" -v m="$2" -v salt="$3" 'BEGIN {
+        printf "task"; for (j = 0; j < m; j++) printf ",m%d", j; printf "\n";
+        for (t = 0; t < n; t++) {
+            printf "t%d", t;
+            for (j = 0; j < m; j++) printf ",%.2f", 1 + ((t*31 + j*17 + salt*7) % 97) / 10.0;
+            printf "\n";
+        }
+    }'
+}
+
+# 50 mixed requests across the compute endpoints.
+for i in $(seq 1 50); do
+    case $((i % 3)) in
+        0) TARGET="/measure";                   T=128; M=64 ;;
+        1) TARGET="/structure";                 T=96;  M=48 ;;
+        *) TARGET="/schedule?heuristic=min-min"; T=64; M=32 ;;
+    esac
+    CODE=$(gen_csv "$T" "$M" "$i" | curl -sS -o /dev/null -w '%{http_code}' \
+        -X POST --data-binary @- "http://$ADDR$TARGET") \
+        || { echo "profiling load request $i: connection failed"; exit 1; }
+    [ "$CODE" = "200" ] || { echo "profiling load request $i: got $CODE"; exit 1; }
+done
+echo "50/50 profiling load requests answered"
+
+PROFILE_CODE=$(curl -sS -o /tmp/verify-profile.folded -w '%{http_code}' \
+    "http://$ADDR/debug/profile?seconds=10")
+[ "$PROFILE_CODE" = "200" ] || { echo "GET /debug/profile returned $PROFILE_CODE"; exit 1; }
+[ -s /tmp/verify-profile.folded ] || { echo "folded profile is empty"; exit 1; }
+grep -q 'sinkhorn' /tmp/verify-profile.folded \
+    || { echo "profile lacks sinkhorn frames"; cat /tmp/verify-profile.folded; exit 1; }
+grep -q 'svd' /tmp/verify-profile.folded \
+    || { echo "profile lacks svd frames"; cat /tmp/verify-profile.folded; exit 1; }
+echo "folded profile OK ($(wc -l < /tmp/verify-profile.folded) stacks, sinkhorn + svd resolved)"
+
+curl -sS "http://$ADDR/healthz" | grep -q '"status":"ok"' \
+    || { echo "profiling server healthz not ok"; exit 1; }
+echo "healthz ok under profiling"
+
+curl -sS "http://$ADDR/quitquitquit" >/dev/null
+wait "$PROF_PID"
+trap - EXIT
+echo "profiling smoke OK"
+
+echo "== slo burn-rate chaos =="
+# Every Sinkhorn iteration sleeping past the request deadline turns all
+# /measure traffic into 504s: the fast-burn alert must fire and flip
+# /healthz to degraded, visible in both /metrics formats.
+SLO_LOG=$(mktemp)
+HC_FAILPOINT='sinkhorn.iteration:delay:50' "$HCM" serve --addr 127.0.0.1:0 \
+    --workers 2 --request-timeout-ms 40 --slo-window-s 1 2>"$SLO_LOG" &
+SLO_PID=$!
+trap 'kill "$SLO_PID" 2>/dev/null || true' EXIT
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#.*listening on http://##p' "$SLO_LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "slo server never announced its address"; cat "$SLO_LOG"; exit 1; }
+echo "slo server on $ADDR (sinkhorn.iteration:delay:50, --request-timeout-ms 40)"
+
+DEGRADED=0
+for i in $(seq 1 40); do
+    BODY="task,m1,m2
+t1,$i.0,8.0
+t2,6.0,3.5"
+    CODE=$(printf '%s' "$BODY" | curl -sS -o /dev/null -w '%{http_code}' \
+        -X POST --data-binary @- "http://$ADDR/measure") \
+        || { echo "slo burn request $i: connection failed"; exit 1; }
+    [ "$CODE" = "504" ] || { echo "slo burn request $i: got $CODE, want 504"; exit 1; }
+    if curl -sS "http://$ADDR/healthz" | grep -q '"status":"degraded"'; then
+        DEGRADED=1
+        break
+    fi
+done
+[ "$DEGRADED" = "1" ] || { echo "sustained 504s never flipped healthz to degraded"; exit 1; }
+echo "healthz degraded after $i sustained 504s"
+
+curl -sS -o /tmp/verify-slo-metrics.json "http://$ADDR/metrics"
+grep -q '"degraded":true' /tmp/verify-slo-metrics.json \
+    || { echo "metrics JSON lacks degraded:true"; exit 1; }
+grep -q '"fast_alert":true' /tmp/verify-slo-metrics.json \
+    || { echo "metrics JSON lacks firing fast alert"; exit 1; }
+curl -sS -o /tmp/verify-slo-metrics.prom "http://$ADDR/metrics?format=prometheus"
+grep -q '^hc_serve_slo_alert_firing{slo="availability",alert="fast"} 1' /tmp/verify-slo-metrics.prom \
+    || { echo "prometheus exposition lacks firing fast alert"; exit 1; }
+grep -q '^hc_serve_slo_degraded 1' /tmp/verify-slo-metrics.prom \
+    || { echo "prometheus exposition lacks degraded gauge"; exit 1; }
+echo "fast-burn alert visible in JSON and Prometheus expositions"
+
+curl -sS "http://$ADDR/quitquitquit" >/dev/null
+wait "$SLO_PID"
+trap - EXIT
+echo "slo chaos OK"
 
 echo "== verify: all green =="

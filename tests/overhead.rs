@@ -13,14 +13,27 @@
 //!
 //! The same argument gates the flight recorder (DESIGN.md §11): its armed
 //! per-capture cost, times the hard per-request capture cap, must also stay
-//! under 2% of a `characterize` run.
+//! under 2% of a `characterize` run — and the continuous profiler
+//! (DESIGN.md §13): with the sampler running at the default rate, the
+//! per-span frame push/pop cost times a generous span-site estimate must
+//! stay under 3%.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use hetero_measures::core::report::characterize_with;
 use hetero_measures::core::standard::TmaOptions;
 use hetero_measures::core::weights::Weights;
 use hetero_measures::prelude::*;
+
+/// Timing tests must not share the process: the profiler test arms a global
+/// sampler that would tax every span, and parallel timing runs steal cycles
+/// from each other.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 fn fixture(rows: usize, cols: usize) -> Ecs {
     let m = Matrix::from_fn(rows, cols, |i, j| {
@@ -99,6 +112,7 @@ fn recorded_probe_ns(rec: &hc_obs::recorder::FlightRecorder) -> f64 {
 
 #[test]
 fn disabled_instrumentation_stays_under_two_percent_budget() {
+    let _serial = serial();
     assert!(
         !hc_obs::sink_installed(),
         "overhead test requires no sink; another test leaked one"
@@ -141,6 +155,7 @@ fn disabled_instrumentation_stays_under_two_percent_budget() {
 /// hard per-request capture cap, against measured analysis time.
 #[test]
 fn recorder_overhead_stays_under_two_percent_budget() {
+    let _serial = serial();
     let (n, runs) = if cfg!(debug_assertions) {
         (64, 5)
     } else {
@@ -164,6 +179,63 @@ fn recorder_overhead_stays_under_two_percent_budget() {
         ratio < 0.02,
         "armed flight recorder exceeds budget: {sites} captures x {probe_ns:.1} ns \
          = {overhead:.0} ns against {work_ns:.0} ns of work ({:.3}% >= 2%)",
+        ratio * 100.0
+    );
+}
+
+/// Median per-span cost of the profiler's *armed* path, in nanoseconds: one
+/// seqlock frame push + pop per span open/close, measured with the sampler
+/// thread live so its snapshot traffic contends like production.
+fn profiled_span_ns() -> f64 {
+    const OPS: u32 = 20_000;
+    let mut samples: Vec<u128> = (0..7)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..OPS {
+                drop(hc_obs::span("overhead.profiled.probe"));
+            }
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64 / f64::from(OPS)
+}
+
+/// The continuous profiler's budget (DESIGN.md §13): with the sampler running
+/// at the default 99 Hz, the per-span frame bookkeeping times a generous
+/// over-estimate of span sites per `characterize` run must cost less than 3%
+/// of the run. The sampler thread itself walks a handful of fixed-size
+/// snapshots per tick off the request path, so the span-side cost is the
+/// budget that scales with work.
+#[test]
+fn profiler_overhead_stays_under_three_percent_budget() {
+    let _serial = serial();
+    let (n, runs) = if cfg!(debug_assertions) {
+        (64, 5)
+    } else {
+        (512, 3)
+    };
+    let ecs = fixture(n, n);
+    characterize_ns(&ecs, 1); // warm-up
+    let work_ns = characterize_ns(&ecs, runs) as f64;
+
+    let started = hc_obs::profile::start(99);
+    let probe_ns = profiled_span_ns();
+    if started {
+        hc_obs::profile::stop();
+    }
+
+    // Span sites per characterize run: the fixed pipeline spans plus the
+    // per-32-iteration Sinkhorn batches and per-sweep Jacobi spans. 512 is a
+    // generous over-estimate at paper scale.
+    const SITES_PER_RUN: f64 = 512.0;
+    let overhead = SITES_PER_RUN * probe_ns;
+    let ratio = overhead / work_ns;
+    assert!(
+        ratio < 0.03,
+        "profiled span path exceeds budget: {SITES_PER_RUN} sites x \
+         {probe_ns:.1} ns = {overhead:.0} ns against {work_ns:.0} ns of work \
+         ({:.3}% >= 3%)",
         ratio * 100.0
     );
 }
