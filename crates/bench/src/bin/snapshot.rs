@@ -7,19 +7,22 @@
 //! with nothing but `std::time`, and prints one JSON document to stdout.
 //! `scripts/bench_snapshot.sh` redirects it into a dated `BENCH_<date>.json`.
 //!
-//! A counting global allocator also records heap allocations per call, in two
-//! lanes: the one-shot `characterize_with` entry point (allocates its buffers
-//! every call) and a warm [`Analyzer`] (steady state of `hcm serve`, which
-//! reuses its workspace). `--alloc-check` runs only the allocation comparison
-//! and fails unless the warm lane eliminates at least 90% of the one-shot
-//! lane's allocations — the regression gate `scripts/verify.sh` runs.
+//! A counting global allocator also records heap allocations per call, in
+//! three lanes: a cold `characterize_in` with a fresh `Workspace` every call
+//! (the true allocation baseline), the one-shot `characterize_with` entry
+//! point (which routes through a per-thread pooled workspace), and a warm
+//! [`Analyzer`] (steady state of `hcm serve`). `--alloc-check` runs only the
+//! allocation comparison and fails unless the warm lane eliminates at least
+//! 90% of the cold lane's allocations AND the one-shot entry point stays
+//! within [`ONE_SHOT_ALLOC_CAP`] allocs/call — the regression gate
+//! `scripts/verify.sh` runs.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use hc_bench::{dense_fixture, ecs_fixture, ABLATION_SIZES};
-use hc_core::report::characterize_with;
+use hc_core::report::{characterize_in, characterize_with};
 use hc_core::standard::TmaOptions;
 use hc_core::weights::Weights;
 use hc_core::Analyzer;
@@ -103,24 +106,40 @@ fn result_json(
     )
 }
 
+/// Ceiling on steady-state allocations per one-shot `characterize_with`
+/// call. The pooled per-thread workspace covers every intermediate; only the
+/// report's two output vectors (plus occasional pool growth on shape
+/// changes) may still hit the allocator.
+const ONE_SHOT_ALLOC_CAP: u64 = 6;
+
 /// One ablation point of the characterize alloc comparison.
 struct AllocPoint {
+    cold: u64,
     one_shot: u64,
     warm: u64,
 }
 
-/// Measures allocations per `characterize` call at `(t, m)`: the one-shot
-/// entry point vs a warm `Analyzer` with a populated workspace.
+/// Measures allocations per `characterize` call at `(t, m)`: a fresh
+/// `Workspace` every call (cold baseline), the one-shot entry point (pooled
+/// per-thread workspace), and a warm `Analyzer` with a populated workspace.
 fn characterize_alloc_point(t: usize, m: usize) -> AllocPoint {
     let ecs = ecs_fixture(t, m);
     let opts = TmaOptions::default();
 
     let w = Weights::uniform(t, m);
+    let mut cold_call = || {
+        let mut ws = hc_linalg::Workspace::new();
+        let r = characterize_in(&ecs, &w, &opts, &mut ws).expect("fixture characterizes");
+        assert!(r.tma.is_finite());
+    };
+    cold_call(); // warm caches unrelated to the workspace
+    let cold = allocs_during(&mut cold_call);
+
     let mut one_shot_call = || {
         let r = characterize_with(&ecs, &w, &opts).expect("fixture characterizes");
         assert!(r.tma.is_finite());
     };
-    one_shot_call(); // warm caches unrelated to the workspace
+    one_shot_call(); // populate this thread's pooled workspace
     let one_shot = allocs_during(&mut one_shot_call);
 
     let mut an = Analyzer::new();
@@ -134,24 +153,30 @@ fn characterize_alloc_point(t: usize, m: usize) -> AllocPoint {
     warm_call(); // cold call populates the workspace pool
     let warm = allocs_during(&mut warm_call);
 
-    AllocPoint { one_shot, warm }
+    AllocPoint {
+        cold,
+        one_shot,
+        warm,
+    }
 }
 
 /// `--alloc-check`: prints the per-size comparison and fails unless warm
-/// calls drop at least 90% of the one-shot lane's allocations at every size.
+/// calls drop at least 90% of the cold lane's allocations at every size and
+/// the one-shot entry point stays within [`ONE_SHOT_ALLOC_CAP`].
 fn alloc_check() -> ! {
     let mut ok = true;
     for &(t, m) in &ABLATION_SIZES {
         let p = characterize_alloc_point(t, m);
-        let reduction = if p.one_shot == 0 {
+        let reduction = if p.cold == 0 {
             100.0
         } else {
-            100.0 * (1.0 - p.warm as f64 / p.one_shot as f64)
+            100.0 * (1.0 - p.warm as f64 / p.cold as f64)
         };
-        let pass = p.warm * 10 <= p.one_shot;
+        let pass = p.warm * 10 <= p.cold && p.one_shot <= ONE_SHOT_ALLOC_CAP;
         println!(
-            "characterize {t}x{m}: one-shot {} allocs/call, warm analyzer {} allocs/call \
-             ({reduction:.1}% reduction) {}",
+            "characterize {t}x{m}: cold {} allocs/call, one-shot {} allocs/call, \
+             warm analyzer {} allocs/call ({reduction:.1}% reduction vs cold) {}",
+            p.cold,
             p.one_shot,
             p.warm,
             if pass { "OK" } else { "FAIL" }
@@ -159,7 +184,10 @@ fn alloc_check() -> ! {
         ok &= pass;
     }
     if !ok {
-        eprintln!("alloc-check FAILED: warm characterize must eliminate >= 90% of allocations");
+        eprintln!(
+            "alloc-check FAILED: warm characterize must eliminate >= 90% of cold \
+             allocations and one-shot calls must stay within {ONE_SHOT_ALLOC_CAP} allocs"
+        );
         std::process::exit(1);
     }
     println!("alloc-check OK");
@@ -439,6 +467,142 @@ fn main() {
              \"iteration_ratio\":{ratio:.1}}}"
         ));
     }
+
+    // Keep-alive vs reconnect lane: the same paper-sized (17×5) /measure
+    // request stream against a real in-process `hc-serve` instance, once over
+    // a single HTTP/1.1 keep-alive connection and once with a fresh TCP
+    // connection per request. Both streams hit the warmed result cache, so
+    // the delta isolates connection setup/teardown — the overhead the epoll
+    // reactor's keep-alive support exists to remove. The ≥1.5× throughput
+    // claim (DESIGN.md §14) is asserted here; the lane's keep-alive timings
+    // carry median/min/max so scripts/bench_trend.sh gates them like any
+    // other lane.
+    let keepalive_lane = {
+        const T: usize = 17;
+        const M: usize = 5;
+        const REQS: usize = 100;
+
+        let ecs = ecs_fixture(T, M);
+        let mut body = String::from("task");
+        for name in ecs.machine_names() {
+            body.push(',');
+            body.push_str(name);
+        }
+        body.push('\n');
+        for (i, name) in ecs.task_names().iter().enumerate() {
+            body.push_str(name);
+            for j in 0..M {
+                body.push_str(&format!(",{}", ecs.get(i, j)));
+            }
+            body.push('\n');
+        }
+
+        let handle = hc_serve::start(hc_serve::Config {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 64,
+            cache_entries: 64,
+            ..hc_serve::Config::default()
+        })
+        .expect("bench server starts");
+        let addr = handle.local_addr();
+        let keep_req = format!(
+            "POST /measure HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let close_req = format!(
+            "POST /measure HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+
+        // Reads one framed response from a keep-alive stream; `pending`
+        // carries bytes read past the previous response's end.
+        fn read_response(stream: &mut std::net::TcpStream, pending: &mut Vec<u8>) {
+            use std::io::Read;
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                if let Some(head_end) = pending.windows(4).position(|w| w == b"\r\n\r\n") {
+                    let head = String::from_utf8_lossy(&pending[..head_end]);
+                    let content_length: usize = head
+                        .lines()
+                        .find_map(|l| l.strip_prefix("Content-Length: "))
+                        .and_then(|v| v.trim().parse().ok())
+                        .expect("response carries Content-Length");
+                    let total = head_end + 4 + content_length;
+                    if pending.len() >= total {
+                        pending.drain(..total);
+                        return;
+                    }
+                }
+                let n = stream.read(&mut chunk).expect("bench response read");
+                assert!(n > 0, "server closed mid-response");
+                pending.extend_from_slice(&chunk[..n]);
+            }
+        }
+
+        let keepalive_run = || {
+            use std::io::Write;
+            let mut stream = std::net::TcpStream::connect(addr).expect("bench connect");
+            stream.set_nodelay(true).expect("nodelay");
+            let mut pending = Vec::new();
+            for _ in 0..REQS {
+                stream.write_all(keep_req.as_bytes()).expect("bench write");
+                read_response(&mut stream, &mut pending);
+            }
+        };
+        let reconnect_run = || {
+            use std::io::{Read, Write};
+            for _ in 0..REQS {
+                let mut stream = std::net::TcpStream::connect(addr).expect("bench connect");
+                stream.set_nodelay(true).expect("nodelay");
+                stream.write_all(close_req.as_bytes()).expect("bench write");
+                let mut out = Vec::new();
+                stream.read_to_end(&mut out).expect("bench response read");
+                assert!(!out.is_empty(), "empty response");
+            }
+        };
+
+        keepalive_run(); // warm the result cache and the worker pool
+                         // Interleave the lanes so clock drift cannot masquerade as a
+                         // keep-alive win.
+        let (mut keep, mut reconn) = (Vec::new(), Vec::new());
+        for _ in 0..RUNS {
+            let t = Instant::now();
+            keepalive_run();
+            keep.push(t.elapsed().as_nanos());
+            let t = Instant::now();
+            reconnect_run();
+            reconn.push(t.elapsed().as_nanos());
+        }
+        handle.shutdown();
+        handle.join();
+
+        let (keep_min, keep_max) = (
+            keep.iter().min().copied().unwrap_or(0),
+            keep.iter().max().copied().unwrap_or(0),
+        );
+        let keep_median = median_ns(keep);
+        let reconn_median = median_ns(reconn);
+        let rps = |total_ns: u128| REQS as f64 / (total_ns as f64 / 1e9);
+        let keepalive_rps = rps(keep_median);
+        let reconnect_rps = rps(reconn_median);
+        let speedup = keepalive_rps / reconnect_rps;
+        assert!(
+            speedup >= 1.5,
+            "keep-alive must beat per-request reconnect by >= 1.5x at {T}x{M} \
+             (keep-alive {keepalive_rps:.0} rps, reconnect {reconnect_rps:.0} rps)"
+        );
+        format!(
+            "{{\"bench\":\"keepalive_vs_reconnect\",\"tasks\":{T},\"machines\":{M},\
+             \"runs\":{RUNS},\"requests_per_run\":{REQS},\
+             \"median_ns\":{keep_median},\"min_ns\":{keep_min},\"max_ns\":{keep_max},\
+             \"reconnect_median_ns\":{reconn_median},\
+             \"keepalive_rps\":{keepalive_rps:.1},\"reconnect_rps\":{reconnect_rps:.1},\
+             \"speedup\":{speedup:.2}}}"
+        )
+    };
+    results.push(keepalive_lane);
 
     let ts = SystemTime::now()
         .duration_since(UNIX_EPOCH)

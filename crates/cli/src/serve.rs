@@ -39,6 +39,8 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
         "slo-availability",
         "slo-latency-ms",
         "slo-window-s",
+        "max-requests-per-conn",
+        "idle-conn-timeout-ms",
         "dry-run",
     ])?;
 
@@ -96,6 +98,10 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
     if cfg.slo_window_s == 0 {
         return Err("--slo-window-s must be at least 1".to_string());
     }
+    // 0 is valid for both: unlimited requests per connection / never reap
+    // idle keep-alive connections.
+    cfg.max_requests_per_conn = args.get_or("max-requests-per-conn", cfg.max_requests_per_conn)?;
+    cfg.idle_conn_timeout_ms = args.get_or("idle-conn-timeout-ms", cfg.idle_conn_timeout_ms)?;
     Ok((cfg, args.has("dry-run")))
 }
 
@@ -118,7 +124,9 @@ pub fn describe(cfg: &Config) -> String {
         \x20 profile-hz     {}\n\
         \x20 slo-availability {}\n\
         \x20 slo-latency-ms {}\n\
-        \x20 slo-window-s   {}\n",
+        \x20 slo-window-s   {}\n\
+        \x20 max-requests-per-conn {}\n\
+        \x20 idle-conn-timeout-ms {}\n",
         cfg.addr,
         cfg.workers,
         cfg.queue_depth,
@@ -155,6 +163,16 @@ pub fn describe(cfg: &Config) -> String {
             cfg.slo_latency_ms.to_string()
         },
         cfg.slo_window_s,
+        if cfg.max_requests_per_conn == 0 {
+            "unlimited".to_string()
+        } else {
+            cfg.max_requests_per_conn.to_string()
+        },
+        if cfg.idle_conn_timeout_ms == 0 {
+            "off".to_string()
+        } else {
+            cfg.idle_conn_timeout_ms.to_string()
+        },
     )
 }
 
@@ -291,6 +309,36 @@ mod tests {
     }
 
     #[test]
+    fn connection_flags() {
+        let (cfg, _) = cfg_of(&["serve"]).unwrap();
+        assert_eq!(cfg.max_requests_per_conn, 1024);
+        assert_eq!(cfg.idle_conn_timeout_ms, 30_000);
+        let (cfg, _) = cfg_of(&[
+            "serve",
+            "--max-requests-per-conn",
+            "16",
+            "--idle-conn-timeout-ms",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(cfg.max_requests_per_conn, 16);
+        assert_eq!(cfg.idle_conn_timeout_ms, 500);
+        // 0 is valid for both: unlimited reuse / never reap idle connections.
+        let (cfg, _) = cfg_of(&[
+            "serve",
+            "--max-requests-per-conn",
+            "0",
+            "--idle-conn-timeout-ms",
+            "0",
+        ])
+        .unwrap();
+        assert_eq!(cfg.max_requests_per_conn, 0);
+        assert_eq!(cfg.idle_conn_timeout_ms, 0);
+        assert!(cfg_of(&["serve", "--max-requests-per-conn", "lots"]).is_err());
+        assert!(cfg_of(&["serve", "--idle-conn-timeout-ms", "soon"]).is_err());
+    }
+
+    #[test]
     fn rejects_bad_values() {
         assert!(cfg_of(&["serve", "--workers", "0"]).is_err());
         assert!(cfg_of(&["serve", "--queue-depth", "0"]).is_err());
@@ -319,5 +367,7 @@ mod tests {
         assert!(d.contains("slo-availability 0.999"), "{d}");
         assert!(d.contains("slo-latency-ms off"), "{d}");
         assert!(d.contains("slo-window-s   60"), "{d}");
+        assert!(d.contains("max-requests-per-conn 1024"), "{d}");
+        assert!(d.contains("idle-conn-timeout-ms 30000"), "{d}");
     }
 }

@@ -154,18 +154,36 @@ pub fn characterize(ecs: &Ecs) -> Result<MeasureReport, MeasureError> {
     )
 }
 
+std::thread_local! {
+    /// Per-thread scratch workspace backing the owned entry points
+    /// ([`characterize`] / [`characterize_with`]). Repeated one-shot calls on
+    /// a thread reuse the pooled buffers instead of reallocating the full
+    /// intermediate set every call; only the per-report output vectors leave
+    /// the pool. Callers who want explicit control still use
+    /// [`characterize_in`] with their own [`Workspace`].
+    static ONE_SHOT_WS: std::cell::RefCell<Workspace> = std::cell::RefCell::new(Workspace::new());
+}
+
 /// Computes MPH, TDH, and TMA with explicit weights and TMA options.
 ///
 /// The weights are used for MPH/TDH per Eqs. 4 and 6; TMA sees the entrywise
 /// weighted matrix when `opts.weights` is set (note TMA is invariant under
 /// diagonal weighting by construction — the standard form quotients it out).
+///
+/// Runs in a per-thread pooled [`Workspace`], so repeated calls settle into a
+/// near-allocation-free steady state; results are bit-identical to a fresh
+/// workspace.
 pub fn characterize_with(
     ecs: &Ecs,
     weights: &Weights,
     opts: &TmaOptions,
 ) -> Result<MeasureReport, MeasureError> {
-    let mut ws = Workspace::new();
-    characterize_in(ecs, weights, opts, &mut ws)
+    ONE_SHOT_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => characterize_in(ecs, weights, opts, &mut ws),
+        // Unreachable today (nothing below re-enters), but a fresh workspace
+        // keeps the entry point total rather than panicking if that changes.
+        Err(_) => characterize_in(ecs, weights, opts, &mut Workspace::new()),
+    })
 }
 
 /// [`characterize_with`] in a caller-supplied workspace: every intermediate —

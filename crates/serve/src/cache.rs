@@ -197,6 +197,99 @@ impl LruCache {
     }
 }
 
+/// Number of independent cache shards (same fan-out as the obs registry and
+/// the session store).
+pub const CACHE_SHARDS: usize = 8;
+
+/// The result cache as seen by the server: 8 independently locked
+/// [`LruCache`] shards selected by key, so concurrent requests for different
+/// content never serialize on one global mutex.
+///
+/// Poison recovery is whole-cache: a panic while a shard lock was held (the
+/// `cache.insert` failpoint) may have interrupted an insertion mid-way, and
+/// the recovery contract predating sharding — "the cache is dropped
+/// wholesale" — is kept by clearing **every** shard when any one is found
+/// poisoned.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<std::sync::Mutex<LruCache>>,
+    capacity: usize,
+}
+
+impl ShardedCache {
+    /// A cache holding at most `capacity` entries in total (0 disables
+    /// caching). Capacity is split evenly across shards, rounding up, so a
+    /// tiny nonzero capacity still caches at least one entry per shard.
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(CACHE_SHARDS)
+        };
+        Self {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| std::sync::Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Locks the shard owning `key`, applying the whole-cache poison-recovery
+    /// rule first when needed. The guard is exposed so the router can hold the
+    /// shard lock across its insert failpoint, exactly as it held the old
+    /// global lock.
+    pub fn lock_shard(&self, key: u64) -> std::sync::MutexGuard<'_, LruCache> {
+        let idx = (key as usize) % CACHE_SHARDS;
+        if self.shards.iter().any(std::sync::Mutex::is_poisoned) {
+            // One panic clears the whole cache, not just the poisoned shard:
+            // recovery semantics must not depend on which shard a key
+            // happened to hash to. `lock_recover` clears the poison flag, so
+            // this sweep runs once per poisoning, not on every later lock.
+            for shard in &self.shards {
+                hc_obs::sync::lock_recover(shard).clear();
+            }
+        }
+        hc_obs::sync::lock_recover_then(&self.shards[idx], LruCache::clear)
+    }
+
+    /// Looks up `key`, refreshing its recency on hit.
+    pub fn get(&self, key: u64) -> Option<CachedResponse> {
+        self.lock_shard(key).get(key)
+    }
+
+    /// Inserts (or refreshes) `key` in its shard.
+    pub fn put(&self, key: u64, value: CachedResponse) {
+        self.lock_shard(key).put(key, value);
+    }
+
+    /// Drops every entry in every shard (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            hc_obs::sync::lock_recover(shard).clear();
+        }
+    }
+
+    /// Aggregated statistics: entry/hit/miss/eviction sums across shards,
+    /// with the configured total capacity.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats {
+            entries: 0,
+            capacity: self.capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        };
+        for shard in &self.shards {
+            let s = hc_obs::sync::lock_recover(shard).stats();
+            total.entries += s.entries;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +376,63 @@ mod tests {
         c.put(1, resp("1"));
         assert!(c.get(1).is_none());
         assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn sharded_round_trip_and_aggregate_stats() {
+        let c = ShardedCache::new(64);
+        for k in 0..32u64 {
+            assert!(c.get(k).is_none());
+            c.put(k, resp(&k.to_string()));
+        }
+        for k in 0..32u64 {
+            assert_eq!(&*c.get(k).unwrap().body, k.to_string().as_bytes());
+        }
+        let s = c.stats();
+        assert_eq!((s.entries, s.capacity), (32, 64));
+        assert_eq!((s.hits, s.misses, s.evictions), (32, 32, 0));
+    }
+
+    #[test]
+    fn sharded_zero_capacity_disables() {
+        let c = ShardedCache::new(0);
+        c.put(7, resp("7"));
+        assert!(c.get(7).is_none());
+        assert_eq!(c.stats().capacity, 0);
+    }
+
+    #[test]
+    fn sharded_clear_empties_all_shards() {
+        let c = ShardedCache::new(64);
+        for k in 0..16u64 {
+            c.put(k, resp("x"));
+        }
+        c.clear();
+        assert_eq!(c.stats().entries, 0);
+        for k in 0..16u64 {
+            assert!(c.get(k).is_none());
+        }
+    }
+
+    #[test]
+    fn poisoned_shard_clears_whole_cache() {
+        let c = std::sync::Arc::new(ShardedCache::new(64));
+        c.put(0, resp("shard0"));
+        c.put(1, resp("shard1"));
+        // Poison shard 0 by panicking while holding its lock.
+        let c2 = std::sync::Arc::clone(&c);
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.lock_shard(0);
+            panic!("poison shard 0");
+        })
+        .join();
+        // Recovery drops every shard's contents, not just shard 0's — even
+        // when the first post-poison touch lands on a healthy shard.
+        assert!(c.get(1).is_none());
+        assert!(c.get(0).is_none());
+        // And the cache keeps working afterwards.
+        c.put(2, resp("again"));
+        assert!(c.get(2).is_some());
     }
 
     #[test]

@@ -1,11 +1,14 @@
-//! A small, strict HTTP/1.1 subset over `std::net::TcpStream`.
+//! A small, strict HTTP/1.1 subset with keep-alive and incremental parsing.
 //!
 //! The server needs exactly: request line + headers + optional
 //! `Content-Length` body in; status line + headers + body out. No chunked
-//! transfer, no keep-alive (every response closes the connection), no TLS.
+//! transfer, no TLS. Connections are persistent by default (`HTTP/1.1`
+//! semantics): [`RequestParser`] accumulates bytes across partial reads and
+//! yields complete requests one at a time, preserving pipelined leftovers, so
+//! the epoll reactor can parse without ever blocking. [`read_request`] wraps
+//! the same parser over a blocking `Read` for tests and simple clients.
 //! Limits are enforced while reading so a slow or hostile peer cannot balloon
-//! memory: header block ≤ 16 KiB, body ≤ the server's configured maximum, and
-//! socket read/write timeouts are set by the connection handler before parsing.
+//! memory: header block ≤ 16 KiB, body ≤ the server's configured maximum.
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -342,38 +345,98 @@ pub fn parse_query(q: &str) -> BTreeMap<String, String> {
     out
 }
 
-/// Reads and parses one request from `stream`.
+/// A request head parsed off the wire, waiting for its body to complete.
+#[derive(Debug)]
+struct PendingHead {
+    request: Request,
+    content_length: usize,
+    keep_alive: bool,
+}
+
+/// Incremental, resumable HTTP request parser.
 ///
-/// `max_body` bounds the accepted `Content-Length`; larger requests get `413`.
-pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request, HttpError> {
-    // Read until the end of the header block, byte-capped.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
+/// Feed raw socket bytes with [`RequestParser::feed`]; [`RequestParser::poll`]
+/// yields a complete request as soon as one is buffered, leaving any pipelined
+/// follow-up bytes in place for the next poll. Parse errors are sticky for the
+/// current request but the struct stays usable (the connection closes anyway:
+/// after a framing error the byte stream cannot be trusted).
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    max_body: usize,
+    pending: Option<PendingHead>,
+}
+
+impl RequestParser {
+    /// A parser enforcing the given body-size cap.
+    pub fn new(max_body: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            max_body,
+            pending: None,
         }
-        if buf.len() > MAX_HEADER_BYTES {
-            return Err(HttpError::typed(
-                413,
-                "body_too_large",
-                "header block too large",
-            ));
+    }
+
+    /// Appends raw bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// `true` when no bytes of a next request have arrived — an EOF here is a
+    /// clean connection close, not a truncated request.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none() && self.buf.is_empty()
+    }
+
+    /// The error a peer EOF means right now: mid-body once a head is parsed,
+    /// mid-request while still reading the header block.
+    pub fn eof_error(&self) -> HttpError {
+        if self.pending.is_some() {
+            HttpError::bad("connection closed mid-body")
+        } else {
+            HttpError::bad("connection closed mid-request")
         }
-        let n = stream.read(&mut chunk).map_err(|e| HttpError {
-            status: 408,
-            message: format!("read error or timeout: {e}"),
-            code: None,
-            details: None,
-        })?;
-        if n == 0 {
-            return Err(HttpError::bad("connection closed mid-request"));
+    }
+
+    /// Tries to complete one request from the buffered bytes.
+    ///
+    /// Returns `Ok(Some((request, keep_alive)))` when a full request is
+    /// available (consuming its bytes, preserving pipelined leftovers),
+    /// `Ok(None)` when more bytes are needed, and `Err` on a framing error
+    /// (bad request line, unparsable or oversized `Content-Length`, header
+    /// block past [`MAX_HEADER_BYTES`]).
+    pub fn poll(&mut self) -> Result<Option<(Request, bool)>, HttpError> {
+        if self.pending.is_none() {
+            let Some(header_end) = find_header_end(&self.buf) else {
+                if self.buf.len() > MAX_HEADER_BYTES {
+                    return Err(HttpError::typed(
+                        413,
+                        "body_too_large",
+                        "header block too large",
+                    ));
+                }
+                return Ok(None);
+            };
+            let head = parse_head(&self.buf[..header_end], self.max_body)?;
+            self.buf.drain(..header_end + 4);
+            self.pending = Some(head);
         }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-    let head = std::str::from_utf8(&buf[..header_end])
-        .map_err(|_| HttpError::bad("headers are not valid UTF-8"))?
-        .to_string();
+        let content_length = self.pending.as_ref().map_or(0, |p| p.content_length);
+        if self.buf.len() < content_length {
+            return Ok(None);
+        }
+        let mut head = self.pending.take().expect("pending head present");
+        head.request.body = self.buf.drain(..content_length).collect();
+        Ok(Some((head.request, head.keep_alive)))
+    }
+}
+
+/// Parses the request line + header block (everything before `\r\n\r\n`),
+/// returning the body-less request, its `Content-Length`, and whether the
+/// connection should stay open afterwards.
+fn parse_head(raw: &[u8], max_body: usize) -> Result<PendingHead, HttpError> {
+    let head =
+        std::str::from_utf8(raw).map_err(|_| HttpError::bad("headers are not valid UTF-8"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
@@ -388,6 +451,9 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::bad("unsupported HTTP version"));
     }
+    // HTTP/1.1 defaults to persistent connections; HTTP/1.0 to close. A
+    // `Connection` header token overrides either default.
+    let mut keep_alive = version != "HTTP/1.0";
 
     // Bound and sanitize a header value that will be echoed into response
     // headers and logs: strip anything a peer could use to inject header
@@ -414,6 +480,15 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::bad("bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        keep_alive = false;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
             } else if name.eq_ignore_ascii_case("x-request-id") {
                 let id = sanitize(value);
                 if !id.is_empty() {
@@ -449,9 +524,39 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
         ));
     }
 
-    // Body: whatever followed the header block, then read the remainder.
-    let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
-    while body.len() < content_length {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(PendingHead {
+        request: Request {
+            method,
+            path: url_decode(raw_path),
+            query: parse_query(raw_query),
+            body: Vec::new(),
+            request_id,
+            timeout_ms,
+            traceparent,
+            if_match,
+            malformed_headers,
+        },
+        content_length,
+        keep_alive,
+    })
+}
+
+/// Reads and parses one request from a blocking `stream`.
+///
+/// `max_body` bounds the accepted `Content-Length`; larger requests get `413`.
+/// A thin blocking wrapper over [`RequestParser`] for tests and clients; the
+/// server itself feeds the parser from the nonblocking reactor.
+pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request, HttpError> {
+    let mut parser = RequestParser::new(max_body);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some((request, _keep_alive)) = parser.poll()? {
+            return Ok(request);
+        }
         let n = stream.read(&mut chunk).map_err(|e| HttpError {
             status: 408,
             message: format!("read error or timeout: {e}"),
@@ -459,47 +564,40 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
             details: None,
         })?;
         if n == 0 {
-            return Err(HttpError::bad("connection closed mid-body"));
+            return Err(parser.eof_error());
         }
-        body.extend_from_slice(&chunk[..n]);
+        parser.feed(&chunk[..n]);
     }
-    body.truncate(content_length);
-
-    let (raw_path, raw_query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-    Ok(Request {
-        method,
-        path: url_decode(raw_path),
-        query: parse_query(raw_query),
-        body,
-        request_id,
-        timeout_ms,
-        traceparent,
-        if_match,
-        malformed_headers,
-    })
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Serializes `response` to `stream` (HTTP/1.1, `Connection: close`).
-pub fn write_response<S: Write>(stream: &mut S, response: &Response) -> std::io::Result<()> {
+/// Renders the response head (status line + headers + blank line). `close`
+/// picks the `Connection` header value; the body is not included so the
+/// reactor can write head and body as one vectored write without copying
+/// shared cache buffers.
+pub fn render_head(response: &Response, close: bool) -> String {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if close { "close" } else { "keep-alive" }
     );
     for (name, value) in &response.headers {
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
+    head
+}
+
+/// Serializes `response` to a blocking `stream` (HTTP/1.1,
+/// `Connection: close`) — the one-shot form used by tests and the CLI.
+pub fn write_response<S: Write>(stream: &mut S, response: &Response) -> std::io::Result<()> {
+    stream.write_all(render_head(response, true).as_bytes())?;
     stream.write_all(response.body.as_slice())?;
     stream.flush()
 }
@@ -711,5 +809,140 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503"));
         assert!(text.contains("Retry-After: 1\r\n"));
+    }
+
+    #[test]
+    fn render_head_picks_connection_header() {
+        let r = Response::json("{}".into());
+        assert!(render_head(&r, true).contains("Connection: close\r\n"));
+        assert!(render_head(&r, false).contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn parser_handles_byte_at_a_time_trickle() {
+        let raw: &[u8] = b"POST /measure?ecs=1 HTTP/1.1\r\nHost: x\r\n\
+                           Content-Length: 9\r\n\r\ntask,m1\r\n";
+        let mut p = RequestParser::new(1024);
+        for (i, b) in raw.iter().enumerate() {
+            assert!(
+                p.poll().unwrap().is_none(),
+                "complete before byte {i} of {}",
+                raw.len()
+            );
+            p.feed(std::slice::from_ref(b));
+        }
+        let (req, keep_alive) = p.poll().unwrap().expect("complete after final byte");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/measure");
+        assert_eq!(req.body, b"task,m1\r\n");
+        assert!(keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn parser_yields_pipelined_requests_from_one_segment() {
+        let mut p = RequestParser::new(1024);
+        p.feed(
+            b"POST /measure HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd\
+              GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n\
+              GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        let (r1, k1) = p.poll().unwrap().unwrap();
+        assert_eq!(
+            (r1.path.as_str(), &r1.body[..], k1),
+            ("/measure", &b"abcd"[..], true)
+        );
+        let (r2, k2) = p.poll().unwrap().unwrap();
+        assert_eq!((r2.path.as_str(), k2), ("/metrics", true));
+        let (r3, k3) = p.poll().unwrap().unwrap();
+        assert_eq!((r3.path.as_str(), k3), ("/healthz", false));
+        assert!(p.poll().unwrap().is_none());
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn parser_connection_header_overrides_version_default() {
+        let mut p = RequestParser::new(1024);
+        p.feed(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!p.poll().unwrap().unwrap().1, "HTTP/1.0 defaults to close");
+        p.feed(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(p.poll().unwrap().unwrap().1);
+        p.feed(b"GET / HTTP/1.1\r\nConnection: Keep-Alive, Upgrade\r\n\r\n");
+        assert!(p.poll().unwrap().unwrap().1, "token list, case-insensitive");
+        p.feed(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!p.poll().unwrap().unwrap().1);
+    }
+
+    #[test]
+    fn parser_rejects_oversized_header_block_even_unterminated() {
+        let mut p = RequestParser::new(1024);
+        p.feed(b"GET / HTTP/1.1\r\n");
+        // Keep feeding header bytes with no terminator: the parser must bail
+        // at the cap instead of buffering without bound.
+        let filler = format!("X-Pad: {}\r\n", "a".repeat(1000));
+        let mut err = None;
+        for _ in 0..20 {
+            p.feed(filler.as_bytes());
+            if let Err(e) = p.poll() {
+                err = Some(e);
+                break;
+            }
+        }
+        let err = err.expect("oversized header block must error");
+        assert_eq!(err.status, 413);
+        assert_eq!(err.message, "header block too large");
+    }
+
+    #[test]
+    fn parser_handles_headers_split_across_reads() {
+        let raw = b"GET /metrics HTTP/1.1\r\nX-Request-Id: split-id\r\n\r\n";
+        // Split inside the header name, the value, and the terminator.
+        for cut in [10, 30, raw.len() - 1] {
+            let mut p = RequestParser::new(1024);
+            p.feed(&raw[..cut]);
+            assert!(p.poll().unwrap().is_none(), "cut at {cut}");
+            p.feed(&raw[cut..]);
+            let (req, _) = p.poll().unwrap().expect("complete after second feed");
+            assert_eq!(req.request_id.as_deref(), Some("split-id"));
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_content_length_across_boundary() {
+        let mut p = RequestParser::new(1024);
+        // The malformed value arrives split across two reads; the error must
+        // only fire once the header block is complete and parseable.
+        p.feed(b"POST /x HTTP/1.1\r\nContent-Len");
+        assert!(p.poll().unwrap().is_none());
+        p.feed(b"gth: twelve\r\n\r\n");
+        let err = p.poll().unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.message, "bad Content-Length");
+    }
+
+    #[test]
+    fn parser_body_split_across_reads_and_eof_errors() {
+        let mut p = RequestParser::new(1024);
+        p.feed(b"POST /x HTTP/1.1\r\nContent-Length: 8\r\n\r\nabc");
+        assert!(p.poll().unwrap().is_none());
+        assert_eq!(p.eof_error().message, "connection closed mid-body");
+        assert!(!p.is_idle());
+        p.feed(b"defgh");
+        let (req, _) = p.poll().unwrap().unwrap();
+        assert_eq!(req.body, b"abcdefgh");
+
+        let mut fresh = RequestParser::new(1024);
+        assert!(fresh.is_idle());
+        fresh.feed(b"GET / HT");
+        assert_eq!(fresh.eof_error().message, "connection closed mid-request");
+    }
+
+    #[test]
+    fn parser_rejects_oversized_content_length_before_body_arrives() {
+        let mut p = RequestParser::new(10);
+        p.feed(b"POST /x HTTP/1.1\r\nContent-Length: 999\r\n\r\n");
+        let err = p.poll().unwrap_err();
+        assert_eq!(err.status, 413);
+        assert_eq!(err.code, Some("body_too_large"));
     }
 }

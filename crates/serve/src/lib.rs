@@ -25,12 +25,20 @@
 //!
 //! Architecture, bottom-up:
 //!
+//! * [`sys`] — epoll/rlimit/listen syscall shims over the libc std already
+//!   links, keeping the crate dependency-free.
+//! * [`reactor`] — the event-driven serving core (DESIGN.md §14): one epoll
+//!   readiness loop owns every socket, non-blocking accept/read/write state
+//!   machines speak HTTP/1.1 keep-alive (`--max-requests-per-conn`,
+//!   `--idle-conn-timeout-ms`), and finished jobs return through a
+//!   completion queue + wakeup pipe so workers never touch sockets.
 //! * [`threadpool`] — fixed worker pool; a **bounded** request queue sheds
 //!   load (`503` + `Retry-After`) instead of buffering, and a subtask lane
 //!   with work-helping lets `/batch` fan out without self-deadlock.
-//! * [`http`] — a strict HTTP/1.1 subset (Content-Length bodies, connection
-//!   close) with size caps and socket timeouts.
-//! * [`cache`] — content-addressed LRU keyed by FNV-1a over
+//! * [`http`] — a strict HTTP/1.1 subset (Content-Length bodies, a
+//!   resumable incremental parser) with size caps; reject/shed paths answer
+//!   `Connection: close` and drop the connection.
+//! * [`cache`] — 8-way-sharded content-addressed LRU keyed by FNV-1a over
 //!   `endpoint\0options\0body`; identical requests skip Sinkhorn/heuristic
 //!   work entirely (`X-Cache: hit`).
 //! * [`metrics`] — per-endpoint counters and log₂ latency histograms,
@@ -84,10 +92,12 @@ pub mod handlers;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod reactor;
 pub mod router;
 pub mod server;
 pub mod session;
 pub mod signal;
+pub mod sys;
 pub mod threadpool;
 
 pub use server::{start, Config, ServerHandle, ServerState};

@@ -188,6 +188,7 @@ impl Registry {
     pub fn to_json(
         &self,
         pool: &str,
+        connections: &str,
         cache: &str,
         faults: &str,
         recorder: &str,
@@ -210,6 +211,7 @@ impl Registry {
             .i64("requests_in_flight", in_flight)
             .raw("endpoints", &per_endpoint.finish())
             .raw("pool", pool)
+            .raw("connections", connections)
             .raw("cache", cache)
             .raw("faults", faults)
             .raw("recorder", recorder)
@@ -271,6 +273,26 @@ pub fn session_counters() -> SessionCounters {
         recomputes: c("session_recompute_total"),
         recomputes_warm: c("session_recompute_warm_total"),
     }
+}
+
+/// Renders the `/metrics` JSON `connections` object from the reactor's
+/// connection counters — the same atomics the Prometheus
+/// `hc_serve_connections_*` / `hc_serve_keepalive_*` series read, so the two
+/// expositions agree (goldened in the tests).
+pub fn connections_json(c: &crate::server::ConnCounters) -> String {
+    use std::sync::atomic::Ordering;
+    JsonObject::new()
+        .i64("open", c.open.load(Ordering::Relaxed))
+        .u64("accepted_total", c.accepted_total.load(Ordering::Relaxed))
+        .u64(
+            "keepalive_requests_total",
+            c.keepalive_requests_total.load(Ordering::Relaxed),
+        )
+        .u64(
+            "idle_timeouts_total",
+            c.idle_timeouts_total.load(Ordering::Relaxed),
+        )
+        .finish()
 }
 
 /// Renders the `/metrics` JSON `sessions` object.
@@ -423,7 +445,33 @@ pub fn prometheus_document(state: &crate::server::ServerState) -> String {
         "hc_serve_pool_worker_respawns_total",
         state.pool.worker_respawns_total(),
     );
-    let cache = crate::router::cache_lock(state).stats();
+    // Reactor connection series, from the same atomics as the JSON
+    // `connections` object (goldened for agreement in the tests).
+    {
+        use std::sync::atomic::Ordering;
+        let c = &state.conns;
+        gauge(
+            &mut w,
+            "hc_serve_connections_open",
+            c.open.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut w,
+            "hc_serve_connections_accepted_total",
+            c.accepted_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut w,
+            "hc_serve_keepalive_requests_total",
+            c.keepalive_requests_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut w,
+            "hc_serve_idle_timeouts_total",
+            c.idle_timeouts_total.load(Ordering::Relaxed),
+        );
+    }
+    let cache = state.cache.stats();
     gauge(
         &mut w,
         "hc_serve_result_cache_entries",
@@ -612,6 +660,7 @@ mod tests {
 
         let j = r.to_json(
             "{\"queued\":0}",
+            "{\"open\":0}",
             "{\"entries\":0}",
             "{\"panics_total\":0}",
             "{\"recorded_total\":0}",
@@ -628,6 +677,7 @@ mod tests {
         assert!(j.contains("\"cache_hits\":1"));
         assert!(j.contains("\"service_histogram_us\""));
         assert!(j.contains("\"pool\":{\"queued\":0}"));
+        assert!(j.contains("\"connections\":{\"open\":0}"));
         assert!(j.contains("\"faults\":{\"panics_total\":0}"));
         assert!(j.contains("\"sessions\":{\"active\":0}"));
         assert!(j.contains("\"slo\":{\"degraded\":false}"));
@@ -649,7 +699,7 @@ mod tests {
         // Recording and rendering both recover instead of propagating.
         r.record("e", false, false, Duration::from_micros(5), Duration::ZERO);
         assert_eq!(r.snapshot("e").unwrap().count, 1);
-        let j = r.to_json("{}", "{}", "{}", "{}", "{}", "{}", 0, "{}");
+        let j = r.to_json("{}", "{}", "{}", "{}", "{}", "{}", "{}", 0, "{}");
         assert!(j.contains("\"requests_total\":1"), "{j}");
     }
 

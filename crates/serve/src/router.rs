@@ -7,12 +7,12 @@
 //! `/quitquitquit`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hc_linalg::Budget;
 
-use crate::cache::{cache_key, CachedResponse, LruCache};
+use crate::cache::{cache_key, CachedResponse};
 use crate::handlers::{self, ReqCtx};
 use crate::http::{Body, HttpError, Request, Response};
 use crate::json::{JsonArray, JsonObject};
@@ -54,13 +54,6 @@ fn effective_timeout_ms(config: &Config, req: &Request) -> Option<u64> {
         (Some(header), 0) => Some(header.min(MAX_HEADER_TIMEOUT_MS)),
         (Some(header), server) => Some(header.min(server)),
     }
-}
-
-/// Locks the result cache, clearing it after poison recovery: a panic while
-/// the lock was held (e.g. the `cache.insert` failpoint) may have interrupted
-/// an insertion mid-way, and a cache is always safe to drop wholesale.
-pub(crate) fn cache_lock(state: &ServerState) -> MutexGuard<'_, LruCache> {
-    hc_obs::sync::lock_recover_then(&state.cache, LruCache::clear)
 }
 
 /// Stable metric name for a request path.
@@ -127,7 +120,7 @@ fn cached(
     handler: fn(&Request, &ReqCtx<'_>) -> Result<Response, HttpError>,
 ) -> (Response, bool) {
     let key = cache_key(name, &canonical_options(req), &req.body);
-    if let Some(hit) = cache_lock(state).get(key) {
+    if let Some(hit) = state.cache.get(key) {
         let resp = Response {
             status: 200,
             content_type: hit.content_type,
@@ -143,11 +136,11 @@ fn cached(
                 body: resp.body.share(),
             };
             {
-                let mut cache = cache_lock(state);
-                // Deliberate crash site: a panic here poisons the cache lock,
+                let mut shard = state.cache.lock_shard(key);
+                // Deliberate crash site: a panic here poisons the shard lock,
                 // exercising the clear-on-recovery path under chaos tests.
                 hc_obs::failpoints::fire("cache.insert");
-                cache.put(key, entry);
+                shard.put(key, entry);
             }
             (resp.with_header("X-Cache", "miss"), false)
         }
@@ -294,7 +287,7 @@ fn metrics_document(state: &ServerState) -> String {
             state.recorder.survivors_pinned_total(),
         )
         .finish();
-    let cache_stats = cache_lock(state).stats();
+    let cache_stats = state.cache.stats();
     let cache_json = JsonObject::new()
         .u64("entries", cache_stats.entries as u64)
         .u64("capacity", cache_stats.capacity as u64)
@@ -313,6 +306,7 @@ fn metrics_document(state: &ServerState) -> String {
     let slo_json = crate::metrics::slo_json(&state.slo.snapshot());
     state.metrics.to_json(
         &state.pool.stats_json(),
+        &crate::metrics::connections_json(&state.conns),
         &cache_json,
         &faults_json,
         &recorder_json,
@@ -421,6 +415,12 @@ pub fn route(
     };
     let service = service_start.elapsed();
     let latency = accepted.elapsed();
+    // A watch that decided to park produced a placeholder, not a response:
+    // nothing reached the client, so recording metrics or logging now would
+    // double-count the request when the reactor re-runs it.
+    if crate::session::park_pending() {
+        return resp;
+    }
     if budget.is_some() {
         // How much of the request's deadline the handler actually spent.
         hc_obs::recorder::note_u64("budget_consumed_us", service.as_micros() as u64);

@@ -1,25 +1,25 @@
-//! The TCP server: configuration, accept loop, and graceful shutdown.
+//! Server configuration, shared state, and per-request attempt execution.
 //!
-//! One accept thread owns the (nonblocking) listener and does no parsing: it
-//! either sheds the connection with `503 Retry-After` when the pool's request
-//! queue is full, or hands the socket to the worker pool, which reads the
-//! request, routes it, and writes the response. The accept thread polls the
-//! shutdown flag (set by SIGINT/SIGTERM or `GET /quitquitquit`) between
-//! accepts; on shutdown it stops accepting, drains everything already queued,
-//! and joins the workers.
+//! The sockets live in [`crate::reactor`]: one event-loop thread owns the
+//! (nonblocking) listener and every connection, multiplexed over epoll with
+//! HTTP/1.1 keep-alive. This module owns everything around that loop — the
+//! [`Config`] / [`ServerState`] pair, [`start`] / [`ServerHandle`] lifecycle,
+//! and [`run_attempt`]: the worker-side execution of one parsed request
+//! (request id, trace context, flight recording, panic isolation, phase
+//! timings), returning either a response for the reactor to write or a park
+//! decision for a session watch long-poll.
 
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use hc_obs::recorder::{FlightRecorder, Outcome, PhaseTimings};
 use hc_obs::trace::TraceContext;
 
-use crate::cache::LruCache;
-use crate::http::{read_request, write_response, Request, Response};
+use crate::cache::ShardedCache;
+use crate::http::{Request, Response};
 use crate::metrics::Registry;
 use crate::router;
 use crate::signal;
@@ -78,6 +78,13 @@ pub struct Config {
     /// Short SLO window length in seconds; the mid and long windows scale
     /// with it at the fixed 1:5:60 ratio (60 → 1 m / 5 m / 1 h).
     pub slo_window_s: u64,
+    /// Most requests served on one keep-alive connection before the server
+    /// answers `Connection: close` (0 = unlimited). Bounds how long one
+    /// client can monopolize a connection slot.
+    pub max_requests_per_conn: u64,
+    /// Idle keep-alive connections (no request in progress) are closed after
+    /// this many milliseconds (0 disables the idle timeout).
+    pub idle_conn_timeout_ms: u64,
 }
 
 impl Default for Config {
@@ -104,8 +111,27 @@ impl Default for Config {
             slo_availability: 0.999,
             slo_latency_ms: 0,
             slo_window_s: 60,
+            max_requests_per_conn: 1024,
+            idle_conn_timeout_ms: 30_000,
         }
     }
+}
+
+/// Connection-lifecycle counters, rendered as the `connections` object in
+/// `/metrics` and as `hc_serve_connections_*` Prometheus series. Maintained
+/// by the reactor thread alone (plain atomics for cross-thread reads).
+#[derive(Debug, Default)]
+pub struct ConnCounters {
+    /// Connections currently open (`connections_open`, a gauge).
+    pub open: AtomicI64,
+    /// Connections accepted since boot (`connections_accepted_total`).
+    pub accepted_total: AtomicU64,
+    /// Requests beyond the first served on a reused connection
+    /// (`keepalive_requests_total`).
+    pub keepalive_requests_total: AtomicU64,
+    /// Idle keep-alive connections closed by `--idle-conn-timeout-ms`
+    /// (`idle_timeouts_total`).
+    pub idle_timeouts_total: AtomicU64,
 }
 
 /// Fault-containment counters, rendered as the `faults` object in `/metrics`.
@@ -123,8 +149,8 @@ pub struct FaultCounters {
 pub struct ServerState {
     /// Worker pool (requests + batch subtasks).
     pub pool: Pool,
-    /// Content-addressed result cache.
-    pub cache: Mutex<LruCache>,
+    /// Content-addressed result cache (8-way sharded).
+    pub cache: ShardedCache,
     /// Per-endpoint counters and histograms.
     pub metrics: Registry,
     /// Active configuration.
@@ -143,6 +169,8 @@ pub struct ServerState {
     /// surfaces in `/metrics` (`slo` object + Prometheus series) and flips
     /// `/healthz` to `degraded` while a burn-rate alert fires.
     pub slo: hc_obs::slo::SloEngine,
+    /// Connection-lifecycle counters (see [`ConnCounters`]).
+    pub conns: ConnCounters,
 }
 
 /// A running server; dropping it does NOT stop the server — call
@@ -188,6 +216,17 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
     signal::install();
+    // Keep-alive fan-in needs one fd per idle client; raise the soft nofile
+    // limit toward a comfortable ceiling. Best-effort: a locked-down limit
+    // just means fewer concurrent connections, not a startup failure.
+    let _ = crate::sys::raise_nofile_limit(65_536);
+    // Widen the accept backlog past std's hardcoded 128 so a connection
+    // storm queues instead of shedding half-open zombies (clamped by the
+    // kernel to net.core.somaxconn).
+    {
+        use std::os::unix::io::AsRawFd;
+        let _ = crate::sys::set_listen_backlog(listener.as_raw_fd(), 4096);
+    }
     // The continuous profiler is process-global and idempotent: the first
     // server to start it wins, and shutdown leaves it running so profiles
     // stay cumulative across in-process restarts (tests, embedding).
@@ -205,7 +244,7 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
 
     let state = Arc::new(ServerState {
         pool: Pool::new(config.workers, config.queue_depth),
-        cache: Mutex::new(LruCache::new(config.cache_entries)),
+        cache: ShardedCache::new(config.cache_entries),
         metrics: Registry::new(),
         recorder: FlightRecorder::new(config.record_requests, config.record_survivors),
         sessions: hc_session::SessionStore::new(hc_session::SessionConfig {
@@ -217,11 +256,12 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
         shutdown: AtomicBool::new(false),
         in_flight: AtomicI64::new(0),
         faults: FaultCounters::default(),
+        conns: ConnCounters::default(),
     });
     let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
         .name("hc-serve-accept".to_string())
-        .spawn(move || accept_loop(&listener, &accept_state))
+        .spawn(move || crate::reactor::run(listener, accept_state))
         .map_err(|e| format!("spawn accept thread: {e}"))?;
 
     Ok(ServerHandle {
@@ -231,30 +271,9 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
     })
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
-    loop {
-        if state.shutdown.load(Ordering::SeqCst) || signal::triggered() {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => handle_connection(stream, state),
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-    // Flush session watchers first: parked long-polls answer a typed 503
-    // `draining` immediately instead of holding workers until their
-    // long-poll deadlines, so the pool drain below stays fast.
-    state.sessions.drain();
-    // Stop taking work, finish what's queued, join the workers.
-    state.pool.shutdown();
-}
-
 /// Generates a process-unique request id: server start time (µs since the
 /// epoch, hex) plus a monotonically increasing sequence number.
-fn next_request_id() -> String {
+pub(crate) fn next_request_id() -> String {
     static BOOT_US: OnceLock<u64> = OnceLock::new();
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let boot = BOOT_US.get_or_init(|| {
@@ -271,7 +290,7 @@ fn next_request_id() -> String {
 /// request id so the warning is attributable. Called after the request id is
 /// resolved and recording has begun, so the warning also lands in the
 /// request's flight record.
-fn warn_malformed_headers(request_id: &str, malformed: &[(&'static str, String)]) {
+pub(crate) fn warn_malformed_headers(request_id: &str, malformed: &[(&'static str, String)]) {
     for (header, value) in malformed {
         hc_obs::obs_counter!("serve_malformed_header_total").inc();
         hc_obs::event(
@@ -293,7 +312,7 @@ fn warn_malformed_headers(request_id: &str, malformed: &[(&'static str, String)]
 /// joins the caller's trace (its span id becomes our parent); an absent
 /// header starts a fresh trace; a malformed one starts a fresh trace *and*
 /// is appended to the request's malformed-header notes.
-fn resolve_trace(request: &mut Request) -> TraceContext {
+pub(crate) fn resolve_trace(request: &mut Request) -> TraceContext {
     match request.traceparent.take() {
         None => TraceContext::generate(),
         Some(raw) => match TraceContext::parse(&raw) {
@@ -308,7 +327,7 @@ fn resolve_trace(request: &mut Request) -> TraceContext {
 
 /// Renders the `Server-Timing` response header value: the four request
 /// phases, each as `name;dur=<milliseconds>` in wire order.
-fn server_timing_value(phases: &PhaseTimings) -> String {
+pub(crate) fn server_timing_value(phases: &PhaseTimings) -> String {
     let ms = |us: u64| us as f64 / 1000.0;
     format!(
         "queue;dur={:.3}, parse;dur={:.3}, compute;dur={:.3}, serialize;dur={:.3}",
@@ -319,154 +338,124 @@ fn server_timing_value(phases: &PhaseTimings) -> String {
     )
 }
 
-fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
-    // Latency is measured from here — before queueing — so the `/metrics`
-    // latency histograms include queue wait and overload is not hidden.
-    let accepted = Instant::now();
-    // The listener is nonblocking; the per-connection socket must not be, or
-    // the read/write timeouts below would not apply.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+/// One parsed request traveling between the reactor and the worker pool,
+/// carrying the state an attempt needs and what must stay stable when a
+/// parked watch re-runs it.
+pub(crate) struct ReqTask {
+    /// The request. `request_id` and `traceparent` are written back on the
+    /// first attempt so re-runs of a parked watch keep the same identity.
+    pub request: Request,
+    /// When this request began on the connection: accept for the first
+    /// request, first byte of the next request for keep-alive reuse. The
+    /// latency/SLO/deadline clock.
+    pub started: Instant,
+    /// Time from `started` until the request was fully parsed (includes
+    /// network arrival, like the old blocking read).
+    pub parse_us: u64,
+    /// When the reactor handed the task to the pool (re-stamped on each
+    /// re-dispatch); pickup minus this is the queue phase.
+    pub dispatched: Instant,
+    /// `Some` on re-runs of a parked watch: the original long-poll deadline.
+    pub park_deadline: Option<Instant>,
+}
 
-    if state.pool.would_shed() {
-        // Shed from the accept thread without parsing the request: the
-        // queue is full and parsing would only add load.
-        state
-            .metrics
-            .record("_shed", true, false, accepted.elapsed(), Duration::ZERO);
-        let mut s = stream;
-        let response = Response::overloaded(1).with_header("X-Request-Id", &next_request_id());
-        state.slo.record(response.status, accepted.elapsed());
-        let _ = write_response(&mut s, &response);
-        let _ = s.shutdown(std::net::Shutdown::Write);
-        // Drain whatever the client already sent before closing; closing a
-        // socket with unread data makes the kernel send RST, which would
-        // destroy the 503 still in flight. Tightly bounded so a slow client
-        // cannot pin the accept thread.
-        let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
-        let mut sink = [0u8; 4096];
-        for _ in 0..64 {
-            match s.read(&mut sink) {
-                Ok(0) | Err(_) => break,
-                Ok(_) => {}
-            }
-        }
-        return;
+/// What one execution attempt of a request produced.
+pub(crate) enum AttemptOutcome {
+    /// A response for the reactor to write.
+    Respond(Response),
+    /// A session watch with nothing to report yet: park the connection until
+    /// the session changes or the deadline passes, then re-run.
+    Park(crate::session::ParkIntent),
+}
+
+/// Executes one attempt of a request on a worker thread: request id + trace
+/// resolution, flight recording, the panic-isolated route call, and response
+/// decoration (`X-Request-Id`, `traceparent`, `Server-Timing`).
+///
+/// Socket I/O, SLO recording, and in-flight accounting stay with the
+/// reactor; this function never blocks on the network. A parked watch
+/// abandons its recording (dropping the guard) — only the attempt that
+/// answers the client records an outcome.
+pub(crate) fn run_attempt(st: &Arc<ServerState>, task: &mut ReqTask) -> AttemptOutcome {
+    // Phase clock: queue = dispatch → worker pickup, parse = request arrival
+    // + parsing on the reactor, compute = routing + handler, serialize =
+    // response assembly. Goes out as `Server-Timing` and into the recorder.
+    let picked_up = Instant::now();
+    let queue_us = picked_up.duration_since(task.dispatched).as_micros() as u64;
+    let started = task.started;
+    let id = task
+        .request
+        .request_id
+        .clone()
+        .unwrap_or_else(next_request_id);
+    task.request.request_id = Some(id.clone());
+    let trace = resolve_trace(&mut task.request);
+    task.request.traceparent = Some(trace.header_value());
+    // Recording starts before the handler so every span, event, and numeric
+    // note the request produces on this thread — including those emitted
+    // while unwinding from a panic — attaches to its record.
+    let recording = st
+        .recorder
+        .begin(&id, &task.request.method, &task.request.path, &trace);
+    if task.park_deadline.is_none() {
+        warn_malformed_headers(&id, &task.request.malformed_headers);
     }
-
-    let st = Arc::clone(state);
-    let mut s = stream;
-    state.in_flight.fetch_add(1, Ordering::Relaxed);
-    let job = Box::new(move || {
-        // Phase clock: queue = accept → worker pickup, parse = reading the
-        // request, compute = routing + handler, serialize = response assembly.
-        // The breakdown goes out as `Server-Timing` and into the flight record.
-        let picked_up = Instant::now();
-        let queue_us = picked_up.duration_since(accepted).as_micros() as u64;
-        // Set when the request was answered without reading the full body
-        // (e.g. 413): the socket must be drained before closing, or the
-        // kernel's RST for the unread bytes destroys the response in flight.
-        let mut drain_unread = false;
-        let parsed = read_request(&mut s, st.config.max_body_bytes);
-        let parse_us = picked_up.elapsed().as_micros() as u64;
-        let response = match parsed {
-            Ok(mut request) => {
-                let id = request.request_id.clone().unwrap_or_else(next_request_id);
-                let trace = resolve_trace(&mut request);
-                // Recording starts before the handler so every span, event,
-                // and numeric note the request produces on this thread —
-                // including those emitted while unwinding from a panic —
-                // attaches to its record.
-                let recording = st
-                    .recorder
-                    .begin(&id, &request.method, &request.path, &trace);
-                warn_malformed_headers(&id, &request.malformed_headers);
-                // Panic isolation: a handler panic (bug or armed failpoint)
-                // must cost this request a 500, not the worker its life or
-                // later requests their poisoned locks.
-                let compute_start = Instant::now();
-                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    router::route(&st, &request, accepted, &id)
-                }));
-                let compute_us = compute_start.elapsed().as_micros() as u64;
-                let panicked = routed.is_err();
-                let resp = match routed {
-                    Ok(resp) => resp,
-                    Err(_) => {
-                        st.faults.panics.fetch_add(1, Ordering::Relaxed);
-                        st.metrics.record(
-                            "_panic",
-                            true,
-                            false,
-                            accepted.elapsed(),
-                            Duration::ZERO,
-                        );
-                        crate::http::HttpError::typed(
-                            500,
-                            "internal_panic",
-                            format!("internal panic while handling request {id}"),
-                        )
-                        .to_response()
-                    }
-                };
-                let serialize_start = Instant::now();
-                let resp = resp
-                    .with_header("X-Request-Id", &id)
-                    .with_header("traceparent", &trace.header_value());
-                let latency = accepted.elapsed();
-                let phases = PhaseTimings {
-                    queue_us,
-                    parse_us,
-                    compute_us,
-                    serialize_us: serialize_start.elapsed().as_micros() as u64,
-                };
-                let resp = resp.with_header("Server-Timing", &server_timing_value(&phases));
-                let slow =
-                    st.config.slow_ms > 0 && latency >= Duration::from_millis(st.config.slow_ms);
-                recording.finish(Outcome {
-                    status: resp.status,
-                    latency_us: latency.as_micros() as u64,
-                    phases,
-                    slow,
-                    panicked,
-                });
-                resp
-            }
-            Err(e) => {
-                st.metrics.record(
-                    "_http_error",
-                    true,
-                    false,
-                    accepted.elapsed(),
-                    Duration::ZERO,
-                );
-                drain_unread = true;
-                e.to_response()
-                    .with_header("X-Request-Id", &next_request_id())
-            }
-        };
-        // One SLO observation per answered request, on every path — normal,
-        // parse error, and panic alike (shed connections are recorded by the
-        // accept thread).
-        st.slo.record(response.status, accepted.elapsed());
-        let _ = write_response(&mut s, &response);
-        if drain_unread {
-            let _ = s.shutdown(std::net::Shutdown::Write);
-            let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
-            let mut sink = [0u8; 4096];
-            for _ in 0..64 {
-                match s.read(&mut sink) {
-                    Ok(0) | Err(_) => break,
-                    Ok(_) => {}
-                }
-            }
+    // Panic isolation: a handler panic (bug or armed failpoint) must cost
+    // this request a 500, not the worker its life or later requests their
+    // poisoned locks.
+    let compute_start = Instant::now();
+    crate::session::set_park_deadline(task.park_deadline);
+    let request = &task.request;
+    let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        router::route(st, request, started, &id)
+    }));
+    crate::session::set_park_deadline(None);
+    let compute_us = compute_start.elapsed().as_micros() as u64;
+    // Taken unconditionally: a stale intent must never leak into the next
+    // job this pooled worker thread runs.
+    let intent = crate::session::take_park_intent();
+    if routed.is_ok() {
+        if let Some(intent) = intent {
+            // The placeholder response never reaches the client; dropping
+            // the recording abandons it without an outcome.
+            drop(recording);
+            return AttemptOutcome::Park(intent);
         }
-        st.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+    let panicked = routed.is_err();
+    let resp = match routed {
+        Ok(resp) => resp,
+        Err(_) => {
+            st.faults.panics.fetch_add(1, Ordering::Relaxed);
+            st.metrics
+                .record("_panic", true, false, started.elapsed(), Duration::ZERO);
+            crate::http::HttpError::typed(
+                500,
+                "internal_panic",
+                format!("internal panic while handling request {id}"),
+            )
+            .to_response()
+        }
+    };
+    let serialize_start = Instant::now();
+    let resp = resp
+        .with_header("X-Request-Id", &id)
+        .with_header("traceparent", &trace.header_value());
+    let latency = started.elapsed();
+    let phases = PhaseTimings {
+        queue_us,
+        parse_us: task.parse_us,
+        compute_us,
+        serialize_us: serialize_start.elapsed().as_micros() as u64,
+    };
+    let resp = resp.with_header("Server-Timing", &server_timing_value(&phases));
+    let slow = st.config.slow_ms > 0 && latency >= Duration::from_millis(st.config.slow_ms);
+    recording.finish(Outcome {
+        status: resp.status,
+        latency_us: latency.as_micros() as u64,
+        phases,
+        slow,
+        panicked,
     });
-    if state.pool.try_execute(job).is_err() {
-        // Raced with shutdown after the would_shed check; the dropped job
-        // closes the connection, which is the best we can do mid-drain.
-        state.in_flight.fetch_sub(1, Ordering::Relaxed);
-    }
+    AttemptOutcome::Respond(resp)
 }

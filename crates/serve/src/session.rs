@@ -14,9 +14,10 @@
 //! [`crate::json::measure_body`] — the same builder `POST /measure` and
 //! `/batch` items use, byte-for-byte.
 
+use std::cell::{Cell, RefCell};
 use std::time::{Duration, Instant};
 
-use hc_session::{parse_edits, SessionError, SessionSnapshot, WatchOutcome};
+use hc_session::{parse_edits, SessionError, SessionSnapshot, TryWatch};
 
 use crate::handlers::{self, ReqCtx};
 use crate::http::{HttpError, Request, Response};
@@ -26,6 +27,44 @@ use crate::server::ServerState;
 /// Default long-poll window for `GET /session/{id}/watch` when neither the
 /// client nor the server sets a deadline.
 const WATCH_DEFAULT_MS: u64 = 30_000;
+
+/// What the [`watch`] handler asks of the reactor when nothing has changed
+/// yet: park the connection on this session/watermark until a store waker
+/// fires or `deadline` passes, then run the request again.
+pub(crate) struct ParkIntent {
+    pub id: String,
+    pub since: u64,
+    pub deadline: Instant,
+}
+
+thread_local! {
+    /// Side-channel from [`watch`] to the worker's attempt loop. Handlers
+    /// return [`Response`]s; a watch that wants to park instead leaves its
+    /// intent here and returns a placeholder the attempt loop discards.
+    static PARK_INTENT: RefCell<Option<ParkIntent>> = const { RefCell::new(None) };
+    /// Set by the attempt loop on *re-runs* of a previously parked watch:
+    /// the original deadline. `None` means a first attempt.
+    static PARK_DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Takes the park intent left by [`watch`], if any. The attempt loop calls
+/// this unconditionally after every dispatch so a stale intent can never leak
+/// into the next request on this pooled worker thread.
+pub(crate) fn take_park_intent() -> Option<ParkIntent> {
+    PARK_INTENT.with(|p| p.borrow_mut().take())
+}
+
+/// True while a park intent is pending (this dispatch decided to park);
+/// the router skips metrics and logging for such attempts.
+pub(crate) fn park_pending() -> bool {
+    PARK_INTENT.with(|p| p.borrow().is_some())
+}
+
+/// Marks the current dispatch as a resumed parked watch carrying its original
+/// deadline (`Some`), or a fresh attempt (`None`).
+pub(crate) fn set_park_deadline(deadline: Option<Instant>) {
+    PARK_DEADLINE.with(|d| d.set(deadline));
+}
 
 /// Maps a typed store failure to its HTTP error.
 fn session_error(e: SessionError) -> HttpError {
@@ -147,6 +186,12 @@ pub fn delete(state: &ServerState, id: &str) -> Result<Response, HttpError> {
 /// `X-Timeout-Ms` clamped by `--request-timeout-ms`) caps the wait, falling
 /// back to [`WATCH_DEFAULT_MS`] when no deadline applies. Expiring quietly is
 /// a `200` with `"timed_out":true`, not an error — the client just re-polls.
+///
+/// The wait itself never blocks a worker: when nothing is past the watermark
+/// yet, the handler leaves a [`ParkIntent`] in thread-local storage and the
+/// attempt loop hands the connection back to the reactor, which re-runs the
+/// request when a store waker fires or the deadline passes (the `resumed`
+/// path here, which re-checks and renders the timeout body).
 pub fn watch(
     state: &ServerState,
     req: &Request,
@@ -160,14 +205,17 @@ pub fn watch(
             .parse()
             .map_err(|_| HttpError::bad(format!("query parameter version={raw:?} is malformed")))?,
     };
-    let default_window = Duration::from_millis(WATCH_DEFAULT_MS);
-    let window = match ctx.budget.and_then(|b| b.remaining()) {
-        Some(remaining) => remaining.min(default_window),
-        None => default_window,
-    };
-    let deadline = Instant::now() + window;
-    match state.sessions.watch(id, since, deadline) {
-        Ok(WatchOutcome::Changed {
+    let resumed = PARK_DEADLINE.with(|d| d.get());
+    let deadline = resumed.unwrap_or_else(|| {
+        let default_window = Duration::from_millis(WATCH_DEFAULT_MS);
+        let window = match ctx.budget.and_then(|b| b.remaining()) {
+            Some(remaining) => remaining.min(default_window),
+            None => default_window,
+        };
+        Instant::now() + window
+    });
+    match state.sessions.try_watch(id, since, resumed.is_none()) {
+        Ok(TryWatch::Changed {
             snapshot,
             deltas,
             truncated,
@@ -205,15 +253,31 @@ pub fn watch(
                     .finish(),
             ))
         }
-        Ok(WatchOutcome::TimedOut { version }) => Ok(Response::json(
-            JsonObject::new()
-                .str("id", id)
-                .u64("version", version)
-                .bool("timed_out", true)
-                .bool("truncated", false)
-                .raw("deltas", "[]")
-                .finish(),
-        )),
+        Ok(TryWatch::NotYet { version }) => {
+            if Instant::now() >= deadline {
+                return Ok(Response::json(
+                    JsonObject::new()
+                        .str("id", id)
+                        .u64("version", version)
+                        .bool("timed_out", true)
+                        .bool("truncated", false)
+                        .raw("deltas", "[]")
+                        .finish(),
+                ));
+            }
+            PARK_INTENT.with(|p| {
+                *p.borrow_mut() = Some(ParkIntent {
+                    id: id.to_string(),
+                    since,
+                    deadline,
+                })
+            });
+            // Placeholder: the attempt loop sees the intent and parks the
+            // connection instead of writing this.
+            Ok(Response::json(
+                JsonObject::new().bool("parked", true).finish(),
+            ))
+        }
         Err(e) => Err(session_error(e)),
     }
 }

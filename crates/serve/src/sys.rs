@@ -1,0 +1,261 @@
+//! Thin epoll and rlimit syscall shims without a libc dependency.
+//!
+//! Same trick as [`crate::signal`]: std already links the platform libc, so
+//! declaring the handful of symbols the reactor needs via `extern "C"` keeps
+//! the crate dependency-free. Everything here is Linux-only — the reactor is
+//! gated on `target_os = "linux"` and the repo only builds and tests there.
+//!
+//! The wrappers convert `-1` returns into [`std::io::Error`] from `errno`
+//! (via `Error::last_os_error`) so callers never touch raw return codes.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+// --- epoll event mask bits (from <sys/epoll.h>) -----------------------------
+
+/// Readable (data available, or a pending accept on a listener).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable (kernel send buffer has room again).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition; always reported, never needs to be requested.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup; always reported, never needs to be requested.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half — the cheap way to notice an idle keep-alive
+/// client going away without issuing a read.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+// --- epoll_ctl operations ---------------------------------------------------
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+/// Mirror of the kernel's `struct epoll_event`. On x86-64 the kernel ABI
+/// packs the struct (4-byte aligned u64), hence the conditional packing; on
+/// other architectures natural `repr(C)` layout matches.
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Opaque caller token returned verbatim by `epoll_wait`.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    fn listen(fd: i32, backlog: i32) -> i32;
+}
+
+fn check(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance; the fd is closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a new epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Self> {
+        const EPOLL_CLOEXEC: i32 = 0o2000000;
+        let fd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Self { fd })
+    }
+
+    /// Registers `fd` for the level-triggered `events` mask with `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Updates the interest mask for an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Removes `fd` from the interest list.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // The event pointer is ignored for DEL on kernels >= 2.6.9 but must
+        // be non-null for portability to older ABI checks.
+        let mut ev = EpollEvent::default();
+        check(unsafe { epoll_ctl(self.fd, EPOLL_CTL_DEL, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        check(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Blocks up to `timeout_ms` (-1 = forever) and fills `events`; returns
+    /// how many entries are valid. `EINTR` is reported as zero events so
+    /// callers treat signals like a timeout tick.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len().min(i32::MAX as usize) as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+/// Mirror of `struct rlimit` (two `rlim_t` = u64 on Linux).
+#[repr(C)]
+struct Rlimit {
+    cur: u64,
+    max: u64,
+}
+
+const RLIMIT_NOFILE: i32 = 7;
+
+/// Raises the soft open-file limit toward `want` (capped at the hard limit),
+/// returning the resulting soft limit. Used by the 10k-connection test and by
+/// server startup so the default fd budget does not cap keep-alive fan-in.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    check(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.cur >= want {
+        return Ok(lim.cur);
+    }
+    if lim.max < want {
+        // A privileged process (CAP_SYS_RESOURCE) may raise the hard limit
+        // as well, up to `fs.nr_open`; try that first and fall back to the
+        // existing ceiling if the kernel refuses.
+        let raised = Rlimit {
+            cur: want,
+            max: want,
+        };
+        if check(unsafe { setrlimit(RLIMIT_NOFILE, &raised) }).is_ok() {
+            return Ok(want);
+        }
+    }
+    let target = want.min(lim.max);
+    let new = Rlimit {
+        cur: target,
+        max: lim.max,
+    };
+    check(unsafe { setrlimit(RLIMIT_NOFILE, &new) })?;
+    Ok(target)
+}
+
+/// Re-issues `listen(2)` on an already-listening socket to widen its accept
+/// backlog (std's `TcpListener::bind` hardcodes 128, which a keep-alive
+/// connection storm overflows while the reactor thread is descheduled —
+/// overflowed handshakes look established to the client but never reach
+/// `accept`). The kernel clamps to `net.core.somaxconn`.
+pub fn set_listen_backlog(fd: RawFd, backlog: i32) -> io::Result<()> {
+    check(unsafe { listen(fd, backlog) })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn epoll_event_abi_size() {
+        // The kernel expects 12 bytes on x86-64 (packed) and 16 elsewhere.
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        } else {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+        }
+    }
+
+    #[test]
+    fn readiness_round_trip() {
+        let ep = Epoll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        // Nothing to read yet: a zero-timeout wait reports no events.
+        let mut events = [EpollEvent::default(); 8];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        a.write_all(b"ping").unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (mask, token) = (events[0].events, events[0].data);
+        assert_ne!(mask & EPOLLIN, 0);
+        assert_eq!(token, 42);
+
+        // Level-triggered: still ready until drained.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 1);
+        let mut buf = [0u8; 16];
+        let mut b_read = &b;
+        assert_eq!(b_read.read(&mut buf).unwrap(), 4);
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        // MOD to writable interest reports EPOLLOUT on an open socket.
+        ep.modify(b.as_raw_fd(), EPOLLOUT, 7).unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (mask, token) = (events[0].events, events[0].data);
+        assert_ne!(mask & EPOLLOUT, 0);
+        assert_eq!(token, 7);
+
+        ep.delete(b.as_raw_fd()).unwrap();
+        a.write_all(b"x").unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn rdhup_reported_on_peer_close() {
+        let ep = Epoll::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 9).unwrap();
+        drop(a);
+        let mut events = [EpollEvent::default(); 4];
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let mask = events[0].events;
+        assert_ne!(mask & (EPOLLRDHUP | EPOLLHUP | EPOLLIN), 0);
+    }
+
+    #[test]
+    fn nofile_limit_reports_current_or_raised() {
+        let soft = raise_nofile_limit(1024).unwrap();
+        assert!(soft >= 1024);
+    }
+}

@@ -228,6 +228,39 @@ impl Pool {
     }
 }
 
+/// A lock-protected handoff queue from worker threads back to the reactor.
+///
+/// Workers [`push`](CompletionQueue::push) finished work; each push invokes
+/// `notify` (the reactor's wakeup-pipe write) so the event loop leaves
+/// `epoll_wait` and [`drain`](CompletionQueue::drain)s the batch. The notify
+/// callback must be cheap and non-blocking — it runs on the worker thread
+/// while no queue lock is held.
+pub struct CompletionQueue<T> {
+    items: Mutex<Vec<T>>,
+    notify: Box<dyn Fn() + Send + Sync>,
+}
+
+impl<T> CompletionQueue<T> {
+    /// A queue whose pushes invoke `notify`.
+    pub fn new(notify: impl Fn() + Send + Sync + 'static) -> Self {
+        Self {
+            items: Mutex::new(Vec::new()),
+            notify: Box::new(notify),
+        }
+    }
+
+    /// Enqueues one completion and signals the reactor.
+    pub fn push(&self, item: T) {
+        lock_recover(&self.items).push(item);
+        (self.notify)();
+    }
+
+    /// Takes everything queued so far (oldest first).
+    pub fn drain(&self) -> Vec<T> {
+        std::mem::take(&mut *lock_recover(&self.items))
+    }
+}
+
 /// Spawns one worker thread and registers its handle in `shared.workers`.
 fn spawn_worker(shared: &Arc<Shared>, index: usize) {
     let for_thread = Arc::clone(shared);

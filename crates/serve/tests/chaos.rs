@@ -34,7 +34,10 @@ fn request_with_headers(
     for (name, value) in headers {
         req.push_str(&format!("{name}: {value}\r\n"));
     }
-    req.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    req.push_str(&format!(
+        "Connection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    ));
     stream.write_all(req.as_bytes()).expect("write request");
     let mut buf = Vec::new();
     stream.read_to_end(&mut buf).expect("read response");

@@ -16,7 +16,7 @@ fn raw_request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     let req = format!(
-        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(req.as_bytes()).expect("write request");
@@ -292,7 +292,7 @@ fn request_id_echoed_on_every_response() {
     let body = matrix(90);
     let req = format!(
         "POST /measure HTTP/1.1\r\nHost: t\r\nX-Request-Id: trace-me-42\r\n\
-         Content-Length: {}\r\n\r\n{body}",
+         Connection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(req.as_bytes()).unwrap();

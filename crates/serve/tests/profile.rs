@@ -23,7 +23,7 @@ fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, St
         .set_read_timeout(Some(Duration::from_secs(60)))
         .unwrap();
     let req = format!(
-        "{method} {target} HTTP/1.1\r\nHost: profile\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {target} HTTP/1.1\r\nHost: profile\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(req.as_bytes()).expect("write request");

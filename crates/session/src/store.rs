@@ -82,6 +82,68 @@ pub enum WatchOutcome {
     TimedOut { version: u64 },
 }
 
+/// Outcome of a non-blocking watch attempt ([`SessionStore::try_watch`]).
+#[derive(Debug, Clone)]
+pub enum TryWatch {
+    /// The version already advanced; same payload as
+    /// [`WatchOutcome::Changed`].
+    Changed {
+        snapshot: Box<SessionSnapshot>,
+        deltas: Vec<Delta>,
+        truncated: bool,
+    },
+    /// Nothing past the watermark yet; the caller may park a
+    /// [`WatchWaker`] via [`SessionStore::add_waker`] and retry when fired.
+    NotYet { version: u64 },
+}
+
+/// A one-shot callback a parked watcher leaves on a session; fired when the
+/// session changes, is removed, or the store drains.
+///
+/// Wakers are cancellable from the other side (an event loop resuming a
+/// watcher on its own deadline cancels the waker first), and firing is
+/// idempotent: the first of `fire`/`cancel` wins, so a wake races a
+/// cancellation without ever invoking the callback twice.
+pub struct WatchWaker {
+    cancelled: AtomicBool,
+    wake: Box<dyn Fn() + Send + Sync>,
+}
+
+impl std::fmt::Debug for WatchWaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WatchWaker")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+impl WatchWaker {
+    /// A waker invoking `wake` at most once.
+    pub fn new(wake: impl Fn() + Send + Sync + 'static) -> Self {
+        WatchWaker {
+            cancelled: AtomicBool::new(false),
+            wake: Box::new(wake),
+        }
+    }
+
+    /// Disarms the waker without invoking it.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// True once fired or cancelled (the store prunes such wakers).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Invokes the callback unless already fired or cancelled.
+    pub fn fire(&self) {
+        if !self.cancelled.swap(true, Ordering::SeqCst) {
+            (self.wake)();
+        }
+    }
+}
+
 /// Typed session-layer failures, mapped to HTTP statuses by the server.
 #[derive(Debug)]
 pub enum SessionError {
@@ -112,6 +174,9 @@ struct SessionState {
     etc_units: bool,
     /// Set when the session is removed while watchers are parked on it.
     closed: bool,
+    /// Parked non-blocking watchers; fired (and emptied) whenever the
+    /// version advances, the session is removed, or the store drains.
+    wakers: Vec<Arc<WatchWaker>>,
 }
 
 struct SessionSlot {
@@ -234,6 +299,7 @@ impl SessionStore {
             deltas: VecDeque::new(),
             etc_units,
             closed: false,
+            wakers: Vec::new(),
         };
         let snapshot = snapshot_of(&id, &state);
         let slot = Arc::new(SessionSlot {
@@ -340,8 +406,14 @@ impl SessionStore {
         // Old report buffers feed the workspace for the next recompute.
         let SessionState { engine, .. } = &mut *state;
         engine.recycle_report(old);
+        // Wakers are taken under the state lock (no registration can race the
+        // version bump) and fired after it is dropped.
+        let wakers = std::mem::take(&mut state.wakers);
         drop(state);
         slot.cond.notify_all();
+        for waker in wakers {
+            waker.fire();
+        }
         hc_obs::obs_counter!("session_patch_total").inc();
         Ok(snapshot)
     }
@@ -374,19 +446,10 @@ impl SessionStore {
                 return Err(SessionError::Draining);
             }
             if state.version > since {
-                let deltas: Vec<Delta> = state
-                    .deltas
-                    .iter()
-                    .filter(|d| d.version > since)
-                    .cloned()
-                    .collect();
-                // The ring holds versions (version-len .. version]; anything
-                // older than its head is gone.
-                let oldest_retained = state.deltas.front().map_or(state.version, |d| d.version);
-                let truncated = since + 1 < oldest_retained;
                 hc_obs::obs_counter!("session_watch_wake_total").inc();
+                let (snapshot, deltas, truncated) = changed_locked(&slot.id, &state, since);
                 return Ok(WatchOutcome::Changed {
-                    snapshot: Box::new(snapshot_of(&slot.id, &state)),
+                    snapshot,
                     deltas,
                     truncated,
                 });
@@ -405,6 +468,72 @@ impl SessionStore {
         }
     }
 
+    /// One non-blocking watch attempt: returns what a watcher past watermark
+    /// `since` would see right now, without ever parking the calling thread.
+    ///
+    /// `count_entry` ticks `session_watch_total` — the caller passes `true`
+    /// on a request's first attempt only, so a parked watcher resumed by a
+    /// waker or a deadline does not count as a second watch.
+    pub fn try_watch(
+        &self,
+        id: &str,
+        since: u64,
+        count_entry: bool,
+    ) -> Result<TryWatch, SessionError> {
+        if count_entry {
+            hc_obs::obs_counter!("session_watch_total").inc();
+        }
+        if self.is_draining() {
+            return Err(SessionError::Draining);
+        }
+        let slot = self.slot(id).ok_or(SessionError::NotFound)?;
+        let state = lock_recover(&slot.state);
+        if state.closed {
+            return Err(SessionError::NotFound);
+        }
+        if state.version > since {
+            hc_obs::obs_counter!("session_watch_wake_total").inc();
+            let (snapshot, deltas, truncated) = changed_locked(&slot.id, &state, since);
+            return Ok(TryWatch::Changed {
+                snapshot,
+                deltas,
+                truncated,
+            });
+        }
+        Ok(TryWatch::NotYet {
+            version: state.version,
+        })
+    }
+
+    /// Parks `waker` on a session, to be fired on the next change (patch,
+    /// delete, expiry, drain).
+    ///
+    /// The watermark is re-checked under the session's state lock — the lock
+    /// every version bump holds — so a change between a [`TryWatch::NotYet`]
+    /// and this call cannot be lost: it returns `Ok(false)` ("changed
+    /// already, run [`SessionStore::try_watch`] again") instead of parking.
+    pub fn add_waker(
+        &self,
+        id: &str,
+        since: u64,
+        waker: Arc<WatchWaker>,
+    ) -> Result<bool, SessionError> {
+        if self.is_draining() {
+            return Err(SessionError::Draining);
+        }
+        let slot = self.slot(id).ok_or(SessionError::NotFound)?;
+        let mut state = lock_recover(&slot.state);
+        if state.closed || state.version > since {
+            return Ok(false);
+        }
+        // Cancelled wakers (watchers the event loop already resumed on their
+        // deadlines) are dead weight; prune them on the way in so a session
+        // watched in a park/timeout loop does not accumulate them.
+        state.wakers.retain(|w| !w.is_cancelled());
+        state.wakers.push(waker);
+        Ok(true)
+    }
+
     /// Marks the store draining and wakes every watcher. New creates and
     /// patches are refused; watchers return a typed `Draining` error
     /// immediately instead of waiting out their deadlines.
@@ -415,7 +544,11 @@ impl SessionStore {
         for shard in &self.shards {
             let slots: Vec<Arc<SessionSlot>> = lock_recover(shard).values().cloned().collect();
             for slot in slots {
+                let wakers = std::mem::take(&mut lock_recover(&slot.state).wakers);
                 slot.cond.notify_all();
+                for waker in wakers {
+                    waker.fire();
+                }
             }
         }
         hc_obs::obs_counter!("session_drain_total").inc();
@@ -431,8 +564,12 @@ impl SessionStore {
             self.count.fetch_sub(1, Ordering::Relaxed);
             let mut state = lock_recover(&slot.state);
             state.closed = true;
+            let wakers = std::mem::take(&mut state.wakers);
             drop(state);
             slot.cond.notify_all();
+            for waker in wakers {
+                waker.fire();
+            }
             hc_obs::metrics::counter(counter).inc();
             hc_obs::obs_gauge!("session_active").set(self.len() as i64);
         }
@@ -472,6 +609,27 @@ impl SessionStore {
             None => false,
         }
     }
+}
+
+/// Builds the changed-watch payload for a watcher past watermark `since`,
+/// with `state` already locked: deltas newer than `since`, a full snapshot,
+/// and whether the delta ring has dropped history the watcher missed.
+fn changed_locked(
+    id: &str,
+    state: &SessionState,
+    since: u64,
+) -> (Box<SessionSnapshot>, Vec<Delta>, bool) {
+    let deltas: Vec<Delta> = state
+        .deltas
+        .iter()
+        .filter(|d| d.version > since)
+        .cloned()
+        .collect();
+    // The ring holds versions (version-len .. version]; anything older than
+    // its head is gone.
+    let oldest_retained = state.deltas.front().map_or(state.version, |d| d.version);
+    let truncated = since + 1 < oldest_retained;
+    (Box::new(snapshot_of(id, state)), deltas, truncated)
 }
 
 fn snapshot_of(id: &str, state: &SessionState) -> SessionSnapshot {
@@ -756,5 +914,117 @@ mod tests {
         // and through the engine units directly.
         let got = s.get(&snap.id).unwrap();
         assert_eq!(got.version, 2);
+    }
+
+    #[test]
+    fn try_watch_reports_not_yet_then_changed() {
+        let s = store(8, Duration::from_secs(60));
+        let snap = s.create(ecs(4, 4), false, None).unwrap();
+        match s.try_watch(&snap.id, 1, true).unwrap() {
+            TryWatch::NotYet { version } => assert_eq!(version, 1),
+            other => panic!("expected NotYet, got {other:?}"),
+        }
+        let edits = [Edit::Cell {
+            task: 1,
+            machine: 1,
+            value: 3.0,
+        }];
+        s.patch(&snap.id, &edits, None, None).unwrap();
+        match s.try_watch(&snap.id, 1, false).unwrap() {
+            TryWatch::Changed {
+                snapshot,
+                deltas,
+                truncated,
+            } => {
+                assert_eq!(snapshot.version, 2);
+                assert_eq!(deltas.len(), 1);
+                assert_eq!(deltas[0].version, 2);
+                assert!(!truncated);
+            }
+            other => panic!("expected Changed, got {other:?}"),
+        }
+        assert!(matches!(
+            s.try_watch("nope", 0, true),
+            Err(SessionError::NotFound)
+        ));
+    }
+
+    #[test]
+    fn waker_fires_once_on_patch_and_prunes_cancelled() {
+        let s = store(8, Duration::from_secs(60));
+        let snap = s.create(ecs(4, 4), false, None).unwrap();
+        let fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        let waker = Arc::new(WatchWaker::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(s.add_waker(&snap.id, 1, Arc::clone(&waker)).unwrap());
+
+        // A cancelled waker parked alongside must never fire.
+        let dead_fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let df = Arc::clone(&dead_fired);
+        let dead = Arc::new(WatchWaker::new(move || {
+            df.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(s.add_waker(&snap.id, 1, Arc::clone(&dead)).unwrap());
+        dead.cancel();
+
+        let edits = [Edit::Cell {
+            task: 0,
+            machine: 0,
+            value: 2.0,
+        }];
+        s.patch(&snap.id, &edits, None, None).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(dead_fired.load(Ordering::SeqCst), 0);
+
+        // Firing is one-shot even if invoked again.
+        waker.fire();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+
+        // Version already past the watermark: add_waker refuses to park.
+        let late = Arc::new(WatchWaker::new(|| {}));
+        assert!(!s.add_waker(&snap.id, 1, late).unwrap());
+    }
+
+    #[test]
+    fn wakers_fire_on_delete_and_drain() {
+        let s = store(8, Duration::from_secs(60));
+        let a = s.create(ecs(3, 3), false, None).unwrap();
+        let b = s.create(ecs(3, 3), false, None).unwrap();
+
+        let del_fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let df = Arc::clone(&del_fired);
+        s.add_waker(
+            &a.id,
+            1,
+            Arc::new(WatchWaker::new(move || {
+                df.fetch_add(1, Ordering::SeqCst);
+            })),
+        )
+        .unwrap();
+        assert!(s.delete(&a.id));
+        assert_eq!(del_fired.load(Ordering::SeqCst), 1);
+
+        let drain_fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let drf = Arc::clone(&drain_fired);
+        s.add_waker(
+            &b.id,
+            1,
+            Arc::new(WatchWaker::new(move || {
+                drf.fetch_add(1, Ordering::SeqCst);
+            })),
+        )
+        .unwrap();
+        s.drain();
+        assert_eq!(drain_fired.load(Ordering::SeqCst), 1);
+        assert!(matches!(
+            s.try_watch(&b.id, 1, true),
+            Err(SessionError::Draining)
+        ));
+        assert!(matches!(
+            s.add_waker(&b.id, 1, Arc::new(WatchWaker::new(|| {}))),
+            Err(SessionError::Draining)
+        ));
     }
 }

@@ -24,5 +24,6 @@ grep -q '"bench":"deadline_overhead"' "$OUT" || { echo "missing deadline overhea
 grep -q '"bench":"recorder_overhead"' "$OUT" || { echo "missing recorder overhead lane"; exit 1; }
 grep -q '"bench":"profiler_overhead"' "$OUT" || { echo "missing profiler overhead lane"; exit 1; }
 grep -q '"bench":"session_warm_vs_cold"' "$OUT" || { echo "missing session warm-vs-cold lane"; exit 1; }
+grep -q '"bench":"keepalive_vs_reconnect"' "$OUT" || { echo "missing keepalive-vs-reconnect lane"; exit 1; }
 grep -q '"allocs_per_call":' "$OUT" || { echo "missing allocation counts"; exit 1; }
 echo "wrote $OUT"

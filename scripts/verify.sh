@@ -20,7 +20,8 @@ cargo test -q --workspace
 
 echo "== steady-state allocation check =="
 # A warm Analyzer must serve repeated shapes with >= 90% fewer heap
-# allocations than the one-shot characterize path (see snapshot --alloc-check).
+# allocations than a cold fresh-workspace characterize, and the one-shot
+# entry point must stay within its alloc cap (see snapshot --alloc-check).
 ./target/release/snapshot --alloc-check
 
 echo "== bench trend gate =="
@@ -75,6 +76,32 @@ grep -q '^hc_serve_requests_total{endpoint="measure"}' /tmp/verify-metrics.prom 
 grep -q '_bucket{' /tmp/verify-metrics.prom \
     || { echo "prometheus scrape lacks histogram buckets"; exit 1; }
 echo "GET /metrics?format=prometheus 200 (exposition format OK)"
+
+# Keep-alive smoke: 20 mixed requests plus a final /metrics scrape issued by a
+# single curl invocation, which reuses one connection for every transfer. The
+# scrape rides the same connection, so its connection counters must show
+# exactly one new accept and >= 19 keep-alive reuses.
+A0=$(curl -sS "http://$ADDR/metrics" | sed -n 's/.*"accepted_total":\([0-9]*\).*/\1/p')
+K0=$(curl -sS "http://$ADDR/metrics" | sed -n 's/.*"keepalive_requests_total":\([0-9]*\).*/\1/p')
+[ -n "$A0" ] && [ -n "$K0" ] || { echo "metrics lack connection counters"; exit 1; }
+KA_ARGS=()
+for i in $(seq 1 20); do
+    if [ $((i % 2)) -eq 0 ]; then
+        KA_ARGS+=(--next -X POST --data-binary "$CSV" "http://$ADDR/measure")
+    else
+        KA_ARGS+=(--next "http://$ADDR/healthz")
+    fi
+done
+KA_ARGS+=(--next "http://$ADDR/metrics")
+KA_OUT=$(curl -sS "${KA_ARGS[@]:1}") || { echo "keep-alive batch failed"; exit 1; }
+A1=$(printf '%s' "$KA_OUT" | sed -n 's/.*"accepted_total":\([0-9]*\).*/\1/p' | head -n1)
+K1=$(printf '%s' "$KA_OUT" | sed -n 's/.*"keepalive_requests_total":\([0-9]*\).*/\1/p' | head -n1)
+# The K0 baseline scrape used one extra connection; the batch must add 1.
+[ "$A1" = "$((A0 + 2))" ] \
+    || { echo "keep-alive batch accepted $((A1 - A0 - 1)) connections, want 1"; exit 1; }
+[ "$((K1 - K0))" -ge 19 ] \
+    || { echo "keep-alive batch reused only $((K1 - K0)) times, want >= 19"; exit 1; }
+echo "keep-alive smoke OK (21 transfers, 1 accept, $((K1 - K0)) reuses)"
 
 DEBUG_CODE=$(curl -sS -o /tmp/verify-debug.json -w '%{http_code}' "http://$ADDR/debug/requests")
 [ "$DEBUG_CODE" = "200" ] || { echo "GET /debug/requests returned $DEBUG_CODE"; exit 1; }
@@ -152,6 +179,37 @@ t2,6.0,3.5"
     [ "$CODE" = "$WANT" ] || { echo "chaos request $i: got $CODE, want $WANT"; exit 1; }
 done
 echo "50/50 chaos requests answered (0 connection resets)"
+
+# The same drill over keep-alive: 28 alternating good/malformed requests in
+# one curl invocation (one reused connection). Worker panics land between
+# responses, so every transfer must still complete with its proper status,
+# and the malformed 400s must not wedge or close the shared connection.
+CA0=$(curl -sS "http://$ADDR/metrics" | sed -n 's/.*"accepted_total":\([0-9]*\).*/\1/p')
+KA_CHAOS_ARGS=()
+for i in $(seq 1 28); do
+    if [ $((i % 2)) -eq 0 ]; then
+        KA_CHAOS_ARGS+=(--next -i -X POST --data-binary 'definitely,not
+a_matrix' "http://$ADDR/measure")
+    else
+        KA_CHAOS_ARGS+=(--next -i -X POST --data-binary "task,m1,m2
+t1,$i.0,8.0
+t2,6.0,3.5" "http://$ADDR/measure")
+    fi
+done
+KA_CHAOS=$(curl -sS -i "${KA_CHAOS_ARGS[@]:1}") \
+    || { echo "keep-alive chaos batch: connection failed"; exit 1; }
+# Bodies carry no trailing newline, so the next transfer's status line is
+# glued onto the previous body; count lines containing the token instead of
+# anchoring at line start (each status line still terminates its own line).
+OK_COUNT=$(printf '%s' "$KA_CHAOS" | grep -c 'HTTP/1\.1 200 ' || true)
+BAD_COUNT=$(printf '%s' "$KA_CHAOS" | grep -c 'HTTP/1\.1 400 ' || true)
+[ "$OK_COUNT" = "14" ] && [ "$BAD_COUNT" = "14" ] \
+    || { echo "keep-alive chaos: got $OK_COUNT x200 + $BAD_COUNT x400, want 14 + 14"; exit 1; }
+CA1=$(curl -sS "http://$ADDR/metrics" | sed -n 's/.*"accepted_total":\([0-9]*\).*/\1/p')
+# CA0's and CA1's own scrape connections account for 2 of the delta.
+[ "$CA1" = "$((CA0 + 2))" ] \
+    || { echo "keep-alive chaos used $((CA1 - CA0 - 1)) connections, want 1"; exit 1; }
+echo "28/28 keep-alive chaos requests answered on one connection"
 
 curl -sS -o /tmp/verify-chaos-metrics.json "http://$ADDR/metrics"
 RESPAWNS=$(sed -n 's/.*"worker_respawns_total":\([0-9]*\).*/\1/p' /tmp/verify-chaos-metrics.json)
