@@ -1,18 +1,26 @@
-//! `trend` — compares the newest two `BENCH_<date>.json` snapshots and fails
-//! on a timing regression, so `scripts/verify.sh` can gate performance the
-//! same way it gates tests.
+//! `trend` — compares the newest two `BENCH_<date>.json` snapshots (and the
+//! newest two `LOAD_<date>.json` capacity snapshots) and fails on a
+//! regression, so `scripts/verify.sh` can gate performance the same way it
+//! gates tests.
 //!
-//! Snapshots are produced by `scripts/bench_snapshot.sh` (one JSON result per
-//! line, see `snapshot.rs`). This binary discovers `BENCH_*.json` in a
-//! directory (argument, default `.`), sorts by file name — the names embed the
-//! date, so lexical order is chronological — and diffs the newest two.
+//! Snapshots are produced by `scripts/bench_snapshot.sh` and
+//! `scripts/load_snapshot.sh` (one JSON result per line, see `snapshot.rs`
+//! and `loadgen.rs`). This binary discovers both families in a directory
+//! (argument, default `.`), sorts by file name — the names embed the date, so
+//! lexical order is chronological — and diffs the newest two of each.
 //!
 //! Machine noise between snapshots is large (cross-machine swings over ±40%
-//! have been observed on the same commit), so the gate is deliberately
-//! conservative: a lane regresses only when the *best* new sample is more than
-//! 20% slower than the *worst* old sample (`new_min_ns > 1.2 × old_max_ns`).
-//! Only lanes carrying `median_ns`/`min_ns`/`max_ns` in both files are gated;
-//! overhead lanes report percentages and are trended by eye instead.
+//! have been observed on the same commit), so the gates are deliberately
+//! conservative:
+//!
+//! * Bench lanes regress only when the *best* new sample is more than 20%
+//!   slower than the *worst* old sample (`new_min_ns > 1.2 × old_max_ns`).
+//!   Only lanes carrying `median_ns`/`min_ns`/`max_ns` in both files are
+//!   gated; overhead lanes report percentages and are trended by eye.
+//! * Load lanes (keyed by `class`) regress when the new `p99_us` exceeds
+//!   2.5× the old, or the new `throughput_rps` drops below ⅔ of the old.
+//!   Lanes with fewer than 20 successful requests on either side are too
+//!   noisy to judge and are reported un-gated.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -21,6 +29,18 @@ use std::process::ExitCode;
 /// Multiplier applied to the old lane's worst sample; the new lane's best
 /// sample must stay at or below it.
 const TOLERANCE: f64 = 1.2;
+
+/// Load gate: new p99 latency may grow to this multiple of the old p99.
+/// Looser than [`TOLERANCE`] because a load snapshot is one run, not a
+/// median-of-seven, and tail latency is the noisiest statistic in it.
+const LOAD_P99_TOLERANCE: f64 = 2.5;
+
+/// Load gate: new throughput must stay above old ÷ this.
+const LOAD_THROUGHPUT_TOLERANCE: f64 = 1.5;
+
+/// Load lanes with fewer successes than this (on either side) are reported
+/// but not gated — percentiles over a handful of samples are noise.
+const LOAD_MIN_OK: u128 = 20;
 
 /// One gateable lane: the three timing fields every `result_json` lane emits.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +72,32 @@ fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let start = line.find(&needle)? + needle.len();
     let rest = &line[start..];
     Some(&rest[..rest.find('"')?])
+}
+
+/// Extracts a `"key":<digits>[.<digits>]` field scaled to milli-units, so
+/// load throughput (`"throughput_rps":46.4` → `46400`) can be compared in
+/// integer arithmetic alongside the integer fields.
+fn milli_field(line: &str, key: &str) -> Option<u128> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let int_end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    let mut value: u128 = rest[..int_end].parse().ok()?;
+    value *= 1000;
+    if rest[int_end..].starts_with('.') {
+        let frac = &rest[int_end + 1..];
+        let frac_end = frac
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(frac.len());
+        let digits = &frac[..frac_end.min(3)];
+        if !digits.is_empty() {
+            let scale = 10u128.pow(3 - digits.len() as u32);
+            value += digits.parse::<u128>().ok()? * scale;
+        }
+    }
+    Some(value)
 }
 
 /// Parses a snapshot document into its gateable lanes. The snapshot writer
@@ -91,45 +137,107 @@ fn regressed(old: Lane, new: Lane) -> bool {
     new.min_ns as f64 > TOLERANCE * old.max_ns as f64
 }
 
-/// `BENCH_*.json` files under `dir`, sorted by file name (i.e. by date).
-fn snapshot_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+/// One gateable load lane from a `LOAD_<date>.json` per-class line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LoadLane {
+    ok: u128,
+    p99_us: u128,
+    throughput_milli_rps: u128,
+}
+
+/// Load lanes keyed by class name (`measure`, `cachehit`, …, `all`).
+type LoadLanes = BTreeMap<String, LoadLane>;
+
+/// Parses a load snapshot into its per-class lanes. Header and `"server"`
+/// lines carry no `class` field and fall through the first filter.
+fn parse_load_lanes(doc: &str) -> LoadLanes {
+    let mut lanes = LoadLanes::new();
+    for line in doc.lines() {
+        let Some(class) = str_field(line, "class") else {
+            continue;
+        };
+        let (Some(ok), Some(p99_us), Some(throughput)) = (
+            num_field(line, "ok"),
+            num_field(line, "p99_us"),
+            milli_field(line, "throughput_rps"),
+        ) else {
+            continue;
+        };
+        lanes.insert(
+            class.to_string(),
+            LoadLane {
+                ok,
+                p99_us,
+                throughput_milli_rps: throughput,
+            },
+        );
+    }
+    lanes
+}
+
+/// The load regression rule: tail latency past [`LOAD_P99_TOLERANCE`]× the
+/// old, or throughput below old ÷ [`LOAD_THROUGHPUT_TOLERANCE`]. Lanes that
+/// are too thin to judge ([`LOAD_MIN_OK`]) never regress — the caller reports
+/// them un-gated.
+fn load_regressed(old: LoadLane, new: LoadLane) -> bool {
+    if old.ok < LOAD_MIN_OK || new.ok < LOAD_MIN_OK {
+        return false;
+    }
+    new.p99_us as f64 > LOAD_P99_TOLERANCE * old.p99_us as f64
+        || (new.throughput_milli_rps as f64) * LOAD_THROUGHPUT_TOLERANCE
+            < old.throughput_milli_rps as f64
+}
+
+/// `<prefix>*.json` files under `dir`, sorted by file name (i.e. by date).
+fn snapshot_files(dir: &Path, prefix: &str) -> std::io::Result<Vec<PathBuf>> {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .is_some_and(|n| n.starts_with(prefix) && n.ends_with(".json"))
         })
         .collect();
     files.sort();
     Ok(files)
 }
 
-fn main() -> ExitCode {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
-    let files = match snapshot_files(Path::new(&dir)) {
+/// The newest two `<prefix>*.json` documents in `dir`, or `None` when there
+/// are not enough to diff (reported, not an error — day one has one file).
+fn newest_pair(dir: &str, prefix: &str) -> Result<Option<(PathBuf, String, PathBuf, String)>, ()> {
+    let files = match snapshot_files(Path::new(dir), prefix) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("trend: cannot read {dir}: {e}");
-            return ExitCode::FAILURE;
+            return Err(());
         }
     };
     if files.len() < 2 {
         println!(
-            "trend: {} snapshot(s) in {dir}; need two to diff — nothing to gate",
+            "trend: {} {prefix}*.json snapshot(s) in {dir}; need two to diff — nothing to gate",
             files.len()
         );
-        return ExitCode::SUCCESS;
+        return Ok(None);
     }
-    let (old_path, new_path) = (&files[files.len() - 2], &files[files.len() - 1]);
+    let (old_path, new_path) = (
+        files[files.len() - 2].clone(),
+        files[files.len() - 1].clone(),
+    );
     let read = |p: &PathBuf| std::fs::read_to_string(p);
-    let (old_doc, new_doc) = match (read(old_path), read(new_path)) {
-        (Ok(o), Ok(n)) => (o, n),
+    match (read(&old_path), read(&new_path)) {
+        (Ok(o), Ok(n)) => Ok(Some((old_path, o, new_path, n))),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("trend: read failed: {e}");
-            return ExitCode::FAILURE;
+            Err(())
         }
+    }
+}
+
+/// Diffs the newest two bench snapshots; returns the regressed-lane count.
+fn gate_bench(dir: &str) -> Result<usize, ()> {
+    let Some((old_path, old_doc, new_path, new_doc)) = newest_pair(dir, "BENCH_")? else {
+        return Ok(0);
     };
     let (old, new) = (parse_lanes(&old_doc), parse_lanes(&new_doc));
     println!("trend: {} -> {}", old_path.display(), new_path.display());
@@ -177,12 +285,86 @@ fn main() -> ExitCode {
     }
     if regressions > 0 {
         eprintln!(
-            "trend: {regressions} lane(s) regressed (best new sample > \
+            "trend: {regressions} bench lane(s) regressed (best new sample > \
              {TOLERANCE}x worst old sample)"
         );
+    } else {
+        println!("trend: {compared} bench lane(s) compared, no regressions");
+    }
+    Ok(regressions)
+}
+
+/// Diffs the newest two load snapshots; returns the regressed-lane count.
+fn gate_load(dir: &str) -> Result<usize, ()> {
+    let Some((old_path, old_doc, new_path, new_doc)) = newest_pair(dir, "LOAD_")? else {
+        return Ok(0);
+    };
+    let (old, new) = (parse_load_lanes(&old_doc), parse_load_lanes(&new_doc));
+    println!("trend: {} -> {}", old_path.display(), new_path.display());
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>14}  verdict",
+        "class", "old p99_us", "new p99_us", "old rps", "new rps"
+    );
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    let rps = |milli: u128| milli as f64 / 1000.0;
+    for (class, new_lane) in &new {
+        let Some(old_lane) = old.get(class) else {
+            println!(
+                "{:<12} {:>12} {:>12} {:>14} {:>14.1}  new lane (not gated)",
+                class,
+                "-",
+                new_lane.p99_us,
+                "-",
+                rps(new_lane.throughput_milli_rps)
+            );
+            continue;
+        };
+        let verdict = if old_lane.ok < LOAD_MIN_OK || new_lane.ok < LOAD_MIN_OK {
+            "thin lane (not gated)"
+        } else {
+            compared += 1;
+            if load_regressed(*old_lane, *new_lane) {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            }
+        };
+        println!(
+            "{:<12} {:>12} {:>12} {:>14.1} {:>14.1}  {verdict}",
+            class,
+            old_lane.p99_us,
+            new_lane.p99_us,
+            rps(old_lane.throughput_milli_rps),
+            rps(new_lane.throughput_milli_rps)
+        );
+    }
+    for class in old.keys().filter(|c| !new.contains_key(*c)) {
+        println!(
+            "{:<12} {:>12} {:>12} {:>14} {:>14}  dropped lane (not gated)",
+            class, "-", "-", "-", "-"
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "trend: {regressions} load lane(s) regressed (p99 > \
+             {LOAD_P99_TOLERANCE}x old or throughput < old / {LOAD_THROUGHPUT_TOLERANCE})"
+        );
+    } else {
+        println!("trend: {compared} load lane(s) compared, no regressions");
+    }
+    Ok(regressions)
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let (Ok(bench), Ok(load)) = (gate_bench(&dir), gate_load(&dir)) else {
+        return ExitCode::FAILURE;
+    };
+    if bench + load > 0 {
         return ExitCode::FAILURE;
     }
-    println!("trend: {compared} lane(s) compared, no regressions");
     ExitCode::SUCCESS
 }
 
@@ -254,15 +436,105 @@ mod tests {
             std::thread::current().id()
         ));
         std::fs::create_dir_all(&dir).unwrap();
-        for name in ["BENCH_20260809.json", "BENCH_20260807.json", "other.json"] {
+        for name in [
+            "BENCH_20260809.json",
+            "BENCH_20260807.json",
+            "LOAD_20260809.json",
+            "other.json",
+        ] {
             std::fs::write(dir.join(name), "{}").unwrap();
         }
-        let files = snapshot_files(&dir).unwrap();
+        let files = snapshot_files(&dir, "BENCH_").unwrap();
         let names: Vec<_> = files
             .iter()
             .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
             .collect();
         assert_eq!(names, ["BENCH_20260807.json", "BENCH_20260809.json"]);
+        let loads = snapshot_files(&dir, "LOAD_").unwrap();
+        assert_eq!(loads.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    const LOAD_LINE: &str = "{\"class\":\"measure\",\"sent\":120,\"ok\":100,\
+         \"http_503\":20,\"http_504\":0,\"http_other\":0,\"connect_fail\":0,\
+         \"reset\":0,\"throughput_rps\":46.4,\"p50_us\":900,\"p95_us\":4000,\
+         \"p99_us\":9000,\"p999_us\":12000,\"max_us\":15000,\"hist\":[[1024,3]]}";
+
+    #[test]
+    fn milli_field_parses_integer_and_fractional_values() {
+        assert_eq!(milli_field(LOAD_LINE, "throughput_rps"), Some(46_400));
+        assert_eq!(
+            milli_field("{\"throughput_rps\":7}", "throughput_rps"),
+            Some(7_000)
+        );
+        assert_eq!(
+            milli_field("{\"throughput_rps\":0.125}", "throughput_rps"),
+            Some(125)
+        );
+        // Extra fractional digits truncate rather than overflow the scale.
+        assert_eq!(
+            milli_field("{\"throughput_rps\":1.23456}", "throughput_rps"),
+            Some(1_234)
+        );
+        assert_eq!(milli_field(LOAD_LINE, "absent"), None);
+    }
+
+    #[test]
+    fn parse_load_lanes_keys_by_class_and_skips_header_lines() {
+        let doc = format!(
+            "{{\"schema\":\"hc-load/v1\",\"rps\":200.0}}\n{LOAD_LINE}\n\
+             {{\"server\":true,\"worker_scale_up_total\":2}}\n"
+        );
+        let lanes = parse_load_lanes(&doc);
+        assert_eq!(lanes.len(), 1);
+        let lane = lanes["measure"];
+        assert_eq!(lane.ok, 100);
+        assert_eq!(lane.p99_us, 9000);
+        assert_eq!(lane.throughput_milli_rps, 46_400);
+    }
+
+    #[test]
+    fn load_regression_rule_gates_p99_and_throughput_with_min_samples() {
+        let old = LoadLane {
+            ok: 100,
+            p99_us: 10_000,
+            throughput_milli_rps: 100_000,
+        };
+        // At the p99 boundary and above the throughput floor: fine.
+        assert!(!load_regressed(
+            old,
+            LoadLane {
+                ok: 100,
+                p99_us: 25_000,
+                throughput_milli_rps: 67_000,
+            }
+        ));
+        // Tail blows past 2.5x: regression.
+        assert!(load_regressed(
+            old,
+            LoadLane {
+                ok: 100,
+                p99_us: 25_001,
+                throughput_milli_rps: 100_000,
+            }
+        ));
+        // Throughput collapses below old / 1.5: regression.
+        assert!(load_regressed(
+            old,
+            LoadLane {
+                ok: 100,
+                p99_us: 10_000,
+                throughput_milli_rps: 66_000,
+            }
+        ));
+        // Same collapse on a thin lane: too few samples to judge, not gated.
+        assert!(!load_regressed(
+            LoadLane { ok: 5, ..old },
+            LoadLane {
+                ok: 5,
+                p99_us: 90_000,
+                throughput_milli_rps: 1_000,
+            }
+        ));
     }
 }

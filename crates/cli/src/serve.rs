@@ -41,6 +41,9 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
         "slo-window-s",
         "max-requests-per-conn",
         "idle-conn-timeout-ms",
+        "target-queue-delay-ms",
+        "workers-min",
+        "workers-max",
         "dry-run",
     ])?;
 
@@ -102,6 +105,30 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
     // idle keep-alive connections.
     cfg.max_requests_per_conn = args.get_or("max-requests-per-conn", cfg.max_requests_per_conn)?;
     cfg.idle_conn_timeout_ms = args.get_or("idle-conn-timeout-ms", cfg.idle_conn_timeout_ms)?;
+    // 0 is valid: it disables adaptive admission, leaving the fixed
+    // --queue-depth cutoff as the only shed (the legacy comparison mode).
+    cfg.target_queue_delay_ms = args.get_or("target-queue-delay-ms", cfg.target_queue_delay_ms)?;
+    // 0 for either bound means "same as --workers"; a max above the min turns
+    // autoscaling on.
+    cfg.workers_min = args.get_or("workers-min", cfg.workers_min)?;
+    cfg.workers_max = args.get_or("workers-max", cfg.workers_max)?;
+    let (lo, hi) = (
+        if cfg.workers_min == 0 {
+            cfg.workers
+        } else {
+            cfg.workers_min
+        },
+        if cfg.workers_max == 0 {
+            cfg.workers
+        } else {
+            cfg.workers_max
+        },
+    );
+    if hi < lo {
+        return Err(format!(
+            "--workers-max {hi} is below the effective --workers-min {lo}"
+        ));
+    }
     Ok((cfg, args.has("dry-run")))
 }
 
@@ -126,7 +153,10 @@ pub fn describe(cfg: &Config) -> String {
         \x20 slo-latency-ms {}\n\
         \x20 slo-window-s   {}\n\
         \x20 max-requests-per-conn {}\n\
-        \x20 idle-conn-timeout-ms {}\n",
+        \x20 idle-conn-timeout-ms {}\n\
+        \x20 target-queue-delay-ms {}\n\
+        \x20 workers-min    {}\n\
+        \x20 workers-max    {}\n",
         cfg.addr,
         cfg.workers,
         cfg.queue_depth,
@@ -173,6 +203,13 @@ pub fn describe(cfg: &Config) -> String {
         } else {
             cfg.idle_conn_timeout_ms.to_string()
         },
+        if cfg.target_queue_delay_ms == 0 {
+            "off (fixed queue-depth only)".to_string()
+        } else {
+            cfg.target_queue_delay_ms.to_string()
+        },
+        cfg.worker_bounds().0,
+        cfg.worker_bounds().1,
     )
 }
 
@@ -339,6 +376,42 @@ mod tests {
     }
 
     #[test]
+    fn overload_flags() {
+        let (cfg, _) = cfg_of(&["serve"]).unwrap();
+        assert_eq!(cfg.target_queue_delay_ms, 100);
+        assert_eq!(cfg.workers_min, 0);
+        assert_eq!(cfg.workers_max, 0);
+        // Defaults: bounds collapse to --workers, autoscaling off.
+        assert_eq!(cfg.worker_bounds(), (cfg.workers, cfg.workers));
+
+        let (cfg, _) = cfg_of(&[
+            "serve",
+            "--workers",
+            "2",
+            "--target-queue-delay-ms",
+            "25",
+            "--workers-min",
+            "1",
+            "--workers-max",
+            "8",
+        ])
+        .unwrap();
+        assert_eq!(cfg.target_queue_delay_ms, 25);
+        assert_eq!(cfg.worker_bounds(), (1, 8));
+        // 0 disables adaptive admission (legacy fixed-depth comparison mode).
+        let (cfg, _) = cfg_of(&["serve", "--target-queue-delay-ms", "0"]).unwrap();
+        assert_eq!(cfg.target_queue_delay_ms, 0);
+        // A max-only bound scales up from --workers.
+        let (cfg, _) = cfg_of(&["serve", "--workers", "2", "--workers-max", "6"]).unwrap();
+        assert_eq!(cfg.worker_bounds(), (2, 6));
+        // Inverted bounds are a flag error, not a runtime surprise.
+        assert!(cfg_of(&["serve", "--workers", "4", "--workers-max", "2"]).is_err());
+        assert!(cfg_of(&["serve", "--workers-min", "8", "--workers-max", "2"]).is_err());
+        assert!(cfg_of(&["serve", "--target-queue-delay-ms", "soon"]).is_err());
+        assert!(cfg_of(&["serve", "--workers-max", "lots"]).is_err());
+    }
+
+    #[test]
     fn rejects_bad_values() {
         assert!(cfg_of(&["serve", "--workers", "0"]).is_err());
         assert!(cfg_of(&["serve", "--queue-depth", "0"]).is_err());
@@ -369,5 +442,8 @@ mod tests {
         assert!(d.contains("slo-window-s   60"), "{d}");
         assert!(d.contains("max-requests-per-conn 1024"), "{d}");
         assert!(d.contains("idle-conn-timeout-ms 30000"), "{d}");
+        assert!(d.contains("target-queue-delay-ms 100"), "{d}");
+        assert!(d.contains("workers-min    3"), "{d}");
+        assert!(d.contains("workers-max    3"), "{d}");
     }
 }

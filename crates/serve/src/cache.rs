@@ -141,6 +141,13 @@ impl LruCache {
         }
     }
 
+    /// Whether `key` is resident, without counting a hit/miss or refreshing
+    /// recency — a read-only probe (the admission controller's cache check
+    /// must not skew statistics or LRU order for a request it may still shed).
+    pub fn peek(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
     /// Inserts (or refreshes) `key`, evicting the least recently used entry
     /// when at capacity.
     pub fn put(&mut self, key: u64, value: CachedResponse) {
@@ -262,6 +269,12 @@ impl ShardedCache {
         self.lock_shard(key).put(key, value);
     }
 
+    /// Whether `key` is resident — a statistics-neutral, recency-neutral
+    /// probe (see [`LruCache::peek`]).
+    pub fn contains(&self, key: u64) -> bool {
+        self.lock_shard(key).peek(key)
+    }
+
     /// Drops every entry in every shard (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -339,6 +352,31 @@ mod tests {
         let b = c.get(1).unwrap().body;
         // Two hits alias the one resident buffer — no per-hit deep copy.
         assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn peek_is_statistics_and_recency_neutral() {
+        let mut c = LruCache::new(2);
+        c.put(1, resp("1"));
+        c.put(2, resp("2"));
+        // Peeking 1 must NOT refresh it: 1 stays LRU and is evicted next.
+        assert!(c.peek(1));
+        assert!(!c.peek(99));
+        c.put(3, resp("3"));
+        assert!(!c.peek(1), "peek must not have refreshed recency");
+        let s = c.stats();
+        assert_eq!(
+            (s.hits, s.misses),
+            (0, 0),
+            "peek must not count hits/misses"
+        );
+
+        let sc = ShardedCache::new(64);
+        sc.put(7, resp("7"));
+        assert!(sc.contains(7));
+        assert!(!sc.contains(8));
+        let ss = sc.stats();
+        assert_eq!((ss.hits, ss.misses), (0, 0));
     }
 
     #[test]

@@ -201,8 +201,15 @@ impl Response {
     }
 
     /// The `503 Service Unavailable` load-shed response with `Retry-After`.
+    /// Typed (`"code":"overloaded"`) so clients can tell a shed — retry after
+    /// the advertised backoff — from other 503s like session-store drain.
     pub fn overloaded(retry_after_s: u32) -> Self {
-        let mut r = Self::error(503, "server overloaded, request queue full");
+        let mut r = HttpError::typed(
+            503,
+            "overloaded",
+            "server overloaded, request queue full or queue delay over target",
+        )
+        .to_response();
         r.headers
             .push(("Retry-After".to_string(), retry_after_s.to_string()));
         r

@@ -32,9 +32,17 @@
 //!   machines speak HTTP/1.1 keep-alive (`--max-requests-per-conn`,
 //!   `--idle-conn-timeout-ms`), and finished jobs return through a
 //!   completion queue + wakeup pipe so workers never touch sockets.
-//! * [`threadpool`] — fixed worker pool; a **bounded** request queue sheds
-//!   load (`503` + `Retry-After`) instead of buffering, and a subtask lane
-//!   with work-helping lets `/batch` fan out without self-deadlock.
+//! * [`threadpool`] — elastic worker pool (autoscaled between
+//!   `--workers-min`/`--workers-max` by the overload control loop); a
+//!   **bounded** request queue sheds load (`503` + `Retry-After`) instead of
+//!   buffering, and a subtask lane with work-helping lets `/batch` fan out
+//!   without self-deadlock.
+//! * [`overload`] — adaptive admission (DESIGN.md §15): CoDel-style
+//!   queue-delay shedding with a brownout ladder (`ok` → `brownout` →
+//!   `shedding`), endpoint-class priorities (bulk sheds first, health/cache
+//!   hits always flow), drain-rate `Retry-After`, and the autoscale decision
+//!   loop. `--target-queue-delay-ms 0` restores the fixed-depth-only legacy
+//!   behavior.
 //! * [`http`] — a strict HTTP/1.1 subset (Content-Length bodies, a
 //!   resumable incremental parser) with size caps; reject/shed paths answer
 //!   `Connection: close` and drop the connection.
@@ -92,6 +100,7 @@ pub mod handlers;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod overload;
 pub mod reactor;
 pub mod router;
 pub mod server;

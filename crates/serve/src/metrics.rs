@@ -183,7 +183,9 @@ impl Registry {
     /// registry export ([`hc_obs::metrics::export_json`]) so one scrape
     /// covers both server and library counters.
     /// `sessions` is the live-session counter object
-    /// ([`sessions_json`]) and `slo` the burn-rate snapshot ([`slo_json`]).
+    /// ([`sessions_json`]), `slo` the burn-rate snapshot ([`slo_json`]), and
+    /// `overload` the admission-controller snapshot
+    /// ([`crate::overload::OverloadSnapshot::to_json`]).
     #[allow(clippy::too_many_arguments)]
     pub fn to_json(
         &self,
@@ -194,6 +196,7 @@ impl Registry {
         recorder: &str,
         sessions: &str,
         slo: &str,
+        overload: &str,
         in_flight: i64,
         library: &str,
     ) -> String {
@@ -217,6 +220,7 @@ impl Registry {
             .raw("recorder", recorder)
             .raw("sessions", sessions)
             .raw("slo", slo)
+            .raw("overload", overload)
             .raw("library", library)
             .finish()
     }
@@ -445,6 +449,69 @@ pub fn prometheus_document(state: &crate::server::ServerState) -> String {
         "hc_serve_pool_worker_respawns_total",
         state.pool.worker_respawns_total(),
     );
+    counter(
+        &mut w,
+        "hc_serve_pool_worker_scale_up_total",
+        state.pool.worker_scale_up_total(),
+    );
+    counter(
+        &mut w,
+        "hc_serve_pool_worker_scale_down_total",
+        state.pool.worker_scale_down_total(),
+    );
+    // Overload-controller series, from the same snapshot struct as the JSON
+    // `overload` object (goldened for agreement in the tests). The ladder
+    // rung is one labeled gauge set, Prometheus-idiomatic for enums.
+    {
+        let o = state.overload.snapshot();
+        w.type_line("hc_serve_overload_state", "gauge");
+        for rung in [
+            crate::overload::STATE_OK,
+            crate::overload::STATE_BROWNOUT,
+            crate::overload::STATE_SHEDDING,
+        ] {
+            w.sample(
+                "hc_serve_overload_state",
+                &[("state", crate::overload::state_name(rung))],
+                if o.state == rung { "1" } else { "0" },
+            );
+        }
+        gauge(
+            &mut w,
+            "hc_serve_overload_queue_delay_smoothed_us",
+            o.smoothed_queue_delay_us as i64,
+        );
+        gauge(
+            &mut w,
+            "hc_serve_overload_target_queue_delay_ms",
+            o.target_queue_delay_ms as i64,
+        );
+        gauge(
+            &mut w,
+            "hc_serve_overload_retry_after_seconds",
+            i64::from(o.retry_after_s),
+        );
+        counter(
+            &mut w,
+            "hc_serve_overload_shed_bulk_total",
+            o.shed_bulk_total,
+        );
+        counter(
+            &mut w,
+            "hc_serve_overload_shed_interactive_total",
+            o.shed_interactive_total,
+        );
+        counter(
+            &mut w,
+            "hc_serve_overload_brownout_entered_total",
+            o.brownout_entered_total,
+        );
+        counter(
+            &mut w,
+            "hc_serve_overload_shedding_entered_total",
+            o.shedding_entered_total,
+        );
+    }
     // Reactor connection series, from the same atomics as the JSON
     // `connections` object (goldened for agreement in the tests).
     {
@@ -666,6 +733,7 @@ mod tests {
             "{\"recorded_total\":0}",
             "{\"active\":0}",
             "{\"degraded\":false}",
+            "{\"state\":\"ok\"}",
             2,
             "{}",
         );
@@ -681,6 +749,7 @@ mod tests {
         assert!(j.contains("\"faults\":{\"panics_total\":0}"));
         assert!(j.contains("\"sessions\":{\"active\":0}"));
         assert!(j.contains("\"slo\":{\"degraded\":false}"));
+        assert!(j.contains("\"overload\":{\"state\":\"ok\"}"));
         assert!(j.contains("\"library\":{}"));
         assert!(j.contains("le_"));
     }
@@ -699,7 +768,7 @@ mod tests {
         // Recording and rendering both recover instead of propagating.
         r.record("e", false, false, Duration::from_micros(5), Duration::ZERO);
         assert_eq!(r.snapshot("e").unwrap().count, 1);
-        let j = r.to_json("{}", "{}", "{}", "{}", "{}", "{}", "{}", 0, "{}");
+        let j = r.to_json("{}", "{}", "{}", "{}", "{}", "{}", "{}", "{}", 0, "{}");
         assert!(j.contains("\"requests_total\":1"), "{j}");
     }
 

@@ -67,6 +67,9 @@ const READ_CHUNK: usize = 16 * 1024;
 const DRAIN_WINDOW: Duration = Duration::from_millis(250);
 /// Longest wait for in-flight requests during graceful shutdown.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
+/// Overload control-loop cadence: the ladder/autoscale tick runs at most this
+/// often, however busy the event loop is (and at least every `TICK_MS`).
+const CONTROL_TICK: Duration = Duration::from_millis(50);
 
 /// Token of the listener socket.
 const TOKEN_LISTENER: u64 = u64::MAX;
@@ -218,6 +221,8 @@ struct Reactor {
     completions: Arc<CompletionQueue<Completion>>,
     wake_rx: UnixStream,
     draining_since: Option<Instant>,
+    /// Last overload control-loop tick (throttles to [`CONTROL_TICK`]).
+    last_control_tick: Instant,
 }
 
 impl Reactor {
@@ -244,7 +249,24 @@ impl Reactor {
             completions,
             wake_rx,
             draining_since: None,
+            last_control_tick: Instant::now(),
         })
+    }
+
+    /// One overload control-loop step: tick the admission ladder with the
+    /// current backlog, then apply its autoscale decision to the pool.
+    fn control_tick(&mut self, now: Instant) {
+        if now.duration_since(self.last_control_tick) < CONTROL_TICK {
+            return;
+        }
+        self.last_control_tick = now;
+        let queued = self.state.pool.queued();
+        self.state.overload.tick(now, queued);
+        let (min, max) = self.state.config.worker_bounds();
+        let live = self.state.pool.worker_count();
+        if let Some(target) = self.state.overload.autoscale(now, queued, live, min, max) {
+            self.state.pool.set_target(target);
+        }
     }
 
     fn event_loop(&mut self) {
@@ -262,6 +284,7 @@ impl Reactor {
             self.process_completions();
             let now = Instant::now();
             self.sweep(now);
+            self.control_tick(now);
             if self.draining_since.is_none()
                 && (self.state.shutdown.load(Ordering::SeqCst) || signal::triggered())
             {
@@ -540,14 +563,26 @@ impl Reactor {
 
     fn dispatch_request(&mut self, idx: usize, request: Request, started: Instant, parse_us: u64) {
         if self.state.pool.would_shed() {
-            // Shed without building the job: the queue is full and the
-            // response must close so the slot frees up.
-            self.state
-                .metrics
-                .record("_shed", true, false, started.elapsed(), Duration::ZERO);
-            let resp = Response::overloaded(1).with_header("X-Request-Id", &next_request_id());
-            self.write_response(idx, resp, true, started);
+            // Fixed-depth backstop (the only shed when adaptive admission is
+            // off): the queue is literally full, so shed without building the
+            // job; the response must close so the slot frees up.
+            self.shed(idx, started);
             return;
+        }
+        // Adaptive admission: consulted only past the ok rung. A request the
+        // cache can answer is upgraded to Critical — serving it costs no
+        // solver work and keeps monitoring clients alive through overload.
+        if self.state.overload.current_state() != crate::overload::STATE_OK {
+            let mut class = crate::overload::classify(&request);
+            if class != crate::overload::Class::Critical
+                && crate::router::would_hit_cache(&self.state, &request)
+            {
+                class = crate::overload::Class::Critical;
+            }
+            if self.state.overload.admit(class).is_err() {
+                self.shed(idx, started);
+                return;
+            }
         }
         let task = Box::new(ReqTask {
             request,
@@ -568,9 +603,21 @@ impl Reactor {
             // Raced with shutdown or a refill after would_shed said go
             // (try_execute already counted the shed).
             self.state.in_flight.fetch_sub(1, Ordering::Relaxed);
-            let resp = Response::overloaded(1).with_header("X-Request-Id", &next_request_id());
+            let resp = Response::overloaded(self.state.overload.retry_after_s())
+                .with_header("X-Request-Id", &next_request_id());
             self.write_response(idx, resp, true, started);
         }
+    }
+
+    /// Sheds one request: a typed `503` whose `Retry-After` is the current
+    /// drain-rate estimate, closing the connection to free the slot.
+    fn shed(&mut self, idx: usize, started: Instant) {
+        self.state
+            .metrics
+            .record("_shed", true, false, started.elapsed(), Duration::ZERO);
+        let resp = Response::overloaded(self.state.overload.retry_after_s())
+            .with_header("X-Request-Id", &next_request_id());
+        self.write_response(idx, resp, true, started);
     }
 
     /// Builds the pool job for one attempt: run, then either push the
@@ -640,6 +687,9 @@ impl Reactor {
                     started,
                 } => {
                     self.state.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    // Drain-rate numerator: a worker finished real work (the
+                    // connection may be gone, but capacity was still spent).
+                    self.state.overload.on_response();
                     let (idx, gen) = split_token(token);
                     if !self.valid(idx, gen) {
                         // The connection died while the worker computed; the
@@ -722,7 +772,8 @@ impl Reactor {
         let job = self.make_job(token, task);
         if self.state.pool.try_execute(job).is_err() {
             self.state.in_flight.fetch_sub(1, Ordering::Relaxed);
-            let resp = Response::overloaded(1).with_header("X-Request-Id", &next_request_id());
+            let resp = Response::overloaded(self.state.overload.retry_after_s())
+                .with_header("X-Request-Id", &next_request_id());
             self.write_response(idx, resp, true, started);
         }
     }

@@ -56,8 +56,9 @@ fn effective_timeout_ms(config: &Config, req: &Request) -> Option<u64> {
     }
 }
 
-/// Stable metric name for a request path.
-fn endpoint_name(req: &Request) -> &'static str {
+/// Stable metric name for a request path (also the admission controller's
+/// endpoint-class key; see [`crate::overload::classify`]).
+pub(crate) fn endpoint_name(req: &Request) -> &'static str {
     if req.path.starts_with("/debug/requests/") {
         return "debug_request";
     }
@@ -103,6 +104,21 @@ fn canonical_options(req: &Request) -> String {
         out.push_str(v);
     }
     out
+}
+
+/// Whether this request would be answered straight from the result cache.
+/// Used by the admission controller to upgrade cache-resident requests to
+/// Critical during overload: serving them costs no solver work. The probe is
+/// a non-counting peek — it must not inflate hit statistics or churn LRU
+/// order for a request that may still be shed by the depth backstop.
+pub(crate) fn would_hit_cache(state: &ServerState, req: &Request) -> bool {
+    let name = endpoint_name(req);
+    if !matches!(name, "measure" | "structure" | "generate" | "schedule") || req.method != "POST" {
+        return false;
+    }
+    state
+        .cache
+        .contains(cache_key(name, &canonical_options(req), &req.body))
 }
 
 /// Runs a cacheable handler through the result cache.
@@ -304,6 +320,7 @@ fn metrics_document(state: &ServerState) -> String {
         .finish();
     let sessions_json = crate::metrics::sessions_json(&crate::metrics::session_counters());
     let slo_json = crate::metrics::slo_json(&state.slo.snapshot());
+    let overload_json = state.overload.snapshot().to_json();
     state.metrics.to_json(
         &state.pool.stats_json(),
         &crate::metrics::connections_json(&state.conns),
@@ -312,6 +329,7 @@ fn metrics_document(state: &ServerState) -> String {
         &recorder_json,
         &sessions_json,
         &slo_json,
+        &overload_json,
         state.in_flight.load(std::sync::atomic::Ordering::Relaxed),
         &hc_obs::metrics::export_json(),
     )
@@ -573,6 +591,10 @@ fn dispatch(
                     JsonObject::new()
                         .bool("ok", true)
                         .str("status", if degraded { "degraded" } else { "ok" })
+                        .str(
+                            "overload_state",
+                            crate::overload::state_name(state.overload.current_state()),
+                        )
                         .u64("uptime_seconds", state.metrics.uptime().as_secs())
                         .raw("build", &crate::metrics::build_info_json())
                         .i64(

@@ -85,6 +85,36 @@ pub struct Config {
     /// Idle keep-alive connections (no request in progress) are closed after
     /// this many milliseconds (0 disables the idle timeout).
     pub idle_conn_timeout_ms: u64,
+    /// Adaptive-admission target: smoothed queue delay (dispatch → worker
+    /// pickup) the overload ladder defends, in milliseconds. 0 disables
+    /// adaptive admission, leaving only the fixed `--queue-depth` cutoff.
+    pub target_queue_delay_ms: u64,
+    /// Autoscale floor for the worker count (0 = same as `workers`).
+    pub workers_min: usize,
+    /// Autoscale ceiling for the worker count (0 = same as `workers`, which
+    /// disables autoscaling unless it exceeds the floor).
+    pub workers_max: usize,
+}
+
+impl Config {
+    /// The effective `[min, max]` worker bounds: a zero `workers_min` /
+    /// `workers_max` falls back to `workers`, and the ceiling never sits
+    /// below the floor. `min == max` means autoscaling is off.
+    pub fn worker_bounds(&self) -> (usize, usize) {
+        let min = if self.workers_min == 0 {
+            self.workers
+        } else {
+            self.workers_min
+        }
+        .max(1);
+        let max = if self.workers_max == 0 {
+            self.workers
+        } else {
+            self.workers_max
+        }
+        .max(min);
+        (min, max)
+    }
 }
 
 impl Default for Config {
@@ -113,6 +143,9 @@ impl Default for Config {
             slo_window_s: 60,
             max_requests_per_conn: 1024,
             idle_conn_timeout_ms: 30_000,
+            target_queue_delay_ms: 100,
+            workers_min: 0,
+            workers_max: 0,
         }
     }
 }
@@ -171,6 +204,10 @@ pub struct ServerState {
     pub slo: hc_obs::slo::SloEngine,
     /// Connection-lifecycle counters (see [`ConnCounters`]).
     pub conns: ConnCounters,
+    /// Adaptive admission + autoscale controller (see [`crate::overload`]):
+    /// workers feed it queue sojourns, the reactor ticks it and enforces its
+    /// decisions.
+    pub overload: crate::overload::OverloadController,
 }
 
 /// A running server; dropping it does NOT stop the server — call
@@ -242,8 +279,12 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
     }
     .with_short_window(config.slo_window_s);
 
+    // The pool starts at the autoscale floor; the overload control loop grows
+    // it toward the ceiling on demand.
+    let (workers_min, _) = config.worker_bounds();
     let state = Arc::new(ServerState {
-        pool: Pool::new(config.workers, config.queue_depth),
+        pool: Pool::new(workers_min, config.queue_depth),
+        overload: crate::overload::OverloadController::new(config.target_queue_delay_ms),
         cache: ShardedCache::new(config.cache_entries),
         metrics: Registry::new(),
         recorder: FlightRecorder::new(config.record_requests, config.record_survivors),
@@ -382,6 +423,9 @@ pub(crate) fn run_attempt(st: &Arc<ServerState>, task: &mut ReqTask) -> AttemptO
     // response assembly. Goes out as `Server-Timing` and into the recorder.
     let picked_up = Instant::now();
     let queue_us = picked_up.duration_since(task.dispatched).as_micros() as u64;
+    // Feed the admission controller's EWMA: this sojourn sample is what the
+    // brownout ladder and the autoscaler react to.
+    st.overload.observe_queue_delay(queue_us);
     let started = task.started;
     let id = task
         .request

@@ -28,6 +28,12 @@ use crate::server::ServerState;
 /// client nor the server sets a deadline.
 const WATCH_DEFAULT_MS: u64 = 30_000;
 
+/// Long-poll window cap while the overload ladder is past ok: a parked
+/// watcher pins a reactor slot, and during brownout/shedding those slots are
+/// the scarce resource — watchers answer `timed_out` quickly and re-poll
+/// instead of parking for the full default window.
+pub(crate) const OVERLOAD_WATCH_CAP_MS: u64 = 1_000;
+
 /// What the [`watch`] handler asks of the reactor when nothing has changed
 /// yet: park the connection on this session/watermark until a store waker
 /// fires or `deadline` passes, then run the request again.
@@ -207,7 +213,13 @@ pub fn watch(
     };
     let resumed = PARK_DEADLINE.with(|d| d.get());
     let deadline = resumed.unwrap_or_else(|| {
-        let default_window = Duration::from_millis(WATCH_DEFAULT_MS);
+        // Under overload, cap the park so watchers cycle their reactor slots
+        // quickly; already-parked watchers keep their original deadline.
+        let default_window = if state.overload.current_state() != crate::overload::STATE_OK {
+            Duration::from_millis(WATCH_DEFAULT_MS.min(OVERLOAD_WATCH_CAP_MS))
+        } else {
+            Duration::from_millis(WATCH_DEFAULT_MS)
+        };
         let window = match ctx.budget.and_then(|b| b.remaining()) {
             Some(remaining) => remaining.min(default_window),
             None => default_window,

@@ -23,9 +23,18 @@
 //! catch — is detected by a drop sentinel and respawned, counted in
 //! `worker_respawns_total`. All pool locks recover from poisoning via
 //! [`hc_obs::sync`], so a dying worker can never wedge the queues.
+//!
+//! Elastic sizing: the worker count is a *target*, not a constant. The
+//! reactor's overload control loop calls [`Pool::set_target`] inside the
+//! `--workers-min`/`--workers-max` bounds; growth spawns workers immediately
+//! (counted in `worker_scale_up_total`), and shrink is cooperative — an idle
+//! worker that finds itself surplus retires by exiting cleanly through the
+//! same disarmed-sentinel path as shutdown (counted in
+//! `worker_scale_down_total`). Busy workers never retire mid-backlog: the
+//! retire check runs only when both queues are empty.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -53,12 +62,24 @@ struct Shared {
     /// Worker thread handles; respawned workers push their own handle here.
     workers: Mutex<Vec<JoinHandle<()>>>,
     queue_depth: usize,
+    /// Worker threads currently alive (spawned minus retired; a panic-death
+    /// keeps this constant because the sentinel respawn replaces it 1:1).
+    live: AtomicUsize,
+    /// Worker count the pool is converging toward ([`Pool::set_target`]).
+    target: AtomicUsize,
+    /// Monotonic index source so every spawned worker gets a unique thread
+    /// name even as workers come and go.
+    next_index: AtomicUsize,
     shed_total: AtomicU64,
     completed_total: AtomicU64,
     /// Jobs that panicked (caught; the worker survived).
     job_panics: AtomicU64,
     /// Workers that died and were replaced by the respawn sentinel.
     respawns: AtomicU64,
+    /// Workers spawned by autoscale target raises (initial spawn excluded).
+    scale_up: AtomicU64,
+    /// Workers retired because they were surplus to the autoscale target.
+    scale_down: AtomicU64,
 }
 
 /// The pool handle. Dropping it without [`Pool::shutdown`] detaches workers;
@@ -66,12 +87,12 @@ struct Shared {
 /// can live inside a shared `Arc<ServerState>`.
 pub struct Pool {
     shared: Arc<Shared>,
-    worker_count: usize,
 }
 
 impl Pool {
     /// Spawns `workers` threads sharing a request queue bounded at
-    /// `queue_depth` pending jobs.
+    /// `queue_depth` pending jobs. The count is the initial target; the
+    /// overload control loop may move it later via [`Pool::set_target`].
     pub fn new(workers: usize, queue_depth: usize) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
@@ -80,18 +101,47 @@ impl Pool {
             job_done: Condvar::new(),
             workers: Mutex::new(Vec::with_capacity(workers)),
             queue_depth: queue_depth.max(1),
+            live: AtomicUsize::new(workers),
+            target: AtomicUsize::new(workers),
+            next_index: AtomicUsize::new(workers),
             shed_total: AtomicU64::new(0),
             completed_total: AtomicU64::new(0),
             job_panics: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
+            scale_up: AtomicU64::new(0),
+            scale_down: AtomicU64::new(0),
         });
         for i in 0..workers {
             spawn_worker(&shared, i);
         }
-        Self {
-            shared,
-            worker_count: workers,
+        Self { shared }
+    }
+
+    /// Moves the worker-count target. Growth spawns new workers right away
+    /// (each counted in `worker_scale_up_total`); shrink wakes the idle
+    /// workers so surplus ones retire cooperatively (see module docs).
+    pub fn set_target(&self, n: usize) {
+        let n = n.max(1);
+        self.shared.target.store(n, Ordering::Relaxed);
+        loop {
+            let live = self.shared.live.load(Ordering::Relaxed);
+            if live >= n {
+                break;
+            }
+            if self
+                .shared
+                .live
+                .compare_exchange(live, live + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.shared.scale_up.fetch_add(1, Ordering::Relaxed);
+                let index = self.shared.next_index.fetch_add(1, Ordering::Relaxed);
+                spawn_worker(&self.shared, index);
+            }
         }
+        // Below-target wakes are harmless; surplus idle workers need the nudge
+        // to notice the lowered target and retire.
+        self.shared.work_ready.notify_all();
     }
 
     /// Checks whether a new request would be shed right now (queue full or
@@ -185,22 +235,34 @@ impl Pool {
         self.shared.respawns.load(Ordering::Relaxed)
     }
 
+    /// Workers spawned by autoscale target raises.
+    pub fn worker_scale_up_total(&self) -> u64 {
+        self.shared.scale_up.load(Ordering::Relaxed)
+    }
+
+    /// Workers retired as surplus to the autoscale target.
+    pub fn worker_scale_down_total(&self) -> u64 {
+        self.shared.scale_down.load(Ordering::Relaxed)
+    }
+
     /// Pool gauges as a JSON object for `/metrics`.
     pub fn stats_json(&self) -> String {
         JsonObject::new()
-            .u64("workers", self.worker_count as u64)
+            .u64("workers", self.worker_count() as u64)
             .u64("queue_depth", self.shared.queue_depth as u64)
             .u64("queued", self.queued() as u64)
             .u64("completed_total", self.completed_total())
             .u64("shed_total", self.shed_total())
             .u64("job_panics_total", self.job_panics_total())
             .u64("worker_respawns_total", self.worker_respawns_total())
+            .u64("worker_scale_up_total", self.worker_scale_up_total())
+            .u64("worker_scale_down_total", self.worker_scale_down_total())
             .finish()
     }
 
-    /// Number of worker threads.
+    /// Number of live worker threads (a gauge under autoscaling).
     pub fn worker_count(&self) -> usize {
-        self.worker_count
+        self.shared.live.load(Ordering::Relaxed)
     }
 
     /// Graceful shutdown: stops accepting new requests, drains everything
@@ -300,6 +362,27 @@ impl Drop for RespawnSentinel {
     }
 }
 
+/// Claims a retirement slot when this worker is surplus to the autoscale
+/// target: CAS-decrements `live` so exactly one worker exits per unit of
+/// surplus, however many race. Never retires the last worker.
+fn try_retire(shared: &Shared) -> bool {
+    loop {
+        let target = shared.target.load(Ordering::Relaxed);
+        let live = shared.live.load(Ordering::Relaxed);
+        if live <= target || live <= 1 {
+            return false;
+        }
+        if shared
+            .live
+            .compare_exchange(live, live - 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            shared.scale_down.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+    }
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
@@ -313,6 +396,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                     break Some(job);
                 }
                 if q.shutting_down {
+                    break None;
+                }
+                // Both queues are empty: an idle surplus worker retires here,
+                // exiting through the same clean path as shutdown.
+                if try_retire(shared) {
                     break None;
                 }
                 q = wait_recover(&shared.work_ready, q);
@@ -462,6 +550,38 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn set_target_scales_up_and_down() {
+        let pool = Pool::new(1, 64);
+        assert_eq!(pool.worker_count(), 1);
+        pool.set_target(3);
+        assert_eq!(pool.worker_count(), 3, "growth is immediate");
+        assert_eq!(pool.worker_scale_up_total(), 2);
+        // New workers actually run jobs.
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..30 {
+            let c = Arc::clone(&counter);
+            pool.try_execute(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }))
+            .map_err(|_| ())
+            .unwrap();
+        }
+        // Shrink: surplus idle workers retire cooperatively.
+        pool.set_target(1);
+        for _ in 0..500 {
+            if pool.worker_count() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(pool.worker_count(), 1, "surplus workers retire when idle");
+        assert_eq!(pool.worker_scale_down_total(), 2);
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 30);
+        assert_eq!(pool.worker_respawns_total(), 0, "retirement is not a death");
     }
 
     #[test]

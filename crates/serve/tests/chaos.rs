@@ -299,6 +299,177 @@ fn batch_isolates_partial_failures_and_keeps_cache_clean() {
     handle.join();
 }
 
+/// The overload drill (DESIGN.md §15): slow the Sinkhorn kernel with a
+/// failpoint, drive concurrent interactive (`/measure`) and bulk (`/batch`)
+/// traffic at a 1-worker pool with a tight queue-delay target, and require
+/// the documented brownout choreography end to end:
+///
+/// * the ladder leaves `ok` (`brownout_entered_total >= 1`) and bulk traffic
+///   sheds first — no interactive request is ever shed before a batch was;
+/// * `/healthz` (Critical class) keeps answering 200 throughout the storm;
+/// * the pool scales up under queue delay and back down to `--workers-min`
+///   once the storm passes, with `worker_scale_up_total` and
+///   `worker_scale_down_total` exactly accounting for the round trip;
+/// * the ladder recovers to `ok` after the failpoint is lifted.
+#[test]
+fn overload_brownout_drill_sheds_bulk_first_then_recovers() {
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use std::sync::Arc;
+
+    let _serial = hc_serve::sync::lock_recover(&SERIAL);
+    let cfg = Config {
+        workers: 1,
+        workers_min: 1,
+        workers_max: 4,
+        queue_depth: 256,
+        target_queue_delay_ms: 5,
+        ..test_config()
+    };
+    let handle = start(cfg).expect("start server");
+    let addr = handle.local_addr();
+    failpoints::arm("sinkhorn.iteration:delay:2");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let serial = Arc::new(AtomicUsize::new(1000));
+    let t0 = Instant::now();
+    let mut interactive = Vec::new();
+    let mut bulk = Vec::new();
+    for _ in 0..6 {
+        let (stop, serial) = (stop.clone(), serial.clone());
+        interactive.push(std::thread::spawn(move || {
+            let mut shed_at: Option<Duration> = None;
+            let mut ok = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let (status, _h, body) = post(
+                    addr,
+                    "/measure",
+                    &matrix(serial.fetch_add(1, Ordering::Relaxed)),
+                );
+                match status {
+                    200 => ok += 1,
+                    503 => {
+                        assert!(body.contains("\"code\":\"overloaded\""), "{body}");
+                        shed_at.get_or_insert(t0.elapsed());
+                    }
+                    other => panic!("interactive: unexpected status {other}: {body}"),
+                }
+            }
+            (ok, shed_at)
+        }));
+    }
+    for _ in 0..2 {
+        let (stop, serial) = (stop.clone(), serial.clone());
+        bulk.push(std::thread::spawn(move || {
+            let mut shed_at: Option<Duration> = None;
+            let mut ok = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let body = format!(
+                    "{}---\n{}---\n{}",
+                    matrix(serial.fetch_add(1, Ordering::Relaxed)),
+                    matrix(serial.fetch_add(1, Ordering::Relaxed)),
+                    matrix(serial.fetch_add(1, Ordering::Relaxed)),
+                );
+                let (status, _h, resp) = post(addr, "/batch", &body);
+                match status {
+                    200 => ok += 1,
+                    503 => {
+                        assert!(resp.contains("\"code\":\"overloaded\""), "{resp}");
+                        shed_at.get_or_insert(t0.elapsed());
+                    }
+                    other => panic!("bulk: unexpected status {other}: {resp}"),
+                }
+            }
+            (ok, shed_at)
+        }));
+    }
+
+    // Critical-class traffic must ride through the whole storm.
+    let storm = Duration::from_secs(4);
+    while t0.elapsed() < storm {
+        let (status, _h, body) = get(addr, "/healthz");
+        assert_eq!(status, 200, "healthz during overload: {body}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let drained: Vec<(u32, Option<Duration>)> =
+        interactive.into_iter().map(|h| h.join().unwrap()).collect();
+    let bulk_drained: Vec<(u32, Option<Duration>)> =
+        bulk.into_iter().map(|h| h.join().unwrap()).collect();
+    failpoints::reset();
+
+    let interactive_ok: u32 = drained.iter().map(|(ok, _)| ok).sum();
+    let first_interactive_shed = drained.iter().filter_map(|(_, at)| *at).min();
+    let first_bulk_shed = bulk_drained.iter().filter_map(|(_, at)| *at).min();
+    assert!(interactive_ok > 0, "some interactive requests must succeed");
+    let snap = handle.state().overload.snapshot();
+    assert!(
+        snap.brownout_entered_total >= 1,
+        "the drill must push the ladder past ok: {snap:?}"
+    );
+    assert!(
+        snap.shed_bulk_total >= 1 && first_bulk_shed.is_some(),
+        "brownout must shed bulk traffic: {snap:?}"
+    );
+    if let Some(interactive_at) = first_interactive_shed {
+        let bulk_at = first_bulk_shed.expect("bulk shed before interactive");
+        assert!(
+            bulk_at <= interactive_at,
+            "bulk must shed before interactive (bulk {bulk_at:?}, \
+             interactive {interactive_at:?})"
+        );
+        assert!(
+            snap.shedding_entered_total >= 1,
+            "interactive sheds imply the shedding rung: {snap:?}"
+        );
+    }
+
+    // Queue delay must have pulled extra workers in.
+    let pool = &handle.state().pool;
+    assert!(
+        pool.worker_scale_up_total() >= 1,
+        "sustained queue delay must scale the pool up"
+    );
+
+    // Recovery: the ladder returns to ok and the pool drains back to
+    // --workers-min, with the scale counters balancing exactly.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (status, _h, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        if body.contains("\"overload_state\":\"ok\"") && pool.worker_count() == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no recovery: healthz {body}, workers {}",
+            pool.worker_count()
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert_eq!(
+        pool.worker_scale_up_total(),
+        pool.worker_scale_down_total(),
+        "back at --workers-min, every scale-up must have a matching scale-down"
+    );
+
+    // The whole episode is visible in one /metrics scrape.
+    let (sm, _hm, metrics) = get(addr, "/metrics");
+    assert_eq!(sm, 200);
+    assert!(
+        metrics.contains("\"overload\":{\"state\":\"ok\""),
+        "{metrics}"
+    );
+    assert!(
+        metric_u64(&metrics, "shed_bulk_total") >= 1
+            && metric_u64(&metrics, "brownout_entered_total") >= 1
+            && metric_u64(&metrics, "worker_scale_up_total") >= 1,
+        "{metrics}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
 /// Oversized inputs are rejected before any allocation: `--max-cells` as a
 /// typed 422, the body cap as a typed 413 — same JSON error shape.
 #[test]

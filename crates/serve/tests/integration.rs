@@ -134,9 +134,14 @@ fn repeated_request_hits_cache_observable_in_metrics() {
 
 #[test]
 fn overload_burst_sheds_503_with_retry_after_then_recovers() {
+    // `target_queue_delay_ms: 0` pins the legacy fixed-depth admission path:
+    // recovery is instant once the queue frees. The adaptive ladder keeps
+    // shedding through its recovery dwell instead — that choreography is
+    // covered by `tests/chaos.rs::overload_brownout_drill_*`.
     let cfg = Config {
         workers: 1,
         queue_depth: 1,
+        target_queue_delay_ms: 0,
         ..test_config()
     };
     let handle = start(cfg).expect("start server");

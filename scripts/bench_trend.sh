@@ -2,7 +2,10 @@
 # Benchmark trend gate: diffs the newest two BENCH_<date>.json snapshots at
 # the repository root (see crates/bench/src/bin/trend.rs) and fails when any
 # lane's best new sample is more than 20% slower than its worst old sample.
-# With fewer than two snapshots present it prints a note and passes.
+# Also diffs the newest two LOAD_<date>.json capacity snapshots (written by
+# scripts/load_snapshot.sh) and fails when a class's p99 grows past 2.5x or
+# its throughput drops below 2/3 of the previous run. With fewer than two
+# snapshots of a family present it prints a note and passes that family.
 #
 # Usage: scripts/bench_trend.sh [snapshot-dir]
 set -euo pipefail

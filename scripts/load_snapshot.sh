@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Capacity snapshot: runs `hc-loadgen` open-loop against an in-process
+# `hc-serve` instance (see crates/bench/src/bin/loadgen.rs) in release mode
+# and writes the per-class report to LOAD_<date>.json at the repository root.
+# scripts/bench_trend.sh diffs the newest two and fails when a class's p99
+# grows past 2.5x or its throughput drops below 2/3 of the previous snapshot.
+#
+# The parameters below are a *sustainable* operating point on purpose: a
+# trend baseline wants stable percentiles, not an overload run (overload
+# behavior is gated by the verify.sh smoke and tests/chaos.rs instead).
+#
+# Usage: scripts/load_snapshot.sh [output-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-LOAD_$(date +%Y%m%d).json}
+
+echo "== build (release) =="
+cargo build --release -q -p hc-bench --bin loadgen
+
+echo "== loadgen -> $OUT =="
+./target/release/loadgen --self-serve \
+    --rps 300 --duration-s 10 --connections 12 --seed 42 \
+    --shape 32x32 --batch-parts 4 \
+    --mix measure=60,cachehit=20,healthz=15,batch=5 \
+    --workers 2 --workers-min 2 --workers-max 4 \
+    --target-queue-delay-ms 100 > "$OUT"
+
+# Fail loudly on a truncated or malformed run rather than committing garbage.
+grep -q '"schema":"hc-load/v1"' "$OUT" || { echo "bad load snapshot"; exit 1; }
+for CLASS in measure cachehit healthz batch all; do
+    grep -q "\"class\":\"$CLASS\"" "$OUT" || { echo "missing $CLASS lane"; exit 1; }
+done
+grep -q '"server":true' "$OUT" || { echo "missing server counter line"; exit 1; }
+RESETS=$(grep '"class":"all"' "$OUT" | sed -n 's/.*"reset":\([0-9]*\).*/\1/p')
+[ "$RESETS" = "0" ] || { echo "baseline run saw $RESETS connection resets"; exit 1; }
+echo "wrote $OUT"

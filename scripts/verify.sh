@@ -24,9 +24,11 @@ echo "== steady-state allocation check =="
 # entry point must stay within its alloc cap (see snapshot --alloc-check).
 ./target/release/snapshot --alloc-check
 
-echo "== bench trend gate =="
-# Diffs the newest two committed BENCH_<date>.json snapshots; fails when any
-# lane's best new sample is >20% over the old lane's worst (bench_trend.sh).
+echo "== bench + load trend gate =="
+# Diffs the newest two committed BENCH_<date>.json snapshots (fails when any
+# lane's best new sample is >20% over the old lane's worst) and the newest
+# two LOAD_<date>.json capacity snapshots (fails on p99 > 2.5x or throughput
+# < 2/3 of the previous run) — see bench_trend.sh.
 scripts/bench_trend.sh
 
 echo "== serve smoke test =="
@@ -390,5 +392,79 @@ curl -sS "http://$ADDR/quitquitquit" >/dev/null
 wait "$SLO_PID"
 trap - EXIT
 echo "slo chaos OK"
+
+echo "== overload loadgen smoke =="
+# A 2x-capacity open-loop burst (sinkhorn slowed by failpoint, so capacity is
+# known-low) must walk the admission ladder ok -> shedding -> ok: requests
+# are shed as typed 503s rather than queued without bound (bounded p99 on the
+# admitted ones), no connection is ever reset, the pool scales up, and the
+# ladder recovers once the burst ends.
+OL_LOG=$(mktemp)
+HC_FAILPOINT='sinkhorn.iteration:delay:2' "$HCM" serve --addr 127.0.0.1:0 \
+    --workers 1 --workers-min 1 --workers-max 2 --target-queue-delay-ms 10 \
+    2>"$OL_LOG" &
+OL_PID=$!
+trap 'kill "$OL_PID" 2>/dev/null || true' EXIT
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#.*listening on http://##p' "$OL_LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "overload server never announced its address"; cat "$OL_LOG"; exit 1; }
+echo "overload server on $ADDR (sinkhorn.iteration:delay:2, --target-queue-delay-ms 10)"
+
+curl -sS "http://$ADDR/healthz" | grep -q '"overload_state":"ok"' \
+    || { echo "healthz lacks overload_state ok before the burst"; exit 1; }
+
+./target/release/loadgen --addr "$ADDR" --rps 120 --duration-s 6 --connections 12 \
+    --seed 42 --shape 32x32 --batch-parts 2 \
+    --mix measure=85,cachehit=5,healthz=5,batch=5 > /tmp/verify-load.json \
+    || { echo "loadgen run failed"; exit 1; }
+ALL_LINE=$(grep '"class":"all"' /tmp/verify-load.json)
+load_num() { printf '%s' "$ALL_LINE" | sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p"; }
+RESETS=$(load_num reset)
+CONNECT_FAILS=$(load_num connect_fail)
+SHED=$(load_num http_503)
+OKS=$(load_num ok)
+P99=$(load_num p99_us)
+[ "$RESETS" = "0" ] || { echo "burst saw $RESETS connection resets, want 0"; exit 1; }
+[ "$CONNECT_FAILS" = "0" ] || { echo "burst saw $CONNECT_FAILS connect failures"; exit 1; }
+[ -n "$SHED" ] && [ "$SHED" -ge 1 ] \
+    || { echo "2x-capacity burst shed nothing (http_503=$SHED)"; exit 1; }
+[ -n "$OKS" ] && [ "$OKS" -ge 1 ] || { echo "burst admitted nothing"; exit 1; }
+# Admitted requests must see bounded delay (shed, don't queue): p99 from
+# *intended* send time stays well under what an unbounded queue would build.
+[ -n "$P99" ] && [ "$P99" -le 1500000 ] \
+    || { echo "admitted p99 ${P99}us exceeds 1.5s — queue delay is unbounded"; exit 1; }
+echo "burst OK: $OKS admitted, $SHED shed, 0 resets, p99 ${P99}us"
+
+RECOVERED=0
+for _ in $(seq 1 100); do
+    if curl -sS "http://$ADDR/healthz" | grep -q '"overload_state":"ok"'; then
+        RECOVERED=1
+        break
+    fi
+    sleep 0.2
+done
+[ "$RECOVERED" = "1" ] || { echo "ladder never recovered to ok after the burst"; exit 1; }
+
+curl -sS -o /tmp/verify-ol-metrics.json "http://$ADDR/metrics"
+ol_metric() { sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p" /tmp/verify-ol-metrics.json; }
+SHEDDING_ENTERED=$(ol_metric shedding_entered_total)
+SCALE_UP=$(ol_metric worker_scale_up_total)
+[ -n "$SHEDDING_ENTERED" ] && [ "$SHEDDING_ENTERED" -ge 1 ] \
+    || { echo "ladder never reached shedding (shedding_entered_total=$SHEDDING_ENTERED)"; exit 1; }
+[ -n "$SCALE_UP" ] && [ "$SCALE_UP" -ge 1 ] \
+    || { echo "queue delay never scaled the pool up (worker_scale_up_total=$SCALE_UP)"; exit 1; }
+grep -q '"overload":{"state":"ok"' /tmp/verify-ol-metrics.json \
+    || { echo "metrics lack recovered overload block"; exit 1; }
+echo "ladder walked ok -> shedding -> ok (shedding_entered_total=$SHEDDING_ENTERED, worker_scale_up_total=$SCALE_UP)"
+
+curl -sS "http://$ADDR/quitquitquit" >/dev/null
+wait "$OL_PID"
+trap - EXIT
+echo "overload loadgen smoke OK"
 
 echo "== verify: all green =="
