@@ -397,21 +397,69 @@ fn main() {
     };
     results.push(profiler_overhead);
 
+    // TSDB-overhead lane: the cost of one 1 Hz collector tick — a full
+    // `hc_obs` registry sweep into the tiered rings (DESIGN.md §16) —
+    // expressed as a percentage of the one-second budget between ticks.
+    // Ticks are interleaved with real 256×256 characterize work so the
+    // metric registry is warm and mutating as it would be mid-serve;
+    // reported here, gated <2% in tests/overhead.rs.
+    let tsdb_overhead = {
+        const SIZE: usize = 256;
+        let ecs = ecs_fixture(SIZE, SIZE);
+        let opts = TmaOptions::default();
+        let mut an = Analyzer::new();
+        let tsdb = hc_obs::tsdb::Tsdb::new(&hc_obs::tsdb::DEFAULT_TIERS);
+        let mut ts = 1_000u64;
+        tsdb.collect_registry(ts); // warm-up: series created, not recorded
+        let mut ticks = Vec::new();
+        for _ in 0..RUNS {
+            let r = an
+                .characterize_with(&ecs, None, &opts)
+                .expect("fixture characterizes");
+            an.recycle_report(r);
+            ts += 1;
+            let t = Instant::now();
+            tsdb.collect_registry(ts);
+            ticks.push(t.elapsed().as_nanos());
+        }
+        let series = tsdb.series_names().len();
+        let tick_ns = median_ns(ticks);
+        // One tick per second: the fraction of a serving second spent here.
+        let overhead_pct = tick_ns as f64 / 1e9 * 100.0;
+        format!(
+            "{{\"bench\":\"tsdb_overhead\",\"series\":{series},\
+             \"tsdb_bytes\":{},\"tick_median_ns\":{tick_ns},\
+             \"overhead_pct\":{overhead_pct:.4}}}",
+            tsdb.bytes()
+        )
+    };
+    results.push(tsdb_overhead);
+
     // Session warm-vs-cold lane: a live session absorbing single-cell edits.
-    // Two engines over the same fixture — one warm-starting Sinkhorn/SVD from
-    // the previous solve (the `hc-session` default), one forced cold — each
-    // timed over the same edit stream. Combined solver iterations are also
-    // reported; the >= 5x reduction at 512x512 is asserted here because it is
-    // the subsystem's reason to exist (DESIGN.md §12).
+    // Three engines over the same fixture: one warm-starting with the cutover
+    // disabled (isolates the solver's iteration savings), one forced cold
+    // (baseline), and one with the production default — which above
+    // DEFAULT_WARM_CUTOVER_CELLS cold-solves instead (the per-iteration cost
+    // of a warm Sinkhorn sweep grows with the matrix while the saved
+    // iterations do not, so warm starting LOSES wall time at 256x256+ despite
+    // a 100x+ iteration reduction). Two gates: the >= 5x iteration reduction
+    // at 512x512 (the subsystem's reason to exist, DESIGN.md §12) and —
+    // because iteration ratio alone hid a wall-time regression — the default
+    // engine's wall time must stay within 1.3x of cold at every size.
     for &n in &[64usize, 256, 512] {
         let ecs = ecs_fixture(n, n);
-        let mut warm_eng = hc_session::SessionEngine::new(ecs.clone());
+        let mut warm_eng =
+            hc_session::SessionEngine::new(ecs.clone()).with_warm_cutover(usize::MAX);
+        let mut dflt_eng = hc_session::SessionEngine::new(ecs.clone());
         let mut cold_eng = hc_session::SessionEngine::new(ecs).with_force_cold(true);
         let (r, cold_first) = warm_eng.recompute(None).expect("fixture characterizes");
         warm_eng.recycle_report(r);
+        let (r, _) = dflt_eng.recompute(None).expect("fixture characterizes");
+        dflt_eng.recycle_report(r);
         let (r, _) = cold_eng.recompute(None).expect("fixture characterizes");
         cold_eng.recycle_report(r);
         let cold_iterations = cold_first.total_iterations();
+        let over_cutover = n * n > hc_session::DEFAULT_WARM_CUTOVER_CELLS;
 
         let mut edit_step = 0usize;
         let mut patch = |eng: &mut hc_session::SessionEngine| {
@@ -449,12 +497,29 @@ fn main() {
             assert!(stats.warm, "session stays warm across the stream");
             warm_eng.recycle_report(report);
         });
+        let dflt_samples = time_ns(|| {
+            let (report, stats) = patch(&mut dflt_eng);
+            assert_eq!(
+                stats.cutover, over_cutover,
+                "default engine cuts over exactly above the cell threshold"
+            );
+            dflt_eng.recycle_report(report);
+        });
         let cold_samples = time_ns(|| {
             let (report, _) = patch(&mut cold_eng);
             cold_eng.recycle_report(report);
         });
         let warm_ns = median_ns(warm_samples);
+        let dflt_ns = median_ns(dflt_samples);
         let cold_ns = median_ns(cold_samples);
+        // The wall-time gate the iteration ratio cannot express: the shipped
+        // default must never be meaningfully slower than a cold solve.
+        assert!(
+            dflt_ns * 10 <= cold_ns * 13,
+            "{n}x{n}: default session path ({dflt_ns} ns) must stay within \
+             1.3x of cold ({cold_ns} ns); the warm cutover exists to \
+             guarantee this"
+        );
         let ratio = if warm_iterations == 0 {
             0.0
         } else {
@@ -463,6 +528,7 @@ fn main() {
         results.push(format!(
             "{{\"bench\":\"session_warm_vs_cold\",\"tasks\":{n},\"machines\":{n},\
              \"runs\":{RUNS},\"cold_median_ns\":{cold_ns},\"warm_median_ns\":{warm_ns},\
+             \"default_median_ns\":{dflt_ns},\"cutover\":{over_cutover},\
              \"cold_iterations\":{cold_iterations},\"warm_iterations\":{warm_iterations},\
              \"iteration_ratio\":{ratio:.1}}}"
         ));

@@ -13,6 +13,7 @@
 //! hcm whatif    <etc.csv> --remove-machine 2
 //! hcm session   <etc.csv> [--edits edits.txt]  # warm-started incremental demo
 //! hcm serve     --addr 127.0.0.1:7878        # HTTP daemon (see hc-serve)
+//! hcm top       --addr 127.0.0.1:7878        # live dashboard over a daemon
 //! ```
 //!
 //! Every command is a pure function from `(arguments, input text)` to a report
@@ -26,6 +27,7 @@ pub mod args;
 pub mod commands;
 pub mod obs;
 pub mod serve;
+pub mod top;
 
 pub use commands::dispatch;
 
@@ -49,7 +51,10 @@ pub fn usage() -> &'static str {
     \x20               [--max-cells N] [--record-requests N] [--record-survivors N]\n\
     \x20               [--max-sessions N] [--session-ttl-s S] [--profile-hz HZ]\n\
     \x20               [--slo-availability F] [--slo-latency-ms MS]\n\
-    \x20               [--slo-window-s S] [--dry-run]\n\
+    \x20               [--slo-window-s S] [--tsdb-retention-s S] [--tsdb-off]\n\
+    \x20               [--dry-run]\n\
+    \x20 hcm top       [--addr 127.0.0.1:7878] [--once] [--interval-ms MS]\n\
+    \x20               [--window-s S]\n\
     \x20 hcm help\n\n\
      Global flags (every subcommand, place after the input file):\n\
     \x20 --log-json <path>   write spans/events as JSON lines to <path>\n\
@@ -79,6 +84,11 @@ pub fn usage() -> &'static str {
      exposes the same engine as POST /session, PATCH /session/{id}/etc,\n\
      GET /session/{id}[/watch?version=N], DELETE /session/{id}, bounded by\n\
      --max-sessions (LRU) and --session-ttl-s (idle expiry).\n\n\
+     `hcm top` polls GET /debug/timeseries (the in-process TSDB retaining\n\
+     --tsdb-retention-s seconds of per-second metric history; --tsdb-off\n\
+     disables it) plus /healthz on a running daemon and renders req/s,\n\
+     p50/p99 latency, cache hit rate, overload ladder state, live workers,\n\
+     and SLO burn with sparklines; --once prints a single frame and exits.\n\n\
      Input files are CSV: header `task,<machine…>`, one row per task type, runtimes\n\
      as numbers, `inf` for incompatible pairs. Pass --ecs when the file already\n\
      holds speeds instead of runtimes.\n"

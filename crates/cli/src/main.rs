@@ -16,11 +16,27 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("serve") {
         return run_serve(&args);
     }
+    // `top` drives sockets and a redraw loop, so it also bypasses dispatch.
+    if args.first().map(String::as_str) == Some("top") {
+        return run_top(&args);
+    }
     match dispatch(&args, &FsInput) {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS
         }
+        Err(e) => {
+            eprintln!("hcm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_top(raw: &[String]) -> ExitCode {
+    let parsed = hc_cli::args::parse(raw);
+    let result = hc_cli::top::parse_config(&parsed).and_then(|cfg| hc_cli::top::run(&cfg));
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("hcm: {e}");
             ExitCode::FAILURE

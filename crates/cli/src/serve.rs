@@ -44,6 +44,8 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
         "target-queue-delay-ms",
         "workers-min",
         "workers-max",
+        "tsdb-retention-s",
+        "tsdb-off",
         "dry-run",
     ])?;
 
@@ -129,6 +131,14 @@ pub fn parse_config(args: &Args) -> Result<(Config, bool), String> {
             "--workers-max {hi} is below the effective --workers-min {lo}"
         ));
     }
+    cfg.tsdb_retention_s = args.get_or("tsdb-retention-s", cfg.tsdb_retention_s)?;
+    if cfg.tsdb_retention_s == 0 {
+        return Err(
+            "--tsdb-retention-s must be at least 1 (use --tsdb-off to disable the store)"
+                .to_string(),
+        );
+    }
+    cfg.tsdb_off = args.has("tsdb-off");
     Ok((cfg, args.has("dry-run")))
 }
 
@@ -156,7 +166,8 @@ pub fn describe(cfg: &Config) -> String {
         \x20 idle-conn-timeout-ms {}\n\
         \x20 target-queue-delay-ms {}\n\
         \x20 workers-min    {}\n\
-        \x20 workers-max    {}\n",
+        \x20 workers-max    {}\n\
+        \x20 tsdb-retention-s {}\n",
         cfg.addr,
         cfg.workers,
         cfg.queue_depth,
@@ -210,6 +221,11 @@ pub fn describe(cfg: &Config) -> String {
         },
         cfg.worker_bounds().0,
         cfg.worker_bounds().1,
+        if cfg.tsdb_off {
+            "off".to_string()
+        } else {
+            cfg.tsdb_retention_s.to_string()
+        },
     )
 }
 
@@ -445,5 +461,25 @@ mod tests {
         assert!(d.contains("target-queue-delay-ms 100"), "{d}");
         assert!(d.contains("workers-min    3"), "{d}");
         assert!(d.contains("workers-max    3"), "{d}");
+        assert!(d.contains("tsdb-retention-s 86400"), "{d}");
+    }
+
+    #[test]
+    fn tsdb_flags() {
+        let (cfg, _) = cfg_of(&["serve"]).unwrap();
+        assert_eq!(cfg.tsdb_retention_s, 86_400);
+        assert!(!cfg.tsdb_off);
+
+        let (cfg, _) = cfg_of(&["serve", "--tsdb-retention-s", "600"]).unwrap();
+        assert_eq!(cfg.tsdb_retention_s, 600);
+        assert!(describe(&cfg).contains("tsdb-retention-s 600"));
+
+        let (cfg, _) = cfg_of(&["serve", "--tsdb-off"]).unwrap();
+        assert!(cfg.tsdb_off);
+        assert!(describe(&cfg).contains("tsdb-retention-s off"));
+
+        // 0 retention is a flag error, not a silent clamp.
+        assert!(cfg_of(&["serve", "--tsdb-retention-s", "0"]).is_err());
+        assert!(cfg_of(&["serve", "--tsdb-retention-s", "forever"]).is_err());
     }
 }

@@ -202,3 +202,70 @@ fn generate_schedule_simulate_pipeline() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn top_once_renders_dashboard_against_live_server() {
+    use std::io::{Read, Write};
+
+    // A real in-process server with the TSDB on (the default).
+    let handle = hc_serve::start(hc_serve::Config {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 16,
+        cache_entries: 16,
+        ..hc_serve::Config::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    // Some traffic plus one deterministic collection tick so the dashboard
+    // has numbers to show without waiting out the 1 Hz collector.
+    let body = "task,m1,m2\nt1,2.0,8.0\nt2,6.0,3.0\n";
+    for _ in 0..3 {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        let req = format!(
+            "POST /measure HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        s.write_all(req.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).starts_with("HTTP/1.1 200"));
+    }
+    hc_serve::collector::collect_once(handle.state());
+
+    let (ok, frame, stderr) = hcm(&["top", "--once", "--addr", &addr.to_string()]);
+    assert!(ok, "hcm top --once failed: {stderr}");
+    assert!(frame.starts_with("hcm top —"), "{frame}");
+    assert!(frame.contains(&addr.to_string()), "{frame}");
+    assert!(frame.contains("health ok"), "{frame}");
+    assert!(frame.contains("overload ok"), "{frame}");
+    for label in [
+        "req/s",
+        "err/s",
+        "p50 us",
+        "p99 us",
+        "cache hit",
+        "workers",
+        "slo burn",
+    ] {
+        assert!(frame.contains(label), "{label} missing from frame: {frame}");
+    }
+    // The collected tick put a real per-second point in every gauge, so at
+    // least one sparkline glyph renders.
+    assert!(
+        frame
+            .chars()
+            .any(|c| ('\u{2581}'..='\u{2588}').contains(&c)),
+        "no sparkline glyphs: {frame}"
+    );
+
+    // Against a dead address the command fails cleanly instead of hanging.
+    let (ok, _, stderr) = hcm(&["top", "--once", "--addr", "127.0.0.1:1"]);
+    assert!(!ok);
+    assert!(stderr.contains("hcm:"), "{stderr}");
+
+    handle.shutdown();
+    handle.join();
+}

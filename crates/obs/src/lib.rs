@@ -30,6 +30,13 @@
 //! * [`slo`] — rolling multi-window availability/latency objectives with
 //!   Google-SRE fast/slow burn-rate alerting, feeding `/metrics` and the
 //!   `degraded` state on `/healthz`.
+//! * [`tsdb`] — an in-process time-series store: tiered per-second ring
+//!   buffers (1 s / 10 s / 60 s, last-slot downsampling) fed by a collector
+//!   thread, powering `/debug/timeseries` and the `hcm top` dashboard with
+//!   retained history and no external Prometheus. Histograms additionally
+//!   retain per-bucket **exemplars** — the most recent (request-id,
+//!   traceparent, value) observation — rendered by [`prom`] and joinable to
+//!   the flight recorder.
 //!
 //! Two fault-containment utilities also live here, at the bottom of the
 //! dependency graph so both the kernels and the daemon can share them:
@@ -67,6 +74,7 @@ pub mod slo;
 pub mod span;
 pub mod sync;
 pub mod trace;
+pub mod tsdb;
 
 pub use sink::{
     install_capture_sink, install_json_sink, install_trace_sink, set_level, sink_installed,

@@ -92,12 +92,36 @@ pub fn bucket_upper(i: usize) -> u64 {
     }
 }
 
+/// One retained observation pinned to a histogram bucket: the most recent
+/// value that landed there while a flight record was active, plus the
+/// identity needed to jump from the bucket to `/debug/requests/{id}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The request id of the observing request (`X-Request-Id`).
+    pub request_id: String,
+    /// The observing request's W3C `traceparent`.
+    pub traceparent: String,
+    /// The observed value.
+    pub value: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+}
+
 /// Log₂-bucketed histogram of unsigned values (iterations, microseconds, …).
+///
+/// Each bucket additionally retains the most recent [`Exemplar`]: when an
+/// observation happens on a thread with an active flight record, the
+/// request's identity is pinned to the bucket the value landed in — the
+/// OpenMetrics exemplar idea, joined to the in-process flight recorder
+/// instead of an external trace store. Exemplar capture costs one
+/// thread-local flag read when disarmed and a `try_lock` (never blocking the
+/// hot path) when armed.
 #[derive(Debug)]
 pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+    exemplars: [Mutex<Option<Exemplar>>; BUCKETS],
 }
 
 impl Default for Histogram {
@@ -106,6 +130,7 @@ impl Default for Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| Mutex::new(None)),
         }
     }
 }
@@ -117,6 +142,45 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        if crate::recorder::recording() {
+            self.capture_exemplar(v);
+        }
+    }
+
+    /// Pins the current request's identity onto the bucket `v` landed in.
+    /// Off the fast path: only reached with a flight record armed, and a
+    /// contended slot is skipped rather than waited on.
+    #[cold]
+    fn capture_exemplar(&self, v: u64) {
+        let Some((request_id, traceparent)) = crate::recorder::current_context() else {
+            return;
+        };
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        if let Ok(mut slot) = self.exemplars[bucket_index(v)].try_lock() {
+            *slot = Some(Exemplar {
+                request_id,
+                traceparent,
+                value: v,
+                unix_ms,
+            });
+        }
+    }
+
+    /// The retained exemplars, as `(bucket_index, exemplar)` pairs in bucket
+    /// order. Buckets that never saw an armed observation are absent.
+    pub fn exemplars(&self) -> Vec<(usize, Exemplar)> {
+        let mut out = Vec::new();
+        for (i, slot) in self.exemplars.iter().enumerate() {
+            if let Ok(guard) = slot.try_lock() {
+                if let Some(e) = guard.as_ref() {
+                    out.push((i, e.clone()));
+                }
+            }
+        }
+        out
     }
 
     /// Records a duration in whole microseconds.
@@ -285,6 +349,25 @@ pub fn snapshot_all() -> (
         }
     }
     (counters, gauges, hists)
+}
+
+/// Every histogram's retained exemplars, keyed by name. Taken separately
+/// from [`snapshot_all`] because exemplars only matter to the Prometheus
+/// exposition and the exemplar join tests, not to the JSON value export.
+pub fn snapshot_exemplars() -> BTreeMap<&'static str, Vec<(usize, Exemplar)>> {
+    let mut out: BTreeMap<&'static str, Vec<(usize, Exemplar)>> = BTreeMap::new();
+    for shard in registry() {
+        let guard = shard.lock().unwrap();
+        for (name, metric) in guard.iter() {
+            if let Metric::Histogram(h) = metric {
+                let ex = h.exemplars();
+                if !ex.is_empty() {
+                    out.insert(name, ex);
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Renders the entire registry as one JSON object:
@@ -464,6 +547,38 @@ mod tests {
             out.find("test_export_a").unwrap() < out.find("test_export_b").unwrap(),
             "{out}"
         );
+    }
+
+    #[test]
+    fn exemplars_capture_only_under_an_armed_record() {
+        let h = histogram("test_exemplar_hist");
+        h.observe(5); // disarmed: no exemplar
+        assert!(h.exemplars().is_empty());
+
+        let rec = crate::recorder::FlightRecorder::new(8, 2);
+        let trace = crate::trace::TraceContext::generate();
+        let guard = rec.begin("exemplar-req-1", "POST", "/measure", &trace);
+        h.observe(6); // same bucket as 5: last observation wins
+        h.observe(300);
+        guard.finish(crate::recorder::Outcome {
+            status: 200,
+            latency_us: 1,
+            phases: crate::recorder::PhaseTimings::default(),
+            slow: false,
+            panicked: false,
+        });
+
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        let (b, e) = &ex[0];
+        assert_eq!(*b, bucket_index(6));
+        assert_eq!(e.request_id, "exemplar-req-1");
+        assert_eq!(e.value, 6);
+        assert!(e.traceparent.starts_with("00-"));
+        assert_eq!(ex[1].0, bucket_index(300));
+        // The snapshot sees it under the histogram's name.
+        let snap = snapshot_exemplars();
+        assert!(snap["test_exemplar_hist"].len() == 2);
     }
 
     #[test]

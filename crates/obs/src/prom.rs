@@ -12,7 +12,7 @@
 //! typical Prometheus buckets but monotone, cheap, and consistent with the
 //! JSON export.
 
-use crate::metrics::{self, BUCKETS};
+use crate::metrics::{self, Exemplar, BUCKETS};
 
 /// Rewrites `name` into the Prometheus metric-name alphabet
 /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); every invalid byte becomes `_`.
@@ -103,6 +103,24 @@ impl PromWriter {
         count: u64,
         sum: u64,
     ) {
+        self.histogram_series_with_exemplars(name, labels, buckets, count, sum, &[]);
+    }
+
+    /// [`histogram_series`](PromWriter::histogram_series) with per-bucket
+    /// exemplar annotations: a bucket that retains one gets an
+    /// OpenMetrics-style trailer on its sample line —
+    /// `… # {request_id="…",traceparent="…"} <value>` — so a scraper (or an
+    /// operator with grep) can jump from the bucket straight to that
+    /// request's flight record at `/debug/requests/{id}`.
+    pub fn histogram_series_with_exemplars(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: &[u64; BUCKETS],
+        count: u64,
+        sum: u64,
+        exemplars: &[(usize, Exemplar)],
+    ) {
         let bucket_name = format!("{name}_bucket");
         let mut cumulative = 0u64;
         for (i, n) in buckets.iter().enumerate() {
@@ -115,7 +133,19 @@ impl PromWriter {
             let mut with_le: Vec<(&str, &str)> = Vec::with_capacity(labels.len() + 1);
             with_le.extend(labels.iter().copied());
             with_le.push(("le", le.as_str()));
-            self.sample(&bucket_name, &with_le, &cumulative.to_string());
+            match exemplars.iter().find(|(b, _)| *b == i) {
+                Some((_, e)) => {
+                    let value = format!(
+                        "{cumulative} # {{request_id=\"{}\",traceparent=\"{}\"}} {} {}",
+                        escape_label(&e.request_id),
+                        escape_label(&e.traceparent),
+                        e.value,
+                        e.unix_ms,
+                    );
+                    self.sample(&bucket_name, &with_le, &value);
+                }
+                None => self.sample(&bucket_name, &with_le, &cumulative.to_string()),
+            }
         }
         self.sample(&format!("{name}_sum"), labels, &sum.to_string());
         self.sample(&format!("{name}_count"), labels, &count.to_string());
@@ -131,6 +161,7 @@ impl PromWriter {
 /// every counter, gauge, and histogram, names sanitized and sorted.
 pub fn render_registry() -> String {
     let (counters, gauges, hists) = metrics::snapshot_all();
+    let exemplars = metrics::snapshot_exemplars();
     let mut w = PromWriter::new();
     for (name, v) in &counters {
         let n = sanitize_name(name);
@@ -145,7 +176,8 @@ pub fn render_registry() -> String {
     for (name, (count, sum, buckets)) in &hists {
         let n = sanitize_name(name);
         w.type_line(&n, "histogram");
-        w.histogram_series(&n, &[], buckets, *count, *sum);
+        let ex = exemplars.get(name).map(Vec::as_slice).unwrap_or(&[]);
+        w.histogram_series_with_exemplars(&n, &[], buckets, *count, *sum, ex);
     }
     w.finish()
 }
@@ -179,6 +211,33 @@ mod tests {
             text,
             "# TYPE x_total counter\nx_total{endpoint=\"me\\\"asure\"} 7\nx_total 9\n"
         );
+    }
+
+    #[test]
+    fn exemplar_annotation_rides_its_bucket_line() {
+        let mut buckets = [0u64; BUCKETS];
+        buckets[3] = 1;
+        let ex = vec![(
+            3usize,
+            Exemplar {
+                request_id: "req-42".to_string(),
+                traceparent: "00-abc-def-01".to_string(),
+                value: 5,
+                unix_ms: 1700,
+            },
+        )];
+        let mut w = PromWriter::new();
+        w.histogram_series_with_exemplars("h_us", &[], &buckets, 1, 5, &ex);
+        let text = w.finish();
+        assert!(
+            text.contains(
+                "h_us_bucket{le=\"8\"} 1 # {request_id=\"req-42\",\
+                 traceparent=\"00-abc-def-01\"} 5 1700\n"
+            ),
+            "{text}"
+        );
+        // Buckets without an exemplar stay plain.
+        assert!(text.contains("h_us_bucket{le=\"4\"} 0\n"), "{text}");
     }
 
     #[test]

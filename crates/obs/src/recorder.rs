@@ -133,6 +133,13 @@ pub struct RequestRecord {
     pub dropped_spans: u64,
     /// Scalar numeric telemetry attached via [`note_u64`] / [`note_f64`].
     pub numerics: Vec<(&'static str, FieldValue)>,
+    /// Priority class assigned at admission (`critical` / `interactive` /
+    /// `bulk`), when the server recorded one via [`note_overload`].
+    pub priority_class: Option<&'static str>,
+    /// Overload-ladder state at admission (`ok` / `brownout` / `shedding`).
+    pub overload_state: Option<&'static str>,
+    /// The request was rejected by admission control (typed 503).
+    pub shed: bool,
 }
 
 struct Builder {
@@ -146,6 +153,9 @@ struct Builder {
     spans: Vec<RecordedSpan>,
     dropped_spans: u64,
     numerics: Vec<(&'static str, FieldValue)>,
+    priority_class: Option<&'static str>,
+    overload_state: Option<&'static str>,
+    shed: bool,
 }
 
 thread_local! {
@@ -217,6 +227,39 @@ pub fn note_u64(key: &'static str, v: u64) {
     });
 }
 
+/// Attaches the admission-control context to the active record: the priority
+/// class the request was classified into, the overload-ladder state at
+/// admission, and whether the request was shed — so `/debug/requests/{id}`
+/// can explain *why* a request was rejected or browned out, not just that it
+/// answered 503. No-op when no record is active on this thread.
+pub fn note_overload(class: &'static str, state: &'static str, shed: bool) {
+    if !recording() {
+        return;
+    }
+    with_builder(|b| {
+        b.priority_class = Some(class);
+        b.overload_state = Some(state);
+        b.shed = shed;
+    });
+}
+
+/// The identity of the request being recorded on this thread, as
+/// `(request_id, traceparent)` — the join key histogram exemplars carry.
+/// `None` when no record is active.
+pub fn current_context() -> Option<(String, String)> {
+    if !recording() {
+        return None;
+    }
+    ACTIVE.with(|a| {
+        a.borrow().as_ref().map(|b| {
+            (
+                b.request_id.clone(),
+                format!("00-{}-{}-01", b.trace_id, b.span_id),
+            )
+        })
+    })
+}
+
 /// Attaches a float scalar on the active record; repeated notes under the
 /// same key **overwrite** (last wins — the final residual is the one that
 /// matters). No-op when no record is active on this thread.
@@ -282,6 +325,9 @@ impl RecordingGuard<'_> {
             spans: b.spans,
             dropped_spans: b.dropped_spans,
             numerics: b.numerics,
+            priority_class: b.priority_class,
+            overload_state: b.overload_state,
+            shed: b.shed,
         });
     }
 }
@@ -396,6 +442,9 @@ impl FlightRecorder {
             spans: Vec::new(),
             dropped_spans: 0,
             numerics: Vec::new(),
+            priority_class: None,
+            overload_state: None,
+            shed: false,
         });
         ACTIVE.with(|a| *a.borrow_mut() = Some(builder));
         ACTIVE_FLAG.with(|f| f.set(true));
@@ -491,6 +540,15 @@ impl RequestRecord {
         });
         out.push_str(",\"survivor\":");
         out.push_str(if self.survivor { "true" } else { "false" });
+        if let (Some(class), Some(state)) = (self.priority_class, self.overload_state) {
+            out.push_str(",\"overload\":{\"class\":");
+            json::escape_into(out, class);
+            out.push_str(",\"state_at_admission\":");
+            json::escape_into(out, state);
+            out.push_str(",\"shed\":");
+            out.push_str(if self.shed { "true" } else { "false" });
+            out.push('}');
+        }
     }
 
     fn head_json_into(&self, out: &mut String) {
@@ -582,5 +640,69 @@ impl RequestRecord {
         }
         out.push_str("]}");
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(status: u16) -> Outcome {
+        Outcome {
+            status,
+            latency_us: 10,
+            phases: PhaseTimings::default(),
+            slow: false,
+            panicked: false,
+        }
+    }
+
+    #[test]
+    fn overload_context_is_recorded_and_rendered() {
+        let rec = FlightRecorder::new(8, 2);
+        let trace = TraceContext::generate();
+        let guard = rec.begin("ovl-req-1", "POST", "/measure", &trace);
+        note_overload("bulk", "shedding", true);
+        guard.finish(outcome(503));
+        let r = rec.lookup("ovl-req-1").expect("record retained");
+        assert_eq!(r.priority_class, Some("bulk"));
+        assert_eq!(r.overload_state, Some("shedding"));
+        assert!(r.shed);
+        let json = r.to_json();
+        assert!(
+            json.contains(
+                "\"overload\":{\"class\":\"bulk\",\"state_at_admission\":\
+                 \"shedding\",\"shed\":true}"
+            ),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn records_without_overload_context_omit_the_block() {
+        let rec = FlightRecorder::new(8, 2);
+        let trace = TraceContext::generate();
+        rec.begin("ovl-req-2", "GET", "/healthz", &trace)
+            .finish(outcome(200));
+        let r = rec.lookup("ovl-req-2").unwrap();
+        assert_eq!(r.priority_class, None);
+        assert!(!r.shed);
+        assert!(!r.to_json().contains("\"overload\""));
+    }
+
+    #[test]
+    fn current_context_follows_the_active_record() {
+        assert!(current_context().is_none());
+        let rec = FlightRecorder::new(8, 2);
+        let trace = TraceContext::generate();
+        let guard = rec.begin("ctx-req-1", "POST", "/measure", &trace);
+        let (id, traceparent) = current_context().expect("armed context");
+        assert_eq!(id, "ctx-req-1");
+        assert_eq!(
+            traceparent,
+            format!("00-{}-{}-01", trace.trace_id, trace.span_id)
+        );
+        guard.finish(outcome(200));
+        assert!(current_context().is_none());
     }
 }

@@ -1,0 +1,424 @@
+//! The tsdb collector thread and the `/debug/timeseries` endpoint.
+//!
+//! Once per second, a dedicated thread snapshots the server's own counters
+//! (per-endpoint request/error/cache totals, overload ladder rung, SLO burn
+//! rate, live workers and connections) plus the entire [`hc_obs::metrics`]
+//! registry into the in-process time-series store
+//! ([`hc_obs::tsdb::Tsdb`]) — tiered per-second ring buffers that retain
+//! `--tsdb-retention` seconds of history with no external Prometheus.
+//!
+//! Latency quantiles are computed over **per-interval deltas** of the log₂
+//! histograms, not the cumulative totals: a cumulative quantile converges and
+//! stops moving, while the delta answers "how slow is it right now". Idle
+//! intervals hold the last value so dashboards do not sawtooth to zero.
+//!
+//! `GET /debug/timeseries` reads it back: aligned per-second (or
+//! downsampled) arrays for any recorded series, `rate_per_s` deltas for
+//! counters, and a terminal-friendly `format=sparkline` render — the data
+//! source for `hcm top`.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use hc_obs::tsdb::{Kind, QueryResult, Tsdb};
+
+use crate::http::{HttpError, Request, Response};
+use crate::metrics::{quantile_upper_us_of, EndpointStats, BUCKETS};
+use crate::server::ServerState;
+
+/// Collection cadence: one sample per second, matching the finest tier.
+const COLLECT_PERIOD: Duration = Duration::from_secs(1);
+
+/// Shutdown poll granularity inside the collection sleep.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(250);
+
+/// Default query window when `window` is absent (seconds).
+const DEFAULT_WINDOW_S: u64 = 300;
+
+/// Most series one query may ask for (bounds response size).
+const MAX_SERIES_PER_QUERY: usize = 32;
+
+/// Seconds since the Unix epoch — the tsdb's timestamp domain.
+pub(crate) fn unix_now_s() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Spawns the collector thread (named `hc-serve-tsdb`). The thread samples
+/// immediately, then once per [`COLLECT_PERIOD`], and exits when the server's
+/// shutdown flag rises (checked every [`SHUTDOWN_POLL`]).
+pub(crate) fn spawn(state: Arc<ServerState>) {
+    let _ = std::thread::Builder::new()
+        .name("hc-serve-tsdb".to_string())
+        .spawn(move || {
+            let mut collector = Collector::default();
+            loop {
+                collector.collect(&state, unix_now_s());
+                let mut slept = Duration::ZERO;
+                while slept < COLLECT_PERIOD {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(SHUTDOWN_POLL);
+                    slept += SHUTDOWN_POLL;
+                }
+            }
+        });
+}
+
+/// One stateless collection pass, for tests that cannot wait out the 1 Hz
+/// cadence: samples everything the background thread samples, with the
+/// latency quantiles taken over the cumulative histogram instead of a delta.
+pub fn collect_once(state: &ServerState) {
+    Collector::default().collect(state, unix_now_s());
+}
+
+/// Delta memory between collection passes.
+#[derive(Default)]
+struct Collector {
+    prev: Option<EndpointStats>,
+    last_p50: f64,
+    last_p99: f64,
+    last_hit_rate: f64,
+}
+
+impl Collector {
+    fn collect(&mut self, state: &ServerState, ts_s: u64) {
+        let Some(tsdb) = &state.tsdb else {
+            return;
+        };
+        let merged = state.metrics.merged();
+        tsdb.record(
+            Kind::Counter,
+            "serve_requests_total",
+            ts_s,
+            merged.count as f64,
+        );
+        tsdb.record(
+            Kind::Counter,
+            "serve_errors_total",
+            ts_s,
+            merged.errors as f64,
+        );
+        tsdb.record(
+            Kind::Counter,
+            "serve_cache_hits_total",
+            ts_s,
+            merged.cache_hits as f64,
+        );
+        match &self.prev {
+            Some(prev) => {
+                let mut delta = [0u64; BUCKETS];
+                let mut n = 0u64;
+                for (k, d) in delta.iter_mut().enumerate() {
+                    *d = merged.latency_buckets[k].saturating_sub(prev.latency_buckets[k]);
+                    n += *d;
+                }
+                if n > 0 {
+                    self.last_p50 = quantile_upper_us_of(&delta, n, 0.50) as f64;
+                    self.last_p99 = quantile_upper_us_of(&delta, n, 0.99) as f64;
+                }
+                let dc = merged.count.saturating_sub(prev.count);
+                if dc > 0 {
+                    self.last_hit_rate =
+                        merged.cache_hits.saturating_sub(prev.cache_hits) as f64 / dc as f64;
+                }
+            }
+            None if merged.count > 0 => {
+                self.last_p50 = merged.quantile_upper_us(0.50) as f64;
+                self.last_p99 = merged.quantile_upper_us(0.99) as f64;
+                self.last_hit_rate = merged.cache_hits as f64 / merged.count as f64;
+            }
+            None => {}
+        }
+        tsdb.record(Kind::Gauge, "serve_latency_p50_us", ts_s, self.last_p50);
+        tsdb.record(Kind::Gauge, "serve_latency_p99_us", ts_s, self.last_p99);
+        tsdb.record(
+            Kind::Gauge,
+            "serve_cache_hit_rate",
+            ts_s,
+            self.last_hit_rate,
+        );
+        tsdb.record(
+            Kind::Gauge,
+            "serve_overload_state",
+            ts_s,
+            f64::from(state.overload.current_state()),
+        );
+        tsdb.record(
+            Kind::Gauge,
+            "serve_slo_burn_short",
+            ts_s,
+            state.slo.snapshot().availability.short.burn_rate,
+        );
+        tsdb.record(
+            Kind::Gauge,
+            "serve_workers_live",
+            ts_s,
+            state.pool.worker_count() as f64,
+        );
+        tsdb.record(
+            Kind::Gauge,
+            "serve_connections_open",
+            ts_s,
+            state.conns.open.load(Ordering::Relaxed) as f64,
+        );
+        tsdb.record(
+            Kind::Gauge,
+            "serve_requests_in_flight",
+            ts_s,
+            state.in_flight.load(Ordering::Relaxed) as f64,
+        );
+        // Everything the shared library registry holds — session counters,
+        // solver iteration histograms (as _count/_sum), tsdb_bytes itself.
+        tsdb.collect_registry(ts_s);
+        self.prev = Some(merged);
+    }
+}
+
+/// `GET /debug/timeseries` — retained per-second history.
+///
+/// * no `series` parameter — the catalog: every recorded series name + kind,
+///   the tier layout, and the store's memory footprint;
+/// * `series=a,b,c` — aligned arrays per series over `window` seconds
+///   (default 300) at `step` seconds (default: the finest tier covering the
+///   window). Counters additionally carry `rate_per_s` deltas, clamped ≥ 0;
+/// * `format=sparkline` — the same query as terminal sparklines, one line
+///   per series (counters sparkle their rate).
+pub(crate) fn debug_timeseries(state: &ServerState, req: &Request) -> Result<Response, HttpError> {
+    let Some(tsdb) = &state.tsdb else {
+        return Err(HttpError::typed(
+            404,
+            "tsdb_disabled",
+            "the in-process time-series store is disabled (--tsdb-off)",
+        ));
+    };
+    let now_s = unix_now_s();
+    let window_s = match req.param("window") {
+        None => DEFAULT_WINDOW_S,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(s) if s > 0 => s,
+            _ => {
+                return Err(HttpError::bad(format!(
+                    "window must be a positive integer of seconds, got {raw:?}"
+                )))
+            }
+        },
+    };
+    let step_s = match req.param("step") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(s) if s > 0 => Some(s),
+            _ => {
+                return Err(HttpError::bad(format!(
+                    "step must be a positive integer of seconds, got {raw:?}"
+                )))
+            }
+        },
+    };
+    let Some(raw_series) = req.param("series") else {
+        return Ok(Response::json(catalog_json(tsdb, now_s)));
+    };
+    let names: Vec<&str> = raw_series
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.is_empty() {
+        return Err(HttpError::bad(
+            "series must name at least one recorded series (comma-separated)",
+        ));
+    }
+    if names.len() > MAX_SERIES_PER_QUERY {
+        return Err(HttpError::bad(format!(
+            "at most {MAX_SERIES_PER_QUERY} series per query, got {}",
+            names.len()
+        )));
+    }
+    let mut results: Vec<(&str, QueryResult)> = Vec::with_capacity(names.len());
+    for name in names {
+        match tsdb.query(name, now_s, window_s, step_s) {
+            Some(q) => results.push((name, q)),
+            None => {
+                return Err(HttpError::typed(
+                    404,
+                    "unknown_series",
+                    format!(
+                        "series {name:?} is not recorded (GET /debug/timeseries without \
+                         parameters lists the catalog)"
+                    ),
+                ))
+            }
+        }
+    }
+    match req.param("format") {
+        None | Some("json") => Ok(Response::json(render_json(now_s, window_s, &results))),
+        Some("sparkline") => Ok(Response::text(render_sparklines(&results))),
+        Some(other) => Err(HttpError::bad(format!(
+            "unknown format {other:?} (expected json or sparkline)"
+        ))),
+    }
+}
+
+/// The no-parameters catalog document.
+fn catalog_json(tsdb: &Tsdb, now_s: u64) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"now_s\":");
+    out.push_str(&now_s.to_string());
+    out.push_str(",\"tsdb_bytes\":");
+    out.push_str(&tsdb.bytes().to_string());
+    out.push_str(",\"tiers\":[");
+    for (i, (step, slots)) in tsdb.tiers().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"step_s\":{step},\"slots\":{slots},\"span_s\":{}}}",
+            step * *slots as u64
+        ));
+    }
+    out.push_str("],\"series\":[");
+    for (i, (name, kind)) in tsdb.series_names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        hc_obs::json::escape_into(&mut out, name);
+        out.push_str(",\"kind\":\"");
+        out.push_str(kind.as_str());
+        out.push_str("\"}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes one `[v1,null,v2,...]` array of optional points.
+fn points_into(out: &mut String, points: &[Option<f64>]) {
+    out.push('[');
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match p {
+            Some(v) => out.push_str(&hc_obs::json::fmt_f64(*v)),
+            None => out.push_str("null"),
+        }
+    }
+    out.push(']');
+}
+
+/// The `series=` JSON document: aligned arrays, kinds, and counter rates.
+fn render_json(now_s: u64, window_s: u64, results: &[(&str, QueryResult)]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"now_s\":");
+    out.push_str(&now_s.to_string());
+    out.push_str(",\"window_s\":");
+    out.push_str(&window_s.to_string());
+    out.push_str(",\"series\":{");
+    for (i, (name, q)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        hc_obs::json::escape_into(&mut out, name);
+        out.push_str(":{\"kind\":\"");
+        out.push_str(q.kind.as_str());
+        out.push_str("\",\"step_s\":");
+        out.push_str(&q.step_s.to_string());
+        out.push_str(",\"start_s\":");
+        out.push_str(&q.start_s.to_string());
+        out.push_str(",\"points\":");
+        points_into(&mut out, &q.points);
+        if matches!(q.kind, Kind::Counter) {
+            out.push_str(",\"rate_per_s\":");
+            points_into(&mut out, &hc_obs::tsdb::rate(&q.points, q.step_s));
+        }
+        out.push('}');
+    }
+    out.push_str("}}");
+    out
+}
+
+/// One line per series: `name  <sparkline>  last=<v> step=<s>s`. Counters
+/// sparkle their per-second rate — the shape an operator actually wants.
+fn render_sparklines(results: &[(&str, QueryResult)]) -> String {
+    let width = results.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, q) in results {
+        let points = if matches!(q.kind, Kind::Counter) {
+            hc_obs::tsdb::rate(&q.points, q.step_s)
+        } else {
+            q.points.clone()
+        };
+        let last = points
+            .iter()
+            .rev()
+            .find_map(|p| *p)
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{name:width$}  {}  last={last} step={}s\n",
+            hc_obs::tsdb::sparkline(&points),
+            q.step_s,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_lists_series_sorted_with_tiers() {
+        let tsdb = Tsdb::new(&[(1, 60), (10, 30)]);
+        tsdb.record(Kind::Gauge, "zz", 5, 1.0);
+        tsdb.record(Kind::Counter, "aa", 5, 2.0);
+        let doc = catalog_json(&tsdb, 9);
+        assert!(doc.contains("\"now_s\":9"), "{doc}");
+        assert!(
+            doc.contains("{\"step_s\":1,\"slots\":60,\"span_s\":60}"),
+            "{doc}"
+        );
+        let aa = doc.find("\"aa\"").unwrap();
+        let zz = doc.find("\"zz\"").unwrap();
+        assert!(aa < zz, "catalog must be sorted: {doc}");
+        assert!(
+            doc.contains("{\"name\":\"aa\",\"kind\":\"counter\"}"),
+            "{doc}"
+        );
+    }
+
+    #[test]
+    fn json_render_carries_rate_for_counters_only() {
+        let tsdb = Tsdb::new(&[(1, 60)]);
+        for s in 100..105u64 {
+            tsdb.record(Kind::Counter, "c", s, (s - 100) as f64 * 3.0);
+            tsdb.record(Kind::Gauge, "g", s, 7.0);
+        }
+        let qc = tsdb.query("c", 104, 5, None).unwrap();
+        let qg = tsdb.query("g", 104, 5, None).unwrap();
+        let doc = render_json(104, 5, &[("c", qc), ("g", qg)]);
+        assert!(doc.contains("\"c\":{\"kind\":\"counter\""), "{doc}");
+        assert!(doc.contains("\"rate_per_s\":[null,3,3,3,3]"), "{doc}");
+        let g_obj = &doc[doc.find("\"g\":{").unwrap()..];
+        assert!(!g_obj.contains("rate_per_s"), "{doc}");
+        assert!(g_obj.contains("\"points\":[7,7,7,7,7]"), "{doc}");
+    }
+
+    #[test]
+    fn sparkline_render_is_one_line_per_series() {
+        let tsdb = Tsdb::new(&[(1, 60)]);
+        for s in 100..110u64 {
+            tsdb.record(Kind::Gauge, "load", s, (s - 100) as f64);
+        }
+        let q = tsdb.query("load", 109, 10, None).unwrap();
+        let text = render_sparklines(&[("load", q)]);
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("load"), "{text}");
+        assert!(text.contains('█'), "{text}");
+        assert!(text.contains("last=9.000 step=1s"), "{text}");
+    }
+}

@@ -20,6 +20,7 @@
 //! | `/healthz`           | GET  | —               | liveness |
 //! | `/debug/requests`    | GET  | —               | flight-recorder summary (recent + survivor requests) |
 //! | `/debug/requests/{id}` | GET | —              | full span tree + telemetry for one recorded request |
+//! | `/debug/timeseries`  | GET  | —               | retained per-second metric history (`?series=...&window=...`; no params lists the catalog) |
 //! | `/sleepz?ms=`        | GET  | —               | debug: hold a worker |
 //! | `/quitquitquit`      | GET  | —               | graceful drain |
 //!
@@ -96,6 +97,7 @@ pub use hc_obs::sync;
 pub use hc_obs::failpoints;
 
 pub mod cache;
+pub mod collector;
 pub mod handlers;
 pub mod http;
 pub mod json;

@@ -77,19 +77,8 @@ impl EndpointStats {
     }
 
     /// Smallest bucket upper bound (µs) below which at least `q` of samples fall.
-    fn quantile_upper_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = (self.count as f64 * q).ceil() as u64;
-        let mut seen = 0;
-        for (k, &n) in self.latency_buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return 1u64 << k;
-            }
-        }
-        1u64 << (BUCKETS - 1)
+    pub fn quantile_upper_us(&self, q: f64) -> u64 {
+        quantile_upper_us_of(&self.latency_buckets, self.count, q)
     }
 
     fn to_json(&self) -> String {
@@ -115,6 +104,24 @@ impl EndpointStats {
             .raw("service_histogram_us", &render_hist(&self.service_buckets))
             .finish()
     }
+}
+
+/// `q`-quantile upper bound (µs) of one log₂ bucket array holding `count`
+/// samples. Standalone so the tsdb collector can run it over per-interval
+/// *delta* buckets, not just cumulative endpoint stats.
+pub(crate) fn quantile_upper_us_of(buckets: &[u64; BUCKETS], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = (count as f64 * q).ceil() as u64;
+    let mut seen = 0;
+    for (k, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= target {
+            return 1u64 << k;
+        }
+    }
+    1u64 << (BUCKETS - 1)
 }
 
 /// The server-wide metrics registry.
@@ -162,6 +169,25 @@ impl Registry {
         hc_obs::sync::lock_recover(&self.endpoints)
             .get(endpoint)
             .cloned()
+    }
+
+    /// Merged copy of every endpoint's stats — the whole-server view the
+    /// tsdb collector samples once per second.
+    pub fn merged(&self) -> EndpointStats {
+        let endpoints = hc_obs::sync::lock_recover(&self.endpoints);
+        let mut m = EndpointStats::new();
+        for s in endpoints.values() {
+            m.count += s.count;
+            m.errors += s.errors;
+            m.cache_hits += s.cache_hits;
+            m.total_us += s.total_us;
+            m.service_total_us += s.service_total_us;
+            for k in 0..BUCKETS {
+                m.latency_buckets[k] += s.latency_buckets[k];
+                m.service_buckets[k] += s.service_buckets[k];
+            }
+        }
+        m
     }
 
     /// Point-in-time copy of every endpoint's stats, sorted by name. Feeds
@@ -253,6 +279,9 @@ pub struct SessionCounters {
     pub drains: u64,
     /// Warm recomputes that silently fell back to a cold solve.
     pub warm_fallbacks: u64,
+    /// Warm attempts skipped because the matrix exceeded the size cutover
+    /// (warm would win iterations but lose wall time).
+    pub warm_cutovers: u64,
     /// Total recomputes (cold creates included).
     pub recomputes: u64,
     /// Recomputes served by the warm path.
@@ -274,6 +303,7 @@ pub fn session_counters() -> SessionCounters {
         conflicts: c("session_conflict_total"),
         drains: c("session_drain_total"),
         warm_fallbacks: c("session_warm_fallback_total"),
+        warm_cutovers: c("session_warm_cutover_total"),
         recomputes: c("session_recompute_total"),
         recomputes_warm: c("session_recompute_warm_total"),
     }
@@ -313,6 +343,7 @@ pub fn sessions_json(s: &SessionCounters) -> String {
         .u64("conflicts_total", s.conflicts)
         .u64("drains_total", s.drains)
         .u64("warm_fallbacks_total", s.warm_fallbacks)
+        .u64("warm_cutovers_total", s.warm_cutovers)
         .u64("recomputes_total", s.recomputes)
         .u64("recomputes_warm_total", s.recomputes_warm)
         .finish()
@@ -595,6 +626,11 @@ pub fn prometheus_document(state: &crate::server::ServerState) -> String {
         &mut w,
         "hc_serve_sessions_warm_fallbacks_total",
         s.warm_fallbacks,
+    );
+    counter(
+        &mut w,
+        "hc_serve_sessions_warm_cutovers_total",
+        s.warm_cutovers,
     );
     counter(&mut w, "hc_serve_sessions_recomputes_total", s.recomputes);
     counter(

@@ -116,13 +116,24 @@ pub enum Class {
     Bulk,
 }
 
+impl Class {
+    /// Stable wire name (flight-recorder overload context).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Class::Critical => "critical",
+            Class::Interactive => "interactive",
+            Class::Bulk => "bulk",
+        }
+    }
+}
+
 /// Classifies a parsed request by endpoint and body size. Cache residency is
 /// layered on by the reactor (a hit upgrades to [`Class::Critical`]) because
 /// only it holds the server state.
 pub fn classify(req: &Request) -> Class {
     match crate::router::endpoint_name(req) {
         "healthz" | "metrics" | "quitquitquit" | "session_watch" | "debug_requests"
-        | "debug_request" | "debug_profile" => Class::Critical,
+        | "debug_request" | "debug_profile" | "debug_timeseries" => Class::Critical,
         "batch" => Class::Bulk,
         "measure" | "structure" | "generate" | "schedule" if req.body.len() >= LARGE_BODY_BYTES => {
             Class::Bulk

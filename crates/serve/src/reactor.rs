@@ -561,26 +561,42 @@ impl Reactor {
         }
     }
 
-    fn dispatch_request(&mut self, idx: usize, request: Request, started: Instant, parse_us: u64) {
+    fn dispatch_request(
+        &mut self,
+        idx: usize,
+        mut request: Request,
+        started: Instant,
+        parse_us: u64,
+    ) {
+        let admit_state = self.state.overload.current_state();
+        let mut class = crate::overload::classify(&request);
         if self.state.pool.would_shed() {
             // Fixed-depth backstop (the only shed when adaptive admission is
             // off): the queue is literally full, so shed without building the
             // job; the response must close so the slot frees up.
-            self.shed(idx, started);
+            let id =
+                crate::server::record_shed(&self.state, &mut request, class, admit_state, started);
+            self.shed(idx, started, id);
             return;
         }
         // Adaptive admission: consulted only past the ok rung. A request the
         // cache can answer is upgraded to Critical — serving it costs no
         // solver work and keeps monitoring clients alive through overload.
-        if self.state.overload.current_state() != crate::overload::STATE_OK {
-            let mut class = crate::overload::classify(&request);
+        if admit_state != crate::overload::STATE_OK {
             if class != crate::overload::Class::Critical
                 && crate::router::would_hit_cache(&self.state, &request)
             {
                 class = crate::overload::Class::Critical;
             }
             if self.state.overload.admit(class).is_err() {
-                self.shed(idx, started);
+                let id = crate::server::record_shed(
+                    &self.state,
+                    &mut request,
+                    class,
+                    admit_state,
+                    started,
+                );
+                self.shed(idx, started, id);
                 return;
             }
         }
@@ -590,6 +606,8 @@ impl Reactor {
             parse_us,
             dispatched: Instant::now(),
             park_deadline: None,
+            class,
+            admit_state,
         });
         self.state.in_flight.fetch_add(1, Ordering::Relaxed);
         {
@@ -611,12 +629,14 @@ impl Reactor {
 
     /// Sheds one request: a typed `503` whose `Retry-After` is the current
     /// drain-rate estimate, closing the connection to free the slot.
-    fn shed(&mut self, idx: usize, started: Instant) {
+    /// `request_id` joins the flight record [`crate::server::record_shed`]
+    /// just wrote, so the refused client can look itself up.
+    fn shed(&mut self, idx: usize, started: Instant, request_id: String) {
         self.state
             .metrics
             .record("_shed", true, false, started.elapsed(), Duration::ZERO);
         let resp = Response::overloaded(self.state.overload.retry_after_s())
-            .with_header("X-Request-Id", &next_request_id());
+            .with_header("X-Request-Id", &request_id);
         self.write_response(idx, resp, true, started);
     }
 

@@ -38,6 +38,7 @@ const NO_STORE_ENDPOINTS: &[&str] = &[
     "debug_requests",
     "debug_request",
     "debug_profile",
+    "debug_timeseries",
     "session",
     "session_id",
     "session_etc",
@@ -64,6 +65,9 @@ pub(crate) fn endpoint_name(req: &Request) -> &'static str {
     }
     if req.path == "/debug/profile" {
         return "debug_profile";
+    }
+    if req.path == "/debug/timeseries" {
+        return "debug_timeseries";
     }
     if let Some(rest) = req.path.strip_prefix("/session/") {
         return if rest.ends_with("/etc") {
@@ -608,6 +612,13 @@ fn dispatch(
         }
         "debug_requests" => match require_method(req, "GET") {
             Ok(()) => (Response::json(state.recorder.summary_json()), false),
+            Err(resp) => (resp, false),
+        },
+        "debug_timeseries" => match require_method(req, "GET") {
+            Ok(()) => match crate::collector::debug_timeseries(state, req) {
+                Ok(resp) => (resp, false),
+                Err(e) => (e.to_response(), false),
+            },
             Err(resp) => (resp, false),
         },
         "debug_profile" => match require_method(req, "GET") {

@@ -94,6 +94,12 @@ pub struct Config {
     /// Autoscale ceiling for the worker count (0 = same as `workers`, which
     /// disables autoscaling unless it exceeds the floor).
     pub workers_max: usize,
+    /// In-process time-series retention in seconds: how far back
+    /// `/debug/timeseries` (and `hcm top`) can look. Clamped to ≥ 60.
+    pub tsdb_retention_s: u64,
+    /// Disables the in-process time-series store and its collector thread
+    /// entirely (`/debug/timeseries` answers a typed 404).
+    pub tsdb_off: bool,
 }
 
 impl Config {
@@ -146,6 +152,8 @@ impl Default for Config {
             target_queue_delay_ms: 100,
             workers_min: 0,
             workers_max: 0,
+            tsdb_retention_s: 86_400,
+            tsdb_off: false,
         }
     }
 }
@@ -208,6 +216,10 @@ pub struct ServerState {
     /// workers feed it queue sojourns, the reactor ticks it and enforces its
     /// decisions.
     pub overload: crate::overload::OverloadController,
+    /// The in-process time-series store behind `/debug/timeseries` and
+    /// `hcm top`; `None` with `--tsdb-off`. Fed once per second by the
+    /// collector thread (see [`crate::collector`]).
+    pub tsdb: Option<Arc<hc_obs::tsdb::Tsdb>>,
 }
 
 /// A running server; dropping it does NOT stop the server — call
@@ -282,9 +294,17 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
     // The pool starts at the autoscale floor; the overload control loop grows
     // it toward the ceiling on demand.
     let (workers_min, _) = config.worker_bounds();
+    let tsdb = if config.tsdb_off {
+        None
+    } else {
+        Some(Arc::new(hc_obs::tsdb::Tsdb::with_retention(
+            config.tsdb_retention_s,
+        )))
+    };
     let state = Arc::new(ServerState {
         pool: Pool::new(workers_min, config.queue_depth),
         overload: crate::overload::OverloadController::new(config.target_queue_delay_ms),
+        tsdb,
         cache: ShardedCache::new(config.cache_entries),
         metrics: Registry::new(),
         recorder: FlightRecorder::new(config.record_requests, config.record_survivors),
@@ -304,6 +324,9 @@ pub fn start(config: Config) -> Result<ServerHandle, String> {
         .name("hc-serve-accept".to_string())
         .spawn(move || crate::reactor::run(listener, accept_state))
         .map_err(|e| format!("spawn accept thread: {e}"))?;
+    if state.tsdb.is_some() {
+        crate::collector::spawn(Arc::clone(&state));
+    }
 
     Ok(ServerHandle {
         local_addr,
@@ -379,6 +402,39 @@ pub(crate) fn server_timing_value(phases: &PhaseTimings) -> String {
     )
 }
 
+/// Records a shed decision in the flight recorder, on the reactor thread:
+/// the request never reaches a worker, but `/debug/requests/{id}` must still
+/// explain why it was refused (priority class, ladder rung, `shed: true`).
+/// Returns the request id so the `503`'s `X-Request-Id` joins the record.
+pub(crate) fn record_shed(
+    st: &ServerState,
+    request: &mut Request,
+    class: crate::overload::Class,
+    state_at_admission: u8,
+    started: Instant,
+) -> String {
+    let id = request.request_id.clone().unwrap_or_else(next_request_id);
+    request.request_id = Some(id.clone());
+    let trace = resolve_trace(request);
+    request.traceparent = Some(trace.header_value());
+    let recording = st
+        .recorder
+        .begin(&id, &request.method, &request.path, &trace);
+    hc_obs::recorder::note_overload(
+        class.as_str(),
+        crate::overload::state_name(state_at_admission),
+        true,
+    );
+    recording.finish(Outcome {
+        status: 503,
+        latency_us: started.elapsed().as_micros() as u64,
+        phases: PhaseTimings::default(),
+        slow: false,
+        panicked: false,
+    });
+    id
+}
+
 /// One parsed request traveling between the reactor and the worker pool,
 /// carrying the state an attempt needs and what must stay stable when a
 /// parked watch re-runs it.
@@ -398,6 +454,11 @@ pub(crate) struct ReqTask {
     pub dispatched: Instant,
     /// `Some` on re-runs of a parked watch: the original long-poll deadline.
     pub park_deadline: Option<Instant>,
+    /// Priority class assigned at admission (cache upgrades included) —
+    /// recorded into the request's flight record.
+    pub class: crate::overload::Class,
+    /// Overload ladder rung at admission ([`crate::overload::STATE_OK`] etc.).
+    pub admit_state: u8,
 }
 
 /// What one execution attempt of a request produced.
@@ -444,6 +505,13 @@ pub(crate) fn run_attempt(st: &Arc<ServerState>, task: &mut ReqTask) -> AttemptO
     if task.park_deadline.is_none() {
         warn_malformed_headers(&id, &task.request.malformed_headers);
     }
+    // Why this request was (not) shed: class and ladder rung at admission,
+    // rendered as the record's `overload` object by `/debug/requests/{id}`.
+    hc_obs::recorder::note_overload(
+        task.class.as_str(),
+        crate::overload::state_name(task.admit_state),
+        false,
+    );
     // Panic isolation: a handler panic (bug or armed failpoint) must cost
     // this request a 500, not the worker its life or later requests their
     // poisoned locks.
@@ -494,6 +562,10 @@ pub(crate) fn run_attempt(st: &Arc<ServerState>, task: &mut ReqTask) -> AttemptO
     };
     let resp = resp.with_header("Server-Timing", &server_timing_value(&phases));
     let slow = st.config.slow_ms > 0 && latency >= Duration::from_millis(st.config.slow_ms);
+    // Observed while the flight record is still armed on this thread, so the
+    // latency histogram's per-bucket exemplars carry this request's id and
+    // traceparent — the join from a Prometheus bucket to `/debug/requests/{id}`.
+    hc_obs::obs_histogram!("serve_request_latency_us").observe(latency.as_micros() as u64);
     recording.finish(Outcome {
         status: resp.status,
         latency_us: latency.as_micros() as u64,

@@ -25,6 +25,16 @@
 //! fallback, never a failed request. Matrices with zeros always take the cold path
 //! (their standard form may only exist as a limit; warm seeding has no theory
 //! there).
+//!
+//! **Size cutover:** fewer iterations is not the same as less wall time. A
+//! warm Jacobi sweep is O(n³) against Golub–Reinsch's heavily-optimized
+//! bidiagonalization, so past a matrix size the warm path *loses* wall time
+//! despite saving 100×+ combined iterations (measured: ~1.8–2× slower at
+//! 256×256 and 512×512, `session_warm_vs_cold` in the bench snapshots).
+//! Matrices above [`DEFAULT_WARM_CUTOVER_CELLS`] therefore skip the warm
+//! attempt entirely and run cold; each skip is counted in
+//! `session_warm_cutover_total` (a sibling of `session_warm_fallback_total`)
+//! and flagged in [`RecomputeStats::cutover`].
 
 use hc_core::ecs::Ecs;
 use hc_core::error::MeasureError;
@@ -40,6 +50,14 @@ use hc_sinkhorn::balance::{
     standardize_budgeted_in, standardize_warm_budgeted_in, BalanceOutcome, BalanceStatus,
 };
 
+/// Matrices with more cells than this run cold even when a warm prior exists.
+///
+/// Chosen from the `session_warm_vs_cold` bench lane: warm wins wall time at
+/// 64×64 (4 096 cells, ~2.7× faster) and loses it from 256×256 up (65 536
+/// cells, ~1.8× slower), so the cutover sits at 128×128. Override per engine
+/// with [`SessionEngine::with_warm_cutover`] (`usize::MAX` disables).
+pub const DEFAULT_WARM_CUTOVER_CELLS: usize = 16_384;
+
 /// How a [`SessionEngine::recompute`] call did its work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecomputeStats {
@@ -52,6 +70,9 @@ pub struct RecomputeStats {
     /// `true` when the warm path was attempted but failed its convergence
     /// check and the result came from a silent cold recompute.
     pub fallback: bool,
+    /// `true` when a warm prior existed but the matrix exceeded the size
+    /// cutover, so the warm attempt was skipped on wall-time grounds.
+    pub cutover: bool,
 }
 
 impl RecomputeStats {
@@ -77,6 +98,7 @@ pub struct SessionEngine {
     ws: Workspace,
     warm: Option<WarmState>,
     force_cold: bool,
+    warm_cutover_cells: usize,
 }
 
 impl SessionEngine {
@@ -91,6 +113,7 @@ impl SessionEngine {
             ws: Workspace::new(),
             warm: None,
             force_cold: false,
+            warm_cutover_cells: DEFAULT_WARM_CUTOVER_CELLS,
         }
     }
 
@@ -98,6 +121,15 @@ impl SessionEngine {
     /// control arm for benchmarks and A/B tests.
     pub fn with_force_cold(mut self, force_cold: bool) -> Self {
         self.force_cold = force_cold;
+        self
+    }
+
+    /// Overrides the warm/cold size cutover (in matrix cells,
+    /// tasks × machines). `usize::MAX` disables the cutover — the arm
+    /// benchmarks use to measure iteration savings at sizes where wall time
+    /// prefers cold.
+    pub fn with_warm_cutover(mut self, cells: usize) -> Self {
+        self.warm_cutover_cells = cells;
         self
     }
 
@@ -120,7 +152,16 @@ impl SessionEngine {
         budget: Option<&Budget>,
     ) -> Result<(MeasureReport, RecomputeStats), MeasureError> {
         let mut obs = hc_obs::span("session.recompute");
-        let warm_eligible = !self.force_cold && self.warm.is_some() && self.ecs.is_positive();
+        let cells = self.ecs.num_tasks() * self.ecs.num_machines();
+        let over_cutover = cells > self.warm_cutover_cells;
+        let warm_possible = !self.force_cold && self.warm.is_some() && self.ecs.is_positive();
+        let warm_eligible = warm_possible && !over_cutover;
+        // Only count a cutover when the cutover is what blocked an otherwise
+        // viable warm start — force_cold/zero/no-prior skips are not cutovers.
+        let cutover = warm_possible && over_cutover;
+        if cutover {
+            hc_obs::obs_counter!("session_warm_cutover_total").inc();
+        }
         let mut fallback = false;
         // The warm attempt is opportunistic, so it is panic-isolated like a
         // handler (DESIGN.md §10): a panic inside it — a chaos failpoint such
@@ -148,6 +189,7 @@ impl SessionEngine {
             None => self.cold(budget)?,
         };
         stats.fallback = fallback;
+        stats.cutover = cutover;
         hc_obs::obs_counter!("session_recompute_total").inc();
         if stats.warm {
             hc_obs::obs_counter!("session_recompute_warm_total").inc();
@@ -158,6 +200,7 @@ impl SessionEngine {
         );
         hc_obs::recorder::note_u64("session_svd_iterations", stats.svd_iterations as u64);
         hc_obs::recorder::note_u64("session_warm", u64::from(stats.warm));
+        hc_obs::recorder::note_u64("session_cutover", u64::from(stats.cutover));
         if obs.armed() {
             obs.field_u64("tasks", self.ecs.num_tasks() as u64);
             obs.field_u64("machines", self.ecs.num_machines() as u64);
@@ -229,7 +272,7 @@ impl SessionEngine {
             sinkhorn_iterations: out.iterations,
             svd_iterations: sweeps,
             warm: true,
-            fallback: false,
+            ..RecomputeStats::default()
         };
         let report = self.assemble(&out, &svd, budget)?;
         self.store_warm(out, svd);
@@ -256,9 +299,7 @@ impl SessionEngine {
             )?;
             let stats = RecomputeStats {
                 sinkhorn_iterations: report.standardization_iterations,
-                svd_iterations: 0,
-                warm: false,
-                fallback: false,
+                ..RecomputeStats::default()
             };
             return Ok((report, stats));
         }
@@ -291,8 +332,7 @@ impl SessionEngine {
         let stats = RecomputeStats {
             sinkhorn_iterations: out.iterations,
             svd_iterations,
-            warm: false,
-            fallback: false,
+            ..RecomputeStats::default()
         };
         let report = self.assemble(&out, &svd, budget)?;
         self.store_warm(out, svd);
@@ -443,6 +483,33 @@ mod tests {
                 cs.total_iterations()
             );
         }
+    }
+
+    #[test]
+    fn size_cutover_skips_warm_and_counts_it() {
+        // 8×8 = 64 cells with a cutover at 32: a warm prior exists, but the
+        // second recompute must run cold on wall-time grounds and say why.
+        let mut eng = SessionEngine::new(fixture(8, 8)).with_warm_cutover(32);
+        let (_, s0) = eng.recompute(None).unwrap();
+        assert!(!s0.warm);
+        // First solve had no prior: big, but not a cutover.
+        assert!(!s0.cutover);
+        eng.set(1, 1, 3.0).unwrap();
+        let before = hc_obs::metrics::counter_value("session_warm_cutover_total").unwrap_or(0);
+        let (report, s1) = eng.recompute(None).unwrap();
+        assert!(s1.cutover, "prior + oversize must flag the cutover");
+        assert!(!s1.warm);
+        assert!(!s1.fallback, "a cutover is not a fallback");
+        let after = hc_obs::metrics::counter_value("session_warm_cutover_total").unwrap_or(0);
+        assert!(after > before, "cutover counter must tick");
+        // The cold result is still correct.
+        let expect = hc_core::report::characterize(eng.ecs()).unwrap();
+        assert!((report.tma - expect.tma).abs() < 1e-9);
+        // Raising the cutover re-enables warm starting on the stored prior.
+        let mut eng = eng.with_warm_cutover(usize::MAX);
+        eng.set(2, 2, 1.25).unwrap();
+        let (_, s2) = eng.recompute(None).unwrap();
+        assert!(s2.warm && !s2.cutover);
     }
 
     #[test]

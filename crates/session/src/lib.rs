@@ -16,7 +16,11 @@
 //!
 //! Correctness is never traded for speed: the warm path must satisfy exactly
 //! the cold path's convergence tolerances, and any miss falls back to a
-//! silent cold recompute counted in `session_warm_fallback_total`.
+//! silent cold recompute counted in `session_warm_fallback_total`. Nor is
+//! speed traded for iteration counts: above a size cutover
+//! ([`engine::DEFAULT_WARM_CUTOVER_CELLS`]) the warm attempt is skipped
+//! outright — its O(n³) Jacobi sweeps stop paying for themselves in wall
+//! time — counted in the sibling `session_warm_cutover_total`.
 //!
 //! The crate is layered:
 //!
@@ -35,7 +39,7 @@ pub mod engine;
 pub mod store;
 
 pub use edits::{parse_edits, to_ecs_value, Edit, EditParseError};
-pub use engine::{RecomputeStats, SessionEngine};
+pub use engine::{RecomputeStats, SessionEngine, DEFAULT_WARM_CUTOVER_CELLS};
 pub use store::{
     Delta, SessionConfig, SessionError, SessionSnapshot, SessionStore, TryWatch, WatchOutcome,
     WatchWaker,

@@ -23,6 +23,7 @@ grep -q '"bench":"sinkhorn.balance"' "$OUT" || { echo "missing sinkhorn results"
 grep -q '"bench":"deadline_overhead"' "$OUT" || { echo "missing deadline overhead lane"; exit 1; }
 grep -q '"bench":"recorder_overhead"' "$OUT" || { echo "missing recorder overhead lane"; exit 1; }
 grep -q '"bench":"profiler_overhead"' "$OUT" || { echo "missing profiler overhead lane"; exit 1; }
+grep -q '"bench":"tsdb_overhead"' "$OUT" || { echo "missing tsdb overhead lane"; exit 1; }
 grep -q '"bench":"session_warm_vs_cold"' "$OUT" || { echo "missing session warm-vs-cold lane"; exit 1; }
 grep -q '"bench":"keepalive_vs_reconnect"' "$OUT" || { echo "missing keepalive-vs-reconnect lane"; exit 1; }
 grep -q '"allocs_per_call":' "$OUT" || { echo "missing allocation counts"; exit 1; }

@@ -138,6 +138,38 @@ GONE_CODE=$(curl -sS -o /dev/null -w '%{http_code}' "http://$ADDR/session/$SID")
 [ "$GONE_CODE" = "404" ] || { echo "deleted session still answers $GONE_CODE"; exit 1; }
 echo "session smoke OK (create -> 3 warm patches -> watch 3 deltas -> delete)"
 
+# Timeseries smoke: the catalog must expose >= 3 retention tiers; two scrapes
+# with traffic in between must show a monotone serve_requests_total with
+# non-negative rate deltas; and `hcm top --once` must render a frame off the
+# same store.
+TS_CAT=$(curl -sS "http://$ADDR/debug/timeseries")
+TIERS=$(printf '%s' "$TS_CAT" | grep -o '"step_s":' | wc -l)
+[ "$TIERS" -ge 3 ] || { echo "timeseries catalog lists $TIERS tiers, want >= 3"; exit 1; }
+printf '%s' "$TS_CAT" | grep -q '"serve_requests_total"' \
+    || { echo "timeseries catalog lacks serve_requests_total"; exit 1; }
+ts_points() { # last non-null value of serve_requests_total's points array
+    curl -sS "http://$ADDR/debug/timeseries?series=serve_requests_total&window=120" \
+        | sed -n 's/.*"points":\[\([^]]*\)\].*/\1/p' | tr ',' '\n' \
+        | grep -v null | tail -n1
+}
+TSC1=$(ts_points)
+printf '%s' "$CSV" | curl -sS -o /dev/null -X POST --data-binary @- "http://$ADDR/measure"
+sleep 1.3 # let the 1 Hz collector absorb the new request
+TSC2=$(ts_points)
+[ -n "$TSC1" ] && [ -n "$TSC2" ] || { echo "timeseries carries no counter points"; exit 1; }
+awk -v a="$TSC1" -v b="$TSC2" 'BEGIN { exit !(b >= a) }' \
+    || { echo "serve_requests_total went backwards: $TSC1 -> $TSC2"; exit 1; }
+RATES=$(curl -sS "http://$ADDR/debug/timeseries?series=serve_requests_total&window=120" \
+    | sed -n 's/.*"rate_per_s":\[\([^]]*\)\].*/\1/p')
+[ -n "$RATES" ] || { echo "counter query lacks rate_per_s"; exit 1; }
+printf '%s' "$RATES" | grep -q -- '-' && { echo "negative rate delta: $RATES"; exit 1; }
+"$HCM" top --once --addr "$ADDR" > /tmp/verify-top.txt \
+    || { echo "hcm top --once failed"; cat /tmp/verify-top.txt; exit 1; }
+grep -q 'hcm top' /tmp/verify-top.txt || { echo "top frame lacks header"; exit 1; }
+grep -q 'health ok' /tmp/verify-top.txt || { echo "top frame lacks health"; exit 1; }
+grep -q 'req/s' /tmp/verify-top.txt || { echo "top frame lacks req/s row"; exit 1; }
+echo "timeseries smoke OK ($TIERS tiers, counter $TSC1 -> $TSC2, top frame rendered)"
+
 curl -sS "http://$ADDR/quitquitquit" >/dev/null
 wait "$SERVE_PID"
 trap - EXIT

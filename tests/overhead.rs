@@ -183,6 +183,68 @@ fn recorder_overhead_stays_under_two_percent_budget() {
     );
 }
 
+/// Median cost of one TSDB collector tick, in nanoseconds: a full registry
+/// sweep into the tiered rings plus the handful of serve-side gauge records
+/// the 1 Hz collector thread performs (DESIGN.md §16).
+fn tsdb_tick_ns(tsdb: &hc_obs::tsdb::Tsdb, ts: &mut u64) -> f64 {
+    const TICKS: u32 = 200;
+    let mut samples: Vec<u128> = (0..7)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..TICKS {
+                *ts += 1;
+                tsdb.collect_registry(*ts);
+                for g in [
+                    "serve_latency_p50_us",
+                    "serve_latency_p99_us",
+                    "serve_cache_hit_rate",
+                    "serve_overload_state",
+                    "serve_slo_burn_short",
+                    "serve_workers_live",
+                    "serve_connections_open",
+                    "serve_requests_in_flight",
+                ] {
+                    tsdb.record(hc_obs::tsdb::Kind::Gauge, g, *ts, 1.0);
+                }
+            }
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64 / f64::from(TICKS)
+}
+
+/// The TSDB collector's budget (DESIGN.md §16): the collector thread fires
+/// once per second, so one tick — a full registry sweep plus the serve gauge
+/// set — must cost less than 2% of the 10^9 ns between ticks. Checked from
+/// first principles: measured per-tick cost against the wall-clock second,
+/// with the registry pre-populated the way a long-serving process would be.
+#[test]
+fn tsdb_collector_tick_stays_under_two_percent_of_a_second() {
+    let _serial = serial();
+    // A serving process accumulates tens of counters and histograms; make the
+    // sweep pay for a generous 64 counters + 16 histograms.
+    for i in 0..64 {
+        hc_obs::metrics::counter_owned(format!("tsdb_budget_counter_{i}")).inc();
+    }
+    for i in 0..16u64 {
+        let name: &'static str = Box::leak(format!("tsdb_budget_histogram_{i}").into_boxed_str());
+        hc_obs::metrics::histogram(name).observe(i * 17);
+    }
+    let tsdb = hc_obs::tsdb::Tsdb::new(&hc_obs::tsdb::DEFAULT_TIERS);
+    let mut ts = 1u64;
+    tsdb.collect_registry(ts); // warm-up: create every series once
+    let tick = tsdb_tick_ns(&tsdb, &mut ts);
+
+    let ratio = tick / 1e9;
+    assert!(
+        ratio < 0.02,
+        "tsdb collector tick exceeds budget: {tick:.0} ns against the 1e9 ns \
+         1 Hz period ({:.4}% >= 2%)",
+        ratio * 100.0
+    );
+}
+
 /// Median per-span cost of the profiler's *armed* path, in nanoseconds: one
 /// seqlock frame push + pop per span open/close, measured with the sampler
 /// thread live so its snapshot traffic contends like production.
